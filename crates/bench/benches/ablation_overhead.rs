@@ -1,0 +1,47 @@
+//! E7 (ablation): bookkeeping overhead vs per-vertex compute.
+//!
+//! §4 predicts near-linear speedup "as long as the computations
+//! performed by the vertices take significantly more time than the
+//! computations performed to maintain the data structures". Sweeping
+//! per-vertex compute from zero upward at a fixed thread count shows
+//! where the crossover lies; the printed bookkeeping ratio (lock wait +
+//! critical section time over module compute time) quantifies it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ec_bench::{relay_modules, run_engine};
+use ec_graph::generators;
+
+const PHASES: u64 = 60;
+const THREADS: usize = 4;
+
+fn bench_overhead(c: &mut Criterion) {
+    let dag = generators::layered(4, 4, 2, 11);
+
+    // Print the bookkeeping ratio per spin level, once.
+    for &spin in &[0u64, 1_000, 10_000, 100_000] {
+        let m = run_engine(&dag, relay_modules(&dag, spin), THREADS, PHASES);
+        println!(
+            "spin {spin:>6}: bookkeeping/compute ratio {:.3} \
+             (lock wait {} µs, critical {} µs, exec {} µs)",
+            m.bookkeeping_ratio(),
+            m.lock_wait_nanos / 1_000,
+            m.critical_nanos / 1_000,
+            m.exec_nanos / 1_000,
+        );
+    }
+
+    let mut group = c.benchmark_group("ablation-overhead");
+    group.sample_size(10);
+    for &spin in &[0u64, 1_000, 10_000, 100_000] {
+        group.bench_with_input(BenchmarkId::new("threads4", spin), &spin, |b, &spin| {
+            b.iter(|| run_engine(&dag, relay_modules(&dag, spin), THREADS, PHASES))
+        });
+        group.bench_with_input(BenchmarkId::new("threads1", spin), &spin, |b, &spin| {
+            b.iter(|| run_engine(&dag, relay_modules(&dag, spin), 1, PHASES))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

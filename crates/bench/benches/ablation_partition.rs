@@ -1,0 +1,66 @@
+//! X1 (§6 extension): partitioning strategies for multi-machine
+//! deployment.
+//!
+//! Prints the inter-machine traffic (the quantity a real deployment
+//! pays for) of balanced vs cut-minimising contiguous partitions at
+//! several machine counts, and measures the simulation's execution
+//! cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ec_bench::fusion_modules;
+use ec_core::DistributedSim;
+use ec_graph::{generators, partition_balanced, partition_min_cut, Numbering};
+
+const PHASES: u64 = 40;
+
+fn bench_partition(c: &mut Criterion) {
+    let dag = generators::layered(6, 4, 2, 99);
+    let numbering = Numbering::compute(&dag);
+
+    // Print the traffic comparison once.
+    for k in [2u32, 3, 4] {
+        for (label, partition) in [
+            ("balanced", partition_balanced(&dag, &numbering, k)),
+            ("min-cut", partition_min_cut(&dag, &numbering, k, 0.5)),
+        ] {
+            let mut sim =
+                DistributedSim::new(&dag, fusion_modules(&dag, 0), &partition).unwrap();
+            sim.run(PHASES).unwrap();
+            println!(
+                "partition k={k} {label:>8}: edge cut {:>2}, remote {:>5}, local {:>5}",
+                partition.quality(&dag).edge_cut,
+                sim.remote_messages(),
+                sim.local_messages()
+            );
+        }
+    }
+
+    let mut group = c.benchmark_group("ablation-partition/sim");
+    group.sample_size(10);
+    for k in [1u32, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let partition = partition_min_cut(&dag, &numbering, k, 0.5);
+            b.iter(|| {
+                let mut sim =
+                    DistributedSim::new(&dag, fusion_modules(&dag, 1_000), &partition)
+                        .unwrap();
+                sim.run(PHASES).unwrap();
+                sim.remote_messages()
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("ablation-partition/plan");
+    for k in [2u32, 4, 8] {
+        let big = generators::layered(40, 10, 3, 5);
+        let big_numbering = Numbering::compute(&big);
+        group.bench_with_input(BenchmarkId::new("min-cut-400v", k), &k, |b, &k| {
+            b.iter(|| partition_min_cut(&big, &big_numbering, k, 0.5))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partition);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! E6 (ablation): pipelined Δ-dataflow vs phase-barrier vs sequential.
+//!
+//! §2 offers the phase-at-a-time execution as the simple solution and
+//! the pipelined algorithm as "a more efficient solution". This bench
+//! quantifies the difference across graph shapes: deep chains (where
+//! pipelining is everything) and wide layers (where within-phase
+//! parallelism suffices and the barrier baseline is competitive).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ec_bench::{relay_modules, run_barrier, run_engine, run_sequential};
+use ec_graph::generators;
+
+const PHASES: u64 = 60;
+const SPIN: u64 = 30_000;
+const THREADS: usize = 4;
+
+fn bench_ablation(c: &mut Criterion) {
+    let shapes: Vec<(&str, ec_graph::Dag)> = vec![
+        ("deep-chain-12", generators::chain(12)),
+        ("wide-3x8", generators::layered(3, 8, 2, 7)),
+        ("square-5x5", generators::layered(5, 5, 2, 7)),
+    ];
+    for (name, dag) in shapes {
+        let mut group = c.benchmark_group(format!("ablation-pipeline/{name}"));
+        group.sample_size(10);
+        group.bench_function("pipelined", |b| {
+            b.iter(|| run_engine(&dag, relay_modules(&dag, SPIN), THREADS, PHASES))
+        });
+        group.bench_function("barrier", |b| {
+            b.iter(|| run_barrier(&dag, relay_modules(&dag, SPIN), THREADS, PHASES))
+        });
+        group.bench_function("sequential", |b| {
+            b.iter(|| run_sequential(&dag, relay_modules(&dag, SPIN), PHASES))
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

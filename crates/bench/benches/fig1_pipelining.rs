@@ -1,0 +1,53 @@
+//! E1 (Figure 1): multiple phases executing concurrently on the
+//! 10-node graph.
+//!
+//! Measures end-to-end throughput of the pipelined engine on the
+//! Figure 1 graph and prints the observed pipeline depth (max/mean
+//! distinct phases executing at once) — the quantity the figure
+//! illustrates with 5 in-flight phases.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ec_bench::{relay_modules, run_engine};
+use ec_graph::generators;
+
+const PHASES: u64 = 100;
+const SPIN: u64 = 20_000;
+
+fn bench_fig1(c: &mut Criterion) {
+    let dag = generators::fig1_graph();
+
+    // Report pipelining depth once, outside the timed loop.
+    let metrics = run_engine(&dag, relay_modules(&dag, SPIN), 8, PHASES);
+    println!(
+        "fig1: pipeline depth over {PHASES} phases — max {} / mean {:.2} concurrent phases",
+        metrics.max_concurrent_phases,
+        metrics.mean_concurrent_phases()
+    );
+
+    let mut group = c.benchmark_group("fig1/throughput");
+    group.sample_size(10);
+    for &inflight_cap in &[1u64, 2, 4, 8, 16] {
+        group.bench_with_input(
+            BenchmarkId::new("inflight", inflight_cap),
+            &inflight_cap,
+            |b, &cap| {
+                b.iter(|| {
+                    let mut engine = ec_core::Engine::builder(
+                        dag.clone(),
+                        relay_modules(&dag, SPIN),
+                    )
+                    .threads(8)
+                    .max_inflight(cap)
+                    .record_history(false)
+                    .build()
+                    .unwrap();
+                    engine.run(PHASES).unwrap().metrics
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

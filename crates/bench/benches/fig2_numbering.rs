@@ -1,0 +1,55 @@
+//! E2 (Figure 2): vertex-numbering construction and verification.
+//!
+//! Regenerates the figure's S-tables (printed once at startup) and
+//! measures the cost of computing serial-prefix numberings on graphs
+//! from 100 to 10,000 vertices — the setup cost an adopter pays once
+//! per graph.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ec_graph::{generators, Numbering};
+use std::hint::black_box;
+
+fn print_figure2_tables() {
+    let dag = generators::fig2_graph();
+    let good = Numbering::from_assignment(&dag, &[1, 2, 3, 4, 5, 6, 7]).unwrap();
+    println!("=== Figure 2(b): satisfactory numbering ===");
+    for v in 0..=7u32 {
+        println!("S({v}) = {:?}", good.s_set(&dag, v));
+    }
+    println!("m-sequence: {:?}", good.m_table());
+    let bad = Numbering::from_assignment(&dag, &[1, 2, 3, 5, 4, 6, 7]);
+    println!(
+        "=== Figure 2(a): unsatisfactory numbering rejected: {} ===",
+        bad.unwrap_err()
+    );
+}
+
+fn bench_numbering(c: &mut Criterion) {
+    print_figure2_tables();
+
+    let mut group = c.benchmark_group("fig2/compute");
+    for &n in &[100usize, 1_000, 10_000] {
+        let random = generators::random_dag(n, (8.0 / n as f64).min(0.5), true, 42);
+        group.bench_with_input(BenchmarkId::new("random", n), &random, |b, dag| {
+            b.iter(|| Numbering::compute(black_box(dag)))
+        });
+        let layered = generators::layered(n / 10, 10, 3, 42);
+        group.bench_with_input(BenchmarkId::new("layered", n), &layered, |b, dag| {
+            b.iter(|| Numbering::compute(black_box(dag)))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("fig2/verify");
+    for &n in &[100usize, 1_000] {
+        let dag = generators::random_dag(n, (8.0 / n as f64).min(0.5), true, 42);
+        let numbering = Numbering::compute(&dag);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| numbering.verify(black_box(&dag)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_numbering);
+criterion_main!(benches);

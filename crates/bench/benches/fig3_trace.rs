@@ -1,0 +1,36 @@
+//! E3 (Figure 3): execution tracing.
+//!
+//! The figure itself is regenerated deterministically by
+//! `tests/fig3_trace.rs`; this bench measures what recording those
+//! set-membership snapshots costs, so tracing can be judged safe to
+//! enable in production debugging.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ec_bench::relay_modules;
+use ec_core::Engine;
+use ec_graph::generators;
+
+const PHASES: u64 = 200;
+
+fn bench_trace_overhead(c: &mut Criterion) {
+    let dag = generators::fig3_graph();
+    let mut group = c.benchmark_group("fig3/trace-overhead");
+    group.sample_size(10);
+    for (label, trace) in [("off", false), ("on", true)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut engine = Engine::builder(dag.clone(), relay_modules(&dag, 1_000))
+                    .threads(4)
+                    .trace(trace)
+                    .record_history(false)
+                    .build()
+                    .unwrap();
+                engine.run(PHASES).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_trace_overhead);
+criterion_main!(benches);

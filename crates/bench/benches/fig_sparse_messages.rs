@@ -1,0 +1,52 @@
+//! E5 (§1's rate argument): change-only emission vs always-emit.
+//!
+//! "If one in a million transactions is anomalous then the rate of
+//! events generated using the second option is only a millionth of
+//! that generated using the first option."
+//!
+//! For anomaly probabilities 1/10, 1/1000 and 1/100000 we run the same
+//! graph in Δ-dataflow mode and densified (always-emit) mode, printing
+//! the message counts and measuring runtimes. The message ratio should
+//! track ~1/p; the runtime gap grows with sparsity.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ec_bench::{run_engine, sparse_modules};
+use ec_core::densify;
+use ec_graph::generators;
+
+const PHASES: u64 = 400;
+
+fn bench_sparse(c: &mut Criterion) {
+    // Three sensor chains feeding one fusion vertex.
+    let dag = generators::fan(3, 1);
+
+    // Print message-count comparison once per sparsity level.
+    for &p in &[0.1f64, 0.001, 0.00001] {
+        let delta = run_engine(&dag, sparse_modules(&dag, p, 200), 4, PHASES);
+        let dense = run_engine(&dag, densify(sparse_modules(&dag, p, 200)), 4, PHASES);
+        println!(
+            "sparse p={p:e}: delta messages {} vs dense {} ({}x fewer), \
+             executions {} vs {}",
+            delta.messages_sent,
+            dense.messages_sent,
+            dense.messages_sent / delta.messages_sent.max(1),
+            delta.executions,
+            dense.executions,
+        );
+    }
+
+    let mut group = c.benchmark_group("sparse/runtime");
+    group.sample_size(10);
+    for &p in &[0.1f64, 0.001] {
+        group.bench_with_input(BenchmarkId::new("delta", p), &p, |b, &p| {
+            b.iter(|| run_engine(&dag, sparse_modules(&dag, p, 200), 4, PHASES))
+        });
+        group.bench_with_input(BenchmarkId::new("dense", p), &p, |b, &p| {
+            b.iter(|| run_engine(&dag, densify(sparse_modules(&dag, p, 200)), 4, PHASES))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sparse);
+criterion_main!(benches);

@@ -1,0 +1,125 @@
+//! # ec-bench — shared workload builders for the benchmark harness
+//!
+//! Each Criterion bench regenerates one figure/table of the paper (see
+//! DESIGN.md §4 and EXPERIMENTS.md). This library holds the workload
+//! constructors they share so every experiment runs the same graphs and
+//! module mixes.
+
+use ec_core::{
+    BarrierParallel, Engine, MetricsSnapshot, Module, PassThrough, Sequential, SourceModule,
+    Workload,
+};
+use ec_events::sources::{Counter, RandomWalk, Sparse};
+use ec_fusion::operators::aggregate::Aggregate;
+use ec_graph::Dag;
+
+/// Modules for a graph where every vertex does `spin` iterations of
+/// synthetic work: sources count, interior vertices forward.
+pub fn relay_modules(dag: &Dag, spin: u64) -> Vec<Box<dyn Module>> {
+    dag.vertices()
+        .map(|v| -> Box<dyn Module> {
+            if dag.is_source(v) {
+                Box::new(Workload::new(SourceModule::new(Counter::new()), spin))
+            } else {
+                Box::new(Workload::new(PassThrough, spin))
+            }
+        })
+        .collect()
+}
+
+/// Modules for fusion workloads: sources are random walks, interior
+/// vertices aggregate, all with `spin` synthetic work.
+pub fn fusion_modules(dag: &Dag, spin: u64) -> Vec<Box<dyn Module>> {
+    dag.vertices()
+        .map(|v| -> Box<dyn Module> {
+            if dag.is_source(v) {
+                Box::new(Workload::new(
+                    SourceModule::new(RandomWalk::new(10.0, 1.0, v.0 as u64)),
+                    spin,
+                ))
+            } else {
+                Box::new(Workload::new(Aggregate::sum(), spin))
+            }
+        })
+        .collect()
+}
+
+/// Modules where sources emit with probability `p` per phase — the
+/// sparse-anomaly workload of experiment E5.
+pub fn sparse_modules(dag: &Dag, p: f64, spin: u64) -> Vec<Box<dyn Module>> {
+    dag.vertices()
+        .map(|v| -> Box<dyn Module> {
+            if dag.is_source(v) {
+                Box::new(Workload::new(
+                    SourceModule::new(Sparse::counter(p, v.0 as u64 + 1)),
+                    spin,
+                ))
+            } else {
+                Box::new(Workload::new(PassThrough, spin))
+            }
+        })
+        .collect()
+}
+
+/// Runs the parallel engine over `phases` phases and returns metrics.
+pub fn run_engine(
+    dag: &Dag,
+    modules: Vec<Box<dyn Module>>,
+    threads: usize,
+    phases: u64,
+) -> MetricsSnapshot {
+    let mut engine = Engine::builder(dag.clone(), modules)
+        .threads(threads)
+        .max_inflight(32)
+        .record_history(false)
+        .build()
+        .expect("engine builds");
+    engine.run(phases).expect("run succeeds").metrics
+}
+
+/// Runs the sequential baseline.
+pub fn run_sequential(dag: &Dag, modules: Vec<Box<dyn Module>>, phases: u64) -> (u64, u64) {
+    let mut seq = Sequential::new(dag, modules).expect("sequential builds");
+    seq.run(phases).expect("run succeeds");
+    (seq.executions, seq.messages_sent)
+}
+
+/// Runs the phase-barrier baseline.
+pub fn run_barrier(
+    dag: &Dag,
+    modules: Vec<Box<dyn Module>>,
+    threads: usize,
+    phases: u64,
+) -> (u64, u64) {
+    let mut bar = BarrierParallel::new(dag, modules, threads).expect("barrier builds");
+    bar.run(phases).expect("run succeeds");
+    (bar.executions, bar.messages_sent)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ec_graph::generators;
+
+    #[test]
+    fn workload_builders_run() {
+        let dag = generators::layered(3, 2, 2, 1);
+        let m = run_engine(&dag, relay_modules(&dag, 0), 2, 5);
+        assert_eq!(m.phases_completed, 5);
+        let m = run_engine(&dag, fusion_modules(&dag, 0), 2, 5);
+        assert_eq!(m.phases_completed, 5);
+        let m = run_engine(&dag, sparse_modules(&dag, 0.5, 0), 2, 20);
+        assert_eq!(m.phases_completed, 20);
+    }
+
+    #[test]
+    fn baselines_run() {
+        let dag = generators::chain(4);
+        let (ex, msgs) = run_sequential(&dag, relay_modules(&dag, 0), 10);
+        assert_eq!(ex, 40);
+        assert_eq!(msgs, 30);
+        let (ex, msgs) = run_barrier(&dag, relay_modules(&dag, 0), 2, 10);
+        assert_eq!(ex, 40);
+        assert_eq!(msgs, 30);
+    }
+}

@@ -1,0 +1,235 @@
+//! Phase-barrier parallel baseline.
+//!
+//! §2 of the paper: "One solution is to require the data fusion engine
+//! to complete execution of one phase before initiating execution of the
+//! next phase. We describe a more efficient solution…". This executor
+//! *is* that simpler solution: phases run one at a time with a barrier
+//! between them; within a phase, the vertices of each topological level
+//! execute in parallel (using rayon, the standard Rust data-parallelism
+//! library). It has the same Δ-dataflow change-propagation semantics as
+//! the engine — identical histories — but no cross-phase pipelining,
+//! which is exactly the ablation experiment E6 measures.
+
+use crate::error::EngineError;
+use crate::history::ExecutionHistory;
+use crate::module::Module;
+use crate::state::Idx;
+use crate::vertex::{route_emission, RoutedEmission, VertexSlot};
+use ec_events::{Phase, Value};
+use ec_graph::{Dag, Numbering, Topology};
+use parking_lot::Mutex;
+use rayon::prelude::*;
+
+/// Phase-at-a-time executor with within-level parallelism.
+pub struct BarrierParallel {
+    slots: Vec<Mutex<VertexSlot>>,
+    succs_idx: Vec<Vec<Idx>>,
+    /// Schedule indices grouped by topological level, sorted within each
+    /// level so results apply deterministically.
+    levels: Vec<Vec<Idx>>,
+    numbering: Numbering,
+    pool: rayon::ThreadPool,
+    history: ExecutionHistory,
+    next_phase: u64,
+    /// Total messages sent.
+    pub messages_sent: u64,
+    /// Total vertex-phase executions.
+    pub executions: u64,
+}
+
+impl BarrierParallel {
+    /// Builds the executor with `threads` rayon workers.
+    pub fn new(
+        dag: &Dag,
+        modules: Vec<Box<dyn Module>>,
+        threads: usize,
+    ) -> Result<BarrierParallel, EngineError> {
+        let numbering = Numbering::compute(dag);
+        let slots = VertexSlot::build(dag, &numbering, modules)?;
+        let succs_idx: Vec<Vec<Idx>> = numbering
+            .schedule_order()
+            .map(|v| {
+                let mut s: Vec<Idx> = dag
+                    .succs(v)
+                    .iter()
+                    .map(|&w| numbering.index_of(w))
+                    .collect();
+                s.sort_unstable();
+                s
+            })
+            .collect();
+        let topo = Topology::analyze(dag);
+        let mut levels: Vec<Vec<Idx>> = vec![Vec::new(); topo.depth() as usize];
+        for v in dag.vertices() {
+            levels[topo.level(v) as usize].push(numbering.index_of(v));
+        }
+        for level in &mut levels {
+            level.sort_unstable();
+        }
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads.max(1))
+            .thread_name(|i| format!("ec-barrier-{i}"))
+            .build()
+            .map_err(|e| EngineError::Config(format!("rayon pool: {e}")))?;
+        let n = slots.len();
+        Ok(BarrierParallel {
+            slots: slots.into_iter().map(Mutex::new).collect(),
+            succs_idx,
+            levels,
+            numbering,
+            pool,
+            history: ExecutionHistory::new(n),
+            next_phase: 1,
+            messages_sent: 0,
+            executions: 0,
+        })
+    }
+
+    /// The vertex numbering in use.
+    pub fn numbering(&self) -> &Numbering {
+        &self.numbering
+    }
+
+    /// Executes `phases` further phases, one at a time, with a barrier
+    /// between topological levels and between phases.
+    pub fn run(&mut self, phases: u64) -> Result<(), EngineError> {
+        let n = self.slots.len();
+        for _ in 0..phases {
+            let phase = Phase(self.next_phase);
+            self.next_phase += 1;
+            let mut inboxes: Vec<Vec<(Idx, Value)>> = vec![Vec::new(); n];
+            for level in &self.levels {
+                // Vertices of one level have no edges among themselves,
+                // so they may run concurrently; each owns its slot.
+                let work: Vec<(Idx, Vec<(Idx, Value)>)> = level
+                    .iter()
+                    .filter_map(|&idx| {
+                        let fresh = std::mem::take(&mut inboxes[(idx - 1) as usize]);
+                        let is_source = self.slots[(idx - 1) as usize].lock().is_source;
+                        if is_source || !fresh.is_empty() {
+                            Some((idx, fresh))
+                        } else {
+                            None
+                        }
+                    })
+                    .collect();
+                let slots = &self.slots;
+                let succs_idx = &self.succs_idx;
+                let numbering = &self.numbering;
+                let results: Vec<(Idx, Result<RoutedEmission, EngineError>)> =
+                    self.pool.install(|| {
+                        work.into_par_iter()
+                            .map(|(idx, fresh_raw)| {
+                                let mut slot = slots[(idx - 1) as usize].lock();
+                                let fresh: Vec<_> = fresh_raw
+                                    .iter()
+                                    .map(|(i, v)| (numbering.vertex_at(*i), v.clone()))
+                                    .collect();
+                                let emission = slot.execute(phase, &fresh);
+                                let routed = route_emission(
+                                    emission,
+                                    slot.is_sink,
+                                    slot.vertex_id,
+                                    &succs_idx[(idx - 1) as usize],
+                                    numbering,
+                                );
+                                (idx, routed)
+                            })
+                            .collect()
+                    });
+                // Apply results in index order (results preserve the
+                // sorted input order) so the history is deterministic.
+                for (idx, routed) in results {
+                    let routed = routed?;
+                    self.executions += 1;
+                    self.messages_sent += routed.messages.len() as u64;
+                    let vertex = self.numbering.vertex_at(idx);
+                    self.history.record(vertex, phase, routed.recorded);
+                    if let Some(v) = routed.sink_value {
+                        self.history.record_sink(vertex, phase, v);
+                    }
+                    for (w, value) in routed.messages {
+                        inboxes[(w - 1) as usize].push((idx, value));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The recorded history so far (finalised copy).
+    pub fn history(&self) -> ExecutionHistory {
+        let mut h = self.history.clone();
+        h.finalize();
+        h
+    }
+
+    /// Consumes the executor, returning its finalised history.
+    pub fn into_history(mut self) -> ExecutionHistory {
+        self.history.finalize();
+        self.history
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::{PassThrough, SourceModule, SumModule};
+    use crate::sequential::Sequential;
+    use ec_events::sources::Counter;
+    use ec_graph::generators;
+
+    fn modules_for_diamond() -> Vec<Box<dyn Module>> {
+        vec![
+            Box::new(SourceModule::new(Counter::new())),
+            Box::new(PassThrough),
+            Box::new(PassThrough),
+            Box::new(SumModule),
+        ]
+    }
+
+    #[test]
+    fn matches_sequential_oracle_on_diamond() {
+        let dag = generators::diamond();
+        let mut seq = Sequential::new(&dag, modules_for_diamond()).unwrap();
+        seq.run(10).unwrap();
+        let mut bar = BarrierParallel::new(&dag, modules_for_diamond(), 4).unwrap();
+        bar.run(10).unwrap();
+        assert_eq!(seq.into_history().equivalent(&bar.into_history()), Ok(()));
+    }
+
+    #[test]
+    fn matches_oracle_on_layered_graph() {
+        let dag = generators::layered(4, 3, 2, 17);
+        let make = || -> Vec<Box<dyn Module>> {
+            dag.vertices()
+                .map(|v| -> Box<dyn Module> {
+                    if dag.is_source(v) {
+                        Box::new(SourceModule::new(Counter::new()))
+                    } else {
+                        Box::new(SumModule)
+                    }
+                })
+                .collect()
+        };
+        let mut seq = Sequential::new(&dag, make()).unwrap();
+        seq.run(8).unwrap();
+        let mut bar = BarrierParallel::new(&dag, make(), 4).unwrap();
+        bar.run(8).unwrap();
+        assert_eq!(seq.into_history().equivalent(&bar.into_history()), Ok(()));
+    }
+
+    #[test]
+    fn counts_messages() {
+        let dag = generators::chain(3);
+        let modules: Vec<Box<dyn Module>> = vec![
+            Box::new(SourceModule::new(Counter::new())),
+            Box::new(PassThrough),
+            Box::new(PassThrough),
+        ];
+        let mut bar = BarrierParallel::new(&dag, modules, 2).unwrap();
+        bar.run(5).unwrap();
+        assert_eq!(bar.executions, 15);
+        assert_eq!(bar.messages_sent, 10);
+    }
+}

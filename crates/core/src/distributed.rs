@@ -1,0 +1,309 @@
+//! Simulated multi-machine execution (§6 future work).
+//!
+//! The paper's §6 proposes "using networks of multiprocessor machines …
+//! including methods for partitioning the computation graph across
+//! multiple machines". This module simulates that deployment: the graph
+//! is split into schedule-contiguous partitions
+//! ([`ec_graph::partition`]), each partition plays the role of one
+//! machine, and messages crossing partition boundaries are **remote**
+//! (they would traverse the network) while messages within a partition
+//! are **local**.
+//!
+//! Because contiguous-in-schedule-order partitions are *forward* (every
+//! cross edge goes to a later machine), inter-machine traffic is
+//! acyclic and each phase can flow through the machine pipeline in
+//! partition order. The simulation executes exactly the serial-order
+//! semantics, so its history equals the sequential oracle's — what it
+//! adds is the traffic accounting that lets partitioning strategies be
+//! compared (see the partition quality metrics and the
+//! `remote_messages` counter).
+
+use crate::error::EngineError;
+use crate::history::ExecutionHistory;
+use crate::module::Module;
+use crate::state::Idx;
+use crate::vertex::{route_emission, VertexSlot};
+use ec_events::{Phase, Value};
+use ec_graph::{Dag, Numbering, Partition};
+
+/// Per-partition traffic statistics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MachineStats {
+    /// Vertex-phase executions on this machine.
+    pub executions: u64,
+    /// Messages delivered within this machine.
+    pub local_messages: u64,
+    /// Messages sent from this machine to later machines.
+    pub remote_out: u64,
+    /// Messages received from earlier machines.
+    pub remote_in: u64,
+}
+
+/// Simulates a pipeline of machines executing one partition each.
+pub struct DistributedSim {
+    slots: Vec<VertexSlot>,
+    succs_idx: Vec<Vec<Idx>>,
+    numbering: Numbering,
+    /// Partition id per schedule position (non-decreasing).
+    part_at: Vec<u32>,
+    stats: Vec<MachineStats>,
+    history: ExecutionHistory,
+    next_phase: u64,
+}
+
+impl std::fmt::Debug for DistributedSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DistributedSim")
+            .field("vertices", &self.slots.len())
+            .field("machines", &self.stats.len())
+            .field("next_phase", &self.next_phase)
+            .finish()
+    }
+}
+
+impl DistributedSim {
+    /// Builds the simulation. `partition` must be *forward* (every edge
+    /// to an equal-or-later partition) and contiguous in schedule order
+    /// — both hold for the partitions produced by
+    /// [`ec_graph::partition_balanced`] / [`ec_graph::partition_min_cut`].
+    pub fn new(
+        dag: &Dag,
+        modules: Vec<Box<dyn Module>>,
+        partition: &Partition,
+    ) -> Result<DistributedSim, EngineError> {
+        if !partition.is_forward(dag) {
+            return Err(EngineError::Config(
+                "partition has backward cross edges; distributed pipelining \
+                 requires a forward partition"
+                    .into(),
+            ));
+        }
+        let numbering = Numbering::compute(dag);
+        let slots = VertexSlot::build(dag, &numbering, modules)?;
+        let part_at: Vec<u32> = numbering
+            .schedule_order()
+            .map(|v| partition.part_of(v))
+            .collect();
+        if part_at.windows(2).any(|w| w[0] > w[1]) {
+            return Err(EngineError::Config(
+                "partition is not contiguous in schedule order".into(),
+            ));
+        }
+        let succs_idx = numbering
+            .schedule_order()
+            .map(|v| {
+                let mut s: Vec<Idx> = dag
+                    .succs(v)
+                    .iter()
+                    .map(|&w| numbering.index_of(w))
+                    .collect();
+                s.sort_unstable();
+                s
+            })
+            .collect();
+        let n = slots.len();
+        Ok(DistributedSim {
+            slots,
+            succs_idx,
+            numbering,
+            part_at,
+            stats: vec![MachineStats::default(); partition.k() as usize],
+            history: ExecutionHistory::new(n),
+            next_phase: 1,
+        })
+    }
+
+    /// The vertex numbering in use.
+    pub fn numbering(&self) -> &Numbering {
+        &self.numbering
+    }
+
+    /// Per-machine statistics.
+    pub fn stats(&self) -> &[MachineStats] {
+        &self.stats
+    }
+
+    /// Total messages that crossed machine boundaries.
+    pub fn remote_messages(&self) -> u64 {
+        self.stats.iter().map(|s| s.remote_out).sum()
+    }
+
+    /// Total messages that stayed within a machine.
+    pub fn local_messages(&self) -> u64 {
+        self.stats.iter().map(|s| s.local_messages).sum()
+    }
+
+    /// Executes `phases` further phases through the machine pipeline.
+    pub fn run(&mut self, phases: u64) -> Result<(), EngineError> {
+        let n = self.slots.len();
+        for _ in 0..phases {
+            let phase = Phase(self.next_phase);
+            self.next_phase += 1;
+            let mut inboxes: Vec<Vec<(Idx, Value)>> = vec![Vec::new(); n];
+            // Machines process the phase in pipeline order; within a
+            // machine, vertices run in schedule order (each machine
+            // runs the single-machine algorithm locally).
+            for pos in 0..n {
+                let my_part = self.part_at[pos];
+                let fresh_raw = std::mem::take(&mut inboxes[pos]);
+                let slot = &mut self.slots[pos];
+                if !slot.is_source && fresh_raw.is_empty() {
+                    continue;
+                }
+                let fresh: Vec<_> = fresh_raw
+                    .iter()
+                    .map(|(i, v)| (self.numbering.vertex_at(*i), v.clone()))
+                    .collect();
+                let emission = slot.execute(phase, &fresh);
+                let routed = route_emission(
+                    emission,
+                    slot.is_sink,
+                    slot.vertex_id,
+                    &self.succs_idx[pos],
+                    &self.numbering,
+                )?;
+                self.stats[my_part as usize].executions += 1;
+                self.history
+                    .record(slot.vertex_id, phase, routed.recorded);
+                if let Some(v) = routed.sink_value {
+                    self.history.record_sink(slot.vertex_id, phase, v);
+                }
+                let my_idx = (pos + 1) as Idx;
+                for (w, value) in routed.messages {
+                    debug_assert!(w > my_idx);
+                    let w_part = self.part_at[(w - 1) as usize];
+                    if w_part == my_part {
+                        self.stats[my_part as usize].local_messages += 1;
+                    } else {
+                        self.stats[my_part as usize].remote_out += 1;
+                        self.stats[w_part as usize].remote_in += 1;
+                    }
+                    inboxes[(w - 1) as usize].push((my_idx, value));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The recorded history (finalised copy) — comparable against the
+    /// sequential oracle.
+    pub fn history(&self) -> ExecutionHistory {
+        let mut h = self.history.clone();
+        h.finalize();
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::{PassThrough, SourceModule, SumModule};
+    use crate::sequential::Sequential;
+    use ec_events::sources::Counter;
+    use ec_graph::{generators, partition_balanced, partition_min_cut};
+
+    fn modules_for(dag: &Dag) -> Vec<Box<dyn Module>> {
+        dag.vertices()
+            .map(|v| -> Box<dyn Module> {
+                if dag.is_source(v) {
+                    Box::new(SourceModule::new(Counter::new()))
+                } else if dag.is_sink(v) {
+                    Box::new(PassThrough)
+                } else {
+                    Box::new(SumModule)
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn distributed_matches_sequential_oracle() {
+        let dag = generators::layered(5, 3, 2, 21);
+        let numbering = ec_graph::Numbering::compute(&dag);
+        for k in [1u32, 2, 3, 5] {
+            let partition = partition_balanced(&dag, &numbering, k);
+            let mut sim = DistributedSim::new(&dag, modules_for(&dag), &partition).unwrap();
+            sim.run(20).unwrap();
+            let mut seq = Sequential::new(&dag, modules_for(&dag)).unwrap();
+            seq.run(20).unwrap();
+            assert_eq!(
+                seq.into_history().equivalent(&sim.history()),
+                Ok(()),
+                "k = {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn traffic_accounting_sums_to_total() {
+        let dag = generators::layered(4, 3, 2, 8);
+        let numbering = ec_graph::Numbering::compute(&dag);
+        let partition = partition_balanced(&dag, &numbering, 3);
+        let mut sim = DistributedSim::new(&dag, modules_for(&dag), &partition).unwrap();
+        sim.run(10).unwrap();
+
+        let mut seq = Sequential::new(&dag, modules_for(&dag)).unwrap();
+        seq.run(10).unwrap();
+        assert_eq!(
+            sim.local_messages() + sim.remote_messages(),
+            seq.messages_sent
+        );
+        // remote_in mirrors remote_out.
+        let total_in: u64 = sim.stats().iter().map(|s| s.remote_in).sum();
+        assert_eq!(total_in, sim.remote_messages());
+    }
+
+    #[test]
+    fn min_cut_partition_reduces_remote_traffic() {
+        // Two fans joined by a waist edge: the min-cut 2-way partition
+        // must put less traffic on the network than a deliberately bad
+        // split through a fan.
+        let mut dag = Dag::new();
+        let srcs = dag.add_vertices(4);
+        let hub_a = dag.add_vertex("hub-a");
+        for &s in &srcs {
+            dag.add_edge(s, hub_a).unwrap();
+        }
+        let hub_b = dag.add_vertex("hub-b");
+        dag.add_edge(hub_a, hub_b).unwrap();
+        let outs = dag.add_vertices(4);
+        for &t in &outs {
+            dag.add_edge(hub_b, t).unwrap();
+        }
+        let numbering = ec_graph::Numbering::compute(&dag);
+
+        let good = partition_min_cut(&dag, &numbering, 2, 0.1);
+        let mut sim_good = DistributedSim::new(&dag, modules_for(&dag), &good).unwrap();
+        sim_good.run(10).unwrap();
+
+        // A bad but forward partition: split through the source fan.
+        let mut bad_assign = vec![1u32; dag.vertex_count()];
+        for pos in 0..2u32 {
+            bad_assign[numbering.vertex_at(pos + 1).index()] = 0;
+        }
+        let bad = ec_graph::Partition::new(bad_assign, 2);
+        let mut sim_bad = DistributedSim::new(&dag, modules_for(&dag), &bad).unwrap();
+        sim_bad.run(10).unwrap();
+
+        assert!(
+            sim_good.remote_messages() < sim_bad.remote_messages(),
+            "min-cut {} vs fan-split {}",
+            sim_good.remote_messages(),
+            sim_bad.remote_messages()
+        );
+        // And both remain correct.
+        assert_eq!(
+            sim_good.history().equivalent(&sim_bad.history()),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn rejects_backward_partition() {
+        let dag = generators::chain(3);
+        // Reverse partition: sink on machine 0, source on machine 1.
+        let backwards = ec_graph::Partition::new(vec![1, 1, 0], 2);
+        let err = DistributedSim::new(&dag, modules_for(&dag), &backwards).unwrap_err();
+        assert!(matches!(err, EngineError::Config(_)));
+    }
+}

@@ -1,0 +1,764 @@
+//! The parallel engine: computation processes and the environment
+//! process of §3.2, Listings 1 and 2.
+//!
+//! The engine runs `k` computation threads (Listing 1) plus one
+//! environment thread (Listing 2) against the shared scheduler state
+//! under a single global lock, exactly as the paper prescribes — "a lock
+//! is used to guarantee that each thread has exclusive access to the
+//! data structures while updating them". Module execution itself happens
+//! *outside* the lock (statement 1.3 precedes statement 1.4), which is
+//! what makes the speedup of §4 possible: while one worker updates the
+//! sets, others are inside their modules.
+//!
+//! Differences from the listings, all behaviour-preserving:
+//!
+//! * The environment starts a bounded number of phases and then stops,
+//!   instead of looping forever; the run ends when the last phase
+//!   completes. The paper's environment "sleeps for some amount of
+//!   time" between phases — ours optionally sleeps
+//!   ([`EngineBuilder::env_delay`]) and additionally throttles on a
+//!   maximum number of in-flight phases so memory stays bounded.
+//! * A pair's waiting messages are physically attached to its run-queue
+//!   task at ready-promotion time (they are complete by then — see
+//!   `SchedState::try_promote`), so workers do not need to reacquire the
+//!   lock to read inputs before executing.
+//! * Module panics are caught and turn the run into an error instead of
+//!   a hang.
+
+use crate::error::EngineError;
+use crate::history::ExecutionHistory;
+use crate::metrics::{Metrics, MetricsSnapshot, PhaseGauge};
+use crate::module::Module;
+use crate::pool::{payload_to_string, WorkerPool};
+use crate::queue::{Dequeued, RunQueue};
+use crate::state::{Idx, SchedState, Task, Transition};
+use crate::trace::Trace;
+use crate::vertex::{route_emission, RoutedEmission, VertexSlot};
+use ec_events::{Phase, Value};
+use ec_graph::{Dag, Numbering, VertexId};
+use parking_lot::{Condvar, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Configuration for [`Engine`] construction.
+pub struct EngineBuilder {
+    dag: Dag,
+    modules: Vec<Box<dyn Module>>,
+    threads: usize,
+    max_inflight: u64,
+    env_delay: Option<Duration>,
+    record_history: bool,
+    trace: bool,
+    check_invariants: bool,
+}
+
+impl EngineBuilder {
+    /// Starts a builder for `dag` with one module per vertex
+    /// (`modules[v.index()]` runs at vertex `v`).
+    pub fn new(dag: Dag, modules: Vec<Box<dyn Module>>) -> Self {
+        EngineBuilder {
+            dag,
+            modules,
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(2),
+            max_inflight: 64,
+            env_delay: None,
+            record_history: true,
+            trace: false,
+            check_invariants: false,
+        }
+    }
+
+    /// Number of computation threads (the paper's `k`). The environment
+    /// process always runs on one additional thread, as in §4.
+    pub fn threads(mut self, k: usize) -> Self {
+        self.threads = k.max(1);
+        self
+    }
+
+    /// Maximum number of started-but-incomplete phases before the
+    /// environment throttles. Bounds scheduler memory.
+    pub fn max_inflight(mut self, phases: u64) -> Self {
+        self.max_inflight = phases.max(1);
+        self
+    }
+
+    /// Optional sleep between phase starts (Listing 2, statement 2.22).
+    pub fn env_delay(mut self, delay: Duration) -> Self {
+        self.env_delay = Some(delay);
+        self
+    }
+
+    /// Record the full execution history (on by default; turn off for
+    /// benchmarks).
+    pub fn record_history(mut self, on: bool) -> Self {
+        self.record_history = on;
+        self
+    }
+
+    /// Record Figure-3-style set-membership traces.
+    pub fn trace(mut self, on: bool) -> Self {
+        self.trace = on;
+        self
+    }
+
+    /// Re-derive and check every scheduler invariant after each
+    /// transition (slow; for tests).
+    pub fn check_invariants(mut self, on: bool) -> Self {
+        self.check_invariants = on;
+        self
+    }
+
+    /// Builds the engine.
+    pub fn build(self) -> Result<Engine, EngineError> {
+        let numbering = Numbering::compute(&self.dag);
+        debug_assert!(numbering.verify(&self.dag).is_ok());
+        let slots = VertexSlot::build(&self.dag, &numbering, self.modules)?;
+        let n = slots.len();
+
+        // Successors in schedule-index space, indexed by idx - 1.
+        let succs_idx: Vec<Vec<Idx>> = numbering
+            .schedule_order()
+            .map(|v| {
+                let mut s: Vec<Idx> = self
+                    .dag
+                    .succs(v)
+                    .iter()
+                    .map(|&w| numbering.index_of(w))
+                    .collect();
+                s.sort_unstable();
+                s
+            })
+            .collect();
+
+        let mut state = SchedState::new(numbering.m_table());
+        if self.trace {
+            state.enable_trace();
+        }
+
+        Ok(Engine {
+            shared: Arc::new(Shared {
+                state: Mutex::new(state),
+                progress: Condvar::new(),
+                queue: RunQueue::new(),
+                vertices: slots.into_iter().map(Mutex::new).collect(),
+                succs_idx,
+                numbering,
+                metrics: Metrics::new(),
+                gauge: PhaseGauge::new(),
+                history: Mutex::new(if self.record_history {
+                    Some(ExecutionHistory::new(n))
+                } else {
+                    None
+                }),
+                failed_fast: AtomicBool::new(false),
+                check_invariants: self.check_invariants,
+            }),
+            threads: self.threads,
+            max_inflight: self.max_inflight,
+            env_delay: self.env_delay,
+        })
+    }
+}
+
+/// Everything shared between worker threads, the environment thread and
+/// the caller.
+struct Shared {
+    /// The paper's shared data structures, behind the global lock.
+    state: Mutex<SchedState>,
+    /// Signalled when `completed_through` advances or the run fails;
+    /// waited on by the environment throttle and the run driver.
+    progress: Condvar,
+    /// The run queue of Listing 1, statement 1.2.
+    queue: RunQueue<Task>,
+    /// Vertex slots in schedule order (`vertices[i]` = index `i + 1`).
+    /// Each slot's mutex is uncontended: the ready-set rule guarantees
+    /// at most one in-flight execution per vertex.
+    vertices: Vec<Mutex<VertexSlot>>,
+    /// Successors per schedule index.
+    succs_idx: Vec<Vec<Idx>>,
+    /// The vertex numbering.
+    numbering: Numbering,
+    /// Counters.
+    metrics: Metrics,
+    /// Distinct-phases-executing gauge (Figure 1 pipelining depth).
+    gauge: PhaseGauge,
+    /// Optional execution history.
+    history: Mutex<Option<ExecutionHistory>>,
+    /// Fast-path failure flag (authoritative state is `state.failed`).
+    failed_fast: AtomicBool,
+    /// Check invariants after each transition.
+    check_invariants: bool,
+}
+
+impl Shared {
+    fn enqueue_all(&self, transition: &mut Transition) {
+        self.metrics
+            .enqueued
+            .fetch_add(transition.tasks.len() as u64, Relaxed);
+        for task in transition.tasks.drain(..) {
+            self.queue.enqueue(task);
+        }
+    }
+
+    fn fail(&self, error: EngineError) {
+        self.failed_fast.store(true, Relaxed);
+        {
+            let mut st = self.state.lock();
+            if st.failed.is_none() {
+                st.failed = Some(error.to_string());
+            }
+        }
+        self.progress.notify_all();
+        self.queue.close();
+    }
+
+    /// The body of Listing 1: dequeue, execute, update.
+    fn worker_loop(&self) {
+        loop {
+            let task = match self.queue.dequeue() {
+                Dequeued::Closed => return,
+                Dequeued::Item(t) => t,
+            };
+            if self.failed_fast.load(Relaxed) {
+                continue; // drain without executing
+            }
+            self.run_task(task);
+        }
+    }
+
+    fn run_task(&self, task: Task) {
+        let Task { idx, phase, inputs } = task;
+        let slot_pos = (idx - 1) as usize;
+        let phase_t = Phase(phase);
+
+        // Statement 1.3: execute the computation, outside the lock.
+        let depth = self.gauge.enter(phase);
+        self.metrics.sample_concurrent_phases(depth);
+        let exec_start = Instant::now();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let mut slot = self.vertices[slot_pos].lock();
+            let fresh: Vec<(VertexId, Value)> = inputs
+                .iter()
+                .map(|(i, v)| (self.numbering.vertex_at(*i), v.clone()))
+                .collect();
+            let emission = slot.execute(phase_t, &fresh);
+            route_emission(
+                emission,
+                slot.is_sink,
+                slot.vertex_id,
+                &self.succs_idx[slot_pos],
+                &self.numbering,
+            )
+        }));
+        self.metrics
+            .exec_nanos
+            .fetch_add(exec_start.elapsed().as_nanos() as u64, Relaxed);
+        self.gauge.exit(phase);
+
+        let routed = match result {
+            Err(payload) => {
+                self.fail(EngineError::ModulePanic {
+                    vertex: self.numbering.vertex_at(idx),
+                    phase,
+                    message: payload_to_string(&payload),
+                });
+                return;
+            }
+            Ok(Err(e)) => {
+                self.fail(e);
+                return;
+            }
+            Ok(Ok(routed)) => routed,
+        };
+
+        self.record(idx, phase_t, &routed);
+
+        // Statements 1.4–1.31: update the shared structures under the
+        // global lock.
+        let wait_start = Instant::now();
+        let mut st = self.state.lock();
+        self.metrics
+            .lock_wait_nanos
+            .fetch_add(wait_start.elapsed().as_nanos() as u64, Relaxed);
+        self.metrics.lock_acquisitions.fetch_add(1, Relaxed);
+        if st.failed.is_some() {
+            return;
+        }
+        let crit_start = Instant::now();
+        let message_count = routed.messages.len() as u64;
+        let mut transition = st.finish_execution(idx, phase, routed.messages);
+        if self.check_invariants {
+            if let Err(msg) = st.check_invariants() {
+                drop(st);
+                self.fail(EngineError::InvariantViolation(msg));
+                return;
+            }
+        }
+        let completed = transition.phases_completed;
+        self.enqueue_all(&mut transition);
+        self.metrics
+            .critical_nanos
+            .fetch_add(crit_start.elapsed().as_nanos() as u64, Relaxed);
+        drop(st);
+
+        self.metrics.executions.fetch_add(1, Relaxed);
+        self.metrics.messages_sent.fetch_add(message_count, Relaxed);
+        if message_count == 0 && routed.sink_value.is_none() {
+            self.metrics.silent_executions.fetch_add(1, Relaxed);
+        }
+        if routed.sink_value.is_some() {
+            self.metrics.sink_outputs.fetch_add(1, Relaxed);
+        }
+        if completed > 0 {
+            self.metrics.phases_completed.fetch_add(completed, Relaxed);
+            self.progress.notify_all();
+        }
+    }
+
+    fn record(&self, idx: Idx, phase: Phase, routed: &RoutedEmission) {
+        let mut guard = self.history.lock();
+        if let Some(history) = guard.as_mut() {
+            let vertex = self.numbering.vertex_at(idx);
+            history.record(vertex, phase, routed.recorded.clone());
+            if let Some(v) = &routed.sink_value {
+                history.record_sink(vertex, phase, v.clone());
+            }
+        }
+    }
+
+    /// The body of Listing 2's loop, bounded to `target` phases.
+    fn environment_loop(&self, target: u64, max_inflight: u64, delay: Option<Duration>) {
+        loop {
+            let mut st = self.state.lock();
+            while st.failed.is_none()
+                && st.next() <= target
+                && st.inflight() >= max_inflight
+            {
+                self.progress.wait(&mut st);
+            }
+            if st.failed.is_some() || st.next() > target {
+                return;
+            }
+            let (_, mut transition) = st.start_phase();
+            if self.check_invariants {
+                if let Err(msg) = st.check_invariants() {
+                    drop(st);
+                    self.fail(EngineError::InvariantViolation(msg));
+                    return;
+                }
+            }
+            self.enqueue_all(&mut transition);
+            drop(st);
+            self.metrics.phases_started.fetch_add(1, Relaxed);
+            if let Some(d) = delay {
+                thread::sleep(d);
+            }
+        }
+    }
+}
+
+/// Result of one [`Engine::run`] call.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Number of phases completed in this run.
+    pub phases: u64,
+    /// Counter snapshot (cumulative across runs of the same engine).
+    pub metrics: MetricsSnapshot,
+    /// The execution history, if recording was enabled.
+    pub history: Option<ExecutionHistory>,
+    /// The set-membership trace, if tracing was enabled.
+    pub trace: Option<Trace>,
+}
+
+/// The parallel Δ-dataflow engine.
+///
+/// Built by [`EngineBuilder`]; each [`run`](Engine::run) call executes a
+/// further batch of phases (phase numbers continue across calls, so an
+/// engine can drive an ongoing stream in chunks).
+pub struct Engine {
+    shared: Arc<Shared>,
+    threads: usize,
+    max_inflight: u64,
+    env_delay: Option<Duration>,
+}
+
+impl Engine {
+    /// Shorthand for `EngineBuilder::new(dag, modules)`.
+    pub fn builder(dag: Dag, modules: Vec<Box<dyn Module>>) -> EngineBuilder {
+        EngineBuilder::new(dag, modules)
+    }
+
+    /// The vertex numbering in use.
+    pub fn numbering(&self) -> &Numbering {
+        &self.shared.numbering
+    }
+
+    /// Cumulative metrics.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.metrics.snapshot()
+    }
+
+    /// Executes `phases` further phases to completion.
+    ///
+    /// Spawns the computation processes and the environment process,
+    /// waits until every started phase has completed (`x_p = N` for all
+    /// of them), and joins all threads before returning.
+    pub fn run(&mut self, phases: u64) -> Result<RunReport, EngineError> {
+        if phases == 0 {
+            return Ok(RunReport {
+                phases: 0,
+                metrics: self.shared.metrics.snapshot(),
+                history: None,
+                trace: None,
+            });
+        }
+        let target = {
+            let st = self.shared.state.lock();
+            if let Some(msg) = &st.failed {
+                return Err(EngineError::WorkerPanic(msg.clone()));
+            }
+            debug_assert_eq!(
+                st.completed_through(),
+                st.next() - 1,
+                "previous run left phases incomplete"
+            );
+            st.completed_through() + phases
+        };
+
+        let shared = Arc::clone(&self.shared);
+        let workers = WorkerPool::spawn("ec-worker", self.threads, move |_| {
+            shared.worker_loop();
+        });
+        let env_shared = Arc::clone(&self.shared);
+        let (max_inflight, env_delay) = (self.max_inflight, self.env_delay);
+        let env = thread::Builder::new()
+            .name("ec-environment".into())
+            .spawn(move || {
+                env_shared.environment_loop(target, max_inflight, env_delay);
+            })
+            .expect("spawn environment thread");
+
+        // Wait for completion (or failure).
+        {
+            let mut st = self.shared.state.lock();
+            while st.failed.is_none() && st.completed_through() < target {
+                self.shared.progress.wait(&mut st);
+            }
+        }
+        // Wake the environment in case it is throttled, and shut down.
+        self.shared.progress.notify_all();
+        env.join().map_err(|p| {
+            EngineError::WorkerPanic(payload_to_string(&p))
+        })?;
+        self.shared.queue.close();
+        let worker_panics = workers.join();
+        self.shared.queue.reopen();
+
+        if !worker_panics.is_empty() {
+            return Err(EngineError::WorkerPanic(worker_panics.join("; ")));
+        }
+        let (failed, trace) = {
+            let mut st = self.shared.state.lock();
+            (st.failed.clone(), st.take_trace())
+        };
+        if let Some(msg) = failed {
+            return Err(parse_failure(msg));
+        }
+
+        let history = {
+            let mut guard = self.shared.history.lock();
+            guard.as_mut().map(|h| {
+                let mut taken = std::mem::replace(h, ExecutionHistory::new(h.vertex_count()));
+                taken.finalize();
+                taken
+            })
+        };
+
+        Ok(RunReport {
+            phases,
+            metrics: self.shared.metrics.snapshot(),
+            history,
+            trace,
+        })
+    }
+
+    /// Dismantles the engine and returns the modules in vertex-id order
+    /// (inverse of construction), e.g. to inspect collected sink state.
+    ///
+    /// # Panics
+    /// Panics if worker threads are still alive (never the case after
+    /// `run` returns).
+    pub fn into_modules(self) -> Vec<Box<dyn Module>> {
+        let shared = Arc::try_unwrap(self.shared)
+            .unwrap_or_else(|_| panic!("engine threads still hold references"));
+        let mut slots: Vec<VertexSlot> = shared
+            .vertices
+            .into_iter()
+            .map(|m| m.into_inner())
+            .collect();
+        slots.sort_by_key(|s| s.vertex_id);
+        slots.into_iter().map(|s| s.module).collect()
+    }
+}
+
+/// Failure messages cross the thread boundary as strings; recover the
+/// structured error where possible.
+fn parse_failure(msg: String) -> EngineError {
+    EngineError::WorkerPanic(msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::RecordedEmission;
+    use crate::module::{FnModule, PassThrough, SourceModule, SumModule};
+    use crate::module::Emission;
+    use crate::module::ExecCtx;
+    use ec_events::sources::{Counter, Replay};
+    use ec_graph::generators;
+
+    fn counter_chain_engine(len: usize, threads: usize) -> Engine {
+        let dag = generators::chain(len);
+        let mut modules: Vec<Box<dyn Module>> =
+            vec![Box::new(SourceModule::new(Counter::new()))];
+        for _ in 1..len {
+            modules.push(Box::new(PassThrough));
+        }
+        Engine::builder(dag, modules)
+            .threads(threads)
+            .check_invariants(true)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn chain_delivers_counter_to_sink() {
+        let mut engine = counter_chain_engine(4, 3);
+        let report = engine.run(5).unwrap();
+        assert_eq!(report.phases, 5);
+        let history = report.history.unwrap();
+        let sink = engine.numbering().vertex_at(4);
+        let outs = history.sink_outputs_of(sink);
+        let vals: Vec<i64> = outs.iter().map(|(_, v)| v.as_i64().unwrap()).collect();
+        assert_eq!(vals, vec![1, 2, 3, 4, 5]);
+        let phases: Vec<u64> = outs.iter().map(|(p, _)| p.get()).collect();
+        assert_eq!(phases, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn single_thread_matches_multi_thread() {
+        let run = |threads: usize| {
+            let mut e = counter_chain_engine(6, threads);
+            e.run(20).unwrap().history.unwrap()
+        };
+        let h1 = run(1);
+        let h4 = run(4);
+        assert_eq!(h1.equivalent(&h4), Ok(()));
+    }
+
+    #[test]
+    fn diamond_sum_is_serializable() {
+        let build = |threads: usize| {
+            let dag = generators::diamond();
+            let modules: Vec<Box<dyn Module>> = vec![
+                Box::new(SourceModule::new(Counter::new())),
+                Box::new(PassThrough),
+                Box::new(PassThrough),
+                Box::new(SumModule),
+            ];
+            Engine::builder(dag, modules)
+                .threads(threads)
+                .check_invariants(true)
+                .build()
+                .unwrap()
+        };
+        let mut a = build(1);
+        let mut b = build(8);
+        let ha = a.run(25).unwrap().history.unwrap();
+        let hb = b.run(25).unwrap().history.unwrap();
+        assert_eq!(ha.equivalent(&hb), Ok(()));
+        // The sink sums both branches: 2 × counter value.
+        let sink = a.numbering().vertex_at(4);
+        for (i, (_, v)) in ha.sink_outputs_of(sink).iter().enumerate() {
+            assert_eq!(v.as_f64().unwrap(), 2.0 * (i as f64 + 1.0));
+        }
+    }
+
+    #[test]
+    fn silent_sources_produce_no_downstream_work() {
+        let dag = generators::chain(3);
+        let modules: Vec<Box<dyn Module>> = vec![
+            Box::new(SourceModule::new(Replay::new(vec![
+                Some(Value::Int(1)),
+                None,
+                None,
+                Some(Value::Int(2)),
+            ]))),
+            Box::new(PassThrough),
+            Box::new(PassThrough),
+        ];
+        let mut engine = Engine::builder(dag, modules)
+            .threads(2)
+            .check_invariants(true)
+            .build()
+            .unwrap();
+        let report = engine.run(4).unwrap();
+        // Sources execute every phase (4), downstream only on change (2 each).
+        assert_eq!(report.metrics.executions, 4 + 2 + 2);
+        assert_eq!(report.metrics.messages_sent, 2 + 2); // edges × changes
+        let history = report.history.unwrap();
+        let mid = engine.numbering().vertex_at(2);
+        assert_eq!(
+            history.executed_phases(mid),
+            vec![Phase(1), Phase(4)]
+        );
+    }
+
+    #[test]
+    fn phase_numbers_continue_across_runs() {
+        let mut engine = counter_chain_engine(2, 2);
+        engine.run(3).unwrap();
+        let report = engine.run(2).unwrap();
+        let history = report.history.unwrap();
+        let sink = engine.numbering().vertex_at(2);
+        let phases: Vec<u64> = history
+            .sink_outputs_of(sink)
+            .iter()
+            .map(|(p, _)| p.get())
+            .collect();
+        // Second run covers phases 4 and 5 only (history is per-run).
+        assert_eq!(phases, vec![4, 5]);
+    }
+
+    #[test]
+    fn module_panic_surfaces_as_error() {
+        let dag = generators::chain(2);
+        let modules: Vec<Box<dyn Module>> = vec![
+            Box::new(SourceModule::new(Counter::new())),
+            Box::new(FnModule::new("bomb", |ctx: ExecCtx<'_>| {
+                if ctx.phase == Phase(3) {
+                    panic!("synthetic failure");
+                }
+                Emission::Silent
+            })),
+        ];
+        let mut engine = Engine::builder(dag, modules).threads(4).build().unwrap();
+        let err = engine.run(10).unwrap_err();
+        match err {
+            EngineError::WorkerPanic(msg) => assert!(msg.contains("synthetic failure")),
+            other => panic!("unexpected error: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_target_rejected() {
+        let dag = generators::chain(3);
+        let v0 = VertexId(0); // not a successor of vertex index 2
+        let modules: Vec<Box<dyn Module>> = vec![
+            Box::new(SourceModule::new(Counter::new())),
+            Box::new(FnModule::new("bad", move |_ctx: ExecCtx<'_>| {
+                Emission::Targeted(vec![(v0, Value::Int(1))])
+            })),
+            Box::new(PassThrough),
+        ];
+        let mut engine = Engine::builder(dag, modules).threads(2).build().unwrap();
+        let err = engine.run(2).unwrap_err();
+        assert!(matches!(err, EngineError::WorkerPanic(msg) if msg.contains("non-successor")));
+    }
+
+    #[test]
+    fn metrics_count_messages_and_phases() {
+        let mut engine = counter_chain_engine(3, 2);
+        let report = engine.run(10).unwrap();
+        assert_eq!(report.metrics.phases_started, 10);
+        assert_eq!(report.metrics.phases_completed, 10);
+        assert_eq!(report.metrics.executions, 30);
+        assert_eq!(report.metrics.messages_sent, 20); // 2 edges × 10
+        assert_eq!(report.metrics.sink_outputs, 10);
+        assert!(report.metrics.max_concurrent_phases >= 1);
+    }
+
+    #[test]
+    fn trace_records_steps() {
+        let dag = generators::chain(2);
+        let modules: Vec<Box<dyn Module>> = vec![
+            Box::new(SourceModule::new(Counter::new())),
+            Box::new(PassThrough),
+        ];
+        let mut engine = Engine::builder(dag, modules)
+            .threads(1)
+            .trace(true)
+            .build()
+            .unwrap();
+        let report = engine.run(2).unwrap();
+        let trace = report.trace.unwrap();
+        // 2 phase starts + 4 executions.
+        assert_eq!(trace.len(), 6);
+        assert_eq!(trace.executions().count(), 4);
+    }
+
+    #[test]
+    fn into_modules_returns_vertex_order() {
+        let engine = counter_chain_engine(3, 1);
+        let modules = engine.into_modules();
+        assert_eq!(modules.len(), 3);
+        assert_eq!(modules[0].name(), "source");
+        assert_eq!(modules[1].name(), "pass-through");
+    }
+
+    #[test]
+    fn zero_phases_is_a_noop() {
+        let mut engine = counter_chain_engine(2, 1);
+        let report = engine.run(0).unwrap();
+        assert_eq!(report.phases, 0);
+        assert!(report.history.is_none());
+    }
+
+    #[test]
+    fn history_records_silent_executions() {
+        let dag = generators::chain(2);
+        let modules: Vec<Box<dyn Module>> = vec![
+            Box::new(SourceModule::new(Replay::new(vec![None, None]))),
+            Box::new(PassThrough),
+        ];
+        let mut engine = Engine::builder(dag, modules).threads(1).build().unwrap();
+        let history = engine.run(2).unwrap().history.unwrap();
+        let src = engine.numbering().vertex_at(1);
+        assert_eq!(
+            history.of(src),
+            &[
+                (Phase(1), RecordedEmission::Silent),
+                (Phase(2), RecordedEmission::Silent)
+            ]
+        );
+        // Downstream vertex never executed.
+        let snd = engine.numbering().vertex_at(2);
+        assert!(history.of(snd).is_empty());
+    }
+
+    #[test]
+    fn throttle_limits_inflight_phases() {
+        // With max_inflight = 2 the engine still completes correctly.
+        let dag = generators::chain(8);
+        let mut modules: Vec<Box<dyn Module>> =
+            vec![Box::new(SourceModule::new(Counter::new()))];
+        for _ in 1..8 {
+            modules.push(Box::new(PassThrough));
+        }
+        let mut engine = Engine::builder(dag, modules)
+            .threads(4)
+            .max_inflight(2)
+            .check_invariants(true)
+            .build()
+            .unwrap();
+        let report = engine.run(30).unwrap();
+        assert_eq!(report.metrics.phases_completed, 30);
+        // Pipelining depth is bounded by the throttle.
+        assert!(report.metrics.max_concurrent_phases <= 2);
+    }
+}

@@ -1,0 +1,65 @@
+//! Engine error types.
+
+use ec_graph::VertexId;
+use std::fmt;
+
+/// Errors surfaced by the executors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// The graph/module configuration is invalid.
+    Config(String),
+    /// A module panicked while executing a vertex-phase pair.
+    ModulePanic {
+        /// The vertex whose module panicked.
+        vertex: VertexId,
+        /// Phase being executed.
+        phase: u64,
+        /// Captured panic message.
+        message: String,
+    },
+    /// A module emitted to a vertex that is not one of its successors.
+    BadTarget {
+        /// The emitting vertex.
+        vertex: VertexId,
+        /// The invalid target.
+        target: VertexId,
+    },
+    /// A module emitted twice to the same successor in one phase (each
+    /// edge carries at most one message per phase).
+    DuplicateTarget {
+        /// The emitting vertex.
+        vertex: VertexId,
+        /// The duplicated target.
+        target: VertexId,
+    },
+    /// The scheduler state violated one of the paper's set definitions
+    /// (only possible with `check_invariants` enabled; indicates a bug).
+    InvariantViolation(String),
+    /// One or more worker threads crashed outside module execution.
+    WorkerPanic(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Config(msg) => write!(f, "configuration error: {msg}"),
+            EngineError::ModulePanic {
+                vertex,
+                phase,
+                message,
+            } => write!(f, "module at {vertex:?} panicked in phase {phase}: {message}"),
+            EngineError::BadTarget { vertex, target } => {
+                write!(f, "{vertex:?} emitted to non-successor {target:?}")
+            }
+            EngineError::DuplicateTarget { vertex, target } => {
+                write!(f, "{vertex:?} emitted twice to {target:?} in one phase")
+            }
+            EngineError::InvariantViolation(msg) => {
+                write!(f, "scheduler invariant violated: {msg}")
+            }
+            EngineError::WorkerPanic(msg) => write!(f, "worker thread panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}

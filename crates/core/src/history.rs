@@ -1,0 +1,348 @@
+//! Execution histories and the serializability oracle.
+//!
+//! The paper's correctness criterion (§2) is that the concurrent
+//! execution must have "the same logical effect as if \[phases\] were
+//! executed sequentially … in serial order all the way from the sources
+//! to the sinks". [`ExecutionHistory`] records, per vertex, which phases
+//! executed and what each execution emitted; two histories are
+//! *equivalent* iff every vertex executed the same phases and produced
+//! the same emissions. Comparing the parallel engine's history against
+//! the sequential reference executor's is the central correctness check
+//! of the test suite.
+
+use ec_events::{Phase, Value};
+use ec_graph::VertexId;
+use std::fmt;
+
+/// A normalised record of one vertex-phase execution's output.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecordedEmission {
+    /// The module emitted nothing.
+    Silent,
+    /// The module broadcast a value to all successors (or, at a sink, to
+    /// the outside world).
+    Broadcast(Value),
+    /// The module sent specific values to specific successors; sorted by
+    /// target id so histories compare deterministically.
+    Targeted(Vec<(VertexId, Value)>),
+}
+
+impl RecordedEmission {
+    /// Structural equality treating NaN == NaN (see [`Value::same_as`]).
+    pub fn same_as(&self, other: &RecordedEmission) -> bool {
+        match (self, other) {
+            (RecordedEmission::Silent, RecordedEmission::Silent) => true,
+            (RecordedEmission::Broadcast(a), RecordedEmission::Broadcast(b)) => a.same_as(b),
+            (RecordedEmission::Targeted(a), RecordedEmission::Targeted(b)) => {
+                a.len() == b.len()
+                    && a.iter()
+                        .zip(b.iter())
+                        .all(|((ta, va), (tb, vb))| ta == tb && va.same_as(vb))
+            }
+            _ => false,
+        }
+    }
+}
+
+/// One value delivered to the outside world by a sink vertex.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SinkRecord {
+    /// The sink vertex.
+    pub vertex: VertexId,
+    /// The phase in which it was produced.
+    pub phase: Phase,
+    /// The value.
+    pub value: Value,
+}
+
+/// Per-vertex log of executed phases and their emissions.
+#[derive(Debug, Clone, Default)]
+pub struct ExecutionHistory {
+    /// `per_vertex[vertex.index()]` = chronologically ordered
+    /// `(phase, emission)` records. Phases appear in increasing order
+    /// because the scheduler executes each vertex's phases in order.
+    per_vertex: Vec<Vec<(Phase, RecordedEmission)>>,
+    /// External outputs of sink vertices, sorted by `(phase, vertex)`.
+    sinks: Vec<SinkRecord>,
+}
+
+impl ExecutionHistory {
+    /// Empty history over `n` vertices.
+    pub fn new(n: usize) -> Self {
+        ExecutionHistory {
+            per_vertex: vec![Vec::new(); n],
+            sinks: Vec::new(),
+        }
+    }
+
+    /// Records one vertex-phase execution.
+    pub fn record(&mut self, vertex: VertexId, phase: Phase, emission: RecordedEmission) {
+        self.per_vertex[vertex.index()].push((phase, emission));
+    }
+
+    /// Records a sink output.
+    pub fn record_sink(&mut self, vertex: VertexId, phase: Phase, value: Value) {
+        self.sinks.push(SinkRecord {
+            vertex,
+            phase,
+            value,
+        });
+    }
+
+    /// Finalises the history: sorts sink records into `(phase, vertex)`
+    /// order so parallel and sequential runs compare deterministically.
+    pub fn finalize(&mut self) {
+        self.sinks
+            .sort_by_key(|r| (r.phase, r.vertex));
+    }
+
+    /// Number of vertices covered.
+    pub fn vertex_count(&self) -> usize {
+        self.per_vertex.len()
+    }
+
+    /// The `(phase, emission)` log of one vertex.
+    pub fn of(&self, vertex: VertexId) -> &[(Phase, RecordedEmission)] {
+        &self.per_vertex[vertex.index()]
+    }
+
+    /// Phases in which `vertex` executed.
+    pub fn executed_phases(&self, vertex: VertexId) -> Vec<Phase> {
+        self.of(vertex).iter().map(|(p, _)| *p).collect()
+    }
+
+    /// All sink outputs, sorted by `(phase, vertex)` after
+    /// [`finalize`](Self::finalize).
+    pub fn sink_outputs(&self) -> &[SinkRecord] {
+        &self.sinks
+    }
+
+    /// Sink outputs of one vertex, in phase order.
+    pub fn sink_outputs_of(&self, vertex: VertexId) -> Vec<(Phase, Value)> {
+        self.sinks
+            .iter()
+            .filter(|r| r.vertex == vertex)
+            .map(|r| (r.phase, r.value.clone()))
+            .collect()
+    }
+
+    /// Total number of recorded executions.
+    pub fn execution_count(&self) -> usize {
+        self.per_vertex.iter().map(Vec::len).sum()
+    }
+
+    /// Total number of non-silent emissions.
+    pub fn emission_count(&self) -> usize {
+        self.per_vertex
+            .iter()
+            .flatten()
+            .filter(|(_, e)| !matches!(e, RecordedEmission::Silent))
+            .count()
+    }
+
+    /// Checks serializability-equivalence against `other`.
+    ///
+    /// Returns the first divergence found, described well enough to
+    /// debug: which vertex, which position in its log, and the two
+    /// records.
+    pub fn equivalent(&self, other: &ExecutionHistory) -> Result<(), Divergence> {
+        if self.per_vertex.len() != other.per_vertex.len() {
+            return Err(Divergence::VertexCount {
+                left: self.per_vertex.len(),
+                right: other.per_vertex.len(),
+            });
+        }
+        for (vi, (a, b)) in self
+            .per_vertex
+            .iter()
+            .zip(other.per_vertex.iter())
+            .enumerate()
+        {
+            let vertex = VertexId(vi as u32);
+            if a.len() != b.len() {
+                return Err(Divergence::ExecutionCount {
+                    vertex,
+                    left: a.len(),
+                    right: b.len(),
+                });
+            }
+            for (i, ((pa, ea), (pb, eb))) in a.iter().zip(b.iter()).enumerate() {
+                if pa != pb || !ea.same_as(eb) {
+                    return Err(Divergence::Record {
+                        vertex,
+                        position: i,
+                        left: (*pa, ea.clone()),
+                        right: (*pb, eb.clone()),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The first difference between two histories.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Divergence {
+    /// The histories cover different numbers of vertices.
+    VertexCount {
+        /// Left vertex count.
+        left: usize,
+        /// Right vertex count.
+        right: usize,
+    },
+    /// One vertex executed a different number of phases.
+    ExecutionCount {
+        /// The diverging vertex.
+        vertex: VertexId,
+        /// Left execution count.
+        left: usize,
+        /// Right execution count.
+        right: usize,
+    },
+    /// One record differs.
+    Record {
+        /// The diverging vertex.
+        vertex: VertexId,
+        /// Position in the vertex's log.
+        position: usize,
+        /// Left record.
+        left: (Phase, RecordedEmission),
+        /// Right record.
+        right: (Phase, RecordedEmission),
+    },
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Divergence::VertexCount { left, right } => {
+                write!(f, "vertex counts differ: {left} vs {right}")
+            }
+            Divergence::ExecutionCount {
+                vertex,
+                left,
+                right,
+            } => write!(
+                f,
+                "{vertex:?} executed {left} phases on the left but {right} on the right"
+            ),
+            Divergence::Record {
+                vertex,
+                position,
+                left,
+                right,
+            } => write!(
+                f,
+                "{vertex:?} record {position} differs: {left:?} vs {right:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for Divergence {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h1() -> ExecutionHistory {
+        let mut h = ExecutionHistory::new(2);
+        h.record(VertexId(0), Phase(1), RecordedEmission::Broadcast(Value::Int(1)));
+        h.record(VertexId(1), Phase(1), RecordedEmission::Silent);
+        h.record(VertexId(0), Phase(2), RecordedEmission::Broadcast(Value::Int(2)));
+        h
+    }
+
+    #[test]
+    fn identical_histories_equivalent() {
+        assert_eq!(h1().equivalent(&h1()), Ok(()));
+    }
+
+    #[test]
+    fn detects_missing_execution() {
+        let a = h1();
+        let mut b = h1();
+        b.record(VertexId(1), Phase(2), RecordedEmission::Silent);
+        let err = a.equivalent(&b).unwrap_err();
+        assert!(matches!(err, Divergence::ExecutionCount { vertex, .. } if vertex == VertexId(1)));
+    }
+
+    #[test]
+    fn detects_differing_record() {
+        let a = h1();
+        let mut b = ExecutionHistory::new(2);
+        b.record(VertexId(0), Phase(1), RecordedEmission::Broadcast(Value::Int(9)));
+        b.record(VertexId(1), Phase(1), RecordedEmission::Silent);
+        b.record(VertexId(0), Phase(2), RecordedEmission::Broadcast(Value::Int(2)));
+        let err = a.equivalent(&b).unwrap_err();
+        assert!(
+            matches!(err, Divergence::Record { vertex, position: 0, .. } if vertex == VertexId(0))
+        );
+    }
+
+    #[test]
+    fn detects_vertex_count_mismatch() {
+        let a = ExecutionHistory::new(2);
+        let b = ExecutionHistory::new(3);
+        assert!(matches!(
+            a.equivalent(&b),
+            Err(Divergence::VertexCount { left: 2, right: 3 })
+        ));
+    }
+
+    #[test]
+    fn nan_broadcasts_compare_equal() {
+        let mut a = ExecutionHistory::new(1);
+        a.record(
+            VertexId(0),
+            Phase(1),
+            RecordedEmission::Broadcast(Value::Float(f64::NAN)),
+        );
+        let mut b = ExecutionHistory::new(1);
+        b.record(
+            VertexId(0),
+            Phase(1),
+            RecordedEmission::Broadcast(Value::Float(f64::NAN)),
+        );
+        assert_eq!(a.equivalent(&b), Ok(()));
+    }
+
+    #[test]
+    fn sink_records_sorted_on_finalize() {
+        let mut h = ExecutionHistory::new(3);
+        h.record_sink(VertexId(2), Phase(2), Value::Int(1));
+        h.record_sink(VertexId(1), Phase(1), Value::Int(2));
+        h.record_sink(VertexId(0), Phase(2), Value::Int(3));
+        h.finalize();
+        let order: Vec<(Phase, VertexId)> =
+            h.sink_outputs().iter().map(|r| (r.phase, r.vertex)).collect();
+        assert_eq!(
+            order,
+            vec![
+                (Phase(1), VertexId(1)),
+                (Phase(2), VertexId(0)),
+                (Phase(2), VertexId(2))
+            ]
+        );
+        assert_eq!(h.sink_outputs_of(VertexId(0)), vec![(Phase(2), Value::Int(3))]);
+    }
+
+    #[test]
+    fn counts() {
+        let h = h1();
+        assert_eq!(h.execution_count(), 3);
+        assert_eq!(h.emission_count(), 2);
+        assert_eq!(h.executed_phases(VertexId(0)), vec![Phase(1), Phase(2)]);
+    }
+
+    #[test]
+    fn targeted_comparison_order_sensitive() {
+        let a = RecordedEmission::Targeted(vec![(VertexId(1), Value::Int(1))]);
+        let b = RecordedEmission::Targeted(vec![(VertexId(1), Value::Int(1))]);
+        let c = RecordedEmission::Targeted(vec![(VertexId(2), Value::Int(1))]);
+        assert!(a.same_as(&b));
+        assert!(!a.same_as(&c));
+        assert!(!a.same_as(&RecordedEmission::Silent));
+    }
+}

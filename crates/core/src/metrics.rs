@@ -1,0 +1,248 @@
+//! Runtime metrics.
+//!
+//! The paper's performance claims (§4) are about the ratio of useful
+//! vertex computation to data-structure bookkeeping, the number of
+//! messages saved by change-only emission (§1), and how many phases the
+//! engine keeps in flight (Figure 1). These counters capture exactly
+//! those quantities so the benchmark harness can report them.
+//!
+//! Counters are plain atomics updated with `Relaxed` ordering: they are
+//! statistics, not synchronisation, and every value is read only after
+//! the worker threads have been joined (which provides the necessary
+//! happens-before edge).
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// Shared counters updated by workers and the environment thread.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Vertex-phase executions.
+    pub executions: AtomicU64,
+    /// Executions that produced no output (information conveyed by the
+    /// absence of messages).
+    pub silent_executions: AtomicU64,
+    /// Point-to-point messages sent along edges.
+    pub messages_sent: AtomicU64,
+    /// Values delivered to the outside world by sinks.
+    pub sink_outputs: AtomicU64,
+    /// Vertex-phase pairs enqueued on the run queue.
+    pub enqueued: AtomicU64,
+    /// Phases started by the environment process.
+    pub phases_started: AtomicU64,
+    /// Phases whose `x_p` reached `N`.
+    pub phases_completed: AtomicU64,
+    /// Acquisitions of the global scheduler lock.
+    pub lock_acquisitions: AtomicU64,
+    /// Total nanoseconds spent waiting to acquire the scheduler lock.
+    pub lock_wait_nanos: AtomicU64,
+    /// Total nanoseconds spent inside module execution.
+    pub exec_nanos: AtomicU64,
+    /// Total nanoseconds spent inside the critical section.
+    pub critical_nanos: AtomicU64,
+    /// Maximum observed number of *distinct phases* executing
+    /// simultaneously (the Figure 1 pipelining depth).
+    pub max_concurrent_phases: AtomicU64,
+    /// Sum and count of concurrent-phase samples, for the mean depth.
+    pub concurrent_phase_sum: AtomicU64,
+    /// Number of concurrent-phase samples.
+    pub concurrent_phase_samples: AtomicU64,
+}
+
+impl Metrics {
+    /// Fresh zeroed metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one concurrent-phase depth sample and updates the maximum.
+    pub fn sample_concurrent_phases(&self, depth: u64) {
+        self.concurrent_phase_sum.fetch_add(depth, Relaxed);
+        self.concurrent_phase_samples.fetch_add(1, Relaxed);
+        self.max_concurrent_phases.fetch_max(depth, Relaxed);
+    }
+
+    /// Snapshots all counters.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            executions: self.executions.load(Relaxed),
+            silent_executions: self.silent_executions.load(Relaxed),
+            messages_sent: self.messages_sent.load(Relaxed),
+            sink_outputs: self.sink_outputs.load(Relaxed),
+            enqueued: self.enqueued.load(Relaxed),
+            phases_started: self.phases_started.load(Relaxed),
+            phases_completed: self.phases_completed.load(Relaxed),
+            lock_acquisitions: self.lock_acquisitions.load(Relaxed),
+            lock_wait_nanos: self.lock_wait_nanos.load(Relaxed),
+            exec_nanos: self.exec_nanos.load(Relaxed),
+            critical_nanos: self.critical_nanos.load(Relaxed),
+            max_concurrent_phases: self.max_concurrent_phases.load(Relaxed),
+            concurrent_phase_sum: self.concurrent_phase_sum.load(Relaxed),
+            concurrent_phase_samples: self.concurrent_phase_samples.load(Relaxed),
+        }
+    }
+}
+
+/// A plain-value copy of [`Metrics`] taken after a run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Vertex-phase executions.
+    pub executions: u64,
+    /// Executions that emitted nothing.
+    pub silent_executions: u64,
+    /// Messages sent along edges.
+    pub messages_sent: u64,
+    /// Values produced by sinks.
+    pub sink_outputs: u64,
+    /// Pairs enqueued on the run queue.
+    pub enqueued: u64,
+    /// Phases started.
+    pub phases_started: u64,
+    /// Phases completed.
+    pub phases_completed: u64,
+    /// Scheduler-lock acquisitions.
+    pub lock_acquisitions: u64,
+    /// Nanoseconds spent waiting for the scheduler lock.
+    pub lock_wait_nanos: u64,
+    /// Nanoseconds spent in module execution.
+    pub exec_nanos: u64,
+    /// Nanoseconds spent in the critical section.
+    pub critical_nanos: u64,
+    /// Peak distinct phases executing at once.
+    pub max_concurrent_phases: u64,
+    /// Sum of depth samples.
+    pub concurrent_phase_sum: u64,
+    /// Number of depth samples.
+    pub concurrent_phase_samples: u64,
+}
+
+impl MetricsSnapshot {
+    /// Mean number of distinct phases executing concurrently, sampled at
+    /// each execution start.
+    pub fn mean_concurrent_phases(&self) -> f64 {
+        if self.concurrent_phase_samples == 0 {
+            0.0
+        } else {
+            self.concurrent_phase_sum as f64 / self.concurrent_phase_samples as f64
+        }
+    }
+
+    /// Fraction of executions that sent no messages.
+    pub fn silent_fraction(&self) -> f64 {
+        if self.executions == 0 {
+            0.0
+        } else {
+            self.silent_executions as f64 / self.executions as f64
+        }
+    }
+
+    /// Ratio of bookkeeping time (lock wait + critical section) to
+    /// module execution time — the quantity the paper predicts governs
+    /// scalability (§4).
+    pub fn bookkeeping_ratio(&self) -> f64 {
+        if self.exec_nanos == 0 {
+            f64::INFINITY
+        } else {
+            (self.lock_wait_nanos + self.critical_nanos) as f64 / self.exec_nanos as f64
+        }
+    }
+}
+
+/// Tracks the set of phases currently being executed by workers, to
+/// measure pipelining depth (how many phases are simultaneously "in the
+/// machine", as depicted in Figure 1).
+#[derive(Debug, Default)]
+pub struct PhaseGauge {
+    executing: Mutex<BTreeMap<u64, u32>>,
+}
+
+impl PhaseGauge {
+    /// Fresh gauge.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Marks a phase as having one more executing vertex; returns the
+    /// number of distinct phases now executing.
+    pub fn enter(&self, phase: u64) -> u64 {
+        let mut g = self.executing.lock();
+        *g.entry(phase).or_insert(0) += 1;
+        g.len() as u64
+    }
+
+    /// Marks a phase as having one fewer executing vertex.
+    pub fn exit(&self, phase: u64) {
+        let mut g = self.executing.lock();
+        match g.get_mut(&phase) {
+            Some(c) if *c > 1 => *c -= 1,
+            Some(_) => {
+                g.remove(&phase);
+            }
+            None => debug_assert!(false, "exit without enter for phase {phase}"),
+        }
+    }
+
+    /// Number of distinct phases currently executing.
+    pub fn depth(&self) -> u64 {
+        self.executing.lock().len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_copies_counters() {
+        let m = Metrics::new();
+        m.executions.fetch_add(3, Relaxed);
+        m.messages_sent.fetch_add(5, Relaxed);
+        let s = m.snapshot();
+        assert_eq!(s.executions, 3);
+        assert_eq!(s.messages_sent, 5);
+        assert_eq!(s.silent_executions, 0);
+    }
+
+    #[test]
+    fn concurrent_phase_stats() {
+        let m = Metrics::new();
+        m.sample_concurrent_phases(2);
+        m.sample_concurrent_phases(4);
+        let s = m.snapshot();
+        assert_eq!(s.max_concurrent_phases, 4);
+        assert!((s.mean_concurrent_phases() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn derived_ratios() {
+        let s = MetricsSnapshot {
+            executions: 10,
+            silent_executions: 4,
+            exec_nanos: 100,
+            lock_wait_nanos: 30,
+            critical_nanos: 20,
+            ..Default::default()
+        };
+        assert!((s.silent_fraction() - 0.4).abs() < 1e-12);
+        assert!((s.bookkeeping_ratio() - 0.5).abs() < 1e-12);
+        let empty = MetricsSnapshot::default();
+        assert_eq!(empty.silent_fraction(), 0.0);
+        assert_eq!(empty.mean_concurrent_phases(), 0.0);
+        assert!(empty.bookkeeping_ratio().is_infinite());
+    }
+
+    #[test]
+    fn phase_gauge_tracks_distinct_phases() {
+        let g = PhaseGauge::new();
+        assert_eq!(g.enter(1), 1);
+        assert_eq!(g.enter(1), 1);
+        assert_eq!(g.enter(2), 2);
+        g.exit(1);
+        assert_eq!(g.depth(), 2); // phase 1 still has one executor
+        g.exit(1);
+        assert_eq!(g.depth(), 1);
+        g.exit(2);
+        assert_eq!(g.depth(), 0);
+    }
+}

@@ -1,0 +1,526 @@
+//! Computational modules — the code that runs at each vertex.
+//!
+//! A module is the paper's "computational unit" (§1): a model such as a
+//! regression, a simulation, or a simple predicate. Modules are executed
+//! once per vertex-phase pair that has at least one waiting message
+//! (§3.1.2) and communicate *changes*: returning [`Emission::Silent`]
+//! sends nothing, and that absence of messages itself tells downstream
+//! modules that this vertex's outputs are unchanged — the paper's central
+//! efficiency idea.
+
+use ec_events::{EventSource, Phase, Value};
+use ec_graph::VertexId;
+
+/// What a module emits after executing one phase.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Emission {
+    /// Nothing changed; no messages are sent. Downstream vertices will
+    /// use previous values for this input (§3.1.2).
+    Silent,
+    /// Send `Value` to every successor. At a sink vertex (no successors)
+    /// the value is recorded as external output instead.
+    Broadcast(Value),
+    /// Send specific values to specific successors. Targets that are not
+    /// successors of the emitting vertex are reported as errors by the
+    /// executors.
+    Targeted(Vec<(VertexId, Value)>),
+}
+
+impl Emission {
+    /// True if nothing is emitted.
+    pub fn is_silent(&self) -> bool {
+        matches!(self, Emission::Silent)
+            || matches!(self, Emission::Targeted(t) if t.is_empty())
+    }
+}
+
+/// Read access to a vertex's input edges during execution.
+///
+/// `fresh` holds the messages received *for this phase* (sorted by
+/// producer schedule index, so execution is deterministic regardless of
+/// which worker finished first); `current` additionally folds in values
+/// remembered from earlier phases, implementing the paper's "using
+/// previous values for any inputs it has not received for phase p".
+pub struct InputView<'a> {
+    /// Predecessors of the executing vertex, in edge order.
+    pub preds: &'a [VertexId],
+    /// Latest value per predecessor (same order as `preds`), including
+    /// this phase's fresh messages.
+    pub latest: &'a [Option<Value>],
+    /// Messages received for this phase: `(producer, value)`, sorted by
+    /// the producer's schedule index.
+    pub fresh: &'a [(VertexId, Value)],
+}
+
+impl<'a> InputView<'a> {
+    /// Latest value on the edge from `pred`, if any value has ever
+    /// arrived on it.
+    pub fn current(&self, pred: VertexId) -> Option<&Value> {
+        let i = self.preds.iter().position(|&p| p == pred)?;
+        self.latest[i].as_ref()
+    }
+
+    /// Latest value on the `i`-th input edge.
+    pub fn current_at(&self, i: usize) -> Option<&Value> {
+        self.latest.get(i)?.as_ref()
+    }
+
+    /// The fresh message from `pred` this phase, if it sent one.
+    pub fn fresh_from(&self, pred: VertexId) -> Option<&Value> {
+        self.fresh
+            .iter()
+            .find(|(p, _)| *p == pred)
+            .map(|(_, v)| v)
+    }
+
+    /// True if `pred` sent a message this phase.
+    pub fn changed(&self, pred: VertexId) -> bool {
+        self.fresh.iter().any(|(p, _)| *p == pred)
+    }
+
+    /// Number of input edges.
+    pub fn arity(&self) -> usize {
+        self.preds.len()
+    }
+}
+
+/// Everything a module sees when executing one phase.
+pub struct ExecCtx<'a> {
+    /// The phase being executed.
+    pub phase: Phase,
+    /// The vertex this module is installed at.
+    pub vertex: VertexId,
+    /// Input access (empty for source vertices).
+    pub inputs: InputView<'a>,
+    /// True at source vertices, which are driven by phase signals rather
+    /// than messages (§3.1.2).
+    pub is_source: bool,
+}
+
+/// A computational unit installed at a vertex.
+///
+/// Modules are owned exclusively by their vertex: the scheduler
+/// guarantees at most one phase of a given vertex executes at a time and
+/// that phases execute in order, so `&mut self` is safe and modules can
+/// keep arbitrary internal state (windows, model parameters, …).
+///
+/// Determinism contract: for oracle comparisons (parallel ≡ sequential)
+/// a module must be a deterministic function of its internal state and
+/// its per-phase inputs. Seeded randomness is fine; wall-clock time or
+/// global shared state is not.
+pub trait Module: Send {
+    /// Executes one phase and reports what (if anything) changed.
+    fn execute(&mut self, ctx: ExecCtx<'_>) -> Emission;
+
+    /// Human-readable module name for diagnostics.
+    fn name(&self) -> &str {
+        "module"
+    }
+}
+
+impl Module for Box<dyn Module> {
+    fn execute(&mut self, ctx: ExecCtx<'_>) -> Emission {
+        (**self).execute(ctx)
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+/// A source module wrapping an [`EventSource`] generator.
+///
+/// Each phase signal polls the generator once; `None` from the generator
+/// becomes [`Emission::Silent`].
+pub struct SourceModule {
+    source: Box<dyn EventSource>,
+}
+
+impl SourceModule {
+    /// Wraps a generator.
+    pub fn new(source: impl EventSource + 'static) -> Self {
+        SourceModule {
+            source: Box::new(source),
+        }
+    }
+
+    /// Wraps a boxed generator.
+    pub fn from_box(source: Box<dyn EventSource>) -> Self {
+        SourceModule { source }
+    }
+}
+
+impl Module for SourceModule {
+    fn execute(&mut self, ctx: ExecCtx<'_>) -> Emission {
+        match self.source.poll(ctx.phase) {
+            Some(v) => Emission::Broadcast(v),
+            None => Emission::Silent,
+        }
+    }
+
+    fn name(&self) -> &str {
+        "source"
+    }
+}
+
+/// A stateless module defined by a closure over the execution context.
+pub struct FnModule<F> {
+    name: String,
+    f: F,
+}
+
+impl<F> FnModule<F>
+where
+    F: FnMut(ExecCtx<'_>) -> Emission + Send,
+{
+    /// Wraps `f` as a module.
+    pub fn new(name: impl Into<String>, f: F) -> Self {
+        FnModule {
+            name: name.into(),
+            f,
+        }
+    }
+}
+
+impl<F> Module for FnModule<F>
+where
+    F: FnMut(ExecCtx<'_>) -> Emission + Send,
+{
+    fn execute(&mut self, ctx: ExecCtx<'_>) -> Emission {
+        (self.f)(ctx)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Forwards every fresh input onward: broadcasts the most recent fresh
+/// value. Useful as a relay/identity vertex in tests and benchmarks.
+#[derive(Debug, Default)]
+pub struct PassThrough;
+
+impl Module for PassThrough {
+    fn execute(&mut self, ctx: ExecCtx<'_>) -> Emission {
+        match ctx.inputs.fresh.last() {
+            Some((_, v)) => Emission::Broadcast(v.clone()),
+            None => Emission::Silent,
+        }
+    }
+
+    fn name(&self) -> &str {
+        "pass-through"
+    }
+}
+
+/// Sums the latest values of all inputs and broadcasts the sum whenever
+/// any input changed. A minimal "fusion" vertex used widely in tests.
+#[derive(Debug, Default)]
+pub struct SumModule;
+
+impl Module for SumModule {
+    fn execute(&mut self, ctx: ExecCtx<'_>) -> Emission {
+        if ctx.inputs.fresh.is_empty() {
+            return Emission::Silent;
+        }
+        let sum: f64 = ctx
+            .inputs
+            .latest
+            .iter()
+            .flatten()
+            .filter_map(|v| v.as_f64())
+            .sum();
+        Emission::Broadcast(Value::Float(sum))
+    }
+
+    fn name(&self) -> &str {
+        "sum"
+    }
+}
+
+/// Spins for a configurable amount of synthetic work before delegating
+/// to an inner module. Used by the benchmark harness to model vertices
+/// whose computation dominates bookkeeping (§4's prediction).
+pub struct Workload<M> {
+    inner: M,
+    spin_iters: u64,
+}
+
+impl<M: Module> Workload<M> {
+    /// Adds `spin_iters` iterations of synthetic floating-point work
+    /// before each execution of `inner`.
+    pub fn new(inner: M, spin_iters: u64) -> Self {
+        Workload { inner, spin_iters }
+    }
+}
+
+impl<M: Module> Module for Workload<M> {
+    fn execute(&mut self, ctx: ExecCtx<'_>) -> Emission {
+        let mut acc = 1.000000001f64;
+        for i in 0..self.spin_iters {
+            acc = acc.mul_add(1.000000001, (i & 7) as f64 * 1e-12);
+        }
+        std::hint::black_box(acc);
+        self.inner.execute(ctx)
+    }
+
+    fn name(&self) -> &str {
+        "workload"
+    }
+}
+
+/// Wraps a module so it emits *every* phase, forwarding the previous
+/// emission when the inner module is silent.
+///
+/// This converts the Δ-dataflow "option 2" module (emit only on change)
+/// into the paper's "option 1" module (one output per input), and is the
+/// mechanism behind the dense baseline of experiment E5: run the same
+/// graph with every module wrapped in `AlwaysEmit` and the engine
+/// degenerates into the obvious everything-every-phase solution the
+/// paper argues against (§3.1).
+pub struct AlwaysEmit<M> {
+    inner: M,
+    last: Option<Value>,
+}
+
+impl<M: Module> AlwaysEmit<M> {
+    /// Wraps `inner`; until `inner` first emits, a `Value::Unit`
+    /// placeholder is broadcast so every edge carries a message every
+    /// phase.
+    pub fn new(inner: M) -> Self {
+        AlwaysEmit { inner, last: None }
+    }
+}
+
+impl<M: Module> Module for AlwaysEmit<M> {
+    fn execute(&mut self, ctx: ExecCtx<'_>) -> Emission {
+        match self.inner.execute(ctx) {
+            Emission::Broadcast(v) => {
+                self.last = Some(v.clone());
+                Emission::Broadcast(v)
+            }
+            Emission::Targeted(t) => {
+                // Keep the last broadcast-equivalent value for silence
+                // replay: remember the first target's value.
+                if let Some((_, v)) = t.first() {
+                    self.last = Some(v.clone());
+                }
+                Emission::Targeted(t)
+            }
+            Emission::Silent => {
+                let v = self.last.clone().unwrap_or(Value::Unit);
+                Emission::Broadcast(v)
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "always-emit"
+    }
+}
+
+/// A sink module that retains every value it receives; the engine also
+/// records sink broadcasts in the run's [`crate::history::SinkRecord`] history; this
+/// module makes ad-hoc inspection easy in examples.
+#[derive(Debug, Default)]
+pub struct CollectSink {
+    seen: Vec<(Phase, Value)>,
+}
+
+impl CollectSink {
+    /// New empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Values received so far (phase-ordered, since the scheduler
+    /// executes each vertex's phases in order).
+    pub fn seen(&self) -> &[(Phase, Value)] {
+        &self.seen
+    }
+}
+
+impl Module for CollectSink {
+    fn execute(&mut self, ctx: ExecCtx<'_>) -> Emission {
+        for (_, v) in ctx.inputs.fresh {
+            self.seen.push((ctx.phase, v.clone()));
+        }
+        // Re-broadcast the last fresh value so the engine records it in
+        // the sink history.
+        match ctx.inputs.fresh.last() {
+            Some((_, v)) => Emission::Broadcast(v.clone()),
+            None => Emission::Silent,
+        }
+    }
+
+    fn name(&self) -> &str {
+        "collect-sink"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ec_events::sources::Counter;
+
+    fn ctx_with<'a>(
+        phase: Phase,
+        preds: &'a [VertexId],
+        latest: &'a [Option<Value>],
+        fresh: &'a [(VertexId, Value)],
+    ) -> ExecCtx<'a> {
+        ExecCtx {
+            phase,
+            vertex: VertexId(99),
+            inputs: InputView {
+                preds,
+                latest,
+                fresh,
+            },
+            is_source: preds.is_empty(),
+        }
+    }
+
+    #[test]
+    fn emission_silence() {
+        assert!(Emission::Silent.is_silent());
+        assert!(Emission::Targeted(vec![]).is_silent());
+        assert!(!Emission::Broadcast(Value::Unit).is_silent());
+    }
+
+    #[test]
+    fn input_view_lookups() {
+        let preds = [VertexId(1), VertexId(2)];
+        let latest = [Some(Value::Int(10)), None];
+        let fresh = [(VertexId(1), Value::Int(10))];
+        let view = InputView {
+            preds: &preds,
+            latest: &latest,
+            fresh: &fresh,
+        };
+        assert_eq!(view.current(VertexId(1)), Some(&Value::Int(10)));
+        assert_eq!(view.current(VertexId(2)), None);
+        assert_eq!(view.current(VertexId(3)), None);
+        assert_eq!(view.current_at(0), Some(&Value::Int(10)));
+        assert_eq!(view.fresh_from(VertexId(1)), Some(&Value::Int(10)));
+        assert_eq!(view.fresh_from(VertexId(2)), None);
+        assert!(view.changed(VertexId(1)));
+        assert!(!view.changed(VertexId(2)));
+        assert_eq!(view.arity(), 2);
+    }
+
+    #[test]
+    fn source_module_polls_generator() {
+        let mut m = SourceModule::new(Counter::new());
+        let c = ctx_with(Phase(1), &[], &[], &[]);
+        assert_eq!(m.execute(c), Emission::Broadcast(Value::Int(1)));
+        let c = ctx_with(Phase(2), &[], &[], &[]);
+        assert_eq!(m.execute(c), Emission::Broadcast(Value::Int(2)));
+        assert_eq!(m.name(), "source");
+    }
+
+    #[test]
+    fn pass_through_forwards_last_fresh() {
+        let mut m = PassThrough;
+        let preds = [VertexId(1)];
+        let latest = [Some(Value::Int(7))];
+        let fresh = [(VertexId(1), Value::Int(7))];
+        assert_eq!(
+            m.execute(ctx_with(Phase(1), &preds, &latest, &fresh)),
+            Emission::Broadcast(Value::Int(7))
+        );
+        assert_eq!(
+            m.execute(ctx_with(Phase(2), &preds, &latest, &[])),
+            Emission::Silent
+        );
+    }
+
+    #[test]
+    fn sum_module_uses_latest_values() {
+        let mut m = SumModule;
+        let preds = [VertexId(1), VertexId(2)];
+        // Input 2 remembered from an earlier phase; input 1 fresh.
+        let latest = [Some(Value::Float(1.5)), Some(Value::Float(2.5))];
+        let fresh = [(VertexId(1), Value::Float(1.5))];
+        assert_eq!(
+            m.execute(ctx_with(Phase(3), &preds, &latest, &fresh)),
+            Emission::Broadcast(Value::Float(4.0))
+        );
+        // No fresh input → silent, even though latest values exist.
+        assert_eq!(
+            m.execute(ctx_with(Phase(4), &preds, &latest, &[])),
+            Emission::Silent
+        );
+    }
+
+    #[test]
+    fn always_emit_replays_last_value() {
+        let mut m = AlwaysEmit::new(PassThrough);
+        let preds = [VertexId(1)];
+        let latest = [Some(Value::Int(3))];
+        let fresh = [(VertexId(1), Value::Int(3))];
+        assert_eq!(
+            m.execute(ctx_with(Phase(1), &preds, &latest, &fresh)),
+            Emission::Broadcast(Value::Int(3))
+        );
+        // Inner module is silent, wrapper repeats the last value.
+        assert_eq!(
+            m.execute(ctx_with(Phase(2), &preds, &latest, &[])),
+            Emission::Broadcast(Value::Int(3))
+        );
+    }
+
+    #[test]
+    fn always_emit_before_any_value() {
+        let mut m = AlwaysEmit::new(PassThrough);
+        let preds = [VertexId(1)];
+        let latest = [None];
+        assert_eq!(
+            m.execute(ctx_with(Phase(1), &preds, &latest, &[])),
+            Emission::Broadcast(Value::Unit)
+        );
+    }
+
+    #[test]
+    fn fn_module_runs_closure() {
+        let mut m = FnModule::new("double", |ctx: ExecCtx<'_>| {
+            match ctx.inputs.fresh.first() {
+                Some((_, v)) => {
+                    Emission::Broadcast(Value::Float(v.as_f64().unwrap() * 2.0))
+                }
+                None => Emission::Silent,
+            }
+        });
+        let preds = [VertexId(1)];
+        let latest = [Some(Value::Float(2.0))];
+        let fresh = [(VertexId(1), Value::Float(2.0))];
+        assert_eq!(
+            m.execute(ctx_with(Phase(1), &preds, &latest, &fresh)),
+            Emission::Broadcast(Value::Float(4.0))
+        );
+        assert_eq!(m.name(), "double");
+    }
+
+    #[test]
+    fn workload_delegates() {
+        let mut m = Workload::new(PassThrough, 100);
+        let preds = [VertexId(1)];
+        let latest = [Some(Value::Int(1))];
+        let fresh = [(VertexId(1), Value::Int(1))];
+        assert_eq!(
+            m.execute(ctx_with(Phase(1), &preds, &latest, &fresh)),
+            Emission::Broadcast(Value::Int(1))
+        );
+    }
+
+    #[test]
+    fn collect_sink_records() {
+        let mut m = CollectSink::new();
+        let preds = [VertexId(1)];
+        let latest = [Some(Value::Int(5))];
+        let fresh = [(VertexId(1), Value::Int(5))];
+        m.execute(ctx_with(Phase(1), &preds, &latest, &fresh));
+        m.execute(ctx_with(Phase(2), &preds, &latest, &[]));
+        assert_eq!(m.seen(), &[(Phase(1), Value::Int(5))]);
+    }
+}

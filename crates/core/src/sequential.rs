@@ -1,0 +1,216 @@
+//! The sequential reference executor (serializability oracle).
+//!
+//! The paper's correctness requirement (§2): the concurrent execution
+//! must have "the same logical effect as executing only one phase at a
+//! time in serial order all the way from the sources to the sinks".
+//! This executor *is* that serial order — one thread, one phase at a
+//! time, vertices in schedule-index order — so its history is the ground
+//! truth that the parallel engine's history must reproduce. It is also
+//! the 1-thread baseline for the speedup experiments (E4).
+
+use crate::error::EngineError;
+use crate::history::ExecutionHistory;
+use crate::module::Module;
+use crate::state::Idx;
+use crate::vertex::{route_emission, VertexSlot};
+use ec_events::{Phase, Value};
+use ec_graph::{Dag, Numbering};
+
+/// Single-threaded phase-by-phase executor.
+pub struct Sequential {
+    slots: Vec<VertexSlot>,
+    succs_idx: Vec<Vec<Idx>>,
+    numbering: Numbering,
+    history: ExecutionHistory,
+    next_phase: u64,
+    /// Total messages sent (for the message-rate experiments).
+    pub messages_sent: u64,
+    /// Total vertex-phase executions.
+    pub executions: u64,
+}
+
+impl Sequential {
+    /// Builds a sequential executor over `dag` with one module per
+    /// vertex (`modules[v.index()]`).
+    pub fn new(dag: &Dag, modules: Vec<Box<dyn Module>>) -> Result<Sequential, EngineError> {
+        let numbering = Numbering::compute(dag);
+        let slots = VertexSlot::build(dag, &numbering, modules)?;
+        let succs_idx = numbering
+            .schedule_order()
+            .map(|v| {
+                let mut s: Vec<Idx> = dag
+                    .succs(v)
+                    .iter()
+                    .map(|&w| numbering.index_of(w))
+                    .collect();
+                s.sort_unstable();
+                s
+            })
+            .collect();
+        let n = slots.len();
+        Ok(Sequential {
+            slots,
+            succs_idx,
+            numbering,
+            history: ExecutionHistory::new(n),
+            next_phase: 1,
+            messages_sent: 0,
+            executions: 0,
+        })
+    }
+
+    /// The vertex numbering in use (identical to the parallel engine's
+    /// for the same graph).
+    pub fn numbering(&self) -> &Numbering {
+        &self.numbering
+    }
+
+    /// Executes `phases` further phases; phase numbers continue across
+    /// calls.
+    pub fn run(&mut self, phases: u64) -> Result<(), EngineError> {
+        let n = self.slots.len();
+        for _ in 0..phases {
+            let phase = Phase(self.next_phase);
+            self.next_phase += 1;
+            // inboxes[i] = fresh messages for schedule index i + 1.
+            let mut inboxes: Vec<Vec<(Idx, Value)>> = vec![Vec::new(); n];
+            for pos in 0..n {
+                let fresh_raw = std::mem::take(&mut inboxes[pos]);
+                let slot = &mut self.slots[pos];
+                if !slot.is_source && fresh_raw.is_empty() {
+                    continue; // no messages: computation unnecessary
+                }
+                let fresh: Vec<_> = fresh_raw
+                    .iter()
+                    .map(|(i, v)| (self.numbering.vertex_at(*i), v.clone()))
+                    .collect();
+                let emission = slot.execute(phase, &fresh);
+                let routed = route_emission(
+                    emission,
+                    slot.is_sink,
+                    slot.vertex_id,
+                    &self.succs_idx[pos],
+                    &self.numbering,
+                )?;
+                self.executions += 1;
+                self.messages_sent += routed.messages.len() as u64;
+                self.history
+                    .record(slot.vertex_id, phase, routed.recorded);
+                if let Some(v) = routed.sink_value {
+                    self.history.record_sink(slot.vertex_id, phase, v);
+                }
+                let my_idx = (pos + 1) as Idx;
+                for (w, value) in routed.messages {
+                    debug_assert!(w > my_idx);
+                    inboxes[(w - 1) as usize].push((my_idx, value));
+                }
+            }
+            debug_assert!(
+                inboxes.iter().all(Vec::is_empty),
+                "all messages consumed within the phase"
+            );
+        }
+        Ok(())
+    }
+
+    /// The recorded history so far (finalised copy).
+    pub fn history(&self) -> ExecutionHistory {
+        let mut h = self.history.clone();
+        h.finalize();
+        h
+    }
+
+    /// Consumes the executor, returning its finalised history.
+    pub fn into_history(mut self) -> ExecutionHistory {
+        self.history.finalize();
+        self.history
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::{PassThrough, SourceModule, SumModule};
+    use ec_events::sources::{Counter, Replay};
+    use ec_graph::generators;
+
+    #[test]
+    fn chain_counter_reaches_sink() {
+        let dag = generators::chain(3);
+        let modules: Vec<Box<dyn Module>> = vec![
+            Box::new(SourceModule::new(Counter::new())),
+            Box::new(PassThrough),
+            Box::new(PassThrough),
+        ];
+        let mut seq = Sequential::new(&dag, modules).unwrap();
+        seq.run(4).unwrap();
+        let h = seq.into_history();
+        let sink = ec_graph::Numbering::compute(&dag).vertex_at(3);
+        let vals: Vec<i64> = h
+            .sink_outputs_of(sink)
+            .iter()
+            .map(|(_, v)| v.as_i64().unwrap())
+            .collect();
+        assert_eq!(vals, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn skips_vertices_without_messages() {
+        let dag = generators::chain(3);
+        let modules: Vec<Box<dyn Module>> = vec![
+            Box::new(SourceModule::new(Replay::new(vec![
+                Some(Value::Int(1)),
+                None,
+            ]))),
+            Box::new(PassThrough),
+            Box::new(PassThrough),
+        ];
+        let mut seq = Sequential::new(&dag, modules).unwrap();
+        seq.run(2).unwrap();
+        // Phase 1: 3 executions. Phase 2: source only.
+        assert_eq!(seq.executions, 4);
+        assert_eq!(seq.messages_sent, 2);
+    }
+
+    #[test]
+    fn diamond_sum() {
+        let dag = generators::diamond();
+        let modules: Vec<Box<dyn Module>> = vec![
+            Box::new(SourceModule::new(Counter::new())),
+            Box::new(PassThrough),
+            Box::new(PassThrough),
+            Box::new(SumModule),
+        ];
+        let mut seq = Sequential::new(&dag, modules).unwrap();
+        seq.run(3).unwrap();
+        let numbering = seq.numbering().clone();
+        let h = seq.into_history();
+        let sink = numbering.vertex_at(4);
+        let vals: Vec<f64> = h
+            .sink_outputs_of(sink)
+            .iter()
+            .map(|(_, v)| v.as_f64().unwrap())
+            .collect();
+        assert_eq!(vals, vec![2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn phases_continue_across_runs() {
+        let dag = generators::chain(2);
+        let modules: Vec<Box<dyn Module>> = vec![
+            Box::new(SourceModule::new(Counter::new())),
+            Box::new(PassThrough),
+        ];
+        let mut seq = Sequential::new(&dag, modules).unwrap();
+        seq.run(2).unwrap();
+        seq.run(2).unwrap();
+        let h = seq.history();
+        let sink = seq.numbering().vertex_at(2);
+        let phases: Vec<u64> = h
+            .sink_outputs_of(sink)
+            .iter()
+            .map(|(p, _)| p.get())
+            .collect();
+        assert_eq!(phases, vec![1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,776 @@
+//! Scheduler state: the data structures of Listings 1 and 2.
+//!
+//! [`SchedState`] is the structure the paper's computation and
+//! environment processes manipulate under the global lock. It maintains,
+//! faithfully to definitions (7)–(9):
+//!
+//! * the **partial** set — vertex-phase pairs with at least one waiting
+//!   message but not yet a full set of inputs (`m(x_p) < v`);
+//! * the **full** set — pairs with sufficient information to execute
+//!   (`x_p < v ≤ m(x_p)` and a waiting message);
+//! * the **ready** set — full pairs whose phase is minimal among the
+//!   full pairs of their vertex (at most one per vertex, so it is stored
+//!   as a per-vertex `Option<phase>`);
+//! * the per-phase frontier `x_p` — the highest index such that
+//!   `x_p ≤ x_{p−1}` and all vertices indexed `x_p` and lower have
+//!   finished phase `p`;
+//! * `pmax` / `next` — the highest started phase and the next to start.
+//!
+//! Instead of the paper's linear scans (statements 1.14–1.15 and
+//! 1.24–1.27), pairs are kept in per-phase ordered sets so the minimum
+//! active index and the "newly full" range are `O(log N)` — these are
+//! the "optimizations and custom data structures" the prototype alludes
+//! to in §4. The scans' *semantics* are reproduced exactly; the
+//! invariant checker used in tests re-derives every set from the raw
+//! definitions and compares.
+//!
+//! The paper's ghost variable `msg(v,p)` corresponds to membership in
+//! `partial ∪ full ∪ ready`: a pair holds messages from its creation
+//! until its execution is finished (messages are physically handed to
+//! the worker at ready-promotion time, but logically they remain "on the
+//! input" until `finish_execution`, matching §3.1.2).
+
+use crate::trace::{SetMembership, SetSnapshot, Trace, TraceEvent, TraceStep};
+use ec_events::Value;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// 1-based schedule index (the paper's vertex number).
+pub(crate) type Idx = u32;
+
+/// A unit of work handed to a computation process: execute `idx` for
+/// `phase` with the given fresh inputs (sorted by producer index).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Task {
+    pub idx: Idx,
+    pub phase: u64,
+    pub inputs: Vec<(Idx, Value)>,
+}
+
+/// Per-phase scheduling state.
+#[derive(Debug, Default)]
+struct PhaseState {
+    /// Pairs with messages but not enough information (definition 9).
+    partial: BTreeSet<Idx>,
+    /// Pairs with sufficient information (definition 7).
+    full: BTreeSet<Idx>,
+    /// The frontier `x_p`.
+    x: Idx,
+    /// Undelivered messages per consumer: `(producer, value)` lists.
+    inbox: HashMap<Idx, Vec<(Idx, Value)>>,
+}
+
+impl PhaseState {
+    fn min_active(&self) -> Option<Idx> {
+        match (self.partial.first(), self.full.first()) {
+            (None, None) => None,
+            (a, b) => Some(
+                a.copied()
+                    .unwrap_or(Idx::MAX)
+                    .min(b.copied().unwrap_or(Idx::MAX)),
+            ),
+        }
+    }
+}
+
+/// Outcome of a state transition: pairs that became ready (to enqueue)
+/// and how many phases completed.
+#[derive(Debug, Default)]
+pub(crate) struct Transition {
+    pub tasks: Vec<Task>,
+    pub phases_completed: u64,
+}
+
+/// The shared scheduler state (guarded by the engine's global lock).
+pub(crate) struct SchedState {
+    /// Number of vertices `N`.
+    n: Idx,
+    /// The numbering's `m` table, `m[0..=N]`.
+    m: Vec<Idx>,
+    /// Schedule indices of source vertices (always `1..=m(0)`).
+    sources: Vec<Idx>,
+    /// Highest phase started (0 before any).
+    pmax: u64,
+    /// Next phase the environment will start.
+    next: u64,
+    /// All phases `≤ completed_through` have `x = N`.
+    completed_through: u64,
+    /// Active (started, incomplete) phases.
+    phases: BTreeMap<u64, PhaseState>,
+    /// Phases in the full set, per vertex (index 0 unused).
+    vertex_full: Vec<BTreeSet<u64>>,
+    /// The unique ready phase per vertex, if any (index 0 unused).
+    ready_phase: Vec<Option<u64>>,
+    /// Set when a computation process fails; drains the run.
+    pub failed: Option<String>,
+    /// Optional Figure-3-style trace.
+    trace: Option<Trace>,
+}
+
+impl SchedState {
+    /// Initialises the state for a graph whose numbering produced
+    /// `m_table` (`m[0..=N]`) — the environment process's statements
+    /// 2.2–2.7.
+    pub fn new(m_table: &[Idx]) -> SchedState {
+        let n = (m_table.len() - 1) as Idx;
+        SchedState {
+            n,
+            m: m_table.to_vec(),
+            sources: (1..=m_table[0]).collect(),
+            pmax: 0,
+            next: 1,
+            completed_through: 0,
+            phases: BTreeMap::new(),
+            vertex_full: vec![BTreeSet::new(); n as usize + 1],
+            ready_phase: vec![None; n as usize + 1],
+            failed: None,
+            trace: None,
+        }
+    }
+
+    /// Enables Figure-3-style tracing.
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(Trace::default());
+    }
+
+    /// Takes the recorded trace.
+    pub fn take_trace(&mut self) -> Option<Trace> {
+        self.trace.take()
+    }
+
+    /// Number of vertices.
+    #[allow(dead_code)] // used by the state-machine tests
+    pub fn n(&self) -> Idx {
+        self.n
+    }
+
+    /// Highest phase started.
+    pub fn pmax(&self) -> u64 {
+        self.pmax
+    }
+
+    /// Next phase the environment will start.
+    pub fn next(&self) -> u64 {
+        self.next
+    }
+
+    /// All phases up to and including this are complete.
+    pub fn completed_through(&self) -> u64 {
+        self.completed_through
+    }
+
+    /// Number of started-but-incomplete phases.
+    pub fn inflight(&self) -> u64 {
+        self.pmax.saturating_sub(self.completed_through)
+    }
+
+    /// `x_p` for any phase: `N` for completed phases, 0 for unstarted
+    /// ones, the stored frontier otherwise.
+    pub fn x_of(&self, p: u64) -> Idx {
+        if p <= self.completed_through {
+            self.n
+        } else if p > self.pmax {
+            0
+        } else {
+            self.phases[&p].x
+        }
+    }
+
+    /// Starts the next phase (statements 2.11–2.19): inserts `(s, next)`
+    /// for every source into the full set, promotes newly ready pairs,
+    /// and advances `next`.
+    pub fn start_phase(&mut self) -> (u64, Transition) {
+        let p = self.next;
+        self.pmax = p;
+        self.next += 1;
+        let st = PhaseState::default();
+        self.phases.insert(p, st);
+        let sources = self.sources.clone();
+        let mut out = Transition::default();
+        for s in sources {
+            let ph = self.phases.get_mut(&p).expect("just inserted");
+            ph.full.insert(s);
+            self.vertex_full[s as usize].insert(p);
+            self.try_promote(s, &mut out.tasks);
+        }
+        self.trace_step(TraceEvent::PhaseStarted(p));
+        (p, out)
+    }
+
+    /// Commits the execution of `(v, p)` with the given outputs — the
+    /// computation process's statements 1.5–1.30.
+    ///
+    /// `outputs` are `(successor index, value)` messages for phase `p`.
+    pub fn finish_execution(
+        &mut self,
+        v: Idx,
+        p: u64,
+        outputs: Vec<(Idx, Value)>,
+    ) -> Transition {
+        let emitted = outputs.len();
+        let mut out = Transition::default();
+
+        // Statements 1.5–1.7: remove (v, p) from the full and ready sets.
+        {
+            let ph = self
+                .phases
+                .get_mut(&p)
+                .expect("finished pair's phase must be active");
+            let was_full = ph.full.remove(&v);
+            debug_assert!(was_full, "({v}, {p}) finished but was not in full");
+        }
+        debug_assert_eq!(
+            self.ready_phase[v as usize],
+            Some(p),
+            "({v}, {p}) finished but was not the ready pair of {v}"
+        );
+        self.ready_phase[v as usize] = None;
+        self.vertex_full[v as usize].remove(&p);
+
+        // Statements 1.8–1.11: deliver outputs into the partial set.
+        {
+            let ph = self.phases.get_mut(&p).expect("phase active");
+            for (w, val) in outputs {
+                debug_assert!(w > v, "messages flow to higher indices only");
+                debug_assert!(
+                    !ph.full.contains(&w),
+                    "successor ({w}, {p}) cannot already be full while a \
+                     predecessor was still executing"
+                );
+                ph.inbox.entry(w).or_default().push((v, val));
+                ph.partial.insert(w);
+            }
+        }
+
+        // Statements 1.12–1.23: update x_p, x_{p+1}, … . The paper scans
+        // to pmax; since phase i's recomputed value depends only on its
+        // own (unchanged, for i > p) sets and the clamp against x_{i−1},
+        // the scan can stop at the first phase whose x does not change.
+        let mut changed: Vec<u64> = Vec::new();
+        let mut i = p;
+        while i <= self.pmax {
+            let bound = self.x_of(i - 1);
+            let ph = self.phases.get_mut(&i).expect("phases ≤ pmax active");
+            let new_x = match ph.min_active() {
+                None => self.n.min(bound),
+                Some(mn) => (mn - 1).min(bound),
+            };
+            if new_x == ph.x {
+                break;
+            }
+            debug_assert!(new_x > ph.x, "x_p never decreases (serializability)");
+            ph.x = new_x;
+            changed.push(i);
+            i += 1;
+        }
+
+        // Statements 1.24–1.26: promote newly full pairs. Phase p must
+        // always be rechecked (new partial pairs may already satisfy
+        // w ≤ m(x_p)); phases with changed x may promote as well.
+        let mut recheck: BTreeSet<u64> = changed.iter().copied().collect();
+        recheck.insert(p);
+        for &q in &recheck {
+            if q <= self.completed_through {
+                continue;
+            }
+            let mx = self.m[self.x_of(q) as usize];
+            let ph = match self.phases.get_mut(&q) {
+                Some(ph) => ph,
+                None => continue,
+            };
+            let movers: Vec<Idx> = ph.partial.range(..=mx).copied().collect();
+            for &w in &movers {
+                ph.partial.remove(&w);
+                ph.full.insert(w);
+            }
+            for w in movers {
+                self.vertex_full[w as usize].insert(q);
+                self.try_promote(w, &mut out.tasks);
+            }
+        }
+
+        // Statements 1.27–1.30 for the executed vertex: its next full
+        // phase (if any) may now be ready.
+        self.try_promote(v, &mut out.tasks);
+
+        // Advance the completed frontier and drop finished phases.
+        while let Some((&q, ph)) = self.phases.first_key_value() {
+            if ph.x == self.n {
+                debug_assert!(ph.partial.is_empty() && ph.full.is_empty());
+                debug_assert!(
+                    ph.inbox.is_empty(),
+                    "completed phase must have delivered every message"
+                );
+                self.phases.remove(&q);
+                self.completed_through = q;
+                out.phases_completed += 1;
+            } else {
+                break;
+            }
+        }
+
+        self.trace_step(TraceEvent::Executed {
+            vertex: v,
+            phase: p,
+            emitted,
+        });
+        out
+    }
+
+    /// Records one trace step (no-op unless tracing is enabled).
+    fn trace_step(&mut self, event: TraceEvent) {
+        if self.trace.is_none() {
+            return;
+        }
+        let after = self.snapshot();
+        if let Some(trace) = &mut self.trace {
+            trace.steps.push(TraceStep { event, after });
+        }
+    }
+
+    /// If `w`'s minimal full phase is not yet ready, makes it ready and
+    /// emits its task (statements 1.27–1.30 / 2.16–2.19). The messages
+    /// accumulated for the pair are attached to the task here: once a
+    /// pair is full, all of its messages have arrived (its predecessors
+    /// have all finished the phase), so this hand-off is race-free.
+    fn try_promote(&mut self, w: Idx, tasks: &mut Vec<Task>) {
+        if self.ready_phase[w as usize].is_some() {
+            return;
+        }
+        let q = match self.vertex_full[w as usize].first() {
+            Some(&q) => q,
+            None => return,
+        };
+        self.ready_phase[w as usize] = Some(q);
+        let ph = self.phases.get_mut(&q).expect("full phase is active");
+        let mut inputs = ph.inbox.remove(&w).unwrap_or_default();
+        inputs.sort_by_key(|(prod, _)| *prod);
+        tasks.push(Task {
+            idx: w,
+            phase: q,
+            inputs,
+        });
+    }
+
+    /// Snapshot of current set memberships (Figure 3 coordinates).
+    pub fn snapshot(&self) -> SetSnapshot {
+        let mut entries = Vec::new();
+        let mut x = Vec::new();
+        for (&q, ph) in &self.phases {
+            for &w in &ph.partial {
+                entries.push((w, q, SetMembership::Partial));
+            }
+            for &w in &ph.full {
+                let m = if self.ready_phase[w as usize] == Some(q) {
+                    SetMembership::FullAndReady
+                } else {
+                    SetMembership::FullOnly
+                };
+                entries.push((w, q, m));
+            }
+            x.push((q, ph.x));
+        }
+        entries.sort_by_key(|&(v, p, _)| (p, v));
+        SetSnapshot { entries, x }
+    }
+
+    /// Re-derives every invariant from the paper's definitions and
+    /// checks the incremental state against them. Used by tests after
+    /// every transition (`check_invariants` feature of the engine).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        // The active window covers exactly (completed_through, pmax].
+        for &q in self.phases.keys() {
+            if q <= self.completed_through() || q > self.pmax() {
+                return Err(format!(
+                    "phase {q} outside active window ({}, {}]",
+                    self.completed_through(),
+                    self.pmax()
+                ));
+            }
+        }
+        // x_p window consistency, definition of x (§3.1.2).
+        for (&q, ph) in &self.phases {
+            let bound = self.x_of(q - 1);
+            let expect = match ph.min_active() {
+                None => self.n.min(bound),
+                Some(mn) => (mn - 1).min(bound),
+            };
+            if ph.x != expect {
+                return Err(format!(
+                    "x_{q} = {} but definition gives {expect}",
+                    ph.x
+                ));
+            }
+            let mx = self.m[ph.x as usize];
+            // Definition (9): partial pairs have m(x_p) < v.
+            for &w in &ph.partial {
+                if w <= mx {
+                    return Err(format!(
+                        "({w}, {q}) in partial but w ≤ m(x_{q}) = {mx}"
+                    ));
+                }
+                if !ph.inbox.contains_key(&w) {
+                    return Err(format!("({w}, {q}) in partial without messages"));
+                }
+            }
+            // Definition (7): full pairs have x_p < v ≤ m(x_p).
+            for &w in &ph.full {
+                if w <= ph.x || w > mx {
+                    return Err(format!(
+                        "({w}, {q}) in full but not in (x_{q}, m(x_{q})] = ({}, {mx}]",
+                        ph.x
+                    ));
+                }
+                if !self.vertex_full[w as usize].contains(&q) {
+                    return Err(format!("vertex_full missing ({w}, {q})"));
+                }
+            }
+        }
+        // vertex_full mirrors the per-phase full sets.
+        for (w, phases) in self.vertex_full.iter().enumerate().skip(1) {
+            for &q in phases {
+                if !self
+                    .phases
+                    .get(&q)
+                    .is_some_and(|ph| ph.full.contains(&(w as Idx)))
+                {
+                    return Err(format!("vertex_full has stale ({w}, {q})"));
+                }
+            }
+            // Definition (8): the ready pair is the minimal full phase.
+            match (self.ready_phase[w], phases.first()) {
+                (Some(rp), Some(&mn)) if rp != mn => {
+                    return Err(format!(
+                        "vertex {w}: ready phase {rp} is not the minimal full phase {mn}"
+                    ));
+                }
+                (Some(rp), None) => {
+                    return Err(format!(
+                        "vertex {w}: ready phase {rp} but no full pairs"
+                    ));
+                }
+                (None, Some(&mn)) => {
+                    return Err(format!(
+                        "vertex {w}: full pair at phase {mn} but nothing ready \
+                         (every vertex with full pairs must have its minimum ready)"
+                    ));
+                }
+                _ => {}
+            }
+        }
+        // Monotonicity of x across phases (serializability guard).
+        let mut prev = self.n;
+        for ph in self.phases.values() {
+            if ph.x > prev {
+                return Err("x_p exceeds x_{p-1}".into());
+            }
+            prev = ph.x;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ec_graph::{generators, Numbering};
+
+    fn state_for(dag: &ec_graph::Dag) -> SchedState {
+        let numbering = Numbering::compute(dag);
+        SchedState::new(numbering.m_table())
+    }
+
+    /// Executes every returned task immediately with the given output
+    /// function, breadth-first, checking invariants after each commit.
+    fn drain(
+        st: &mut SchedState,
+        mut pending: Vec<Task>,
+        outputs: &mut impl FnMut(Idx, u64) -> Vec<(Idx, Value)>,
+    ) -> Vec<(Idx, u64)> {
+        let mut executed = Vec::new();
+        while let Some(task) = pending.pop() {
+            executed.push((task.idx, task.phase));
+            let outs = outputs(task.idx, task.phase);
+            let tr = st.finish_execution(task.idx, task.phase, outs);
+            st.check_invariants().unwrap();
+            pending.extend(tr.tasks);
+        }
+        executed
+    }
+
+    #[test]
+    fn single_vertex_phases_complete() {
+        let mut dag = ec_graph::Dag::new();
+        dag.add_vertex("only");
+        let mut st = state_for(&dag);
+        st.check_invariants().unwrap();
+
+        let (p1, tr) = st.start_phase();
+        assert_eq!(p1, 1);
+        assert_eq!(tr.tasks.len(), 1);
+        assert_eq!(tr.tasks[0], Task { idx: 1, phase: 1, inputs: vec![] });
+        st.check_invariants().unwrap();
+
+        let tr = st.finish_execution(1, 1, vec![]);
+        assert_eq!(tr.phases_completed, 1);
+        assert!(tr.tasks.is_empty());
+        assert_eq!(st.completed_through(), 1);
+        st.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn chain_propagates_messages() {
+        let dag = generators::chain(3);
+        let mut st = state_for(&dag);
+        let (_, tr) = st.start_phase();
+        assert_eq!(tr.tasks.len(), 1); // one source
+
+        // Source emits to vertex 2; 2 becomes full+ready at once because
+        // x_1 advances to 1 and m(1) = 2.
+        let tr = st.finish_execution(1, 1, vec![(2, Value::Int(10))]);
+        st.check_invariants().unwrap();
+        assert_eq!(tr.tasks.len(), 1);
+        assert_eq!(tr.tasks[0].idx, 2);
+        assert_eq!(tr.tasks[0].inputs, vec![(1, Value::Int(10))]);
+
+        let tr = st.finish_execution(2, 1, vec![(3, Value::Int(20))]);
+        st.check_invariants().unwrap();
+        assert_eq!(tr.tasks.len(), 1);
+        assert_eq!(tr.tasks[0].idx, 3);
+
+        let tr = st.finish_execution(3, 1, vec![]);
+        assert_eq!(tr.phases_completed, 1);
+        assert_eq!(st.completed_through(), 1);
+    }
+
+    #[test]
+    fn silence_completes_phase_without_executing_downstream() {
+        // When the source emits nothing, the phase completes with only
+        // the source executed — information conveyed by absence.
+        let dag = generators::chain(4);
+        let mut st = state_for(&dag);
+        let (_, tr) = st.start_phase();
+        let executed = drain(&mut st, tr.tasks, &mut |_, _| vec![]);
+        assert_eq!(executed, vec![(1, 1)]);
+        assert_eq!(st.completed_through(), 1);
+    }
+
+    #[test]
+    fn pipelined_phases_respect_ready_rule() {
+        let dag = generators::chain(3);
+        let mut st = state_for(&dag);
+        let (_, tr1) = st.start_phase();
+        let (_, tr2) = st.start_phase();
+        st.check_invariants().unwrap();
+        // Source ready for phase 1 only; phase 2 is full but not ready.
+        assert_eq!(tr1.tasks.len(), 1);
+        assert!(tr2.tasks.is_empty());
+        assert_eq!(st.snapshot().ready(), vec![(1, 1)]);
+        assert_eq!(st.snapshot().full(), vec![(1, 1), (1, 2)]);
+
+        // Finishing (1,1) readies both (2,1) (via message) and (1,2).
+        let tr = st.finish_execution(1, 1, vec![(2, Value::Int(1))]);
+        st.check_invariants().unwrap();
+        let mut ready: Vec<(Idx, u64)> = tr.tasks.iter().map(|t| (t.idx, t.phase)).collect();
+        ready.sort_unstable();
+        assert_eq!(ready, vec![(1, 2), (2, 1)]);
+    }
+
+    #[test]
+    fn no_overtaking_x_clamped() {
+        // Phase 2 cannot advance its frontier beyond phase 1's.
+        let dag = generators::chain(2);
+        let mut st = state_for(&dag);
+        st.start_phase();
+        st.start_phase();
+        // Execute (1,1) emitting nothing; then (1,2) emitting to 2.
+        let tr = st.finish_execution(1, 1, vec![]);
+        assert_eq!(tr.tasks.len(), 1); // (1,2) ready
+        // Phase 1 complete, x_1 = N = 2.
+        assert_eq!(st.completed_through(), 1);
+        let tr = st.finish_execution(1, 2, vec![(2, Value::Int(5))]);
+        st.check_invariants().unwrap();
+        assert_eq!(tr.tasks.len(), 1);
+        assert_eq!(tr.tasks[0].idx, 2);
+        let tr = st.finish_execution(2, 2, vec![]);
+        assert_eq!(tr.phases_completed, 1);
+        assert_eq!(st.completed_through(), 2);
+    }
+
+    #[test]
+    fn x_clamp_blocks_later_phase_completion() {
+        // Even if phase 2 has no active pairs left, it is not complete
+        // while phase 1 is still executing (x_2 ≤ x_1 < N).
+        let dag = generators::chain(2);
+        let mut st = state_for(&dag);
+        st.start_phase(); // phase 1: (1,1) ready
+        st.start_phase(); // phase 2: (1,2) full, not ready
+        // Finish (1,1) with an output; (2,1) and (1,2) become ready.
+        let tr = st.finish_execution(1, 1, vec![(2, Value::Int(1))]);
+        let mut pairs: Vec<_> = tr.tasks.iter().map(|t| (t.idx, t.phase)).collect();
+        pairs.sort_unstable();
+        assert_eq!(pairs, vec![(1, 2), (2, 1)]);
+        // Finish (1,2) silently. Phase 2 now has no active pairs, but
+        // phase 1 still does — phase 2 must not complete.
+        let tr = st.finish_execution(1, 2, vec![]);
+        assert_eq!(tr.phases_completed, 0);
+        assert_eq!(st.x_of(2), st.x_of(1));
+        assert!(st.x_of(1) < st.n());
+        st.check_invariants().unwrap();
+        // Finishing (2,1) completes both phases in order.
+        let tr = st.finish_execution(2, 1, vec![]);
+        assert_eq!(tr.phases_completed, 2);
+        assert_eq!(st.completed_through(), 2);
+    }
+
+    #[test]
+    fn diamond_join_waits_for_both_branches() {
+        // diamond: 1 -> {2, 3} -> 4 (schedule indices).
+        let dag = generators::diamond();
+        let mut st = state_for(&dag);
+        let (_, tr) = st.start_phase();
+        assert_eq!(tr.tasks.len(), 1);
+
+        let tr = st.finish_execution(1, 1, vec![(2, Value::Int(1)), (3, Value::Int(2))]);
+        st.check_invariants().unwrap();
+        assert_eq!(tr.tasks.len(), 2); // both branches ready
+
+        // Finish one branch; 4 has a message but is only partial until
+        // the other branch finishes.
+        let tr = st.finish_execution(2, 1, vec![(4, Value::Int(10))]);
+        st.check_invariants().unwrap();
+        assert!(tr.tasks.is_empty());
+        assert_eq!(st.snapshot().partial(), vec![(4, 1)]);
+
+        let tr = st.finish_execution(3, 1, vec![(4, Value::Int(20))]);
+        st.check_invariants().unwrap();
+        assert_eq!(tr.tasks.len(), 1);
+        assert_eq!(tr.tasks[0].idx, 4);
+        // Messages sorted by producer index.
+        assert_eq!(
+            tr.tasks[0].inputs,
+            vec![(2, Value::Int(10)), (3, Value::Int(20))]
+        );
+    }
+
+    #[test]
+    fn join_fires_with_single_branch_when_other_silent() {
+        let dag = generators::diamond();
+        let mut st = state_for(&dag);
+        let (_, tr) = st.start_phase();
+        let _ = tr;
+        let _ = st.finish_execution(1, 1, vec![(2, Value::Int(1)), (3, Value::Int(2))]);
+        // Branch 2 emits; branch 3 is silent. The join must still
+        // execute (with just one fresh input) once branch 3 finishes —
+        // the absence of 3's message is information.
+        let tr = st.finish_execution(2, 1, vec![(4, Value::Int(10))]);
+        assert!(tr.tasks.is_empty());
+        let tr = st.finish_execution(3, 1, vec![]);
+        assert_eq!(tr.tasks.len(), 1);
+        assert_eq!(tr.tasks[0].inputs, vec![(2, Value::Int(10))]);
+        let tr = st.finish_execution(4, 1, vec![]);
+        assert_eq!(tr.phases_completed, 1);
+    }
+
+    #[test]
+    fn many_phases_pipeline_on_chain() {
+        // Start 5 phases on a 5-chain; execute greedily; all complete.
+        let dag = generators::chain(5);
+        let mut st = state_for(&dag);
+        let mut pending: Vec<Task> = Vec::new();
+        for _ in 0..5 {
+            let (_, tr) = st.start_phase();
+            pending.extend(tr.tasks);
+            st.check_invariants().unwrap();
+        }
+        let executed = drain(&mut st, pending, &mut |v, _| {
+            if v < 5 {
+                vec![(v + 1, Value::Int(v as i64))]
+            } else {
+                vec![]
+            }
+        });
+        assert_eq!(executed.len(), 25); // 5 vertices × 5 phases
+        assert_eq!(st.completed_through(), 5);
+        assert_eq!(st.inflight(), 0);
+    }
+
+    #[test]
+    fn exactly_once_execution() {
+        // Under a random execution order, every pair is executed at most
+        // once and everything that should execute does.
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+        let dag = generators::layered(4, 3, 2, 3);
+        let numbering = Numbering::compute(&dag);
+        let n = numbering.len() as Idx;
+        let mut st = SchedState::new(numbering.m_table());
+        let mut pending: Vec<Task> = Vec::new();
+        let phases = 4u64;
+        for _ in 0..phases {
+            let (_, tr) = st.start_phase();
+            pending.extend(tr.tasks);
+        }
+        let mut seen = std::collections::HashSet::new();
+        // Everything broadcasts, so all pairs execute.
+        let succs_of = |v: Idx| -> Vec<Idx> {
+            let vid = numbering.vertex_at(v);
+            dag.succs(vid)
+                .iter()
+                .map(|&s| numbering.index_of(s))
+                .collect()
+        };
+        while !pending.is_empty() {
+            pending.shuffle(&mut rng);
+            let task = pending.pop().unwrap();
+            assert!(
+                seen.insert((task.idx, task.phase)),
+                "pair executed twice: {:?}",
+                (task.idx, task.phase)
+            );
+            let outs: Vec<(Idx, Value)> = succs_of(task.idx)
+                .into_iter()
+                .map(|s| (s, Value::Int(1)))
+                .collect();
+            let tr = st.finish_execution(task.idx, task.phase, outs);
+            st.check_invariants().unwrap();
+            pending.extend(tr.tasks);
+        }
+        assert_eq!(seen.len(), (n as u64 * phases) as usize);
+        assert_eq!(st.completed_through(), phases);
+    }
+
+    #[test]
+    fn snapshot_and_trace() {
+        let dag = generators::chain(2);
+        let mut st = state_for(&dag);
+        st.enable_trace();
+        let (_, tr) = st.start_phase();
+        let t = &tr.tasks;
+        assert_eq!(t.len(), 1);
+        st.finish_execution(1, 1, vec![(2, Value::Int(1))]);
+        st.finish_execution(2, 1, vec![]);
+        let trace = st.take_trace().unwrap();
+        assert_eq!(trace.len(), 3);
+        assert!(matches!(trace.steps[0].event, TraceEvent::PhaseStarted(1)));
+        assert_eq!(trace.execution_order(), vec![(1, 1), (2, 1)]);
+        // After (1,1): (2,1) is full+ready, x_1 = 1.
+        let after = &trace.steps[1].after;
+        assert_eq!(after.ready(), vec![(2, 1)]);
+        assert_eq!(after.x_of(1), Some(1));
+        // After (2,1): everything done, no active phases.
+        assert!(trace.steps[2].after.entries.is_empty());
+    }
+
+    #[test]
+    fn x_of_outside_window() {
+        let dag = generators::chain(2);
+        let mut st = state_for(&dag);
+        assert_eq!(st.x_of(1), 0); // unstarted
+        st.start_phase();
+        st.finish_execution(1, 1, vec![]);
+        assert_eq!(st.completed_through(), 1);
+        assert_eq!(st.x_of(1), st.n()); // completed
+        assert_eq!(st.x_of(99), 0);
+    }
+}

@@ -1,0 +1,233 @@
+//! Execution tracing: set-membership snapshots (Figure 3).
+//!
+//! Figure 3 of the paper depicts eight steps in the execution of a
+//! 6-node graph, showing for each step which vertex-phase pairs are in
+//! *no* set, only the **partial** set, only the **full** set, or in both
+//! the **full and ready** sets. When tracing is enabled the scheduler
+//! records exactly that information after every transition, so the
+//! figure can be replayed and asserted in tests.
+//!
+//! Traces use the paper's coordinates: 1-based schedule indices and
+//! 1-based phase numbers.
+
+use std::fmt;
+
+/// What the scheduler just did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// The environment process started a phase (Listing 2, loop body).
+    PhaseStarted(u64),
+    /// A computation process finished executing a vertex-phase pair and
+    /// updated the data structures (Listing 1, loop body). `emitted` is
+    /// the number of output messages it generated.
+    Executed {
+        /// 1-based schedule index of the executed vertex.
+        vertex: u32,
+        /// Phase number.
+        phase: u64,
+        /// Number of messages the execution produced.
+        emitted: usize,
+    },
+}
+
+/// The classification Figure 3 uses for each vertex-phase pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SetMembership {
+    /// In the partial set only (drawn as a diamond in Figure 3).
+    Partial,
+    /// In the full set but not ready (drawn as an octagon).
+    FullOnly,
+    /// In both the full and ready sets (drawn as a square).
+    FullAndReady,
+}
+
+/// Snapshot of all set memberships after one transition.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SetSnapshot {
+    /// `(vertex index, phase, membership)` sorted by `(phase, vertex)`.
+    pub entries: Vec<(u32, u64, SetMembership)>,
+    /// `x_p` values for all phases in the active window, as
+    /// `(phase, x)` pairs sorted by phase.
+    pub x: Vec<(u64, u32)>,
+}
+
+impl SetSnapshot {
+    /// Membership of `(vertex, phase)`, or `None` if in no set.
+    pub fn membership(&self, vertex: u32, phase: u64) -> Option<SetMembership> {
+        self.entries
+            .iter()
+            .find(|(v, p, _)| *v == vertex && *p == phase)
+            .map(|(_, _, m)| *m)
+    }
+
+    /// All pairs currently in the partial set.
+    pub fn partial(&self) -> Vec<(u32, u64)> {
+        self.with(SetMembership::Partial)
+    }
+
+    /// All pairs in the full set (ready or not).
+    pub fn full(&self) -> Vec<(u32, u64)> {
+        self.entries
+            .iter()
+            .filter(|(_, _, m)| {
+                matches!(m, SetMembership::FullOnly | SetMembership::FullAndReady)
+            })
+            .map(|(v, p, _)| (*v, *p))
+            .collect()
+    }
+
+    /// All pairs in the ready set.
+    pub fn ready(&self) -> Vec<(u32, u64)> {
+        self.with(SetMembership::FullAndReady)
+    }
+
+    fn with(&self, m: SetMembership) -> Vec<(u32, u64)> {
+        self.entries
+            .iter()
+            .filter(|(_, _, mm)| *mm == m)
+            .map(|(v, p, _)| (*v, *p))
+            .collect()
+    }
+
+    /// The recorded `x_p` for `phase`, if the phase was in the active
+    /// window at snapshot time.
+    pub fn x_of(&self, phase: u64) -> Option<u32> {
+        self.x
+            .iter()
+            .find(|(p, _)| *p == phase)
+            .map(|(_, x)| *x)
+    }
+}
+
+/// One step of a trace: the transition plus the state after it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceStep {
+    /// What happened.
+    pub event: TraceEvent,
+    /// The set memberships afterwards.
+    pub after: SetSnapshot,
+}
+
+/// A full recorded trace.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Steps in the order the scheduler's critical sections committed.
+    pub steps: Vec<TraceStep>,
+}
+
+impl Trace {
+    /// Steps matching an executed vertex-phase pair.
+    pub fn executions(&self) -> impl Iterator<Item = (u32, u64, &TraceStep)> + '_ {
+        self.steps.iter().filter_map(|s| match s.event {
+            TraceEvent::Executed { vertex, phase, .. } => Some((vertex, phase, s)),
+            TraceEvent::PhaseStarted(_) => None,
+        })
+    }
+
+    /// The order in which vertex-phase pairs were executed.
+    pub fn execution_order(&self) -> Vec<(u32, u64)> {
+        self.executions().map(|(v, p, _)| (v, p)).collect()
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, step) in self.steps.iter().enumerate() {
+            match &step.event {
+                TraceEvent::PhaseStarted(p) => writeln!(f, "step {i}: phase {p} initiated")?,
+                TraceEvent::Executed {
+                    vertex,
+                    phase,
+                    emitted,
+                } => writeln!(
+                    f,
+                    "step {i}: ({vertex}, {phase}) executed, generated {emitted} output(s)"
+                )?,
+            }
+            for (v, p, m) in &step.after.entries {
+                let tag = match m {
+                    SetMembership::Partial => "partial",
+                    SetMembership::FullOnly => "full",
+                    SetMembership::FullAndReady => "full+ready",
+                };
+                writeln!(f, "        ({v}, {p}): {tag}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap() -> SetSnapshot {
+        SetSnapshot {
+            entries: vec![
+                (3, 1, SetMembership::Partial),
+                (1, 2, SetMembership::FullAndReady),
+                (2, 2, SetMembership::FullOnly),
+            ],
+            x: vec![(1, 2), (2, 0)],
+        }
+    }
+
+    #[test]
+    fn membership_queries() {
+        let s = snap();
+        assert_eq!(s.membership(3, 1), Some(SetMembership::Partial));
+        assert_eq!(s.membership(1, 2), Some(SetMembership::FullAndReady));
+        assert_eq!(s.membership(9, 9), None);
+        assert_eq!(s.partial(), vec![(3, 1)]);
+        assert_eq!(s.ready(), vec![(1, 2)]);
+        let mut full = s.full();
+        full.sort_unstable();
+        assert_eq!(full, vec![(1, 2), (2, 2)]);
+        assert_eq!(s.x_of(1), Some(2));
+        assert_eq!(s.x_of(3), None);
+    }
+
+    #[test]
+    fn trace_execution_order() {
+        let t = Trace {
+            steps: vec![
+                TraceStep {
+                    event: TraceEvent::PhaseStarted(1),
+                    after: SetSnapshot::default(),
+                },
+                TraceStep {
+                    event: TraceEvent::Executed {
+                        vertex: 1,
+                        phase: 1,
+                        emitted: 1,
+                    },
+                    after: SetSnapshot::default(),
+                },
+                TraceStep {
+                    event: TraceEvent::Executed {
+                        vertex: 2,
+                        phase: 1,
+                        emitted: 0,
+                    },
+                    after: SetSnapshot::default(),
+                },
+            ],
+        };
+        assert_eq!(t.execution_order(), vec![(1, 1), (2, 1)]);
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+        let text = t.to_string();
+        assert!(text.contains("phase 1 initiated"));
+        assert!(text.contains("(1, 1) executed"));
+    }
+}

@@ -1,0 +1,322 @@
+//! Per-vertex execution slots shared by all executors.
+//!
+//! A [`VertexSlot`] owns a vertex's module and the remembered
+//! latest-value per input edge (the paper's "using previous values for
+//! any inputs it has not received for phase p"). The parallel engine,
+//! the sequential oracle and the phase-barrier baseline all execute
+//! vertices through this one code path, so any semantic difference
+//! between them is in scheduling alone — which is exactly what the
+//! serializability tests need to isolate.
+
+use crate::error::EngineError;
+use crate::history::RecordedEmission;
+use crate::module::{Emission, ExecCtx, InputView, Module};
+use crate::state::Idx;
+use ec_events::{Phase, Value};
+use ec_graph::{Dag, Numbering, VertexId};
+
+/// A vertex's module plus its input memory.
+pub(crate) struct VertexSlot {
+    /// The graph vertex this slot executes.
+    pub vertex_id: VertexId,
+    /// The installed module.
+    pub module: Box<dyn Module>,
+    /// Predecessor vertices, in edge order.
+    pub preds: Vec<VertexId>,
+    /// Latest value seen per predecessor (same order as `preds`).
+    pub latest: Vec<Option<Value>>,
+    /// True if the vertex has no predecessors.
+    pub is_source: bool,
+    /// True if the vertex has no successors.
+    pub is_sink: bool,
+}
+
+impl VertexSlot {
+    /// Builds slots in schedule order (`slots[i]` executes the vertex
+    /// with schedule index `i + 1`).
+    pub fn build(
+        dag: &Dag,
+        numbering: &Numbering,
+        modules: Vec<Box<dyn Module>>,
+    ) -> Result<Vec<VertexSlot>, EngineError> {
+        if dag.is_empty() {
+            return Err(EngineError::Config("graph has no vertices".into()));
+        }
+        if modules.len() != dag.vertex_count() {
+            return Err(EngineError::Config(format!(
+                "{} modules supplied for {} vertices",
+                modules.len(),
+                dag.vertex_count()
+            )));
+        }
+        // Reorder modules (indexed by VertexId) into schedule order.
+        let mut by_vertex: Vec<Option<Box<dyn Module>>> =
+            modules.into_iter().map(Some).collect();
+        let slots = numbering
+            .schedule_order()
+            .map(|v| {
+                let preds = dag.preds(v).to_vec();
+                VertexSlot {
+                    vertex_id: v,
+                    module: by_vertex[v.index()].take().expect("each vertex once"),
+                    latest: vec![None; preds.len()],
+                    is_source: preds.is_empty(),
+                    is_sink: dag.is_sink(v),
+                    preds,
+                }
+            })
+            .collect();
+        Ok(slots)
+    }
+
+    /// Executes one phase: folds `fresh` into the latest-value memory,
+    /// then runs the module.
+    pub fn execute(&mut self, phase: Phase, fresh: &[(VertexId, Value)]) -> Emission {
+        for (producer, value) in fresh {
+            let i = self
+                .preds
+                .iter()
+                .position(|p| p == producer)
+                .expect("fresh message from a non-predecessor");
+            self.latest[i] = Some(value.clone());
+        }
+        let ctx = ExecCtx {
+            phase,
+            vertex: self.vertex_id,
+            inputs: InputView {
+                preds: &self.preds,
+                latest: &self.latest,
+                fresh,
+            },
+            is_source: self.is_source,
+        };
+        self.module.execute(ctx)
+    }
+}
+
+/// The routed form of an emission: messages in schedule-index space, an
+/// optional external (sink) output, and the normalised history record.
+pub(crate) struct RoutedEmission {
+    /// `(consumer schedule index, value)` messages, sorted by consumer.
+    pub messages: Vec<(Idx, Value)>,
+    /// Value delivered to the outside world (sink broadcast).
+    pub sink_value: Option<Value>,
+    /// Normalised record for the execution history.
+    pub recorded: RecordedEmission,
+}
+
+/// Routes an emission from the vertex with schedule index `v_idx`.
+///
+/// `succs_idx` are the vertex's successors as schedule indices (sorted);
+/// `numbering` translates module-facing [`VertexId`] targets.
+pub(crate) fn route_emission(
+    emission: Emission,
+    slot_is_sink: bool,
+    vertex_id: VertexId,
+    succs_idx: &[Idx],
+    numbering: &Numbering,
+) -> Result<RoutedEmission, EngineError> {
+    match emission {
+        Emission::Silent => Ok(RoutedEmission {
+            messages: Vec::new(),
+            sink_value: None,
+            recorded: RecordedEmission::Silent,
+        }),
+        Emission::Broadcast(value) => {
+            if slot_is_sink {
+                Ok(RoutedEmission {
+                    messages: Vec::new(),
+                    sink_value: Some(value.clone()),
+                    recorded: RecordedEmission::Broadcast(value),
+                })
+            } else {
+                Ok(RoutedEmission {
+                    messages: succs_idx.iter().map(|&s| (s, value.clone())).collect(),
+                    sink_value: None,
+                    recorded: RecordedEmission::Broadcast(value),
+                })
+            }
+        }
+        Emission::Targeted(pairs) => {
+            let mut messages: Vec<(Idx, Value)> = Vec::with_capacity(pairs.len());
+            let mut recorded: Vec<(VertexId, Value)> = Vec::with_capacity(pairs.len());
+            for (target, value) in pairs {
+                let t_idx = numbering.index_of(target);
+                if !succs_idx.contains(&t_idx) {
+                    return Err(EngineError::BadTarget {
+                        vertex: vertex_id,
+                        target,
+                    });
+                }
+                if messages.iter().any(|(existing, _)| *existing == t_idx) {
+                    return Err(EngineError::DuplicateTarget {
+                        vertex: vertex_id,
+                        target,
+                    });
+                }
+                messages.push((t_idx, value.clone()));
+                recorded.push((target, value));
+            }
+            messages.sort_by_key(|(t, _)| *t);
+            recorded.sort_by_key(|(t, _)| *t);
+            Ok(RoutedEmission {
+                messages,
+                sink_value: None,
+                recorded: RecordedEmission::Targeted(recorded),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::{PassThrough, SourceModule, SumModule};
+    use ec_events::sources::Counter;
+    use ec_graph::generators;
+
+    fn diamond_setup() -> (Dag, Numbering, Vec<VertexSlot>) {
+        let dag = generators::diamond();
+        let numbering = Numbering::compute(&dag);
+        let modules: Vec<Box<dyn Module>> = vec![
+            Box::new(SourceModule::new(Counter::new())),
+            Box::new(PassThrough),
+            Box::new(PassThrough),
+            Box::new(SumModule),
+        ];
+        let slots = VertexSlot::build(&dag, &numbering, modules).unwrap();
+        (dag, numbering, slots)
+    }
+
+    #[test]
+    fn build_orders_by_schedule_index() {
+        let (dag, numbering, slots) = diamond_setup();
+        for (i, slot) in slots.iter().enumerate() {
+            assert_eq!(numbering.index_of(slot.vertex_id), i as u32 + 1);
+        }
+        assert!(slots[0].is_source);
+        assert!(slots[3].is_sink);
+        assert_eq!(slots[3].preds.len(), 2);
+        let _ = dag;
+    }
+
+    #[test]
+    fn build_rejects_mismatched_modules() {
+        let dag = generators::chain(2);
+        let numbering = Numbering::compute(&dag);
+        let modules: Vec<Box<dyn Module>> = vec![Box::new(PassThrough)];
+        assert!(matches!(
+            VertexSlot::build(&dag, &numbering, modules),
+            Err(EngineError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn build_rejects_empty_graph() {
+        let dag = Dag::new();
+        let numbering = Numbering::compute(&dag);
+        assert!(matches!(
+            VertexSlot::build(&dag, &numbering, vec![]),
+            Err(EngineError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn execute_updates_latest_memory() {
+        let (_, _, mut slots) = diamond_setup();
+        // Execute the sink (slot 3) with one fresh input.
+        let preds = slots[3].preds.clone();
+        let fresh = vec![(preds[0], Value::Float(2.0))];
+        slots[3].execute(Phase(1), &fresh);
+        assert_eq!(slots[3].latest[0], Some(Value::Float(2.0)));
+        assert_eq!(slots[3].latest[1], None);
+        // Second execution with the other input; SumModule sees both.
+        let fresh = vec![(preds[1], Value::Float(3.0))];
+        let e = slots[3].execute(Phase(2), &fresh);
+        assert_eq!(e, Emission::Broadcast(Value::Float(5.0)));
+    }
+
+    #[test]
+    fn route_broadcast_to_successors() {
+        let (_, numbering, _) = diamond_setup();
+        let routed = route_emission(
+            Emission::Broadcast(Value::Int(1)),
+            false,
+            numbering.vertex_at(1),
+            &[2, 3],
+            &numbering,
+        )
+        .unwrap();
+        assert_eq!(
+            routed.messages,
+            vec![(2, Value::Int(1)), (3, Value::Int(1))]
+        );
+        assert!(routed.sink_value.is_none());
+    }
+
+    #[test]
+    fn route_sink_broadcast_to_outside() {
+        let (_, numbering, _) = diamond_setup();
+        let routed = route_emission(
+            Emission::Broadcast(Value::Int(9)),
+            true,
+            numbering.vertex_at(4),
+            &[],
+            &numbering,
+        )
+        .unwrap();
+        assert!(routed.messages.is_empty());
+        assert_eq!(routed.sink_value, Some(Value::Int(9)));
+    }
+
+    #[test]
+    fn route_targeted_validates_and_sorts() {
+        let (_, numbering, _) = diamond_setup();
+        let v2 = numbering.vertex_at(2);
+        let v3 = numbering.vertex_at(3);
+        let routed = route_emission(
+            Emission::Targeted(vec![(v3, Value::Int(3)), (v2, Value::Int(2))]),
+            false,
+            numbering.vertex_at(1),
+            &[2, 3],
+            &numbering,
+        )
+        .unwrap();
+        assert_eq!(routed.messages, vec![(2, Value::Int(2)), (3, Value::Int(3))]);
+
+        // Non-successor target rejected.
+        let bad = route_emission(
+            Emission::Targeted(vec![(numbering.vertex_at(4), Value::Int(1))]),
+            false,
+            numbering.vertex_at(1),
+            &[2, 3],
+            &numbering,
+        );
+        assert!(matches!(bad, Err(EngineError::BadTarget { .. })));
+
+        // Duplicate target rejected.
+        let dup = route_emission(
+            Emission::Targeted(vec![(v2, Value::Int(1)), (v2, Value::Int(2))]),
+            false,
+            numbering.vertex_at(1),
+            &[2, 3],
+            &numbering,
+        );
+        assert!(matches!(dup, Err(EngineError::DuplicateTarget { .. })));
+    }
+
+    #[test]
+    fn route_silent() {
+        let (_, numbering, _) = diamond_setup();
+        let routed = route_emission(
+            Emission::Silent,
+            false,
+            numbering.vertex_at(1),
+            &[2, 3],
+            &numbering,
+        )
+        .unwrap();
+        assert!(routed.messages.is_empty());
+        assert_eq!(routed.recorded, RecordedEmission::Silent);
+    }
+}

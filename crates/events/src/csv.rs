@@ -1,0 +1,320 @@
+//! CSV trace parsing and replay.
+//!
+//! The paper's motivating feeds — disease incidence rates, banking
+//! transactions, sensor logs — arrive in practice as recorded traces.
+//! This module provides a small dependency-free CSV parser (RFC-4180
+//! quoting: quoted fields, escaped quotes, embedded separators and
+//! newlines) and [`CsvReplay`], an [`EventSource`] that replays one
+//! numeric column phase by phase. Empty cells become silent phases, so
+//! a sparse trace drives the Δ-dataflow absence machinery exactly like
+//! a live sparse sensor.
+
+use crate::phase::Phase;
+use crate::sources::EventSource;
+use crate::value::Value;
+use std::fmt;
+
+/// CSV parse error with 1-based record position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsvError {
+    /// Record (row) number, counting from 1.
+    pub record: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CSV error in record {}: {}", self.record, self.message)
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// Parses CSV text into records of fields.
+///
+/// Handles quoted fields (`"a,b"`), escaped quotes (`""`), embedded
+/// newlines inside quotes, and both `\n` and `\r\n` record separators.
+/// A trailing newline does not produce an empty final record.
+pub fn parse_csv(input: &str) -> Result<Vec<Vec<String>>, CsvError> {
+    let mut records = Vec::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut chars = input.chars().peekable();
+    let mut in_quotes = false;
+    let mut record_no = 1usize;
+    let mut any_content = false;
+
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                _ => field.push(c),
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                if !field.is_empty() {
+                    return Err(CsvError {
+                        record: record_no,
+                        message: "quote inside unquoted field".into(),
+                    });
+                }
+                in_quotes = true;
+                any_content = true;
+            }
+            ',' => {
+                record.push(std::mem::take(&mut field));
+                any_content = true;
+            }
+            '\r' => {
+                if chars.peek() == Some(&'\n') {
+                    chars.next();
+                }
+                record.push(std::mem::take(&mut field));
+                records.push(std::mem::take(&mut record));
+                record_no += 1;
+                any_content = false;
+            }
+            '\n' => {
+                record.push(std::mem::take(&mut field));
+                records.push(std::mem::take(&mut record));
+                record_no += 1;
+                any_content = false;
+            }
+            _ => {
+                field.push(c);
+                any_content = true;
+            }
+        }
+    }
+    if in_quotes {
+        return Err(CsvError {
+            record: record_no,
+            message: "unterminated quoted field".into(),
+        });
+    }
+    if any_content || !field.is_empty() || !record.is_empty() {
+        record.push(field);
+        records.push(record);
+    }
+    Ok(records)
+}
+
+/// A parsed numeric trace: optional header plus one value column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    /// Column name if the file had a header.
+    pub column: Option<String>,
+    /// One entry per record; `None` = empty cell = silent phase.
+    pub samples: Vec<Option<f64>>,
+}
+
+impl Trace {
+    /// Extracts column `col` (0-based) from CSV text. If `has_header`,
+    /// the first record names the column and is not a sample.
+    pub fn from_csv(input: &str, col: usize, has_header: bool) -> Result<Trace, CsvError> {
+        let records = parse_csv(input)?;
+        let mut iter = records.into_iter().enumerate();
+        let mut column = None;
+        if has_header {
+            if let Some((_, header)) = iter.next() {
+                column = header.get(col).cloned();
+            }
+        }
+        let mut samples = Vec::new();
+        for (i, record) in iter {
+            let cell = record.get(col).ok_or_else(|| CsvError {
+                record: i + 1,
+                message: format!("record has {} fields, column {col} requested", record.len()),
+            })?;
+            let trimmed = cell.trim();
+            if trimmed.is_empty() {
+                samples.push(None);
+            } else {
+                let x: f64 = trimmed.parse().map_err(|_| CsvError {
+                    record: i + 1,
+                    message: format!("not a number: {trimmed:?}"),
+                })?;
+                samples.push(Some(x));
+            }
+        }
+        Ok(Trace { column, samples })
+    }
+
+    /// Number of records (phases) in the trace.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if the trace holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Turns the trace into a replayable source.
+    pub fn into_source(self) -> CsvReplay {
+        CsvReplay {
+            samples: self.samples,
+            pos: 0,
+            looped: false,
+        }
+    }
+}
+
+/// Replays a [`Trace`] one record per phase; empty cells are silent.
+#[derive(Debug, Clone)]
+pub struct CsvReplay {
+    samples: Vec<Option<f64>>,
+    pos: usize,
+    looped: bool,
+}
+
+impl CsvReplay {
+    /// Parses CSV text and replays column `col`.
+    pub fn from_csv(input: &str, col: usize, has_header: bool) -> Result<CsvReplay, CsvError> {
+        Ok(Trace::from_csv(input, col, has_header)?.into_source())
+    }
+
+    /// Restart from the beginning when the trace ends, instead of going
+    /// permanently silent.
+    pub fn looping(mut self) -> Self {
+        self.looped = true;
+        self
+    }
+}
+
+impl EventSource for CsvReplay {
+    fn poll(&mut self, _phase: Phase) -> Option<Value> {
+        if self.pos >= self.samples.len() {
+            if self.looped && !self.samples.is_empty() {
+                self.pos = 0;
+            } else {
+                return None;
+            }
+        }
+        let sample = self.samples[self.pos];
+        self.pos += 1;
+        sample.map(Value::Float)
+    }
+
+    fn kind(&self) -> &'static str {
+        "csv-replay"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_plain_records() {
+        let got = parse_csv("a,b,c\n1,2,3\n").unwrap();
+        assert_eq!(
+            got,
+            vec![vec!["a", "b", "c"], vec!["1", "2", "3"]]
+                .into_iter()
+                .map(|r| r.into_iter().map(String::from).collect::<Vec<_>>())
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn quoting_rules() {
+        let got = parse_csv("\"a,b\",\"say \"\"hi\"\"\",\"two\nlines\"\n").unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0], vec!["a,b", "say \"hi\"", "two\nlines"]);
+    }
+
+    #[test]
+    fn crlf_and_missing_trailing_newline() {
+        let got = parse_csv("1,2\r\n3,4").unwrap();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[1], vec!["3", "4"]);
+    }
+
+    #[test]
+    fn empty_input_is_empty() {
+        assert_eq!(parse_csv("").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn errors_on_unterminated_quote() {
+        let err = parse_csv("\"oops\n").unwrap_err();
+        assert!(err.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn errors_on_stray_quote() {
+        let err = parse_csv("ab\"c\n").unwrap_err();
+        assert!(err.message.contains("quote inside unquoted"));
+    }
+
+    #[test]
+    fn trace_with_header_and_gaps() {
+        let csv = "time,temp\n1,20.5\n2,\n3,21.0\n";
+        let t = Trace::from_csv(csv, 1, true).unwrap();
+        assert_eq!(t.column.as_deref(), Some("temp"));
+        assert_eq!(t.samples, vec![Some(20.5), None, Some(21.0)]);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn trace_errors() {
+        assert!(Trace::from_csv("h\nnope\n", 0, true)
+            .unwrap_err()
+            .message
+            .contains("not a number"));
+        assert!(Trace::from_csv("1\n", 3, false)
+            .unwrap_err()
+            .message
+            .contains("column 3 requested"));
+    }
+
+    #[test]
+    fn replay_emits_then_silences() {
+        let mut src = CsvReplay::from_csv("v\n1.5\n\n2.5\n", 0, true).unwrap();
+        let out: Vec<Option<Value>> =
+            Phase::first_n(5).map(|p| src.poll(p)).collect();
+        assert_eq!(
+            out,
+            vec![
+                Some(Value::Float(1.5)),
+                None,
+                Some(Value::Float(2.5)),
+                None,
+                None
+            ]
+        );
+    }
+
+    #[test]
+    fn looping_replay_wraps() {
+        let mut src = CsvReplay::from_csv("1\n2\n", 0, false).unwrap().looping();
+        let out: Vec<f64> = Phase::first_n(5)
+            .map(|p| src.poll(p).unwrap().as_f64().unwrap())
+            .collect();
+        assert_eq!(out, vec![1.0, 2.0, 1.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn header_column_names_survive() {
+        let csv = "time,reading\n1,10\n2,\n3,30\n";
+        let t = Trace::from_csv(csv, 1, true).unwrap();
+        assert_eq!(t.column.as_deref(), Some("reading"));
+        let mut src = t.into_source();
+        let vals: Vec<Option<Value>> = Phase::first_n(3).map(|p| src.poll(p)).collect();
+        assert_eq!(vals[0], Some(Value::Float(10.0)));
+        assert_eq!(vals[1], None);
+        assert_eq!(vals[2], Some(Value::Float(30.0)));
+        assert_eq!(src.kind(), "csv-replay");
+    }
+}

@@ -1,0 +1,40 @@
+//! Timestamped events.
+
+use crate::timestamp::Timestamp;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+
+/// A value generated at a specific instant.
+///
+/// Under the paper's model (§2) an event generated at time `t` arrives at
+/// the fusion engine at time `t`; the engine groups simultaneous events
+/// into phases via [`crate::timestamp::PhaseClock`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Event {
+    /// Generation (= arrival) time.
+    pub timestamp: Timestamp,
+    /// Payload.
+    pub value: Value,
+}
+
+impl Event {
+    /// Builds an event.
+    pub fn new(timestamp: Timestamp, value: impl Into<Value>) -> Self {
+        Event {
+            timestamp,
+            value: value.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction() {
+        let e = Event::new(Timestamp(5), 1.5);
+        assert_eq!(e.timestamp, Timestamp(5));
+        assert_eq!(e.value, Value::Float(1.5));
+    }
+}

@@ -1,0 +1,39 @@
+//! # ec-events — event model and stream substrate
+//!
+//! Event primitives for the serializable Δ-dataflow correlation engine
+//! (Zimmerman & Chandy, IPPS 2005):
+//!
+//! * [`Phase`] — logical execution phases. All events arriving at the
+//!   same instant form one phase; phases are indexed sequentially (§2).
+//! * [`Timestamp`] — event generation times. The paper assumes perfect
+//!   timestamps and zero transmission delay, so events with timestamp `t`
+//!   all belong to the phase at time `t`.
+//! * [`Value`] — the typed payload carried on graph edges.
+//! * [`Event`] — a timestamped value.
+//! * [`sources`] — synthetic stream sources (sensors, random walks,
+//!   rare-anomaly streams) used as workload generators. These replace the
+//!   paper's proprietary sensor feeds with seeded generators exercising
+//!   the same code paths (see DESIGN.md §3).
+//! * [`window`], [`stats`] — ring buffers, sliding windows and online
+//!   statistics (mean/σ, EWMA, linear regression) for the "predicates
+//!   over event stream histories" the paper's §1 motivates, such as a
+//!   moving average being two standard deviations away from a regression
+//!   model.
+
+#![warn(missing_docs)]
+
+pub mod csv;
+pub mod event;
+pub mod phase;
+pub mod reorder;
+pub mod sources;
+pub mod stats;
+pub mod timestamp;
+pub mod value;
+pub mod window;
+
+pub use event::Event;
+pub use phase::Phase;
+pub use sources::EventSource;
+pub use timestamp::Timestamp;
+pub use value::Value;

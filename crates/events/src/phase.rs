@@ -1,0 +1,109 @@
+//! Logical execution phases (§2 of the paper).
+//!
+//! Events arriving at the fusion engine at the same instant form a
+//! *phase*; phases are indexed sequentially from 1 and the collection of
+//! events in phase `k` is a snapshot of the environment at time `t_k`.
+//! The scheduler pipelines multiple phases while preserving the logical
+//! effect of executing them one at a time.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A 1-based phase number.
+///
+/// `Phase(0)` is reserved as the "before any phase" sentinel used by the
+/// scheduler's `x_0 = N` convention; real phases start at [`Phase::FIRST`].
+#[derive(
+    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct Phase(pub u64);
+
+impl Phase {
+    /// The sentinel "zeroth" phase (no events; `x_0 = N`).
+    pub const ZERO: Phase = Phase(0);
+    /// The first real phase.
+    pub const FIRST: Phase = Phase(1);
+
+    /// The next phase.
+    #[inline]
+    #[must_use]
+    pub fn next(self) -> Phase {
+        Phase(self.0 + 1)
+    }
+
+    /// The previous phase; panics in debug builds on `Phase::ZERO`.
+    #[inline]
+    #[must_use]
+    pub fn prev(self) -> Phase {
+        debug_assert!(self.0 > 0, "Phase::ZERO has no predecessor");
+        Phase(self.0 - 1)
+    }
+
+    /// Raw phase number.
+    #[inline]
+    pub fn get(self) -> u64 {
+        self.0
+    }
+
+    /// True for real phases (`p ≥ 1`).
+    #[inline]
+    pub fn is_real(self) -> bool {
+        self.0 >= 1
+    }
+
+    /// Iterator over phases `1..=n`.
+    pub fn first_n(n: u64) -> impl Iterator<Item = Phase> {
+        (1..=n).map(Phase)
+    }
+}
+
+impl fmt::Debug for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u64> for Phase {
+    fn from(p: u64) -> Self {
+        Phase(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_and_arithmetic() {
+        assert!(Phase::ZERO < Phase::FIRST);
+        assert_eq!(Phase::FIRST.next(), Phase(2));
+        assert_eq!(Phase(5).prev(), Phase(4));
+        assert!(Phase(3).is_real());
+        assert!(!Phase::ZERO.is_real());
+    }
+
+    #[test]
+    fn first_n_enumerates_real_phases() {
+        let ps: Vec<Phase> = Phase::first_n(3).collect();
+        assert_eq!(ps, vec![Phase(1), Phase(2), Phase(3)]);
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn prev_of_zero_panics_in_debug() {
+        let _ = Phase::ZERO.prev();
+    }
+
+    #[test]
+    fn formats() {
+        assert_eq!(format!("{:?}", Phase(7)), "p7");
+        assert_eq!(format!("{}", Phase(7)), "7");
+    }
+}

@@ -1,0 +1,323 @@
+//! Delayed and out-of-order delivery (the paper's §6 future work).
+//!
+//! The paper assumes events with timestamp `t` arrive at time `t`. §6
+//! relaxes this: "In reality, clocks in sensors are noisy and message
+//! delays may be significant and random. The fusion engine must wait
+//! long enough after time `t` to ensure that sensor data taken at time
+//! `t` arrives with high probability."
+//!
+//! [`ReorderBuffer`] is that waiting mechanism: events are buffered by
+//! generation timestamp and a *watermark* trails the current time by a
+//! configurable `max_delay`; when the watermark passes `t`, all events
+//! generated at `t` are released as one closed batch (one phase).
+//! Events arriving after their batch closed are **late** — they are
+//! counted (and optionally inspected) so the false-negative probability
+//! of a given `max_delay` can be quantified, which is exactly the error
+//! analysis §6 calls for.
+//!
+//! [`DelayModel`] simulates the network: it wraps per-event random
+//! delays (uniform in a configurable range) so tests and benches can
+//! generate realistic arrival processes from the deterministic sources
+//! in [`crate::sources`].
+
+use crate::timestamp::Timestamp;
+use crate::value::Value;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// An event annotated with both generation and arrival times.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DelayedEvent {
+    /// When the sensor generated the event.
+    pub generated: Timestamp,
+    /// When the fusion engine received it.
+    pub arrival: Timestamp,
+    /// Payload.
+    pub value: Value,
+}
+
+impl DelayedEvent {
+    /// Delivery delay in microseconds.
+    pub fn delay(&self) -> u64 {
+        self.arrival.since(self.generated)
+    }
+}
+
+/// Outcome of offering an event to the buffer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Offer {
+    /// Buffered; will be released when the watermark passes its
+    /// generation time.
+    Accepted,
+    /// The event's phase already closed; it is counted as late and
+    /// dropped (a potential false negative).
+    Late {
+        /// How far behind the watermark the event was, in µs.
+        behind: u64,
+    },
+}
+
+/// A batch of simultaneous events released by the watermark — the raw
+/// material of one phase (§2's "snapshot of the system at time t").
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClosedBatch {
+    /// The generation instant this batch snapshots.
+    pub timestamp: Timestamp,
+    /// Values generated at that instant, in arrival order.
+    pub values: Vec<Value>,
+}
+
+/// Watermark-based reorder buffer.
+#[derive(Debug, Clone)]
+pub struct ReorderBuffer {
+    max_delay: u64,
+    pending: BTreeMap<Timestamp, Vec<Value>>,
+    watermark: Option<Timestamp>,
+    late_events: u64,
+    accepted_events: u64,
+}
+
+impl ReorderBuffer {
+    /// Waits `max_delay` microseconds past each generation time before
+    /// closing its batch.
+    pub fn new(max_delay: u64) -> Self {
+        ReorderBuffer {
+            max_delay,
+            pending: BTreeMap::new(),
+            watermark: None,
+            late_events: 0,
+            accepted_events: 0,
+        }
+    }
+
+    /// The configured wait.
+    pub fn max_delay(&self) -> u64 {
+        self.max_delay
+    }
+
+    /// Generation times ≤ the watermark are closed.
+    pub fn watermark(&self) -> Option<Timestamp> {
+        self.watermark
+    }
+
+    /// Events dropped because they arrived after their batch closed.
+    pub fn late_events(&self) -> u64 {
+        self.late_events
+    }
+
+    /// Events accepted into batches.
+    pub fn accepted_events(&self) -> u64 {
+        self.accepted_events
+    }
+
+    /// Fraction of offered events that were late (potential false
+    /// negatives) — the §6 error quantity.
+    pub fn late_fraction(&self) -> f64 {
+        let total = self.late_events + self.accepted_events;
+        if total == 0 {
+            0.0
+        } else {
+            self.late_events as f64 / total as f64
+        }
+    }
+
+    /// Offers an event that was `generated` at the given instant.
+    pub fn offer(&mut self, generated: Timestamp, value: Value) -> Offer {
+        if let Some(w) = self.watermark {
+            if generated <= w {
+                self.late_events += 1;
+                return Offer::Late {
+                    behind: w.since(generated),
+                };
+            }
+        }
+        self.accepted_events += 1;
+        self.pending.entry(generated).or_default().push(value);
+        Offer::Accepted
+    }
+
+    /// Advances time to `now`, closing every batch whose generation
+    /// time is at least `max_delay` old. Returns closed batches in
+    /// generation-time order (ready to become consecutive phases).
+    pub fn advance(&mut self, now: Timestamp) -> Vec<ClosedBatch> {
+        // Until `max_delay` has elapsed from the epoch nothing can
+        // close (checked_sub, not saturating: a watermark of 0 would
+        // wrongly close generation time 0 immediately).
+        let Some(w) = now.micros().checked_sub(self.max_delay) else {
+            return Vec::new();
+        };
+        let new_watermark = Timestamp(w);
+        if self.watermark.is_some_and(|w| new_watermark <= w) {
+            return Vec::new();
+        }
+        let mut closed = Vec::new();
+        let keys: Vec<Timestamp> = self
+            .pending
+            .range(..=new_watermark)
+            .map(|(t, _)| *t)
+            .collect();
+        for t in keys {
+            let values = self.pending.remove(&t).expect("key just seen");
+            closed.push(ClosedBatch {
+                timestamp: t,
+                values,
+            });
+        }
+        self.watermark = Some(new_watermark);
+        closed
+    }
+
+    /// Number of buffered (not yet closed) generation instants.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Drains everything regardless of the watermark (end of stream).
+    pub fn flush(&mut self) -> Vec<ClosedBatch> {
+        let batches = std::mem::take(&mut self.pending)
+            .into_iter()
+            .map(|(timestamp, values)| ClosedBatch { timestamp, values })
+            .collect();
+        if let Some((t, _)) = self.pending.last_key_value() {
+            self.watermark = Some(*t);
+        }
+        batches
+    }
+}
+
+/// Simulates random per-event delivery delays.
+#[derive(Debug, Clone)]
+pub struct DelayModel {
+    rng: SmallRng,
+    min_delay: u64,
+    max_delay: u64,
+}
+
+impl DelayModel {
+    /// Uniform delays in `[min_delay, max_delay]` microseconds.
+    pub fn uniform(min_delay: u64, max_delay: u64, seed: u64) -> Self {
+        assert!(min_delay <= max_delay);
+        DelayModel {
+            rng: SmallRng::seed_from_u64(seed),
+            min_delay,
+            max_delay,
+        }
+    }
+
+    /// Stamps an arrival time onto an event generated at `generated`.
+    pub fn deliver(&mut self, generated: Timestamp, value: Value) -> DelayedEvent {
+        let delay = self.rng.gen_range(self.min_delay..=self.max_delay);
+        DelayedEvent {
+            generated,
+            arrival: Timestamp(generated.micros() + delay),
+            value,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_order_delivery_batches_by_timestamp() {
+        let mut buf = ReorderBuffer::new(10);
+        buf.offer(Timestamp(100), Value::Int(1));
+        buf.offer(Timestamp(100), Value::Int(2));
+        buf.offer(Timestamp(200), Value::Int(3));
+        // Nothing closes before the watermark reaches t + max_delay.
+        assert!(buf.advance(Timestamp(105)).is_empty());
+        let closed = buf.advance(Timestamp(110));
+        assert_eq!(closed.len(), 1);
+        assert_eq!(closed[0].timestamp, Timestamp(100));
+        assert_eq!(closed[0].values, vec![Value::Int(1), Value::Int(2)]);
+        let closed = buf.advance(Timestamp(500));
+        assert_eq!(closed.len(), 1);
+        assert_eq!(closed[0].timestamp, Timestamp(200));
+    }
+
+    #[test]
+    fn out_of_order_within_delay_is_reassembled() {
+        let mut buf = ReorderBuffer::new(50);
+        buf.offer(Timestamp(200), Value::Int(2));
+        buf.offer(Timestamp(100), Value::Int(1)); // arrives later, generated earlier
+        let closed = buf.advance(Timestamp(250));
+        let times: Vec<u64> = closed.iter().map(|b| b.timestamp.micros()).collect();
+        assert_eq!(times, vec![100, 200]);
+        assert_eq!(buf.late_events(), 0);
+    }
+
+    #[test]
+    fn late_events_are_counted_not_delivered() {
+        let mut buf = ReorderBuffer::new(10);
+        buf.offer(Timestamp(100), Value::Int(1));
+        buf.advance(Timestamp(200)); // watermark = 190
+        let offer = buf.offer(Timestamp(150), Value::Int(9));
+        assert_eq!(offer, Offer::Late { behind: 40 });
+        assert_eq!(buf.late_events(), 1);
+        assert_eq!(buf.accepted_events(), 1);
+        assert!((buf.late_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn watermark_never_regresses() {
+        let mut buf = ReorderBuffer::new(10);
+        buf.advance(Timestamp(100));
+        assert_eq!(buf.watermark(), Some(Timestamp(90)));
+        buf.advance(Timestamp(50)); // time going backwards: ignored
+        assert_eq!(buf.watermark(), Some(Timestamp(90)));
+    }
+
+    #[test]
+    fn flush_releases_everything() {
+        let mut buf = ReorderBuffer::new(1_000_000);
+        buf.offer(Timestamp(1), Value::Int(1));
+        buf.offer(Timestamp(2), Value::Int(2));
+        let batches = buf.flush();
+        assert_eq!(batches.len(), 2);
+        assert_eq!(buf.pending_len(), 0);
+    }
+
+    #[test]
+    fn larger_max_delay_reduces_late_fraction() {
+        // The §6 trade-off, measured: with random delivery delays up to
+        // 100 µs, waiting only 20 µs loses events; waiting strictly
+        // longer than the max delay (110 µs) loses none, at the cost of
+        // latency. (Waiting exactly 100 µs can still lose delay-100
+        // events when the clock advances past their arrival first —
+        // the wait must strictly exceed the worst-case delay.)
+        let run = |wait: u64| -> f64 {
+            let mut model = DelayModel::uniform(0, 100, 42);
+            let mut buf = ReorderBuffer::new(wait);
+            // Events generated every 10 µs; arrivals processed in
+            // arrival order.
+            let mut deliveries: Vec<DelayedEvent> = (0..500u64)
+                .map(|i| model.deliver(Timestamp(i * 10), Value::Int(i as i64)))
+                .collect();
+            deliveries.sort_by_key(|e| e.arrival);
+            for e in deliveries {
+                buf.advance(e.arrival);
+                buf.offer(e.generated, e.value);
+            }
+            buf.late_fraction()
+        };
+        let short = run(20);
+        let long = run(110);
+        assert!(short > 0.0, "20 µs wait must lose some 0-100 µs-delayed events");
+        assert_eq!(long, 0.0, "waiting past the max delay loses nothing");
+        assert!(short > long);
+    }
+
+    #[test]
+    fn delay_model_is_deterministic_and_bounded() {
+        let mut a = DelayModel::uniform(5, 15, 7);
+        let mut b = DelayModel::uniform(5, 15, 7);
+        for i in 0..100 {
+            let ea = a.deliver(Timestamp(i * 100), Value::Int(i as i64));
+            let eb = b.deliver(Timestamp(i * 100), Value::Int(i as i64));
+            assert_eq!(ea, eb);
+            assert!((5..=15).contains(&ea.delay()));
+        }
+    }
+}

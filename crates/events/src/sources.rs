@@ -1,0 +1,421 @@
+//! Synthetic event stream sources (workload generators).
+//!
+//! The paper's evaluation feeds its engine from simulated sensors driven
+//! by "random seeds … for the generation of random values by source
+//! vertices" (§4). These generators are the Rust equivalent: every
+//! source is seeded and fully deterministic, so parallel runs can be
+//! compared against the sequential oracle event-for-event.
+//!
+//! A source is polled once per phase. Returning `None` means the source
+//! has *no new information* this phase — under Δ-dataflow that absence
+//! itself carries information and produces no message. The
+//! [`Sparse`] wrapper turns any inner source into a rare-change stream,
+//! reproducing the paper's 1-in-a-million anomalous-transaction argument
+//! (§1).
+
+use crate::phase::Phase;
+use crate::value::Value;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic generator polled once per phase.
+pub trait EventSource: Send {
+    /// The value generated for `phase`, or `None` if this source has
+    /// nothing new to report (no message will be sent).
+    fn poll(&mut self, phase: Phase) -> Option<Value>;
+
+    /// Human-readable kind, for diagnostics.
+    fn kind(&self) -> &'static str {
+        "source"
+    }
+}
+
+/// Emits the same value every phase.
+#[derive(Debug, Clone)]
+pub struct Constant {
+    value: Value,
+}
+
+impl Constant {
+    /// A source that reports `value` each phase.
+    pub fn new(value: impl Into<Value>) -> Self {
+        Constant {
+            value: value.into(),
+        }
+    }
+}
+
+impl EventSource for Constant {
+    fn poll(&mut self, _phase: Phase) -> Option<Value> {
+        Some(self.value.clone())
+    }
+    fn kind(&self) -> &'static str {
+        "constant"
+    }
+}
+
+/// Replays a fixed sequence of optional values, one per phase, then
+/// yields `None` forever. Used to script exact scenarios in tests.
+#[derive(Debug, Clone)]
+pub struct Replay {
+    items: Vec<Option<Value>>,
+    pos: usize,
+}
+
+impl Replay {
+    /// Replays `items` in order.
+    pub fn new(items: Vec<Option<Value>>) -> Self {
+        Replay { items, pos: 0 }
+    }
+
+    /// Convenience: replays `values`, emitting every phase.
+    pub fn dense(values: Vec<Value>) -> Self {
+        Replay::new(values.into_iter().map(Some).collect())
+    }
+}
+
+impl EventSource for Replay {
+    fn poll(&mut self, _phase: Phase) -> Option<Value> {
+        let item = self.items.get(self.pos).cloned().flatten();
+        self.pos += 1;
+        item
+    }
+    fn kind(&self) -> &'static str {
+        "replay"
+    }
+}
+
+/// A seeded Gaussian-ish random walk: `x += step · (2·U − 1)` with
+/// uniform `U`. Models drifting sensor measurements (temperature, load).
+#[derive(Debug, Clone)]
+pub struct RandomWalk {
+    rng: SmallRng,
+    x: f64,
+    step: f64,
+}
+
+impl RandomWalk {
+    /// Walk starting at `start`, moving at most `step` per phase.
+    pub fn new(start: f64, step: f64, seed: u64) -> Self {
+        RandomWalk {
+            rng: SmallRng::seed_from_u64(seed),
+            x: start,
+            step,
+        }
+    }
+}
+
+impl EventSource for RandomWalk {
+    fn poll(&mut self, _phase: Phase) -> Option<Value> {
+        let u: f64 = self.rng.gen();
+        self.x += self.step * (2.0 * u - 1.0);
+        Some(Value::Float(self.x))
+    }
+    fn kind(&self) -> &'static str {
+        "random-walk"
+    }
+}
+
+/// A diurnal sine wave plus seeded noise — the paper's temperature
+/// example (§1: 15 °C at midnight, 30 °C at noon).
+#[derive(Debug, Clone)]
+pub struct Diurnal {
+    rng: SmallRng,
+    mean: f64,
+    amplitude: f64,
+    period: u64,
+    noise: f64,
+}
+
+impl Diurnal {
+    /// Sine of the given `period` (phases per cycle) around `mean` with
+    /// the given `amplitude`, plus uniform noise in `±noise`.
+    pub fn new(mean: f64, amplitude: f64, period: u64, noise: f64, seed: u64) -> Self {
+        assert!(period > 0, "period must be positive");
+        Diurnal {
+            rng: SmallRng::seed_from_u64(seed),
+            mean,
+            amplitude,
+            period,
+            noise,
+        }
+    }
+}
+
+impl EventSource for Diurnal {
+    fn poll(&mut self, phase: Phase) -> Option<Value> {
+        let theta = (phase.get() % self.period) as f64 / self.period as f64
+            * std::f64::consts::TAU;
+        let eps: f64 = self.rng.gen_range(-1.0..=1.0) * self.noise;
+        Some(Value::Float(self.mean + self.amplitude * theta.sin() + eps))
+    }
+    fn kind(&self) -> &'static str {
+        "diurnal"
+    }
+}
+
+/// Wraps an inner source so it reports only with probability `p` per
+/// phase — the paper's anomalous-transaction stream: "if one in a million
+/// transactions is anomalous then the rate of events … is only a
+/// millionth" (§1).
+pub struct Sparse {
+    inner: Box<dyn EventSource>,
+    rng: SmallRng,
+    p: f64,
+}
+
+impl Sparse {
+    /// Emits the inner source's value with probability `p` per phase.
+    ///
+    /// # Panics
+    /// Panics if `p` is not within `[0, 1]`.
+    pub fn new(inner: Box<dyn EventSource>, p: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "p must be a probability");
+        Sparse {
+            inner,
+            rng: SmallRng::seed_from_u64(seed),
+            p,
+        }
+    }
+
+    /// Sparse stream over integer event ids, convenient for tests.
+    pub fn counter(p: f64, seed: u64) -> Self {
+        Sparse::new(Box::new(Counter::new()), p, seed)
+    }
+}
+
+impl EventSource for Sparse {
+    fn poll(&mut self, phase: Phase) -> Option<Value> {
+        // Poll the inner source unconditionally so the underlying stream
+        // advances deterministically regardless of gating.
+        let v = self.inner.poll(phase);
+        if self.rng.gen_bool(self.p) {
+            v
+        } else {
+            None
+        }
+    }
+    fn kind(&self) -> &'static str {
+        "sparse"
+    }
+}
+
+/// Emits 1, 2, 3, … — a deterministic heartbeat used in tests and
+/// benchmarks where every phase must carry a distinguishable value.
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    n: i64,
+}
+
+impl Counter {
+    /// Counter starting at 1.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl EventSource for Counter {
+    fn poll(&mut self, _phase: Phase) -> Option<Value> {
+        self.n += 1;
+        Some(Value::Int(self.n))
+    }
+    fn kind(&self) -> &'static str {
+        "counter"
+    }
+}
+
+/// A step function: emits `before` until `at`, then `after` — but only
+/// *reports* on the phase where the value changes (and the very first
+/// phase). Models a sensor that notifies when its assumption is violated.
+#[derive(Debug, Clone)]
+pub struct StepChange {
+    before: Value,
+    after: Value,
+    at: Phase,
+    reported_initial: bool,
+    reported_step: bool,
+}
+
+impl StepChange {
+    /// Emits `before` at phase 1, then nothing until `at`, where it emits
+    /// `after`; silent afterwards.
+    pub fn new(before: impl Into<Value>, after: impl Into<Value>, at: Phase) -> Self {
+        StepChange {
+            before: before.into(),
+            after: after.into(),
+            at,
+            reported_initial: false,
+            reported_step: false,
+        }
+    }
+}
+
+impl EventSource for StepChange {
+    fn poll(&mut self, phase: Phase) -> Option<Value> {
+        if !self.reported_initial {
+            self.reported_initial = true;
+            return Some(self.before.clone());
+        }
+        if phase >= self.at && !self.reported_step {
+            self.reported_step = true;
+            return Some(self.after.clone());
+        }
+        None
+    }
+    fn kind(&self) -> &'static str {
+        "step-change"
+    }
+}
+
+/// Poisson-ish burst source: each phase emits a batch size drawn from a
+/// geometric approximation with the given mean; emits `None` for zero.
+/// Used to stress multi-message phases.
+pub struct Bursty {
+    rng: SmallRng,
+    mean: f64,
+}
+
+impl Bursty {
+    /// Mean burst size per phase (may be < 1 for sparse bursts).
+    pub fn new(mean: f64, seed: u64) -> Self {
+        assert!(mean >= 0.0);
+        Bursty {
+            rng: SmallRng::seed_from_u64(seed),
+            mean,
+        }
+    }
+}
+
+impl EventSource for Bursty {
+    fn poll(&mut self, _phase: Phase) -> Option<Value> {
+        // Geometric sampling: number of successes before failure with
+        // success probability mean/(1+mean) has mean `mean`.
+        let p = self.mean / (1.0 + self.mean);
+        let mut k = 0i64;
+        while self.rng.gen_bool(p) && k < 1_000_000 {
+            k += 1;
+        }
+        (k > 0).then_some(Value::Int(k))
+    }
+    fn kind(&self) -> &'static str {
+        "bursty"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(src: &mut dyn EventSource, phases: u64) -> Vec<Option<Value>> {
+        Phase::first_n(phases).map(|p| src.poll(p)).collect()
+    }
+
+    #[test]
+    fn constant_always_emits() {
+        let mut s = Constant::new(5i64);
+        let out = drain(&mut s, 3);
+        assert!(out.iter().all(|v| v == &Some(Value::Int(5))));
+        assert_eq!(s.kind(), "constant");
+    }
+
+    #[test]
+    fn replay_in_order_then_silent() {
+        let mut s = Replay::new(vec![Some(Value::Int(1)), None, Some(Value::Int(3))]);
+        assert_eq!(
+            drain(&mut s, 5),
+            vec![Some(Value::Int(1)), None, Some(Value::Int(3)), None, None]
+        );
+    }
+
+    #[test]
+    fn replay_dense() {
+        let mut s = Replay::dense(vec![Value::Int(1), Value::Int(2)]);
+        assert_eq!(drain(&mut s, 2), vec![Some(Value::Int(1)), Some(Value::Int(2))]);
+    }
+
+    #[test]
+    fn random_walk_deterministic_and_bounded_steps() {
+        let mut a = RandomWalk::new(0.0, 0.5, 42);
+        let mut b = RandomWalk::new(0.0, 0.5, 42);
+        let va = drain(&mut a, 50);
+        let vb = drain(&mut b, 50);
+        assert_eq!(va, vb);
+        let mut prev = 0.0;
+        for v in va {
+            let x = v.unwrap().as_f64().unwrap();
+            assert!((x - prev).abs() <= 0.5 + 1e-12);
+            prev = x;
+        }
+    }
+
+    #[test]
+    fn diurnal_period_and_range() {
+        let mut s = Diurnal::new(20.0, 10.0, 24, 0.0, 1);
+        let vals: Vec<f64> = drain(&mut s, 48)
+            .into_iter()
+            .map(|v| v.unwrap().as_f64().unwrap())
+            .collect();
+        for &v in &vals {
+            assert!((10.0..=30.0).contains(&v), "v = {v}");
+        }
+        // Periodicity: phase p and p+24 coincide with zero noise.
+        for i in 0..24 {
+            assert!((vals[i] - vals[i + 24]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sparse_rate_matches_probability() {
+        let mut s = Sparse::counter(0.01, 7);
+        let emitted = drain(&mut s, 10_000)
+            .iter()
+            .filter(|v| v.is_some())
+            .count();
+        // Binomial(10000, 0.01): mean 100, σ ≈ 10. Allow ±5σ.
+        assert!((50..=150).contains(&emitted), "emitted = {emitted}");
+    }
+
+    #[test]
+    fn sparse_p_zero_and_one() {
+        let mut never = Sparse::counter(0.0, 1);
+        assert!(drain(&mut never, 100).iter().all(|v| v.is_none()));
+        let mut always = Sparse::counter(1.0, 1);
+        assert!(drain(&mut always, 100).iter().all(|v| v.is_some()));
+    }
+
+    #[test]
+    fn counter_sequence() {
+        let mut c = Counter::new();
+        let out: Vec<i64> = drain(&mut c, 4)
+            .into_iter()
+            .map(|v| v.unwrap().as_i64().unwrap())
+            .collect();
+        assert_eq!(out, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn step_change_emits_twice() {
+        let mut s = StepChange::new(15.0, 10.0, Phase(5));
+        let out = drain(&mut s, 8);
+        assert_eq!(out[0], Some(Value::Float(15.0)));
+        for v in &out[1..4] {
+            assert_eq!(*v, None);
+        }
+        assert_eq!(out[4], Some(Value::Float(10.0)));
+        for v in &out[5..] {
+            assert_eq!(*v, None);
+        }
+    }
+
+    #[test]
+    fn bursty_mean_is_plausible() {
+        let mut s = Bursty::new(2.0, 3);
+        let total: i64 = drain(&mut s, 5_000)
+            .into_iter()
+            .flatten()
+            .map(|v| v.as_i64().unwrap())
+            .sum();
+        let mean = total as f64 / 5_000.0;
+        assert!((1.5..=2.5).contains(&mean), "mean = {mean}");
+    }
+}

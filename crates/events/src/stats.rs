@@ -1,0 +1,505 @@
+//! Online statistics used by correlation models.
+//!
+//! The paper's motivating predicates (§1) involve statistical regressions,
+//! moving point averages and deviation tests. This module provides the
+//! numeric substrate: Welford's online mean/variance, exponentially
+//! weighted moving averages, and incremental simple linear regression
+//! over a sliding window.
+
+use crate::window::RingBuffer;
+
+/// Welford's online algorithm for mean and variance over an unbounded
+/// stream — numerically stable, O(1) per sample.
+#[derive(Debug, Clone, Default)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a sample.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of samples.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Mean; `None` if no samples.
+    pub fn mean(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.mean)
+    }
+
+    /// Population variance; `None` if no samples.
+    pub fn variance(&self) -> Option<f64> {
+        (self.n > 0).then(|| self.m2 / self.n as f64)
+    }
+
+    /// Sample variance (n−1 denominator); `None` if fewer than 2 samples.
+    pub fn sample_variance(&self) -> Option<f64> {
+        (self.n > 1).then(|| self.m2 / (self.n - 1) as f64)
+    }
+
+    /// Population standard deviation.
+    pub fn stddev(&self) -> Option<f64> {
+        self.variance().map(f64::sqrt)
+    }
+
+    /// Z-score of `x`; `None` without samples or with zero spread.
+    pub fn zscore(&self, x: f64) -> Option<f64> {
+        let sd = self.stddev()?;
+        (sd > 0.0).then(|| (x - self.mean) / sd)
+    }
+}
+
+/// Exponentially weighted moving average.
+#[derive(Debug, Clone)]
+pub struct Ewma {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ewma {
+    /// Creates an EWMA with smoothing factor `alpha` in `(0, 1]`.
+    ///
+    /// # Panics
+    /// Panics if `alpha` is outside `(0, 1]` or NaN.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        Ewma { alpha, value: None }
+    }
+
+    /// Feeds a sample and returns the updated average.
+    pub fn push(&mut self, x: f64) -> f64 {
+        let v = match self.value {
+            None => x,
+            Some(prev) => prev + self.alpha * (x - prev),
+        };
+        self.value = Some(v);
+        v
+    }
+
+    /// Current average, if any samples were fed.
+    pub fn value(&self) -> Option<f64> {
+        self.value
+    }
+}
+
+/// Simple (x = sample index) linear regression over a sliding window,
+/// maintained incrementally.
+///
+/// Models the paper's "regression model developed using data from a
+/// one-month window" (§1): `predict` extrapolates the fitted line and
+/// `residual` measures how far a new observation falls from it.
+#[derive(Debug, Clone)]
+pub struct WindowedRegression {
+    ys: RingBuffer<f64>,
+    /// Index of the *next* sample (monotonically increasing).
+    t: u64,
+}
+
+impl WindowedRegression {
+    /// Regression over the last `capacity` samples.
+    pub fn new(capacity: usize) -> Self {
+        WindowedRegression {
+            ys: RingBuffer::new(capacity),
+            t: 0,
+        }
+    }
+
+    /// Adds an observation.
+    pub fn push(&mut self, y: f64) {
+        self.ys.push(y);
+        self.t += 1;
+    }
+
+    /// Number of observations currently in the window.
+    pub fn len(&self) -> usize {
+        self.ys.len()
+    }
+
+    /// True if no observations are stored.
+    pub fn is_empty(&self) -> bool {
+        self.ys.is_empty()
+    }
+
+    /// Fits `y = a + b·x` over the window, where `x` is the global sample
+    /// index. Returns `(a, b)`; `None` with fewer than 2 points or zero
+    /// x-spread.
+    pub fn fit(&self) -> Option<(f64, f64)> {
+        let n = self.ys.len();
+        if n < 2 {
+            return None;
+        }
+        let x0 = self.t - n as u64; // global index of oldest sample
+        let (mut sx, mut sy, mut sxx, mut sxy) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+        for (i, y) in self.ys.iter().enumerate() {
+            let x = (x0 + i as u64) as f64;
+            sx += x;
+            sy += y;
+            sxx += x * x;
+            sxy += x * y;
+        }
+        let nf = n as f64;
+        let denom = nf * sxx - sx * sx;
+        if denom.abs() < f64::EPSILON {
+            return None;
+        }
+        let b = (nf * sxy - sx * sy) / denom;
+        let a = (sy - b * sx) / nf;
+        Some((a, b))
+    }
+
+    /// Predicted value at the next sample index.
+    pub fn predict_next(&self) -> Option<f64> {
+        let (a, b) = self.fit()?;
+        Some(a + b * self.t as f64)
+    }
+
+    /// Residual of `y` against the prediction at the next index.
+    pub fn residual(&self, y: f64) -> Option<f64> {
+        Some(y - self.predict_next()?)
+    }
+
+    /// Standard deviation of in-window residuals against the fitted line;
+    /// `None` with fewer than 3 points.
+    pub fn residual_stddev(&self) -> Option<f64> {
+        let (a, b) = self.fit()?;
+        let n = self.ys.len();
+        if n < 3 {
+            return None;
+        }
+        let x0 = self.t - n as u64;
+        let ss: f64 = self
+            .ys
+            .iter()
+            .enumerate()
+            .map(|(i, y)| {
+                let pred = a + b * (x0 + i as u64) as f64;
+                (y - pred) * (y - pred)
+            })
+            .sum();
+        Some((ss / n as f64).sqrt())
+    }
+}
+
+/// P² (Jain & Chlamtac) streaming quantile estimator.
+///
+/// Tracks a single quantile of an unbounded stream in O(1) space —
+/// e.g. the 99th-percentile transaction size a rate monitor compares
+/// against. Exact for the first five samples, then maintains five
+/// markers whose heights approximate the quantile via piecewise-
+/// parabolic adjustment.
+#[derive(Debug, Clone)]
+pub struct P2Quantile {
+    q: f64,
+    /// Marker heights.
+    heights: [f64; 5],
+    /// Marker positions (1-based).
+    positions: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Desired position increments.
+    increments: [f64; 5],
+    count: usize,
+    initial: Vec<f64>,
+}
+
+impl P2Quantile {
+    /// Estimator for the `q`-quantile, `0 < q < 1`.
+    pub fn new(q: f64) -> Self {
+        assert!(q > 0.0 && q < 1.0, "quantile must be in (0, 1)");
+        P2Quantile {
+            q,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            increments: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+            count: 0,
+            initial: Vec::with_capacity(5),
+        }
+    }
+
+    /// Number of samples absorbed.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Feeds one sample.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        if self.count <= 5 {
+            self.initial.push(x);
+            if self.count == 5 {
+                self.initial
+                    .sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+                for (i, &v) in self.initial.iter().enumerate() {
+                    self.heights[i] = v;
+                }
+            }
+            return;
+        }
+        // Find the cell k such that heights[k] <= x < heights[k+1].
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[4] {
+            self.heights[4] = x;
+            3
+        } else {
+            (0..4)
+                .find(|&i| x < self.heights[i + 1])
+                .expect("x within [h0, h4)")
+        };
+        for p in self.positions.iter_mut().skip(k + 1) {
+            *p += 1.0;
+        }
+        for (d, inc) in self.desired.iter_mut().zip(self.increments) {
+            *d += inc;
+        }
+        // Adjust the three interior markers.
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            let step_up = self.positions[i + 1] - self.positions[i] > 1.0;
+            let step_down = self.positions[i - 1] - self.positions[i] < -1.0;
+            if (d >= 1.0 && step_up) || (d <= -1.0 && step_down) {
+                let d = d.signum();
+                let candidate = self.parabolic(i, d);
+                self.heights[i] =
+                    if self.heights[i - 1] < candidate && candidate < self.heights[i + 1] {
+                        candidate
+                    } else {
+                        self.linear(i, d)
+                    };
+                self.positions[i] += d;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let (hm, h, hp) = (self.heights[i - 1], self.heights[i], self.heights[i + 1]);
+        let (nm, n, np) = (self.positions[i - 1], self.positions[i], self.positions[i + 1]);
+        h + d / (np - nm)
+            * ((n - nm + d) * (hp - h) / (np - n) + (np - n - d) * (h - hm) / (n - nm))
+    }
+
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = (i as f64 + d) as usize;
+        self.heights[i]
+            + d * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
+    }
+
+    /// Current quantile estimate; `None` before any samples. Exact for
+    /// fewer than six samples.
+    pub fn estimate(&self) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        if self.count < 5 {
+            let mut sorted = self.initial.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+            let pos = (self.q * (sorted.len() - 1) as f64).round() as usize;
+            return Some(sorted[pos]);
+        }
+        Some(self.heights[2])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_direct() {
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut w = Welford::new();
+        for &x in &data {
+            w.push(x);
+        }
+        assert_eq!(w.count(), 8);
+        assert!((w.mean().unwrap() - 5.0).abs() < 1e-12);
+        assert!((w.variance().unwrap() - 4.0).abs() < 1e-12);
+        assert!((w.stddev().unwrap() - 2.0).abs() < 1e-12);
+        assert!((w.sample_variance().unwrap() - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford_empty() {
+        let w = Welford::new();
+        assert_eq!(w.mean(), None);
+        assert_eq!(w.variance(), None);
+        assert_eq!(w.zscore(0.0), None);
+    }
+
+    #[test]
+    fn welford_zscore() {
+        let mut w = Welford::new();
+        for &x in &[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            w.push(x);
+        }
+        assert!((w.zscore(9.0).unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford_single_sample() {
+        let mut w = Welford::new();
+        w.push(3.0);
+        assert_eq!(w.mean(), Some(3.0));
+        assert_eq!(w.variance(), Some(0.0));
+        assert_eq!(w.sample_variance(), None);
+        assert_eq!(w.zscore(5.0), None); // zero spread
+    }
+
+    #[test]
+    fn ewma_converges() {
+        let mut e = Ewma::new(0.5);
+        assert_eq!(e.value(), None);
+        assert_eq!(e.push(10.0), 10.0);
+        assert_eq!(e.push(0.0), 5.0);
+        assert_eq!(e.push(0.0), 2.5);
+        for _ in 0..100 {
+            e.push(3.0);
+        }
+        assert!((e.value().unwrap() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn ewma_rejects_bad_alpha() {
+        let _ = Ewma::new(0.0);
+    }
+
+    #[test]
+    fn regression_recovers_line() {
+        let mut r = WindowedRegression::new(10);
+        for i in 0..10 {
+            r.push(3.0 + 2.0 * i as f64);
+        }
+        let (a, b) = r.fit().unwrap();
+        assert!((a - 3.0).abs() < 1e-9, "a = {a}");
+        assert!((b - 2.0).abs() < 1e-9, "b = {b}");
+        assert!((r.predict_next().unwrap() - 23.0).abs() < 1e-9);
+        assert!((r.residual(25.0).unwrap() - 2.0).abs() < 1e-9);
+        assert!(r.residual_stddev().unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn regression_window_slides() {
+        let mut r = WindowedRegression::new(5);
+        // First 20 samples follow one line, then the slope changes.
+        for i in 0..20 {
+            r.push(i as f64);
+        }
+        for i in 20..40 {
+            r.push(19.0 + 5.0 * (i - 19) as f64);
+        }
+        // The window now covers only the second regime.
+        let (_, b) = r.fit().unwrap();
+        assert!((b - 5.0).abs() < 1e-6, "slope = {b}");
+    }
+
+    #[test]
+    fn regression_underdetermined() {
+        let mut r = WindowedRegression::new(5);
+        assert_eq!(r.fit(), None);
+        r.push(1.0);
+        assert_eq!(r.fit(), None);
+        assert_eq!(r.predict_next(), None);
+        assert_eq!(r.residual(1.0), None);
+        r.push(2.0);
+        assert!(r.fit().is_some());
+        assert_eq!(r.residual_stddev(), None); // needs 3 points
+    }
+
+    #[test]
+    fn regression_len_tracks_window() {
+        let mut r = WindowedRegression::new(3);
+        assert!(r.is_empty());
+        for i in 0..5 {
+            r.push(i as f64);
+        }
+        assert_eq!(r.len(), 3);
+    }
+}
+
+#[cfg(test)]
+mod p2_tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn exact_for_tiny_streams() {
+        let mut p = P2Quantile::new(0.5);
+        assert_eq!(p.estimate(), None);
+        p.push(3.0);
+        assert_eq!(p.estimate(), Some(3.0));
+        p.push(1.0);
+        p.push(2.0);
+        // Median of {1,2,3} = 2.
+        assert_eq!(p.estimate(), Some(2.0));
+    }
+
+    #[test]
+    fn median_of_uniform_stream() {
+        let mut p = P2Quantile::new(0.5);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..20_000 {
+            p.push(rng.gen_range(0.0..100.0));
+        }
+        let est = p.estimate().unwrap();
+        assert!((est - 50.0).abs() < 3.0, "median estimate {est}");
+    }
+
+    #[test]
+    fn p99_of_uniform_stream() {
+        let mut p = P2Quantile::new(0.99);
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..50_000 {
+            p.push(rng.gen_range(0.0..1.0));
+        }
+        let est = p.estimate().unwrap();
+        assert!((est - 0.99).abs() < 0.02, "p99 estimate {est}");
+    }
+
+    #[test]
+    fn monotone_under_shifted_distributions() {
+        // Estimates for higher quantiles must order correctly.
+        let mut q25 = P2Quantile::new(0.25);
+        let mut q75 = P2Quantile::new(0.75);
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen_range(-5.0..5.0);
+            q25.push(x);
+            q75.push(x);
+        }
+        assert!(q25.estimate().unwrap() < q75.estimate().unwrap());
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_degenerate_quantile() {
+        let _ = P2Quantile::new(1.0);
+    }
+
+    #[test]
+    fn count_tracks_samples() {
+        let mut p = P2Quantile::new(0.9);
+        for i in 0..10 {
+            p.push(i as f64);
+        }
+        assert_eq!(p.count(), 10);
+    }
+}

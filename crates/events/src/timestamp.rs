@@ -1,0 +1,133 @@
+//! Event timestamps.
+//!
+//! The paper assumes each event carries an accurate timestamp of the
+//! instant it was generated and that it reaches the fusion engine with
+//! zero delay (§2); under those assumptions all events with timestamp
+//! `t_k` form phase `k`. `Timestamp` stores microseconds since an
+//! arbitrary epoch; the mapping from distinct timestamps to sequential
+//! phase indices is maintained by [`PhaseClock`].
+
+use crate::phase::Phase;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Microseconds since an arbitrary epoch.
+#[derive(
+    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct Timestamp(pub u64);
+
+impl Timestamp {
+    /// Builds a timestamp from whole seconds.
+    pub fn from_secs(s: u64) -> Self {
+        Timestamp(s * 1_000_000)
+    }
+
+    /// Builds a timestamp from milliseconds.
+    pub fn from_millis(ms: u64) -> Self {
+        Timestamp(ms * 1_000)
+    }
+
+    /// Raw microsecond count.
+    #[inline]
+    pub fn micros(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating difference `self - earlier` in microseconds.
+    pub fn since(self, earlier: Timestamp) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl fmt::Debug for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}µs", self.0)
+    }
+}
+
+/// Maps strictly increasing arrival timestamps to sequential phases.
+///
+/// All events bearing the same timestamp belong to the same phase; a
+/// strictly larger timestamp starts the next phase. Out-of-order
+/// timestamps are rejected because the paper assumes no delivery delay —
+/// relaxing this is listed as future work (§6).
+#[derive(Debug, Clone, Default)]
+pub struct PhaseClock {
+    last: Option<(Timestamp, Phase)>,
+}
+
+impl PhaseClock {
+    /// New clock with no phases started.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the phase for an event generated at `t`.
+    ///
+    /// Equal timestamps map to the current phase; later timestamps open
+    /// the next phase; earlier timestamps return `None` (a delivery-order
+    /// violation under the paper's model).
+    pub fn phase_for(&mut self, t: Timestamp) -> Option<Phase> {
+        match self.last {
+            None => {
+                self.last = Some((t, Phase::FIRST));
+                Some(Phase::FIRST)
+            }
+            Some((lt, lp)) => {
+                if t == lt {
+                    Some(lp)
+                } else if t > lt {
+                    let p = lp.next();
+                    self.last = Some((t, p));
+                    Some(p)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// The most recently opened phase, if any.
+    pub fn current(&self) -> Option<Phase> {
+        self.last.map(|(_, p)| p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Timestamp::from_secs(2).micros(), 2_000_000);
+        assert_eq!(Timestamp::from_millis(3).micros(), 3_000);
+        assert_eq!(Timestamp(10).since(Timestamp(4)), 6);
+        assert_eq!(Timestamp(4).since(Timestamp(10)), 0);
+    }
+
+    #[test]
+    fn phase_clock_groups_equal_timestamps() {
+        let mut c = PhaseClock::new();
+        assert_eq!(c.phase_for(Timestamp(100)), Some(Phase(1)));
+        assert_eq!(c.phase_for(Timestamp(100)), Some(Phase(1)));
+        assert_eq!(c.phase_for(Timestamp(200)), Some(Phase(2)));
+        assert_eq!(c.phase_for(Timestamp(250)), Some(Phase(3)));
+        assert_eq!(c.current(), Some(Phase(3)));
+    }
+
+    #[test]
+    fn phase_clock_rejects_regression() {
+        let mut c = PhaseClock::new();
+        c.phase_for(Timestamp(100));
+        assert_eq!(c.phase_for(Timestamp(50)), None);
+        // Clock state unchanged by the rejected event.
+        assert_eq!(c.phase_for(Timestamp(100)), Some(Phase(1)));
+    }
+
+    #[test]
+    fn empty_clock() {
+        let c = PhaseClock::new();
+        assert_eq!(c.current(), None);
+    }
+}

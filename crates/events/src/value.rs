@@ -1,0 +1,226 @@
+//! Typed event payloads.
+//!
+//! The paper's modules exchange heterogeneous data — temperatures, disease
+//! incidence rates, transaction records, alarm flags. [`Value`] is the
+//! dynamically typed payload carried on computation-graph edges. It is
+//! cheap to clone (the scheduler fans one output out to many successors):
+//! text payloads use `Arc<str>` and vectors use `Arc<[f64]>`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// A dynamically typed event payload.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// Absence of a payload; used for pure "tick"/signal events such as
+    /// the phase signals delivered to source vertices (§3.1.2).
+    Unit,
+    /// Boolean flag (e.g. "condition detected").
+    Bool(bool),
+    /// Signed integer (e.g. a count or an id).
+    Int(i64),
+    /// Floating-point measurement (e.g. a temperature).
+    Float(f64),
+    /// Text payload (e.g. an alert description). Reference-counted so
+    /// fan-out does not copy the string.
+    Text(Arc<str>),
+    /// Fixed vector of floats (e.g. a feature vector or model state).
+    Vector(Arc<[f64]>),
+}
+
+impl Value {
+    /// Builds a text value.
+    pub fn text(s: impl AsRef<str>) -> Value {
+        Value::Text(Arc::from(s.as_ref()))
+    }
+
+    /// Builds a vector value.
+    pub fn vector(v: impl Into<Vec<f64>>) -> Value {
+        Value::Vector(Arc::from(v.into()))
+    }
+
+    /// Extracts a float, coercing `Int` and `Bool`.
+    ///
+    /// Returns `None` for non-numeric payloads. This is the conversion
+    /// used by numeric operators in the fusion layer.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Float(x) => Some(*x),
+            Value::Int(i) => Some(*i as f64),
+            Value::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+            _ => None,
+        }
+    }
+
+    /// Extracts an integer (no coercion from float).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Bool(b) => Some(*b as i64),
+            _ => None,
+        }
+    }
+
+    /// Extracts a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Extracts text.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Extracts a vector slice.
+    pub fn as_vector(&self) -> Option<&[f64]> {
+        match self {
+            Value::Vector(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The name of the payload's type, for diagnostics.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Unit => "unit",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Text(_) => "text",
+            Value::Vector(_) => "vector",
+        }
+    }
+
+    /// Structural equality that treats `NaN == NaN` as true, used by
+    /// change-detection operators: a module that would re-emit NaN every
+    /// phase would defeat the absence-of-messages optimisation.
+    pub fn same_as(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Float(a), Value::Float(b)) => a.to_bits() == b.to_bits(),
+            (Value::Vector(a), Value::Vector(b)) => {
+                a.len() == b.len()
+                    && a.iter()
+                        .zip(b.iter())
+                        .all(|(x, y)| x.to_bits() == y.to_bits())
+            }
+            _ => self == other,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Unit => write!(f, "()"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Text(s) => write!(f, "{s:?}"),
+            Value::Vector(v) => {
+                write!(f, "[")?;
+                for (i, x) in v.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+impl From<f64> for Value {
+    fn from(x: f64) -> Self {
+        Value::Float(x)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::text(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_coercions() {
+        assert_eq!(Value::Float(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Bool(true).as_f64(), Some(1.0));
+        assert_eq!(Value::Unit.as_f64(), None);
+        assert_eq!(Value::Int(3).as_i64(), Some(3));
+        assert_eq!(Value::Float(3.0).as_i64(), None);
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::text("hi").as_text(), Some("hi"));
+        assert_eq!(Value::vector(vec![1.0, 2.0]).as_vector(), Some(&[1.0, 2.0][..]));
+        assert_eq!(Value::Bool(false).as_bool(), Some(false));
+        assert_eq!(Value::Unit.as_bool(), None);
+    }
+
+    #[test]
+    fn same_as_handles_nan() {
+        let nan = Value::Float(f64::NAN);
+        assert!(nan.same_as(&Value::Float(f64::NAN)));
+        assert!(nan != Value::Float(f64::NAN)); // PartialEq is IEEE
+        assert!(!nan.same_as(&Value::Float(1.0)));
+        let v1 = Value::vector(vec![f64::NAN]);
+        let v2 = Value::vector(vec![f64::NAN]);
+        assert!(v1.same_as(&v2));
+    }
+
+    #[test]
+    fn same_as_structural() {
+        assert!(Value::Int(5).same_as(&Value::Int(5)));
+        assert!(!Value::Int(5).same_as(&Value::Float(5.0)));
+        assert!(Value::text("a").same_as(&Value::text("a")));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::Unit.to_string(), "()");
+        assert_eq!(Value::Int(-4).to_string(), "-4");
+        assert_eq!(Value::vector(vec![1.0, 2.5]).to_string(), "[1, 2.5]");
+        assert_eq!(Value::text("x").to_string(), "\"x\"");
+    }
+
+    #[test]
+    fn from_impls() {
+        assert_eq!(Value::from(1.5), Value::Float(1.5));
+        assert_eq!(Value::from(2i64), Value::Int(2));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from("s"), Value::text("s"));
+    }
+
+    #[test]
+    fn type_names() {
+        assert_eq!(Value::Unit.type_name(), "unit");
+        assert_eq!(Value::Float(0.0).type_name(), "float");
+        assert_eq!(Value::vector(vec![]).type_name(), "vector");
+    }
+}

@@ -1,0 +1,222 @@
+//! A small predicate DSL over numeric streams.
+//!
+//! The paper defines critical conditions as "predicates over event
+//! stream histories" (§1). [`Condition`] is a composable predicate tree
+//! over the current value of a stream; [`ConditionModule`] evaluates it
+//! on every fresh sample and emits the verdict **only when it changes**,
+//! making any predicate tree a well-behaved Δ-dataflow module.
+//!
+//! ```
+//! use ec_fusion::condition::Condition;
+//! let c = Condition::gt(30.0).or(Condition::lt(-5.0)).not();
+//! assert!(c.eval(10.0));   // within [−5, 30]
+//! assert!(!c.eval(31.0));
+//! ```
+
+use ec_core::{Emission, ExecCtx, Module};
+use ec_events::Value;
+
+/// A predicate over a single numeric value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Condition {
+    /// `x > a`.
+    Gt(f64),
+    /// `x ≥ a`.
+    Ge(f64),
+    /// `x < a`.
+    Lt(f64),
+    /// `x ≤ a`.
+    Le(f64),
+    /// `|x − a| ≤ eps`.
+    Near {
+        /// Centre.
+        target: f64,
+        /// Tolerance.
+        eps: f64,
+    },
+    /// `a ≤ x ≤ b`.
+    Between(f64, f64),
+    /// Negation.
+    Not(Box<Condition>),
+    /// Conjunction.
+    And(Box<Condition>, Box<Condition>),
+    /// Disjunction.
+    Or(Box<Condition>, Box<Condition>),
+}
+
+impl Condition {
+    /// `x > a`.
+    pub fn gt(a: f64) -> Condition {
+        Condition::Gt(a)
+    }
+
+    /// `x ≥ a`.
+    pub fn ge(a: f64) -> Condition {
+        Condition::Ge(a)
+    }
+
+    /// `x < a`.
+    pub fn lt(a: f64) -> Condition {
+        Condition::Lt(a)
+    }
+
+    /// `x ≤ a`.
+    pub fn le(a: f64) -> Condition {
+        Condition::Le(a)
+    }
+
+    /// `|x − target| ≤ eps`.
+    pub fn near(target: f64, eps: f64) -> Condition {
+        Condition::Near { target, eps }
+    }
+
+    /// `a ≤ x ≤ b`.
+    pub fn between(a: f64, b: f64) -> Condition {
+        assert!(a <= b, "between({a}, {b}): bounds out of order");
+        Condition::Between(a, b)
+    }
+
+    /// Negates this condition. (`!cond` via [`std::ops::Not`] works
+    /// too; the method form reads better in builder chains.)
+    #[must_use]
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Condition {
+        Condition::Not(Box::new(self))
+    }
+
+    /// Conjunction with `other`.
+    #[must_use]
+    pub fn and(self, other: Condition) -> Condition {
+        Condition::And(Box::new(self), Box::new(other))
+    }
+
+    /// Disjunction with `other`.
+    #[must_use]
+    pub fn or(self, other: Condition) -> Condition {
+        Condition::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Evaluates against a value.
+    pub fn eval(&self, x: f64) -> bool {
+        match self {
+            Condition::Gt(a) => x > *a,
+            Condition::Ge(a) => x >= *a,
+            Condition::Lt(a) => x < *a,
+            Condition::Le(a) => x <= *a,
+            Condition::Near { target, eps } => (x - target).abs() <= *eps,
+            Condition::Between(a, b) => *a <= x && x <= *b,
+            Condition::Not(c) => !c.eval(x),
+            Condition::And(l, r) => l.eval(x) && r.eval(x),
+            Condition::Or(l, r) => l.eval(x) || r.eval(x),
+        }
+    }
+
+    /// Wraps this condition as a Δ-dataflow module.
+    pub fn into_module(self) -> ConditionModule {
+        ConditionModule::new(self)
+    }
+}
+
+impl std::ops::Not for Condition {
+    type Output = Condition;
+
+    fn not(self) -> Condition {
+        Condition::Not(Box::new(self))
+    }
+}
+
+/// Evaluates a [`Condition`] on each fresh sample; emits the boolean
+/// verdict only when it changes.
+#[derive(Debug, Clone)]
+pub struct ConditionModule {
+    condition: Condition,
+    last: Option<bool>,
+}
+
+impl ConditionModule {
+    /// Wraps `condition`.
+    pub fn new(condition: Condition) -> Self {
+        ConditionModule {
+            condition,
+            last: None,
+        }
+    }
+}
+
+impl Module for ConditionModule {
+    fn execute(&mut self, ctx: ExecCtx<'_>) -> Emission {
+        let Some(x) = ctx.inputs.fresh.last().and_then(|(_, v)| v.as_f64()) else {
+            return Emission::Silent;
+        };
+        let verdict = self.condition.eval(x);
+        if self.last == Some(verdict) {
+            Emission::Silent
+        } else {
+            self.last = Some(verdict);
+            Emission::Broadcast(Value::Bool(verdict))
+        }
+    }
+
+    fn name(&self) -> &str {
+        "condition"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{floats, run_unary};
+
+    #[test]
+    fn primitive_conditions() {
+        assert!(Condition::gt(1.0).eval(2.0));
+        assert!(!Condition::gt(1.0).eval(1.0));
+        assert!(Condition::ge(1.0).eval(1.0));
+        assert!(Condition::lt(1.0).eval(0.0));
+        assert!(Condition::le(1.0).eval(1.0));
+        assert!(Condition::near(5.0, 0.1).eval(5.05));
+        assert!(!Condition::near(5.0, 0.1).eval(5.2));
+        assert!(Condition::between(1.0, 2.0).eval(1.5));
+        assert!(!Condition::between(1.0, 2.0).eval(2.5));
+    }
+
+    #[test]
+    fn combinators() {
+        let c = Condition::gt(0.0).and(Condition::lt(10.0));
+        assert!(c.eval(5.0));
+        assert!(!c.eval(-1.0));
+        assert!(!c.eval(11.0));
+        let c = Condition::lt(0.0).or(Condition::gt(10.0));
+        assert!(c.eval(-1.0));
+        assert!(c.eval(11.0));
+        assert!(!c.eval(5.0));
+        assert!(Condition::gt(0.0).not().eval(-1.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn between_validates_bounds() {
+        let _ = Condition::between(2.0, 1.0);
+    }
+
+    #[test]
+    fn module_emits_on_change_only() {
+        let module = Condition::between(0.0, 10.0).not().into_module();
+        let out = run_unary(module, floats(&[5.0, 6.0, 12.0, 13.0, 3.0]));
+        assert_eq!(
+            out,
+            vec![
+                (1, Value::Bool(false)),
+                (3, Value::Bool(true)),
+                (5, Value::Bool(false)),
+            ]
+        );
+    }
+
+    #[test]
+    fn module_ignores_non_numeric() {
+        let module = Condition::gt(0.0).into_module();
+        let out = run_unary(module, vec![Some(Value::text("hi"))]);
+        assert!(out.is_empty());
+    }
+}

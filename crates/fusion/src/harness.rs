@@ -1,0 +1,123 @@
+//! Test harness for operators: drive a module through the real engine.
+//!
+//! Operators are tested end-to-end rather than by hand-building
+//! execution contexts: [`run_unary`] wires `source → module` into a
+//! two-vertex graph and runs the sequential executor over a scripted
+//! input, returning the module's emissions phase by phase. [`run_binary`]
+//! does the same with two sources. This exercises exactly the code path
+//! production uses (latest-value memory, change propagation, sink
+//! recording).
+
+use ec_core::{Module, Sequential, SourceModule};
+use ec_events::sources::Replay;
+use ec_events::Value;
+use ec_graph::Dag;
+
+/// Runs `module` with a single scripted input stream; returns the
+/// module's outputs as `(phase, value)` pairs.
+///
+/// `inputs[k]` is the message (or silence) the source sends in phase
+/// `k + 1`; the run covers exactly `inputs.len()` phases.
+pub fn run_unary(
+    module: impl Module + 'static,
+    inputs: Vec<Option<Value>>,
+) -> Vec<(u64, Value)> {
+    let phases = inputs.len() as u64;
+    let mut dag = Dag::new();
+    let src = dag.add_vertex("src");
+    let op = dag.add_vertex("op");
+    dag.add_edge(src, op).expect("acyclic");
+    let modules: Vec<Box<dyn Module>> = vec![
+        Box::new(SourceModule::new(Replay::new(inputs))),
+        Box::new(module),
+    ];
+    let mut seq = Sequential::new(&dag, modules).expect("valid harness graph");
+    seq.run(phases).expect("harness run");
+    seq.into_history()
+        .sink_outputs_of(op)
+        .into_iter()
+        .map(|(p, v)| (p.get(), v))
+        .collect()
+}
+
+/// Runs `module` with two scripted input streams (same length); returns
+/// the module's outputs as `(phase, value)` pairs.
+pub fn run_binary(
+    module: impl Module + 'static,
+    a: Vec<Option<Value>>,
+    b: Vec<Option<Value>>,
+) -> Vec<(u64, Value)> {
+    assert_eq!(a.len(), b.len(), "input scripts must cover the same phases");
+    let phases = a.len() as u64;
+    let mut dag = Dag::new();
+    let sa = dag.add_vertex("a");
+    let sb = dag.add_vertex("b");
+    let op = dag.add_vertex("op");
+    dag.add_edge(sa, op).expect("acyclic");
+    dag.add_edge(sb, op).expect("acyclic");
+    let modules: Vec<Box<dyn Module>> = vec![
+        Box::new(SourceModule::new(Replay::new(a))),
+        Box::new(SourceModule::new(Replay::new(b))),
+        Box::new(module),
+    ];
+    let mut seq = Sequential::new(&dag, modules).expect("valid harness graph");
+    seq.run(phases).expect("harness run");
+    seq.into_history()
+        .sink_outputs_of(op)
+        .into_iter()
+        .map(|(p, v)| (p.get(), v))
+        .collect()
+}
+
+/// Shorthand: dense float input script.
+pub fn floats(xs: &[f64]) -> Vec<Option<Value>> {
+    xs.iter().map(|&x| Some(Value::Float(x))).collect()
+}
+
+/// Shorthand: float script with gaps (`None` = silent phase).
+pub fn sparse_floats(xs: &[Option<f64>]) -> Vec<Option<Value>> {
+    xs.iter().map(|x| x.map(Value::Float)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ec_core::PassThrough;
+
+    #[test]
+    fn unary_passthrough_roundtrip() {
+        let out = run_unary(PassThrough, floats(&[1.0, 2.0]));
+        assert_eq!(
+            out,
+            vec![(1, Value::Float(1.0)), (2, Value::Float(2.0))]
+        );
+    }
+
+    #[test]
+    fn unary_silence_produces_no_output() {
+        let out = run_unary(PassThrough, sparse_floats(&[Some(1.0), None, Some(3.0)]));
+        assert_eq!(
+            out,
+            vec![(1, Value::Float(1.0)), (3, Value::Float(3.0))]
+        );
+    }
+
+    #[test]
+    fn binary_sum() {
+        let out = run_binary(
+            ec_core::SumModule,
+            floats(&[1.0, 2.0]),
+            floats(&[10.0, 20.0]),
+        );
+        assert_eq!(
+            out,
+            vec![(1, Value::Float(11.0)), (2, Value::Float(22.0))]
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn binary_rejects_mismatched_lengths() {
+        let _ = run_binary(ec_core::SumModule, floats(&[1.0]), floats(&[1.0, 2.0]));
+    }
+}

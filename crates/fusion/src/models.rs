@@ -1,0 +1,332 @@
+//! Domain model modules — the "complex models" of §1.
+//!
+//! The paper's modules "may execute models such as simulations of
+//! boilers or analyses of stochastic differential equations representing
+//! financial systems" and use "clustering of points in multidimensional
+//! spaces". This module provides faithful miniatures of each, written
+//! as Δ-dataflow citizens: they hold internal state across phases,
+//! consume changes, and speak only when their own assumptions or
+//! summaries change.
+
+use crate::operators::emit_if_changed;
+use ec_core::{Emission, ExecCtx, Module};
+use ec_events::{EventSource, Phase, Value};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A lumped-parameter boiler thermal model.
+///
+/// State: water temperature `T`. Each phase it integrates
+/// `dT = (power_in − loss·(T − ambient)) / capacity`, where the ambient
+/// temperature is input edge 0 and the firing power is input edge 1
+/// (both latest-value semantics). It emits its *predicted* temperature
+/// only when the prediction drifts more than `report_band` from the
+/// last reported value — the model-composition contract of §1: silence
+/// means "my previous report still stands".
+#[derive(Debug, Clone)]
+pub struct BoilerModel {
+    temperature: f64,
+    capacity: f64,
+    loss: f64,
+    report_band: f64,
+    last_reported: Option<f64>,
+}
+
+impl BoilerModel {
+    /// New boiler starting at `initial_temperature`.
+    ///
+    /// `capacity` is thermal mass (J/°C per phase unit), `loss` the
+    /// heat-loss coefficient, `report_band` the silence band in °C.
+    pub fn new(initial_temperature: f64, capacity: f64, loss: f64, report_band: f64) -> Self {
+        assert!(capacity > 0.0 && loss >= 0.0 && report_band >= 0.0);
+        BoilerModel {
+            temperature: initial_temperature,
+            capacity,
+            loss,
+            report_band,
+            last_reported: None,
+        }
+    }
+
+    /// Current internal temperature.
+    pub fn temperature(&self) -> f64 {
+        self.temperature
+    }
+}
+
+impl Module for BoilerModel {
+    fn execute(&mut self, ctx: ExecCtx<'_>) -> Emission {
+        if ctx.inputs.fresh.is_empty() {
+            return Emission::Silent;
+        }
+        let ambient = ctx
+            .inputs
+            .current_at(0)
+            .and_then(|v| v.as_f64())
+            .unwrap_or(20.0);
+        let power = ctx
+            .inputs
+            .current_at(1)
+            .and_then(|v| v.as_f64())
+            .unwrap_or(0.0);
+        let d_t = (power - self.loss * (self.temperature - ambient)) / self.capacity;
+        self.temperature += d_t;
+        match self.last_reported {
+            Some(prev) if (self.temperature - prev).abs() <= self.report_band => {
+                Emission::Silent
+            }
+            _ => {
+                self.last_reported = Some(self.temperature);
+                Emission::Broadcast(Value::Float(self.temperature))
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "boiler-model"
+    }
+}
+
+/// Geometric-Brownian-motion market price source.
+///
+/// `S ← S · exp((µ − σ²/2) + σ·Z)` per phase with `Z` approximated by a
+/// sum of uniforms (Irwin–Hall, n=12), seeded and deterministic — the
+/// "stochastic differential equations representing financial systems"
+/// of §1 as a stream source.
+#[derive(Debug, Clone)]
+pub struct GbmMarket {
+    rng: SmallRng,
+    price: f64,
+    mu: f64,
+    sigma: f64,
+}
+
+impl GbmMarket {
+    /// New market at `initial_price` with per-phase drift `mu` and
+    /// volatility `sigma`.
+    pub fn new(initial_price: f64, mu: f64, sigma: f64, seed: u64) -> Self {
+        assert!(initial_price > 0.0 && sigma >= 0.0);
+        GbmMarket {
+            rng: SmallRng::seed_from_u64(seed),
+            price: initial_price,
+            mu,
+            sigma,
+        }
+    }
+
+    fn standard_normal(&mut self) -> f64 {
+        // Irwin–Hall approximation: sum of 12 U(0,1) minus 6.
+        (0..12).map(|_| self.rng.gen::<f64>()).sum::<f64>() - 6.0
+    }
+}
+
+impl EventSource for GbmMarket {
+    fn poll(&mut self, _phase: Phase) -> Option<Value> {
+        let z = self.standard_normal();
+        self.price *= ((self.mu - self.sigma * self.sigma / 2.0) + self.sigma * z).exp();
+        Some(Value::Float(self.price))
+    }
+
+    fn kind(&self) -> &'static str {
+        "gbm-market"
+    }
+}
+
+/// Online 1-dimensional k-means cluster tracker.
+///
+/// Maintains `k` centroids over the incoming scalar stream (sequential
+/// k-means / MacQueen updates) and emits the centroid vector whenever
+/// the *assignment structure* shifts a centroid by more than
+/// `report_eps` — the paper's "clustering of points in multidimensional
+/// spaces" condition reduced to the scalar case, with change-only
+/// reporting.
+#[derive(Debug, Clone)]
+pub struct KMeansTracker {
+    centroids: Vec<f64>,
+    counts: Vec<u64>,
+    report_eps: f64,
+    last_reported: Option<Value>,
+    initialized: usize,
+}
+
+impl KMeansTracker {
+    /// Tracks `k` clusters; emits when any centroid moves more than
+    /// `report_eps` since the last report.
+    pub fn new(k: usize, report_eps: f64) -> Self {
+        assert!(k >= 1);
+        KMeansTracker {
+            centroids: vec![0.0; k],
+            counts: vec![0; k],
+            report_eps,
+            last_reported: None,
+            initialized: 0,
+        }
+    }
+
+    /// Current centroids (sorted copies are emitted; internal order is
+    /// arrival order).
+    pub fn centroids(&self) -> &[f64] {
+        &self.centroids
+    }
+
+    fn absorb(&mut self, x: f64) {
+        if self.initialized < self.centroids.len() {
+            // Seed centroids with the first k distinct-ish samples.
+            self.centroids[self.initialized] = x;
+            self.counts[self.initialized] = 1;
+            self.initialized += 1;
+            return;
+        }
+        let (nearest, _) = self
+            .centroids
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (i, (c - x).abs()))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN centroids"))
+            .expect("k >= 1");
+        self.counts[nearest] += 1;
+        let n = self.counts[nearest] as f64;
+        self.centroids[nearest] += (x - self.centroids[nearest]) / n;
+    }
+}
+
+impl Module for KMeansTracker {
+    fn execute(&mut self, ctx: ExecCtx<'_>) -> Emission {
+        let mut saw_sample = false;
+        for (_, v) in ctx.inputs.fresh {
+            if let Some(x) = v.as_f64() {
+                self.absorb(x);
+                saw_sample = true;
+            }
+        }
+        if !saw_sample || self.initialized < self.centroids.len() {
+            return Emission::Silent;
+        }
+        let mut sorted = self.centroids.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN centroids"));
+        let candidate = Value::vector(sorted);
+        // Report only on meaningful movement.
+        if let (Some(Value::Vector(prev)), Value::Vector(cur)) =
+            (&self.last_reported, &candidate)
+        {
+            let moved = prev
+                .iter()
+                .zip(cur.iter())
+                .any(|(a, b)| (a - b).abs() > self.report_eps);
+            if !moved {
+                return Emission::Silent;
+            }
+        }
+        emit_if_changed(&mut self.last_reported, candidate)
+    }
+
+    fn name(&self) -> &str {
+        "kmeans-tracker"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{floats, run_binary, run_unary, sparse_floats};
+
+    #[test]
+    fn boiler_approaches_equilibrium() {
+        // Constant ambient 20 °C and power 100: equilibrium at
+        // ambient + power/loss = 20 + 100/5 = 40 °C.
+        let boiler = BoilerModel::new(20.0, 10.0, 5.0, 0.0);
+        let out = run_binary(
+            boiler,
+            floats(&[20.0; 200]),
+            floats(&[100.0; 200]),
+        );
+        let last = out.last().unwrap().1.as_f64().unwrap();
+        assert!((last - 40.0).abs() < 0.5, "T = {last}");
+        // Monotone rise toward equilibrium.
+        let temps: Vec<f64> = out.iter().map(|(_, v)| v.as_f64().unwrap()).collect();
+        assert!(temps.windows(2).all(|w| w[1] >= w[0] - 1e-9));
+    }
+
+    #[test]
+    fn boiler_report_band_silences_steady_state() {
+        let boiler = BoilerModel::new(40.0, 10.0, 5.0, 1.0);
+        // Already at equilibrium: dT ≈ 0, nothing beyond the first
+        // report should be emitted.
+        let out = run_binary(boiler, floats(&[20.0; 50]), floats(&[100.0; 50]));
+        assert_eq!(out.len(), 1, "{out:?}");
+    }
+
+    #[test]
+    fn boiler_silent_without_input() {
+        let boiler = BoilerModel::new(20.0, 10.0, 5.0, 0.0);
+        let out = run_binary(
+            boiler,
+            sparse_floats(&[None, None]),
+            sparse_floats(&[None, None]),
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn gbm_is_deterministic_and_positive() {
+        use ec_events::Phase;
+        let mut a = GbmMarket::new(100.0, 0.0, 0.02, 9);
+        let mut b = GbmMarket::new(100.0, 0.0, 0.02, 9);
+        for p in 1..=200u64 {
+            let va = a.poll(Phase(p)).unwrap().as_f64().unwrap();
+            let vb = b.poll(Phase(p)).unwrap().as_f64().unwrap();
+            assert_eq!(va, vb);
+            assert!(va > 0.0);
+        }
+    }
+
+    #[test]
+    fn gbm_drift_moves_price() {
+        use ec_events::Phase;
+        let mut up = GbmMarket::new(100.0, 0.01, 0.001, 3);
+        let mut last = 0.0;
+        for p in 1..=500u64 {
+            last = up.poll(Phase(p)).unwrap().as_f64().unwrap();
+        }
+        assert!(last > 120.0, "price after 500 phases of 1% drift: {last}");
+    }
+
+    #[test]
+    fn kmeans_finds_two_well_separated_clusters() {
+        // Alternate samples near 0 and near 100.
+        let data: Vec<f64> = (0..200)
+            .map(|i| {
+                if i % 2 == 0 {
+                    (i % 7) as f64 * 0.1
+                } else {
+                    100.0 + (i % 5) as f64 * 0.1
+                }
+            })
+            .collect();
+        let out = run_unary(KMeansTracker::new(2, 0.5), floats(&data));
+        let last = out.last().unwrap().1.clone();
+        let centroids = last.as_vector().unwrap();
+        assert!(centroids[0] < 1.0, "{centroids:?}");
+        assert!((centroids[1] - 100.0).abs() < 1.0, "{centroids:?}");
+    }
+
+    #[test]
+    fn kmeans_quiets_down_as_centroids_converge() {
+        let data: Vec<f64> = (0..400)
+            .map(|i| if i % 2 == 0 { 10.0 } else { 50.0 })
+            .collect();
+        let out = run_unary(KMeansTracker::new(2, 0.5), floats(&data));
+        // Early phases report movement; the tail is silent.
+        let last_report = out.last().unwrap().0;
+        assert!(
+            last_report < 100,
+            "centroids should stabilise early, last report at phase {last_report}"
+        );
+    }
+
+    #[test]
+    fn kmeans_silent_during_seeding() {
+        let out = run_unary(KMeansTracker::new(3, 0.1), floats(&[1.0, 2.0]));
+        assert!(out.is_empty(), "needs k samples before reporting");
+    }
+}

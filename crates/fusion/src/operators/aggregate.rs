@@ -1,0 +1,142 @@
+//! N-ary aggregation over the latest values of all inputs.
+
+use super::emit_if_changed;
+use ec_core::{Emission, ExecCtx, Module};
+use ec_events::Value;
+
+/// Which statistic to compute over the inputs' latest values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggregateKind {
+    /// Sum of known inputs.
+    Sum,
+    /// Mean of known inputs.
+    Mean,
+    /// Minimum of known inputs.
+    Min,
+    /// Maximum of known inputs.
+    Max,
+}
+
+/// Aggregates the latest values of all input edges and emits the result
+/// whenever it changes. Inputs that have never reported are skipped —
+/// the fusion point becomes useful as soon as any sensor comes online
+/// (hospital occupancy across a growing set of reporting hospitals, §1).
+#[derive(Debug, Clone)]
+pub struct Aggregate {
+    kind: AggregateKind,
+    last: Option<Value>,
+}
+
+impl Aggregate {
+    /// New aggregate of the given kind.
+    pub fn new(kind: AggregateKind) -> Self {
+        Aggregate { kind, last: None }
+    }
+
+    /// Sum aggregate.
+    pub fn sum() -> Self {
+        Self::new(AggregateKind::Sum)
+    }
+
+    /// Mean aggregate.
+    pub fn mean() -> Self {
+        Self::new(AggregateKind::Mean)
+    }
+
+    /// Min aggregate.
+    pub fn min() -> Self {
+        Self::new(AggregateKind::Min)
+    }
+
+    /// Max aggregate.
+    pub fn max() -> Self {
+        Self::new(AggregateKind::Max)
+    }
+}
+
+impl Module for Aggregate {
+    fn execute(&mut self, ctx: ExecCtx<'_>) -> Emission {
+        if ctx.inputs.fresh.is_empty() {
+            return Emission::Silent;
+        }
+        let known: Vec<f64> = (0..ctx.inputs.arity())
+            .filter_map(|i| ctx.inputs.current_at(i).and_then(|v| v.as_f64()))
+            .collect();
+        if known.is_empty() {
+            return Emission::Silent;
+        }
+        let result = match self.kind {
+            AggregateKind::Sum => known.iter().sum(),
+            AggregateKind::Mean => known.iter().sum::<f64>() / known.len() as f64,
+            AggregateKind::Min => known.iter().copied().fold(f64::INFINITY, f64::min),
+            AggregateKind::Max => known.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        };
+        emit_if_changed(&mut self.last, Value::Float(result))
+    }
+
+    fn name(&self) -> &str {
+        match self.kind {
+            AggregateKind::Sum => "aggregate-sum",
+            AggregateKind::Mean => "aggregate-mean",
+            AggregateKind::Min => "aggregate-min",
+            AggregateKind::Max => "aggregate-max",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{run_binary, sparse_floats};
+
+    #[test]
+    fn sum_tracks_latest_values() {
+        let out = run_binary(
+            Aggregate::sum(),
+            sparse_floats(&[Some(1.0), Some(2.0), None]),
+            sparse_floats(&[Some(10.0), None, Some(20.0)]),
+        );
+        let vals: Vec<f64> = out.iter().map(|(_, v)| v.as_f64().unwrap()).collect();
+        assert_eq!(vals, vec![11.0, 12.0, 22.0]);
+    }
+
+    #[test]
+    fn mean_with_partial_knowledge() {
+        let out = run_binary(
+            Aggregate::mean(),
+            sparse_floats(&[Some(4.0), None]),
+            sparse_floats(&[None, Some(8.0)]),
+        );
+        // Phase 1: only input 0 known → mean 4. Phase 2: both → 6.
+        let vals: Vec<f64> = out.iter().map(|(_, v)| v.as_f64().unwrap()).collect();
+        assert_eq!(vals, vec![4.0, 6.0]);
+    }
+
+    #[test]
+    fn min_and_max() {
+        let out = run_binary(
+            Aggregate::min(),
+            sparse_floats(&[Some(3.0)]),
+            sparse_floats(&[Some(5.0)]),
+        );
+        assert_eq!(out[0].1, Value::Float(3.0));
+        let out = run_binary(
+            Aggregate::max(),
+            sparse_floats(&[Some(3.0)]),
+            sparse_floats(&[Some(5.0)]),
+        );
+        assert_eq!(out[0].1, Value::Float(5.0));
+    }
+
+    #[test]
+    fn unchanged_result_is_silent() {
+        // Input flips between values with the same max.
+        let out = run_binary(
+            Aggregate::max(),
+            sparse_floats(&[Some(1.0), Some(2.0), Some(1.0)]),
+            sparse_floats(&[Some(5.0), None, None]),
+        );
+        // Max stays 5 throughout: only the first computation emits.
+        assert_eq!(out, vec![(1, Value::Float(5.0))]);
+    }
+}

@@ -1,0 +1,172 @@
+//! Anomaly detection: the rare-message modules of §1.
+//!
+//! These are the modules the paper's efficiency argument is built on:
+//! "the module outputs a message only when it receives an anomalous
+//! transaction. If one in a million transactions is anomalous then the
+//! rate of events generated … is only a millionth" of the input rate.
+
+use super::fresh_f64;
+use ec_core::{Emission, ExecCtx, Module};
+use ec_events::stats::WindowedRegression;
+use ec_events::window::SlidingWindow;
+use ec_events::Value;
+
+/// Flags samples whose z-score against a sliding window exceeds a
+/// threshold. Emits the offending value only for anomalies; silent for
+/// normal samples.
+#[derive(Debug, Clone)]
+pub struct ZScoreAnomaly {
+    window: SlidingWindow,
+    z_threshold: f64,
+    /// Warm-up: suppress alarms until the window has this many samples.
+    min_samples: usize,
+}
+
+impl ZScoreAnomaly {
+    /// Window of `window` samples; anomaly when `|z| > z_threshold`.
+    pub fn new(window: usize, z_threshold: f64) -> Self {
+        assert!(z_threshold > 0.0);
+        ZScoreAnomaly {
+            window: SlidingWindow::new(window),
+            z_threshold,
+            min_samples: window / 2,
+        }
+    }
+
+    /// Sets the warm-up sample count (default: half the window).
+    pub fn min_samples(mut self, n: usize) -> Self {
+        self.min_samples = n;
+        self
+    }
+}
+
+impl Module for ZScoreAnomaly {
+    fn execute(&mut self, ctx: ExecCtx<'_>) -> Emission {
+        let Some(x) = fresh_f64(&ctx) else {
+            return Emission::Silent;
+        };
+        let anomalous = self.window.len() >= self.min_samples.max(2)
+            && self
+                .window
+                .zscore(x)
+                .is_some_and(|z| z.abs() > self.z_threshold);
+        self.window.push(x);
+        if anomalous {
+            Emission::Broadcast(Value::Float(x))
+        } else {
+            Emission::Silent
+        }
+    }
+
+    fn name(&self) -> &str {
+        "zscore-anomaly"
+    }
+}
+
+/// Flags observations falling more than `sigma` residual standard
+/// deviations from a linear regression fitted over a sliding window —
+/// the §1 predicate "two standard deviations away from a regression
+/// model developed using data from a one-month window".
+#[derive(Debug, Clone)]
+pub struct RegressionOutlier {
+    regression: WindowedRegression,
+    sigma: f64,
+    min_samples: usize,
+}
+
+impl RegressionOutlier {
+    /// Regression over `window` samples; outlier when
+    /// `|residual| > sigma · residual_stddev`.
+    pub fn new(window: usize, sigma: f64) -> Self {
+        assert!(sigma > 0.0);
+        RegressionOutlier {
+            regression: WindowedRegression::new(window),
+            sigma,
+            min_samples: (window / 2).max(3),
+        }
+    }
+}
+
+impl Module for RegressionOutlier {
+    fn execute(&mut self, ctx: ExecCtx<'_>) -> Emission {
+        let Some(y) = fresh_f64(&ctx) else {
+            return Emission::Silent;
+        };
+        let outlier = if self.regression.len() >= self.min_samples {
+            match (self.regression.residual(y), self.regression.residual_stddev()) {
+                (Some(r), Some(sd)) if sd > 1e-12 => r.abs() > self.sigma * sd,
+                // Perfectly linear history: any deviation is an outlier.
+                (Some(r), Some(_)) => r.abs() > 1e-9,
+                _ => false,
+            }
+        } else {
+            false
+        };
+        self.regression.push(y);
+        if outlier {
+            Emission::Broadcast(Value::Float(y))
+        } else {
+            Emission::Silent
+        }
+    }
+
+    fn name(&self) -> &str {
+        "regression-outlier"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{floats, run_unary};
+
+    #[test]
+    fn zscore_flags_spike_only() {
+        let mut data: Vec<f64> = (0..50).map(|i| (i % 7) as f64).collect();
+        data.push(100.0); // spike at phase 51
+        data.extend((0..5).map(|i| (i % 7) as f64));
+        let out = run_unary(ZScoreAnomaly::new(32, 4.0), floats(&data));
+        assert_eq!(out.len(), 1, "only the spike should be flagged: {out:?}");
+        assert_eq!(out[0].0, 51);
+        assert_eq!(out[0].1, Value::Float(100.0));
+    }
+
+    #[test]
+    fn zscore_silent_during_warmup() {
+        // Huge value in phase 2 — but window not warm yet.
+        let out = run_unary(ZScoreAnomaly::new(10, 2.0), floats(&[1.0, 1000.0]));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn regression_outlier_on_trend_break() {
+        // Clean linear trend, then a break.
+        let mut data: Vec<f64> = (0..20).map(|i| 5.0 + 2.0 * i as f64).collect();
+        data.push(500.0);
+        let out = run_unary(RegressionOutlier::new(16, 3.0), floats(&data));
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].0, 21);
+    }
+
+    #[test]
+    fn regression_tolerates_noise_within_sigma() {
+        // Noisy but bounded around a line: no outliers at 6σ.
+        let data: Vec<f64> = (0..40)
+            .map(|i| 3.0 + 0.5 * i as f64 + if i % 2 == 0 { 0.3 } else { -0.3 })
+            .collect();
+        let out = run_unary(RegressionOutlier::new(16, 6.0), floats(&data));
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn anomaly_rate_is_tiny_on_normal_traffic() {
+        // The §1 argument: normal traffic produces (nearly) no messages.
+        let data: Vec<f64> = (0..2000).map(|i| ((i * 37) % 101) as f64).collect();
+        let out = run_unary(ZScoreAnomaly::new(64, 6.0), floats(&data));
+        assert!(
+            out.len() < 5,
+            "expected near-silence on uniform traffic, got {} alarms",
+            out.len()
+        );
+    }
+}

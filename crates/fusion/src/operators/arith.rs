@@ -1,0 +1,170 @@
+//! Binary arithmetic over two streams.
+//!
+//! Combines the latest values of two inputs — e.g. demand minus
+//! capacity, price over baseline — re-evaluating whenever either input
+//! changes and emitting only when the result changes.
+
+use super::emit_if_changed;
+use ec_core::{Emission, ExecCtx, Module};
+use ec_events::Value;
+
+/// The arithmetic operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    /// `a + b`
+    Add,
+    /// `a − b`
+    Sub,
+    /// `a × b`
+    Mul,
+    /// `a ÷ b` (silent while `b == 0`)
+    Div,
+    /// `|a − b|`
+    AbsDiff,
+}
+
+/// Applies an [`ArithOp`] to the latest values of input edges 0 and 1.
+///
+/// Stays silent until both inputs have reported at least once, and when
+/// the recomputed result is unchanged (e.g. both inputs moved in a way
+/// that cancels out).
+#[derive(Debug, Clone)]
+pub struct Arith {
+    op: ArithOp,
+    last: Option<Value>,
+}
+
+impl Arith {
+    /// New combiner.
+    pub fn new(op: ArithOp) -> Self {
+        Arith { op, last: None }
+    }
+
+    /// `a + b`.
+    pub fn add() -> Self {
+        Self::new(ArithOp::Add)
+    }
+
+    /// `a − b`.
+    pub fn sub() -> Self {
+        Self::new(ArithOp::Sub)
+    }
+
+    /// `a × b`.
+    pub fn mul() -> Self {
+        Self::new(ArithOp::Mul)
+    }
+
+    /// `a ÷ b`.
+    pub fn div() -> Self {
+        Self::new(ArithOp::Div)
+    }
+
+    /// `|a − b|`.
+    pub fn abs_diff() -> Self {
+        Self::new(ArithOp::AbsDiff)
+    }
+}
+
+impl Module for Arith {
+    fn execute(&mut self, ctx: ExecCtx<'_>) -> Emission {
+        if ctx.inputs.fresh.is_empty() {
+            return Emission::Silent;
+        }
+        debug_assert!(ctx.inputs.arity() >= 2, "Arith needs two inputs");
+        let a = ctx.inputs.current_at(0).and_then(|v| v.as_f64());
+        let b = ctx.inputs.current_at(1).and_then(|v| v.as_f64());
+        let (Some(a), Some(b)) = (a, b) else {
+            return Emission::Silent;
+        };
+        let result = match self.op {
+            ArithOp::Add => a + b,
+            ArithOp::Sub => a - b,
+            ArithOp::Mul => a * b,
+            ArithOp::Div => {
+                if b == 0.0 {
+                    return Emission::Silent;
+                }
+                a / b
+            }
+            ArithOp::AbsDiff => (a - b).abs(),
+        };
+        emit_if_changed(&mut self.last, Value::Float(result))
+    }
+
+    fn name(&self) -> &str {
+        match self.op {
+            ArithOp::Add => "arith-add",
+            ArithOp::Sub => "arith-sub",
+            ArithOp::Mul => "arith-mul",
+            ArithOp::Div => "arith-div",
+            ArithOp::AbsDiff => "arith-absdiff",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{run_binary, sparse_floats};
+
+    #[test]
+    fn add_and_sub_track_latest() {
+        let out = run_binary(
+            Arith::add(),
+            sparse_floats(&[Some(1.0), Some(2.0), None]),
+            sparse_floats(&[Some(10.0), None, Some(20.0)]),
+        );
+        let vals: Vec<f64> = out.iter().map(|(_, v)| v.as_f64().unwrap()).collect();
+        assert_eq!(vals, vec![11.0, 12.0, 22.0]);
+
+        let out = run_binary(
+            Arith::sub(),
+            sparse_floats(&[Some(5.0)]),
+            sparse_floats(&[Some(2.0)]),
+        );
+        assert_eq!(out[0].1, Value::Float(3.0));
+    }
+
+    #[test]
+    fn waits_for_both_inputs() {
+        let out = run_binary(
+            Arith::mul(),
+            sparse_floats(&[Some(3.0), None]),
+            sparse_floats(&[None, Some(4.0)]),
+        );
+        assert_eq!(out, vec![(2, Value::Float(12.0))]);
+    }
+
+    #[test]
+    fn div_silent_on_zero_denominator() {
+        let out = run_binary(
+            Arith::div(),
+            sparse_floats(&[Some(6.0), None, None]),
+            sparse_floats(&[Some(0.0), Some(2.0), Some(2.0)]),
+        );
+        // Phase 1 silent (÷0); phase 2 emits 3; phase 3 unchanged → silent.
+        assert_eq!(out, vec![(2, Value::Float(3.0))]);
+    }
+
+    #[test]
+    fn abs_diff_symmetry() {
+        let out = run_binary(
+            Arith::abs_diff(),
+            sparse_floats(&[Some(2.0)]),
+            sparse_floats(&[Some(7.0)]),
+        );
+        assert_eq!(out[0].1, Value::Float(5.0));
+    }
+
+    #[test]
+    fn unchanged_result_is_silent() {
+        // Both inputs change but the sum is constant.
+        let out = run_binary(
+            Arith::add(),
+            sparse_floats(&[Some(1.0), Some(2.0)]),
+            sparse_floats(&[Some(4.0), Some(3.0)]),
+        );
+        assert_eq!(out, vec![(1, Value::Float(5.0))]);
+    }
+}

@@ -1,0 +1,190 @@
+//! Change-shaping operators: detectors, debouncers, sample-and-hold.
+
+use super::fresh_f64;
+use ec_core::{Emission, ExecCtx, Module};
+use ec_events::Value;
+
+/// Forwards a sample only when it differs from the last *forwarded*
+/// sample by more than `epsilon` — converts a chatty stream into a
+/// change stream (the sensor of §1 that reports only when its
+/// assumption is violated).
+#[derive(Debug, Clone)]
+pub struct ChangeDetector {
+    epsilon: f64,
+    last_forwarded: Option<f64>,
+}
+
+impl ChangeDetector {
+    /// Forward when `|x − last| > epsilon` (the first sample is always
+    /// forwarded).
+    pub fn new(epsilon: f64) -> Self {
+        assert!(epsilon >= 0.0);
+        ChangeDetector {
+            epsilon,
+            last_forwarded: None,
+        }
+    }
+}
+
+impl Module for ChangeDetector {
+    fn execute(&mut self, ctx: ExecCtx<'_>) -> Emission {
+        let Some(x) = fresh_f64(&ctx) else {
+            return Emission::Silent;
+        };
+        match self.last_forwarded {
+            Some(prev) if (x - prev).abs() <= self.epsilon => Emission::Silent,
+            _ => {
+                self.last_forwarded = Some(x);
+                Emission::Broadcast(Value::Float(x))
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "change-detector"
+    }
+}
+
+/// Rate-limits a stream: after forwarding a message, swallows further
+/// messages for the next `hold_phases` phases.
+#[derive(Debug, Clone)]
+pub struct Debounce {
+    hold_phases: u64,
+    open_at: u64,
+}
+
+impl Debounce {
+    /// Forward at most one message every `hold_phases + 1` phases.
+    pub fn new(hold_phases: u64) -> Self {
+        Debounce {
+            hold_phases,
+            open_at: 0,
+        }
+    }
+}
+
+impl Module for Debounce {
+    fn execute(&mut self, ctx: ExecCtx<'_>) -> Emission {
+        let Some((_, v)) = ctx.inputs.fresh.last() else {
+            return Emission::Silent;
+        };
+        if ctx.phase.get() < self.open_at {
+            return Emission::Silent;
+        }
+        self.open_at = ctx.phase.get() + self.hold_phases + 1;
+        Emission::Broadcast(v.clone())
+    }
+
+    fn name(&self) -> &str {
+        "debounce"
+    }
+}
+
+/// Samples its *first* input whenever its *second* input (the trigger)
+/// fires: classic sample-and-hold. With one input, forwards on every
+/// trigger-free fresh message.
+#[derive(Debug, Clone, Default)]
+pub struct SampleHold;
+
+impl SampleHold {
+    /// New sample-and-hold; input edge 0 is the signal, edge 1 the
+    /// trigger.
+    pub fn new() -> Self {
+        SampleHold
+    }
+}
+
+impl Module for SampleHold {
+    fn execute(&mut self, ctx: ExecCtx<'_>) -> Emission {
+        if ctx.inputs.arity() < 2 {
+            // Degenerate: act as a latch on the single input.
+            return match ctx.inputs.fresh.last() {
+                Some((_, v)) => Emission::Broadcast(v.clone()),
+                None => Emission::Silent,
+            };
+        }
+        let trigger = ctx.inputs.preds[1];
+        if !ctx.inputs.changed(trigger) {
+            return Emission::Silent;
+        }
+        match ctx.inputs.current_at(0) {
+            Some(v) => Emission::Broadcast(v.clone()),
+            None => Emission::Silent, // nothing sampled yet
+        }
+    }
+
+    fn name(&self) -> &str {
+        "sample-hold"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{floats, run_binary, run_unary, sparse_floats};
+
+    #[test]
+    fn change_detector_filters_small_moves() {
+        let out = run_unary(
+            ChangeDetector::new(1.0),
+            floats(&[10.0, 10.5, 10.9, 12.0, 12.5, 9.0]),
+        );
+        let vals: Vec<f64> = out.iter().map(|(_, v)| v.as_f64().unwrap()).collect();
+        assert_eq!(vals, vec![10.0, 12.0, 9.0]);
+    }
+
+    #[test]
+    fn change_detector_epsilon_zero_forwards_changes_only() {
+        let out = run_unary(ChangeDetector::new(0.0), floats(&[1.0, 1.0, 2.0, 2.0]));
+        let phases: Vec<u64> = out.iter().map(|(p, _)| *p).collect();
+        assert_eq!(phases, vec![1, 3]);
+    }
+
+    #[test]
+    fn debounce_rate_limits() {
+        let out = run_unary(Debounce::new(2), floats(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]));
+        let phases: Vec<u64> = out.iter().map(|(p, _)| *p).collect();
+        assert_eq!(phases, vec![1, 4, 7]);
+    }
+
+    #[test]
+    fn debounce_zero_hold_forwards_everything() {
+        let out = run_unary(Debounce::new(0), floats(&[1.0, 2.0]));
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn sample_hold_samples_on_trigger() {
+        // Signal on input 0 evolves; trigger on input 1 fires at phases 2, 4.
+        let out = run_binary(
+            SampleHold::new(),
+            floats(&[10.0, 20.0, 30.0, 40.0]),
+            sparse_floats(&[None, Some(1.0), None, Some(1.0)]),
+        );
+        assert_eq!(
+            out,
+            vec![(2, Value::Float(20.0)), (4, Value::Float(40.0))]
+        );
+    }
+
+    #[test]
+    fn sample_hold_holds_last_signal_value() {
+        // Signal stops updating; trigger still samples the held value.
+        let out = run_binary(
+            SampleHold::new(),
+            sparse_floats(&[Some(5.0), None, None]),
+            sparse_floats(&[None, None, Some(1.0)]),
+        );
+        assert_eq!(out, vec![(3, Value::Float(5.0))]);
+    }
+
+    #[test]
+    fn sample_hold_trigger_before_any_signal() {
+        let out = run_binary(
+            SampleHold::new(),
+            sparse_floats(&[None, Some(2.0)]),
+            sparse_floats(&[Some(1.0), None]),
+        );
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,106 @@
+//! Hysteresis (Schmitt-trigger) thresholding.
+//!
+//! A plain threshold flaps when the signal hovers around the level,
+//! producing needless messages. Hysteresis uses two levels: trigger
+//! when the signal rises above `high`, release only when it falls below
+//! `low` — fewer state changes, fewer messages, which is what the
+//! Δ-dataflow economy wants from noisy sensors.
+
+use super::{emit_if_changed, fresh_f64};
+use ec_core::{Emission, ExecCtx, Module};
+use ec_events::Value;
+
+/// Two-level threshold with hysteresis.
+#[derive(Debug, Clone)]
+pub struct Hysteresis {
+    low: f64,
+    high: f64,
+    triggered: bool,
+    last: Option<Value>,
+}
+
+impl Hysteresis {
+    /// Triggers above `high`, releases below `low`.
+    ///
+    /// # Panics
+    /// Panics if `low > high`.
+    pub fn new(low: f64, high: f64) -> Self {
+        assert!(low <= high, "hysteresis band inverted: {low} > {high}");
+        Hysteresis {
+            low,
+            high,
+            triggered: false,
+            last: None,
+        }
+    }
+}
+
+impl Module for Hysteresis {
+    fn execute(&mut self, ctx: ExecCtx<'_>) -> Emission {
+        let Some(x) = fresh_f64(&ctx) else {
+            return Emission::Silent;
+        };
+        if self.triggered {
+            if x < self.low {
+                self.triggered = false;
+            }
+        } else if x > self.high {
+            self.triggered = true;
+        }
+        emit_if_changed(&mut self.last, Value::Bool(self.triggered))
+    }
+
+    fn name(&self) -> &str {
+        "hysteresis"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{floats, run_unary};
+    use crate::operators::threshold::Threshold;
+
+    #[test]
+    fn triggers_high_releases_low() {
+        let out = run_unary(
+            Hysteresis::new(3.0, 7.0),
+            floats(&[1.0, 8.0, 5.0, 4.0, 2.0, 6.0]),
+        );
+        assert_eq!(
+            out,
+            vec![
+                (1, Value::Bool(false)),
+                (2, Value::Bool(true)),  // crossed high
+                (5, Value::Bool(false)), // fell below low (5, 4 held)
+            ]
+        );
+    }
+
+    #[test]
+    fn suppresses_flapping_vs_plain_threshold() {
+        // A signal oscillating around 5.0 flaps a plain threshold every
+        // phase but never escapes the 3..7 hysteresis band.
+        let wobble: Vec<f64> = (0..40)
+            .map(|i| if i % 2 == 0 { 4.5 } else { 5.5 })
+            .collect();
+        let plain = run_unary(Threshold::above(5.0), floats(&wobble));
+        let hyst = run_unary(Hysteresis::new(3.0, 7.0), floats(&wobble));
+        assert!(plain.len() >= 20, "plain threshold flaps: {}", plain.len());
+        assert_eq!(hyst.len(), 1, "hysteresis emits only the initial state");
+    }
+
+    #[test]
+    fn band_boundaries_hold_state() {
+        let out = run_unary(Hysteresis::new(2.0, 4.0), floats(&[4.0, 2.0]));
+        // 4.0 is not > high, 2.0 is not < low: never triggers, one
+        // initial announcement.
+        assert_eq!(out, vec![(1, Value::Bool(false))]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_inverted_band() {
+        let _ = Hysteresis::new(5.0, 1.0);
+    }
+}

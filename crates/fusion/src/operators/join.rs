@@ -1,0 +1,201 @@
+//! Cross-stream correlation operators — the "correlating event
+//! streams" of the paper's title.
+
+use super::emit_if_changed;
+use ec_core::{Emission, ExecCtx, Module};
+use ec_events::window::SlidingWindow;
+use ec_events::Value;
+
+/// Maintains sliding windows over two input streams and emits their
+/// Pearson correlation coefficient whenever either stream delivers a
+/// fresh sample (and both windows have enough data).
+///
+/// Missing samples are filled with the stream's latest value — the
+/// Δ-dataflow reading of "no message" as "unchanged".
+#[derive(Debug, Clone)]
+pub struct PairCorrelation {
+    a: SlidingWindow,
+    b: SlidingWindow,
+    min_samples: usize,
+}
+
+impl PairCorrelation {
+    /// Correlation over the last `window` paired samples.
+    pub fn new(window: usize) -> Self {
+        PairCorrelation {
+            a: SlidingWindow::new(window),
+            b: SlidingWindow::new(window),
+            min_samples: 3,
+        }
+    }
+
+    fn pearson(&self) -> Option<f64> {
+        let n = self.a.len().min(self.b.len());
+        if n < self.min_samples {
+            return None;
+        }
+        let (ma, mb) = (self.a.mean()?, self.b.mean()?);
+        let (mut cov, mut va, mut vb) = (0.0, 0.0, 0.0);
+        for (x, y) in self.a.iter().zip(self.b.iter()) {
+            cov += (x - ma) * (y - mb);
+            va += (x - ma) * (x - ma);
+            vb += (y - mb) * (y - mb);
+        }
+        if va <= 0.0 || vb <= 0.0 {
+            return None;
+        }
+        Some(cov / (va.sqrt() * vb.sqrt()))
+    }
+}
+
+impl Module for PairCorrelation {
+    fn execute(&mut self, ctx: ExecCtx<'_>) -> Emission {
+        if ctx.inputs.fresh.is_empty() {
+            return Emission::Silent;
+        }
+        debug_assert!(ctx.inputs.arity() >= 2, "PairCorrelation needs two inputs");
+        // Latest-value semantics: each phase with any fresh input
+        // appends the current (possibly held) value of both streams.
+        let xa = ctx.inputs.current_at(0).and_then(|v| v.as_f64());
+        let xb = ctx.inputs.current_at(1).and_then(|v| v.as_f64());
+        let (Some(xa), Some(xb)) = (xa, xb) else {
+            return Emission::Silent; // one stream has never reported
+        };
+        self.a.push(xa);
+        self.b.push(xb);
+        match self.pearson() {
+            Some(r) => Emission::Broadcast(Value::Float(r)),
+            None => Emission::Silent,
+        }
+    }
+
+    fn name(&self) -> &str {
+        "pair-correlation"
+    }
+}
+
+/// Detects *coincident* events: emits `Bool(true)` when both inputs
+/// have delivered a fresh message within `window_phases` of each other,
+/// and `Bool(false)` when the coincidence expires. The composite
+/// condition "intrusion alarm AND badge-reader anomaly within 5 ticks"
+/// is this module.
+#[derive(Debug, Clone)]
+pub struct CoincidenceJoin {
+    window_phases: u64,
+    last_a: Option<u64>,
+    last_b: Option<u64>,
+    last_emitted: Option<Value>,
+}
+
+impl CoincidenceJoin {
+    /// Coincidence window in phases.
+    pub fn new(window_phases: u64) -> Self {
+        CoincidenceJoin {
+            window_phases,
+            last_a: None,
+            last_b: None,
+            last_emitted: None,
+        }
+    }
+
+    fn coincident(&self, now: u64) -> bool {
+        match (self.last_a, self.last_b) {
+            (Some(a), Some(b)) => {
+                a.abs_diff(b) <= self.window_phases
+                    && now.saturating_sub(a.max(b)) <= self.window_phases
+            }
+            _ => false,
+        }
+    }
+}
+
+impl Module for CoincidenceJoin {
+    fn execute(&mut self, ctx: ExecCtx<'_>) -> Emission {
+        if ctx.inputs.fresh.is_empty() {
+            return Emission::Silent;
+        }
+        debug_assert!(ctx.inputs.arity() >= 2, "CoincidenceJoin needs two inputs");
+        let now = ctx.phase.get();
+        if ctx.inputs.changed(ctx.inputs.preds[0]) {
+            self.last_a = Some(now);
+        }
+        if ctx.inputs.changed(ctx.inputs.preds[1]) {
+            self.last_b = Some(now);
+        }
+        let verdict = self.coincident(now);
+        emit_if_changed(&mut self.last_emitted, Value::Bool(verdict))
+    }
+
+    fn name(&self) -> &str {
+        "coincidence-join"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{floats, run_binary, sparse_floats};
+
+    #[test]
+    fn correlation_of_identical_streams_is_one() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let out = run_binary(PairCorrelation::new(8), floats(&xs), floats(&xs));
+        let last = out.last().unwrap().1.as_f64().unwrap();
+        assert!((last - 1.0).abs() < 1e-9, "r = {last}");
+    }
+
+    #[test]
+    fn correlation_of_opposite_streams_is_minus_one() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b: Vec<f64> = a.iter().map(|x| -x).collect();
+        let out = run_binary(PairCorrelation::new(8), floats(&a), floats(&b));
+        let last = out.last().unwrap().1.as_f64().unwrap();
+        assert!((last + 1.0).abs() < 1e-9, "r = {last}");
+    }
+
+    #[test]
+    fn correlation_waits_for_both_streams() {
+        let out = run_binary(
+            PairCorrelation::new(8),
+            floats(&[1.0, 2.0]),
+            sparse_floats(&[None, None]),
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn coincidence_within_window() {
+        let out = run_binary(
+            CoincidenceJoin::new(2),
+            sparse_floats(&[Some(1.0), None, None, None, None]),
+            sparse_floats(&[None, None, Some(1.0), None, None]),
+        );
+        // First message announces the initial (false) state; events at
+        // phases 1 and 3 differ by 2 ≤ window → coincident at phase 3.
+        assert_eq!(out, vec![(1, Value::Bool(false)), (3, Value::Bool(true))]);
+    }
+
+    #[test]
+    fn coincidence_outside_window_stays_false() {
+        let out = run_binary(
+            CoincidenceJoin::new(1),
+            sparse_floats(&[Some(1.0), None, None, None, None]),
+            sparse_floats(&[None, None, None, None, Some(1.0)]),
+        );
+        // First fresh message at phase 1 emits the initial false; the
+        // distant second event (gap 4 > 1) does not flip it.
+        assert_eq!(out, vec![(1, Value::Bool(false))]);
+    }
+
+    #[test]
+    fn coincidence_expires() {
+        let out = run_binary(
+            CoincidenceJoin::new(1),
+            sparse_floats(&[Some(1.0), None, None, None, Some(1.0)]),
+            sparse_floats(&[Some(1.0), None, None, None, None]),
+        );
+        // Coincident at phase 1; expires when a fresh event at phase 5
+        // finds the partner stale (5 − 1 = 4 > 1 apart).
+        assert_eq!(out, vec![(1, Value::Bool(true)), (5, Value::Bool(false))]);
+    }
+}

@@ -1,0 +1,172 @@
+//! Boolean combinators over condition streams.
+//!
+//! These fuse the outputs of detectors into composite conditions —
+//! "hospital occupancy high AND blood supply low" — emitting only when
+//! the composite verdict changes. Unknown inputs (no message ever
+//! received on an edge) are treated as `false`, so composites become
+//! meaningful as soon as any detector reports.
+
+use super::emit_if_changed;
+use ec_core::{Emission, ExecCtx, Module};
+use ec_events::Value;
+
+fn truthy(v: Option<&Value>) -> bool {
+    match v {
+        Some(Value::Bool(b)) => *b,
+        Some(other) => other.as_f64().map(|x| x != 0.0).unwrap_or(false),
+        None => false,
+    }
+}
+
+/// Emits `Bool` of the conjunction of all inputs' latest values,
+/// whenever the conjunction changes.
+#[derive(Debug, Clone, Default)]
+pub struct AllOf {
+    last: Option<Value>,
+}
+
+impl AllOf {
+    /// New conjunction.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Module for AllOf {
+    fn execute(&mut self, ctx: ExecCtx<'_>) -> Emission {
+        if ctx.inputs.fresh.is_empty() {
+            return Emission::Silent;
+        }
+        let verdict = (0..ctx.inputs.arity()).all(|i| truthy(ctx.inputs.current_at(i)));
+        emit_if_changed(&mut self.last, Value::Bool(verdict))
+    }
+
+    fn name(&self) -> &str {
+        "all-of"
+    }
+}
+
+/// Emits `Bool` of the disjunction of all inputs' latest values,
+/// whenever the disjunction changes.
+#[derive(Debug, Clone, Default)]
+pub struct AnyOf {
+    last: Option<Value>,
+}
+
+impl AnyOf {
+    /// New disjunction.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Module for AnyOf {
+    fn execute(&mut self, ctx: ExecCtx<'_>) -> Emission {
+        if ctx.inputs.fresh.is_empty() {
+            return Emission::Silent;
+        }
+        let verdict = (0..ctx.inputs.arity()).any(|i| truthy(ctx.inputs.current_at(i)));
+        emit_if_changed(&mut self.last, Value::Bool(verdict))
+    }
+
+    fn name(&self) -> &str {
+        "any-of"
+    }
+}
+
+/// Emits the number of inputs whose latest value is truthy, whenever
+/// that count changes — "at least k sensors agree" conditions.
+#[derive(Debug, Clone, Default)]
+pub struct TrueCount {
+    last: Option<Value>,
+}
+
+impl TrueCount {
+    /// New counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Module for TrueCount {
+    fn execute(&mut self, ctx: ExecCtx<'_>) -> Emission {
+        if ctx.inputs.fresh.is_empty() {
+            return Emission::Silent;
+        }
+        let count = (0..ctx.inputs.arity())
+            .filter(|&i| truthy(ctx.inputs.current_at(i)))
+            .count() as i64;
+        emit_if_changed(&mut self.last, Value::Int(count))
+    }
+
+    fn name(&self) -> &str {
+        "true-count"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::run_binary;
+
+    fn bools(xs: &[Option<bool>]) -> Vec<Option<Value>> {
+        xs.iter().map(|x| x.map(Value::Bool)).collect()
+    }
+
+    #[test]
+    fn all_of_waits_for_both() {
+        let out = run_binary(
+            AllOf::new(),
+            bools(&[Some(true), None, None, Some(false)]),
+            bools(&[None, Some(true), None, None]),
+        );
+        assert_eq!(
+            out,
+            vec![
+                (1, Value::Bool(false)), // only input 0 known (true), input 1 unknown=false
+                (2, Value::Bool(true)),  // both true
+                (4, Value::Bool(false)), // input 0 went false
+            ]
+        );
+    }
+
+    #[test]
+    fn any_of_fires_on_first_true() {
+        let out = run_binary(
+            AnyOf::new(),
+            bools(&[Some(false), Some(true), None, Some(false)]),
+            bools(&[Some(false), None, None, None]),
+        );
+        assert_eq!(
+            out,
+            vec![
+                (1, Value::Bool(false)),
+                (2, Value::Bool(true)),
+                (4, Value::Bool(false)),
+            ]
+        );
+    }
+
+    #[test]
+    fn true_count_tracks_changes_only() {
+        let out = run_binary(
+            TrueCount::new(),
+            bools(&[Some(true), Some(true), Some(false)]),
+            bools(&[None, Some(true), None]),
+        );
+        assert_eq!(
+            out,
+            vec![(1, Value::Int(1)), (2, Value::Int(2)), (3, Value::Int(1))]
+        );
+    }
+
+    #[test]
+    fn numeric_inputs_coerce_to_truth() {
+        let out = run_binary(
+            AnyOf::new(),
+            vec![Some(Value::Float(0.0)), Some(Value::Float(2.5))],
+            vec![Some(Value::Int(0)), None],
+        );
+        assert_eq!(out, vec![(1, Value::Bool(false)), (2, Value::Bool(true))]);
+    }
+}

@@ -1,0 +1,38 @@
+//! The operator library.
+//!
+//! Each operator is a [`ec_core::Module`] following the Δ-dataflow
+//! contract: silent unless its answer changed. Operators that consume a
+//! single input read the most recent fresh message; multi-input
+//! operators combine the latest value remembered per input edge (the
+//! engine maintains that memory — "using previous values for any inputs
+//! it has not received", §3.1.2).
+
+pub mod aggregate;
+pub mod anomaly;
+pub mod arith;
+pub mod delta;
+pub mod hysteresis;
+pub mod join;
+pub mod logic;
+pub mod moving;
+pub mod rate;
+pub mod threshold;
+
+use ec_core::ExecCtx;
+use ec_events::Value;
+
+/// Extracts the newest fresh numeric sample from the context, if any.
+pub(crate) fn fresh_f64(ctx: &ExecCtx<'_>) -> Option<f64> {
+    ctx.inputs.fresh.last().and_then(|(_, v)| v.as_f64())
+}
+
+/// Emits `value` only if it differs from `*last` (updating `*last`).
+pub(crate) fn emit_if_changed(last: &mut Option<Value>, value: Value) -> ec_core::Emission {
+    match last {
+        Some(prev) if prev.same_as(&value) => ec_core::Emission::Silent,
+        _ => {
+            *last = Some(value.clone());
+            ec_core::Emission::Broadcast(value)
+        }
+    }
+}

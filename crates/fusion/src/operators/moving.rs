@@ -1,0 +1,102 @@
+//! Moving averages and smoothing.
+
+use super::fresh_f64;
+use ec_core::{Emission, ExecCtx, Module};
+use ec_events::stats::Ewma;
+use ec_events::window::SlidingWindow;
+use ec_events::Value;
+
+/// Sliding-window moving average — the paper's "one-week moving point
+/// average" building block (§1).
+///
+/// Emits the updated mean whenever a fresh sample arrives (the mean
+/// changes almost surely with each sample, so this module is
+/// change-driven by construction: no input message, no output).
+#[derive(Debug, Clone)]
+pub struct MovingAverage {
+    window: SlidingWindow,
+}
+
+impl MovingAverage {
+    /// Average over the last `window` samples.
+    pub fn new(window: usize) -> Self {
+        MovingAverage {
+            window: SlidingWindow::new(window),
+        }
+    }
+}
+
+impl Module for MovingAverage {
+    fn execute(&mut self, ctx: ExecCtx<'_>) -> Emission {
+        let Some(x) = fresh_f64(&ctx) else {
+            return Emission::Silent;
+        };
+        self.window.push(x);
+        Emission::Broadcast(Value::Float(
+            self.window.mean().expect("just pushed a sample"),
+        ))
+    }
+
+    fn name(&self) -> &str {
+        "moving-average"
+    }
+}
+
+/// Exponentially weighted smoothing of a stream.
+#[derive(Debug, Clone)]
+pub struct EwmaSmoother {
+    ewma: Ewma,
+}
+
+impl EwmaSmoother {
+    /// Smoothing factor `alpha` in `(0, 1]`.
+    pub fn new(alpha: f64) -> Self {
+        EwmaSmoother {
+            ewma: Ewma::new(alpha),
+        }
+    }
+}
+
+impl Module for EwmaSmoother {
+    fn execute(&mut self, ctx: ExecCtx<'_>) -> Emission {
+        let Some(x) = fresh_f64(&ctx) else {
+            return Emission::Silent;
+        };
+        Emission::Broadcast(Value::Float(self.ewma.push(x)))
+    }
+
+    fn name(&self) -> &str {
+        "ewma"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{floats, run_unary, sparse_floats};
+
+    #[test]
+    fn moving_average_over_window() {
+        let out = run_unary(MovingAverage::new(2), floats(&[1.0, 3.0, 5.0]));
+        let vals: Vec<f64> = out.iter().map(|(_, v)| v.as_f64().unwrap()).collect();
+        assert_eq!(vals, vec![1.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn moving_average_silent_without_input() {
+        let out = run_unary(
+            MovingAverage::new(3),
+            sparse_floats(&[Some(2.0), None, Some(4.0)]),
+        );
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0], (1, Value::Float(2.0)));
+        assert_eq!(out[1], (3, Value::Float(3.0)));
+    }
+
+    #[test]
+    fn ewma_smooths() {
+        let out = run_unary(EwmaSmoother::new(0.5), floats(&[10.0, 0.0, 0.0]));
+        let vals: Vec<f64> = out.iter().map(|(_, v)| v.as_f64().unwrap()).collect();
+        assert_eq!(vals, vec![10.0, 5.0, 2.5]);
+    }
+}

@@ -1,0 +1,113 @@
+//! Event-rate monitoring.
+
+use super::emit_if_changed;
+use ec_core::{Emission, ExecCtx, Module};
+use ec_events::Value;
+use std::collections::VecDeque;
+
+/// Counts fresh messages over a sliding window of phases and emits
+/// `Bool(true)`/`Bool(false)` as the rate crosses a limit — "disease
+/// incidence rate above threshold" style conditions (§1).
+///
+/// The monitor is evaluated whenever a message arrives. Because a silent
+/// vertex is never executed, the rate can only be *observed* to fall on
+/// the next arrival; this is the correct Δ-dataflow semantics (no event,
+/// no re-evaluation) and matches how the paper's modules learn about the
+/// world only through messages and their absence.
+#[derive(Debug, Clone)]
+pub struct RateMonitor {
+    window_phases: u64,
+    limit: usize,
+    arrivals: VecDeque<u64>,
+    last: Option<Value>,
+}
+
+impl RateMonitor {
+    /// Triggered while more than `limit` messages arrived in the last
+    /// `window_phases` phases.
+    pub fn new(window_phases: u64, limit: usize) -> Self {
+        assert!(window_phases >= 1);
+        RateMonitor {
+            window_phases,
+            limit,
+            arrivals: VecDeque::new(),
+            last: None,
+        }
+    }
+
+    /// Current arrival count in-window at `now`.
+    fn count_at(&mut self, now: u64) -> usize {
+        let cutoff = now.saturating_sub(self.window_phases - 1);
+        while let Some(&front) = self.arrivals.front() {
+            if front < cutoff {
+                self.arrivals.pop_front();
+            } else {
+                break;
+            }
+        }
+        self.arrivals.len()
+    }
+}
+
+impl Module for RateMonitor {
+    fn execute(&mut self, ctx: ExecCtx<'_>) -> Emission {
+        let fresh_count = ctx.inputs.fresh.len();
+        if fresh_count == 0 {
+            return Emission::Silent;
+        }
+        let now = ctx.phase.get();
+        for _ in 0..fresh_count {
+            self.arrivals.push_back(now);
+        }
+        let count = self.count_at(now);
+        emit_if_changed(&mut self.last, Value::Bool(count > self.limit))
+    }
+
+    fn name(&self) -> &str {
+        "rate-monitor"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{run_unary, sparse_floats};
+
+    #[test]
+    fn triggers_on_burst() {
+        // Window 3 phases, limit 2: three arrivals within 3 phases trip it.
+        let out = run_unary(
+            RateMonitor::new(3, 2),
+            sparse_floats(&[Some(1.0), Some(1.0), Some(1.0), None, None]),
+        );
+        assert_eq!(out, vec![(1, Value::Bool(false)), (3, Value::Bool(true))]);
+    }
+
+    #[test]
+    fn resets_after_quiet_period() {
+        let out = run_unary(
+            RateMonitor::new(2, 1),
+            sparse_floats(&[
+                Some(1.0),
+                Some(1.0), // 2 in window of 2 → above limit 1
+                None,
+                None,
+                Some(1.0), // old arrivals expired → back under
+            ]),
+        );
+        assert_eq!(
+            out,
+            vec![
+                (1, Value::Bool(false)),
+                (2, Value::Bool(true)),
+                (5, Value::Bool(false)),
+            ]
+        );
+    }
+
+    #[test]
+    fn limit_zero_fires_on_first_event() {
+        let out = run_unary(RateMonitor::new(5, 0), sparse_floats(&[Some(1.0)]));
+        assert_eq!(out, vec![(1, Value::Bool(true))]);
+    }
+}

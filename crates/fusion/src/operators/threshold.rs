@@ -1,0 +1,114 @@
+//! Threshold crossing detection.
+
+use super::{emit_if_changed, fresh_f64};
+use ec_core::{Emission, ExecCtx, Module};
+use ec_events::Value;
+
+/// Which side of the level counts as "triggered".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThresholdMode {
+    /// Triggered while the value is strictly above the level.
+    Above,
+    /// Triggered while the value is strictly below the level.
+    Below,
+}
+
+/// Emits `Bool(true)` when its input crosses into the triggered region
+/// and `Bool(false)` when it leaves — never anything in between.
+///
+/// This is the canonical "option 2" module of §1: one message per state
+/// change rather than one per observation.
+#[derive(Debug, Clone)]
+pub struct Threshold {
+    level: f64,
+    mode: ThresholdMode,
+    last: Option<Value>,
+}
+
+impl Threshold {
+    /// Triggered while input > `level`.
+    pub fn above(level: f64) -> Self {
+        Threshold {
+            level,
+            mode: ThresholdMode::Above,
+            last: None,
+        }
+    }
+
+    /// Triggered while input < `level`.
+    pub fn below(level: f64) -> Self {
+        Threshold {
+            level,
+            mode: ThresholdMode::Below,
+            last: None,
+        }
+    }
+}
+
+impl Module for Threshold {
+    fn execute(&mut self, ctx: ExecCtx<'_>) -> Emission {
+        let Some(x) = fresh_f64(&ctx) else {
+            return Emission::Silent;
+        };
+        let triggered = match self.mode {
+            ThresholdMode::Above => x > self.level,
+            ThresholdMode::Below => x < self.level,
+        };
+        emit_if_changed(&mut self.last, Value::Bool(triggered))
+    }
+
+    fn name(&self) -> &str {
+        "threshold"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{floats, run_unary, sparse_floats};
+
+    #[test]
+    fn emits_only_on_state_change() {
+        let out = run_unary(
+            Threshold::above(10.0),
+            floats(&[5.0, 6.0, 11.0, 12.0, 13.0, 9.0, 8.0]),
+        );
+        assert_eq!(
+            out,
+            vec![
+                (1, Value::Bool(false)),
+                (3, Value::Bool(true)),
+                (6, Value::Bool(false)),
+            ]
+        );
+    }
+
+    #[test]
+    fn below_mode() {
+        let out = run_unary(Threshold::below(0.0), floats(&[1.0, -1.0, -2.0, 3.0]));
+        assert_eq!(
+            out,
+            vec![
+                (1, Value::Bool(false)),
+                (2, Value::Bool(true)),
+                (4, Value::Bool(false)),
+            ]
+        );
+    }
+
+    #[test]
+    fn silent_input_phases_pass_through_silently() {
+        let out = run_unary(
+            Threshold::above(0.0),
+            sparse_floats(&[Some(1.0), None, None, Some(2.0)]),
+        );
+        // One state announcement at phase 1; no further changes.
+        assert_eq!(out, vec![(1, Value::Bool(true))]);
+    }
+
+    #[test]
+    fn boundary_is_not_triggered() {
+        let out = run_unary(Threshold::above(5.0), floats(&[5.0]));
+        assert_eq!(out, vec![(1, Value::Bool(false))]);
+    }
+}

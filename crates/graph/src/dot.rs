@@ -1,0 +1,121 @@
+//! Graphviz DOT export for computation graphs.
+//!
+//! Renders a [`Dag`] (optionally annotated with a [`Numbering`]) as a DOT
+//! digraph so figures like the paper's Figure 2 can be regenerated with
+//! `dot -Tpng`.
+
+use crate::dag::Dag;
+use crate::numbering::Numbering;
+use std::fmt::Write;
+
+/// Renders `dag` as a Graphviz digraph named `name`.
+///
+/// Vertex labels are the human-readable names; sources are drawn as
+/// double circles and sinks as boxes.
+pub fn to_dot(dag: &Dag, name: &str) -> String {
+    render(dag, name, None)
+}
+
+/// Renders `dag` with each vertex labelled `"<index>: <name>"` using the
+/// provided numbering, mirroring the index labels in Figure 2.
+pub fn to_dot_numbered(dag: &Dag, name: &str, numbering: &Numbering) -> String {
+    render(dag, name, Some(numbering))
+}
+
+fn render(dag: &Dag, name: &str, numbering: Option<&Numbering>) -> String {
+    let mut out = String::new();
+    writeln!(out, "digraph {} {{", sanitize(name)).unwrap();
+    writeln!(out, "  rankdir=TB;").unwrap();
+    for v in dag.vertices() {
+        let label = match numbering {
+            Some(n) => format!("{}: {}", n.index_of(v), dag.name(v)),
+            None => dag.name(v).to_string(),
+        };
+        let shape = if dag.is_source(v) {
+            "doublecircle"
+        } else if dag.is_sink(v) {
+            "box"
+        } else {
+            "ellipse"
+        };
+        writeln!(
+            out,
+            "  n{} [label=\"{}\", shape={}];",
+            v.0,
+            escape(&label),
+            shape
+        )
+        .unwrap();
+    }
+    for (a, b) in dag.edges() {
+        writeln!(out, "  n{} -> n{};", a.0, b.0).unwrap();
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn sanitize(name: &str) -> String {
+    let cleaned: String = name
+        .chars()
+        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .collect();
+    if cleaned.chars().next().is_none_or(|c| c.is_ascii_digit()) {
+        format!("g_{cleaned}")
+    } else {
+        cleaned
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn renders_all_vertices_and_edges() {
+        let g = generators::diamond();
+        let dot = to_dot(&g, "diamond");
+        assert!(dot.starts_with("digraph diamond {"));
+        assert_eq!(dot.matches("label=").count(), 4);
+        assert_eq!(dot.matches(" -> ").count(), 4);
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn numbered_labels_include_indices() {
+        let g = generators::fig2_graph();
+        let n = crate::Numbering::compute(&g);
+        let dot = to_dot_numbered(&g, "fig2", &n);
+        for i in 1..=7 {
+            assert!(dot.contains(&format!("{i}: ")), "missing index {i}");
+        }
+    }
+
+    #[test]
+    fn source_and_sink_shapes() {
+        let g = generators::chain(3);
+        let dot = to_dot(&g, "chain");
+        assert!(dot.contains("doublecircle"));
+        assert!(dot.contains("shape=box"));
+        assert!(dot.contains("shape=ellipse"));
+    }
+
+    #[test]
+    fn name_sanitization() {
+        let g = generators::chain(2);
+        let dot = to_dot(&g, "2 bad-name");
+        assert!(dot.starts_with("digraph g_2_bad_name {"));
+    }
+
+    #[test]
+    fn label_escaping() {
+        let mut g = Dag::new();
+        g.add_vertex("quote\"and\\slash");
+        let dot = to_dot(&g, "esc");
+        assert!(dot.contains("quote\\\"and\\\\slash"));
+    }
+}

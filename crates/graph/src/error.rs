@@ -1,0 +1,39 @@
+//! Error types for graph construction and validation.
+
+use crate::dag::VertexId;
+use std::fmt;
+
+/// Errors raised while building or validating a computation graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An endpoint of an edge does not name an existing vertex.
+    UnknownVertex(VertexId),
+    /// Self-loops are not permitted in an acyclic computation graph.
+    SelfLoop(VertexId),
+    /// The edge already exists; the model has at most one channel per
+    /// ordered vertex pair.
+    DuplicateEdge(VertexId, VertexId),
+    /// Adding the edge would create a directed cycle (the paper requires
+    /// the computation graph to be acyclic, §2).
+    WouldCycle(VertexId, VertexId),
+    /// The graph is empty where a non-empty graph is required.
+    Empty,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownVertex(v) => write!(f, "unknown vertex {v:?}"),
+            GraphError::SelfLoop(v) => write!(f, "self-loop on vertex {v:?}"),
+            GraphError::DuplicateEdge(u, v) => {
+                write!(f, "duplicate edge {u:?} -> {v:?}")
+            }
+            GraphError::WouldCycle(u, v) => {
+                write!(f, "edge {u:?} -> {v:?} would create a cycle")
+            }
+            GraphError::Empty => write!(f, "graph is empty"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}

@@ -1,0 +1,302 @@
+//! Graph generators: the paper's figure graphs and synthetic families.
+//!
+//! The synthetic families (chains, layered graphs, random DAGs, trees)
+//! drive the benchmark harness; the `fig*` constructors reproduce the
+//! exact graphs of the paper's figures so tests and benches can reference
+//! them by name.
+
+use crate::dag::{Dag, VertexId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A simple chain `n0 -> n1 -> … -> n(k-1)`.
+///
+/// Chains maximise pipeline depth and minimise per-phase parallelism —
+/// the best case for multi-phase pipelining and the worst case for
+/// within-phase parallelism.
+pub fn chain(k: usize) -> Dag {
+    let mut dag = Dag::with_capacity(k);
+    let vs = dag.add_vertices(k);
+    for w in vs.windows(2) {
+        dag.add_edge(w[0], w[1]).expect("chain edges are acyclic");
+    }
+    dag
+}
+
+/// The classic 4-vertex diamond: one source fanning out to two middle
+/// vertices that join at one sink.
+pub fn diamond() -> Dag {
+    let mut dag = Dag::with_capacity(4);
+    let vs = dag.add_vertices(4);
+    dag.add_edge(vs[0], vs[1]).unwrap();
+    dag.add_edge(vs[0], vs[2]).unwrap();
+    dag.add_edge(vs[1], vs[3]).unwrap();
+    dag.add_edge(vs[2], vs[3]).unwrap();
+    dag
+}
+
+/// A layered graph: `layers` layers of `width` vertices; each non-source
+/// vertex has `fan_in` predecessors drawn from the previous layer
+/// (deterministically seeded).
+///
+/// Layered graphs model the "network of models" shape of §1: sensors feed
+/// intermediate models feed sink conditions. Both pipeline depth and
+/// per-phase width are tunable.
+pub fn layered(layers: usize, width: usize, fan_in: usize, seed: u64) -> Dag {
+    assert!(layers >= 1 && width >= 1, "need at least one vertex");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut dag = Dag::with_capacity(layers * width);
+    let mut prev: Vec<VertexId> = Vec::new();
+    for layer in 0..layers {
+        let cur: Vec<VertexId> = (0..width)
+            .map(|i| dag.add_vertex(format!("l{layer}w{i}")))
+            .collect();
+        if layer > 0 {
+            for &v in &cur {
+                let fan = fan_in.min(prev.len()).max(1);
+                // Sample distinct predecessors from the previous layer.
+                let mut picks: Vec<usize> = (0..prev.len()).collect();
+                for f in 0..fan {
+                    let j = rng.gen_range(f..picks.len());
+                    picks.swap(f, j);
+                    dag.add_edge(prev[picks[f]], v)
+                        .expect("layered edges are forward-only");
+                }
+            }
+        }
+        prev = cur;
+    }
+    dag
+}
+
+/// A complete binary in-tree of the given `depth` (leaves are sources,
+/// the root is the unique sink). Total vertices: `2^depth - 1`.
+///
+/// Trees model aggregation/fusion hierarchies (e.g. county → state →
+/// national disease-incidence rollups from §1).
+pub fn binary_in_tree(depth: usize) -> Dag {
+    assert!(depth >= 1);
+    let n = (1usize << depth) - 1;
+    let mut dag = Dag::with_capacity(n);
+    let vs = dag.add_vertices(n);
+    // Heap layout: vertex i has children 2i+1, 2i+2; edges run child→parent.
+    for i in 0..n {
+        let (l, r) = (2 * i + 1, 2 * i + 2);
+        if l < n {
+            dag.add_edge(vs[l], vs[i]).unwrap();
+        }
+        if r < n {
+            dag.add_edge(vs[r], vs[i]).unwrap();
+        }
+    }
+    dag
+}
+
+/// A random DAG on `n` vertices: each ordered pair `(i, j)` with `i < j`
+/// (in insertion order) is an edge with probability `p`. Isolated
+/// non-source vertices are avoided by wiring each parentless non-first
+/// vertex to a random earlier vertex when `connect` is set.
+pub fn random_dag(n: usize, p: f64, connect: bool, seed: u64) -> Dag {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut dag = Dag::with_capacity(n);
+    let vs = dag.add_vertices(n);
+    for j in 1..n {
+        let mut has_pred = false;
+        for i in 0..j {
+            if rng.gen_bool(p) {
+                dag.add_edge(vs[i], vs[j]).expect("forward edge");
+                has_pred = true;
+            }
+        }
+        if connect && !has_pred {
+            let i = rng.gen_range(0..j);
+            dag.add_edge(vs[i], vs[j]).expect("forward edge");
+        }
+    }
+    dag
+}
+
+/// A "fan" graph: `sources` source vertices all feeding a single fusion
+/// vertex, which feeds `sinks` sink vertices. Models wide sensor fusion
+/// with a single correlation point.
+pub fn fan(sources: usize, sinks: usize) -> Dag {
+    assert!(sources >= 1 && sinks >= 1);
+    let mut dag = Dag::with_capacity(sources + sinks + 1);
+    let srcs: Vec<VertexId> = (0..sources)
+        .map(|i| dag.add_vertex(format!("src{i}")))
+        .collect();
+    let hub = dag.add_vertex("fuse");
+    let snks: Vec<VertexId> = (0..sinks)
+        .map(|i| dag.add_vertex(format!("sink{i}")))
+        .collect();
+    for &s in &srcs {
+        dag.add_edge(s, hub).unwrap();
+    }
+    for &t in &snks {
+        dag.add_edge(hub, t).unwrap();
+    }
+    dag
+}
+
+/// The 10-node graph of **Figure 1**, in which 5 phases execute
+/// concurrently. The figure shows a roughly layered 10-vertex DAG; we
+/// build a 5-level graph (widths 2-2-2-2-2) so that 5 phases can be in
+/// flight at once, matching the figure's depiction of nodes near the top
+/// executing earlier phases than nodes near the bottom.
+pub fn fig1_graph() -> Dag {
+    let mut dag = Dag::with_capacity(10);
+    let v: Vec<VertexId> = (0..10).map(|i| dag.add_vertex(format!("f1n{i}"))).collect();
+    // Level 0: v0, v1 (sources). Level 1: v2, v3. Level 2: v4, v5.
+    // Level 3: v6, v7. Level 4: v8, v9 (sinks).
+    let edges = [
+        (0, 2),
+        (0, 3),
+        (1, 3),
+        (2, 4),
+        (3, 4),
+        (3, 5),
+        (4, 6),
+        (5, 6),
+        (5, 7),
+        (6, 8),
+        (7, 8),
+        (7, 9),
+    ];
+    for (a, b) in edges {
+        dag.add_edge(v[a], v[b]).unwrap();
+    }
+    dag
+}
+
+/// The 7-node graph of **Figure 2**, with vertices inserted so that the
+/// insertion order equals the paper's Figure 2(b) numbering (vertex id
+/// `i` is the vertex the paper numbers `i+1`).
+///
+/// Edges (1-based paper labels): 1→4, 2→4, 2→5, 3→5, 3→6, 5→6, 4→7, 6→7.
+/// With the identity numbering this graph's S-sets equal the right-hand
+/// table of Figure 2, and swapping labels 4 and 5 yields the defective
+/// left-hand table — see the tests in [`crate::numbering`].
+pub fn fig2_graph() -> Dag {
+    let mut dag = Dag::with_capacity(7);
+    let v: Vec<VertexId> = (0..7).map(|i| dag.add_vertex(format!("f2n{}", i + 1))).collect();
+    let edges_1based = [(1, 4), (2, 4), (2, 5), (3, 5), (3, 6), (5, 6), (4, 7), (6, 7)];
+    for (a, b) in edges_1based {
+        dag.add_edge(v[a - 1], v[b - 1]).unwrap();
+    }
+    dag
+}
+
+/// The 6-node graph used for the execution trace of **Figure 3**.
+///
+/// The paper's figure shows a 6-vertex graph with two sources executing
+/// two pipelined phases. We use sources {1, 2} feeding a join at 3, a
+/// second join at 5 and a sink at 6 (1-based labels as in the figure):
+/// 1→3, 2→3, 2→4, 3→5, 4→5, 5→6. The trace test in the integration
+/// suite replays the caption's eight steps against this graph.
+pub fn fig3_graph() -> Dag {
+    let mut dag = Dag::with_capacity(6);
+    let v: Vec<VertexId> = (0..6).map(|i| dag.add_vertex(format!("f3n{}", i + 1))).collect();
+    let edges_1based = [(1, 3), (2, 3), (2, 4), (3, 5), (4, 5), (5, 6)];
+    for (a, b) in edges_1based {
+        dag.add_edge(v[a - 1], v[b - 1]).unwrap();
+    }
+    dag
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::numbering::Numbering;
+
+    #[test]
+    fn chain_shape() {
+        let g = chain(6);
+        assert_eq!(g.vertex_count(), 6);
+        assert_eq!(g.edge_count(), 5);
+        assert_eq!(g.sources().len(), 1);
+        assert_eq!(g.sinks().len(), 1);
+    }
+
+    #[test]
+    fn diamond_shape() {
+        let g = diamond();
+        assert_eq!(g.vertex_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+    }
+
+    #[test]
+    fn layered_shape_and_validity() {
+        let g = layered(4, 3, 2, 1);
+        assert_eq!(g.vertex_count(), 12);
+        assert_eq!(g.sources().len(), 3);
+        Numbering::compute(&g).verify(&g).unwrap();
+    }
+
+    #[test]
+    fn layered_fan_in_capped_by_width() {
+        let g = layered(3, 2, 5, 1);
+        for v in g.vertices() {
+            assert!(g.in_degree(v) <= 2);
+        }
+    }
+
+    #[test]
+    fn binary_tree_shape() {
+        let g = binary_in_tree(3);
+        assert_eq!(g.vertex_count(), 7);
+        assert_eq!(g.sources().len(), 4); // leaves
+        assert_eq!(g.sinks().len(), 1); // root
+        Numbering::compute(&g).verify(&g).unwrap();
+    }
+
+    #[test]
+    fn random_dag_connected_has_single_source_component() {
+        let g = random_dag(50, 0.05, true, 9);
+        // With connect=true, only vertex 0 may be parentless among 1..n
+        // if it happened to get no edges; all others have a predecessor.
+        for v in g.vertices().skip(1) {
+            assert!(g.in_degree(v) >= 1);
+        }
+        Numbering::compute(&g).verify(&g).unwrap();
+    }
+
+    #[test]
+    fn random_dag_deterministic_by_seed() {
+        let a = random_dag(30, 0.1, true, 5);
+        let b = random_dag(30, 0.1, true, 5);
+        assert_eq!(a.edge_count(), b.edge_count());
+        assert!(a.edges().eq(b.edges()));
+    }
+
+    #[test]
+    fn fan_shape() {
+        let g = fan(5, 3);
+        assert_eq!(g.vertex_count(), 9);
+        assert_eq!(g.sources().len(), 5);
+        assert_eq!(g.sinks().len(), 3);
+        Numbering::compute(&g).verify(&g).unwrap();
+    }
+
+    #[test]
+    fn fig1_graph_valid() {
+        let g = fig1_graph();
+        assert_eq!(g.vertex_count(), 10);
+        Numbering::compute(&g).verify(&g).unwrap();
+    }
+
+    #[test]
+    fn fig2_graph_shape() {
+        let g = fig2_graph();
+        assert_eq!(g.vertex_count(), 7);
+        assert_eq!(g.edge_count(), 8);
+        assert_eq!(g.sources().len(), 3);
+    }
+
+    #[test]
+    fn fig3_graph_shape() {
+        let g = fig3_graph();
+        assert_eq!(g.vertex_count(), 6);
+        assert_eq!(g.sources().len(), 2);
+        Numbering::compute(&g).verify(&g).unwrap();
+    }
+}

@@ -1,0 +1,496 @@
+//! Vertex numbering with the serial-prefix restriction (§3.1.1).
+//!
+//! The scheduler needs a 1-based vertex numbering that is (a)
+//! topologically sorted and (b) satisfies the paper's additional
+//! restriction: for every `v` in `0..=N`, the set
+//!
+//! ```text
+//! S(v) = { w | every predecessor u of w has index u ≤ v }      (eq. 1)
+//! ```
+//!
+//! must be indexed sequentially, i.e. `S(v) = {1, 2, …, m(v)}` where
+//! `m(v) = |S(v)|`. Under that restriction, knowing that all vertices
+//! indexed `v` and lower have finished a phase implies that all vertices
+//! indexed `m(v)` and lower have *all the information they need* (messages
+//! or the absence thereof) to execute that phase — the key scheduling
+//! fact of §3.1.2.
+//!
+//! ## Construction
+//!
+//! The paper states the restriction but gives no construction. We use
+//! **Kahn's algorithm with a FIFO ready queue**: vertices are numbered in
+//! the order in which they *become ready* (all predecessors numbered).
+//!
+//! *Why this satisfies the restriction:* vertices are appended to the
+//! queue in readiness order and dequeued FIFO, so at every point the set
+//! of vertices ever enqueued is a prefix of the final numbering. After the
+//! edges of the vertex numbered `v` are processed, the ever-enqueued set
+//! is exactly `S(v)` (a vertex is enqueued precisely when its last
+//! predecessor receives a number `≤ v`), hence `S(v) = {1, …, m(v)}`.
+//!
+//! The independent [`Numbering::verify`] checker recomputes every `S(v)`
+//! directly from equation (1) and checks the sequential-prefix property,
+//! as well as the derived properties (2)–(4) of the paper:
+//!
+//! * (2) `m` is monotonically non-decreasing,
+//! * (3) `v < m(v)` for `1 ≤ v < N`,
+//! * (4) `m(N) = N`.
+
+use crate::dag::{Dag, VertexId};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// A schedule index: the paper's 1-based vertex number.
+pub type ScheduleIndex = u32;
+
+/// Errors found by [`Numbering::verify`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NumberingError {
+    /// The permutation has the wrong length or is not a permutation of
+    /// `1..=N`.
+    NotAPermutation,
+    /// An edge runs from a higher index to a lower-or-equal index, so the
+    /// numbering is not topologically sorted.
+    NotTopological {
+        /// Edge tail (producer).
+        from: VertexId,
+        /// Edge head (consumer).
+        to: VertexId,
+    },
+    /// Some `S(v)` is not a sequential prefix `{1..m(v)}` (the paper's
+    /// additional restriction, illustrated by Figure 2(a)).
+    NotSerialPrefix {
+        /// The prefix bound `v` whose `S(v)` is broken.
+        v: ScheduleIndex,
+        /// The smallest index missing from `S(v)`.
+        missing: ScheduleIndex,
+    },
+}
+
+impl fmt::Display for NumberingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NumberingError::NotAPermutation => {
+                write!(f, "index assignment is not a permutation of 1..=N")
+            }
+            NumberingError::NotTopological { from, to } => {
+                write!(f, "edge {from:?} -> {to:?} violates topological order")
+            }
+            NumberingError::NotSerialPrefix { v, missing } => write!(
+                f,
+                "S({v}) is not a sequential prefix: index {missing} missing"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for NumberingError {}
+
+/// A vertex numbering satisfying the paper's serial-prefix restriction,
+/// together with the `m(v)` table used by the scheduler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Numbering {
+    /// `index_of[vertex.index()]` = 1-based schedule index.
+    index_of: Vec<ScheduleIndex>,
+    /// `vertex_at[i - 1]` = vertex with schedule index `i`.
+    vertex_at: Vec<VertexId>,
+    /// `m[v]` for `v` in `0..=N`: `|S(v)|`.
+    m: Vec<ScheduleIndex>,
+}
+
+impl Numbering {
+    /// Computes a valid numbering for `dag` by Kahn's algorithm with a
+    /// FIFO ready queue (see module docs for why FIFO is essential).
+    ///
+    /// Runs in `O(V + E)`. For an empty graph the numbering is empty.
+    pub fn compute(dag: &Dag) -> Numbering {
+        let n = dag.vertex_count();
+        let mut indegree: Vec<u32> = (0..n)
+            .map(|i| dag.in_degree(VertexId(i as u32)) as u32)
+            .collect();
+        let mut queue: VecDeque<VertexId> = VecDeque::with_capacity(n);
+        for v in dag.vertices() {
+            if indegree[v.index()] == 0 {
+                queue.push_back(v);
+            }
+        }
+
+        let mut index_of = vec![0u32; n];
+        let mut vertex_at = Vec::with_capacity(n);
+        // m[0] = number of sources = initial queue length; m[v] is the
+        // total enqueued count after the edges of index v are processed.
+        let mut m = Vec::with_capacity(n + 1);
+        let mut enqueued = queue.len() as u32;
+        m.push(enqueued);
+
+        while let Some(v) = queue.pop_front() {
+            let idx = vertex_at.len() as u32 + 1;
+            index_of[v.index()] = idx;
+            vertex_at.push(v);
+            for &s in dag.succs(v) {
+                indegree[s.index()] -= 1;
+                if indegree[s.index()] == 0 {
+                    queue.push_back(s);
+                    enqueued += 1;
+                }
+            }
+            m.push(enqueued);
+        }
+        debug_assert_eq!(
+            vertex_at.len(),
+            n,
+            "Dag is acyclic by construction; Kahn must number every vertex"
+        );
+
+        Numbering {
+            index_of,
+            vertex_at,
+            m,
+        }
+    }
+
+    /// Number of vertices `N`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.vertex_at.len()
+    }
+
+    /// True if the numbering covers no vertices.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.vertex_at.is_empty()
+    }
+
+    /// The 1-based schedule index of `v`.
+    #[inline]
+    pub fn index_of(&self, v: VertexId) -> ScheduleIndex {
+        self.index_of[v.index()]
+    }
+
+    /// The vertex holding 1-based schedule index `i` (`1 ≤ i ≤ N`).
+    #[inline]
+    pub fn vertex_at(&self, i: ScheduleIndex) -> VertexId {
+        self.vertex_at[(i - 1) as usize]
+    }
+
+    /// The paper's `m(v)`: the cardinality of `S(v)`, for `0 ≤ v ≤ N`.
+    ///
+    /// `m(0)` is the number of source vertices. When all vertices indexed
+    /// `v` and lower have finished a phase, all vertices indexed `m(v)`
+    /// and lower have sufficient information to execute it (§3.1.2).
+    #[inline]
+    pub fn m(&self, v: ScheduleIndex) -> ScheduleIndex {
+        self.m[v as usize]
+    }
+
+    /// The full `m` table, `m[0..=N]`.
+    #[inline]
+    pub fn m_table(&self) -> &[ScheduleIndex] {
+        &self.m
+    }
+
+    /// Number of source vertices (`m(0)`).
+    #[inline]
+    pub fn source_count(&self) -> ScheduleIndex {
+        self.m[0]
+    }
+
+    /// Iterates over vertices in schedule order (index 1 to N).
+    pub fn schedule_order(&self) -> impl Iterator<Item = VertexId> + '_ {
+        self.vertex_at.iter().copied()
+    }
+
+    /// Verifies this numbering against `dag` directly from the paper's
+    /// definitions, independently of how it was constructed.
+    ///
+    /// Checks, in order: the indices form a permutation of `1..=N`; every
+    /// edge is directed from a lower to a higher index; every `S(v)`
+    /// computed from equation (1) is the sequential prefix `{1..m(v)}`;
+    /// and the stored `m` table matches. Also asserts the derived
+    /// properties (2)–(4).
+    pub fn verify(&self, dag: &Dag) -> Result<(), NumberingError> {
+        let n = dag.vertex_count();
+        if self.index_of.len() != n || self.vertex_at.len() != n || self.m.len() != n + 1 {
+            return Err(NumberingError::NotAPermutation);
+        }
+        let mut seen = vec![false; n + 1];
+        for &i in &self.index_of {
+            if i == 0 || i as usize > n || seen[i as usize] {
+                return Err(NumberingError::NotAPermutation);
+            }
+            seen[i as usize] = true;
+        }
+        for (i, &v) in self.vertex_at.iter().enumerate() {
+            if self.index_of[v.index()] != i as u32 + 1 {
+                return Err(NumberingError::NotAPermutation);
+            }
+        }
+
+        for (from, to) in dag.edges() {
+            if self.index_of(from) >= self.index_of(to) {
+                return Err(NumberingError::NotTopological { from, to });
+            }
+        }
+
+        // S(v) from equation (1), for every prefix bound v.
+        for v in 0..=n as u32 {
+            let mut in_s = vec![false; n + 1];
+            let mut count = 0u32;
+            for w in dag.vertices() {
+                if dag.preds(w).iter().all(|&u| self.index_of(u) <= v) {
+                    in_s[self.index_of(w) as usize] = true;
+                    count += 1;
+                }
+            }
+            // Sequential-prefix restriction: S(v) == {1..count}.
+            for i in 1..=count {
+                if !in_s[i as usize] {
+                    return Err(NumberingError::NotSerialPrefix { v, missing: i });
+                }
+            }
+            if self.m[v as usize] != count {
+                return Err(NumberingError::NotSerialPrefix {
+                    v,
+                    missing: count.min(self.m[v as usize]) + 1,
+                });
+            }
+        }
+
+        // Derived properties (2)-(4); these follow from the above but we
+        // assert them anyway as a defence against checker bugs.
+        for v in 1..n {
+            debug_assert!(self.m[v] <= self.m[v + 1], "property (2) violated");
+            debug_assert!((v as u32) < self.m[v], "property (3) violated");
+        }
+        if n > 0 {
+            debug_assert_eq!(self.m[n], n as u32, "property (4) violated");
+        }
+        Ok(())
+    }
+
+    /// Builds a `Numbering` from an explicit index assignment
+    /// (`assignment[vertex.index()]` = 1-based index), verifying it.
+    ///
+    /// Useful for testing numberings that come from outside (e.g. a spec
+    /// file) and for demonstrating *invalid* numberings such as the
+    /// paper's Figure 2(a).
+    pub fn from_assignment(
+        dag: &Dag,
+        assignment: &[ScheduleIndex],
+    ) -> Result<Numbering, NumberingError> {
+        let n = dag.vertex_count();
+        if assignment.len() != n {
+            return Err(NumberingError::NotAPermutation);
+        }
+        let mut vertex_at = vec![VertexId(0); n];
+        let mut seen = vec![false; n + 1];
+        for (vi, &idx) in assignment.iter().enumerate() {
+            if idx == 0 || idx as usize > n || seen[idx as usize] {
+                return Err(NumberingError::NotAPermutation);
+            }
+            seen[idx as usize] = true;
+            vertex_at[(idx - 1) as usize] = VertexId(vi as u32);
+        }
+        let mut m = Vec::with_capacity(n + 1);
+        for v in 0..=n as u32 {
+            let count = dag
+                .vertices()
+                .filter(|&w| dag.preds(w).iter().all(|&u| assignment[u.index()] <= v))
+                .count() as u32;
+            m.push(count);
+        }
+        let numbering = Numbering {
+            index_of: assignment.to_vec(),
+            vertex_at,
+            m,
+        };
+        numbering.verify(dag)?;
+        Ok(numbering)
+    }
+
+    /// Computes `S(v)` directly from equation (1) as a sorted list of
+    /// schedule indices. Intended for diagnostics and tests; `O(V·E)` in
+    /// the worst case.
+    pub fn s_set(&self, dag: &Dag, v: ScheduleIndex) -> Vec<ScheduleIndex> {
+        let mut s: Vec<ScheduleIndex> = dag
+            .vertices()
+            .filter(|&w| dag.preds(w).iter().all(|&u| self.index_of(u) <= v))
+            .map(|w| self.index_of(w))
+            .collect();
+        s.sort_unstable();
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn empty_graph() {
+        let dag = Dag::new();
+        let n = Numbering::compute(&dag);
+        assert!(n.is_empty());
+        assert_eq!(n.len(), 0);
+    }
+
+    #[test]
+    fn single_vertex() {
+        let mut dag = Dag::new();
+        let a = dag.add_vertex("a");
+        let n = Numbering::compute(&dag);
+        assert_eq!(n.index_of(a), 1);
+        assert_eq!(n.vertex_at(1), a);
+        assert_eq!(n.m_table(), &[1, 1]);
+        n.verify(&dag).unwrap();
+    }
+
+    #[test]
+    fn chain_numbering() {
+        let dag = generators::chain(5);
+        let n = Numbering::compute(&dag);
+        n.verify(&dag).unwrap();
+        // In a chain, S(v) = {1..v+1} for v < N.
+        assert_eq!(n.m_table(), &[1, 2, 3, 4, 5, 5]);
+    }
+
+    #[test]
+    fn diamond_numbering() {
+        let dag = generators::diamond();
+        let n = Numbering::compute(&dag);
+        n.verify(&dag).unwrap();
+        assert_eq!(n.source_count(), 1);
+        assert_eq!(n.m(n.len() as u32), n.len() as u32);
+    }
+
+    /// Figure 2(b): the satisfactory numbering. Our FIFO-Kahn construction
+    /// on the Figure 2 graph (inserted in index order) reproduces the
+    /// paper's m-sequence [3, 3, 4, 5, 5, 6, 7, 7].
+    #[test]
+    fn fig2_satisfactory_numbering() {
+        let dag = generators::fig2_graph();
+        let n = Numbering::compute(&dag);
+        n.verify(&dag).unwrap();
+        assert_eq!(n.m_table(), &[3, 3, 4, 5, 5, 6, 7, 7]);
+        // The identity assignment is exactly the paper's Figure 2(b).
+        let identity: Vec<u32> = (1..=7).collect();
+        let n2 = Numbering::from_assignment(&dag, &identity).unwrap();
+        assert_eq!(n2.m_table(), n.m_table());
+    }
+
+    /// Figure 2(b) S-values, matching the right-hand table of Figure 2.
+    #[test]
+    fn fig2_satisfactory_s_values() {
+        let dag = generators::fig2_graph();
+        let identity: Vec<u32> = (1..=7).collect();
+        let n = Numbering::from_assignment(&dag, &identity).unwrap();
+        assert_eq!(n.s_set(&dag, 0), vec![1, 2, 3]);
+        assert_eq!(n.s_set(&dag, 1), vec![1, 2, 3]);
+        assert_eq!(n.s_set(&dag, 2), vec![1, 2, 3, 4]);
+        assert_eq!(n.s_set(&dag, 3), vec![1, 2, 3, 4, 5]);
+        assert_eq!(n.s_set(&dag, 4), vec![1, 2, 3, 4, 5]);
+        assert_eq!(n.s_set(&dag, 5), vec![1, 2, 3, 4, 5, 6]);
+        assert_eq!(n.s_set(&dag, 6), vec![1, 2, 3, 4, 5, 6, 7]);
+        assert_eq!(n.s_set(&dag, 7), vec![1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    /// Figure 2(a): transposing vertices 4 and 5 yields a topologically
+    /// sorted numbering that violates the serial-prefix restriction
+    /// (S(2) = {1,2,3,5} is missing 4), exactly as the paper shows.
+    #[test]
+    fn fig2_unsatisfactory_numbering_rejected() {
+        let dag = generators::fig2_graph();
+        // Swap indices of the vertices numbered 4 and 5 in Figure 2(b).
+        let assignment: Vec<u32> = vec![1, 2, 3, 5, 4, 6, 7];
+        let err = Numbering::from_assignment(&dag, &assignment).unwrap_err();
+        assert_eq!(err, NumberingError::NotSerialPrefix { v: 2, missing: 4 });
+    }
+
+    /// Figure 2(a) S-values as printed in the left-hand table.
+    #[test]
+    fn fig2_unsatisfactory_s_values() {
+        let dag = generators::fig2_graph();
+        // Construct without verification to inspect raw S sets.
+        let assignment: Vec<u32> = vec![1, 2, 3, 5, 4, 6, 7];
+        let numbering = Numbering {
+            index_of: assignment.clone(),
+            vertex_at: {
+                let mut v = vec![VertexId(0); 7];
+                for (vi, &idx) in assignment.iter().enumerate() {
+                    v[(idx - 1) as usize] = VertexId(vi as u32);
+                }
+                v
+            },
+            m: vec![0; 8], // unused by s_set
+        };
+        assert_eq!(numbering.s_set(&dag, 0), vec![1, 2, 3]);
+        assert_eq!(numbering.s_set(&dag, 1), vec![1, 2, 3]);
+        assert_eq!(numbering.s_set(&dag, 2), vec![1, 2, 3, 5]);
+        assert_eq!(numbering.s_set(&dag, 3), vec![1, 2, 3, 4, 5]);
+        assert_eq!(numbering.s_set(&dag, 4), vec![1, 2, 3, 4, 5, 6]);
+        assert_eq!(numbering.s_set(&dag, 5), vec![1, 2, 3, 4, 5, 6]);
+        assert_eq!(numbering.s_set(&dag, 6), vec![1, 2, 3, 4, 5, 6, 7]);
+        assert_eq!(numbering.s_set(&dag, 7), vec![1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn verify_rejects_non_permutation() {
+        let dag = generators::chain(3);
+        assert_eq!(
+            Numbering::from_assignment(&dag, &[1, 1, 2]).unwrap_err(),
+            NumberingError::NotAPermutation
+        );
+        assert_eq!(
+            Numbering::from_assignment(&dag, &[0, 1, 2]).unwrap_err(),
+            NumberingError::NotAPermutation
+        );
+        assert_eq!(
+            Numbering::from_assignment(&dag, &[1, 2]).unwrap_err(),
+            NumberingError::NotAPermutation
+        );
+    }
+
+    #[test]
+    fn verify_rejects_non_topological() {
+        let dag = generators::chain(3);
+        let err = Numbering::from_assignment(&dag, &[2, 1, 3]).unwrap_err();
+        assert!(matches!(err, NumberingError::NotTopological { .. }));
+    }
+
+    #[test]
+    fn properties_2_3_4_hold_on_layered_graph() {
+        let dag = generators::layered(4, 5, 2, 42);
+        let n = Numbering::compute(&dag);
+        n.verify(&dag).unwrap();
+        let nn = n.len() as u32;
+        for v in 1..nn {
+            assert!(n.m(v - 1) <= n.m(v), "property (2)");
+            assert!(v < n.m(v), "property (3)");
+        }
+        assert_eq!(n.m(nn), nn, "property (4)");
+    }
+
+    #[test]
+    fn schedule_order_roundtrip() {
+        let dag = generators::layered(3, 4, 2, 7);
+        let n = Numbering::compute(&dag);
+        for (i, v) in n.schedule_order().enumerate() {
+            assert_eq!(n.index_of(v), i as u32 + 1);
+            assert_eq!(n.vertex_at(i as u32 + 1), v);
+        }
+    }
+
+    #[test]
+    fn sources_occupy_prefix() {
+        let dag = generators::layered(5, 3, 2, 99);
+        let n = Numbering::compute(&dag);
+        let k = n.source_count();
+        for i in 1..=k {
+            assert!(dag.is_source(n.vertex_at(i)));
+        }
+        for i in (k + 1)..=(n.len() as u32) {
+            assert!(!dag.is_source(n.vertex_at(i)));
+        }
+    }
+}

@@ -1,0 +1,318 @@
+//! Graph partitioning for multi-machine execution (§6 future work).
+//!
+//! The paper's §6: "We are investigating various ways of using networks
+//! of multiprocessor machines … including methods for partitioning the
+//! computation graph across multiple machines."
+//!
+//! This module partitions a graph into `k` blocks that are *contiguous
+//! in schedule order*. Contiguity gives the crucial structural property
+//! for distributed execution: since every edge goes from a lower to a
+//! higher schedule index, **all cross-partition edges point from a
+//! lower-numbered partition to a higher-numbered one** — partitions
+//! form a pipeline with acyclic inter-machine traffic, and each machine
+//! can run the single-machine algorithm locally while relaying boundary
+//! messages downstream (see `ec-core`'s distributed simulation).
+//!
+//! Two contiguous strategies are provided: balanced by vertex count
+//! ([`partition_balanced`]) and cut-minimising over contiguous
+//! boundaries by dynamic programming ([`partition_min_cut`]), plus
+//! quality metrics ([`PartitionQuality`]).
+
+use crate::dag::{Dag, VertexId};
+use crate::numbering::Numbering;
+
+/// An assignment of vertices to `k` partitions (machines).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// `part_of[vertex.index()]` = partition id in `0..k`.
+    part_of: Vec<u32>,
+    /// Number of partitions.
+    k: u32,
+}
+
+impl Partition {
+    /// Builds from an explicit assignment (validated against `k`).
+    pub fn new(part_of: Vec<u32>, k: u32) -> Partition {
+        assert!(k >= 1, "need at least one partition");
+        assert!(
+            part_of.iter().all(|&p| p < k),
+            "partition ids must be < k"
+        );
+        Partition { part_of, k }
+    }
+
+    /// Partition of a vertex.
+    #[inline]
+    pub fn part_of(&self, v: VertexId) -> u32 {
+        self.part_of[v.index()]
+    }
+
+    /// Number of partitions.
+    #[inline]
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// Vertices of one partition, in vertex-id order.
+    pub fn members(&self, part: u32) -> Vec<VertexId> {
+        self.part_of
+            .iter()
+            .enumerate()
+            .filter(|(_, &p)| p == part)
+            .map(|(i, _)| VertexId(i as u32))
+            .collect()
+    }
+
+    /// Sizes of all partitions.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.k as usize];
+        for &p in &self.part_of {
+            sizes[p as usize] += 1;
+        }
+        sizes
+    }
+
+    /// True if every edge goes from a lower-or-equal partition to a
+    /// higher-or-equal one (required for pipeline-distributed
+    /// execution).
+    pub fn is_forward(&self, dag: &Dag) -> bool {
+        dag.edges().all(|(a, b)| self.part_of(a) <= self.part_of(b))
+    }
+
+    /// Edges crossing partition boundaries.
+    pub fn cross_edges(&self, dag: &Dag) -> Vec<(VertexId, VertexId)> {
+        dag.edges()
+            .filter(|&(a, b)| self.part_of(a) != self.part_of(b))
+            .collect()
+    }
+
+    /// Quality metrics.
+    pub fn quality(&self, dag: &Dag) -> PartitionQuality {
+        let sizes = self.sizes();
+        let max = sizes.iter().copied().max().unwrap_or(0);
+        let ideal = (dag.vertex_count() as f64 / self.k as f64).max(1.0);
+        PartitionQuality {
+            edge_cut: self.cross_edges(dag).len(),
+            imbalance: max as f64 / ideal,
+            sizes,
+        }
+    }
+}
+
+/// Edge-cut and balance of a partition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionQuality {
+    /// Number of cross-partition edges (≈ inter-machine message
+    /// channels).
+    pub edge_cut: usize,
+    /// Largest partition size over the ideal size (1.0 = perfectly
+    /// balanced).
+    pub imbalance: f64,
+    /// Vertices per partition.
+    pub sizes: Vec<usize>,
+}
+
+/// Splits schedule order into `k` contiguous blocks of (nearly) equal
+/// size. `O(V)`; balanced by construction, cut not optimised.
+pub fn partition_balanced(dag: &Dag, numbering: &Numbering, k: u32) -> Partition {
+    let n = dag.vertex_count();
+    assert!(k >= 1 && (k as usize) <= n.max(1), "1 ≤ k ≤ N required");
+    let mut part_of = vec![0u32; n];
+    for (pos, v) in numbering.schedule_order().enumerate() {
+        // Proportional block assignment.
+        let part = ((pos as u64 * k as u64) / n as u64) as u32;
+        part_of[v.index()] = part.min(k - 1);
+    }
+    Partition::new(part_of, k)
+}
+
+/// Chooses the `k − 1` contiguous boundaries in schedule order that
+/// minimise `edge_cut + λ·imbalance_penalty` by dynamic programming
+/// over boundary positions. `O(N²·k)` with `O(N)` cut evaluation
+/// amortised via prefix counts — fine for the graph sizes a single
+/// fusion engine hosts.
+pub fn partition_min_cut(dag: &Dag, numbering: &Numbering, k: u32, lambda: f64) -> Partition {
+    let n = dag.vertex_count();
+    assert!(k >= 1 && (k as usize) <= n.max(1), "1 ≤ k ≤ N required");
+    if k == 1 {
+        return Partition::new(vec![0; n], 1);
+    }
+    // Work in schedule positions 0..n. cut(a, b) = number of edges from
+    // [0, b) into [b, n) minus those entirely inside previous segments…
+    // Simpler: cost of a segment boundary at position b = edges that
+    // cross it, i.e. edges (u, w) with pos(u) < b ≤ pos(w). Total cut of
+    // a set of boundaries = Σ over edges of (number of boundaries the
+    // edge spans)… but the true edge-cut counts each crossing edge
+    // once. For contiguous partitions an edge from segment i to segment
+    // j > i crosses j − i boundaries yet contributes 1 to the cut.
+    // We therefore optimise the *boundary-crossing* relaxation (an
+    // upper bound on cut that is exact when edges span one boundary)
+    // and report the true cut in the result's quality metrics.
+    let pos_of = |v: VertexId| (numbering.index_of(v) - 1) as usize;
+    // crossings[b] = # edges with pos(u) < b ≤ pos(w), for b in 1..n,
+    // built as a signed difference array then prefix-summed.
+    let mut diff = vec![0i64; n + 2];
+    for (u, w) in dag.edges() {
+        let (a, b) = (pos_of(u), pos_of(w));
+        // Edge spans boundaries a+1 ..= b.
+        diff[a + 1] += 1;
+        diff[b + 1] -= 1;
+    }
+    let mut crossings = vec![0i64; n + 1];
+    for b in 1..=n {
+        crossings[b] = crossings[b - 1] + diff[b];
+        debug_assert!(crossings[b] >= 0);
+    }
+    // dp[j][e] = min cost splitting positions [0, e) into j segments.
+    let ideal = n as f64 / k as f64;
+    let seg_penalty = |start: usize, end: usize| -> f64 {
+        let size = (end - start) as f64;
+        lambda * ((size - ideal).abs() / ideal)
+    };
+    let kk = k as usize;
+    let inf = f64::INFINITY;
+    let mut dp = vec![vec![inf; n + 1]; kk + 1];
+    let mut choice = vec![vec![0usize; n + 1]; kk + 1];
+    dp[0][0] = 0.0;
+    for j in 1..=kk {
+        for e in j..=n {
+            for s in (j - 1)..e {
+                if dp[j - 1][s] == inf {
+                    continue;
+                }
+                let boundary_cost = if s == 0 { 0.0 } else { crossings[s] as f64 };
+                let cost = dp[j - 1][s] + boundary_cost + seg_penalty(s, e);
+                if cost < dp[j][e] {
+                    dp[j][e] = cost;
+                    choice[j][e] = s;
+                }
+            }
+        }
+    }
+    // Recover boundaries.
+    let mut bounds = Vec::with_capacity(kk + 1);
+    let mut e = n;
+    for j in (1..=kk).rev() {
+        bounds.push(e);
+        e = choice[j][e];
+    }
+    bounds.push(0);
+    bounds.reverse();
+    let mut part_of = vec![0u32; n];
+    for (seg, w) in bounds.windows(2).enumerate() {
+        for pos in w[0]..w[1] {
+            let v = numbering.vertex_at(pos as u32 + 1);
+            part_of[v.index()] = seg as u32;
+        }
+    }
+    Partition::new(part_of, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    fn setup(dag: &Dag) -> Numbering {
+        Numbering::compute(dag)
+    }
+
+    #[test]
+    fn balanced_partition_is_forward_and_balanced() {
+        let dag = generators::layered(6, 4, 2, 3);
+        let numbering = setup(&dag);
+        for k in [1u32, 2, 3, 4] {
+            let p = partition_balanced(&dag, &numbering, k);
+            assert!(p.is_forward(&dag), "k={k} not forward");
+            let q = p.quality(&dag);
+            assert!(q.imbalance <= 1.2, "k={k} imbalance {}", q.imbalance);
+            assert_eq!(q.sizes.iter().sum::<usize>(), dag.vertex_count());
+        }
+    }
+
+    #[test]
+    fn min_cut_is_forward_and_never_worse_on_chain() {
+        // On a chain every boundary cuts exactly one edge, so any k-way
+        // contiguous partition has cut k − 1; min-cut must match.
+        let dag = generators::chain(12);
+        let numbering = setup(&dag);
+        let p = partition_min_cut(&dag, &numbering, 3, 0.5);
+        assert!(p.is_forward(&dag));
+        assert_eq!(p.quality(&dag).edge_cut, 2);
+    }
+
+    #[test]
+    fn min_cut_prefers_narrow_waists() {
+        // Two fans joined by a single edge: the obvious 2-way split
+        // cuts exactly that edge.
+        let mut dag = Dag::new();
+        let a_src = dag.add_vertices(4);
+        let a_hub = dag.add_vertex("hub-a");
+        for &s in &a_src {
+            dag.add_edge(s, a_hub).unwrap();
+        }
+        let b_hub = dag.add_vertex("hub-b");
+        dag.add_edge(a_hub, b_hub).unwrap(); // the waist
+        let b_out = dag.add_vertices(4);
+        for &t in &b_out {
+            dag.add_edge(b_hub, t).unwrap();
+        }
+        let numbering = setup(&dag);
+        let p = partition_min_cut(&dag, &numbering, 2, 0.1);
+        assert!(p.is_forward(&dag));
+        assert_eq!(p.quality(&dag).edge_cut, 1, "{:?}", p.quality(&dag));
+        assert_ne!(p.part_of(a_hub), p.part_of(b_hub));
+    }
+
+    #[test]
+    fn min_cut_respects_balance_pressure() {
+        // With huge λ the min-cut partition degenerates to the balanced
+        // one's sizes even if the cut worsens.
+        let dag = generators::layered(4, 4, 2, 9);
+        let numbering = setup(&dag);
+        let p = partition_min_cut(&dag, &numbering, 4, 1e6);
+        let sizes = p.sizes();
+        assert!(sizes.iter().all(|&s| s == 4), "{sizes:?}");
+    }
+
+    #[test]
+    fn members_and_sizes_consistent() {
+        let dag = generators::diamond();
+        let numbering = setup(&dag);
+        let p = partition_balanced(&dag, &numbering, 2);
+        let all: usize = (0..2).map(|k| p.members(k).len()).sum();
+        assert_eq!(all, 4);
+        for part in 0..2 {
+            for v in p.members(part) {
+                assert_eq!(p.part_of(v), part);
+            }
+        }
+    }
+
+    #[test]
+    fn k_one_is_trivial() {
+        let dag = generators::chain(5);
+        let numbering = setup(&dag);
+        for p in [
+            partition_balanced(&dag, &numbering, 1),
+            partition_min_cut(&dag, &numbering, 1, 1.0),
+        ] {
+            assert_eq!(p.quality(&dag).edge_cut, 0);
+            assert_eq!(p.sizes(), vec![5]);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_k_larger_than_n() {
+        let dag = generators::chain(3);
+        let numbering = setup(&dag);
+        let _ = partition_balanced(&dag, &numbering, 5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn partition_new_validates_ids() {
+        let _ = Partition::new(vec![0, 2], 2);
+    }
+}

@@ -1,0 +1,182 @@
+//! Structural analysis of computation graphs.
+//!
+//! The scheduler's achievable pipelining (§3.1, Figure 1) is bounded by
+//! structural properties of the graph: its depth (number of levels)
+//! bounds how many phases can be in flight simultaneously, and its width
+//! bounds how many vertices of a single phase can run concurrently.
+//! [`Topology`] computes these once, up front.
+
+use crate::dag::{Dag, VertexId};
+use crate::numbering::Numbering;
+
+/// Precomputed structural facts about a [`Dag`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    /// `level[v]` = length of the longest path from any source to `v`
+    /// (sources have level 0).
+    levels: Vec<u32>,
+    /// Number of distinct levels (= depth of the graph).
+    depth: u32,
+    /// Number of vertices at each level.
+    level_widths: Vec<u32>,
+    /// Vertices on one longest source→sink path.
+    critical_path: Vec<VertexId>,
+}
+
+impl Topology {
+    /// Analyses `dag`. `O(V + E)` apart from critical-path extraction.
+    pub fn analyze(dag: &Dag) -> Topology {
+        let n = dag.vertex_count();
+        if n == 0 {
+            return Topology {
+                levels: Vec::new(),
+                depth: 0,
+                level_widths: Vec::new(),
+                critical_path: Vec::new(),
+            };
+        }
+        let numbering = Numbering::compute(dag);
+        let mut levels = vec![0u32; n];
+        // Process in schedule order: all predecessors come first.
+        for v in numbering.schedule_order() {
+            let lvl = dag
+                .preds(v)
+                .iter()
+                .map(|&p| levels[p.index()] + 1)
+                .max()
+                .unwrap_or(0);
+            levels[v.index()] = lvl;
+        }
+        let depth = levels.iter().copied().max().unwrap_or(0) + 1;
+        let mut level_widths = vec![0u32; depth as usize];
+        for &l in &levels {
+            level_widths[l as usize] += 1;
+        }
+
+        // Critical path: walk back from a deepest vertex through a
+        // predecessor one level shallower.
+        let mut path = Vec::new();
+        let deepest = dag
+            .vertices()
+            .max_by_key(|&v| levels[v.index()])
+            .expect("non-empty");
+        let mut cur = deepest;
+        path.push(cur);
+        while levels[cur.index()] > 0 {
+            let want = levels[cur.index()] - 1;
+            let prev = dag
+                .preds(cur)
+                .iter()
+                .copied()
+                .find(|&p| levels[p.index()] == want)
+                .expect("longest-path predecessor must exist");
+            path.push(prev);
+            cur = prev;
+        }
+        path.reverse();
+
+        Topology {
+            levels,
+            depth,
+            level_widths,
+            critical_path: path,
+        }
+    }
+
+    /// Longest-path level of `v` (sources are level 0).
+    #[inline]
+    pub fn level(&self, v: VertexId) -> u32 {
+        self.levels[v.index()]
+    }
+
+    /// Depth: number of levels. The maximum number of phases that can be
+    /// pipelined simultaneously is bounded by this (Figure 1 shows a
+    /// graph of depth ≥ 5 running 5 concurrent phases).
+    #[inline]
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    /// Number of vertices at each level, indexed by level.
+    #[inline]
+    pub fn level_widths(&self) -> &[u32] {
+        &self.level_widths
+    }
+
+    /// Maximum level width (parallelism available within one phase).
+    pub fn max_width(&self) -> u32 {
+        self.level_widths.iter().copied().max().unwrap_or(0)
+    }
+
+    /// One longest source→sink path (by vertex count).
+    #[inline]
+    pub fn critical_path(&self) -> &[VertexId] {
+        &self.critical_path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn empty_graph() {
+        let t = Topology::analyze(&Dag::new());
+        assert_eq!(t.depth(), 0);
+        assert!(t.critical_path().is_empty());
+        assert_eq!(t.max_width(), 0);
+    }
+
+    #[test]
+    fn chain_levels() {
+        let dag = generators::chain(4);
+        let t = Topology::analyze(&dag);
+        assert_eq!(t.depth(), 4);
+        for v in dag.vertices() {
+            assert_eq!(t.level(v), v.0);
+        }
+        assert_eq!(t.level_widths(), &[1, 1, 1, 1]);
+        assert_eq!(t.critical_path().len(), 4);
+        assert_eq!(t.max_width(), 1);
+    }
+
+    #[test]
+    fn diamond_levels() {
+        let dag = generators::diamond();
+        let t = Topology::analyze(&dag);
+        assert_eq!(t.depth(), 3);
+        assert_eq!(t.level_widths(), &[1, 2, 1]);
+        assert_eq!(t.max_width(), 2);
+        assert_eq!(t.critical_path().len(), 3);
+    }
+
+    #[test]
+    fn layered_depth_matches_layers() {
+        let dag = generators::layered(6, 3, 2, 5);
+        let t = Topology::analyze(&dag);
+        assert_eq!(t.depth(), 6);
+        assert_eq!(t.level_widths().iter().sum::<u32>() as usize, dag.vertex_count());
+    }
+
+    #[test]
+    fn fig1_supports_five_phase_pipeline() {
+        // Figure 1's 10-node graph runs 5 phases concurrently; its depth
+        // must therefore be at least 5.
+        let dag = generators::fig1_graph();
+        let t = Topology::analyze(&dag);
+        assert!(t.depth() >= 5, "depth {} < 5", t.depth());
+        assert_eq!(dag.vertex_count(), 10);
+    }
+
+    #[test]
+    fn critical_path_is_a_real_path() {
+        let dag = generators::layered(5, 4, 2, 11);
+        let t = Topology::analyze(&dag);
+        let p = t.critical_path();
+        assert_eq!(p.len() as u32, t.depth());
+        for w in p.windows(2) {
+            assert!(dag.succs(w[0]).contains(&w[1]));
+        }
+    }
+}

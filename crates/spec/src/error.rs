@@ -1,0 +1,87 @@
+//! Spec-layer errors.
+
+use crate::xml::XmlError;
+use std::fmt;
+
+/// Errors loading a computation spec.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecError {
+    /// XML syntax error.
+    Xml(XmlError),
+    /// Structural problem (wrong elements/attributes).
+    Structure(String),
+    /// A node id appears twice.
+    DuplicateId(String),
+    /// An `<input ref>` names a node not defined earlier.
+    UnknownRef {
+        /// The referring node.
+        node: String,
+        /// The unresolved reference.
+        reference: String,
+    },
+    /// Unknown node type.
+    UnknownType {
+        /// The node with the unknown type.
+        node: String,
+        /// The type name.
+        type_name: String,
+    },
+    /// A required parameter is absent.
+    MissingParam {
+        /// The node.
+        node: String,
+        /// The parameter.
+        param: String,
+    },
+    /// A parameter failed to parse.
+    BadParam {
+        /// The node.
+        node: String,
+        /// The parameter.
+        param: String,
+        /// The raw value.
+        value: String,
+    },
+    /// Source/module arity mismatch (e.g. a source with inputs).
+    Arity {
+        /// The node.
+        node: String,
+        /// Description of the mismatch.
+        message: String,
+    },
+    /// Engine construction failed downstream.
+    Engine(String),
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::Xml(e) => write!(f, "{e}"),
+            SpecError::Structure(msg) => write!(f, "spec structure: {msg}"),
+            SpecError::DuplicateId(id) => write!(f, "duplicate node id {id:?}"),
+            SpecError::UnknownRef { node, reference } => write!(
+                f,
+                "node {node:?} references {reference:?}, which is not defined earlier"
+            ),
+            SpecError::UnknownType { node, type_name } => {
+                write!(f, "node {node:?} has unknown type {type_name:?}")
+            }
+            SpecError::MissingParam { node, param } => {
+                write!(f, "node {node:?} is missing parameter {param:?}")
+            }
+            SpecError::BadParam { node, param, value } => {
+                write!(f, "node {node:?} parameter {param:?} has bad value {value:?}")
+            }
+            SpecError::Arity { node, message } => write!(f, "node {node:?}: {message}"),
+            SpecError::Engine(msg) => write!(f, "engine construction failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl From<XmlError> for SpecError {
+    fn from(e: XmlError) -> Self {
+        SpecError::Xml(e)
+    }
+}

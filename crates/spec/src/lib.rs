@@ -1,0 +1,46 @@
+//! # ec-spec — XML computation specifications
+//!
+//! The paper's prototype "takes as input an XML specification file for a
+//! computation, which includes a specification of the computation graph
+//! … The specification file also contains simulation parameters, such as
+//! the number of timesteps to run and random seeds" (§4).
+//!
+//! This crate reproduces that interface:
+//!
+//! * [`xml`] — a minimal, dependency-free XML parser.
+//! * [`schema`] — the `<computation>` / `<node>` / `<input>` schema.
+//! * [`loader`] — instantiation of specs into runnable correlators.
+//!
+//! ```
+//! let doc = r#"
+//! <computation phases="10" threads="2">
+//!   <node id="tx" type="counter"/>
+//!   <node id="big" type="threshold" level="5"><input ref="tx"/></node>
+//! </computation>"#;
+//! let loaded = ec_spec::load_str(doc).unwrap();
+//! let big = loaded.handles["big"];
+//! let mut engine = loaded.engine().build().unwrap();
+//! let history = engine.run(10).unwrap().history.unwrap();
+//! // The threshold flips from false to true when the counter passes 5.
+//! assert_eq!(history.sink_outputs_of(big.vertex()).len(), 2);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod loader;
+pub mod schema;
+pub mod writer;
+pub mod xml;
+
+pub use error::SpecError;
+pub use loader::{load_spec, load_str, LoadedSpec};
+pub use schema::{ComputationSpec, NodeSpec, RunSettings};
+pub use writer::{spec_to_xml, write_element};
+
+/// Loads a spec from a file path.
+pub fn load_file(path: impl AsRef<std::path::Path>) -> Result<LoadedSpec, SpecError> {
+    let doc = std::fs::read_to_string(path)
+        .map_err(|e| SpecError::Structure(format!("cannot read spec file: {e}")))?;
+    load_str(&doc)
+}

@@ -1,0 +1,483 @@
+//! Instantiates a [`ComputationSpec`] into a runnable correlator.
+//!
+//! The loader maps spec `type` names to sources and operator modules.
+//! Source types (no `<input>` children): `constant`, `counter`,
+//! `random-walk`, `diurnal`, `sparse-counter`, `step-change`, `bursty`.
+//! Module types: `pass-through`, `sum`, `moving-average`, `ewma`,
+//! `threshold`, `hysteresis`, `zscore-anomaly`, `regression-outlier`,
+//! `change-detector`, `debounce`, `sample-hold`, `aggregate`, `arith`,
+//! `all-of`, `any-of`, `true-count`, `rate-monitor`,
+//! `pair-correlation`, `coincidence-join`.
+
+use crate::error::SpecError;
+use crate::schema::{ComputationSpec, NodeSpec, RunSettings};
+use crate::xml;
+use ec_core::{EngineBuilder, Module, PassThrough, Sequential, SumModule};
+use ec_events::csv::CsvReplay;
+use ec_events::sources::{Bursty, Constant, Counter, Diurnal, RandomWalk, Sparse, StepChange};
+use ec_events::{EventSource, Phase, Value};
+use ec_fusion::models::{BoilerModel, GbmMarket, KMeansTracker};
+use ec_fusion::operators::aggregate::Aggregate;
+use ec_fusion::operators::anomaly::{RegressionOutlier, ZScoreAnomaly};
+use ec_fusion::operators::arith::{Arith, ArithOp};
+use ec_fusion::operators::delta::{ChangeDetector, Debounce, SampleHold};
+use ec_fusion::operators::hysteresis::Hysteresis;
+use ec_fusion::operators::join::{CoincidenceJoin, PairCorrelation};
+use ec_fusion::operators::logic::{AllOf, AnyOf, TrueCount};
+use ec_fusion::operators::moving::{EwmaSmoother, MovingAverage};
+use ec_fusion::operators::rate::RateMonitor;
+use ec_fusion::operators::threshold::Threshold;
+use ec_fusion::{CorrelatorBuilder, NodeHandle};
+use std::collections::HashMap;
+
+/// A loaded correlator: builder plus settings plus name→handle map.
+pub struct LoadedSpec {
+    /// The assembled graph + modules.
+    pub builder: CorrelatorBuilder,
+    /// Run settings from the spec.
+    pub settings: RunSettings,
+    /// Node handles by spec id (for history lookups).
+    pub handles: HashMap<String, NodeHandle>,
+}
+
+impl std::fmt::Debug for LoadedSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LoadedSpec")
+            .field("settings", &self.settings)
+            .field("nodes", &self.builder.len())
+            .finish()
+    }
+}
+
+impl LoadedSpec {
+    /// Finishes into a parallel-engine builder configured with the
+    /// spec's thread count and in-flight bound.
+    pub fn engine(self) -> EngineBuilder {
+        let settings = self.settings;
+        self.builder
+            .engine()
+            .threads(settings.threads)
+            .max_inflight(settings.max_inflight)
+    }
+
+    /// Finishes into the sequential reference executor.
+    pub fn sequential(self) -> Result<Sequential, SpecError> {
+        self.builder
+            .sequential()
+            .map_err(|e| SpecError::Engine(e.to_string()))
+    }
+}
+
+/// Parses and instantiates a spec document.
+pub fn load_str(doc: &str) -> Result<LoadedSpec, SpecError> {
+    let root = xml::parse(doc)?;
+    let spec = ComputationSpec::from_element(&root)?;
+    load_spec(&spec)
+}
+
+/// Instantiates an already-parsed spec.
+pub fn load_spec(spec: &ComputationSpec) -> Result<LoadedSpec, SpecError> {
+    let mut builder = CorrelatorBuilder::new();
+    let mut handles: HashMap<String, NodeHandle> = HashMap::new();
+    for node in &spec.nodes {
+        let handle = if node.inputs.is_empty() {
+            let source = build_source(node)?;
+            builder.source_box(node.id.clone(), source)
+        } else {
+            let module = build_module(node)?;
+            let inputs: Vec<NodeHandle> = node
+                .inputs
+                .iter()
+                .map(|r| handles[r.as_str()]) // refs validated by schema
+                .collect();
+            builder.add_box(node.id.clone(), module, &inputs)
+        };
+        handles.insert(node.id.clone(), handle);
+    }
+    Ok(LoadedSpec {
+        builder,
+        settings: spec.settings.clone(),
+        handles,
+    })
+}
+
+fn build_source(node: &NodeSpec) -> Result<Box<dyn EventSource>, SpecError> {
+    let seed = node.param_u64_or("seed", 0)?;
+    Ok(match node.type_name.as_str() {
+        "constant" => Box::new(Constant::new(Value::Float(node.param_f64("value")?))),
+        "counter" => Box::new(Counter::new()),
+        "random-walk" => Box::new(RandomWalk::new(
+            node.param_f64_or("start", 0.0)?,
+            node.param_f64_or("step", 1.0)?,
+            seed,
+        )),
+        "diurnal" => Box::new(Diurnal::new(
+            node.param_f64_or("mean", 20.0)?,
+            node.param_f64_or("amplitude", 10.0)?,
+            node.param_u64_or("period", 24)?,
+            node.param_f64_or("noise", 0.0)?,
+            seed,
+        )),
+        "sparse-counter" => Box::new(Sparse::counter(node.param_f64("p")?, seed)),
+        "sparse-walk" => Box::new(Sparse::new(
+            Box::new(RandomWalk::new(
+                node.param_f64_or("start", 0.0)?,
+                node.param_f64_or("step", 1.0)?,
+                seed,
+            )),
+            node.param_f64("p")?,
+            seed.wrapping_add(1),
+        )),
+        "step-change" => Box::new(StepChange::new(
+            Value::Float(node.param_f64("before")?),
+            Value::Float(node.param_f64("after")?),
+            Phase(node.param_u64("at")?),
+        )),
+        "bursty" => Box::new(Bursty::new(node.param_f64_or("mean", 1.0)?, seed)),
+        "gbm-market" => Box::new(GbmMarket::new(
+            node.param_f64_or("price", 100.0)?,
+            node.param_f64_or("mu", 0.0)?,
+            node.param_f64_or("sigma", 0.01)?,
+            seed,
+        )),
+        "csv" => {
+            let path = node.param("file")?;
+            let text = std::fs::read_to_string(path).map_err(|e| SpecError::BadParam {
+                node: node.id.clone(),
+                param: "file".into(),
+                value: format!("{path}: {e}"),
+            })?;
+            let col = node.param_usize_or("column", 0)?;
+            let header = node.param_opt("header").is_none_or(|h| h == "true");
+            let replay = CsvReplay::from_csv(&text, col, header).map_err(|e| {
+                SpecError::BadParam {
+                    node: node.id.clone(),
+                    param: "file".into(),
+                    value: e.to_string(),
+                }
+            })?;
+            if node.param_opt("loop") == Some("true") {
+                Box::new(replay.looping())
+            } else {
+                Box::new(replay)
+            }
+        }
+        other => {
+            return Err(SpecError::UnknownType {
+                node: node.id.clone(),
+                type_name: other.to_string(),
+            })
+        }
+    })
+}
+
+fn build_module(node: &NodeSpec) -> Result<Box<dyn Module>, SpecError> {
+    let arity = node.inputs.len();
+    let need = |n: usize, what: &str| -> Result<(), SpecError> {
+        if arity != n {
+            Err(SpecError::Arity {
+                node: node.id.clone(),
+                message: format!("{what} needs exactly {n} input(s), got {arity}"),
+            })
+        } else {
+            Ok(())
+        }
+    };
+    Ok(match node.type_name.as_str() {
+        "pass-through" => Box::new(PassThrough),
+        "sum" => Box::new(SumModule),
+        "moving-average" => Box::new(MovingAverage::new(node.param_usize_or("window", 8)?)),
+        "ewma" => Box::new(EwmaSmoother::new(node.param_f64_or("alpha", 0.5)?)),
+        "threshold" => {
+            let level = node.param_f64("level")?;
+            match node.param_opt("mode").unwrap_or("above") {
+                "above" => Box::new(Threshold::above(level)),
+                "below" => Box::new(Threshold::below(level)),
+                other => {
+                    return Err(SpecError::BadParam {
+                        node: node.id.clone(),
+                        param: "mode".into(),
+                        value: other.into(),
+                    })
+                }
+            }
+        }
+        "zscore-anomaly" => Box::new(ZScoreAnomaly::new(
+            node.param_usize_or("window", 32)?,
+            node.param_f64_or("z", 3.0)?,
+        )),
+        "regression-outlier" => Box::new(RegressionOutlier::new(
+            node.param_usize_or("window", 32)?,
+            node.param_f64_or("sigma", 2.0)?,
+        )),
+        "change-detector" => Box::new(ChangeDetector::new(node.param_f64_or("epsilon", 0.0)?)),
+        "debounce" => Box::new(Debounce::new(node.param_u64_or("hold", 1)?)),
+        "sample-hold" => {
+            need(2, "sample-hold")?;
+            Box::new(SampleHold::new())
+        }
+        "aggregate" => match node.param_opt("kind").unwrap_or("sum") {
+            "sum" => Box::new(Aggregate::sum()),
+            "mean" => Box::new(Aggregate::mean()),
+            "min" => Box::new(Aggregate::min()),
+            "max" => Box::new(Aggregate::max()),
+            other => {
+                return Err(SpecError::BadParam {
+                    node: node.id.clone(),
+                    param: "kind".into(),
+                    value: other.into(),
+                })
+            }
+        },
+        "arith" => {
+            need(2, "arith")?;
+            let op = match node.param_opt("op").unwrap_or("add") {
+                "add" => ArithOp::Add,
+                "sub" => ArithOp::Sub,
+                "mul" => ArithOp::Mul,
+                "div" => ArithOp::Div,
+                "absdiff" => ArithOp::AbsDiff,
+                other => {
+                    return Err(SpecError::BadParam {
+                        node: node.id.clone(),
+                        param: "op".into(),
+                        value: other.into(),
+                    })
+                }
+            };
+            Box::new(Arith::new(op))
+        }
+        "hysteresis" => {
+            let low = node.param_f64("low")?;
+            let high = node.param_f64("high")?;
+            if low > high {
+                return Err(SpecError::BadParam {
+                    node: node.id.clone(),
+                    param: "low".into(),
+                    value: format!("{low} > high {high}"),
+                });
+            }
+            Box::new(Hysteresis::new(low, high))
+        }
+        "boiler" => {
+            need(2, "boiler (ambient, power)")?;
+            Box::new(BoilerModel::new(
+                node.param_f64_or("initial", 20.0)?,
+                node.param_f64_or("capacity", 10.0)?,
+                node.param_f64_or("loss", 1.0)?,
+                node.param_f64_or("band", 0.0)?,
+            ))
+        }
+        "kmeans" => Box::new(KMeansTracker::new(
+            node.param_usize_or("k", 2)?,
+            node.param_f64_or("eps", 0.1)?,
+        )),
+        "all-of" => Box::new(AllOf::new()),
+        "any-of" => Box::new(AnyOf::new()),
+        "true-count" => Box::new(TrueCount::new()),
+        "rate-monitor" => Box::new(RateMonitor::new(
+            node.param_u64_or("window", 10)?,
+            node.param_usize_or("limit", 0)?,
+        )),
+        "pair-correlation" => {
+            need(2, "pair-correlation")?;
+            Box::new(PairCorrelation::new(node.param_usize_or("window", 16)?))
+        }
+        "coincidence-join" => {
+            need(2, "coincidence-join")?;
+            Box::new(CoincidenceJoin::new(node.param_u64_or("window", 1)?))
+        }
+        other => {
+            return Err(SpecError::UnknownType {
+                node: node.id.clone(),
+                type_name: other.to_string(),
+            })
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"<?xml version="1.0"?>
+<computation phases="48" threads="2">
+  <node id="temp" type="diurnal" mean="20" amplitude="10" period="24" noise="0" seed="1"/>
+  <node id="avg" type="moving-average" window="4"><input ref="temp"/></node>
+  <node id="hot" type="threshold" mode="above" level="25"><input ref="avg"/></node>
+</computation>"#;
+
+    #[test]
+    fn loads_and_runs_sample() {
+        let loaded = load_str(SAMPLE).unwrap();
+        assert_eq!(loaded.settings.phases, 48);
+        let hot = loaded.handles["hot"];
+        let mut engine = loaded.engine().build().unwrap();
+        let report = engine.run(48).unwrap();
+        let history = report.history.unwrap();
+        let outs = history.sink_outputs_of(hot.vertex());
+        // The diurnal wave crosses 25° twice per day; with two days we
+        // expect several state flips, starting with false.
+        assert!(outs.len() >= 3, "got {outs:?}");
+        assert_eq!(outs[0].1, Value::Bool(false));
+    }
+
+    #[test]
+    fn parallel_matches_sequential_for_spec() {
+        let h_par = {
+            let mut engine = load_str(SAMPLE).unwrap().engine().build().unwrap();
+            engine.run(48).unwrap().history.unwrap()
+        };
+        let h_seq = {
+            let mut seq = load_str(SAMPLE).unwrap().sequential().unwrap();
+            seq.run(48).unwrap();
+            seq.into_history()
+        };
+        assert_eq!(h_seq.equivalent(&h_par), Ok(()));
+    }
+
+    #[test]
+    fn unknown_source_type() {
+        let doc = r#"<computation><node id="x" type="telepathy"/></computation>"#;
+        assert!(matches!(
+            load_str(doc).unwrap_err(),
+            SpecError::UnknownType { .. }
+        ));
+    }
+
+    #[test]
+    fn unknown_module_type() {
+        let doc = r#"<computation>
+          <node id="a" type="counter"/>
+          <node id="x" type="magic"><input ref="a"/></node>
+        </computation>"#;
+        assert!(matches!(
+            load_str(doc).unwrap_err(),
+            SpecError::UnknownType { .. }
+        ));
+    }
+
+    #[test]
+    fn arity_enforced() {
+        let doc = r#"<computation>
+          <node id="a" type="counter"/>
+          <node id="x" type="pair-correlation"><input ref="a"/></node>
+        </computation>"#;
+        assert!(matches!(load_str(doc).unwrap_err(), SpecError::Arity { .. }));
+    }
+
+    #[test]
+    fn bad_threshold_mode() {
+        let doc = r#"<computation>
+          <node id="a" type="counter"/>
+          <node id="x" type="threshold" level="1" mode="sideways"><input ref="a"/></node>
+        </computation>"#;
+        assert!(matches!(
+            load_str(doc).unwrap_err(),
+            SpecError::BadParam { .. }
+        ));
+    }
+
+    #[test]
+    fn gbm_and_csv_sources_load() {
+        let doc = r#"<computation>
+          <node id="mkt" type="gbm-market" price="50" sigma="0.02" seed="4"/>
+        </computation>"#;
+        let mut seq = load_str(doc).unwrap().sequential().unwrap();
+        seq.run(5).unwrap();
+
+        let dir = std::env::temp_dir().join("ec-spec-csv");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.csv");
+        std::fs::write(&path, "v\n1.0\n\n3.0\n").unwrap();
+        let doc = format!(
+            r#"<computation>
+              <node id="trace" type="csv" file="{}" column="0"/>
+              <node id="out" type="pass-through"><input ref="trace"/></node>
+            </computation>"#,
+            path.display()
+        );
+        let loaded = load_str(&doc).unwrap();
+        let out = loaded.handles["out"];
+        let mut seq = loaded.sequential().unwrap();
+        seq.run(3).unwrap();
+        let hist = seq.into_history();
+        assert_eq!(hist.sink_outputs_of(out.vertex()).len(), 2); // gap is silent
+    }
+
+    #[test]
+    fn csv_source_missing_file_errors() {
+        let doc = r#"<computation>
+          <node id="t" type="csv" file="/no/such/trace.csv"/>
+        </computation>"#;
+        assert!(matches!(
+            load_str(doc).unwrap_err(),
+            SpecError::BadParam { .. }
+        ));
+    }
+
+    #[test]
+    fn all_source_types_instantiate() {
+        for (t, extra) in [
+            ("constant", r#" value="1""#),
+            ("counter", ""),
+            ("random-walk", ""),
+            ("diurnal", ""),
+            ("sparse-counter", r#" p="0.1""#),
+            ("sparse-walk", r#" p="0.1""#),
+            ("step-change", r#" before="1" after="2" at="3""#),
+            ("bursty", ""),
+        ] {
+            let doc =
+                format!(r#"<computation><node id="s" type="{t}"{extra}/></computation>"#);
+            let loaded = load_str(&doc)
+                .unwrap_or_else(|e| panic!("source type {t} failed: {e}"));
+            let mut seq = loaded.sequential().unwrap();
+            seq.run(5).unwrap();
+        }
+    }
+
+    #[test]
+    fn all_module_types_instantiate() {
+        for (t, extra, two_inputs) in [
+            ("pass-through", "", false),
+            ("sum", "", false),
+            ("moving-average", "", false),
+            ("ewma", "", false),
+            ("threshold", r#" level="1""#, false),
+            ("zscore-anomaly", "", false),
+            ("regression-outlier", "", false),
+            ("change-detector", "", false),
+            ("debounce", "", false),
+            ("sample-hold", "", true),
+            ("arith", r#" op="sub""#, true),
+            ("boiler", "", true),
+            ("kmeans", r#" k="2""#, false),
+            ("hysteresis", r#" low="1" high="2""#, false),
+            ("aggregate", r#" kind="mean""#, false),
+            ("all-of", "", false),
+            ("any-of", "", false),
+            ("true-count", "", false),
+            ("rate-monitor", "", false),
+            ("pair-correlation", "", true),
+            ("coincidence-join", "", true),
+        ] {
+            let inputs = if two_inputs {
+                r#"<input ref="a"/><input ref="b"/>"#
+            } else {
+                r#"<input ref="a"/>"#
+            };
+            let doc = format!(
+                r#"<computation>
+                  <node id="a" type="counter"/>
+                  <node id="b" type="counter"/>
+                  <node id="x" type="{t}"{extra}>{inputs}</node>
+                </computation>"#
+            );
+            let loaded =
+                load_str(&doc).unwrap_or_else(|e| panic!("module type {t} failed: {e}"));
+            let mut seq = loaded.sequential().unwrap();
+            seq.run(5).unwrap();
+        }
+    }
+}

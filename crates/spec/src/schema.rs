@@ -1,0 +1,302 @@
+//! The computation-spec schema.
+//!
+//! A spec file mirrors what the paper's §4 describes: "a specification
+//! of the computation graph with vertices as instances of … classes
+//! conforming to well-defined guidelines … also … simulation parameters,
+//! such as the number of timesteps to run and random seeds".
+//!
+//! ```xml
+//! <?xml version="1.0"?>
+//! <computation phases="100" threads="4" max-inflight="32">
+//!   <node id="temp" type="diurnal" mean="20" amplitude="10"
+//!         period="24" noise="0.5" seed="1"/>
+//!   <node id="avg" type="moving-average" window="6">
+//!     <input ref="temp"/>
+//!   </node>
+//!   <node id="alarm" type="threshold" mode="above" level="25">
+//!     <input ref="avg"/>
+//!   </node>
+//! </computation>
+//! ```
+//!
+//! Nodes without `<input>` children are sources. Inputs must reference
+//! nodes defined earlier in the file; since edges always point from an
+//! earlier to a later node, a well-formed spec is acyclic by
+//! construction (the same argument as the builder's).
+
+use crate::error::SpecError;
+use crate::xml::XmlElement;
+use std::collections::HashMap;
+
+/// Engine settings from the `<computation>` attributes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunSettings {
+    /// Number of phases to run.
+    pub phases: u64,
+    /// Computation threads.
+    pub threads: usize,
+    /// In-flight phase bound.
+    pub max_inflight: u64,
+}
+
+impl Default for RunSettings {
+    fn default() -> Self {
+        RunSettings {
+            phases: 100,
+            threads: 2,
+            max_inflight: 64,
+        }
+    }
+}
+
+/// One `<node>` declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeSpec {
+    /// Unique id.
+    pub id: String,
+    /// Module/source type name (see the loader's registry).
+    pub type_name: String,
+    /// All other attributes, as raw strings.
+    pub params: HashMap<String, String>,
+    /// Referenced input node ids, in order.
+    pub inputs: Vec<String>,
+}
+
+impl NodeSpec {
+    /// A required string parameter.
+    pub fn param(&self, key: &str) -> Result<&str, SpecError> {
+        self.params
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| SpecError::MissingParam {
+                node: self.id.clone(),
+                param: key.to_string(),
+            })
+    }
+
+    /// An optional string parameter.
+    pub fn param_opt(&self, key: &str) -> Option<&str> {
+        self.params.get(key).map(String::as_str)
+    }
+
+    /// A required `f64` parameter.
+    pub fn param_f64(&self, key: &str) -> Result<f64, SpecError> {
+        parse_num(self.param(key)?, &self.id, key)
+    }
+
+    /// An optional `f64` parameter with a default.
+    pub fn param_f64_or(&self, key: &str, default: f64) -> Result<f64, SpecError> {
+        match self.param_opt(key) {
+            Some(raw) => parse_num(raw, &self.id, key),
+            None => Ok(default),
+        }
+    }
+
+    /// A required `u64` parameter.
+    pub fn param_u64(&self, key: &str) -> Result<u64, SpecError> {
+        parse_num(self.param(key)?, &self.id, key)
+    }
+
+    /// An optional `u64` parameter with a default.
+    pub fn param_u64_or(&self, key: &str, default: u64) -> Result<u64, SpecError> {
+        match self.param_opt(key) {
+            Some(raw) => parse_num(raw, &self.id, key),
+            None => Ok(default),
+        }
+    }
+
+    /// An optional `usize` parameter with a default.
+    pub fn param_usize_or(&self, key: &str, default: usize) -> Result<usize, SpecError> {
+        match self.param_opt(key) {
+            Some(raw) => parse_num(raw, &self.id, key),
+            None => Ok(default),
+        }
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(raw: &str, node: &str, key: &str) -> Result<T, SpecError> {
+    raw.parse().map_err(|_| SpecError::BadParam {
+        node: node.to_string(),
+        param: key.to_string(),
+        value: raw.to_string(),
+    })
+}
+
+/// A parsed computation spec.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComputationSpec {
+    /// Run settings.
+    pub settings: RunSettings,
+    /// Nodes in definition order.
+    pub nodes: Vec<NodeSpec>,
+}
+
+impl ComputationSpec {
+    /// Extracts a spec from a parsed `<computation>` element.
+    pub fn from_element(root: &XmlElement) -> Result<ComputationSpec, SpecError> {
+        if root.name != "computation" {
+            return Err(SpecError::Structure(format!(
+                "expected <computation> root, found <{}>",
+                root.name
+            )));
+        }
+        let mut settings = RunSettings::default();
+        if let Some(p) = root.attr("phases") {
+            settings.phases = parse_num(p, "computation", "phases")?;
+        }
+        if let Some(t) = root.attr("threads") {
+            settings.threads = parse_num(t, "computation", "threads")?;
+        }
+        if let Some(m) = root.attr("max-inflight") {
+            settings.max_inflight = parse_num(m, "computation", "max-inflight")?;
+        }
+
+        let mut nodes = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for el in root.elements() {
+            if el.name != "node" {
+                return Err(SpecError::Structure(format!(
+                    "unexpected element <{}> inside <computation>",
+                    el.name
+                )));
+            }
+            let id = el
+                .attr("id")
+                .ok_or_else(|| SpecError::Structure("<node> missing id".into()))?
+                .to_string();
+            if !seen.insert(id.clone()) {
+                return Err(SpecError::DuplicateId(id));
+            }
+            let type_name = el
+                .attr("type")
+                .ok_or_else(|| SpecError::Structure(format!("<node id=\"{id}\"> missing type")))?
+                .to_string();
+            let params: HashMap<String, String> = el
+                .attrs
+                .iter()
+                .filter(|(k, _)| k != "id" && k != "type")
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect();
+            let mut inputs = Vec::new();
+            for child in el.elements() {
+                if child.name != "input" {
+                    return Err(SpecError::Structure(format!(
+                        "unexpected element <{}> inside <node id=\"{id}\">",
+                        child.name
+                    )));
+                }
+                let r = child.attr("ref").ok_or_else(|| {
+                    SpecError::Structure(format!("<input> in node {id} missing ref"))
+                })?;
+                if !seen.contains(r) {
+                    return Err(SpecError::UnknownRef {
+                        node: id.clone(),
+                        reference: r.to_string(),
+                    });
+                }
+                inputs.push(r.to_string());
+            }
+            nodes.push(NodeSpec {
+                id,
+                type_name,
+                params,
+                inputs,
+            });
+        }
+        if nodes.is_empty() {
+            return Err(SpecError::Structure("spec defines no nodes".into()));
+        }
+        Ok(ComputationSpec { settings, nodes })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::xml;
+
+    const SAMPLE: &str = r#"<?xml version="1.0"?>
+<computation phases="50" threads="3" max-inflight="8">
+  <node id="t" type="diurnal" mean="20" amplitude="10" period="24" noise="0.5" seed="1"/>
+  <node id="avg" type="moving-average" window="6"><input ref="t"/></node>
+</computation>"#;
+
+    fn spec(doc: &str) -> Result<ComputationSpec, SpecError> {
+        ComputationSpec::from_element(&xml::parse(doc).unwrap())
+    }
+
+    #[test]
+    fn parses_sample() {
+        let s = spec(SAMPLE).unwrap();
+        assert_eq!(
+            s.settings,
+            RunSettings {
+                phases: 50,
+                threads: 3,
+                max_inflight: 8
+            }
+        );
+        assert_eq!(s.nodes.len(), 2);
+        assert_eq!(s.nodes[0].id, "t");
+        assert_eq!(s.nodes[0].type_name, "diurnal");
+        assert!(s.nodes[0].inputs.is_empty());
+        assert_eq!(s.nodes[1].inputs, vec!["t"]);
+        assert_eq!(s.nodes[1].param_u64("window").unwrap(), 6);
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let s = spec(r#"<computation><node id="a" type="counter"/></computation>"#).unwrap();
+        assert_eq!(s.settings, RunSettings::default());
+    }
+
+    #[test]
+    fn rejects_wrong_root() {
+        assert!(matches!(
+            spec("<graph/>").unwrap_err(),
+            SpecError::Structure(_)
+        ));
+    }
+
+    #[test]
+    fn rejects_duplicate_ids() {
+        let doc = r#"<computation>
+          <node id="a" type="counter"/>
+          <node id="a" type="counter"/>
+        </computation>"#;
+        assert!(matches!(spec(doc).unwrap_err(), SpecError::DuplicateId(id) if id == "a"));
+    }
+
+    #[test]
+    fn rejects_forward_references() {
+        let doc = r#"<computation>
+          <node id="b" type="pass-through"><input ref="a"/></node>
+          <node id="a" type="counter"/>
+        </computation>"#;
+        assert!(matches!(
+            spec(doc).unwrap_err(),
+            SpecError::UnknownRef { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_numbers() {
+        let doc = r#"<computation phases="lots"><node id="a" type="counter"/></computation>"#;
+        assert!(matches!(spec(doc).unwrap_err(), SpecError::BadParam { .. }));
+    }
+
+    #[test]
+    fn param_accessors() {
+        let s = spec(SAMPLE).unwrap();
+        let n = &s.nodes[0];
+        assert_eq!(n.param("mean").unwrap(), "20");
+        assert!(matches!(
+            n.param("nope").unwrap_err(),
+            SpecError::MissingParam { .. }
+        ));
+        assert_eq!(n.param_f64("mean").unwrap(), 20.0);
+        assert_eq!(n.param_f64_or("nope", 1.5).unwrap(), 1.5);
+        assert_eq!(n.param_u64_or("seed", 0).unwrap(), 1);
+        assert_eq!(n.param_usize_or("nope", 7).unwrap(), 7);
+    }
+}

@@ -1,0 +1,241 @@
+//! XML serialisation: the inverse of [`crate::xml::parse`].
+//!
+//! Lets programmatically-built computations be saved as spec files
+//! (e.g. a [`ComputationSpec`] captured from a running system), and
+//! gives the parser a round-trip property to be tested against.
+
+use crate::schema::{ComputationSpec, NodeSpec};
+use crate::xml::{XmlElement, XmlNode};
+use std::fmt::Write;
+
+/// Escapes text content.
+fn escape_text(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// Escapes attribute values (double-quoted).
+fn escape_attr(s: &str) -> String {
+    escape_text(s).replace('"', "&quot;")
+}
+
+/// Renders an element tree as indented XML.
+pub fn write_element(root: &XmlElement) -> String {
+    let mut out = String::from("<?xml version=\"1.0\"?>\n");
+    write_into(&mut out, root, 0);
+    out
+}
+
+fn write_into(out: &mut String, el: &XmlElement, depth: usize) {
+    let pad = "  ".repeat(depth);
+    write!(out, "{pad}<{}", el.name).unwrap();
+    for (k, v) in &el.attrs {
+        write!(out, " {k}=\"{}\"", escape_attr(v)).unwrap();
+    }
+    if el.children.is_empty() {
+        out.push_str("/>\n");
+        return;
+    }
+    // Text-only elements render inline; mixed/element content indents.
+    let only_text = el
+        .children
+        .iter()
+        .all(|c| matches!(c, XmlNode::Text(_)));
+    if only_text {
+        out.push('>');
+        for c in &el.children {
+            if let XmlNode::Text(t) = c {
+                out.push_str(&escape_text(t));
+            }
+        }
+        writeln!(out, "</{}>", el.name).unwrap();
+        return;
+    }
+    out.push_str(">\n");
+    for c in &el.children {
+        match c {
+            XmlNode::Element(e) => write_into(out, e, depth + 1),
+            XmlNode::Text(t) => {
+                let trimmed = t.trim();
+                if !trimmed.is_empty() {
+                    writeln!(out, "{pad}  {}", escape_text(trimmed)).unwrap();
+                }
+            }
+        }
+    }
+    writeln!(out, "{pad}</{}>", el.name).unwrap();
+}
+
+/// Renders a [`ComputationSpec`] as a spec document parseable by
+/// [`crate::load_str`].
+pub fn spec_to_xml(spec: &ComputationSpec) -> String {
+    let mut root = XmlElement {
+        name: "computation".into(),
+        attrs: vec![
+            ("phases".into(), spec.settings.phases.to_string()),
+            ("threads".into(), spec.settings.threads.to_string()),
+            ("max-inflight".into(), spec.settings.max_inflight.to_string()),
+        ],
+        children: Vec::new(),
+    };
+    for node in &spec.nodes {
+        root.children.push(XmlNode::Element(node_to_element(node)));
+    }
+    write_element(&root)
+}
+
+fn node_to_element(node: &NodeSpec) -> XmlElement {
+    let mut attrs = vec![
+        ("id".to_string(), node.id.clone()),
+        ("type".to_string(), node.type_name.clone()),
+    ];
+    // Deterministic attribute order for stable output.
+    let mut params: Vec<(&String, &String)> = node.params.iter().collect();
+    params.sort();
+    for (k, v) in params {
+        attrs.push((k.clone(), v.clone()));
+    }
+    let children = node
+        .inputs
+        .iter()
+        .map(|r| {
+            XmlNode::Element(XmlElement {
+                name: "input".into(),
+                attrs: vec![("ref".into(), r.clone())],
+                children: Vec::new(),
+            })
+        })
+        .collect();
+    XmlElement {
+        name: "node".into(),
+        attrs,
+        children,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::RunSettings;
+    use crate::xml;
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn element_roundtrip() {
+        let doc = r#"<a x="1 &amp; 2"><b/><c>text &lt;here&gt;</c></a>"#;
+        let parsed = xml::parse(doc).unwrap();
+        let written = write_element(&parsed);
+        let reparsed = xml::parse(&written).unwrap();
+        assert_eq!(strip_ws(&parsed), strip_ws(&reparsed));
+    }
+
+    /// Whitespace-only text nodes are formatting artefacts; remove them
+    /// before comparing round-tripped trees.
+    fn strip_ws(el: &XmlElement) -> XmlElement {
+        XmlElement {
+            name: el.name.clone(),
+            attrs: el.attrs.clone(),
+            children: el
+                .children
+                .iter()
+                .filter_map(|c| match c {
+                    XmlNode::Element(e) => Some(XmlNode::Element(strip_ws(e))),
+                    XmlNode::Text(t) => {
+                        let trimmed = t.trim().to_string();
+                        (!trimmed.is_empty()).then_some(XmlNode::Text(trimmed))
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn spec_roundtrip() {
+        let spec = ComputationSpec {
+            settings: RunSettings {
+                phases: 42,
+                threads: 3,
+                max_inflight: 9,
+            },
+            nodes: vec![
+                NodeSpec {
+                    id: "src".into(),
+                    type_name: "counter".into(),
+                    params: HashMap::new(),
+                    inputs: vec![],
+                },
+                NodeSpec {
+                    id: "thr".into(),
+                    type_name: "threshold".into(),
+                    params: HashMap::from([
+                        ("level".to_string(), "5".to_string()),
+                        ("mode".to_string(), "above".to_string()),
+                    ]),
+                    inputs: vec!["src".into()],
+                },
+            ],
+        };
+        let doc = spec_to_xml(&spec);
+        let parsed =
+            ComputationSpec::from_element(&xml::parse(&doc).unwrap()).unwrap();
+        assert_eq!(parsed, spec);
+        // And the written spec actually loads and runs.
+        let loaded = crate::load_str(&doc).unwrap();
+        let mut seq = loaded.sequential().unwrap();
+        seq.run(5).unwrap();
+    }
+
+    fn name_strategy() -> impl Strategy<Value = String> {
+        "[a-z][a-z0-9_-]{0,8}".prop_map(|s| s)
+    }
+
+    fn value_strategy() -> impl Strategy<Value = String> {
+        // Printable text including the characters that need escaping.
+        "[ -~]{0,12}".prop_map(|s| s)
+    }
+
+    fn element_strategy() -> impl Strategy<Value = XmlElement> {
+        let leaf = (
+            name_strategy(),
+            proptest::collection::vec((name_strategy(), value_strategy()), 0..4),
+        )
+            .prop_map(|(name, mut attrs)| {
+                attrs.sort();
+                attrs.dedup_by(|a, b| a.0 == b.0);
+                XmlElement {
+                    name,
+                    attrs,
+                    children: Vec::new(),
+                }
+            });
+        leaf.prop_recursive(3, 16, 4, |inner| {
+            (
+                name_strategy(),
+                proptest::collection::vec((name_strategy(), value_strategy()), 0..4),
+                proptest::collection::vec(inner, 0..4),
+            )
+                .prop_map(|(name, mut attrs, kids)| {
+                    attrs.sort();
+                    attrs.dedup_by(|a, b| a.0 == b.0);
+                    XmlElement {
+                        name,
+                        attrs,
+                        children: kids.into_iter().map(XmlNode::Element).collect(),
+                    }
+                })
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// write → parse is the identity on arbitrary element trees.
+        #[test]
+        fn arbitrary_tree_roundtrips(el in element_strategy()) {
+            let written = write_element(&el);
+            let reparsed = xml::parse(&written)
+                .unwrap_or_else(|e| panic!("reparse failed: {e}\n{written}"));
+            prop_assert_eq!(strip_ws(&el), strip_ws(&reparsed));
+        }
+    }
+}

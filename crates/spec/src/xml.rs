@@ -1,0 +1,481 @@
+//! A minimal, dependency-free XML subset parser.
+//!
+//! The paper's prototype "takes as input an XML specification file for a
+//! computation" (§4). This module implements the subset of XML such
+//! spec files need: elements, attributes, text content, comments, an
+//! optional XML declaration, self-closing tags and the five predefined
+//! entities. It does not implement namespaces, DTDs, processing
+//! instructions beyond the declaration, or CDATA — spec files do not
+//! use them.
+//!
+//! Errors carry line/column positions for usable diagnostics.
+
+use std::fmt;
+
+/// Parse error with position information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XML error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+/// An element: name, attributes and children.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlElement {
+    /// Tag name.
+    pub name: String,
+    /// Attributes in document order.
+    pub attrs: Vec<(String, String)>,
+    /// Child nodes in document order.
+    pub children: Vec<XmlNode>,
+}
+
+/// A node: element or text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlNode {
+    /// A nested element.
+    Element(XmlElement),
+    /// Text content (entity-decoded, whitespace preserved).
+    Text(String),
+}
+
+impl XmlElement {
+    /// The value of attribute `name`, if present.
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// All child elements (skipping text nodes).
+    pub fn elements(&self) -> impl Iterator<Item = &XmlElement> + '_ {
+        self.children.iter().filter_map(|c| match c {
+            XmlNode::Element(e) => Some(e),
+            XmlNode::Text(_) => None,
+        })
+    }
+
+    /// Child elements with a given tag name.
+    pub fn elements_named<'a>(
+        &'a self,
+        name: &'a str,
+    ) -> impl Iterator<Item = &'a XmlElement> + 'a {
+        self.elements().filter(move |e| e.name == name)
+    }
+
+    /// The first child element with a given tag name.
+    pub fn first_named(&self, name: &str) -> Option<&XmlElement> {
+        self.elements().find(|e| e.name == name)
+    }
+
+    /// Concatenated text content of direct text children, trimmed.
+    pub fn text(&self) -> String {
+        let mut out = String::new();
+        for c in &self.children {
+            if let XmlNode::Text(t) = c {
+                out.push_str(t);
+            }
+        }
+        out.trim().to_string()
+    }
+}
+
+/// Parses a document and returns its root element.
+pub fn parse(input: &str) -> Result<XmlElement, XmlError> {
+    let mut p = Parser::new(input);
+    p.skip_prolog()?;
+    let root = p.parse_element()?;
+    p.skip_ws_and_comments()?;
+    if !p.at_end() {
+        return Err(p.err("trailing content after root element"));
+    }
+    Ok(root)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> XmlError {
+        XmlError {
+            line: self.line,
+            col: self.col,
+            message: message.into(),
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.bytes[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.bump();
+        }
+    }
+
+    fn skip_comment(&mut self) -> Result<bool, XmlError> {
+        if !self.starts_with("<!--") {
+            return Ok(false);
+        }
+        self.bump_n(4);
+        loop {
+            if self.at_end() {
+                return Err(self.err("unterminated comment"));
+            }
+            if self.starts_with("-->") {
+                self.bump_n(3);
+                return Ok(true);
+            }
+            self.bump();
+        }
+    }
+
+    fn skip_ws_and_comments(&mut self) -> Result<(), XmlError> {
+        loop {
+            self.skip_ws();
+            if !self.skip_comment()? {
+                return Ok(());
+            }
+        }
+    }
+
+    fn skip_prolog(&mut self) -> Result<(), XmlError> {
+        self.skip_ws();
+        if self.starts_with("<?xml") {
+            while !self.at_end() && !self.starts_with("?>") {
+                self.bump();
+            }
+            if self.at_end() {
+                return Err(self.err("unterminated XML declaration"));
+            }
+            self.bump_n(2);
+        }
+        self.skip_ws_and_comments()
+    }
+
+    fn parse_name(&mut self) -> Result<String, XmlError> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_alphanumeric() || matches!(b, b'-' | b'_' | b'.' | b':') {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.err("expected a name"));
+        }
+        Ok(String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned())
+    }
+
+    fn parse_attr_value(&mut self) -> Result<String, XmlError> {
+        let quote = match self.peek() {
+            Some(q @ (b'"' | b'\'')) => q,
+            _ => return Err(self.err("expected quoted attribute value")),
+        };
+        self.bump();
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated attribute value")),
+                Some(b) if b == quote => {
+                    self.bump();
+                    return Ok(out);
+                }
+                Some(b'&') => out.push(self.parse_entity()?),
+                Some(b'<') => return Err(self.err("'<' not allowed in attribute value")),
+                Some(b) => {
+                    self.bump();
+                    out.push(b as char);
+                }
+            }
+        }
+    }
+
+    fn parse_entity(&mut self) -> Result<char, XmlError> {
+        debug_assert_eq!(self.peek(), Some(b'&'));
+        self.bump();
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == b';' {
+                let name = &self.bytes[start..self.pos];
+                self.bump();
+                return match name {
+                    b"lt" => Ok('<'),
+                    b"gt" => Ok('>'),
+                    b"amp" => Ok('&'),
+                    b"quot" => Ok('"'),
+                    b"apos" => Ok('\''),
+                    _ if name.first() == Some(&b'#') => {
+                        let s = String::from_utf8_lossy(&name[1..]);
+                        let code = if let Some(hex) = s.strip_prefix('x') {
+                            u32::from_str_radix(hex, 16)
+                        } else {
+                            s.parse::<u32>()
+                        }
+                        .map_err(|_| self.err("bad character reference"))?;
+                        char::from_u32(code).ok_or_else(|| self.err("bad character reference"))
+                    }
+                    _ => Err(self.err(format!(
+                        "unknown entity &{};",
+                        String::from_utf8_lossy(name)
+                    ))),
+                };
+            }
+            if !b.is_ascii_alphanumeric() && b != b'#' {
+                return Err(self.err("malformed entity"));
+            }
+            self.bump();
+        }
+        Err(self.err("unterminated entity"))
+    }
+
+    fn parse_element(&mut self) -> Result<XmlElement, XmlError> {
+        if self.peek() != Some(b'<') {
+            return Err(self.err("expected '<'"));
+        }
+        self.bump();
+        let name = self.parse_name()?;
+        let mut attrs = Vec::new();
+
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'/') => {
+                    self.bump();
+                    if self.peek() != Some(b'>') {
+                        return Err(self.err("expected '>' after '/'"));
+                    }
+                    self.bump();
+                    return Ok(XmlElement {
+                        name,
+                        attrs,
+                        children: Vec::new(),
+                    });
+                }
+                Some(b'>') => {
+                    self.bump();
+                    break;
+                }
+                Some(_) => {
+                    let key = self.parse_name()?;
+                    self.skip_ws();
+                    if self.peek() != Some(b'=') {
+                        return Err(self.err(format!("expected '=' after attribute {key}")));
+                    }
+                    self.bump();
+                    self.skip_ws();
+                    let value = self.parse_attr_value()?;
+                    if attrs.iter().any(|(k, _)| *k == key) {
+                        return Err(self.err(format!("duplicate attribute {key}")));
+                    }
+                    attrs.push((key, value));
+                }
+                None => return Err(self.err("unterminated start tag")),
+            }
+        }
+
+        // Content until matching close tag.
+        let mut children = Vec::new();
+        let mut text = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err(format!("unterminated element <{name}>"))),
+                Some(b'<') => {
+                    if !text.is_empty() {
+                        children.push(XmlNode::Text(std::mem::take(&mut text)));
+                    }
+                    if self.skip_comment()? {
+                        continue;
+                    }
+                    if self.starts_with("</") {
+                        self.bump_n(2);
+                        let close = self.parse_name()?;
+                        if close != name {
+                            return Err(self.err(format!(
+                                "mismatched close tag: expected </{name}>, got </{close}>"
+                            )));
+                        }
+                        self.skip_ws();
+                        if self.peek() != Some(b'>') {
+                            return Err(self.err("expected '>' in close tag"));
+                        }
+                        self.bump();
+                        return Ok(XmlElement {
+                            name,
+                            attrs,
+                            children,
+                        });
+                    }
+                    children.push(XmlNode::Element(self.parse_element()?));
+                }
+                Some(b'&') => text.push(self.parse_entity()?),
+                Some(b) => {
+                    self.bump();
+                    text.push(b as char);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_element() {
+        let e = parse("<root/>").unwrap();
+        assert_eq!(e.name, "root");
+        assert!(e.attrs.is_empty());
+        assert!(e.children.is_empty());
+    }
+
+    #[test]
+    fn parses_attributes() {
+        let e = parse(r#"<node id="a" level='2.5'/>"#).unwrap();
+        assert_eq!(e.attr("id"), Some("a"));
+        assert_eq!(e.attr("level"), Some("2.5"));
+        assert_eq!(e.attr("missing"), None);
+    }
+
+    #[test]
+    fn parses_nested_elements() {
+        let e = parse("<a><b x=\"1\"/><c><d/></c></a>").unwrap();
+        assert_eq!(e.elements().count(), 2);
+        assert_eq!(e.first_named("b").unwrap().attr("x"), Some("1"));
+        assert_eq!(e.first_named("c").unwrap().elements().count(), 1);
+        assert!(e.first_named("zzz").is_none());
+    }
+
+    #[test]
+    fn parses_text_content() {
+        let e = parse("<msg>  hello &amp; goodbye  </msg>").unwrap();
+        assert_eq!(e.text(), "hello & goodbye");
+    }
+
+    #[test]
+    fn entities_in_attributes() {
+        let e = parse(r#"<n v="a&lt;b&gt;c&quot;d&apos;e"/>"#).unwrap();
+        assert_eq!(e.attr("v"), Some("a<b>c\"d'e"));
+    }
+
+    #[test]
+    fn numeric_character_references() {
+        let e = parse("<n>&#65;&#x42;</n>").unwrap();
+        assert_eq!(e.text(), "AB");
+    }
+
+    #[test]
+    fn skips_declaration_and_comments() {
+        let doc = "<?xml version=\"1.0\"?>\n<!-- top --><root><!-- inner --><a/></root>";
+        let e = parse(doc).unwrap();
+        assert_eq!(e.name, "root");
+        assert_eq!(e.elements().count(), 1);
+    }
+
+    #[test]
+    fn error_on_mismatched_tags() {
+        let err = parse("<a><b></a></b>").unwrap_err();
+        assert!(err.message.contains("mismatched close tag"), "{err}");
+    }
+
+    #[test]
+    fn error_positions_are_tracked() {
+        let err = parse("<a>\n  <b x=></b>\n</a>").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.col > 1);
+    }
+
+    #[test]
+    fn error_on_duplicate_attribute() {
+        let err = parse(r#"<a x="1" x="2"/>"#).unwrap_err();
+        assert!(err.message.contains("duplicate attribute"));
+    }
+
+    #[test]
+    fn error_on_trailing_content() {
+        let err = parse("<a/><b/>").unwrap_err();
+        assert!(err.message.contains("trailing content"));
+    }
+
+    #[test]
+    fn error_on_unknown_entity() {
+        let err = parse("<a>&bogus;</a>").unwrap_err();
+        assert!(err.message.contains("unknown entity"));
+    }
+
+    #[test]
+    fn error_on_unterminated_comment() {
+        let err = parse("<a><!-- oops</a>").unwrap_err();
+        assert!(err.message.contains("unterminated comment"));
+    }
+
+    #[test]
+    fn whitespace_tolerant_tags() {
+        let e = parse("<a  x = \"1\"  ></a >").unwrap();
+        assert_eq!(e.attr("x"), Some("1"));
+    }
+
+    #[test]
+    fn mixed_content_order_preserved() {
+        let e = parse("<a>one<b/>two</a>").unwrap();
+        assert_eq!(e.children.len(), 3);
+        assert!(matches!(&e.children[0], XmlNode::Text(t) if t == "one"));
+        assert!(matches!(&e.children[1], XmlNode::Element(el) if el.name == "b"));
+        assert!(matches!(&e.children[2], XmlNode::Text(t) if t == "two"));
+    }
+}

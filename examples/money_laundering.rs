@@ -1,0 +1,103 @@
+//! Money-laundering detection — the paper's §1 rate argument, measured.
+//!
+//! "We can construct the anomaly detector module in two ways: (1) the
+//! module outputs a message for each input message … or (2) the module
+//! outputs a message only when it receives an anomalous transaction. If
+//! one in a million transactions is anomalous then the rate of events
+//! generated using the second option is only a millionth of that
+//! generated using the first option."
+//!
+//! This example runs the same detection graph both ways over the same
+//! transaction stream and prints the message-rate ratio.
+//!
+//! ```sh
+//! cargo run --example money_laundering
+//! ```
+
+use event_correlation::core::{densify, Engine, Module, SourceModule};
+use event_correlation::events::sources::RandomWalk;
+use event_correlation::fusion::operators::anomaly::ZScoreAnomaly;
+use event_correlation::fusion::operators::logic::TrueCount;
+use event_correlation::fusion::operators::rate::RateMonitor;
+use event_correlation::graph::Dag;
+
+const PHASES: u64 = 20_000;
+
+/// Builds the detection graph: three branches of banking activity, an
+/// anomaly detector per branch, a cross-branch agreement count, and a
+/// case-opening rate monitor.
+fn build() -> (Dag, Vec<Box<dyn Module>>) {
+    let mut dag = Dag::new();
+    let mut modules: Vec<Box<dyn Module>> = Vec::new();
+
+    let mut branch_detectors = Vec::new();
+    for i in 0..3u64 {
+        let txs = dag.add_vertex(format!("branch{i}-transactions"));
+        modules.push(Box::new(SourceModule::new(RandomWalk::new(
+            1_000.0,
+            25.0,
+            100 + i,
+        ))));
+        let det = dag.add_vertex(format!("branch{i}-anomaly"));
+        modules.push(Box::new(ZScoreAnomaly::new(256, 3.6)));
+        dag.add_edge(txs, det).unwrap();
+        branch_detectors.push(det);
+    }
+    let agree = dag.add_vertex("branches-flagging");
+    modules.push(Box::new(TrueCount::new()));
+    for &d in &branch_detectors {
+        dag.add_edge(d, agree).unwrap();
+    }
+    let case = dag.add_vertex("open-case");
+    modules.push(Box::new(RateMonitor::new(500, 2)));
+    dag.add_edge(agree, case).unwrap();
+
+    (dag, modules)
+}
+
+fn main() {
+    // Option 2: Δ-dataflow (emit on anomaly only).
+    let (dag, modules) = build();
+    let mut sparse = Engine::builder(dag, modules)
+        .threads(4)
+        .record_history(false)
+        .build()
+        .expect("valid graph");
+    let sparse_report = sparse.run(PHASES).expect("sparse run");
+
+    // Option 1: every module reports every phase (densified wrappers).
+    let (dag, modules) = build();
+    let mut dense = Engine::builder(dag, densify(modules))
+        .threads(4)
+        .record_history(false)
+        .build()
+        .expect("valid graph");
+    let dense_report = dense.run(PHASES).expect("dense run");
+
+    let s = &sparse_report.metrics;
+    let d = &dense_report.metrics;
+    // Transactions arrive every phase on every branch regardless of
+    // mode; the paper's rate argument is about the messages *between
+    // models*, downstream of the anomaly detectors.
+    let feed = 3 * PHASES;
+    let s_downstream = s.messages_sent - feed;
+    let d_downstream = d.messages_sent - feed;
+    println!("{PHASES} phases of transactions across 3 branches\n");
+    println!("                        change-only (paper)   always-emit (baseline)");
+    println!("vertex executions       {:>12}          {:>12}", s.executions, d.executions);
+    println!("transaction feed msgs   {:>12}          {:>12}", feed, feed);
+    println!("inter-model messages    {:>12}          {:>12}", s_downstream, d_downstream);
+    println!(
+        "silent executions       {:>12}          {:>12}",
+        s.silent_executions, d.silent_executions
+    );
+    let ratio = d_downstream as f64 / s_downstream.max(1) as f64;
+    println!(
+        "\ninter-model message reduction: {ratio:.0}× fewer messages with change-only \
+         emission\n(the paper's 1-in-a-million argument, §1: rare anomalies ⇒ rare messages)"
+    );
+    assert!(
+        ratio > 50.0,
+        "change-only emission must send orders of magnitude fewer inter-model messages"
+    );
+}

@@ -1,0 +1,220 @@
+//! `ec` — command-line front end for the event-correlation engine.
+//!
+//! ```text
+//! ec run <spec.xml> [--threads N] [--phases N] [--sequential] [--quiet]
+//! ec validate <spec.xml>
+//! ec dot <spec.xml>
+//! ec demo
+//! ```
+//!
+//! `run` executes a computation spec and prints metrics and sink
+//! outputs; `validate` checks the spec, graph and numbering; `dot`
+//! emits Graphviz for the spec's graph; `demo` runs a built-in
+//! correlator.
+
+use event_correlation::core::EngineError;
+use event_correlation::graph::{dot, Numbering, Topology};
+use event_correlation::spec::{load_file, LoadedSpec};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage:
+  ec run <spec.xml> [--threads N] [--phases N] [--sequential] [--quiet]
+  ec validate <spec.xml>
+  ec dot <spec.xml>
+  ec demo
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("validate") => cmd_validate(&args[1..]),
+        Some("dot") => cmd_dot(&args[1..]),
+        Some("demo") => cmd_demo(),
+        Some("--help" | "-h" | "help") | None => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+struct RunOpts {
+    spec_path: String,
+    threads: Option<usize>,
+    phases: Option<u64>,
+    sequential: bool,
+    quiet: bool,
+}
+
+fn parse_run_opts(args: &[String]) -> Result<RunOpts, String> {
+    let mut opts = RunOpts {
+        spec_path: String::new(),
+        threads: None,
+        phases: None,
+        sequential: false,
+        quiet: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                opts.threads = Some(v.parse().map_err(|_| format!("bad thread count {v:?}"))?);
+            }
+            "--phases" => {
+                let v = it.next().ok_or("--phases needs a value")?;
+                opts.phases = Some(v.parse().map_err(|_| format!("bad phase count {v:?}"))?);
+            }
+            "--sequential" => opts.sequential = true,
+            "--quiet" => opts.quiet = true,
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag {other:?}"));
+            }
+            path => {
+                if !opts.spec_path.is_empty() {
+                    return Err(format!("unexpected extra argument {path:?}"));
+                }
+                opts.spec_path = path.to_string();
+            }
+        }
+    }
+    if opts.spec_path.is_empty() {
+        return Err(format!("missing spec path\n{USAGE}"));
+    }
+    Ok(opts)
+}
+
+fn load(path: &str) -> Result<LoadedSpec, String> {
+    load_file(path).map_err(|e| format!("loading {path:?}: {e}"))
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let opts = parse_run_opts(args)?;
+    let loaded = load(&opts.spec_path)?;
+    let phases = opts.phases.unwrap_or(loaded.settings.phases);
+    let threads = opts.threads.unwrap_or(loaded.settings.threads);
+    let mut handles: Vec<(String, _)> = loaded
+        .handles
+        .iter()
+        .map(|(k, v)| (k.clone(), *v))
+        .collect();
+    handles.sort_by(|a, b| a.0.cmp(&b.0));
+
+    let history = if opts.sequential {
+        let mut seq = loaded
+            .sequential()
+            .map_err(|e| format!("building sequential executor: {e}"))?;
+        seq.run(phases).map_err(fmt_engine_err)?;
+        println!(
+            "sequential run: {phases} phases, {} executions, {} messages",
+            seq.executions, seq.messages_sent
+        );
+        seq.into_history()
+    } else {
+        let mut engine = loaded
+            .engine()
+            .threads(threads)
+            .build()
+            .map_err(fmt_engine_err)?;
+        let report = engine.run(phases).map_err(fmt_engine_err)?;
+        let m = &report.metrics;
+        println!(
+            "parallel run: {phases} phases on {threads} threads, {} executions, \
+             {} messages, {} silent",
+            m.executions, m.messages_sent, m.silent_executions
+        );
+        println!(
+            "pipelining: max {} / mean {:.2} concurrent phases; \
+             bookkeeping/compute ratio {:.3}",
+            m.max_concurrent_phases,
+            m.mean_concurrent_phases(),
+            m.bookkeeping_ratio()
+        );
+        report.history.ok_or("history missing")?
+    };
+
+    if !opts.quiet {
+        for (id, handle) in handles {
+            let outs = history.sink_outputs_of(handle.vertex());
+            if !outs.is_empty() {
+                println!("\n{id}: {} output(s)", outs.len());
+                for (phase, value) in outs.iter().take(20) {
+                    println!("  phase {phase}: {value}");
+                }
+                if outs.len() > 20 {
+                    println!("  … {} more", outs.len() - 20);
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_validate(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or(format!("missing spec path\n{USAGE}"))?;
+    let loaded = load(path)?;
+    let dag = loaded.builder.dag();
+    let numbering = Numbering::compute(dag);
+    numbering
+        .verify(dag)
+        .map_err(|e| format!("numbering invalid (engine bug, please report): {e}"))?;
+    let topo = Topology::analyze(dag);
+    println!("spec OK: {path}");
+    println!(
+        "  {} nodes ({} sources, {} sinks), {} edges",
+        dag.vertex_count(),
+        dag.sources().len(),
+        dag.sinks().len(),
+        dag.edge_count()
+    );
+    println!(
+        "  depth {} (max pipelinable phases), max width {}",
+        topo.depth(),
+        topo.max_width()
+    );
+    println!(
+        "  settings: {} phases, {} threads, {} max in-flight",
+        loaded.settings.phases, loaded.settings.threads, loaded.settings.max_inflight
+    );
+    Ok(())
+}
+
+fn cmd_dot(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or(format!("missing spec path\n{USAGE}"))?;
+    let loaded = load(path)?;
+    let dag = loaded.builder.dag();
+    let numbering = Numbering::compute(dag);
+    print!("{}", dot::to_dot_numbered(dag, "computation", &numbering));
+    Ok(())
+}
+
+fn cmd_demo() -> Result<(), String> {
+    use event_correlation::events::sources::RandomWalk;
+    use event_correlation::fusion::prelude::*;
+
+    let mut b = CorrelatorBuilder::new();
+    let sensor = b.source("sensor", RandomWalk::new(20.0, 0.5, 42));
+    let avg = b.add("avg", MovingAverage::new(8), &[sensor]);
+    let alarm = b.add("alarm", Threshold::above(22.0), &[avg]);
+    let mut engine = b.engine().threads(4).build().map_err(fmt_engine_err)?;
+    let report = engine.run(200).map_err(fmt_engine_err)?;
+    let history = report.history.ok_or("history missing")?;
+    println!("demo: sensor → moving-average(8) → threshold(>22), 200 phases");
+    for (phase, value) in history.sink_outputs_of(alarm.vertex()) {
+        println!("  phase {phase}: alarm = {value}");
+    }
+    Ok(())
+}
+
+fn fmt_engine_err(e: EngineError) -> String {
+    e.to_string()
+}

@@ -1,0 +1,49 @@
+//! # event-correlation
+//!
+//! A serializable Δ-dataflow engine for parallel correlation of event
+//! streams — a from-scratch Rust reproduction of **Zimmerman & Chandy,
+//! "A Parallel Algorithm for Correlating Event Streams" (IPPS 2005)**.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! | Crate | Contents |
+//! |-------|----------|
+//! | [`graph`] | DAGs, serial-prefix vertex numbering (§3.1.1), generators |
+//! | [`events`] | phases, timestamps, values, stream sources, windows, statistics |
+//! | [`core`] | the parallel engine (Listings 1–2), sequential oracle, baselines |
+//! | [`fusion`] | operator library (thresholds, anomalies, correlation) + builder |
+//! | [`spec`] | XML computation specifications (§4's input format) |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use event_correlation::fusion::prelude::*;
+//! use event_correlation::events::sources::RandomWalk;
+//!
+//! // temperature sensor -> moving average -> over-threshold alarm
+//! let mut b = CorrelatorBuilder::new();
+//! let sensor = b.source("sensor", RandomWalk::new(20.0, 0.5, 42));
+//! let avg = b.add("avg", MovingAverage::new(8), &[sensor]);
+//! let alarm = b.add("alarm", Threshold::above(22.0), &[avg]);
+//!
+//! let mut engine = b.engine().threads(4).build().unwrap();
+//! let report = engine.run(100).unwrap();
+//! let history = report.history.unwrap();
+//! println!("alarm state changes: {:?}", history.sink_outputs_of(alarm.vertex()));
+//! ```
+
+pub use ec_core as core;
+pub use ec_events as events;
+pub use ec_fusion as fusion;
+pub use ec_graph as graph;
+pub use ec_spec as spec;
+
+/// One-stop import for application code.
+pub mod prelude {
+    pub use ec_core::{Engine, EngineError, Module, RunReport, Sequential};
+    pub use ec_fusion::prelude::*;
+    pub use ec_spec::{load_file, load_str};
+}
+
+/// Version of the library.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");

@@ -1,0 +1,103 @@
+//! Integration tests for the `ec` command-line tool.
+
+use std::process::{Command, Output};
+
+fn ec(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_ec"))
+        .args(args)
+        .output()
+        .expect("ec binary runs")
+}
+
+fn write_spec(name: &str, body: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("ec-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    std::fs::write(&path, body).unwrap();
+    path
+}
+
+const SPEC: &str = r#"<computation phases="30" threads="2">
+  <node id="tx" type="counter"/>
+  <node id="avg" type="moving-average" window="4"><input ref="tx"/></node>
+  <node id="big" type="threshold" level="10"><input ref="avg"/></node>
+</computation>"#;
+
+#[test]
+fn help_prints_usage() {
+    for args in [vec!["--help"], vec![]] {
+        let out = ec(&args);
+        assert!(out.status.success());
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(text.contains("usage:"), "{text}");
+    }
+}
+
+#[test]
+fn validate_reports_graph_stats() {
+    let path = write_spec("validate.xml", SPEC);
+    let out = ec(&["validate", path.to_str().unwrap()]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("3 nodes (1 sources, 1 sinks), 2 edges"), "{text}");
+    assert!(text.contains("depth 3"), "{text}");
+}
+
+#[test]
+fn run_parallel_and_sequential() {
+    let path = write_spec("run.xml", SPEC);
+    let par = ec(&["run", path.to_str().unwrap()]);
+    assert!(par.status.success());
+    let par_text = String::from_utf8_lossy(&par.stdout);
+    assert!(par_text.contains("parallel run: 30 phases"), "{par_text}");
+    assert!(par_text.contains("big:"), "{par_text}");
+
+    let seq = ec(&["run", path.to_str().unwrap(), "--sequential"]);
+    assert!(seq.status.success());
+    let seq_text = String::from_utf8_lossy(&seq.stdout);
+    assert!(seq_text.contains("sequential run: 30 phases"), "{seq_text}");
+}
+
+#[test]
+fn run_flag_overrides() {
+    let path = write_spec("flags.xml", SPEC);
+    let out = ec(&["run", path.to_str().unwrap(), "--phases", "5", "--threads", "1", "--quiet"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("5 phases on 1 threads"), "{text}");
+    // --quiet suppresses sink listings.
+    assert!(!text.contains("big:"), "{text}");
+}
+
+#[test]
+fn dot_emits_graphviz() {
+    let path = write_spec("dot.xml", SPEC);
+    let out = ec(&["dot", path.to_str().unwrap()]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.starts_with("digraph computation {"), "{text}");
+    assert!(text.contains("1: tx"), "{text}");
+}
+
+#[test]
+fn errors_exit_nonzero() {
+    let out = ec(&["run", "/no/such/spec.xml"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("error:"), "{err}");
+
+    let out = ec(&["frobnicate"]);
+    assert!(!out.status.success());
+
+    let bad = write_spec("bad.xml", "<computation><node id=");
+    let out = ec(&["run", bad.to_str().unwrap()]);
+    assert!(!out.status.success());
+}
+
+#[test]
+fn demo_runs() {
+    let out = ec(&["demo"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("demo:"), "{text}");
+}

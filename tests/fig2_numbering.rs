@@ -1,0 +1,126 @@
+//! Reproduction of **Figure 2**: two topologically sorted numberings of
+//! the same 7-node graph and their S(v) tables — one violating the
+//! serial-prefix restriction, one satisfying it — plus property tests
+//! that the FIFO-Kahn construction always satisfies the restriction.
+
+use event_correlation::graph::{generators, Numbering, NumberingError};
+use proptest::prelude::*;
+
+/// The S(v) tables exactly as printed in the paper's Figure 2.
+#[test]
+fn figure2_s_tables() {
+    let dag = generators::fig2_graph();
+
+    // (b) Satisfactory numbering: the identity assignment.
+    let good = Numbering::from_assignment(&dag, &[1, 2, 3, 4, 5, 6, 7]).unwrap();
+    let expected_b: [&[u32]; 8] = [
+        &[1, 2, 3],
+        &[1, 2, 3],
+        &[1, 2, 3, 4],
+        &[1, 2, 3, 4, 5],
+        &[1, 2, 3, 4, 5],
+        &[1, 2, 3, 4, 5, 6],
+        &[1, 2, 3, 4, 5, 6, 7],
+        &[1, 2, 3, 4, 5, 6, 7],
+    ];
+    for (v, expect) in expected_b.iter().enumerate() {
+        assert_eq!(
+            good.s_set(&dag, v as u32),
+            expect.to_vec(),
+            "S({v}) mismatch in Figure 2(b)"
+        );
+    }
+    // m-sequence as stated in §3.1.1: [3, 3, 4, 5, 5, 6, 7, 7].
+    assert_eq!(good.m_table(), &[3, 3, 4, 5, 5, 6, 7, 7]);
+
+    // (a) Unsatisfactory numbering: vertices 4 and 5 transposed. The
+    // checker pinpoints the defect the paper describes: S(2) is
+    // {1,2,3,5}, missing 4.
+    let err = Numbering::from_assignment(&dag, &[1, 2, 3, 5, 4, 6, 7]).unwrap_err();
+    assert_eq!(err, NumberingError::NotSerialPrefix { v: 2, missing: 4 });
+}
+
+/// The construction algorithm reproduces Figure 2(b) for the figure's
+/// graph (inserted in paper order).
+#[test]
+fn construction_matches_figure2b() {
+    let dag = generators::fig2_graph();
+    let n = Numbering::compute(&dag);
+    for v in dag.vertices() {
+        assert_eq!(n.index_of(v), v.0 + 1, "FIFO-Kahn must give the identity");
+    }
+    n.verify(&dag).unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// FIFO-Kahn numberings satisfy the serial-prefix restriction on
+    /// arbitrary DAGs.
+    #[test]
+    fn computed_numbering_always_valid(
+        n in 1usize..60,
+        p in 0.0f64..0.5,
+        seed in 0u64..10_000,
+        connect in proptest::bool::ANY,
+    ) {
+        let dag = generators::random_dag(n, p, connect, seed);
+        let numbering = Numbering::compute(&dag);
+        prop_assert!(numbering.verify(&dag).is_ok());
+    }
+
+    /// Properties (2)–(4) of §3.1.1 hold for computed numberings.
+    #[test]
+    fn m_properties_hold(
+        n in 2usize..50,
+        seed in 0u64..10_000,
+    ) {
+        let dag = generators::random_dag(n, 0.15, true, seed);
+        let numbering = Numbering::compute(&dag);
+        let nn = numbering.len() as u32;
+        for v in 1..nn {
+            prop_assert!(numbering.m(v - 1) <= numbering.m(v), "property (2)");
+            prop_assert!(v < numbering.m(v), "property (3)");
+        }
+        prop_assert_eq!(numbering.m(nn), nn, "property (4)");
+    }
+
+    /// A random non-FIFO topological order is either rejected by the
+    /// checker or genuinely satisfies the restriction — the checker
+    /// never accepts an invalid numbering (cross-validated against the
+    /// brute-force S(v) definition).
+    #[test]
+    fn checker_agrees_with_bruteforce(
+        n in 2usize..20,
+        seed in 0u64..5_000,
+        swap_a in 0usize..20,
+        swap_b in 0usize..20,
+    ) {
+        let dag = generators::random_dag(n, 0.2, true, seed);
+        let good = Numbering::compute(&dag);
+        // Perturb the valid numbering by swapping two positions.
+        let mut assignment: Vec<u32> = dag
+            .vertices()
+            .map(|v| good.index_of(v))
+            .collect();
+        let (a, b) = (swap_a % n, swap_b % n);
+        assignment.swap(a, b);
+
+        let checker_ok = Numbering::from_assignment(&dag, &assignment).is_ok();
+
+        // Brute force: topological + every S(v) sequential.
+        let topo_ok = dag.edges().all(|(u, w)| {
+            assignment[u.index()] < assignment[w.index()]
+        });
+        let prefix_ok = (0..=n as u32).all(|v| {
+            let mut in_s: Vec<u32> = dag
+                .vertices()
+                .filter(|&w| dag.preds(w).iter().all(|&u| assignment[u.index()] <= v))
+                .map(|w| assignment[w.index()])
+                .collect();
+            in_s.sort_unstable();
+            in_s.iter().enumerate().all(|(i, &idx)| idx == i as u32 + 1)
+        });
+        prop_assert_eq!(checker_ok, topo_ok && prefix_ok);
+    }
+}

@@ -1,0 +1,135 @@
+//! Adversarial schedule exploration.
+//!
+//! The parallel engine executes ready pairs in whatever order its
+//! workers happen to dequeue them; the correctness argument (§3.3) says
+//! *any* order consistent with the ready-set rule yields the same
+//! result. The thread-based tests can only sample a few interleavings
+//! per run — here we use the deterministic [`Stepper`] to drive
+//! *chosen* adversarial interleavings (random, latest-phase-first,
+//! highest-vertex-first) over random graphs and check every history
+//! against the FIFO reference.
+
+use event_correlation::core::{Module, PassThrough, SourceModule, Stepper, SumModule};
+use event_correlation::events::sources::{Counter, Sparse};
+use event_correlation::fusion::operators::aggregate::Aggregate;
+use event_correlation::graph::{generators, Dag};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+fn modules_for(dag: &Dag, mix: u64) -> Vec<Box<dyn Module>> {
+    dag.vertices()
+        .map(|v| -> Box<dyn Module> {
+            let k = v.0 as u64 + mix;
+            if dag.is_source(v) {
+                if k.is_multiple_of(3) {
+                    Box::new(SourceModule::new(Sparse::counter(0.4, k)))
+                } else {
+                    Box::new(SourceModule::new(Counter::new()))
+                }
+            } else if k.is_multiple_of(2) {
+                Box::new(SumModule)
+            } else if k.is_multiple_of(3) {
+                Box::new(Aggregate::max())
+            } else {
+                Box::new(PassThrough)
+            }
+        })
+        .collect()
+}
+
+/// Executes all phases with a pluggable choice of which ready pair to
+/// run next.
+fn run_with_policy(
+    dag: &Dag,
+    mix: u64,
+    phases: u64,
+    mut pick: impl FnMut(&[(u32, u64)]) -> usize,
+) -> event_correlation::core::ExecutionHistory {
+    let mut stepper = Stepper::new(dag, modules_for(dag, mix)).unwrap();
+    for _ in 0..phases {
+        stepper.start_phase();
+    }
+    loop {
+        let ready = stepper.ready_pairs();
+        if ready.is_empty() {
+            break;
+        }
+        let (v, p) = ready[pick(&ready) % ready.len()];
+        stepper.step_pair(v, p).unwrap();
+    }
+    assert_eq!(stepper.completed_through(), phases);
+    stepper.history()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn adversarial_orders_are_serializable(
+        n in 3usize..16,
+        graph_seed in 0u64..300,
+        mix in 0u64..300,
+        order_seed in 0u64..300,
+    ) {
+        let dag = generators::random_dag(n, 0.25, true, graph_seed);
+        let phases = 6u64;
+
+        // Reference: FIFO (what a single worker does).
+        let reference = run_with_policy(&dag, mix, phases, |_| 0);
+
+        // Random order.
+        let mut rng = SmallRng::seed_from_u64(order_seed);
+        let random = run_with_policy(&dag, mix, phases, |ready| {
+            let mut idxs: Vec<usize> = (0..ready.len()).collect();
+            idxs.shuffle(&mut rng);
+            idxs[0]
+        });
+        prop_assert!(reference.equivalent(&random).is_ok(),
+            "random order diverged: {}", reference.equivalent(&random).unwrap_err());
+
+        // Latest-phase-first: maximises pipelining pressure.
+        let latest = run_with_policy(&dag, mix, phases, |ready| {
+            ready
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, (v, p))| (*p, *v))
+                .map(|(i, _)| i)
+                .unwrap()
+        });
+        prop_assert!(reference.equivalent(&latest).is_ok());
+
+        // Highest-vertex-first: drains sinks before sources when legal.
+        let deepest = run_with_policy(&dag, mix, phases, |ready| {
+            ready
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, (v, _))| *v)
+                .map(|(i, _)| i)
+                .unwrap()
+        });
+        prop_assert!(reference.equivalent(&deepest).is_ok());
+    }
+}
+
+#[test]
+fn stepper_agrees_with_engine_and_oracle() {
+    use event_correlation::core::{Engine, Sequential};
+    let dag = generators::layered(4, 3, 2, 77);
+    let phases = 8u64;
+
+    let stepper_hist = run_with_policy(&dag, 1, phases, |_| 0);
+
+    let mut seq = Sequential::new(&dag, modules_for(&dag, 1)).unwrap();
+    seq.run(phases).unwrap();
+    assert_eq!(seq.into_history().equivalent(&stepper_hist), Ok(()));
+
+    let mut engine = Engine::builder(dag.clone(), modules_for(&dag, 1))
+        .threads(4)
+        .check_invariants(true)
+        .build()
+        .unwrap();
+    let par = engine.run(phases).unwrap().history.unwrap();
+    assert_eq!(par.equivalent(&stepper_hist), Ok(()));
+}

@@ -1,0 +1,94 @@
+//! End-to-end spec-file tests: XML text → parsed spec → engine →
+//! results, including file loading and parallel/sequential agreement.
+
+use event_correlation::spec::{load_file, load_str, SpecError};
+
+const HURRICANE_SPEC: &str = r#"<?xml version="1.0"?>
+<!-- Hurricane monitoring: flood and occupancy sensors feeding
+     role-specific composite alerts (§1 of the paper). -->
+<computation phases="336" threads="4" max-inflight="16">
+  <node id="flood"    type="random-walk" start="1.0"  step="0.15" seed="1"/>
+  <node id="hospital" type="random-walk" start="0.65" step="0.02" seed="2"/>
+  <node id="shelter"  type="random-walk" start="0.40" step="0.03" seed="3"/>
+
+  <node id="flood-avg" type="moving-average" window="12"><input ref="flood"/></node>
+  <node id="hosp-avg"  type="moving-average" window="24"><input ref="hospital"/></node>
+  <node id="shel-avg"  type="moving-average" window="24"><input ref="shelter"/></node>
+
+  <node id="flooding"  type="threshold" mode="above" level="2.0"><input ref="flood-avg"/></node>
+  <node id="hosp-full" type="threshold" mode="above" level="0.85"><input ref="hosp-avg"/></node>
+  <node id="shel-full" type="threshold" mode="above" level="0.80"><input ref="shel-avg"/></node>
+
+  <node id="health-alert" type="any-of">
+    <input ref="hosp-full"/><input ref="shel-full"/>
+  </node>
+  <node id="crisis-level" type="true-count">
+    <input ref="flooding"/><input ref="hosp-full"/><input ref="shel-full"/>
+  </node>
+</computation>"#;
+
+#[test]
+fn hurricane_spec_runs() {
+    let loaded = load_str(HURRICANE_SPEC).unwrap();
+    assert_eq!(loaded.settings.phases, 336);
+    assert_eq!(loaded.settings.threads, 4);
+    let crisis = loaded.handles["crisis-level"];
+    let mut engine = loaded.engine().build().unwrap();
+    let report = engine.run(336).unwrap();
+    assert_eq!(report.metrics.phases_completed, 336);
+    let history = report.history.unwrap();
+    let levels = history.sink_outputs_of(crisis.vertex());
+    assert!(!levels.is_empty(), "crisis level should report at least once");
+}
+
+#[test]
+fn spec_parallel_matches_sequential() {
+    let h_par = {
+        let mut e = load_str(HURRICANE_SPEC).unwrap().engine().build().unwrap();
+        e.run(150).unwrap().history.unwrap()
+    };
+    let h_seq = {
+        let mut s = load_str(HURRICANE_SPEC).unwrap().sequential().unwrap();
+        s.run(150).unwrap();
+        s.into_history()
+    };
+    assert_eq!(h_seq.equivalent(&h_par), Ok(()));
+}
+
+#[test]
+fn spec_loads_from_file() {
+    let dir = std::env::temp_dir().join("ec-spec-e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("hurricane.xml");
+    std::fs::write(&path, HURRICANE_SPEC).unwrap();
+    let loaded = load_file(&path).unwrap();
+    assert_eq!(loaded.settings.phases, 336);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn missing_file_is_an_error() {
+    let err = load_file("/definitely/not/here.xml").unwrap_err();
+    assert!(matches!(err, SpecError::Structure(_)));
+}
+
+#[test]
+fn malformed_xml_is_an_error() {
+    assert!(matches!(
+        load_str("<computation><node id=").unwrap_err(),
+        SpecError::Xml(_)
+    ));
+}
+
+#[test]
+fn engine_honours_spec_thread_and_inflight_settings() {
+    let doc = r#"<computation phases="20" threads="1" max-inflight="1">
+      <node id="a" type="counter"/>
+      <node id="b" type="pass-through"><input ref="a"/></node>
+    </computation>"#;
+    let loaded = load_str(doc).unwrap();
+    let mut engine = loaded.engine().build().unwrap();
+    let report = engine.run(20).unwrap();
+    // max-inflight 1 forbids any pipelining.
+    assert_eq!(report.metrics.max_concurrent_phases, 1);
+}

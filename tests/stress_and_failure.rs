@@ -1,0 +1,199 @@
+//! Stress and failure-injection tests: exactly-once execution under
+//! heavy concurrency, panic containment, and invariant checking under
+//! adversarial module behaviour.
+
+use event_correlation::core::{
+    Emission, Engine, EngineError, ExecCtx, FnModule, Module, PassThrough, SourceModule,
+};
+use event_correlation::events::sources::Counter;
+use event_correlation::events::Value;
+use event_correlation::graph::{generators, Dag};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Counts executions per vertex-phase pair via module side effects; any
+/// double execution or skip is detected.
+#[test]
+fn exactly_once_under_heavy_concurrency() {
+    let dag = generators::layered(5, 4, 2, 31);
+    let n = dag.vertex_count();
+    let phases: u64 = 50;
+    let counters: Arc<Vec<AtomicU64>> =
+        Arc::new((0..n).map(|_| AtomicU64::new(0)).collect());
+
+    let modules: Vec<Box<dyn Module>> = dag
+        .vertices()
+        .map(|v| -> Box<dyn Module> {
+            let counters = Arc::clone(&counters);
+            let idx = v.index();
+            if dag.is_source(v) {
+                Box::new(FnModule::new("counting-source", move |ctx: ExecCtx<'_>| {
+                    counters[idx].fetch_add(1, Ordering::Relaxed);
+                    Emission::Broadcast(Value::Int(ctx.phase.get() as i64))
+                }))
+            } else {
+                Box::new(FnModule::new("counting-node", move |_ctx: ExecCtx<'_>| {
+                    counters[idx].fetch_add(1, Ordering::Relaxed);
+                    Emission::Broadcast(Value::Int(1))
+                }))
+            }
+        })
+        .collect();
+
+    let mut engine = Engine::builder(dag, modules)
+        .threads(8)
+        .max_inflight(32)
+        .check_invariants(true)
+        .record_history(false)
+        .build()
+        .unwrap();
+    let report = engine.run(phases).unwrap();
+    // Everything broadcasts, so every vertex executes every phase —
+    // exactly once.
+    for (i, c) in counters.iter().enumerate() {
+        assert_eq!(
+            c.load(Ordering::Relaxed),
+            phases,
+            "vertex {i} executed the wrong number of times"
+        );
+    }
+    assert_eq!(report.metrics.executions, phases * n as u64);
+}
+
+#[test]
+fn panic_in_module_fails_cleanly() {
+    let dag = generators::layered(3, 3, 2, 5);
+    let modules: Vec<Box<dyn Module>> = dag
+        .vertices()
+        .map(|v| -> Box<dyn Module> {
+            if dag.is_source(v) {
+                Box::new(SourceModule::new(Counter::new()))
+            } else if v.0 == 5 {
+                Box::new(FnModule::new("bomb", |ctx: ExecCtx<'_>| {
+                    if ctx.phase.get() == 7 {
+                        panic!("injected failure at phase 7");
+                    }
+                    Emission::Broadcast(Value::Int(0))
+                }))
+            } else {
+                Box::new(PassThrough)
+            }
+        })
+        .collect();
+    let mut engine = Engine::builder(dag, modules).threads(4).build().unwrap();
+    let start = std::time::Instant::now();
+    let err = engine.run(100).unwrap_err();
+    assert!(
+        start.elapsed() < std::time::Duration::from_secs(30),
+        "failure must not hang the run"
+    );
+    match err {
+        EngineError::WorkerPanic(msg) => assert!(msg.contains("injected failure")),
+        other => panic!("unexpected error: {other:?}"),
+    }
+}
+
+#[test]
+fn bad_emission_target_fails_cleanly() {
+    let mut dag = Dag::new();
+    let a = dag.add_vertex("a");
+    let b = dag.add_vertex("b");
+    let c = dag.add_vertex("c");
+    dag.add_edge(a, b).unwrap();
+    dag.add_edge(b, c).unwrap();
+    let modules: Vec<Box<dyn Module>> = vec![
+        Box::new(SourceModule::new(Counter::new())),
+        // b targets a (not a successor).
+        Box::new(FnModule::new("bad", move |_ctx: ExecCtx<'_>| {
+            Emission::Targeted(vec![(a, Value::Int(1))])
+        })),
+        Box::new(PassThrough),
+    ];
+    let mut engine = Engine::builder(dag, modules).threads(2).build().unwrap();
+    let err = engine.run(5).unwrap_err();
+    let msg = format!("{err}");
+    assert!(msg.contains("non-successor"), "got: {msg}");
+}
+
+#[test]
+fn run_after_failure_reports_failure() {
+    let dag = generators::chain(2);
+    let modules: Vec<Box<dyn Module>> = vec![
+        Box::new(SourceModule::new(Counter::new())),
+        Box::new(FnModule::new("bomb", |_ctx: ExecCtx<'_>| {
+            panic!("always fails")
+        })),
+    ];
+    let mut engine = Engine::builder(dag, modules).threads(2).build().unwrap();
+    assert!(engine.run(3).is_err());
+    // Subsequent runs refuse to proceed rather than hanging.
+    assert!(engine.run(3).is_err());
+}
+
+#[test]
+fn targeted_emission_routes_selectively() {
+    // A router that alternates between its two successors; checks that
+    // Targeted emissions deliver to exactly the chosen successor.
+    let mut dag = Dag::new();
+    let src = dag.add_vertex("src");
+    let router = dag.add_vertex("router");
+    let left = dag.add_vertex("left");
+    let right = dag.add_vertex("right");
+    dag.add_edge(src, router).unwrap();
+    dag.add_edge(router, left).unwrap();
+    dag.add_edge(router, right).unwrap();
+
+    let modules: Vec<Box<dyn Module>> = vec![
+        Box::new(SourceModule::new(Counter::new())),
+        Box::new(FnModule::new("router", move |ctx: ExecCtx<'_>| {
+            let v = ctx.inputs.fresh.last().unwrap().1.clone();
+            let odd = v.as_i64().unwrap() % 2 == 1;
+            Emission::Targeted(vec![(if odd { left } else { right }, v)])
+        })),
+        Box::new(PassThrough),
+        Box::new(PassThrough),
+    ];
+    let mut engine = Engine::builder(dag, modules)
+        .threads(4)
+        .check_invariants(true)
+        .build()
+        .unwrap();
+    let history = engine.run(10).unwrap().history.unwrap();
+    let lefts: Vec<i64> = history
+        .sink_outputs_of(left)
+        .iter()
+        .map(|(_, v)| v.as_i64().unwrap())
+        .collect();
+    let rights: Vec<i64> = history
+        .sink_outputs_of(right)
+        .iter()
+        .map(|(_, v)| v.as_i64().unwrap())
+        .collect();
+    assert_eq!(lefts, vec![1, 3, 5, 7, 9]);
+    assert_eq!(rights, vec![2, 4, 6, 8, 10]);
+}
+
+#[test]
+fn long_run_many_phases() {
+    // A smoke test for sustained operation: thousands of phases over a
+    // non-trivial graph, bounded memory via the in-flight throttle.
+    let dag = generators::layered(4, 3, 2, 13);
+    let modules: Vec<Box<dyn Module>> = dag
+        .vertices()
+        .map(|v| -> Box<dyn Module> {
+            if dag.is_source(v) {
+                Box::new(SourceModule::new(Counter::new()))
+            } else {
+                Box::new(PassThrough)
+            }
+        })
+        .collect();
+    let mut engine = Engine::builder(dag, modules)
+        .threads(4)
+        .max_inflight(8)
+        .record_history(false)
+        .build()
+        .unwrap();
+    let report = engine.run(5_000).unwrap();
+    assert_eq!(report.metrics.phases_completed, 5_000);
+}
