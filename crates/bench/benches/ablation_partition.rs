@@ -23,8 +23,7 @@ fn bench_partition(c: &mut Criterion) {
             ("balanced", partition_balanced(&dag, &numbering, k)),
             ("min-cut", partition_min_cut(&dag, &numbering, k, 0.5)),
         ] {
-            let mut sim =
-                DistributedSim::new(&dag, fusion_modules(&dag, 0), &partition).unwrap();
+            let mut sim = DistributedSim::new(&dag, fusion_modules(&dag, 0), &partition).unwrap();
             sim.run(PHASES).unwrap();
             println!(
                 "partition k={k} {label:>8}: edge cut {:>2}, remote {:>5}, local {:>5}",
@@ -42,8 +41,7 @@ fn bench_partition(c: &mut Criterion) {
             let partition = partition_min_cut(&dag, &numbering, k, 0.5);
             b.iter(|| {
                 let mut sim =
-                    DistributedSim::new(&dag, fusion_modules(&dag, 1_000), &partition)
-                        .unwrap();
+                    DistributedSim::new(&dag, fusion_modules(&dag, 1_000), &partition).unwrap();
                 sim.run(PHASES).unwrap();
                 sim.remote_messages()
             })

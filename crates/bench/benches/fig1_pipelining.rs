@@ -32,15 +32,13 @@ fn bench_fig1(c: &mut Criterion) {
             &inflight_cap,
             |b, &cap| {
                 b.iter(|| {
-                    let mut engine = ec_core::Engine::builder(
-                        dag.clone(),
-                        relay_modules(&dag, SPIN),
-                    )
-                    .threads(8)
-                    .max_inflight(cap)
-                    .record_history(false)
-                    .build()
-                    .unwrap();
+                    let mut engine =
+                        ec_core::Engine::builder(dag.clone(), relay_modules(&dag, SPIN))
+                            .threads(8)
+                            .max_inflight(cap)
+                            .record_history(false)
+                            .build()
+                            .unwrap();
                     engine.run(PHASES).unwrap().metrics
                 })
             },

@@ -163,8 +163,7 @@ impl DistributedSim {
                     &self.numbering,
                 )?;
                 self.stats[my_part as usize].executions += 1;
-                self.history
-                    .record(slot.vertex_id, phase, routed.recorded);
+                self.history.record(slot.vertex_id, phase, routed.recorded);
                 if let Some(v) = routed.sink_value {
                     self.history.record_sink(slot.vertex_id, phase, v);
                 }
@@ -292,10 +291,7 @@ mod tests {
             sim_bad.remote_messages()
         );
         // And both remain correct.
-        assert_eq!(
-            sim_good.history().equivalent(&sim_bad.history()),
-            Ok(())
-        );
+        assert_eq!(sim_good.history().equivalent(&sim_bad.history()), Ok(()));
     }
 
     #[test]

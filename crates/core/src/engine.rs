@@ -155,6 +155,7 @@ impl EngineBuilder {
                 } else {
                     None
                 }),
+                live_sinks: Mutex::new(None),
                 failed_fast: AtomicBool::new(false),
                 check_invariants: self.check_invariants,
             }),
@@ -167,14 +168,17 @@ impl EngineBuilder {
 
 /// Everything shared between worker threads, the environment thread and
 /// the caller.
-struct Shared {
+///
+/// `pub(crate)` so the live (streaming) front end in [`crate::live`]
+/// can drive the same scheduler with a caller-paced environment.
+pub(crate) struct Shared {
     /// The paper's shared data structures, behind the global lock.
-    state: Mutex<SchedState>,
+    pub(crate) state: Mutex<SchedState>,
     /// Signalled when `completed_through` advances or the run fails;
     /// waited on by the environment throttle and the run driver.
-    progress: Condvar,
+    pub(crate) progress: Condvar,
     /// The run queue of Listing 1, statement 1.2.
-    queue: RunQueue<Task>,
+    pub(crate) queue: RunQueue<Task>,
     /// Vertex slots in schedule order (`vertices[i]` = index `i + 1`).
     /// Each slot's mutex is uncontended: the ready-set rule guarantees
     /// at most one in-flight execution per vertex.
@@ -182,21 +186,25 @@ struct Shared {
     /// Successors per schedule index.
     succs_idx: Vec<Vec<Idx>>,
     /// The vertex numbering.
-    numbering: Numbering,
+    pub(crate) numbering: Numbering,
     /// Counters.
-    metrics: Metrics,
+    pub(crate) metrics: Metrics,
     /// Distinct-phases-executing gauge (Figure 1 pipelining depth).
     gauge: PhaseGauge,
     /// Optional execution history.
-    history: Mutex<Option<ExecutionHistory>>,
+    pub(crate) history: Mutex<Option<ExecutionHistory>>,
+    /// Sink emissions not yet retired by a live front end. `Some` only
+    /// in live mode; keyed by `(phase, vertex)` so draining everything
+    /// up to the completed frontier yields serial order.
+    pub(crate) live_sinks: Mutex<Option<std::collections::BTreeMap<(u64, VertexId), Value>>>,
     /// Fast-path failure flag (authoritative state is `state.failed`).
     failed_fast: AtomicBool,
     /// Check invariants after each transition.
-    check_invariants: bool,
+    pub(crate) check_invariants: bool,
 }
 
 impl Shared {
-    fn enqueue_all(&self, transition: &mut Transition) {
+    pub(crate) fn enqueue_all(&self, transition: &mut Transition) {
         self.metrics
             .enqueued
             .fetch_add(transition.tasks.len() as u64, Relaxed);
@@ -205,7 +213,7 @@ impl Shared {
         }
     }
 
-    fn fail(&self, error: EngineError) {
+    pub(crate) fn fail(&self, error: EngineError) {
         self.failed_fast.store(true, Relaxed);
         {
             let mut st = self.state.lock();
@@ -218,7 +226,7 @@ impl Shared {
     }
 
     /// The body of Listing 1: dequeue, execute, update.
-    fn worker_loop(&self) {
+    pub(crate) fn worker_loop(&self) {
         loop {
             let task = match self.queue.dequeue() {
                 Dequeued::Closed => return,
@@ -321,12 +329,21 @@ impl Shared {
     }
 
     fn record(&self, idx: Idx, phase: Phase, routed: &RoutedEmission) {
-        let mut guard = self.history.lock();
-        if let Some(history) = guard.as_mut() {
-            let vertex = self.numbering.vertex_at(idx);
-            history.record(vertex, phase, routed.recorded.clone());
-            if let Some(v) = &routed.sink_value {
-                history.record_sink(vertex, phase, v.clone());
+        {
+            let mut guard = self.history.lock();
+            if let Some(history) = guard.as_mut() {
+                let vertex = self.numbering.vertex_at(idx);
+                history.record(vertex, phase, routed.recorded.clone());
+                if let Some(v) = &routed.sink_value {
+                    history.record_sink(vertex, phase, v.clone());
+                }
+            }
+        }
+        if let Some(v) = &routed.sink_value {
+            let mut guard = self.live_sinks.lock();
+            if let Some(pending) = guard.as_mut() {
+                let vertex = self.numbering.vertex_at(idx);
+                pending.insert((phase.get(), vertex), v.clone());
             }
         }
     }
@@ -335,10 +352,7 @@ impl Shared {
     fn environment_loop(&self, target: u64, max_inflight: u64, delay: Option<Duration>) {
         loop {
             let mut st = self.state.lock();
-            while st.failed.is_none()
-                && st.next() <= target
-                && st.inflight() >= max_inflight
-            {
+            while st.failed.is_none() && st.next() <= target && st.inflight() >= max_inflight {
                 self.progress.wait(&mut st);
             }
             if st.failed.is_some() || st.next() > target {
@@ -452,9 +466,8 @@ impl Engine {
         }
         // Wake the environment in case it is throttled, and shut down.
         self.shared.progress.notify_all();
-        env.join().map_err(|p| {
-            EngineError::WorkerPanic(payload_to_string(&p))
-        })?;
+        env.join()
+            .map_err(|p| EngineError::WorkerPanic(payload_to_string(&p)))?;
         self.shared.queue.close();
         let worker_panics = workers.join();
         self.shared.queue.reopen();
@@ -487,6 +500,17 @@ impl Engine {
         })
     }
 
+    /// Converts this (idle) engine into a [`LiveEngine`](crate::live::LiveEngine):
+    /// workers are spawned immediately and stay up, and phases are
+    /// admitted one at a time by the caller instead of by a scripted
+    /// environment loop. This is the substrate the streaming runtime
+    /// builds on.
+    ///
+    /// Phase numbering continues from any previous `run` calls.
+    pub fn into_live(self) -> crate::live::LiveEngine {
+        crate::live::LiveEngine::spawn(self.shared, self.threads, self.max_inflight)
+    }
+
     /// Dismantles the engine and returns the modules in vertex-id order
     /// (inverse of construction), e.g. to inspect collected sink state.
     ///
@@ -516,16 +540,15 @@ fn parse_failure(msg: String) -> EngineError {
 mod tests {
     use super::*;
     use crate::history::RecordedEmission;
-    use crate::module::{FnModule, PassThrough, SourceModule, SumModule};
     use crate::module::Emission;
     use crate::module::ExecCtx;
+    use crate::module::{FnModule, PassThrough, SourceModule, SumModule};
     use ec_events::sources::{Counter, Replay};
     use ec_graph::generators;
 
     fn counter_chain_engine(len: usize, threads: usize) -> Engine {
         let dag = generators::chain(len);
-        let mut modules: Vec<Box<dyn Module>> =
-            vec![Box::new(SourceModule::new(Counter::new()))];
+        let mut modules: Vec<Box<dyn Module>> = vec![Box::new(SourceModule::new(Counter::new()))];
         for _ in 1..len {
             modules.push(Box::new(PassThrough));
         }
@@ -613,10 +636,7 @@ mod tests {
         assert_eq!(report.metrics.messages_sent, 2 + 2); // edges × changes
         let history = report.history.unwrap();
         let mid = engine.numbering().vertex_at(2);
-        assert_eq!(
-            history.executed_phases(mid),
-            vec![Phase(1), Phase(4)]
-        );
+        assert_eq!(history.executed_phases(mid), vec![Phase(1), Phase(4)]);
     }
 
     #[test]
@@ -745,8 +765,7 @@ mod tests {
     fn throttle_limits_inflight_phases() {
         // With max_inflight = 2 the engine still completes correctly.
         let dag = generators::chain(8);
-        let mut modules: Vec<Box<dyn Module>> =
-            vec![Box::new(SourceModule::new(Counter::new()))];
+        let mut modules: Vec<Box<dyn Module>> = vec![Box::new(SourceModule::new(Counter::new()))];
         for _ in 1..8 {
             modules.push(Box::new(PassThrough));
         }

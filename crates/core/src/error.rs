@@ -47,7 +47,10 @@ impl fmt::Display for EngineError {
                 vertex,
                 phase,
                 message,
-            } => write!(f, "module at {vertex:?} panicked in phase {phase}: {message}"),
+            } => write!(
+                f,
+                "module at {vertex:?} panicked in phase {phase}: {message}"
+            ),
             EngineError::BadTarget { vertex, target } => {
                 write!(f, "{vertex:?} emitted to non-successor {target:?}")
             }

@@ -92,8 +92,7 @@ impl ExecutionHistory {
     /// Finalises the history: sorts sink records into `(phase, vertex)`
     /// order so parallel and sequential runs compare deterministically.
     pub fn finalize(&mut self) {
-        self.sinks
-            .sort_by_key(|r| (r.phase, r.vertex));
+        self.sinks.sort_by_key(|r| (r.phase, r.vertex));
     }
 
     /// Number of vertices covered.
@@ -248,9 +247,17 @@ mod tests {
 
     fn h1() -> ExecutionHistory {
         let mut h = ExecutionHistory::new(2);
-        h.record(VertexId(0), Phase(1), RecordedEmission::Broadcast(Value::Int(1)));
+        h.record(
+            VertexId(0),
+            Phase(1),
+            RecordedEmission::Broadcast(Value::Int(1)),
+        );
         h.record(VertexId(1), Phase(1), RecordedEmission::Silent);
-        h.record(VertexId(0), Phase(2), RecordedEmission::Broadcast(Value::Int(2)));
+        h.record(
+            VertexId(0),
+            Phase(2),
+            RecordedEmission::Broadcast(Value::Int(2)),
+        );
         h
     }
 
@@ -272,9 +279,17 @@ mod tests {
     fn detects_differing_record() {
         let a = h1();
         let mut b = ExecutionHistory::new(2);
-        b.record(VertexId(0), Phase(1), RecordedEmission::Broadcast(Value::Int(9)));
+        b.record(
+            VertexId(0),
+            Phase(1),
+            RecordedEmission::Broadcast(Value::Int(9)),
+        );
         b.record(VertexId(1), Phase(1), RecordedEmission::Silent);
-        b.record(VertexId(0), Phase(2), RecordedEmission::Broadcast(Value::Int(2)));
+        b.record(
+            VertexId(0),
+            Phase(2),
+            RecordedEmission::Broadcast(Value::Int(2)),
+        );
         let err = a.equivalent(&b).unwrap_err();
         assert!(
             matches!(err, Divergence::Record { vertex, position: 0, .. } if vertex == VertexId(0))
@@ -315,8 +330,11 @@ mod tests {
         h.record_sink(VertexId(1), Phase(1), Value::Int(2));
         h.record_sink(VertexId(0), Phase(2), Value::Int(3));
         h.finalize();
-        let order: Vec<(Phase, VertexId)> =
-            h.sink_outputs().iter().map(|r| (r.phase, r.vertex)).collect();
+        let order: Vec<(Phase, VertexId)> = h
+            .sink_outputs()
+            .iter()
+            .map(|r| (r.phase, r.vertex))
+            .collect();
         assert_eq!(
             order,
             vec![
@@ -325,7 +343,10 @@ mod tests {
                 (Phase(2), VertexId(2))
             ]
         );
-        assert_eq!(h.sink_outputs_of(VertexId(0)), vec![(Phase(2), Value::Int(3))]);
+        assert_eq!(
+            h.sink_outputs_of(VertexId(0)),
+            vec![(Phase(2), Value::Int(3))]
+        );
     }
 
     #[test]

@@ -60,6 +60,7 @@ pub mod distributed;
 pub mod engine;
 pub mod error;
 pub mod history;
+pub mod live;
 pub mod metrics;
 pub mod module;
 pub mod pool;
@@ -77,6 +78,7 @@ pub use distributed::{DistributedSim, MachineStats};
 pub use engine::{Engine, EngineBuilder, RunReport};
 pub use error::EngineError;
 pub use history::{Divergence, ExecutionHistory, RecordedEmission, SinkRecord};
+pub use live::LiveEngine;
 pub use metrics::{Metrics, MetricsSnapshot, PhaseGauge};
 pub use module::{
     AlwaysEmit, CollectSink, Emission, ExecCtx, FnModule, InputView, Module, PassThrough,

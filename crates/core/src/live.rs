@@ -1,0 +1,444 @@
+//! Caller-paced (live) execution: the incremental admission API.
+//!
+//! [`Engine::run`](crate::Engine::run) is batch: the environment thread
+//! starts a fixed number of phases and the call returns when they have
+//! all completed. A long-running service cannot work that way — events
+//! arrive over time, and each phase can only be started once its input
+//! snapshot exists. [`LiveEngine`] is the same scheduler, worker pool
+//! and serializability machinery with the environment process replaced
+//! by *the caller*: [`admit`](LiveEngine::admit) performs exactly the
+//! environment's statements 2.11–2.19 for one phase, whenever the
+//! caller decides the next snapshot is ready.
+//!
+//! The paper's Listing 2 environment "receives messages from sources
+//! and sleeps for some amount of time" between phase starts; `admit` is
+//! that loop body exposed as a method, which is what makes the
+//! streaming runtime (`ec-runtime`) possible without any change to the
+//! scheduling algorithm: serializability is a property of the shared
+//! state transitions, not of who calls `start_phase`.
+//!
+//! Sink deliveries: in live mode the engine additionally buffers every
+//! sink emission and releases it only once its phase has **retired**
+//! (all phases up to it completed). Drained batches are therefore in
+//! exact serial order — what an online subscriber must observe for the
+//! runtime to remain serializable from the outside.
+
+use crate::engine::{RunReport, Shared};
+use crate::error::EngineError;
+use crate::history::{ExecutionHistory, SinkRecord};
+use crate::pool::WorkerPool;
+use ec_events::Phase;
+use ec_graph::Numbering;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A long-running engine whose phases are admitted by the caller.
+///
+/// Created by [`Engine::into_live`](crate::Engine::into_live). Workers
+/// run until [`shutdown`](LiveEngine::shutdown); all methods take
+/// `&self`, so the engine can be shared behind an `Arc` between an
+/// ingestion thread and a delivery thread.
+pub struct LiveEngine {
+    shared: Arc<Shared>,
+    /// Joined (and replaced by `None`) at shutdown.
+    workers: Mutex<Option<WorkerPool>>,
+    /// Set once shutdown begins; wakes [`wait_progress_for`] waiters.
+    closing: AtomicBool,
+    max_inflight: u64,
+}
+
+impl LiveEngine {
+    /// Spawns the persistent worker pool (crate-internal; use
+    /// [`Engine::into_live`](crate::Engine::into_live)).
+    pub(crate) fn spawn(shared: Arc<Shared>, threads: usize, max_inflight: u64) -> LiveEngine {
+        *shared.live_sinks.lock() = Some(std::collections::BTreeMap::new());
+        let worker_shared = Arc::clone(&shared);
+        let workers = WorkerPool::spawn("ec-live-worker", threads, move |_| {
+            worker_shared.worker_loop();
+        });
+        LiveEngine {
+            shared,
+            workers: Mutex::new(Some(workers)),
+            closing: AtomicBool::new(false),
+            max_inflight,
+        }
+    }
+
+    /// The vertex numbering in use.
+    pub fn numbering(&self) -> &Numbering {
+        &self.shared.numbering
+    }
+
+    /// Cumulative metrics.
+    pub fn metrics(&self) -> crate::metrics::MetricsSnapshot {
+        self.shared.metrics.snapshot()
+    }
+
+    /// Starts the next phase (the environment process's step) and
+    /// returns its number. Every source module will be polled for this
+    /// phase, so the caller must stage source input *before* admitting.
+    ///
+    /// Blocks while `max_inflight` phases are already started but
+    /// incomplete (the environment throttle), bounding scheduler
+    /// memory. Returns an error if the engine has failed or is shut
+    /// down.
+    pub fn admit(&self) -> Result<u64, EngineError> {
+        let mut st = self.shared.state.lock();
+        while st.failed.is_none()
+            && st.inflight() >= self.max_inflight
+            && !self.closing.load(Relaxed)
+        {
+            self.shared.progress.wait(&mut st);
+        }
+        if let Some(msg) = &st.failed {
+            return Err(EngineError::WorkerPanic(msg.clone()));
+        }
+        if self.closing.load(Relaxed) {
+            return Err(EngineError::Config("engine is shut down".into()));
+        }
+        let (phase, mut transition) = st.start_phase();
+        if self.shared.check_invariants {
+            if let Err(msg) = st.check_invariants() {
+                drop(st);
+                let error = EngineError::InvariantViolation(msg);
+                self.shared.fail(error.clone());
+                return Err(error);
+            }
+        }
+        self.shared.enqueue_all(&mut transition);
+        drop(st);
+        self.shared.metrics.phases_started.fetch_add(1, Relaxed);
+        Ok(phase)
+    }
+
+    /// Highest phase admitted so far.
+    pub fn admitted(&self) -> u64 {
+        self.shared.state.lock().pmax()
+    }
+
+    /// All phases up to and including this have completed.
+    pub fn completed_through(&self) -> u64 {
+        self.shared.state.lock().completed_through()
+    }
+
+    /// Blocks until every admitted phase has completed (or the engine
+    /// fails).
+    pub fn wait_idle(&self) -> Result<u64, EngineError> {
+        let mut st = self.shared.state.lock();
+        while st.failed.is_none() && st.completed_through() < st.pmax() {
+            self.shared.progress.wait(&mut st);
+        }
+        if let Some(msg) = &st.failed {
+            return Err(EngineError::WorkerPanic(msg.clone()));
+        }
+        Ok(st.completed_through())
+    }
+
+    /// Blocks until the completed frontier advances past `seen`, the
+    /// timeout elapses, the engine starts shutting down, or it fails.
+    /// Returns the current frontier; a delivery loop calls this with
+    /// the last frontier it has drained.
+    pub fn wait_progress_for(&self, seen: u64, timeout: Duration) -> Result<u64, EngineError> {
+        let mut st = self.shared.state.lock();
+        while st.failed.is_none() && st.completed_through() <= seen && !self.closing.load(Relaxed) {
+            if self.shared.progress.wait_for(&mut st, timeout).timed_out() {
+                break;
+            }
+        }
+        if let Some(msg) = &st.failed {
+            return Err(EngineError::WorkerPanic(msg.clone()));
+        }
+        Ok(st.completed_through())
+    }
+
+    /// Wakes all blocked `admit` / `wait_*` callers (used by runtimes
+    /// coordinating their own shutdown).
+    pub fn wake_all(&self) {
+        self.shared.progress.notify_all();
+    }
+
+    /// Drains the sink emissions of all **retired** phases (phase ≤
+    /// completed frontier), in `(phase, vertex)` order — the serial
+    /// order of the sequential oracle. Emissions of phases still in
+    /// flight stay buffered.
+    pub fn drain_retired_sinks(&self) -> Vec<SinkRecord> {
+        let completed = self.shared.state.lock().completed_through();
+        let mut guard = self.shared.live_sinks.lock();
+        let Some(pending) = guard.as_mut() else {
+            return Vec::new();
+        };
+        let mut rest = pending.split_off(&(completed + 1, ec_graph::VertexId(0)));
+        std::mem::swap(pending, &mut rest);
+        rest.into_iter()
+            .map(|((phase, vertex), value)| SinkRecord {
+                vertex,
+                phase: Phase(phase),
+                value,
+            })
+            .collect()
+    }
+
+    /// Waits for all admitted phases to complete, stops the workers and
+    /// returns the run report (history since live start, if recording
+    /// was enabled at build time).
+    ///
+    /// Idempotent: later calls return an empty report.
+    pub fn shutdown(&self) -> Result<RunReport, EngineError> {
+        // Bar new admissions FIRST, under the state lock: `admit`
+        // checks `closing` and enqueues while holding that lock, so
+        // after this block every phase is either fully admitted (and
+        // covered by the wait below) or refused. Only then is it safe
+        // to wait for quiescence and close the queue — the reverse
+        // order would let a racing admit enqueue tasks into a closed
+        // queue, which silently drops them and strands the phase.
+        {
+            let _st = self.shared.state.lock();
+            self.closing.store(true, Relaxed);
+        }
+        self.shared.progress.notify_all(); // wake throttled admits
+        let wait_result = self.wait_idle();
+        self.shared.queue.close();
+        let workers = self.workers.lock().take();
+        let worker_panics = match workers {
+            Some(pool) => pool.join(),
+            None => Vec::new(), // already shut down
+        };
+        let completed = wait_result?;
+        if !worker_panics.is_empty() {
+            return Err(EngineError::WorkerPanic(worker_panics.join("; ")));
+        }
+        let history = {
+            let mut guard = self.shared.history.lock();
+            guard.as_mut().map(|h| {
+                let mut taken = std::mem::replace(h, ExecutionHistory::new(h.vertex_count()));
+                taken.finalize();
+                taken
+            })
+        };
+        Ok(RunReport {
+            phases: completed,
+            metrics: self.shared.metrics.snapshot(),
+            history,
+            trace: None,
+        })
+    }
+}
+
+impl Drop for LiveEngine {
+    fn drop(&mut self) {
+        // Don't leave detached workers behind if the caller never shut
+        // down cleanly (e.g. unwinding out of a test).
+        self.closing.store(true, Relaxed);
+        self.shared.progress.notify_all();
+        self.shared.queue.close();
+        if let Some(pool) = self.workers.lock().take() {
+            let _ = pool.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::{Module, PassThrough, SourceModule};
+    use crate::sequential::Sequential;
+    use crate::Engine;
+    use ec_events::sources::Counter;
+    use ec_events::Value;
+    use ec_graph::generators;
+
+    fn chain_modules(len: usize) -> Vec<Box<dyn Module>> {
+        let mut modules: Vec<Box<dyn Module>> = vec![Box::new(SourceModule::new(Counter::new()))];
+        for _ in 1..len {
+            modules.push(Box::new(PassThrough));
+        }
+        modules
+    }
+
+    fn live_chain(len: usize, threads: usize) -> LiveEngine {
+        let dag = generators::chain(len);
+        Engine::builder(dag, chain_modules(len))
+            .threads(threads)
+            .check_invariants(true)
+            .build()
+            .unwrap()
+            .into_live()
+    }
+
+    #[test]
+    fn admit_one_phase_at_a_time() {
+        let live = live_chain(3, 2);
+        for expect in 1..=5u64 {
+            assert_eq!(live.admit().unwrap(), expect);
+            assert_eq!(live.wait_idle().unwrap(), expect);
+        }
+        let report = live.shutdown().unwrap();
+        assert_eq!(report.phases, 5);
+        let history = report.history.unwrap();
+        let sink = live.numbering().vertex_at(3);
+        let vals: Vec<i64> = history
+            .sink_outputs_of(sink)
+            .iter()
+            .map(|(_, v)| v.as_i64().unwrap())
+            .collect();
+        assert_eq!(vals, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn burst_admission_matches_oracle() {
+        let live = live_chain(4, 4);
+        for _ in 0..20 {
+            live.admit().unwrap();
+        }
+        let report = live.shutdown().unwrap();
+
+        let dag = generators::chain(4);
+        let mut seq = Sequential::new(&dag, chain_modules(4)).unwrap();
+        seq.run(20).unwrap();
+        assert_eq!(
+            seq.into_history().equivalent(&report.history.unwrap()),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn retired_sinks_arrive_in_serial_order() {
+        let live = live_chain(2, 3);
+        let mut seen: Vec<(u64, i64)> = Vec::new();
+        for _ in 0..10 {
+            live.admit().unwrap();
+        }
+        let mut frontier = 0;
+        while frontier < 10 {
+            frontier = live
+                .wait_progress_for(frontier, Duration::from_millis(100))
+                .unwrap();
+            for r in live.drain_retired_sinks() {
+                seen.push((r.phase.get(), r.value.as_i64().unwrap()));
+            }
+        }
+        assert_eq!(seen, (1..=10).map(|p| (p, p as i64)).collect::<Vec<_>>());
+        // Nothing left after everything retired.
+        assert!(live.drain_retired_sinks().is_empty());
+        live.shutdown().unwrap();
+    }
+
+    #[test]
+    fn inflight_sinks_stay_buffered() {
+        // A 2-vertex chain where the sink blocks phase 1 until released:
+        // phases 2 and 3 cannot retire before phase 1, so their sink
+        // outputs must not be drained early.
+        use crate::module::{Emission, ExecCtx, FnModule};
+        use std::sync::mpsc;
+
+        let dag = generators::chain(2);
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let gate = std::sync::Mutex::new(release_rx);
+        let modules: Vec<Box<dyn Module>> = vec![
+            Box::new(SourceModule::new(Counter::new())),
+            Box::new(FnModule::new("gated-sink", move |ctx: ExecCtx<'_>| {
+                if ctx.phase == Phase(1) {
+                    gate.lock().unwrap().recv().unwrap();
+                }
+                match ctx.inputs.fresh.last() {
+                    Some((_, v)) => Emission::Broadcast(v.clone()),
+                    None => Emission::Silent,
+                }
+            })),
+        ];
+        let live = Engine::builder(dag, modules)
+            .threads(2)
+            .build()
+            .unwrap()
+            .into_live();
+        for _ in 0..3 {
+            live.admit().unwrap();
+        }
+        // Give workers a moment; nothing may retire while phase 1 blocks.
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(live.completed_through(), 0);
+        assert!(live.drain_retired_sinks().is_empty());
+        release_tx.send(()).unwrap();
+        live.wait_idle().unwrap();
+        let drained = live.drain_retired_sinks();
+        assert_eq!(drained.len(), 3);
+        assert!(drained.windows(2).all(|w| w[0].phase < w[1].phase));
+        live.shutdown().unwrap();
+    }
+
+    #[test]
+    fn throttle_bounds_inflight() {
+        use crate::module::{Emission, ExecCtx, FnModule};
+        use std::sync::mpsc;
+
+        let dag = generators::chain(2);
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let gate = std::sync::Mutex::new(release_rx);
+        let modules: Vec<Box<dyn Module>> = vec![
+            Box::new(SourceModule::new(Counter::new())),
+            Box::new(FnModule::new("slow-sink", move |_ctx: ExecCtx<'_>| {
+                gate.lock().unwrap().recv().unwrap();
+                Emission::Broadcast(Value::Unit)
+            })),
+        ];
+        let live = Engine::builder(dag, modules)
+            .threads(1)
+            .max_inflight(2)
+            .build()
+            .unwrap()
+            .into_live();
+        live.admit().unwrap();
+        live.admit().unwrap();
+        // Third admit must block on the throttle; release from a helper.
+        let started = std::time::Instant::now();
+        let releaser = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(60));
+            for _ in 0..3 {
+                release_tx.send(()).unwrap();
+            }
+        });
+        live.admit().unwrap();
+        assert!(
+            started.elapsed() >= Duration::from_millis(40),
+            "admit returned before the throttle released"
+        );
+        releaser.join().unwrap();
+        live.wait_idle().unwrap();
+        live.shutdown().unwrap();
+    }
+
+    #[test]
+    fn module_failure_surfaces_through_admit_or_wait() {
+        use crate::module::{Emission, ExecCtx, FnModule};
+        let dag = generators::chain(2);
+        let modules: Vec<Box<dyn Module>> = vec![
+            Box::new(SourceModule::new(Counter::new())),
+            Box::new(FnModule::new("bomb", |ctx: ExecCtx<'_>| {
+                if ctx.phase == Phase(2) {
+                    panic!("live failure");
+                }
+                Emission::Silent
+            })),
+        ];
+        let live = Engine::builder(dag, modules)
+            .threads(2)
+            .build()
+            .unwrap()
+            .into_live();
+        live.admit().unwrap();
+        live.admit().unwrap();
+        let err = live.wait_idle().unwrap_err();
+        assert!(matches!(err, EngineError::WorkerPanic(msg) if msg.contains("live failure")));
+        assert!(live.shutdown().is_err());
+    }
+
+    #[test]
+    fn shutdown_then_admit_errors() {
+        let live = live_chain(2, 1);
+        live.admit().unwrap();
+        live.shutdown().unwrap();
+        assert!(live.admit().is_err());
+    }
+}

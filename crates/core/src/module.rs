@@ -29,8 +29,7 @@ pub enum Emission {
 impl Emission {
     /// True if nothing is emitted.
     pub fn is_silent(&self) -> bool {
-        matches!(self, Emission::Silent)
-            || matches!(self, Emission::Targeted(t) if t.is_empty())
+        matches!(self, Emission::Silent) || matches!(self, Emission::Targeted(t) if t.is_empty())
     }
 }
 
@@ -67,10 +66,7 @@ impl<'a> InputView<'a> {
 
     /// The fresh message from `pred` this phase, if it sent one.
     pub fn fresh_from(&self, pred: VertexId) -> Option<&Value> {
-        self.fresh
-            .iter()
-            .find(|(p, _)| *p == pred)
-            .map(|(_, v)| v)
+        self.fresh.iter().find(|(p, _)| *p == pred).map(|(_, v)| v)
     }
 
     /// True if `pred` sent a message this phase.
@@ -485,9 +481,7 @@ mod tests {
     fn fn_module_runs_closure() {
         let mut m = FnModule::new("double", |ctx: ExecCtx<'_>| {
             match ctx.inputs.fresh.first() {
-                Some((_, v)) => {
-                    Emission::Broadcast(Value::Float(v.as_f64().unwrap() * 2.0))
-                }
+                Some((_, v)) => Emission::Broadcast(Value::Float(v.as_f64().unwrap() * 2.0)),
                 None => Emission::Silent,
             }
         });

@@ -86,9 +86,7 @@ mod tests {
 
     #[test]
     fn worker_indices_distinct() {
-        let seen = Arc::new(
-            (0..3).map(|_| AtomicUsize::new(0)).collect::<Vec<_>>(),
-        );
+        let seen = Arc::new((0..3).map(|_| AtomicUsize::new(0)).collect::<Vec<_>>());
         let s = Arc::clone(&seen);
         let pool = WorkerPool::spawn("ix", 3, move |i| {
             s[i].fetch_add(1, Ordering::SeqCst);

@@ -167,11 +167,8 @@ mod tests {
         const ITEMS: usize = 10_000;
         const CONSUMERS: usize = 8;
         let q = Arc::new(RunQueue::<usize>::new());
-        let seen: Arc<Vec<AtomicUsize>> = Arc::new(
-            (0..ITEMS)
-                .map(|_| AtomicUsize::new(0))
-                .collect::<Vec<_>>(),
-        );
+        let seen: Arc<Vec<AtomicUsize>> =
+            Arc::new((0..ITEMS).map(|_| AtomicUsize::new(0)).collect::<Vec<_>>());
 
         let consumers: Vec<_> = (0..CONSUMERS)
             .map(|_| {

@@ -94,8 +94,7 @@ impl Sequential {
                 )?;
                 self.executions += 1;
                 self.messages_sent += routed.messages.len() as u64;
-                self.history
-                    .record(slot.vertex_id, phase, routed.recorded);
+                self.history.record(slot.vertex_id, phase, routed.recorded);
                 if let Some(v) = routed.sink_value {
                     self.history.record_sink(slot.vertex_id, phase, v);
                 }

@@ -200,12 +200,7 @@ impl SchedState {
     /// computation process's statements 1.5–1.30.
     ///
     /// `outputs` are `(successor index, value)` messages for phase `p`.
-    pub fn finish_execution(
-        &mut self,
-        v: Idx,
-        p: u64,
-        outputs: Vec<(Idx, Value)>,
-    ) -> Transition {
+    pub fn finish_execution(&mut self, v: Idx, p: u64, outputs: Vec<(Idx, Value)>) -> Transition {
         let emitted = outputs.len();
         let mut out = Transition::default();
 
@@ -395,18 +390,13 @@ impl SchedState {
                 Some(mn) => (mn - 1).min(bound),
             };
             if ph.x != expect {
-                return Err(format!(
-                    "x_{q} = {} but definition gives {expect}",
-                    ph.x
-                ));
+                return Err(format!("x_{q} = {} but definition gives {expect}", ph.x));
             }
             let mx = self.m[ph.x as usize];
             // Definition (9): partial pairs have m(x_p) < v.
             for &w in &ph.partial {
                 if w <= mx {
-                    return Err(format!(
-                        "({w}, {q}) in partial but w ≤ m(x_{q}) = {mx}"
-                    ));
+                    return Err(format!("({w}, {q}) in partial but w ≤ m(x_{q}) = {mx}"));
                 }
                 if !ph.inbox.contains_key(&w) {
                     return Err(format!("({w}, {q}) in partial without messages"));
@@ -444,9 +434,7 @@ impl SchedState {
                     ));
                 }
                 (Some(rp), None) => {
-                    return Err(format!(
-                        "vertex {w}: ready phase {rp} but no full pairs"
-                    ));
+                    return Err(format!("vertex {w}: ready phase {rp} but no full pairs"));
                 }
                 (None, Some(&mn)) => {
                     return Err(format!(
@@ -507,7 +495,14 @@ mod tests {
         let (p1, tr) = st.start_phase();
         assert_eq!(p1, 1);
         assert_eq!(tr.tasks.len(), 1);
-        assert_eq!(tr.tasks[0], Task { idx: 1, phase: 1, inputs: vec![] });
+        assert_eq!(
+            tr.tasks[0],
+            Task {
+                idx: 1,
+                phase: 1,
+                inputs: vec![]
+            }
+        );
         st.check_invariants().unwrap();
 
         let tr = st.finish_execution(1, 1, vec![]);
@@ -585,7 +580,7 @@ mod tests {
         // Execute (1,1) emitting nothing; then (1,2) emitting to 2.
         let tr = st.finish_execution(1, 1, vec![]);
         assert_eq!(tr.tasks.len(), 1); // (1,2) ready
-        // Phase 1 complete, x_1 = N = 2.
+                                       // Phase 1 complete, x_1 = N = 2.
         assert_eq!(st.completed_through(), 1);
         let tr = st.finish_execution(1, 2, vec![(2, Value::Int(5))]);
         st.check_invariants().unwrap();
@@ -604,7 +599,7 @@ mod tests {
         let mut st = state_for(&dag);
         st.start_phase(); // phase 1: (1,1) ready
         st.start_phase(); // phase 2: (1,2) full, not ready
-        // Finish (1,1) with an output; (2,1) and (1,2) become ready.
+                          // Finish (1,1) with an output; (2,1) and (1,2) become ready.
         let tr = st.finish_execution(1, 1, vec![(2, Value::Int(1))]);
         let mut pairs: Vec<_> = tr.tasks.iter().map(|t| (t.idx, t.phase)).collect();
         pairs.sort_unstable();

@@ -115,9 +115,7 @@ impl Stepper {
             .pending
             .iter()
             .position(|t| t.idx == index && t.phase == phase)
-            .ok_or_else(|| {
-                EngineError::Config(format!("pair ({index}, {phase}) is not ready"))
-            })?;
+            .ok_or_else(|| EngineError::Config(format!("pair ({index}, {phase}) is not ready")))?;
         let task = self.pending.remove(pos);
         self.execute(task)
     }
@@ -198,8 +196,7 @@ mod tests {
 
     fn chain_stepper(len: usize) -> Stepper {
         let dag = generators::chain(len);
-        let mut modules: Vec<Box<dyn Module>> =
-            vec![Box::new(SourceModule::new(Counter::new()))];
+        let mut modules: Vec<Box<dyn Module>> = vec![Box::new(SourceModule::new(Counter::new()))];
         for _ in 1..len {
             modules.push(Box::new(PassThrough));
         }
@@ -270,7 +267,7 @@ mod tests {
         s.drain().unwrap();
         let t = s.take_trace();
         assert_eq!(t.len(), 3); // 1 start + 2 executions
-        // Trace continues recording after take.
+                                // Trace continues recording after take.
         s.start_phase();
         s.drain().unwrap();
         let t = s.take_trace();

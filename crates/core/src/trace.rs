@@ -69,9 +69,7 @@ impl SetSnapshot {
     pub fn full(&self) -> Vec<(u32, u64)> {
         self.entries
             .iter()
-            .filter(|(_, _, m)| {
-                matches!(m, SetMembership::FullOnly | SetMembership::FullAndReady)
-            })
+            .filter(|(_, _, m)| matches!(m, SetMembership::FullOnly | SetMembership::FullAndReady))
             .map(|(v, p, _)| (*v, *p))
             .collect()
     }
@@ -92,10 +90,7 @@ impl SetSnapshot {
     /// The recorded `x_p` for `phase`, if the phase was in the active
     /// window at snapshot time.
     pub fn x_of(&self, phase: u64) -> Option<u32> {
-        self.x
-            .iter()
-            .find(|(p, _)| *p == phase)
-            .map(|(_, x)| *x)
+        self.x.iter().find(|(p, _)| *p == phase).map(|(_, x)| *x)
     }
 }
 

@@ -41,11 +41,7 @@ pub fn snapshot_to_dot(
                 Some(SetMembership::FullOnly) => "octagon",
                 Some(SetMembership::FullAndReady) => "square",
             };
-            writeln!(
-                out,
-                "    p{phase}_n{idx} [label=\"{idx}\", shape={shape}];"
-            )
-            .unwrap();
+            writeln!(out, "    p{phase}_n{idx} [label=\"{idx}\", shape={shape}];").unwrap();
         }
         for (a, b) in dag.edges() {
             writeln!(

@@ -50,8 +50,7 @@ impl VertexSlot {
             )));
         }
         // Reorder modules (indexed by VertexId) into schedule order.
-        let mut by_vertex: Vec<Option<Box<dyn Module>>> =
-            modules.into_iter().map(Some).collect();
+        let mut by_vertex: Vec<Option<Box<dyn Module>>> = modules.into_iter().map(Some).collect();
         let slots = numbering
             .schedule_order()
             .map(|v| {
@@ -282,7 +281,10 @@ mod tests {
             &numbering,
         )
         .unwrap();
-        assert_eq!(routed.messages, vec![(2, Value::Int(2)), (3, Value::Int(3))]);
+        assert_eq!(
+            routed.messages,
+            vec![(2, Value::Int(2)), (3, Value::Int(3))]
+        );
 
         // Non-successor target rejected.
         let bad = route_emission(

@@ -282,8 +282,7 @@ mod tests {
     #[test]
     fn replay_emits_then_silences() {
         let mut src = CsvReplay::from_csv("v\n1.5\n\n2.5\n", 0, true).unwrap();
-        let out: Vec<Option<Value>> =
-            Phase::first_n(5).map(|p| src.poll(p)).collect();
+        let out: Vec<Option<Value>> = Phase::first_n(5).map(|p| src.poll(p)).collect();
         assert_eq!(
             out,
             vec![

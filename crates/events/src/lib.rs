@@ -24,6 +24,7 @@
 
 pub mod csv;
 pub mod event;
+pub mod live;
 pub mod phase;
 pub mod reorder;
 pub mod sources;
@@ -33,6 +34,7 @@ pub mod value;
 pub mod window;
 
 pub use event::Event;
+pub use live::{FeedWriter, LiveFeed};
 pub use phase::Phase;
 pub use sources::EventSource;
 pub use timestamp::Timestamp;

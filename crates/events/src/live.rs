@@ -1,0 +1,152 @@
+//! Live-fed event sources.
+//!
+//! Every source in [`crate::sources`] is scripted: its whole event
+//! stream is determined at construction. A live system needs the
+//! opposite — a source whose per-phase values are decided *while the
+//! engine runs*, by events arriving from the outside world.
+//!
+//! [`LiveFeed`] is that source. It polls per-phase bins from a shared
+//! queue that a [`FeedWriter`] fills at runtime: the streaming runtime
+//! stages exactly one bin per source before admitting each phase, so by
+//! the time the engine polls the source, its value for that phase is
+//! already fixed. This staging discipline is what keeps live execution
+//! deterministic after the fact: the sequence of bins *is* the
+//! materialized phase script, and replaying it through
+//! [`Replay`](crate::sources::Replay) reproduces the run exactly.
+
+use crate::phase::Phase;
+use crate::sources::EventSource;
+use crate::value::Value;
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Shared bin queue between a [`LiveFeed`] and its [`FeedWriter`].
+#[derive(Debug, Default)]
+struct FeedQueue {
+    bins: VecDeque<Option<Value>>,
+    /// Bins ever pushed (for diagnostics).
+    pushed: u64,
+    /// Polls that found no staged bin (should stay 0 under a correctly
+    /// sequenced runtime; counted instead of panicking so a misuse is
+    /// observable without bringing the engine down).
+    underruns: u64,
+}
+
+/// An [`EventSource`] whose per-phase values are staged at runtime.
+///
+/// Poll order consumes bins FIFO. Polling with no staged bin yields
+/// `None` (a silent phase) and increments the underrun counter — the
+/// runtime that owns the feed treats underruns as a sequencing bug.
+#[derive(Debug)]
+pub struct LiveFeed {
+    queue: Arc<Mutex<FeedQueue>>,
+}
+
+impl LiveFeed {
+    /// Creates a live feed and the writer that fills it.
+    pub fn channel() -> (LiveFeed, FeedWriter) {
+        let queue = Arc::new(Mutex::new(FeedQueue::default()));
+        (
+            LiveFeed {
+                queue: Arc::clone(&queue),
+            },
+            FeedWriter { queue },
+        )
+    }
+}
+
+impl EventSource for LiveFeed {
+    fn poll(&mut self, _phase: Phase) -> Option<Value> {
+        let mut q = self.queue.lock().unwrap_or_else(PoisonError::into_inner);
+        match q.bins.pop_front() {
+            Some(bin) => bin,
+            None => {
+                q.underruns += 1;
+                None
+            }
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        "live-feed"
+    }
+}
+
+/// The staging half of a [`LiveFeed`].
+///
+/// Cloneable; all clones feed the same queue.
+#[derive(Debug, Clone)]
+pub struct FeedWriter {
+    queue: Arc<Mutex<FeedQueue>>,
+}
+
+impl FeedWriter {
+    /// Stages the bin for the next not-yet-staged phase: `Some(v)` for
+    /// a value, `None` for a silent phase.
+    pub fn stage(&self, bin: Option<Value>) {
+        let mut q = self.queue.lock().unwrap_or_else(PoisonError::into_inner);
+        q.bins.push_back(bin);
+        q.pushed += 1;
+    }
+
+    /// Bins staged but not yet consumed by the engine.
+    pub fn staged(&self) -> usize {
+        self.queue
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .bins
+            .len()
+    }
+
+    /// Polls that found no staged bin (0 under correct sequencing).
+    pub fn underruns(&self) -> u64 {
+        self.queue
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .underruns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn staged_bins_come_back_in_order() {
+        let (mut feed, writer) = LiveFeed::channel();
+        writer.stage(Some(Value::Int(1)));
+        writer.stage(None);
+        writer.stage(Some(Value::Int(3)));
+        assert_eq!(writer.staged(), 3);
+        assert_eq!(feed.poll(Phase(1)), Some(Value::Int(1)));
+        assert_eq!(feed.poll(Phase(2)), None);
+        assert_eq!(feed.poll(Phase(3)), Some(Value::Int(3)));
+        assert_eq!(writer.staged(), 0);
+        assert_eq!(writer.underruns(), 0);
+    }
+
+    #[test]
+    fn underrun_is_silent_but_counted() {
+        let (mut feed, writer) = LiveFeed::channel();
+        assert_eq!(feed.poll(Phase(1)), None);
+        assert_eq!(writer.underruns(), 1);
+        writer.stage(Some(Value::Int(7)));
+        assert_eq!(feed.poll(Phase(2)), Some(Value::Int(7)));
+        assert_eq!(writer.underruns(), 1);
+    }
+
+    #[test]
+    fn writer_clones_share_the_queue() {
+        let (mut feed, writer) = LiveFeed::channel();
+        let w2 = writer.clone();
+        w2.stage(Some(Value::Int(9)));
+        assert_eq!(writer.staged(), 1);
+        assert_eq!(feed.poll(Phase(1)), Some(Value::Int(9)));
+    }
+
+    #[test]
+    fn kind_reports_live_feed() {
+        let (feed, _w) = LiveFeed::channel();
+        assert_eq!(feed.kind(), "live-feed");
+    }
+}

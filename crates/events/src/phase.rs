@@ -13,9 +13,7 @@ use std::fmt;
 ///
 /// `Phase(0)` is reserved as the "before any phase" sentinel used by the
 /// scheduler's `x_0 = N` convention; real phases start at [`Phase::FIRST`].
-#[derive(
-    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default)]
 pub struct Phase(pub u64);
 
 impl Phase {

@@ -304,7 +304,10 @@ mod tests {
         };
         let short = run(20);
         let long = run(110);
-        assert!(short > 0.0, "20 µs wait must lose some 0-100 µs-delayed events");
+        assert!(
+            short > 0.0,
+            "20 µs wait must lose some 0-100 µs-delayed events"
+        );
         assert_eq!(long, 0.0, "waiting past the max delay loses nothing");
         assert!(short > long);
     }

@@ -144,8 +144,7 @@ impl Diurnal {
 
 impl EventSource for Diurnal {
     fn poll(&mut self, phase: Phase) -> Option<Value> {
-        let theta = (phase.get() % self.period) as f64 / self.period as f64
-            * std::f64::consts::TAU;
+        let theta = (phase.get() % self.period) as f64 / self.period as f64 * std::f64::consts::TAU;
         let eps: f64 = self.rng.gen_range(-1.0..=1.0) * self.noise;
         Some(Value::Float(self.mean + self.amplitude * theta.sin() + eps))
     }
@@ -330,7 +329,10 @@ mod tests {
     #[test]
     fn replay_dense() {
         let mut s = Replay::dense(vec![Value::Int(1), Value::Int(2)]);
-        assert_eq!(drain(&mut s, 2), vec![Some(Value::Int(1)), Some(Value::Int(2))]);
+        assert_eq!(
+            drain(&mut s, 2),
+            vec![Some(Value::Int(1)), Some(Value::Int(2))]
+        );
     }
 
     #[test]
@@ -367,10 +369,7 @@ mod tests {
     #[test]
     fn sparse_rate_matches_probability() {
         let mut s = Sparse::counter(0.01, 7);
-        let emitted = drain(&mut s, 10_000)
-            .iter()
-            .filter(|v| v.is_some())
-            .count();
+        let emitted = drain(&mut s, 10_000).iter().filter(|v| v.is_some()).count();
         // Binomial(10000, 0.01): mean 100, σ ≈ 10. Allow ±5σ.
         assert!((50..=150).contains(&emitted), "emitted = {emitted}");
     }

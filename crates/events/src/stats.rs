@@ -290,7 +290,11 @@ impl P2Quantile {
 
     fn parabolic(&self, i: usize, d: f64) -> f64 {
         let (hm, h, hp) = (self.heights[i - 1], self.heights[i], self.heights[i + 1]);
-        let (nm, n, np) = (self.positions[i - 1], self.positions[i], self.positions[i + 1]);
+        let (nm, n, np) = (
+            self.positions[i - 1],
+            self.positions[i],
+            self.positions[i + 1],
+        );
         h + d / (np - nm)
             * ((n - nm + d) * (hp - h) / (np - n) + (np - n - d) * (h - hm) / (n - nm))
     }

@@ -178,7 +178,10 @@ mod tests {
     #[test]
     fn accessors() {
         assert_eq!(Value::text("hi").as_text(), Some("hi"));
-        assert_eq!(Value::vector(vec![1.0, 2.0]).as_vector(), Some(&[1.0, 2.0][..]));
+        assert_eq!(
+            Value::vector(vec![1.0, 2.0]).as_vector(),
+            Some(&[1.0, 2.0][..])
+        );
         assert_eq!(Value::Bool(false).as_bool(), Some(false));
         assert_eq!(Value::Unit.as_bool(), None);
     }

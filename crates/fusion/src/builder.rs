@@ -10,7 +10,7 @@
 use ec_core::{
     BarrierParallel, Engine, EngineBuilder, EngineError, Module, Sequential, SourceModule,
 };
-use ec_events::EventSource;
+use ec_events::{EventSource, FeedWriter, LiveFeed};
 use ec_graph::{Dag, VertexId};
 
 /// A reference to a node created by the builder.
@@ -51,6 +51,16 @@ impl CorrelatorBuilder {
         NodeHandle { vertex }
     }
 
+    /// Adds a live source node: its per-phase values are staged through
+    /// the returned [`FeedWriter`] while the engine runs, instead of
+    /// being scripted up front. The streaming runtime (`ec-runtime`)
+    /// builds on this to ingest external events.
+    pub fn live_source(&mut self, name: impl Into<String>) -> (NodeHandle, FeedWriter) {
+        let (feed, writer) = LiveFeed::channel();
+        let handle = self.source(name, feed);
+        (handle, writer)
+    }
+
     /// Adds a source node from a boxed generator.
     pub fn source_box(
         &mut self,
@@ -58,7 +68,8 @@ impl CorrelatorBuilder {
         generator: Box<dyn EventSource>,
     ) -> NodeHandle {
         let vertex = self.dag.add_vertex(name);
-        self.modules.push(Box::new(SourceModule::from_box(generator)));
+        self.modules
+            .push(Box::new(SourceModule::from_box(generator)));
         NodeHandle { vertex }
     }
 
@@ -191,6 +202,33 @@ mod tests {
         let mut b = CorrelatorBuilder::new();
         let s = b.source("s", Counter::new());
         b.add("dup", Aggregate::sum(), &[s, s]);
+    }
+
+    #[test]
+    fn live_source_is_fed_at_runtime() {
+        use ec_events::Value;
+        let mut b = CorrelatorBuilder::new();
+        let (tx, writer) = b.live_source("tx");
+        let alarm = b.add("alarm", Threshold::above(5.0), &[tx]);
+        // Stage three phases of input, then run them.
+        for v in [1.0, 9.0, 2.0] {
+            writer.stage(Some(Value::Float(v)));
+        }
+        let mut seq = b.sequential().unwrap();
+        seq.run(3).unwrap();
+        let outs = seq.into_history().sink_outputs_of(alarm.vertex());
+        // false (phase 1), true (phase 2), false (phase 3).
+        assert_eq!(
+            outs.iter()
+                .map(|(p, v)| (p.get(), v.clone()))
+                .collect::<Vec<_>>(),
+            vec![
+                (1, Value::Bool(false)),
+                (2, Value::Bool(true)),
+                (3, Value::Bool(false)),
+            ]
+        );
+        assert_eq!(writer.underruns(), 0);
     }
 
     #[test]

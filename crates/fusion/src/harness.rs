@@ -18,10 +18,7 @@ use ec_graph::Dag;
 ///
 /// `inputs[k]` is the message (or silence) the source sends in phase
 /// `k + 1`; the run covers exactly `inputs.len()` phases.
-pub fn run_unary(
-    module: impl Module + 'static,
-    inputs: Vec<Option<Value>>,
-) -> Vec<(u64, Value)> {
+pub fn run_unary(module: impl Module + 'static, inputs: Vec<Option<Value>>) -> Vec<(u64, Value)> {
     let phases = inputs.len() as u64;
     let mut dag = Dag::new();
     let src = dag.add_vertex("src");
@@ -87,19 +84,13 @@ mod tests {
     #[test]
     fn unary_passthrough_roundtrip() {
         let out = run_unary(PassThrough, floats(&[1.0, 2.0]));
-        assert_eq!(
-            out,
-            vec![(1, Value::Float(1.0)), (2, Value::Float(2.0))]
-        );
+        assert_eq!(out, vec![(1, Value::Float(1.0)), (2, Value::Float(2.0))]);
     }
 
     #[test]
     fn unary_silence_produces_no_output() {
         let out = run_unary(PassThrough, sparse_floats(&[Some(1.0), None, Some(3.0)]));
-        assert_eq!(
-            out,
-            vec![(1, Value::Float(1.0)), (3, Value::Float(3.0))]
-        );
+        assert_eq!(out, vec![(1, Value::Float(1.0)), (3, Value::Float(3.0))]);
     }
 
     #[test]
@@ -109,10 +100,7 @@ mod tests {
             floats(&[1.0, 2.0]),
             floats(&[10.0, 20.0]),
         );
-        assert_eq!(
-            out,
-            vec![(1, Value::Float(11.0)), (2, Value::Float(22.0))]
-        );
+        assert_eq!(out, vec![(1, Value::Float(11.0)), (2, Value::Float(22.0))]);
     }
 
     #[test]

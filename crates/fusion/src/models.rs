@@ -72,9 +72,7 @@ impl Module for BoilerModel {
         let d_t = (power - self.loss * (self.temperature - ambient)) / self.capacity;
         self.temperature += d_t;
         match self.last_reported {
-            Some(prev) if (self.temperature - prev).abs() <= self.report_band => {
-                Emission::Silent
-            }
+            Some(prev) if (self.temperature - prev).abs() <= self.report_band => Emission::Silent,
             _ => {
                 self.last_reported = Some(self.temperature);
                 Emission::Broadcast(Value::Float(self.temperature))
@@ -206,9 +204,7 @@ impl Module for KMeansTracker {
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN centroids"));
         let candidate = Value::vector(sorted);
         // Report only on meaningful movement.
-        if let (Some(Value::Vector(prev)), Value::Vector(cur)) =
-            (&self.last_reported, &candidate)
-        {
+        if let (Some(Value::Vector(prev)), Value::Vector(cur)) = (&self.last_reported, &candidate) {
             let moved = prev
                 .iter()
                 .zip(cur.iter())
@@ -235,11 +231,7 @@ mod tests {
         // Constant ambient 20 °C and power 100: equilibrium at
         // ambient + power/loss = 20 + 100/5 = 40 °C.
         let boiler = BoilerModel::new(20.0, 10.0, 5.0, 0.0);
-        let out = run_binary(
-            boiler,
-            floats(&[20.0; 200]),
-            floats(&[100.0; 200]),
-        );
+        let out = run_binary(boiler, floats(&[20.0; 200]), floats(&[100.0; 200]));
         let last = out.last().unwrap().1.as_f64().unwrap();
         assert!((last - 40.0).abs() < 0.5, "T = {last}");
         // Monotone rise toward equilibrium.

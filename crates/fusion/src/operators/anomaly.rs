@@ -93,7 +93,10 @@ impl Module for RegressionOutlier {
             return Emission::Silent;
         };
         let outlier = if self.regression.len() >= self.min_samples {
-            match (self.regression.residual(y), self.regression.residual_stddev()) {
+            match (
+                self.regression.residual(y),
+                self.regression.residual_stddev(),
+            ) {
                 (Some(r), Some(sd)) if sd > 1e-12 => r.abs() > self.sigma * sd,
                 // Perfectly linear history: any deviation is an outlier.
                 (Some(r), Some(_)) => r.abs() > 1e-9,

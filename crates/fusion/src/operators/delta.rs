@@ -142,7 +142,10 @@ mod tests {
 
     #[test]
     fn debounce_rate_limits() {
-        let out = run_unary(Debounce::new(2), floats(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]));
+        let out = run_unary(
+            Debounce::new(2),
+            floats(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]),
+        );
         let phases: Vec<u64> = out.iter().map(|(p, _)| *p).collect();
         assert_eq!(phases, vec![1, 4, 7]);
     }
@@ -161,10 +164,7 @@ mod tests {
             floats(&[10.0, 20.0, 30.0, 40.0]),
             sparse_floats(&[None, Some(1.0), None, Some(1.0)]),
         );
-        assert_eq!(
-            out,
-            vec![(2, Value::Float(20.0)), (4, Value::Float(40.0))]
-        );
+        assert_eq!(out, vec![(2, Value::Float(20.0)), (4, Value::Float(40.0))]);
     }
 
     #[test]

@@ -57,7 +57,13 @@ fn render(dag: &Dag, name: &str, numbering: Option<&Numbering>) -> String {
 fn sanitize(name: &str) -> String {
     let cleaned: String = name
         .chars()
-        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
     if cleaned.chars().next().is_none_or(|c| c.is_ascii_digit()) {
         format!("g_{cleaned}")

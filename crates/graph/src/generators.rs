@@ -178,8 +178,19 @@ pub fn fig1_graph() -> Dag {
 /// left-hand table — see the tests in [`crate::numbering`].
 pub fn fig2_graph() -> Dag {
     let mut dag = Dag::with_capacity(7);
-    let v: Vec<VertexId> = (0..7).map(|i| dag.add_vertex(format!("f2n{}", i + 1))).collect();
-    let edges_1based = [(1, 4), (2, 4), (2, 5), (3, 5), (3, 6), (5, 6), (4, 7), (6, 7)];
+    let v: Vec<VertexId> = (0..7)
+        .map(|i| dag.add_vertex(format!("f2n{}", i + 1)))
+        .collect();
+    let edges_1based = [
+        (1, 4),
+        (2, 4),
+        (2, 5),
+        (3, 5),
+        (3, 6),
+        (5, 6),
+        (4, 7),
+        (6, 7),
+    ];
     for (a, b) in edges_1based {
         dag.add_edge(v[a - 1], v[b - 1]).unwrap();
     }
@@ -195,7 +206,9 @@ pub fn fig2_graph() -> Dag {
 /// suite replays the caption's eight steps against this graph.
 pub fn fig3_graph() -> Dag {
     let mut dag = Dag::with_capacity(6);
-    let v: Vec<VertexId> = (0..6).map(|i| dag.add_vertex(format!("f3n{}", i + 1))).collect();
+    let v: Vec<VertexId> = (0..6)
+        .map(|i| dag.add_vertex(format!("f3n{}", i + 1)))
+        .collect();
     let edges_1based = [(1, 3), (2, 3), (2, 4), (3, 5), (4, 5), (5, 6)];
     for (a, b) in edges_1based {
         dag.add_edge(v[a - 1], v[b - 1]).unwrap();

@@ -34,10 +34,7 @@ impl Partition {
     /// Builds from an explicit assignment (validated against `k`).
     pub fn new(part_of: Vec<u32>, k: u32) -> Partition {
         assert!(k >= 1, "need at least one partition");
-        assert!(
-            part_of.iter().all(|&p| p < k),
-            "partition ids must be < k"
-        );
+        assert!(part_of.iter().all(|&p| p < k), "partition ids must be < k");
         Partition { part_of, k }
     }
 

@@ -156,7 +156,10 @@ mod tests {
         let dag = generators::layered(6, 3, 2, 5);
         let t = Topology::analyze(&dag);
         assert_eq!(t.depth(), 6);
-        assert_eq!(t.level_widths().iter().sum::<u32>() as usize, dag.vertex_count());
+        assert_eq!(
+            t.level_widths().iter().sum::<u32>() as usize,
+            dag.vertex_count()
+        );
     }
 
     #[test]

@@ -1,0 +1,55 @@
+//! Runtime error types.
+
+use ec_core::EngineError;
+use std::fmt;
+
+/// Errors surfaced by the streaming runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuntimeError {
+    /// The underlying engine failed (module panic, invalid emission, …).
+    Engine(EngineError),
+    /// The runtime has been shut down.
+    Closed,
+    /// Invalid configuration or wiring.
+    Config(String),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Engine(e) => write!(f, "engine error: {e}"),
+            RuntimeError::Closed => write!(f, "runtime is shut down"),
+            RuntimeError::Config(msg) => write!(f, "runtime configuration error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+impl From<EngineError> for RuntimeError {
+    fn from(e: EngineError) -> RuntimeError {
+        RuntimeError::Engine(e)
+    }
+}
+
+/// Errors surfaced by [`SourceHandle::push`](crate::SourceHandle::push).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The source's ingest queue is full (only under
+    /// [`Backpressure::Reject`](crate::Backpressure::Reject); with
+    /// `Block` the push waits instead).
+    Full,
+    /// The runtime has been shut down.
+    Closed,
+}
+
+impl fmt::Display for PushError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PushError::Full => write!(f, "ingest queue full"),
+            PushError::Closed => write!(f, "runtime is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for PushError {}

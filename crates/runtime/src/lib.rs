@@ -1,0 +1,65 @@
+//! # ec-runtime — the online streaming runtime
+//!
+//! The batch engine (`ec-core`) requires every source to be scripted in
+//! advance. This crate is the missing online half: a long-running,
+//! push-based service wrapping the same pipelined, serializable engine.
+//!
+//! * [`StreamRuntime`] — owns a correlator graph and the live engine;
+//!   runs until shut down.
+//! * [`SourceHandle`] — bounded, backpressured ingestion for one live
+//!   source ([`Backpressure::Block`] or [`Backpressure::Reject`]).
+//! * [`EpochPolicy`] — how arriving events are binned into phases:
+//!   explicit [`flush`](StreamRuntime::flush), event count, or a
+//!   wall-clock ticker (empty epochs keep time-driven operators
+//!   advancing through quiet periods).
+//! * subscriptions — sink emissions are delivered to callbacks in
+//!   **serial order** as phases retire, so an online observer sees
+//!   exactly the sequential oracle's output order.
+//! * [`PhaseScript`] — the committed event-to-phase binning; replaying
+//!   it through the [`Sequential`](ec_core::Sequential) oracle must
+//!   (and, per the test suite, does) reproduce the live run's
+//!   [`ExecutionHistory`](ec_core::ExecutionHistory) exactly. That is
+//!   the paper's serializability requirement extended to live
+//!   ingestion.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use ec_runtime::{StreamRuntime, EpochPolicy};
+//! use ec_fusion::operators::threshold::Threshold;
+//!
+//! let mut b = StreamRuntime::builder().threads(2);
+//! let tx = b.live_source("tx");
+//! let alarm = b.add("alarm", Threshold::above(100.0), &[tx]);
+//! let rt = b.build().unwrap();
+//!
+//! let big_txs = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+//! let seen = std::sync::Arc::clone(&big_txs);
+//! rt.subscribe(move |e| {
+//!     seen.lock().unwrap().push((e.phase, e.value.clone()));
+//! });
+//!
+//! let handle = rt.handle(tx).unwrap();
+//! for amount in [12.0, 340.0, 7.0] {
+//!     handle.push(amount).unwrap();
+//! }
+//! rt.flush().unwrap();                     // seal the epoch: 3 phases
+//! let report = rt.shutdown().unwrap();     // drain + stop
+//! assert_eq!(report.phases, 3);
+//! assert_eq!(report.script.event_count(), 3);
+//! // alarm flipped false (phase 1) -> true (phase 2) -> false (phase 3)
+//! assert_eq!(big_txs.lock().unwrap().len(), 3);
+//! let _ = alarm;
+//! ```
+
+#![warn(missing_docs)]
+
+mod error;
+mod policy;
+mod runtime;
+mod script;
+
+pub use error::{PushError, RuntimeError};
+pub use policy::{Backpressure, EpochPolicy};
+pub use runtime::{RuntimeReport, SinkEmission, SourceHandle, StreamRuntime, StreamRuntimeBuilder};
+pub use script::PhaseScript;

@@ -1,0 +1,48 @@
+//! Epoch and backpressure policies.
+
+use std::time::Duration;
+
+/// When arriving events are sealed into phases.
+///
+/// The paper's model (§2) treats "all events arriving at the same
+/// instant" as one phase. A live runtime has to *choose* those
+/// instants; the policy is that choice. Whatever the policy, sealing is
+/// the commit point: once sealed, a binning is immutable and recorded
+/// in the run's [`PhaseScript`](crate::PhaseScript).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EpochPolicy {
+    /// Seal only on explicit [`flush`](crate::StreamRuntime::flush) /
+    /// [`tick`](crate::StreamRuntime::tick) calls.
+    Manual,
+    /// Seal automatically whenever this many events are buffered across
+    /// all live sources (and on explicit flushes).
+    ByCount(usize),
+    /// A background ticker seals at this interval — the paper's
+    /// environment process that "sleeps for some amount of time"
+    /// between phases (Listing 2). Quiet intervals seal an *empty*
+    /// phase, so time-driven operators keep advancing.
+    ByInterval(Duration),
+}
+
+/// What a push into a full ingest queue does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backpressure {
+    /// The pushing thread blocks until an epoch seal drains the queue
+    /// (or the runtime shuts down). Lossless; propagates pressure to
+    /// producers.
+    #[default]
+    Block,
+    /// The push fails with [`PushError::Full`](crate::PushError::Full).
+    /// Lossy but never blocks; producers decide what to drop.
+    Reject,
+}
+
+impl EpochPolicy {
+    /// True if `buffered` events warrant an automatic seal.
+    pub(crate) fn should_seal(&self, buffered: usize) -> bool {
+        match self {
+            EpochPolicy::ByCount(n) => buffered >= *n,
+            EpochPolicy::Manual | EpochPolicy::ByInterval(_) => false,
+        }
+    }
+}

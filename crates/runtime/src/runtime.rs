@@ -1,0 +1,693 @@
+//! The streaming runtime: live ingestion over the pipelined engine.
+//!
+//! ```text
+//!  producers ──push──▶ SourceHandle queues (bounded, backpressured)
+//!                         │ seal (flush / count / tick)
+//!                         ▼
+//!                  PhaseScript row + LiveFeed bins
+//!                         │ admit
+//!                         ▼
+//!              LiveEngine (k workers, pipelined phases)
+//!                         │ phases retire in order
+//!                         ▼
+//!              delivery thread ──▶ subscribers (serial order)
+//! ```
+//!
+//! The runtime never touches the scheduling algorithm: it only decides
+//! *when* the environment step runs (epoch sealing) and observes sink
+//! emissions *after* their phase has retired. Serializability is
+//! therefore inherited from the engine, and every run commits a
+//! [`PhaseScript`] that replays the exact same history through the
+//! sequential oracle.
+
+use crate::error::{PushError, RuntimeError};
+use crate::policy::{Backpressure, EpochPolicy};
+use crate::script::PhaseScript;
+use ec_core::{ExecutionHistory, LiveEngine, MetricsSnapshot};
+use ec_events::{FeedWriter, Value};
+use ec_fusion::{CorrelatorBuilder, NodeHandle};
+use ec_graph::VertexId;
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// One registered live source.
+struct LiveSource {
+    name: String,
+    vertex: VertexId,
+    writer: FeedWriter,
+}
+
+/// Ingest state: the bounded per-source queues and the committed
+/// script. One mutex for all of it, so a seal is atomic with respect
+/// to every push — the interleaving of pushes and flushes is always a
+/// well-defined sequence of committed rows.
+struct Ingest {
+    queues: Vec<VecDeque<Value>>,
+    rows: Vec<Vec<Option<Value>>>,
+}
+
+impl Ingest {
+    fn buffered(&self) -> usize {
+        self.queues.iter().map(VecDeque::len).sum()
+    }
+}
+
+/// A sink emission delivered to subscribers, in serial (phase, vertex)
+/// order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SinkEmission {
+    /// The sink node's name (as given to the builder).
+    pub name: String,
+    /// The sink vertex.
+    pub vertex: VertexId,
+    /// The phase that produced the value.
+    pub phase: u64,
+    /// The emitted value.
+    pub value: Value,
+}
+
+type Subscriber = Box<dyn FnMut(&SinkEmission) + Send>;
+
+struct RuntimeShared {
+    engine: LiveEngine,
+    ingest: Mutex<Ingest>,
+    /// Signalled when a seal drains the queues (or shutdown begins);
+    /// waited on by blocked pushers.
+    space: Condvar,
+    subs: Mutex<Vec<Subscriber>>,
+    /// No more pushes/seals accepted.
+    stop: AtomicBool,
+    /// Stops the interval ticker (set before the final flush so the
+    /// ticker cannot race extra phases into a closing runtime).
+    ticker_stop: AtomicBool,
+    live: Vec<LiveSource>,
+    /// Vertex names, indexed by `VertexId::index()`.
+    names: Vec<String>,
+    policy: EpochPolicy,
+    backpressure: Backpressure,
+    capacity: usize,
+    /// Record committed rows into the [`PhaseScript`]. Off for
+    /// long-running services, where the script would grow without
+    /// bound.
+    record_script: bool,
+}
+
+impl RuntimeShared {
+    /// Seals the current epoch: commits `max(longest queue, min_phases)`
+    /// phases, staging one bin per live source per phase. Caller holds
+    /// the ingest lock.
+    fn seal_locked(&self, ingest: &mut Ingest, min_phases: u64) -> Result<u64, RuntimeError> {
+        let longest = ingest.queues.iter().map(VecDeque::len).max().unwrap_or(0) as u64;
+        let phases = longest.max(min_phases);
+        for committed in 0..phases {
+            let row: Vec<Option<Value>> =
+                ingest.queues.iter_mut().map(VecDeque::pop_front).collect();
+            for (source, bin) in self.live.iter().zip(row.iter()) {
+                source.writer.stage(bin.clone());
+            }
+            if self.record_script {
+                ingest.rows.push(row);
+            }
+            // Admit may block on the engine's in-flight throttle; the
+            // workers drain independently, so this self-resolves.
+            if let Err(e) = self.engine.admit() {
+                // Keep the script consistent with what actually ran: a
+                // refused admission (engine failed or closing) must not
+                // leave a committed row behind. The staged bins are
+                // never polled — the engine admits no further phases.
+                if self.record_script {
+                    ingest.rows.pop();
+                }
+                if committed > 0 {
+                    self.space.notify_all();
+                }
+                return Err(e.into());
+            }
+        }
+        if phases > 0 {
+            self.space.notify_all();
+        }
+        Ok(phases)
+    }
+
+    fn deliver(&self, records: Vec<ec_core::SinkRecord>) {
+        if records.is_empty() {
+            return;
+        }
+        let mut subs = self.subs.lock();
+        for r in records {
+            let emission = SinkEmission {
+                name: self.names[r.vertex.index()].clone(),
+                vertex: r.vertex,
+                phase: r.phase.get(),
+                value: r.value,
+            };
+            for sub in subs.iter_mut() {
+                sub(&emission);
+            }
+        }
+    }
+
+    /// The delivery loop: waits for phases to retire and forwards their
+    /// sink emissions to subscribers in serial order.
+    fn delivery_loop(&self) {
+        let mut last = 0u64;
+        loop {
+            let frontier = match self
+                .engine
+                .wait_progress_for(last, Duration::from_millis(50))
+            {
+                Ok(f) => f,
+                Err(_) => {
+                    // Engine failed: nothing further will retire (the
+                    // error surfaces through shutdown()/wait_idle()),
+                    // but phases that did retire still get delivered.
+                    self.deliver(self.engine.drain_retired_sinks());
+                    break;
+                }
+            };
+            let progressed = frontier > last;
+            if progressed {
+                self.deliver(self.engine.drain_retired_sinks());
+                last = frontier;
+            }
+            if self.stop.load(Relaxed) {
+                // Shutdown path: everything admitted has completed by
+                // now; one final drain empties the buffer.
+                self.deliver(self.engine.drain_retired_sinks());
+                break;
+            }
+            if !progressed {
+                // No progress: either the 50 ms wait timed out (idle
+                // stream) or the engine is quiescing for shutdown, in
+                // which case wait_progress_for returns immediately —
+                // pause briefly so that window doesn't busy-spin on the
+                // scheduler lock while workers drain.
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+    }
+}
+
+/// Builds a [`StreamRuntime`]: graph wiring plus runtime policy.
+///
+/// Wraps a [`CorrelatorBuilder`], adding live sources; operators and
+/// scripted sources pass through to the correlator untouched.
+pub struct StreamRuntimeBuilder {
+    correlator: CorrelatorBuilder,
+    live: Vec<LiveSource>,
+    policy: EpochPolicy,
+    backpressure: Backpressure,
+    capacity: usize,
+    threads: usize,
+    max_inflight: u64,
+    record_history: bool,
+    record_script: bool,
+    subs: Vec<Subscriber>,
+}
+
+impl Default for StreamRuntimeBuilder {
+    fn default() -> Self {
+        StreamRuntimeBuilder::new()
+    }
+}
+
+impl StreamRuntimeBuilder {
+    /// New empty builder with defaults: manual epochs, blocking
+    /// backpressure, 1024-event queues, 4 threads, engine-default
+    /// in-flight bound, history recording on.
+    pub fn new() -> StreamRuntimeBuilder {
+        StreamRuntimeBuilder::from_correlator(CorrelatorBuilder::new(), Vec::new())
+    }
+
+    /// Wraps an already-started correlator. `feeds` lists its existing
+    /// live sources (from [`CorrelatorBuilder::live_source`]) in wiring
+    /// order; this is the path used by spec-driven construction.
+    pub fn from_correlator(
+        correlator: CorrelatorBuilder,
+        feeds: Vec<(String, NodeHandle, FeedWriter)>,
+    ) -> StreamRuntimeBuilder {
+        StreamRuntimeBuilder {
+            correlator,
+            live: feeds
+                .into_iter()
+                .map(|(name, handle, writer)| LiveSource {
+                    name,
+                    vertex: handle.vertex(),
+                    writer,
+                })
+                .collect(),
+            policy: EpochPolicy::Manual,
+            backpressure: Backpressure::Block,
+            capacity: 1024,
+            threads: 4,
+            max_inflight: 64,
+            record_history: true,
+            record_script: true,
+            subs: Vec::new(),
+        }
+    }
+
+    /// Registers a subscriber **before** the runtime starts, so no
+    /// emission can be missed — with a ticking epoch policy, phases can
+    /// retire between `build()` and a later
+    /// [`StreamRuntime::subscribe`] call.
+    pub fn subscribe(mut self, f: impl FnMut(&SinkEmission) + Send + 'static) -> Self {
+        self.subs.push(Box::new(f));
+        self
+    }
+
+    /// Adds a live source; events are pushed through the runtime's
+    /// [`SourceHandle`] for this node.
+    pub fn live_source(&mut self, name: impl Into<String>) -> NodeHandle {
+        let name = name.into();
+        let (handle, writer) = self.correlator.live_source(name.clone());
+        self.live.push(LiveSource {
+            name,
+            vertex: handle.vertex(),
+            writer,
+        });
+        handle
+    }
+
+    /// Adds a scripted source (see
+    /// [`CorrelatorBuilder::source`]) — useful for mixing live feeds
+    /// with reference signals.
+    pub fn source(
+        &mut self,
+        name: impl Into<String>,
+        generator: impl ec_events::EventSource + 'static,
+    ) -> NodeHandle {
+        self.correlator.source(name, generator)
+    }
+
+    /// Adds a computation node (see [`CorrelatorBuilder::add`]).
+    pub fn add(
+        &mut self,
+        name: impl Into<String>,
+        module: impl ec_core::Module + 'static,
+        inputs: &[NodeHandle],
+    ) -> NodeHandle {
+        self.correlator.add(name, module, inputs)
+    }
+
+    /// Direct access to the wrapped correlator for anything else.
+    pub fn correlator_mut(&mut self) -> &mut CorrelatorBuilder {
+        &mut self.correlator
+    }
+
+    /// Sets the epoch policy (default [`EpochPolicy::Manual`]).
+    pub fn epoch_policy(mut self, policy: EpochPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the backpressure mode (default [`Backpressure::Block`]).
+    pub fn backpressure(mut self, mode: Backpressure) -> Self {
+        self.backpressure = mode;
+        self
+    }
+
+    /// Sets the per-source ingest queue capacity (default 1024).
+    pub fn ingest_capacity(mut self, events: usize) -> Self {
+        self.capacity = events.max(1);
+        self
+    }
+
+    /// Sets the engine worker count (default 4).
+    pub fn threads(mut self, k: usize) -> Self {
+        self.threads = k.max(1);
+        self
+    }
+
+    /// Bounds started-but-incomplete phases (default 64).
+    pub fn max_inflight(mut self, phases: u64) -> Self {
+        self.max_inflight = phases.max(1);
+        self
+    }
+
+    /// Records the full execution history (default on; turn off for
+    /// long-running services and benchmarks).
+    pub fn record_history(mut self, on: bool) -> Self {
+        self.record_history = on;
+        self
+    }
+
+    /// Records the committed [`PhaseScript`] (default on). The script
+    /// grows by one row per phase forever, so long-running services
+    /// should turn it off alongside
+    /// [`record_history`](Self::record_history); [`StreamRuntime::script`]
+    /// and the final report's script are then empty.
+    pub fn record_script(mut self, on: bool) -> Self {
+        self.record_script = on;
+        self
+    }
+
+    /// Builds and starts the runtime (workers and delivery thread spawn
+    /// immediately; the interval ticker too, if configured).
+    pub fn build(self) -> Result<StreamRuntime, RuntimeError> {
+        if self.correlator.is_empty() {
+            return Err(RuntimeError::Config("graph has no nodes".into()));
+        }
+        let names: Vec<String> = {
+            let dag = self.correlator.dag();
+            dag.vertices().map(|v| dag.name(v).to_string()).collect()
+        };
+        let engine = self
+            .correlator
+            .engine()
+            .threads(self.threads)
+            .max_inflight(self.max_inflight)
+            .record_history(self.record_history)
+            .build()?
+            .into_live();
+        let queue_count = self.live.len();
+        let shared = Arc::new(RuntimeShared {
+            engine,
+            ingest: Mutex::new(Ingest {
+                queues: vec![VecDeque::new(); queue_count],
+                rows: Vec::new(),
+            }),
+            space: Condvar::new(),
+            subs: Mutex::new(self.subs),
+            stop: AtomicBool::new(false),
+            ticker_stop: AtomicBool::new(false),
+            live: self.live,
+            names,
+            policy: self.policy,
+            backpressure: self.backpressure,
+            capacity: self.capacity,
+            record_script: self.record_script,
+        });
+
+        let delivery_shared = Arc::clone(&shared);
+        let delivery = std::thread::Builder::new()
+            .name("ec-runtime-delivery".into())
+            .spawn(move || delivery_shared.delivery_loop())
+            .expect("spawn delivery thread");
+
+        let ticker = if let EpochPolicy::ByInterval(interval) = self.policy {
+            let ticker_shared = Arc::clone(&shared);
+            Some(
+                std::thread::Builder::new()
+                    .name("ec-runtime-ticker".into())
+                    .spawn(move || {
+                        // Sleep toward the next tick deadline in bounded
+                        // chunks: long intervals don't busy-wake, and
+                        // shutdown is noticed within ~20 ms.
+                        let shutdown_check = Duration::from_millis(20);
+                        let mut last_tick = Instant::now();
+                        while !ticker_shared.ticker_stop.load(Relaxed) {
+                            let remaining = interval.saturating_sub(last_tick.elapsed());
+                            if !remaining.is_zero() {
+                                std::thread::sleep(remaining.min(shutdown_check));
+                                continue;
+                            }
+                            last_tick = Instant::now();
+                            let mut ingest = ticker_shared.ingest.lock();
+                            if ticker_shared.seal_locked(&mut ingest, 1).is_err() {
+                                break; // engine failed/closed; surfaced elsewhere
+                            }
+                        }
+                    })
+                    .expect("spawn ticker thread"),
+            )
+        } else {
+            None
+        };
+
+        Ok(StreamRuntime {
+            shared,
+            delivery: Some(delivery),
+            ticker,
+        })
+    }
+}
+
+/// The push side of one live source. Cloneable and `Send`: hand one to
+/// each producer thread.
+#[derive(Clone)]
+pub struct SourceHandle {
+    shared: Arc<RuntimeShared>,
+    slot: usize,
+}
+
+impl SourceHandle {
+    /// The source's name.
+    pub fn name(&self) -> &str {
+        &self.shared.live[self.slot].name
+    }
+
+    /// The source's graph vertex.
+    pub fn vertex(&self) -> VertexId {
+        self.shared.live[self.slot].vertex
+    }
+
+    /// Enqueues one event.
+    ///
+    /// With [`Backpressure::Block`] a full queue blocks the caller
+    /// until an epoch seal drains it; with [`Backpressure::Reject`] it
+    /// returns [`PushError::Full`]. Under [`EpochPolicy::ByCount`] the
+    /// push that reaches the threshold seals the epoch itself.
+    pub fn push(&self, value: impl Into<Value>) -> Result<(), PushError> {
+        let value = value.into();
+        let shared = &*self.shared;
+        let mut ingest = shared.ingest.lock();
+        while ingest.queues[self.slot].len() >= shared.capacity {
+            if shared.stop.load(Relaxed) {
+                return Err(PushError::Closed);
+            }
+            // Under ByCount, a full queue forces the epoch: waiting
+            // would deadlock whenever the count threshold cannot be
+            // reached (larger than capacity, or other sources idle) —
+            // nobody else is going to seal.
+            if matches!(shared.policy, EpochPolicy::ByCount(_)) {
+                if shared.seal_locked(&mut ingest, 0).is_err() {
+                    return Err(PushError::Closed);
+                }
+                continue;
+            }
+            match shared.backpressure {
+                Backpressure::Reject => return Err(PushError::Full),
+                Backpressure::Block => {
+                    // Bounded wait so shutdown can't strand us.
+                    shared
+                        .space
+                        .wait_for(&mut ingest, Duration::from_millis(20));
+                }
+            }
+        }
+        if shared.stop.load(Relaxed) {
+            return Err(PushError::Closed);
+        }
+        ingest.queues[self.slot].push_back(value);
+        if shared.policy.should_seal(ingest.buffered())
+            && shared.seal_locked(&mut ingest, 0).is_err()
+        {
+            // The engine refused the admission (failed or closing); the
+            // root cause surfaces through wait_idle()/shutdown().
+            return Err(PushError::Closed);
+        }
+        Ok(())
+    }
+
+    /// Events currently buffered (unsealed) for this source.
+    pub fn buffered(&self) -> usize {
+        self.shared.ingest.lock().queues[self.slot].len()
+    }
+
+    /// The configured per-source ingest queue capacity.
+    pub fn capacity(&self) -> usize {
+        self.shared.capacity
+    }
+}
+
+/// Final state of a completed run.
+#[derive(Debug)]
+pub struct RuntimeReport {
+    /// Phases committed and completed.
+    pub phases: u64,
+    /// Full execution history (if recording was enabled).
+    pub history: Option<ExecutionHistory>,
+    /// The committed event-to-phase binning.
+    pub script: PhaseScript,
+    /// Engine counters.
+    pub metrics: MetricsSnapshot,
+}
+
+/// A running, push-based correlation service.
+///
+/// Built by [`StreamRuntimeBuilder`]. Producers push events through
+/// [`SourceHandle`]s; epochs seal according to the configured policy;
+/// subscribers receive sink emissions in serial order as phases retire;
+/// [`shutdown`](StreamRuntime::shutdown) drains everything and returns
+/// the report.
+pub struct StreamRuntime {
+    shared: Arc<RuntimeShared>,
+    delivery: Option<JoinHandle<()>>,
+    ticker: Option<JoinHandle<()>>,
+}
+
+impl StreamRuntime {
+    /// Starts a builder.
+    pub fn builder() -> StreamRuntimeBuilder {
+        StreamRuntimeBuilder::new()
+    }
+
+    /// The push handle for a live source node.
+    pub fn handle(&self, node: NodeHandle) -> Result<SourceHandle, RuntimeError> {
+        self.handle_at(
+            self.shared
+                .live
+                .iter()
+                .position(|s| s.vertex == node.vertex())
+                .ok_or_else(|| {
+                    RuntimeError::Config(format!("{:?} is not a live source", node.vertex()))
+                })?,
+        )
+    }
+
+    /// The push handle for a live source by name.
+    pub fn handle_by_name(&self, name: &str) -> Result<SourceHandle, RuntimeError> {
+        self.handle_at(
+            self.shared
+                .live
+                .iter()
+                .position(|s| s.name == name)
+                .ok_or_else(|| RuntimeError::Config(format!("no live source named {name:?}")))?,
+        )
+    }
+
+    fn handle_at(&self, slot: usize) -> Result<SourceHandle, RuntimeError> {
+        Ok(SourceHandle {
+            shared: Arc::clone(&self.shared),
+            slot,
+        })
+    }
+
+    /// Names of the live sources, in wiring order.
+    pub fn live_source_names(&self) -> Vec<String> {
+        self.shared.live.iter().map(|s| s.name.clone()).collect()
+    }
+
+    /// Subscribes to sink emissions; `f` is called for every sink
+    /// output, in serial order, as its phase retires. Emissions of
+    /// phases that retired before this call are not replayed — to
+    /// guarantee none are missed (ticking policies can retire phases
+    /// immediately), register via
+    /// [`StreamRuntimeBuilder::subscribe`] instead.
+    pub fn subscribe(&self, f: impl FnMut(&SinkEmission) + Send + 'static) {
+        self.shared.subs.lock().push(Box::new(f));
+    }
+
+    /// Seals the current epoch explicitly: all buffered events commit
+    /// to phases (the longest per-source backlog determines the phase
+    /// count). Returns the number of phases committed (0 if nothing was
+    /// buffered).
+    pub fn flush(&self) -> Result<u64, RuntimeError> {
+        if self.shared.stop.load(Relaxed) {
+            return Err(RuntimeError::Closed);
+        }
+        let mut ingest = self.shared.ingest.lock();
+        self.shared.seal_locked(&mut ingest, 0)
+    }
+
+    /// Like [`flush`](Self::flush) but commits at least one phase, even
+    /// if no events are buffered — an *empty epoch*, which still polls
+    /// scripted sources and advances time-driven operators.
+    pub fn tick(&self) -> Result<u64, RuntimeError> {
+        if self.shared.stop.load(Relaxed) {
+            return Err(RuntimeError::Closed);
+        }
+        let mut ingest = self.shared.ingest.lock();
+        self.shared.seal_locked(&mut ingest, 1)
+    }
+
+    /// Phases committed so far.
+    pub fn admitted(&self) -> u64 {
+        self.shared.engine.admitted()
+    }
+
+    /// Phases fully completed so far.
+    pub fn completed_through(&self) -> u64 {
+        self.shared.engine.completed_through()
+    }
+
+    /// Blocks until every committed phase has completed.
+    pub fn wait_idle(&self) -> Result<u64, RuntimeError> {
+        Ok(self.shared.engine.wait_idle()?)
+    }
+
+    /// The committed script so far (clone; the run keeps extending it).
+    pub fn script(&self) -> PhaseScript {
+        PhaseScript {
+            sources: self.live_source_names(),
+            rows: self.shared.ingest.lock().rows.clone(),
+        }
+    }
+
+    /// Engine counters.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.engine.metrics()
+    }
+
+    /// Seals any remaining events, waits for completion, delivers every
+    /// outstanding subscription callback, stops all threads and returns
+    /// the final report.
+    ///
+    /// Events pushed concurrently with shutdown that miss the final
+    /// seal are dropped (producers should quiesce first).
+    pub fn shutdown(mut self) -> Result<RuntimeReport, RuntimeError> {
+        // 1. Stop the ticker so it cannot admit more phases below.
+        self.shared.ticker_stop.store(true, Relaxed);
+        if let Some(t) = self.ticker.take() {
+            let _ = t.join();
+        }
+        // 2. Final seal of whatever is buffered.
+        let seal_result = {
+            let mut ingest = self.shared.ingest.lock();
+            self.shared.seal_locked(&mut ingest, 0)
+        };
+        // 3. Quiesce and stop the engine (workers join here).
+        let engine_result = self.shared.engine.shutdown();
+        // 4. Release pushers and the delivery thread.
+        self.shared.stop.store(true, Relaxed);
+        self.shared.engine.wake_all();
+        self.shared.space.notify_all();
+        if let Some(d) = self.delivery.take() {
+            let _ = d.join();
+        }
+        let report = engine_result?;
+        seal_result?;
+        Ok(RuntimeReport {
+            phases: report.phases,
+            history: report.history,
+            script: PhaseScript {
+                sources: self.shared.live.iter().map(|s| s.name.clone()).collect(),
+                rows: std::mem::take(&mut self.shared.ingest.lock().rows),
+            },
+            metrics: report.metrics,
+        })
+    }
+}
+
+impl Drop for StreamRuntime {
+    fn drop(&mut self) {
+        // Unclean drop (e.g. test unwind): stop threads without
+        // sealing; LiveEngine's own Drop stops the workers.
+        self.shared.ticker_stop.store(true, Relaxed);
+        self.shared.stop.store(true, Relaxed);
+        self.shared.engine.wake_all();
+        self.shared.space.notify_all();
+        if let Some(t) = self.ticker.take() {
+            let _ = t.join();
+        }
+        if let Some(d) = self.delivery.take() {
+            let _ = d.join();
+        }
+    }
+}

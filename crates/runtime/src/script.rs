@@ -1,0 +1,97 @@
+//! Materialized phase scripts.
+//!
+//! A live run is nondeterministic from the outside — pushes and flushes
+//! race against wall-clock ticks — but the moment an epoch is sealed,
+//! the runtime has *committed* to a binning of events into phases.
+//! [`PhaseScript`] records that commitment: one row per admitted phase,
+//! one column per live source, each cell the bin the source's feed was
+//! staged with (`None` = silent).
+//!
+//! The script is the bridge from live execution back to the paper's
+//! batch correctness story: replaying the columns through
+//! [`Replay`](ec_events::sources::Replay) sources and running the
+//! [`Sequential`](ec_core::Sequential) oracle over the same graph must
+//! produce an equivalent [`ExecutionHistory`](ec_core::ExecutionHistory)
+//! — serializability extended to live ingestion. It is also the natural
+//! unit for future checkpoint/replay work.
+
+use ec_events::sources::Replay;
+use ec_events::Value;
+
+/// The committed event-to-phase binning of one live run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PhaseScript {
+    /// Live source names, in wiring order (column order of `rows`).
+    pub sources: Vec<String>,
+    /// One row per admitted phase: `rows[p][s]` is the bin staged for
+    /// source `s` in (1-based) phase `p + 1`.
+    pub rows: Vec<Vec<Option<Value>>>,
+}
+
+impl PhaseScript {
+    /// Number of phases committed.
+    pub fn phases(&self) -> u64 {
+        self.rows.len() as u64
+    }
+
+    /// True if no phase has been committed.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The bin column of one source, in phase order.
+    pub fn column(&self, source: usize) -> Vec<Option<Value>> {
+        self.rows.iter().map(|row| row[source].clone()).collect()
+    }
+
+    /// A [`Replay`] source reproducing one column — feed these to an
+    /// identical graph to replay the run deterministically.
+    pub fn replay(&self, source: usize) -> Replay {
+        Replay::new(self.column(source))
+    }
+
+    /// Total non-silent bins committed (events that made it into
+    /// phases).
+    pub fn event_count(&self) -> usize {
+        self.rows
+            .iter()
+            .flat_map(|row| row.iter())
+            .filter(|bin| bin.is_some())
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ec_events::{EventSource, Phase};
+
+    fn script() -> PhaseScript {
+        PhaseScript {
+            sources: vec!["a".into(), "b".into()],
+            rows: vec![
+                vec![Some(Value::Int(1)), None],
+                vec![None, Some(Value::Int(2))],
+            ],
+        }
+    }
+
+    #[test]
+    fn columns_and_counts() {
+        let s = script();
+        assert_eq!(s.phases(), 2);
+        assert!(!s.is_empty());
+        assert_eq!(s.event_count(), 2);
+        assert_eq!(s.column(0), vec![Some(Value::Int(1)), None]);
+        assert_eq!(s.column(1), vec![None, Some(Value::Int(2))]);
+    }
+
+    #[test]
+    fn replay_reproduces_column() {
+        let s = script();
+        let mut r = s.replay(1);
+        assert_eq!(r.poll(Phase(1)), None);
+        assert_eq!(r.poll(Phase(2)), Some(Value::Int(2)));
+        assert_eq!(r.poll(Phase(3)), None);
+    }
+}

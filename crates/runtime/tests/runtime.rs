@@ -1,0 +1,421 @@
+//! Integration tests for the streaming runtime: backpressure, epoch
+//! binning edge cases, subscription ordering, and the central
+//! correctness bar — for any interleaving of pushes and flushes, the
+//! live run's history equals the sequential oracle run over the same
+//! materialized phase script.
+
+use ec_events::sources::Counter;
+use ec_events::{FeedWriter, Value};
+use ec_fusion::operators::aggregate::Aggregate;
+use ec_fusion::operators::moving::MovingAverage;
+use ec_fusion::operators::threshold::Threshold;
+use ec_fusion::{CorrelatorBuilder, NodeHandle};
+use ec_runtime::{
+    Backpressure, EpochPolicy, PhaseScript, PushError, StreamRuntime, StreamRuntimeBuilder,
+};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Builds the shared test graph over two sources produced by
+/// `mk_source` (live feeds for the runtime, replays for the oracle):
+///
+/// ```text
+/// s1 ─┬─ sum ── avg(3) ── alarm(>10)
+/// s2 ─┘
+/// ```
+fn wire_graph(
+    mut mk_source: impl FnMut(&mut CorrelatorBuilder, &str) -> NodeHandle,
+) -> (CorrelatorBuilder, NodeHandle) {
+    let mut b = CorrelatorBuilder::new();
+    let s1 = mk_source(&mut b, "s1");
+    let s2 = mk_source(&mut b, "s2");
+    let sum = b.add("sum", Aggregate::sum(), &[s1, s2]);
+    let avg = b.add("avg", MovingAverage::new(3), &[sum]);
+    let alarm = b.add("alarm", Threshold::above(10.0), &[avg]);
+    (b, alarm)
+}
+
+/// The live variant of [`wire_graph`], via `from_correlator`.
+fn live_graph() -> (StreamRuntimeBuilder, NodeHandle) {
+    let mut feeds: Vec<(String, NodeHandle, FeedWriter)> = Vec::new();
+    let (correlator, alarm) = wire_graph(|b, name| {
+        let (handle, writer) = b.live_source(name);
+        feeds.push((name.to_string(), handle, writer));
+        handle
+    });
+    (
+        StreamRuntimeBuilder::from_correlator(correlator, feeds),
+        alarm,
+    )
+}
+
+/// Runs the sequential oracle over the same graph fed by `script`.
+fn oracle_history(script: &PhaseScript) -> ec_core::ExecutionHistory {
+    let mut column = 0usize;
+    let (b, _) = wire_graph(|builder, name| {
+        let replay = script.replay(column);
+        column += 1;
+        builder.source(name, replay)
+    });
+    let mut seq = b.sequential().expect("oracle builds");
+    seq.run(script.phases()).expect("oracle runs");
+    seq.into_history()
+}
+
+#[test]
+fn push_flush_produces_alarms_and_matches_oracle() {
+    let (b, _alarm) = live_graph();
+    let rt = b.threads(4).build().unwrap();
+    let s1 = rt.handle_by_name("s1").unwrap();
+    let s2 = rt.handle_by_name("s2").unwrap();
+
+    s1.push(2.0).unwrap();
+    s2.push(3.0).unwrap();
+    rt.flush().unwrap(); // phase 1: sum 5, avg 5, alarm false
+    s1.push(20.0).unwrap();
+    rt.flush().unwrap(); // phase 2: sum 23 (s2 remembered), avg 14 → true
+    rt.flush().unwrap(); // nothing buffered: no phase
+    s2.push(-30.0).unwrap();
+    rt.flush().unwrap(); // phase 3: alarm falls back
+
+    let report = rt.shutdown().unwrap();
+    assert_eq!(report.phases, 3);
+    assert_eq!(report.script.phases(), 3);
+    assert_eq!(report.script.event_count(), 4);
+
+    let live = report.history.expect("history recorded");
+    assert_eq!(oracle_history(&report.script).equivalent(&live), Ok(()));
+}
+
+#[test]
+fn subscribers_see_serial_order() {
+    let (b, _alarm) = live_graph();
+    let rt = b.threads(4).build().unwrap();
+    let seen: Arc<Mutex<Vec<(String, u64, Value)>>> = Arc::new(Mutex::new(Vec::new()));
+    let sink = Arc::clone(&seen);
+    rt.subscribe(move |e| {
+        sink.lock()
+            .unwrap()
+            .push((e.name.clone(), e.phase, e.value.clone()));
+    });
+    let s1 = rt.handle_by_name("s1").unwrap();
+    for i in 1..=30i64 {
+        s1.push(Value::Float(i as f64)).unwrap();
+    }
+    rt.flush().unwrap(); // 30 phases at once (pipelined execution)
+    rt.shutdown().unwrap();
+
+    let seen = seen.lock().unwrap();
+    assert!(!seen.is_empty());
+    // Delivered strictly in phase order despite out-of-order execution.
+    assert!(
+        seen.windows(2).all(|w| w[0].1 < w[1].1),
+        "phases out of order: {seen:?}"
+    );
+    assert!(seen.iter().all(|(name, _, _)| name == "alarm"));
+}
+
+#[test]
+fn reject_backpressure_reports_full() {
+    let (b, _alarm) = live_graph();
+    let rt = b
+        .ingest_capacity(2)
+        .backpressure(Backpressure::Reject)
+        .build()
+        .unwrap();
+    let s1 = rt.handle_by_name("s1").unwrap();
+    s1.push(1.0).unwrap();
+    s1.push(2.0).unwrap();
+    assert_eq!(s1.push(3.0), Err(PushError::Full));
+    assert_eq!(s1.buffered(), 2);
+    // A flush drains the queue; pushes work again.
+    rt.flush().unwrap();
+    s1.push(3.0).unwrap();
+    rt.shutdown().unwrap();
+}
+
+#[test]
+fn block_backpressure_waits_for_a_flush() {
+    let (b, _alarm) = live_graph();
+    let rt = Arc::new(
+        b.ingest_capacity(1)
+            .backpressure(Backpressure::Block)
+            .build()
+            .unwrap(),
+    );
+    let s1 = rt.handle_by_name("s1").unwrap();
+    s1.push(1.0).unwrap();
+
+    let started = std::time::Instant::now();
+    let flusher_rt = Arc::clone(&rt);
+    let flusher = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(80));
+        flusher_rt.flush().unwrap();
+    });
+    // Queue is full: this push must block until the flush above.
+    s1.push(2.0).unwrap();
+    assert!(
+        started.elapsed() >= Duration::from_millis(50),
+        "push returned before the flush drained the queue"
+    );
+    flusher.join().unwrap();
+    let rt = Arc::into_inner(rt).expect("all clones dropped");
+    let report = rt.shutdown().unwrap();
+    assert_eq!(report.script.event_count(), 2);
+}
+
+#[test]
+fn push_after_shutdown_is_closed() {
+    let (b, _alarm) = live_graph();
+    let rt = b.build().unwrap();
+    let s1 = rt.handle_by_name("s1").unwrap();
+    s1.push(1.0).unwrap();
+    rt.shutdown().unwrap();
+    assert_eq!(s1.push(2.0), Err(PushError::Closed));
+}
+
+#[test]
+fn by_count_policy_seals_automatically() {
+    let (b, _alarm) = live_graph();
+    let rt = b.epoch_policy(EpochPolicy::ByCount(4)).build().unwrap();
+    let s1 = rt.handle_by_name("s1").unwrap();
+    let s2 = rt.handle_by_name("s2").unwrap();
+    // 3 pushes: below threshold, nothing sealed.
+    s1.push(1.0).unwrap();
+    s1.push(2.0).unwrap();
+    s2.push(3.0).unwrap();
+    assert_eq!(rt.admitted(), 0);
+    // 4th push seals: both sources have 2 buffered events → 2 phases.
+    s2.push(4.0).unwrap();
+    assert_eq!(rt.admitted(), 2);
+    let report = rt.shutdown().unwrap();
+    assert_eq!(report.phases, 2);
+    assert_eq!(
+        report.script.rows[0],
+        vec![Some(Value::Float(1.0)), Some(Value::Float(3.0))]
+    );
+    assert_eq!(
+        report.script.rows[1],
+        vec![Some(Value::Float(2.0)), Some(Value::Float(4.0))]
+    );
+    let live = report.history.expect("history");
+    assert_eq!(oracle_history(&report.script).equivalent(&live), Ok(()));
+}
+
+#[test]
+fn by_count_above_capacity_cannot_deadlock() {
+    // The count threshold (100) is far above what the 4-slot queues can
+    // ever buffer; a full queue must force the epoch instead of
+    // blocking the producer forever.
+    let (b, _alarm) = live_graph();
+    let rt = b
+        .ingest_capacity(4)
+        .epoch_policy(EpochPolicy::ByCount(100))
+        .build()
+        .unwrap();
+    let s1 = rt.handle_by_name("s1").unwrap();
+    for i in 0..20i64 {
+        s1.push(i as f64).unwrap(); // would hang without forced sealing
+    }
+    let report = rt.shutdown().unwrap();
+    assert_eq!(report.script.event_count(), 20);
+    assert_eq!(report.phases, 20); // single-source backlog: 1 event/phase
+    let live = report.history.expect("history");
+    assert_eq!(oracle_history(&report.script).equivalent(&live), Ok(()));
+}
+
+#[test]
+fn builder_subscription_sees_every_emission() {
+    // Subscribed before build: even phases retiring immediately after
+    // start cannot be missed.
+    let seen = Arc::new(Mutex::new(Vec::new()));
+    let sink = Arc::clone(&seen);
+    let (b, _alarm) = live_graph();
+    let rt = b
+        .subscribe(move |e| sink.lock().unwrap().push(e.phase))
+        .build()
+        .unwrap();
+    let s1 = rt.handle_by_name("s1").unwrap();
+    s1.push(50.0).unwrap();
+    rt.flush().unwrap();
+    rt.shutdown().unwrap();
+    assert_eq!(*seen.lock().unwrap(), vec![1]);
+}
+
+#[test]
+fn interval_policy_seals_empty_epochs() {
+    // No live pushes at all: the ticker must still admit (empty)
+    // phases, driving the scripted counter through the graph.
+    let mut b = StreamRuntime::builder().threads(2);
+    let c = b.source("heartbeat", Counter::new());
+    let _avg = b.add("avg", MovingAverage::new(2), &[c]);
+    let rt = b
+        .epoch_policy(EpochPolicy::ByInterval(Duration::from_millis(10)))
+        .build()
+        .unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while rt.completed_through() < 3 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "ticker produced no phases"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let report = rt.shutdown().unwrap();
+    assert!(report.phases >= 3);
+    // Every row is an empty epoch (no live sources).
+    assert_eq!(report.script.event_count(), 0);
+    // The scripted source still advanced once per phase.
+    let history = report.history.expect("history");
+    assert_eq!(
+        history.execution_count() as u64 % report.phases,
+        0,
+        "sources must execute every phase"
+    );
+}
+
+#[test]
+fn empty_epochs_interleave_correctly_with_events() {
+    let (b, _alarm) = live_graph();
+    let rt = b.build().unwrap();
+    let s1 = rt.handle_by_name("s1").unwrap();
+    rt.tick().unwrap(); // phase 1: all silent
+    s1.push(50.0).unwrap();
+    rt.flush().unwrap(); // phase 2: s1 event
+    rt.tick().unwrap(); // phase 3: silent again
+    let report = rt.shutdown().unwrap();
+    assert_eq!(report.phases, 3);
+    assert_eq!(report.script.rows[0], vec![None, None]);
+    assert_eq!(report.script.rows[1], vec![Some(Value::Float(50.0)), None]);
+    assert_eq!(report.script.rows[2], vec![None, None]);
+    let live = report.history.expect("history");
+    assert_eq!(oracle_history(&report.script).equivalent(&live), Ok(()));
+}
+
+#[test]
+fn out_of_order_arrivals_via_reorder_buffer() {
+    use ec_events::reorder::{Offer, ReorderBuffer};
+    use ec_events::Timestamp;
+
+    // Events arrive out of generation order; the reorder buffer's
+    // watermark releases them as closed per-instant batches, each of
+    // which becomes one runtime epoch.
+    let (b, _alarm) = live_graph();
+    let rt = b.build().unwrap();
+    let s1 = rt.handle_by_name("s1").unwrap();
+
+    let mut buffer = ReorderBuffer::new(100); // 100 µs watermark lag
+    let arrivals = [
+        (Timestamp(300), 3.0),
+        (Timestamp(100), 1.0), // generated first, arrives second
+        (Timestamp(200), 2.0),
+    ];
+    let mut now = 400u64;
+    for (generated, v) in arrivals {
+        assert_eq!(buffer.offer(generated, Value::Float(v)), Offer::Accepted);
+    }
+    // Advance simulated time until all batches close; each closed batch
+    // is pushed and sealed as its own epoch — in generation order.
+    let mut released = Vec::new();
+    while released.len() < 3 {
+        for batch in buffer.advance(Timestamp(now)) {
+            for v in &batch.values {
+                s1.push(v.clone()).unwrap();
+            }
+            rt.flush().unwrap();
+            released.push(batch.timestamp);
+        }
+        now += 100;
+    }
+    assert_eq!(
+        released,
+        vec![Timestamp(100), Timestamp(200), Timestamp(300)]
+    );
+    let report = rt.shutdown().unwrap();
+    assert_eq!(report.phases, 3);
+    // Phases carry the events in generation order, not arrival order.
+    assert_eq!(
+        report.script.column(0),
+        vec![
+            Some(Value::Float(1.0)),
+            Some(Value::Float(2.0)),
+            Some(Value::Float(3.0)),
+        ]
+    );
+    let live = report.history.expect("history");
+    assert_eq!(oracle_history(&report.script).equivalent(&live), Ok(()));
+}
+
+#[test]
+fn script_snapshot_available_mid_run() {
+    let (b, _alarm) = live_graph();
+    let rt = b.build().unwrap();
+    let s1 = rt.handle_by_name("s1").unwrap();
+    s1.push(1.0).unwrap();
+    rt.flush().unwrap();
+    let snapshot = rt.script();
+    assert_eq!(snapshot.phases(), 1);
+    assert_eq!(snapshot.sources, vec!["s1".to_string(), "s2".to_string()]);
+    rt.shutdown().unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The correctness bar from the issue: for ANY interleaving of
+    /// pushes and flushes (random sources, values, epoch boundaries and
+    /// thread counts), the runtime's history equals the sequential
+    /// oracle run over the materialized script.
+    #[test]
+    fn randomized_interleavings_are_serializable(
+        seed in 0u64..10_000,
+        threads in 1usize..5,
+        ops in 10usize..120,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let (b, _alarm) = live_graph();
+        let rt = b.threads(threads).build().unwrap();
+        let handles = [
+            rt.handle_by_name("s1").unwrap(),
+            rt.handle_by_name("s2").unwrap(),
+        ];
+        for _ in 0..ops {
+            match rng.gen_range(0usize..10) {
+                // Pushes dominate; values include negatives and repeats.
+                0..=6 => {
+                    let which = rng.gen_range(0usize..2);
+                    let v = (rng.gen_range(-20i64..30)) as f64;
+                    handles[which].push(v).unwrap();
+                }
+                7..=8 => { rt.flush().unwrap(); }
+                _ => { rt.tick().unwrap(); }
+            }
+        }
+        let report = rt.shutdown().unwrap();
+        let live = report.history.expect("history");
+        let oracle = oracle_history(&report.script);
+        prop_assert!(
+            oracle.equivalent(&live).is_ok(),
+            "live run diverged from oracle: {}",
+            oracle.equivalent(&live).unwrap_err()
+        );
+    }
+}
+
+#[test]
+fn record_script_off_keeps_no_rows() {
+    let (b, _alarm) = live_graph();
+    let rt = b.record_script(false).build().unwrap();
+    let s1 = rt.handle_by_name("s1").unwrap();
+    for i in 0..50i64 {
+        s1.push(i as f64).unwrap();
+    }
+    rt.flush().unwrap();
+    assert!(rt.script().is_empty());
+    let report = rt.shutdown().unwrap();
+    assert_eq!(report.phases, 50); // phases ran...
+    assert!(report.script.is_empty()); // ...but no rows were retained
+}

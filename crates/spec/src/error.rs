@@ -70,7 +70,10 @@ impl fmt::Display for SpecError {
                 write!(f, "node {node:?} is missing parameter {param:?}")
             }
             SpecError::BadParam { node, param, value } => {
-                write!(f, "node {node:?} parameter {param:?} has bad value {value:?}")
+                write!(
+                    f,
+                    "node {node:?} parameter {param:?} has bad value {value:?}"
+                )
             }
             SpecError::Arity { node, message } => write!(f, "node {node:?}: {message}"),
             SpecError::Engine(msg) => write!(f, "engine construction failed: {msg}"),

@@ -34,7 +34,7 @@ pub mod writer;
 pub mod xml;
 
 pub use error::SpecError;
-pub use loader::{load_spec, load_str, LoadedSpec};
+pub use loader::{load_spec, load_spec_live, load_str, load_str_live, LiveLoadedSpec, LoadedSpec};
 pub use schema::{ComputationSpec, NodeSpec, RunSettings};
 pub use writer::{spec_to_xml, write_element};
 

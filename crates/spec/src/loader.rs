@@ -68,6 +68,44 @@ impl LoadedSpec {
     }
 }
 
+/// A correlator loaded for **live** (streaming) execution: source nodes
+/// of type `live` became runtime-fed feeds instead of scripted
+/// generators. Feed writers are returned in spec order so a streaming
+/// runtime can register them (`StreamRuntimeBuilder::from_correlator`
+/// in `ec-runtime`).
+pub struct LiveLoadedSpec {
+    /// The assembled graph + modules (live sources wired as feeds).
+    pub builder: CorrelatorBuilder,
+    /// Run settings from the spec.
+    pub settings: RunSettings,
+    /// Node handles by spec id.
+    pub handles: HashMap<String, NodeHandle>,
+    /// `(id, handle, writer)` per `type="live"` source, in spec order.
+    pub feeds: Vec<(String, NodeHandle, ec_events::FeedWriter)>,
+}
+
+/// Parses and instantiates a spec for live execution (see
+/// [`LiveLoadedSpec`]): source nodes of type `live` are fed at runtime,
+/// all other node types behave exactly as in [`load_str`]. A spec with
+/// no `live` sources is still valid — the runtime just drives its
+/// scripted sources with (possibly empty) epochs.
+pub fn load_str_live(doc: &str) -> Result<LiveLoadedSpec, SpecError> {
+    let root = xml::parse(doc)?;
+    let spec = ComputationSpec::from_element(&root)?;
+    load_spec_live(&spec)
+}
+
+/// Instantiates an already-parsed spec for live execution.
+pub fn load_spec_live(spec: &ComputationSpec) -> Result<LiveLoadedSpec, SpecError> {
+    let (builder, handles, feeds) = instantiate(spec, true)?;
+    Ok(LiveLoadedSpec {
+        builder,
+        settings: spec.settings.clone(),
+        handles,
+        feeds,
+    })
+}
+
 /// Parses and instantiates a spec document.
 pub fn load_str(doc: &str) -> Result<LoadedSpec, SpecError> {
     let root = xml::parse(doc)?;
@@ -77,12 +115,42 @@ pub fn load_str(doc: &str) -> Result<LoadedSpec, SpecError> {
 
 /// Instantiates an already-parsed spec.
 pub fn load_spec(spec: &ComputationSpec) -> Result<LoadedSpec, SpecError> {
+    let (builder, handles, _feeds) = instantiate(spec, false)?;
+    Ok(LoadedSpec {
+        builder,
+        settings: spec.settings.clone(),
+        handles,
+    })
+}
+
+/// The shared node-instantiation loop. With `live` set, source nodes of
+/// type `live` become runtime-fed feeds; without it, `live` is an
+/// unknown source type (batch executors have nothing to feed them).
+#[allow(clippy::type_complexity)]
+fn instantiate(
+    spec: &ComputationSpec,
+    live: bool,
+) -> Result<
+    (
+        CorrelatorBuilder,
+        HashMap<String, NodeHandle>,
+        Vec<(String, NodeHandle, ec_events::FeedWriter)>,
+    ),
+    SpecError,
+> {
     let mut builder = CorrelatorBuilder::new();
     let mut handles: HashMap<String, NodeHandle> = HashMap::new();
+    let mut feeds = Vec::new();
     for node in &spec.nodes {
         let handle = if node.inputs.is_empty() {
-            let source = build_source(node)?;
-            builder.source_box(node.id.clone(), source)
+            if live && node.type_name == "live" {
+                let (handle, writer) = builder.live_source(node.id.clone());
+                feeds.push((node.id.clone(), handle, writer));
+                handle
+            } else {
+                let source = build_source(node)?;
+                builder.source_box(node.id.clone(), source)
+            }
         } else {
             let module = build_module(node)?;
             let inputs: Vec<NodeHandle> = node
@@ -94,11 +162,7 @@ pub fn load_spec(spec: &ComputationSpec) -> Result<LoadedSpec, SpecError> {
         };
         handles.insert(node.id.clone(), handle);
     }
-    Ok(LoadedSpec {
-        builder,
-        settings: spec.settings.clone(),
-        handles,
-    })
+    Ok((builder, handles, feeds))
 }
 
 fn build_source(node: &NodeSpec) -> Result<Box<dyn EventSource>, SpecError> {
@@ -149,13 +213,12 @@ fn build_source(node: &NodeSpec) -> Result<Box<dyn EventSource>, SpecError> {
             })?;
             let col = node.param_usize_or("column", 0)?;
             let header = node.param_opt("header").is_none_or(|h| h == "true");
-            let replay = CsvReplay::from_csv(&text, col, header).map_err(|e| {
-                SpecError::BadParam {
+            let replay =
+                CsvReplay::from_csv(&text, col, header).map_err(|e| SpecError::BadParam {
                     node: node.id.clone(),
                     param: "file".into(),
                     value: e.to_string(),
-                }
-            })?;
+                })?;
             if node.param_opt("loop") == Some("true") {
                 Box::new(replay.looping())
             } else {
@@ -337,6 +400,38 @@ mod tests {
     }
 
     #[test]
+    fn live_spec_wires_feeds() {
+        use ec_events::Value;
+        let doc = r#"<computation threads="2">
+          <node id="tx" type="live"/>
+          <node id="ref" type="counter"/>
+          <node id="sum" type="sum"><input ref="tx"/><input ref="ref"/></node>
+        </computation>"#;
+        let live = load_str_live(doc).unwrap();
+        assert_eq!(live.feeds.len(), 1);
+        assert_eq!(live.feeds[0].0, "tx");
+        let sum = live.handles["sum"];
+        // Stage two phases through the feed and run sequentially.
+        live.feeds[0].2.stage(Some(Value::Float(10.0)));
+        live.feeds[0].2.stage(None);
+        let mut seq = live.builder.sequential().unwrap();
+        seq.run(2).unwrap();
+        let outs = seq.into_history().sink_outputs_of(sum.vertex());
+        // Phase 1: 10 + 1; phase 2: 10 (held) + 2.
+        assert_eq!(outs[0].1.as_f64().unwrap(), 11.0);
+        assert_eq!(outs[1].1.as_f64().unwrap(), 12.0);
+    }
+
+    #[test]
+    fn live_type_rejected_in_batch_mode() {
+        let doc = r#"<computation><node id="x" type="live"/></computation>"#;
+        assert!(matches!(
+            load_str(doc).unwrap_err(),
+            SpecError::UnknownType { .. }
+        ));
+    }
+
+    #[test]
     fn unknown_source_type() {
         let doc = r#"<computation><node id="x" type="telepathy"/></computation>"#;
         assert!(matches!(
@@ -363,7 +458,10 @@ mod tests {
           <node id="a" type="counter"/>
           <node id="x" type="pair-correlation"><input ref="a"/></node>
         </computation>"#;
-        assert!(matches!(load_str(doc).unwrap_err(), SpecError::Arity { .. }));
+        assert!(matches!(
+            load_str(doc).unwrap_err(),
+            SpecError::Arity { .. }
+        ));
     }
 
     #[test]
@@ -428,10 +526,8 @@ mod tests {
             ("step-change", r#" before="1" after="2" at="3""#),
             ("bursty", ""),
         ] {
-            let doc =
-                format!(r#"<computation><node id="s" type="{t}"{extra}/></computation>"#);
-            let loaded = load_str(&doc)
-                .unwrap_or_else(|e| panic!("source type {t} failed: {e}"));
+            let doc = format!(r#"<computation><node id="s" type="{t}"{extra}/></computation>"#);
+            let loaded = load_str(&doc).unwrap_or_else(|e| panic!("source type {t} failed: {e}"));
             let mut seq = loaded.sequential().unwrap();
             seq.run(5).unwrap();
         }
@@ -474,8 +570,7 @@ mod tests {
                   <node id="x" type="{t}"{extra}>{inputs}</node>
                 </computation>"#
             );
-            let loaded =
-                load_str(&doc).unwrap_or_else(|e| panic!("module type {t} failed: {e}"));
+            let loaded = load_str(&doc).unwrap_or_else(|e| panic!("module type {t} failed: {e}"));
             let mut seq = loaded.sequential().unwrap();
             seq.run(5).unwrap();
         }

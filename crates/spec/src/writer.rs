@@ -10,7 +10,9 @@ use std::fmt::Write;
 
 /// Escapes text content.
 fn escape_text(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 /// Escapes attribute values (double-quoted).
@@ -36,10 +38,7 @@ fn write_into(out: &mut String, el: &XmlElement, depth: usize) {
         return;
     }
     // Text-only elements render inline; mixed/element content indents.
-    let only_text = el
-        .children
-        .iter()
-        .all(|c| matches!(c, XmlNode::Text(_)));
+    let only_text = el.children.iter().all(|c| matches!(c, XmlNode::Text(_)));
     if only_text {
         out.push('>');
         for c in &el.children {
@@ -73,7 +72,10 @@ pub fn spec_to_xml(spec: &ComputationSpec) -> String {
         attrs: vec![
             ("phases".into(), spec.settings.phases.to_string()),
             ("threads".into(), spec.settings.threads.to_string()),
-            ("max-inflight".into(), spec.settings.max_inflight.to_string()),
+            (
+                "max-inflight".into(),
+                spec.settings.max_inflight.to_string(),
+            ),
         ],
         children: Vec::new(),
     };
@@ -176,8 +178,7 @@ mod tests {
             ],
         };
         let doc = spec_to_xml(&spec);
-        let parsed =
-            ComputationSpec::from_element(&xml::parse(&doc).unwrap()).unwrap();
+        let parsed = ComputationSpec::from_element(&xml::parse(&doc).unwrap()).unwrap();
         assert_eq!(parsed, spec);
         // And the written spec actually loads and runs.
         let loaded = crate::load_str(&doc).unwrap();

@@ -25,7 +25,11 @@ pub struct XmlError {
 
 impl fmt::Display for XmlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "XML error at {}:{}: {}", self.line, self.col, self.message)
+        write!(
+            f,
+            "XML error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 

@@ -42,23 +42,20 @@ fn main() {
     let shel_full = b.add("shelters-strained", Threshold::above(0.8), &[shel_avg]);
 
     // Role-specific composite sinks.
-    let health_alert = b.add(
-        "public-health-alert",
-        AnyOf::new(),
-        &[hosp_full, shel_full],
-    );
-    let utility_alert = b.add(
-        "utility-dispatch",
-        AllOf::new(),
-        &[outage_rate, road_rate],
-    );
+    let health_alert = b.add("public-health-alert", AnyOf::new(), &[hosp_full, shel_full]);
+    let utility_alert = b.add("utility-dispatch", AllOf::new(), &[outage_rate, road_rate]);
     let mayor_brief = b.add(
         "mayor-briefing",
         TrueCount::new(),
         &[flooding, hosp_full, shel_full, outage_rate, road_rate],
     );
 
-    let mut engine = b.engine().threads(4).max_inflight(32).build().expect("valid graph");
+    let mut engine = b
+        .engine()
+        .threads(4)
+        .max_inflight(32)
+        .build()
+        .expect("valid graph");
     let report = engine.run(24 * 14).expect("two simulated weeks"); // hourly phases
     let h = report.history.expect("history recorded");
 

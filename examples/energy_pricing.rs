@@ -34,8 +34,8 @@ impl AssumptionChecker {
     fn forecast(&self, phase: u64) -> f64 {
         // 15 °C at midnight, 20 °C early morning, 30 °C at noon — a
         // sine approximation of the paper's numbers.
-        let theta = (phase % self.phase_in_day) as f64 / self.phase_in_day as f64
-            * std::f64::consts::TAU;
+        let theta =
+            (phase % self.phase_in_day) as f64 / self.phase_in_day as f64 * std::f64::consts::TAU;
         22.5 + 7.5 * theta.sin()
     }
 }
@@ -72,8 +72,8 @@ impl Module for DemandModel {
         };
         let deviation = v.as_f64().unwrap_or(0.0);
         // Hotter than forecast → more cooling load (50 MW per °C).
-        let corrected = self.base_load_mw + 50.0 * deviation.max(0.0)
-            + 20.0 * (-deviation).max(0.0);
+        let corrected =
+            self.base_load_mw + 50.0 * deviation.max(0.0) + 20.0 * (-deviation).max(0.0);
         Emission::Broadcast(Value::Float(corrected))
     }
 
@@ -113,7 +113,13 @@ fn main() {
         },
         &[sensor],
     );
-    let demand = b.add("demand", DemandModel { base_load_mw: 4000.0 }, &[checker]);
+    let demand = b.add(
+        "demand",
+        DemandModel {
+            base_load_mw: 4000.0,
+        },
+        &[checker],
+    );
     let price = b.add("price", PriceModel, &[demand]);
 
     let mut engine = b.engine().threads(4).build().expect("valid graph");
@@ -129,7 +135,10 @@ fn main() {
     println!("assumption checks:         {checks} (once per sensor report)");
     println!("assumption violations:     {violations} (messages to the demand model)");
     println!("price updates:             {reprices}");
-    assert!(violations > 0, "expect some forecast violations over a week");
+    assert!(
+        violations > 0,
+        "expect some forecast violations over a week"
+    );
     println!(
         "\ntotal messages {} vs {} executions — absence of messages did the rest",
         metrics.messages_sent, metrics.executions

@@ -30,11 +30,7 @@ fn main() {
     let shock_b = b.add("shock-b", ZScoreAnomaly::new(48, 2.2), &[asset_b]);
 
     // Asset-to-sector correlation over a rolling window.
-    let correlation = b.add(
-        "correlation",
-        PairCorrelation::new(48),
-        &[smooth_a, sector],
-    );
+    let correlation = b.add("correlation", PairCorrelation::new(48), &[smooth_a, sector]);
     let coupled = b.add("tightly-coupled", Threshold::above(0.8), &[correlation]);
 
     // Composite risk condition: shocks on both assets within 8 ticks.
@@ -73,7 +69,6 @@ fn main() {
     println!(
         "\nengine: {} executions, {} messages, {} silent — risk conditions \
          are evaluated continuously but reported only on change",
-        report.metrics.executions, report.metrics.messages_sent,
-        report.metrics.silent_executions
+        report.metrics.executions, report.metrics.messages_sent, report.metrics.silent_executions
     );
 }

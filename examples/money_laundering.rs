@@ -84,9 +84,15 @@ fn main() {
     let d_downstream = d.messages_sent - feed;
     println!("{PHASES} phases of transactions across 3 branches\n");
     println!("                        change-only (paper)   always-emit (baseline)");
-    println!("vertex executions       {:>12}          {:>12}", s.executions, d.executions);
+    println!(
+        "vertex executions       {:>12}          {:>12}",
+        s.executions, d.executions
+    );
     println!("transaction feed msgs   {:>12}          {:>12}", feed, feed);
-    println!("inter-model messages    {:>12}          {:>12}", s_downstream, d_downstream);
+    println!(
+        "inter-model messages    {:>12}          {:>12}",
+        s_downstream, d_downstream
+    );
     println!(
         "silent executions       {:>12}          {:>12}",
         s.silent_executions, d.silent_executions

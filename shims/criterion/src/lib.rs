@@ -1,0 +1,259 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API subset the workspace benches use —
+//! `criterion_group!` / `criterion_main!`, benchmark groups,
+//! `bench_function` / `bench_with_input`, `Bencher::iter`, throughput
+//! annotation and `black_box` — as a small wall-clock harness. Each
+//! benchmark warms up briefly, then runs `sample_size` samples and
+//! prints mean / min per-iteration time (and element throughput when
+//! set). There are no statistics, baselines or HTML reports; the point
+//! is comparable relative numbers from the exact same bench sources.
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting work.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iterations process this many logical elements each.
+    Elements(u64),
+    /// Iterations process this many bytes each.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Id `<function>/<parameter>`.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            name: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Id from the parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.name.fmt(f)
+    }
+}
+
+/// Per-iteration timer handed to bench closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, one sample per call, until the sample budget or
+    /// time budget is exhausted.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // Warm-up (untimed).
+        black_box(routine());
+        let budget_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+            if budget_start.elapsed() > self.measurement_time {
+                break;
+            }
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Samples per benchmark (default 10).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Wall-clock budget per benchmark (default 3 s).
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Accepted for compatibility; the shim's warm-up is one untimed
+    /// iteration regardless.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Sets the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+        };
+        f(&mut b);
+        self.report(&id.to_string(), &b.samples);
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+        };
+        f(&mut b, input);
+        self.report(&id.to_string(), &b.samples);
+        self
+    }
+
+    fn report(&self, id: &str, samples: &[Duration]) {
+        let full = if id.is_empty() {
+            self.name.clone()
+        } else {
+            format!("{}/{}", self.name, id)
+        };
+        if samples.is_empty() {
+            println!("{full:<50} no samples");
+            return;
+        }
+        let total: Duration = samples.iter().sum();
+        let mean = total / samples.len() as u32;
+        let min = samples.iter().min().copied().unwrap_or_default();
+        let mut line = format!(
+            "{full:<50} mean {:>12} min {:>12} ({} samples)",
+            fmt_duration(mean),
+            fmt_duration(min),
+            samples.len()
+        );
+        if let Some(Throughput::Elements(n)) = self.throughput {
+            let rate = n as f64 / mean.as_secs_f64();
+            line.push_str(&format!("  {:.0} elem/s", rate));
+        }
+        if let Some(Throughput::Bytes(n)) = self.throughput {
+            let rate = n as f64 / mean.as_secs_f64() / (1 << 20) as f64;
+            line.push_str(&format!("  {rate:.1} MiB/s"));
+        }
+        println!("{line}");
+        let _ = &self.criterion; // group lifetime tied to its criterion
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(3),
+            throughput: None,
+        }
+    }
+
+    /// Runs a standalone benchmark (its own single-entry group).
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let group = self.benchmark_group(id.to_string());
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: group.sample_size,
+            measurement_time: group.measurement_time,
+        };
+        f(&mut b);
+        group.report("", &b.samples);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let _ = $config;
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,8 @@
+//! Offline stand-in for `serde`.
+//!
+//! Re-exports no-op derive macros so `#[derive(Serialize, Deserialize)]`
+//! compiles without the real crate. Nothing in this workspace performs
+//! serialization (the spec layer ships its own XML reader/writer), so
+//! the marker traits are empty.
+
+pub use serde_derive::{Deserialize, Serialize};

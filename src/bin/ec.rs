@@ -2,33 +2,45 @@
 //!
 //! ```text
 //! ec run <spec.xml> [--threads N] [--phases N] [--sequential] [--quiet]
+//! ec stream <spec.xml> [--threads N] [--epoch-count N | --epoch-ms N] [--quiet]
 //! ec validate <spec.xml>
 //! ec dot <spec.xml>
 //! ec demo
 //! ```
 //!
 //! `run` executes a computation spec and prints metrics and sink
-//! outputs; `validate` checks the spec, graph and numbering; `dot`
-//! emits Graphviz for the spec's graph; `demo` runs a built-in
-//! correlator.
+//! outputs; `stream` serves a spec live, reading CSV/NDJSON events from
+//! stdin and printing sink alarms as their phases retire; `validate`
+//! checks the spec, graph and numbering; `dot` emits Graphviz for the
+//! spec's graph; `demo` runs a built-in correlator.
 
 use event_correlation::core::EngineError;
+use event_correlation::events::Value;
 use event_correlation::graph::{dot, Numbering, Topology};
+use event_correlation::runtime::{Backpressure, EpochPolicy, PushError, StreamRuntimeBuilder};
 use event_correlation::spec::{load_file, LoadedSpec};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
 usage:
   ec run <spec.xml> [--threads N] [--phases N] [--sequential] [--quiet]
+  ec stream <spec.xml> [--threads N] [--epoch-count N | --epoch-ms N]
+            [--capacity N] [--reject] [--quiet]
   ec validate <spec.xml>
   ec dot <spec.xml>
   ec demo
+
+stream input (stdin), one event per line:
+  source,value             CSV
+  {\"source\": s, \"value\": v} NDJSON
+  (blank line)             seal the current epoch (even an empty one)
 ";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
+        Some("stream") => cmd_stream(&args[1..]),
         Some("validate") => cmd_validate(&args[1..]),
         Some("dot") => cmd_dot(&args[1..]),
         Some("demo") => cmd_demo(),
@@ -155,6 +167,228 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
                 }
             }
         }
+    }
+    Ok(())
+}
+
+struct StreamOpts {
+    spec_path: String,
+    threads: Option<usize>,
+    epoch_count: Option<usize>,
+    epoch_ms: Option<u64>,
+    capacity: Option<usize>,
+    reject: bool,
+    quiet: bool,
+}
+
+fn parse_stream_opts(args: &[String]) -> Result<StreamOpts, String> {
+    let mut opts = StreamOpts {
+        spec_path: String::new(),
+        threads: None,
+        epoch_count: None,
+        epoch_ms: None,
+        capacity: None,
+        reject: false,
+        quiet: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut num = |flag: &str| -> Result<u64, String> {
+            let v = it.next().ok_or(format!("{flag} needs a value"))?;
+            v.parse().map_err(|_| format!("bad {flag} value {v:?}"))
+        };
+        match arg.as_str() {
+            "--threads" => opts.threads = Some(num("--threads")? as usize),
+            "--epoch-count" => opts.epoch_count = Some(num("--epoch-count")? as usize),
+            "--epoch-ms" => opts.epoch_ms = Some(num("--epoch-ms")?),
+            "--capacity" => opts.capacity = Some(num("--capacity")? as usize),
+            "--reject" => opts.reject = true,
+            "--quiet" => opts.quiet = true,
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag {other:?}"));
+            }
+            path => {
+                if !opts.spec_path.is_empty() {
+                    return Err(format!("unexpected extra argument {path:?}"));
+                }
+                opts.spec_path = path.to_string();
+            }
+        }
+    }
+    if opts.spec_path.is_empty() {
+        return Err(format!("missing spec path\n{USAGE}"));
+    }
+    if opts.epoch_count.is_some() && opts.epoch_ms.is_some() {
+        return Err("--epoch-count and --epoch-ms are mutually exclusive".into());
+    }
+    Ok(opts)
+}
+
+/// Parses an event line: `source,value` CSV or
+/// `{"source": ..., "value": ...}` NDJSON. Returns `(source, value)`.
+fn parse_event_line(line: &str) -> Result<(String, Value), String> {
+    let line = line.trim();
+    if line.starts_with('{') {
+        let source = json_field(line, "source")?;
+        let value = json_field(line, "value")?;
+        Ok((unquote(&source), parse_value(&value)))
+    } else {
+        let (source, value) = line
+            .split_once(',')
+            .ok_or_else(|| format!("expected source,value: {line:?}"))?;
+        Ok((source.trim().to_string(), parse_value(value.trim())))
+    }
+}
+
+/// Extracts the raw text of one field from a flat JSON object. Minimal
+/// by design (no external deps): handles string, number and boolean
+/// values, and quoted keys in any order.
+fn json_field(obj: &str, key: &str) -> Result<String, String> {
+    let needle = format!("\"{key}\"");
+    let at = obj
+        .find(&needle)
+        .ok_or_else(|| format!("missing {key:?} in {obj:?}"))?;
+    let rest = &obj[at + needle.len()..];
+    let rest = rest
+        .trim_start()
+        .strip_prefix(':')
+        .ok_or_else(|| format!("expected ':' after {key:?}"))?
+        .trim_start();
+    if let Some(stripped) = rest.strip_prefix('"') {
+        let end = stripped
+            .find('"')
+            .ok_or_else(|| format!("unterminated string for {key:?}"))?;
+        Ok(format!("\"{}\"", &stripped[..end]))
+    } else {
+        let end = rest
+            .find([',', '}'])
+            .ok_or_else(|| format!("unterminated value for {key:?}"))?;
+        Ok(rest[..end].trim().to_string())
+    }
+}
+
+fn unquote(s: &str) -> String {
+    s.trim_matches('"').to_string()
+}
+
+fn parse_value(raw: &str) -> Value {
+    let raw = raw.trim();
+    if let Some(stripped) = raw.strip_prefix('"') {
+        return Value::text(stripped.trim_end_matches('"'));
+    }
+    match raw {
+        "true" => return Value::Bool(true),
+        "false" => return Value::Bool(false),
+        _ => {}
+    }
+    if let Ok(i) = raw.parse::<i64>() {
+        return Value::Int(i);
+    }
+    if let Ok(f) = raw.parse::<f64>() {
+        return Value::Float(f);
+    }
+    Value::text(raw)
+}
+
+fn cmd_stream(args: &[String]) -> Result<(), String> {
+    use std::io::BufRead;
+
+    let opts = parse_stream_opts(args)?;
+    let doc = std::fs::read_to_string(&opts.spec_path)
+        .map_err(|e| format!("reading {:?}: {e}", opts.spec_path))?;
+    let live = event_correlation::spec::load_str_live(&doc)
+        .map_err(|e| format!("loading {:?}: {e}", opts.spec_path))?;
+    let settings = live.settings.clone();
+
+    let policy = if let Some(n) = opts.epoch_count {
+        EpochPolicy::ByCount(n.max(1))
+    } else if let Some(ms) = opts.epoch_ms {
+        EpochPolicy::ByInterval(std::time::Duration::from_millis(ms.max(1)))
+    } else {
+        EpochPolicy::Manual
+    };
+    let mut builder = StreamRuntimeBuilder::from_correlator(live.builder, live.feeds)
+        .threads(opts.threads.unwrap_or(settings.threads))
+        .max_inflight(settings.max_inflight)
+        .epoch_policy(policy)
+        .record_history(false)
+        .record_script(false)
+        .subscribe(|e| {
+            println!("[phase {}] {} = {}", e.phase, e.name, e.value);
+        });
+    if let Some(capacity) = opts.capacity {
+        builder = builder.ingest_capacity(capacity);
+    }
+    if opts.reject {
+        builder = builder.backpressure(Backpressure::Reject);
+    }
+    let rt = builder.build().map_err(|e| e.to_string())?;
+
+    let names = rt.live_source_names();
+    if !opts.quiet {
+        eprintln!(
+            "streaming {:?}: live sources {:?}, epoch policy {policy:?}",
+            opts.spec_path, names
+        );
+    }
+    let mut handles = std::collections::HashMap::new();
+    for name in &names {
+        handles.insert(
+            name.clone(),
+            rt.handle_by_name(name).map_err(|e| e.to_string())?,
+        );
+    }
+
+    let stdin = std::io::stdin();
+    let mut events: u64 = 0;
+    let mut skipped: u64 = 0;
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| format!("reading stdin: {e}"))?;
+        if line.trim().is_empty() {
+            // A blank line is an explicit epoch boundary: tick, not
+            // flush, so it commits a phase even with nothing buffered
+            // (scripted sources still advance).
+            rt.tick().map_err(|e| e.to_string())?;
+            continue;
+        }
+        match parse_event_line(&line) {
+            Ok((source, value)) => match handles.get(&source) {
+                Some(handle) => {
+                    // This thread is the only sealer under the manual
+                    // policy, so a full queue must be flushed here —
+                    // blocking in push would deadlock the stream. Under
+                    // --reject the queue is left full so overflow drops
+                    // (that mode's contract).
+                    if !opts.reject && handle.buffered() >= handle.capacity() {
+                        rt.flush().map_err(|e| e.to_string())?;
+                    }
+                    match handle.push(value) {
+                        Ok(()) => events += 1,
+                        Err(PushError::Full) => {
+                            skipped += 1;
+                            eprintln!("warning: {source:?} queue full, event dropped");
+                        }
+                        Err(e) => return Err(e.to_string()),
+                    }
+                }
+                None => {
+                    skipped += 1;
+                    eprintln!("warning: unknown source {source:?}, event dropped");
+                }
+            },
+            Err(msg) => {
+                skipped += 1;
+                eprintln!("warning: {msg}, line dropped");
+            }
+        }
+    }
+    let report = rt.shutdown().map_err(|e| e.to_string())?;
+    if !opts.quiet {
+        eprintln!(
+            "stream done: {events} events in, {skipped} dropped, {} phases, \
+             {} executions, {} sink outputs",
+            report.phases, report.metrics.executions, report.metrics.sink_outputs
+        );
     }
     Ok(())
 }

@@ -13,6 +13,7 @@
 //! | [`core`] | the parallel engine (Listings 1–2), sequential oracle, baselines |
 //! | [`fusion`] | operator library (thresholds, anomalies, correlation) + builder |
 //! | [`spec`] | XML computation specifications (§4's input format) |
+//! | [`runtime`] | online streaming runtime: live ingestion, epochs, backpressure, subscriptions |
 //!
 //! ## Quickstart
 //!
@@ -36,12 +37,16 @@ pub use ec_core as core;
 pub use ec_events as events;
 pub use ec_fusion as fusion;
 pub use ec_graph as graph;
+pub use ec_runtime as runtime;
 pub use ec_spec as spec;
 
 /// One-stop import for application code.
 pub mod prelude {
     pub use ec_core::{Engine, EngineError, Module, RunReport, Sequential};
     pub use ec_fusion::prelude::*;
+    pub use ec_runtime::{
+        Backpressure, EpochPolicy, SinkEmission, SourceHandle, StreamRuntime, StreamRuntimeBuilder,
+    };
     pub use ec_spec::{load_file, load_str};
 }
 

@@ -39,7 +39,10 @@ fn validate_reports_graph_stats() {
     let out = ec(&["validate", path.to_str().unwrap()]);
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
-    assert!(text.contains("3 nodes (1 sources, 1 sinks), 2 edges"), "{text}");
+    assert!(
+        text.contains("3 nodes (1 sources, 1 sinks), 2 edges"),
+        "{text}"
+    );
     assert!(text.contains("depth 3"), "{text}");
 }
 
@@ -61,7 +64,15 @@ fn run_parallel_and_sequential() {
 #[test]
 fn run_flag_overrides() {
     let path = write_spec("flags.xml", SPEC);
-    let out = ec(&["run", path.to_str().unwrap(), "--phases", "5", "--threads", "1", "--quiet"]);
+    let out = ec(&[
+        "run",
+        path.to_str().unwrap(),
+        "--phases",
+        "5",
+        "--threads",
+        "1",
+        "--quiet",
+    ]);
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("5 phases on 1 threads"), "{text}");
@@ -100,4 +111,153 @@ fn demo_runs() {
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("demo:"), "{text}");
+}
+
+/// Runs `ec` with the given stdin content piped in.
+fn ec_with_stdin(args: &[&str], stdin: &str) -> Output {
+    use std::io::Write;
+    use std::process::Stdio;
+    let mut child = Command::new(env!("CARGO_BIN_EXE_ec"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("ec binary spawns");
+    child
+        .stdin
+        .take()
+        .expect("stdin piped")
+        .write_all(stdin.as_bytes())
+        .expect("stdin writes");
+    child.wait_with_output().expect("ec binary runs")
+}
+
+const LIVE_SPEC: &str = r#"<computation threads="2">
+  <node id="tx" type="live"/>
+  <node id="avg" type="moving-average" window="3"><input ref="tx"/></node>
+  <node id="big" type="threshold" level="100"><input ref="avg"/></node>
+</computation>"#;
+
+#[test]
+fn stream_ingests_csv_and_ndjson() {
+    let path = write_spec("live.xml", LIVE_SPEC);
+    let input = "tx,10\ntx,20\n\n{\"source\": \"tx\", \"value\": 400}\n\ntx,5\n";
+    let out = ec_with_stdin(&["stream", path.to_str().unwrap()], input);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    // The moving average crosses 100 once the 400 event lands (phase 3).
+    assert!(text.contains("[phase 1] big = false"), "{text}");
+    assert!(text.contains("[phase 3] big = true"), "{text}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("4 events in, 0 dropped, 4 phases"), "{err}");
+}
+
+#[test]
+fn stream_epoch_count_policy() {
+    let path = write_spec("live_count.xml", LIVE_SPEC);
+    // No explicit flushes: the count policy seals every 2 events.
+    let input = "tx,10\ntx,20\ntx,400\ntx,400\n";
+    let out = ec_with_stdin(
+        &[
+            "stream",
+            path.to_str().unwrap(),
+            "--epoch-count",
+            "2",
+            "--quiet",
+        ],
+        input,
+    );
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("big = true"), "{text}");
+}
+
+#[test]
+fn stream_reports_bad_lines_and_unknown_sources() {
+    let path = write_spec("live_bad.xml", LIVE_SPEC);
+    let input = "not-an-event\nnope,1\ntx,10\n";
+    let out = ec_with_stdin(&["stream", path.to_str().unwrap()], input);
+    assert!(out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("warning:"), "{err}");
+    assert!(err.contains("1 events in, 2 dropped"), "{err}");
+}
+
+#[test]
+fn stream_rejects_conflicting_epoch_flags() {
+    let path = write_spec("live_conflict.xml", LIVE_SPEC);
+    let out = ec_with_stdin(
+        &[
+            "stream",
+            path.to_str().unwrap(),
+            "--epoch-count",
+            "2",
+            "--epoch-ms",
+            "5",
+        ],
+        "",
+    );
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("mutually exclusive"), "{err}");
+}
+
+#[test]
+fn stream_flushes_on_full_queue_instead_of_hanging() {
+    let path = write_spec("live_full.xml", LIVE_SPEC);
+    // 10 events, no blank lines, capacity 4: the CLI must self-seal
+    // when a queue fills (blocking would deadlock the single-threaded
+    // reader) and still ingest every event.
+    let mut input = String::new();
+    for i in 0..10 {
+        input.push_str(&format!("tx,{}\n", i * 50));
+    }
+    let out = ec_with_stdin(
+        &["stream", path.to_str().unwrap(), "--capacity", "4"],
+        &input,
+    );
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("10 events in, 0 dropped, 10 phases"), "{err}");
+}
+
+#[test]
+fn stream_reject_mode_drops_overflow() {
+    let path = write_spec("live_reject.xml", LIVE_SPEC);
+    let mut input = String::new();
+    for i in 0..10 {
+        input.push_str(&format!("tx,{}\n", i * 50));
+    }
+    let out = ec_with_stdin(
+        &[
+            "stream",
+            path.to_str().unwrap(),
+            "--capacity",
+            "4",
+            "--reject",
+        ],
+        &input,
+    );
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // First 4 fill the queue; the rest drop; shutdown seals the 4.
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("4 events in, 6 dropped, 4 phases"), "{err}");
+    assert!(err.contains("queue full, event dropped"), "{err}");
 }

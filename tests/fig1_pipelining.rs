@@ -8,9 +8,7 @@
 //! several distinct phases execute concurrently, and deep pipelining
 //! never violates serializability.
 
-use event_correlation::core::{
-    Engine, Module, PassThrough, Sequential, SourceModule, Workload,
-};
+use event_correlation::core::{Engine, Module, PassThrough, Sequential, SourceModule, Workload};
 use event_correlation::events::sources::Counter;
 use event_correlation::graph::{generators, Topology};
 
@@ -32,7 +30,11 @@ fn fig1_graph_has_depth_five() {
     let dag = generators::fig1_graph();
     let topo = Topology::analyze(&dag);
     assert_eq!(dag.vertex_count(), 10);
-    assert_eq!(topo.depth(), 5, "five phases can be in flight, one per level");
+    assert_eq!(
+        topo.depth(),
+        5,
+        "five phases can be in flight, one per level"
+    );
 }
 
 #[test]

@@ -77,8 +77,7 @@ fn reordered_delivery_feeds_engine_correctly() {
     let via_network = engine.run(EVENTS as u64).unwrap().history.unwrap();
 
     // Ground truth: feed the engine directly, no network simulation.
-    let direct_script: Vec<Option<Value>> =
-        truth.iter().map(|&x| Some(Value::Float(x))).collect();
+    let direct_script: Vec<Option<Value>> = truth.iter().map(|&x| Some(Value::Float(x))).collect();
     let mut seq = Sequential::new(&dag, make(direct_script)).unwrap();
     seq.run(EVENTS as u64).unwrap();
 

@@ -38,7 +38,10 @@ fn hurricane_spec_runs() {
     assert_eq!(report.metrics.phases_completed, 336);
     let history = report.history.unwrap();
     let levels = history.sink_outputs_of(crisis.vertex());
-    assert!(!levels.is_empty(), "crisis level should report at least once");
+    assert!(
+        !levels.is_empty(),
+        "crisis level should report at least once"
+    );
 }
 
 #[test]

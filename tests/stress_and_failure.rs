@@ -18,8 +18,7 @@ fn exactly_once_under_heavy_concurrency() {
     let dag = generators::layered(5, 4, 2, 31);
     let n = dag.vertex_count();
     let phases: u64 = 50;
-    let counters: Arc<Vec<AtomicU64>> =
-        Arc::new((0..n).map(|_| AtomicU64::new(0)).collect());
+    let counters: Arc<Vec<AtomicU64>> = Arc::new((0..n).map(|_| AtomicU64::new(0)).collect());
 
     let modules: Vec<Box<dyn Module>> = dag
         .vertices()
