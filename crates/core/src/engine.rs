@@ -25,6 +25,7 @@
 //! * Module panics are caught and turn the run into an error instead of
 //!   a hang.
 
+use crate::checkpoint::EngineCheckpoint;
 use crate::error::EngineError;
 use crate::history::ExecutionHistory;
 use crate::metrics::{Metrics, MetricsSnapshot, PhaseGauge};
@@ -53,6 +54,7 @@ pub struct EngineBuilder {
     record_history: bool,
     trace: bool,
     check_invariants: bool,
+    resume_from: u64,
 }
 
 impl EngineBuilder {
@@ -70,6 +72,7 @@ impl EngineBuilder {
             record_history: true,
             trace: false,
             check_invariants: false,
+            resume_from: 0,
         }
     }
 
@@ -113,6 +116,15 @@ impl EngineBuilder {
         self
     }
 
+    /// Resumes phase numbering after `phase`: the first phase this
+    /// engine starts is `phase + 1`, as if phases `1..=phase` had
+    /// completed in a previous process. Used by checkpoint/restore
+    /// (`ec-store`) together with [`Engine::restore_checkpoint`].
+    pub fn resume_from(mut self, phase: u64) -> Self {
+        self.resume_from = phase;
+        self
+    }
+
     /// Builds the engine.
     pub fn build(self) -> Result<Engine, EngineError> {
         let numbering = Numbering::compute(&self.dag);
@@ -136,6 +148,9 @@ impl EngineBuilder {
             .collect();
 
         let mut state = SchedState::new(numbering.m_table());
+        if self.resume_from > 0 {
+            state.resume_from(self.resume_from);
+        }
         if self.trace {
             state.enable_trace();
         }
@@ -204,6 +219,16 @@ pub(crate) struct Shared {
 }
 
 impl Shared {
+    /// Number of vertex slots.
+    pub(crate) fn vertex_count(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// The vertex slots, in schedule order.
+    pub(crate) fn vertex_slots(&self) -> impl Iterator<Item = &Mutex<VertexSlot>> {
+        self.vertices.iter()
+    }
+
     pub(crate) fn enqueue_all(&self, transition: &mut Transition) {
         self.metrics
             .enqueued
@@ -250,9 +275,11 @@ impl Shared {
         let exec_start = Instant::now();
         let result = catch_unwind(AssertUnwindSafe(|| {
             let mut slot = self.vertices[slot_pos].lock();
+            // The task owns its inputs: translate indices by value
+            // instead of cloning every message payload.
             let fresh: Vec<(VertexId, Value)> = inputs
-                .iter()
-                .map(|(i, v)| (self.numbering.vertex_at(*i), v.clone()))
+                .into_iter()
+                .map(|(i, v)| (self.numbering.vertex_at(i), v))
                 .collect();
             let emission = slot.execute(phase_t, &fresh);
             route_emission(
@@ -498,6 +525,49 @@ impl Engine {
             history,
             trace,
         })
+    }
+
+    /// Applies an [`EngineCheckpoint`] to the (idle) engine: every
+    /// vertex's module state and latest-value memory is restored from
+    /// the captured state. The graph must have been rebuilt identically
+    /// (same wiring, same modules); combine with
+    /// [`EngineBuilder::resume_from`] so phase numbering continues where
+    /// the checkpoint left off.
+    pub fn restore_checkpoint(&self, checkpoint: &EngineCheckpoint) -> Result<(), EngineError> {
+        let n = self.shared.vertices.len();
+        if checkpoint.vertices.len() != n {
+            return Err(EngineError::Config(format!(
+                "checkpoint covers {} vertices, graph has {n}",
+                checkpoint.vertices.len()
+            )));
+        }
+        // Every vertex exactly once: with len == n, uniqueness makes the
+        // mapping a bijection — a duplicated entry would otherwise leave
+        // some other vertex silently unrestored.
+        let mut restored = vec![false; n];
+        for state in &checkpoint.vertices {
+            if state.vertex.index() >= n {
+                return Err(EngineError::Config(format!(
+                    "checkpoint names unknown {:?}",
+                    state.vertex
+                )));
+            }
+            if std::mem::replace(&mut restored[state.vertex.index()], true) {
+                return Err(EngineError::Config(format!(
+                    "checkpoint lists {:?} twice",
+                    state.vertex
+                )));
+            }
+            let idx = self.shared.numbering.index_of(state.vertex);
+            let slot_pos = (idx as usize)
+                .checked_sub(1)
+                .filter(|&i| i < n)
+                .ok_or_else(|| {
+                    EngineError::Config(format!("checkpoint names unknown {:?}", state.vertex))
+                })?;
+            self.shared.vertices[slot_pos].lock().restore(state)?;
+        }
+        Ok(())
     }
 
     /// Converts this (idle) engine into a [`LiveEngine`](crate::live::LiveEngine):

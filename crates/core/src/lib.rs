@@ -55,6 +55,7 @@
 #![warn(missing_docs)]
 
 pub mod barrier;
+pub mod checkpoint;
 pub mod dense;
 pub mod distributed;
 pub mod engine;
@@ -73,6 +74,7 @@ pub mod trace_dot;
 mod vertex;
 
 pub use barrier::BarrierParallel;
+pub use checkpoint::{EngineCheckpoint, VertexState};
 pub use dense::densify;
 pub use distributed::{DistributedSim, MachineStats};
 pub use engine::{Engine, EngineBuilder, RunReport};

@@ -23,6 +23,7 @@
 //! exact serial order — what an online subscriber must observe for the
 //! runtime to remain serializable from the outside.
 
+use crate::checkpoint::EngineCheckpoint;
 use crate::engine::{RunReport, Shared};
 use crate::error::EngineError;
 use crate::history::{ExecutionHistory, SinkRecord};
@@ -111,6 +112,82 @@ impl LiveEngine {
         drop(st);
         self.shared.metrics.phases_started.fetch_add(1, Relaxed);
         Ok(phase)
+    }
+
+    /// Starts up to `limit` phases under a **single** acquisition of
+    /// the global lock, returning how many were started.
+    ///
+    /// [`admit`](LiveEngine::admit) pays one lock round-trip per phase;
+    /// a bursty ingestion front end sealing `k` queued events at once
+    /// can amortize that to one acquisition per batch. Blocks (like
+    /// `admit`) while the in-flight throttle is saturated, then starts
+    /// `min(limit, remaining in-flight headroom)` phases — always at
+    /// least one. Sources must have input staged for *every* started
+    /// phase before the call.
+    pub fn admit_batch(&self, limit: u64) -> Result<u64, EngineError> {
+        if limit == 0 {
+            return Ok(0);
+        }
+        let mut st = self.shared.state.lock();
+        while st.failed.is_none()
+            && st.inflight() >= self.max_inflight
+            && !self.closing.load(Relaxed)
+        {
+            self.shared.progress.wait(&mut st);
+        }
+        if let Some(msg) = &st.failed {
+            return Err(EngineError::WorkerPanic(msg.clone()));
+        }
+        if self.closing.load(Relaxed) {
+            return Err(EngineError::Config("engine is shut down".into()));
+        }
+        let headroom = self.max_inflight - st.inflight();
+        let batch = limit.min(headroom).max(1);
+        for _ in 0..batch {
+            let (_, mut transition) = st.start_phase();
+            if self.shared.check_invariants {
+                if let Err(msg) = st.check_invariants() {
+                    drop(st);
+                    let error = EngineError::InvariantViolation(msg);
+                    self.shared.fail(error.clone());
+                    return Err(error);
+                }
+            }
+            self.shared.enqueue_all(&mut transition);
+        }
+        drop(st);
+        self.shared.metrics.phases_started.fetch_add(batch, Relaxed);
+        Ok(batch)
+    }
+
+    /// Captures every vertex's state ([`EngineCheckpoint`]) at the
+    /// current retired phase boundary.
+    ///
+    /// Requires the engine to be idle (every admitted phase completed);
+    /// errors otherwise — a mid-flight capture would not be a
+    /// serializable cut. The global lock is held for the duration, so
+    /// no phase can be admitted while state is read; at idle no worker
+    /// holds a vertex lock, so acquiring them here cannot deadlock.
+    pub fn checkpoint_vertices(&self) -> Result<EngineCheckpoint, EngineError> {
+        let st = self.shared.state.lock();
+        if let Some(msg) = &st.failed {
+            return Err(EngineError::WorkerPanic(msg.clone()));
+        }
+        if st.completed_through() != st.pmax() {
+            return Err(EngineError::Config(format!(
+                "checkpoint requires an idle engine ({} of {} phases complete)",
+                st.completed_through(),
+                st.pmax()
+            )));
+        }
+        let phase = st.completed_through();
+        let mut vertices = Vec::with_capacity(self.shared.vertex_count());
+        for slot in self.shared.vertex_slots() {
+            vertices.push(slot.lock().checkpoint()?);
+        }
+        drop(st);
+        vertices.sort_by_key(|v| v.vertex);
+        Ok(EngineCheckpoint { phase, vertices })
     }
 
     /// Highest phase admitted so far.
@@ -440,5 +517,171 @@ mod tests {
         live.admit().unwrap();
         live.shutdown().unwrap();
         assert!(live.admit().is_err());
+    }
+
+    #[test]
+    fn admit_batch_matches_oracle() {
+        let live = live_chain(4, 4);
+        let mut remaining = 20u64;
+        while remaining > 0 {
+            remaining -= live.admit_batch(remaining).unwrap();
+        }
+        assert_eq!(live.admitted(), 20);
+        let report = live.shutdown().unwrap();
+
+        let dag = generators::chain(4);
+        let mut seq = Sequential::new(&dag, chain_modules(4)).unwrap();
+        seq.run(20).unwrap();
+        assert_eq!(
+            seq.into_history().equivalent(&report.history.unwrap()),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn admit_batch_respects_inflight_headroom() {
+        // max_inflight = 3: a batch of 10 admits at most 3 at once.
+        let dag = generators::chain(2);
+        let live = Engine::builder(dag, chain_modules(2))
+            .threads(2)
+            .max_inflight(3)
+            .build()
+            .unwrap()
+            .into_live();
+        let first = live.admit_batch(10).unwrap();
+        assert!((1..=3).contains(&first), "batch of {first}");
+        live.wait_idle().unwrap();
+        live.shutdown().unwrap();
+    }
+
+    #[test]
+    fn admit_batch_zero_is_noop() {
+        let live = live_chain(2, 1);
+        assert_eq!(live.admit_batch(0).unwrap(), 0);
+        live.shutdown().unwrap();
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_exactly() {
+        // Run 5 phases live, checkpoint, rebuild a fresh engine from the
+        // checkpoint, run 5 more — the continuation must match phases
+        // 6..=10 of an uninterrupted run.
+        let live = live_chain(3, 2);
+        for _ in 0..5 {
+            live.admit().unwrap();
+        }
+        live.wait_idle().unwrap();
+        let chk = live.checkpoint_vertices().unwrap();
+        assert_eq!(chk.phase, 5);
+        live.shutdown().unwrap();
+
+        // Round-trip through bytes, as ec-store will.
+        let chk = EngineCheckpoint::decode(&chk.encode()).unwrap();
+
+        let dag = generators::chain(3);
+        let resumed = Engine::builder(dag, chain_modules(3))
+            .threads(2)
+            .resume_from(chk.phase)
+            .build()
+            .unwrap();
+        resumed.restore_checkpoint(&chk).unwrap();
+        let resumed = resumed.into_live();
+        for _ in 0..5 {
+            resumed.admit().unwrap();
+        }
+        let report = resumed.shutdown().unwrap();
+        assert_eq!(report.phases, 10); // completed_through continues
+        let history = report.history.unwrap();
+        let sink = resumed.numbering().vertex_at(3);
+        let outs: Vec<(u64, i64)> = history
+            .sink_outputs_of(sink)
+            .iter()
+            .map(|(p, v)| (p.get(), v.as_i64().unwrap()))
+            .collect();
+        // Counter state (5) restored; phases continue at 6.
+        assert_eq!(outs, (6..=10).map(|p| (p, p as i64)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn checkpoint_requires_idle() {
+        use crate::module::{Emission, ExecCtx, FnModule};
+        use std::sync::mpsc;
+
+        let dag = generators::chain(2);
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let gate = std::sync::Mutex::new(release_rx);
+        let modules: Vec<Box<dyn Module>> = vec![
+            Box::new(SourceModule::new(Counter::new())),
+            Box::new(FnModule::new("slow", move |_ctx: ExecCtx<'_>| {
+                gate.lock().unwrap().recv().unwrap();
+                Emission::Silent
+            })),
+        ];
+        let live = Engine::builder(dag, modules)
+            .threads(1)
+            .build()
+            .unwrap()
+            .into_live();
+        live.admit().unwrap();
+        let err = live.checkpoint_vertices().unwrap_err();
+        assert!(matches!(err, EngineError::Config(msg) if msg.contains("idle")));
+        release_tx.send(()).unwrap();
+        live.wait_idle().unwrap();
+        live.shutdown().unwrap();
+    }
+
+    #[test]
+    fn checkpoint_rejects_unsupported_modules() {
+        use crate::module::{Emission, ExecCtx, FnModule};
+        let dag = generators::chain(2);
+        let modules: Vec<Box<dyn Module>> = vec![
+            Box::new(SourceModule::new(Counter::new())),
+            // FnModule closures may capture arbitrary state: no default
+            // snapshot support.
+            Box::new(FnModule::new("opaque", |_ctx: ExecCtx<'_>| {
+                Emission::Silent
+            })),
+        ];
+        let live = Engine::builder(dag, modules)
+            .threads(1)
+            .build()
+            .unwrap()
+            .into_live();
+        let err = live.checkpoint_vertices().unwrap_err();
+        assert!(
+            matches!(err, EngineError::Config(msg) if msg.contains("opaque")),
+            "error should name the offending module"
+        );
+        live.shutdown().unwrap();
+    }
+
+    #[test]
+    fn restore_rejects_duplicate_vertex_states() {
+        let live = live_chain(3, 1);
+        live.admit().unwrap();
+        live.wait_idle().unwrap();
+        let mut chk = live.checkpoint_vertices().unwrap();
+        live.shutdown().unwrap();
+
+        // Duplicate one entry in place of another: same length, all
+        // indices valid — only the uniqueness check can catch it.
+        chk.vertices[2] = chk.vertices[1].clone();
+        let dag = generators::chain(3);
+        let resumed = Engine::builder(dag, chain_modules(3)).build().unwrap();
+        let err = resumed.restore_checkpoint(&chk).unwrap_err();
+        assert!(matches!(err, EngineError::Config(msg) if msg.contains("twice")));
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_graph() {
+        let live = live_chain(3, 1);
+        live.admit().unwrap();
+        live.wait_idle().unwrap();
+        let chk = live.checkpoint_vertices().unwrap();
+        live.shutdown().unwrap();
+
+        let dag = generators::chain(2); // wrong shape
+        let resumed = Engine::builder(dag, chain_modules(2)).build().unwrap();
+        assert!(resumed.restore_checkpoint(&chk).is_err());
     }
 }

@@ -8,7 +8,9 @@
 //! modules that this vertex's outputs are unchanged — the paper's central
 //! efficiency idea.
 
-use ec_events::{EventSource, Phase, Value};
+use ec_events::{
+    EventSource, Phase, SnapshotError, StateReader, StateSnapshot, StateWriter, Value,
+};
 use ec_graph::VertexId;
 
 /// What a module emits after executing one phase.
@@ -112,6 +114,29 @@ pub trait Module: Send {
     fn name(&self) -> &str {
         "module"
     }
+
+    /// Serializes the module's internal state for checkpointing.
+    ///
+    /// Called only at a retired phase boundary (no execution of this
+    /// module is concurrent or pending). The default is
+    /// [`StateSnapshot::Unsupported`], which makes checkpoint creation
+    /// fail loudly — a stateful module that silently restored empty
+    /// state would break the serializability-across-restarts guarantee.
+    /// Return [`StateSnapshot::Stateless`] from modules with nothing to
+    /// save.
+    fn snapshot_state(&self) -> StateSnapshot {
+        StateSnapshot::Unsupported
+    }
+
+    /// Restores state captured by
+    /// [`snapshot_state`](Module::snapshot_state). Never called for
+    /// [`StateSnapshot::Stateless`] modules.
+    fn restore_state(&mut self, _bytes: &[u8]) -> Result<(), SnapshotError> {
+        Err(SnapshotError::new(format!(
+            "module {:?} does not support state restore",
+            self.name()
+        )))
+    }
 }
 
 impl Module for Box<dyn Module> {
@@ -121,6 +146,14 @@ impl Module for Box<dyn Module> {
 
     fn name(&self) -> &str {
         (**self).name()
+    }
+
+    fn snapshot_state(&self) -> StateSnapshot {
+        (**self).snapshot_state()
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        (**self).restore_state(bytes)
     }
 }
 
@@ -156,6 +189,14 @@ impl Module for SourceModule {
 
     fn name(&self) -> &str {
         "source"
+    }
+
+    fn snapshot_state(&self) -> StateSnapshot {
+        self.source.snapshot_state()
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        self.source.restore_state(bytes)
     }
 }
 
@@ -207,6 +248,14 @@ impl Module for PassThrough {
     fn name(&self) -> &str {
         "pass-through"
     }
+
+    fn snapshot_state(&self) -> StateSnapshot {
+        StateSnapshot::Stateless
+    }
+
+    fn restore_state(&mut self, _bytes: &[u8]) -> Result<(), SnapshotError> {
+        Ok(())
+    }
 }
 
 /// Sums the latest values of all inputs and broadcasts the sum whenever
@@ -231,6 +280,14 @@ impl Module for SumModule {
 
     fn name(&self) -> &str {
         "sum"
+    }
+
+    fn snapshot_state(&self) -> StateSnapshot {
+        StateSnapshot::Stateless
+    }
+
+    fn restore_state(&mut self, _bytes: &[u8]) -> Result<(), SnapshotError> {
+        Ok(())
     }
 }
 
@@ -262,6 +319,14 @@ impl<M: Module> Module for Workload<M> {
 
     fn name(&self) -> &str {
         "workload"
+    }
+
+    fn snapshot_state(&self) -> StateSnapshot {
+        self.inner.snapshot_state()
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        self.inner.restore_state(bytes)
     }
 }
 
@@ -313,6 +378,38 @@ impl<M: Module> Module for AlwaysEmit<M> {
     fn name(&self) -> &str {
         "always-emit"
     }
+
+    fn snapshot_state(&self) -> StateSnapshot {
+        let inner = match self.inner.snapshot_state() {
+            StateSnapshot::Unsupported => return StateSnapshot::Unsupported,
+            inner => inner,
+        };
+        let mut w = StateWriter::new();
+        w.put_opt_value(&self.last);
+        match inner {
+            StateSnapshot::Stateless => w.put_u8(0),
+            StateSnapshot::Bytes(b) => {
+                w.put_u8(1);
+                w.put_bytes(&b);
+            }
+            StateSnapshot::Unsupported => unreachable!("returned above"),
+        }
+        StateSnapshot::from_writer(w)
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        let mut r = StateReader::new(bytes);
+        self.last = r.get_opt_value()?;
+        match r.get_u8()? {
+            0 => {}
+            1 => {
+                let inner = r.get_bytes()?;
+                self.inner.restore_state(&inner)?;
+            }
+            other => return Err(SnapshotError::new(format!("bad inner tag {other}"))),
+        }
+        r.finish()
+    }
 }
 
 /// A sink module that retains every value it receives; the engine also
@@ -351,6 +448,29 @@ impl Module for CollectSink {
 
     fn name(&self) -> &str {
         "collect-sink"
+    }
+
+    fn snapshot_state(&self) -> StateSnapshot {
+        let mut w = StateWriter::new();
+        w.put_u32(self.seen.len() as u32);
+        for (phase, value) in &self.seen {
+            w.put_u64(phase.get());
+            w.put_value(value);
+        }
+        StateSnapshot::from_writer(w)
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        let mut r = StateReader::new(bytes);
+        let n = r.get_u32()? as usize;
+        let mut seen = Vec::with_capacity(n);
+        for _ in 0..n {
+            let phase = Phase(r.get_u64()?);
+            seen.push((phase, r.get_value()?));
+        }
+        r.finish()?;
+        self.seen = seen;
+        Ok(())
     }
 }
 

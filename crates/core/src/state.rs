@@ -127,6 +127,21 @@ impl SchedState {
         }
     }
 
+    /// Re-bases the phase counters so the next started phase is
+    /// `base + 1` — resuming a run whose phases `1..=base` completed in
+    /// a previous process (checkpoint/restore). Only valid before any
+    /// phase has started.
+    pub fn resume_from(&mut self, base: u64) {
+        assert_eq!(
+            (self.pmax, self.completed_through),
+            (0, 0),
+            "resume_from on a state that has already started phases"
+        );
+        self.pmax = base;
+        self.next = base + 1;
+        self.completed_through = base;
+    }
+
     /// Enables Figure-3-style tracing.
     pub fn enable_trace(&mut self) {
         self.trace = Some(Trace::default());

@@ -8,11 +8,12 @@
 //! between them is in scheduling alone — which is exactly what the
 //! serializability tests need to isolate.
 
+use crate::checkpoint::VertexState;
 use crate::error::EngineError;
 use crate::history::RecordedEmission;
 use crate::module::{Emission, ExecCtx, InputView, Module};
 use crate::state::Idx;
-use ec_events::{Phase, Value};
+use ec_events::{Phase, StateSnapshot, Value};
 use ec_graph::{Dag, Numbering, VertexId};
 
 /// A vertex's module plus its input memory.
@@ -90,6 +91,63 @@ impl VertexSlot {
             is_source: self.is_source,
         };
         self.module.execute(ctx)
+    }
+
+    /// Captures the slot's state (module snapshot + latest-value
+    /// memory). Errors if the module does not support snapshots.
+    pub fn checkpoint(&self) -> Result<VertexState, EngineError> {
+        let module = self.module.snapshot_state();
+        if matches!(module, StateSnapshot::Unsupported) {
+            return Err(EngineError::Config(format!(
+                "vertex {:?} module {:?} does not support state snapshots",
+                self.vertex_id,
+                self.module.name()
+            )));
+        }
+        Ok(VertexState {
+            vertex: self.vertex_id,
+            module,
+            latest: self.latest.clone(),
+        })
+    }
+
+    /// Applies a captured [`VertexState`] to this slot.
+    pub fn restore(&mut self, state: &VertexState) -> Result<(), EngineError> {
+        if state.vertex != self.vertex_id {
+            return Err(EngineError::Config(format!(
+                "checkpoint for {:?} applied to {:?}",
+                state.vertex, self.vertex_id
+            )));
+        }
+        if state.latest.len() != self.latest.len() {
+            return Err(EngineError::Config(format!(
+                "checkpoint for {:?} has {} input edges, graph has {} \
+                 (was the graph rebuilt identically?)",
+                self.vertex_id,
+                state.latest.len(),
+                self.latest.len()
+            )));
+        }
+        match &state.module {
+            StateSnapshot::Stateless => {}
+            StateSnapshot::Bytes(bytes) => {
+                self.module.restore_state(bytes).map_err(|e| {
+                    EngineError::Config(format!(
+                        "restoring {:?} module {:?}: {e}",
+                        self.vertex_id,
+                        self.module.name()
+                    ))
+                })?;
+            }
+            StateSnapshot::Unsupported => {
+                return Err(EngineError::Config(format!(
+                    "checkpoint for {:?} marked unsupported",
+                    self.vertex_id
+                )));
+            }
+        }
+        self.latest = state.latest.clone();
+        Ok(())
     }
 }
 

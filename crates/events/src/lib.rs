@@ -19,6 +19,8 @@
 //!   over event stream histories" the paper's §1 motivates, such as a
 //!   moving average being two standard deviations away from a regression
 //!   model.
+//! * [`snapshot`] — the [`StateSnapshot`] capability and byte codec
+//!   behind checkpoint/restore (`ec-store`).
 
 #![warn(missing_docs)]
 
@@ -27,6 +29,7 @@ pub mod event;
 pub mod live;
 pub mod phase;
 pub mod reorder;
+pub mod snapshot;
 pub mod sources;
 pub mod stats;
 pub mod timestamp;
@@ -36,6 +39,7 @@ pub mod window;
 pub use event::Event;
 pub use live::{FeedWriter, LiveFeed};
 pub use phase::Phase;
+pub use snapshot::{SnapshotError, StateReader, StateSnapshot, StateWriter};
 pub use sources::EventSource;
 pub use timestamp::Timestamp;
 pub use value::Value;

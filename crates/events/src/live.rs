@@ -15,6 +15,7 @@
 //! [`Replay`](crate::sources::Replay) reproduces the run exactly.
 
 use crate::phase::Phase;
+use crate::snapshot::{SnapshotError, StateReader, StateSnapshot, StateWriter};
 use crate::sources::EventSource;
 use crate::value::Value;
 use std::collections::VecDeque;
@@ -69,6 +70,39 @@ impl EventSource for LiveFeed {
 
     fn kind(&self) -> &'static str {
         "live-feed"
+    }
+
+    /// Snapshots the staged-but-unconsumed bins plus the diagnostic
+    /// counters. At a retired phase boundary (where checkpoints are
+    /// taken) the bin queue is empty — every staged bin has been
+    /// polled — so this is normally just the counters.
+    fn snapshot_state(&self) -> StateSnapshot {
+        let q = self.queue.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut w = StateWriter::new();
+        w.put_u64(q.pushed);
+        w.put_u64(q.underruns);
+        w.put_u32(q.bins.len() as u32);
+        for bin in &q.bins {
+            w.put_opt_value(bin);
+        }
+        StateSnapshot::from_writer(w)
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        let mut r = StateReader::new(bytes);
+        let pushed = r.get_u64()?;
+        let underruns = r.get_u64()?;
+        let n = r.get_u32()? as usize;
+        let mut bins = VecDeque::with_capacity(n);
+        for _ in 0..n {
+            bins.push_back(r.get_opt_value()?);
+        }
+        r.finish()?;
+        let mut q = self.queue.lock().unwrap_or_else(PoisonError::into_inner);
+        q.pushed = pushed;
+        q.underruns = underruns;
+        q.bins = bins;
+        Ok(())
     }
 }
 

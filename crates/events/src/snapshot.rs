@@ -1,0 +1,415 @@
+//! Operator-state snapshots: the byte-level capability behind
+//! checkpoint/restore.
+//!
+//! A live correlation service is only as durable as its operators'
+//! state: replaying a write-ahead log from phase 1 reproduces any run,
+//! but a service that has retired millions of phases cannot afford
+//! that. [`StateSnapshot`] is the capability every stateful component
+//! (event sources, modules, operators) can implement to serialize its
+//! internal state at a *retired phase boundary*, so recovery restores
+//! the state and replays only the log tail.
+//!
+//! The encoding is deliberately hand-rolled ([`StateWriter`] /
+//! [`StateReader`]): fixed-width little-endian scalars, length-prefixed
+//! strings and [`Value`]s. No self-description — a snapshot is only
+//! meaningful next to the code that wrote it, which recovery guarantees
+//! by rebuilding the identical graph first.
+
+use crate::value::Value;
+use std::fmt;
+use std::sync::Arc;
+
+/// What a component reports when asked to snapshot its state.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StateSnapshot {
+    /// The component keeps no state across phases; nothing to save and
+    /// nothing to restore.
+    Stateless,
+    /// Serialized internal state (decode with [`StateReader`]).
+    Bytes(Vec<u8>),
+    /// The component is stateful but cannot be snapshotted (e.g. it
+    /// wraps an opaque RNG). A checkpoint containing such a component
+    /// must fail rather than silently restore wrong state.
+    Unsupported,
+}
+
+impl StateSnapshot {
+    /// Shorthand: finishes a writer into a `Bytes` snapshot.
+    pub fn from_writer(w: StateWriter) -> StateSnapshot {
+        StateSnapshot::Bytes(w.into_bytes())
+    }
+}
+
+/// Error decoding or applying a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotError(pub String);
+
+impl SnapshotError {
+    /// Builds an error.
+    pub fn new(msg: impl Into<String>) -> SnapshotError {
+        SnapshotError(msg.into())
+    }
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "snapshot error: {}", self.0)
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// Append-only encoder for snapshot payloads.
+#[derive(Debug, Default)]
+pub struct StateWriter {
+    buf: Vec<u8>,
+}
+
+impl StateWriter {
+    /// New empty writer.
+    pub fn new() -> StateWriter {
+        StateWriter::default()
+    }
+
+    /// Finishes into the raw bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, x: u8) {
+        self.buf.push(x);
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32(&mut self, x: u32) {
+        self.buf.extend_from_slice(&x.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64(&mut self, x: u64) {
+        self.buf.extend_from_slice(&x.to_le_bytes());
+    }
+
+    /// Appends a little-endian `i64`.
+    pub fn put_i64(&mut self, x: i64) {
+        self.buf.extend_from_slice(&x.to_le_bytes());
+    }
+
+    /// Appends an `f64` (IEEE bits, so NaN round-trips exactly).
+    pub fn put_f64(&mut self, x: f64) {
+        self.buf.extend_from_slice(&x.to_bits().to_le_bytes());
+    }
+
+    /// Appends a boolean (one byte).
+    pub fn put_bool(&mut self, x: bool) {
+        self.buf.push(x as u8);
+    }
+
+    /// Appends `Some(f64)` or a none marker.
+    pub fn put_opt_f64(&mut self, x: Option<f64>) {
+        match x {
+            Some(v) => {
+                self.put_u8(1);
+                self.put_f64(v);
+            }
+            None => self.put_u8(0),
+        }
+    }
+
+    /// Appends `Some(u64)` or a none marker.
+    pub fn put_opt_u64(&mut self, x: Option<u64>) {
+        match x {
+            Some(v) => {
+                self.put_u8(1);
+                self.put_u64(v);
+            }
+            None => self.put_u8(0),
+        }
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Appends length-prefixed raw bytes.
+    pub fn put_bytes(&mut self, b: &[u8]) {
+        self.put_u32(b.len() as u32);
+        self.buf.extend_from_slice(b);
+    }
+
+    /// Appends a [`Value`] (tagged).
+    pub fn put_value(&mut self, v: &Value) {
+        match v {
+            Value::Unit => self.put_u8(0),
+            Value::Bool(b) => {
+                self.put_u8(1);
+                self.put_bool(*b);
+            }
+            Value::Int(i) => {
+                self.put_u8(2);
+                self.put_i64(*i);
+            }
+            Value::Float(x) => {
+                self.put_u8(3);
+                self.put_f64(*x);
+            }
+            Value::Text(s) => {
+                self.put_u8(4);
+                self.put_str(s);
+            }
+            Value::Vector(xs) => {
+                self.put_u8(5);
+                self.put_u32(xs.len() as u32);
+                for &x in xs.iter() {
+                    self.put_f64(x);
+                }
+            }
+        }
+    }
+
+    /// Appends `Some(value)` or a none marker — the encoding of one
+    /// phase-script bin.
+    pub fn put_opt_value(&mut self, v: &Option<Value>) {
+        match v {
+            Some(v) => {
+                self.put_u8(1);
+                self.put_value(v);
+            }
+            None => self.put_u8(0),
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing was written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// Cursor-based decoder matching [`StateWriter`].
+#[derive(Debug)]
+pub struct StateReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> StateReader<'a> {
+    /// Reader over a snapshot payload.
+    pub fn new(buf: &'a [u8]) -> StateReader<'a> {
+        StateReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Errors unless the payload was consumed exactly.
+    pub fn finish(self) -> Result<(), SnapshotError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(SnapshotError::new(format!(
+                "{} trailing bytes in snapshot",
+                self.remaining()
+            )))
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        if self.remaining() < n {
+            return Err(SnapshotError::new(format!(
+                "truncated snapshot: wanted {n} bytes, {} left",
+                self.remaining()
+            )));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `i64`.
+    pub fn get_i64(&mut self) -> Result<i64, SnapshotError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads an `f64` from IEEE bits.
+    pub fn get_f64(&mut self) -> Result<f64, SnapshotError> {
+        Ok(f64::from_bits(u64::from_le_bytes(
+            self.take(8)?.try_into().unwrap(),
+        )))
+    }
+
+    /// Reads a boolean.
+    pub fn get_bool(&mut self) -> Result<bool, SnapshotError> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(SnapshotError::new(format!("bad bool byte {other}"))),
+        }
+    }
+
+    /// Reads an optional `f64`.
+    pub fn get_opt_f64(&mut self) -> Result<Option<f64>, SnapshotError> {
+        match self.get_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.get_f64()?)),
+            other => Err(SnapshotError::new(format!("bad option tag {other}"))),
+        }
+    }
+
+    /// Reads an optional `u64`.
+    pub fn get_opt_u64(&mut self) -> Result<Option<u64>, SnapshotError> {
+        match self.get_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.get_u64()?)),
+            other => Err(SnapshotError::new(format!("bad option tag {other}"))),
+        }
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<String, SnapshotError> {
+        let n = self.get_u32()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| SnapshotError::new("snapshot string is not UTF-8"))
+    }
+
+    /// Reads length-prefixed raw bytes.
+    pub fn get_bytes(&mut self) -> Result<Vec<u8>, SnapshotError> {
+        let n = self.get_u32()? as usize;
+        Ok(self.take(n)?.to_vec())
+    }
+
+    /// Reads a [`Value`].
+    pub fn get_value(&mut self) -> Result<Value, SnapshotError> {
+        match self.get_u8()? {
+            0 => Ok(Value::Unit),
+            1 => Ok(Value::Bool(self.get_bool()?)),
+            2 => Ok(Value::Int(self.get_i64()?)),
+            3 => Ok(Value::Float(self.get_f64()?)),
+            4 => Ok(Value::Text(Arc::from(self.get_str()?.as_str()))),
+            5 => {
+                let n = self.get_u32()? as usize;
+                let mut xs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    xs.push(self.get_f64()?);
+                }
+                Ok(Value::Vector(Arc::from(xs)))
+            }
+            other => Err(SnapshotError::new(format!("bad value tag {other}"))),
+        }
+    }
+
+    /// Reads an optional [`Value`] (one phase-script bin).
+    pub fn get_opt_value(&mut self) -> Result<Option<Value>, SnapshotError> {
+        match self.get_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.get_value()?)),
+            other => Err(SnapshotError::new(format!("bad option tag {other}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        let mut w = StateWriter::new();
+        w.put_u8(7);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX);
+        w.put_i64(-42);
+        w.put_f64(std::f64::consts::PI);
+        w.put_bool(true);
+        w.put_opt_f64(None);
+        w.put_opt_f64(Some(1.5));
+        w.put_opt_u64(Some(9));
+        w.put_str("hello");
+        w.put_bytes(&[1, 2, 3]);
+        let bytes = w.into_bytes();
+        let mut r = StateReader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert_eq!(r.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX);
+        assert_eq!(r.get_i64().unwrap(), -42);
+        assert_eq!(r.get_f64().unwrap(), std::f64::consts::PI);
+        assert!(r.get_bool().unwrap());
+        assert_eq!(r.get_opt_f64().unwrap(), None);
+        assert_eq!(r.get_opt_f64().unwrap(), Some(1.5));
+        assert_eq!(r.get_opt_u64().unwrap(), Some(9));
+        assert_eq!(r.get_str().unwrap(), "hello");
+        assert_eq!(r.get_bytes().unwrap(), vec![1, 2, 3]);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn values_round_trip() {
+        let values = [
+            Value::Unit,
+            Value::Bool(true),
+            Value::Int(-5),
+            Value::Float(f64::NAN),
+            Value::text("correlation"),
+            Value::vector(vec![1.0, -2.5, f64::INFINITY]),
+        ];
+        for v in &values {
+            let mut w = StateWriter::new();
+            w.put_value(v);
+            w.put_opt_value(&Some(v.clone()));
+            w.put_opt_value(&None);
+            let bytes = w.into_bytes();
+            let mut r = StateReader::new(&bytes);
+            assert!(r.get_value().unwrap().same_as(v));
+            assert!(r.get_opt_value().unwrap().unwrap().same_as(v));
+            assert_eq!(r.get_opt_value().unwrap(), None);
+            r.finish().unwrap();
+        }
+    }
+
+    #[test]
+    fn truncation_and_trailing_detected() {
+        let mut w = StateWriter::new();
+        w.put_u64(1);
+        let bytes = w.into_bytes();
+        let mut r = StateReader::new(&bytes[..4]);
+        assert!(r.get_u64().is_err());
+        let mut r = StateReader::new(&bytes);
+        r.get_u32().unwrap();
+        assert!(r.finish().is_err());
+    }
+
+    #[test]
+    fn bad_tags_rejected() {
+        let mut r = StateReader::new(&[9]);
+        assert!(r.get_value().is_err());
+        let mut r = StateReader::new(&[7]);
+        assert!(r.get_bool().is_err());
+        let mut r = StateReader::new(&[3]);
+        assert!(r.get_opt_f64().is_err());
+    }
+}

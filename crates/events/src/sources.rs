@@ -14,6 +14,7 @@
 //! (§1).
 
 use crate::phase::Phase;
+use crate::snapshot::{SnapshotError, StateReader, StateSnapshot, StateWriter};
 use crate::value::Value;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -27,6 +28,27 @@ pub trait EventSource: Send {
     /// Human-readable kind, for diagnostics.
     fn kind(&self) -> &'static str {
         "source"
+    }
+
+    /// Serializes the source's internal state for checkpointing.
+    ///
+    /// The default is [`StateSnapshot::Unsupported`]: a checkpoint
+    /// containing a source that cannot save its state fails loudly
+    /// instead of restoring wrong replay positions. Deterministic
+    /// scripted sources ([`Counter`], [`Replay`], [`StepChange`],
+    /// [`Constant`]) and the live feed support snapshots; seeded RNG
+    /// sources do not (their generator state is opaque).
+    fn snapshot_state(&self) -> StateSnapshot {
+        StateSnapshot::Unsupported
+    }
+
+    /// Restores state captured by
+    /// [`snapshot_state`](EventSource::snapshot_state).
+    fn restore_state(&mut self, _bytes: &[u8]) -> Result<(), SnapshotError> {
+        Err(SnapshotError::new(format!(
+            "source {:?} does not support state restore",
+            self.kind()
+        )))
     }
 }
 
@@ -51,6 +73,12 @@ impl EventSource for Constant {
     }
     fn kind(&self) -> &'static str {
         "constant"
+    }
+    fn snapshot_state(&self) -> StateSnapshot {
+        StateSnapshot::Stateless
+    }
+    fn restore_state(&mut self, _bytes: &[u8]) -> Result<(), SnapshotError> {
+        Ok(())
     }
 }
 
@@ -82,6 +110,16 @@ impl EventSource for Replay {
     }
     fn kind(&self) -> &'static str {
         "replay"
+    }
+    fn snapshot_state(&self) -> StateSnapshot {
+        let mut w = StateWriter::new();
+        w.put_u64(self.pos as u64);
+        StateSnapshot::from_writer(w)
+    }
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        let mut r = StateReader::new(bytes);
+        self.pos = r.get_u64()? as usize;
+        r.finish()
     }
 }
 
@@ -221,6 +259,16 @@ impl EventSource for Counter {
     fn kind(&self) -> &'static str {
         "counter"
     }
+    fn snapshot_state(&self) -> StateSnapshot {
+        let mut w = StateWriter::new();
+        w.put_i64(self.n);
+        StateSnapshot::from_writer(w)
+    }
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        let mut r = StateReader::new(bytes);
+        self.n = r.get_i64()?;
+        r.finish()
+    }
 }
 
 /// A step function: emits `before` until `at`, then `after` — but only
@@ -263,6 +311,18 @@ impl EventSource for StepChange {
     }
     fn kind(&self) -> &'static str {
         "step-change"
+    }
+    fn snapshot_state(&self) -> StateSnapshot {
+        let mut w = StateWriter::new();
+        w.put_bool(self.reported_initial);
+        w.put_bool(self.reported_step);
+        StateSnapshot::from_writer(w)
+    }
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        let mut r = StateReader::new(bytes);
+        self.reported_initial = r.get_bool()?;
+        self.reported_step = r.get_bool()?;
+        r.finish()
     }
 }
 

@@ -6,6 +6,7 @@
 //! weighted moving averages, and incremental simple linear regression
 //! over a sliding window.
 
+use crate::snapshot::{SnapshotError, StateReader, StateWriter};
 use crate::window::RingBuffer;
 
 /// Welford's online algorithm for mean and variance over an unbounded
@@ -95,6 +96,18 @@ impl Ewma {
     pub fn value(&self) -> Option<f64> {
         self.value
     }
+
+    /// Serializes the current average (`alpha` is configuration).
+    pub fn snapshot_into(&self, w: &mut StateWriter) {
+        w.put_opt_f64(self.value);
+    }
+
+    /// Restores the average captured by
+    /// [`snapshot_into`](Self::snapshot_into).
+    pub fn restore_from(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        self.value = r.get_opt_f64()?;
+        Ok(())
+    }
 }
 
 /// Simple (x = sample index) linear regression over a sliding window,
@@ -171,6 +184,29 @@ impl WindowedRegression {
     /// Residual of `y` against the prediction at the next index.
     pub fn residual(&self, y: f64) -> Option<f64> {
         Some(y - self.predict_next()?)
+    }
+
+    /// Serializes the window contents and the global sample index
+    /// (the capacity is configuration).
+    pub fn snapshot_into(&self, w: &mut StateWriter) {
+        w.put_u64(self.t);
+        w.put_u32(self.ys.len() as u32);
+        for y in self.ys.iter() {
+            w.put_f64(*y);
+        }
+    }
+
+    /// Restores state captured by
+    /// [`snapshot_into`](Self::snapshot_into).
+    pub fn restore_from(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        let t = r.get_u64()?;
+        let n = r.get_u32()? as usize;
+        self.ys.clear();
+        for _ in 0..n {
+            self.ys.push(r.get_f64()?);
+        }
+        self.t = t;
+        Ok(())
     }
 
     /// Standard deviation of in-window residuals against the fitted line;

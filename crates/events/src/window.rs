@@ -6,6 +6,8 @@
 //! it to `f64` samples and maintains running sums so mean and variance
 //! are O(1) per update.
 
+use crate::snapshot::{SnapshotError, StateReader, StateWriter};
+
 /// A fixed-capacity FIFO buffer; pushing to a full buffer evicts the
 /// oldest element.
 #[derive(Debug, Clone)]
@@ -204,6 +206,34 @@ impl SlidingWindow {
     /// Newest sample.
     pub fn last(&self) -> Option<f64> {
         self.ring.back().copied()
+    }
+
+    /// Removes all samples.
+    pub fn clear(&mut self) {
+        self.ring.clear();
+        self.sum = 0.0;
+        self.sum_sq = 0.0;
+    }
+
+    /// Serializes the window contents (not the capacity — that is
+    /// configuration, re-established by whoever rebuilds the owner).
+    pub fn snapshot_into(&self, w: &mut StateWriter) {
+        w.put_u32(self.ring.len() as u32);
+        for x in self.iter() {
+            w.put_f64(x);
+        }
+    }
+
+    /// Restores contents captured by
+    /// [`snapshot_into`](Self::snapshot_into), re-pushing each sample so
+    /// the running sums are rebuilt from scratch.
+    pub fn restore_from(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        let n = r.get_u32()? as usize;
+        self.clear();
+        for _ in 0..n {
+            self.push(r.get_f64()?);
+        }
+        Ok(())
     }
 }
 

@@ -14,7 +14,7 @@
 //! ```
 
 use ec_core::{Emission, ExecCtx, Module};
-use ec_events::Value;
+use ec_events::{SnapshotError, StateReader, StateSnapshot, StateWriter, Value};
 
 /// A predicate over a single numeric value.
 #[derive(Debug, Clone, PartialEq)]
@@ -159,6 +159,28 @@ impl Module for ConditionModule {
 
     fn name(&self) -> &str {
         "condition"
+    }
+
+    fn snapshot_state(&self) -> StateSnapshot {
+        let mut w = StateWriter::new();
+        match self.last {
+            None => w.put_u8(0),
+            Some(b) => {
+                w.put_u8(1);
+                w.put_bool(b);
+            }
+        }
+        StateSnapshot::from_writer(w)
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        let mut r = StateReader::new(bytes);
+        self.last = match r.get_u8()? {
+            0 => None,
+            1 => Some(r.get_bool()?),
+            other => return Err(SnapshotError::new(format!("bad option tag {other}"))),
+        };
+        r.finish()
     }
 }
 

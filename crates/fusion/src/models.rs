@@ -10,7 +10,9 @@
 
 use crate::operators::emit_if_changed;
 use ec_core::{Emission, ExecCtx, Module};
-use ec_events::{EventSource, Phase, Value};
+use ec_events::{
+    EventSource, Phase, SnapshotError, StateReader, StateSnapshot, StateWriter, Value,
+};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -82,6 +84,20 @@ impl Module for BoilerModel {
 
     fn name(&self) -> &str {
         "boiler-model"
+    }
+
+    fn snapshot_state(&self) -> StateSnapshot {
+        let mut w = StateWriter::new();
+        w.put_f64(self.temperature);
+        w.put_opt_f64(self.last_reported);
+        StateSnapshot::from_writer(w)
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        let mut r = StateReader::new(bytes);
+        self.temperature = r.get_f64()?;
+        self.last_reported = r.get_opt_f64()?;
+        r.finish()
     }
 }
 
@@ -218,6 +234,36 @@ impl Module for KMeansTracker {
 
     fn name(&self) -> &str {
         "kmeans-tracker"
+    }
+
+    fn snapshot_state(&self) -> StateSnapshot {
+        let mut w = StateWriter::new();
+        w.put_u32(self.centroids.len() as u32);
+        for (&c, &n) in self.centroids.iter().zip(&self.counts) {
+            w.put_f64(c);
+            w.put_u64(n);
+        }
+        w.put_u32(self.initialized as u32);
+        w.put_opt_value(&self.last_reported);
+        StateSnapshot::from_writer(w)
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        let mut r = StateReader::new(bytes);
+        let k = r.get_u32()? as usize;
+        if k != self.centroids.len() {
+            return Err(SnapshotError::new(format!(
+                "checkpoint has {k} centroids, tracker configured for {}",
+                self.centroids.len()
+            )));
+        }
+        for i in 0..k {
+            self.centroids[i] = r.get_f64()?;
+            self.counts[i] = r.get_u64()?;
+        }
+        self.initialized = r.get_u32()? as usize;
+        self.last_reported = r.get_opt_value()?;
+        r.finish()
     }
 }
 

@@ -2,7 +2,7 @@
 
 use super::emit_if_changed;
 use ec_core::{Emission, ExecCtx, Module};
-use ec_events::Value;
+use ec_events::{SnapshotError, StateReader, StateSnapshot, StateWriter, Value};
 
 /// Which statistic to compute over the inputs' latest values.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -81,6 +81,18 @@ impl Module for Aggregate {
             AggregateKind::Min => "aggregate-min",
             AggregateKind::Max => "aggregate-max",
         }
+    }
+
+    fn snapshot_state(&self) -> StateSnapshot {
+        let mut w = StateWriter::new();
+        w.put_opt_value(&self.last);
+        StateSnapshot::from_writer(w)
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        let mut r = StateReader::new(bytes);
+        self.last = r.get_opt_value()?;
+        r.finish()
     }
 }
 

@@ -9,7 +9,7 @@ use super::fresh_f64;
 use ec_core::{Emission, ExecCtx, Module};
 use ec_events::stats::WindowedRegression;
 use ec_events::window::SlidingWindow;
-use ec_events::Value;
+use ec_events::{SnapshotError, StateReader, StateSnapshot, StateWriter, Value};
 
 /// Flags samples whose z-score against a sliding window exceeds a
 /// threshold. Emits the offending value only for anomalies; silent for
@@ -60,6 +60,18 @@ impl Module for ZScoreAnomaly {
 
     fn name(&self) -> &str {
         "zscore-anomaly"
+    }
+
+    fn snapshot_state(&self) -> StateSnapshot {
+        let mut w = StateWriter::new();
+        self.window.snapshot_into(&mut w);
+        StateSnapshot::from_writer(w)
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        let mut r = StateReader::new(bytes);
+        self.window.restore_from(&mut r)?;
+        r.finish()
     }
 }
 
@@ -115,6 +127,18 @@ impl Module for RegressionOutlier {
 
     fn name(&self) -> &str {
         "regression-outlier"
+    }
+
+    fn snapshot_state(&self) -> StateSnapshot {
+        let mut w = StateWriter::new();
+        self.regression.snapshot_into(&mut w);
+        StateSnapshot::from_writer(w)
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        let mut r = StateReader::new(bytes);
+        self.regression.restore_from(&mut r)?;
+        r.finish()
     }
 }
 

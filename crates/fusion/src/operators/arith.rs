@@ -6,7 +6,7 @@
 
 use super::emit_if_changed;
 use ec_core::{Emission, ExecCtx, Module};
-use ec_events::Value;
+use ec_events::{SnapshotError, StateReader, StateSnapshot, StateWriter, Value};
 
 /// The arithmetic operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -100,6 +100,18 @@ impl Module for Arith {
             ArithOp::Div => "arith-div",
             ArithOp::AbsDiff => "arith-absdiff",
         }
+    }
+
+    fn snapshot_state(&self) -> StateSnapshot {
+        let mut w = StateWriter::new();
+        w.put_opt_value(&self.last);
+        StateSnapshot::from_writer(w)
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        let mut r = StateReader::new(bytes);
+        self.last = r.get_opt_value()?;
+        r.finish()
     }
 }
 

@@ -2,7 +2,7 @@
 
 use super::fresh_f64;
 use ec_core::{Emission, ExecCtx, Module};
-use ec_events::Value;
+use ec_events::{SnapshotError, StateReader, StateSnapshot, StateWriter, Value};
 
 /// Forwards a sample only when it differs from the last *forwarded*
 /// sample by more than `epsilon` — converts a chatty stream into a
@@ -43,6 +43,18 @@ impl Module for ChangeDetector {
     fn name(&self) -> &str {
         "change-detector"
     }
+
+    fn snapshot_state(&self) -> StateSnapshot {
+        let mut w = StateWriter::new();
+        w.put_opt_f64(self.last_forwarded);
+        StateSnapshot::from_writer(w)
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        let mut r = StateReader::new(bytes);
+        self.last_forwarded = r.get_opt_f64()?;
+        r.finish()
+    }
 }
 
 /// Rate-limits a stream: after forwarding a message, swallows further
@@ -77,6 +89,18 @@ impl Module for Debounce {
 
     fn name(&self) -> &str {
         "debounce"
+    }
+
+    fn snapshot_state(&self) -> StateSnapshot {
+        let mut w = StateWriter::new();
+        w.put_u64(self.open_at);
+        StateSnapshot::from_writer(w)
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        let mut r = StateReader::new(bytes);
+        self.open_at = r.get_u64()?;
+        r.finish()
     }
 }
 
@@ -115,6 +139,14 @@ impl Module for SampleHold {
 
     fn name(&self) -> &str {
         "sample-hold"
+    }
+
+    fn snapshot_state(&self) -> StateSnapshot {
+        StateSnapshot::Stateless
+    }
+
+    fn restore_state(&mut self, _bytes: &[u8]) -> Result<(), SnapshotError> {
+        Ok(())
     }
 }
 

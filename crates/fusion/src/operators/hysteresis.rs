@@ -8,7 +8,7 @@
 
 use super::{emit_if_changed, fresh_f64};
 use ec_core::{Emission, ExecCtx, Module};
-use ec_events::Value;
+use ec_events::{SnapshotError, StateReader, StateSnapshot, StateWriter, Value};
 
 /// Two-level threshold with hysteresis.
 #[derive(Debug, Clone)]
@@ -52,6 +52,20 @@ impl Module for Hysteresis {
 
     fn name(&self) -> &str {
         "hysteresis"
+    }
+
+    fn snapshot_state(&self) -> StateSnapshot {
+        let mut w = StateWriter::new();
+        w.put_bool(self.triggered);
+        w.put_opt_value(&self.last);
+        StateSnapshot::from_writer(w)
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        let mut r = StateReader::new(bytes);
+        self.triggered = r.get_bool()?;
+        self.last = r.get_opt_value()?;
+        r.finish()
     }
 }
 

@@ -4,7 +4,7 @@
 use super::emit_if_changed;
 use ec_core::{Emission, ExecCtx, Module};
 use ec_events::window::SlidingWindow;
-use ec_events::Value;
+use ec_events::{SnapshotError, StateReader, StateSnapshot, StateWriter, Value};
 
 /// Maintains sliding windows over two input streams and emits their
 /// Pearson correlation coefficient whenever either stream delivers a
@@ -72,6 +72,20 @@ impl Module for PairCorrelation {
     fn name(&self) -> &str {
         "pair-correlation"
     }
+
+    fn snapshot_state(&self) -> StateSnapshot {
+        let mut w = StateWriter::new();
+        self.a.snapshot_into(&mut w);
+        self.b.snapshot_into(&mut w);
+        StateSnapshot::from_writer(w)
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        let mut r = StateReader::new(bytes);
+        self.a.restore_from(&mut r)?;
+        self.b.restore_from(&mut r)?;
+        r.finish()
+    }
 }
 
 /// Detects *coincident* events: emits `Bool(true)` when both inputs
@@ -128,6 +142,22 @@ impl Module for CoincidenceJoin {
 
     fn name(&self) -> &str {
         "coincidence-join"
+    }
+
+    fn snapshot_state(&self) -> StateSnapshot {
+        let mut w = StateWriter::new();
+        w.put_opt_u64(self.last_a);
+        w.put_opt_u64(self.last_b);
+        w.put_opt_value(&self.last_emitted);
+        StateSnapshot::from_writer(w)
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        let mut r = StateReader::new(bytes);
+        self.last_a = r.get_opt_u64()?;
+        self.last_b = r.get_opt_u64()?;
+        self.last_emitted = r.get_opt_value()?;
+        r.finish()
     }
 }
 

@@ -8,7 +8,7 @@
 
 use super::emit_if_changed;
 use ec_core::{Emission, ExecCtx, Module};
-use ec_events::Value;
+use ec_events::{SnapshotError, StateReader, StateSnapshot, StateWriter, Value};
 
 fn truthy(v: Option<&Value>) -> bool {
     match v {
@@ -44,6 +44,18 @@ impl Module for AllOf {
     fn name(&self) -> &str {
         "all-of"
     }
+
+    fn snapshot_state(&self) -> StateSnapshot {
+        let mut w = StateWriter::new();
+        w.put_opt_value(&self.last);
+        StateSnapshot::from_writer(w)
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        let mut r = StateReader::new(bytes);
+        self.last = r.get_opt_value()?;
+        r.finish()
+    }
 }
 
 /// Emits `Bool` of the disjunction of all inputs' latest values,
@@ -71,6 +83,18 @@ impl Module for AnyOf {
 
     fn name(&self) -> &str {
         "any-of"
+    }
+
+    fn snapshot_state(&self) -> StateSnapshot {
+        let mut w = StateWriter::new();
+        w.put_opt_value(&self.last);
+        StateSnapshot::from_writer(w)
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        let mut r = StateReader::new(bytes);
+        self.last = r.get_opt_value()?;
+        r.finish()
     }
 }
 
@@ -101,6 +125,18 @@ impl Module for TrueCount {
 
     fn name(&self) -> &str {
         "true-count"
+    }
+
+    fn snapshot_state(&self) -> StateSnapshot {
+        let mut w = StateWriter::new();
+        w.put_opt_value(&self.last);
+        StateSnapshot::from_writer(w)
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        let mut r = StateReader::new(bytes);
+        self.last = r.get_opt_value()?;
+        r.finish()
     }
 }
 

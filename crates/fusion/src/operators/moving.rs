@@ -4,7 +4,7 @@ use super::fresh_f64;
 use ec_core::{Emission, ExecCtx, Module};
 use ec_events::stats::Ewma;
 use ec_events::window::SlidingWindow;
-use ec_events::Value;
+use ec_events::{SnapshotError, StateReader, StateSnapshot, StateWriter, Value};
 
 /// Sliding-window moving average — the paper's "one-week moving point
 /// average" building block (§1).
@@ -40,6 +40,18 @@ impl Module for MovingAverage {
     fn name(&self) -> &str {
         "moving-average"
     }
+
+    fn snapshot_state(&self) -> StateSnapshot {
+        let mut w = StateWriter::new();
+        self.window.snapshot_into(&mut w);
+        StateSnapshot::from_writer(w)
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        let mut r = StateReader::new(bytes);
+        self.window.restore_from(&mut r)?;
+        r.finish()
+    }
 }
 
 /// Exponentially weighted smoothing of a stream.
@@ -67,6 +79,18 @@ impl Module for EwmaSmoother {
 
     fn name(&self) -> &str {
         "ewma"
+    }
+
+    fn snapshot_state(&self) -> StateSnapshot {
+        let mut w = StateWriter::new();
+        self.ewma.snapshot_into(&mut w);
+        StateSnapshot::from_writer(w)
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        let mut r = StateReader::new(bytes);
+        self.ewma.restore_from(&mut r)?;
+        r.finish()
     }
 }
 

@@ -2,7 +2,7 @@
 
 use super::emit_if_changed;
 use ec_core::{Emission, ExecCtx, Module};
-use ec_events::Value;
+use ec_events::{SnapshotError, StateReader, StateSnapshot, StateWriter, Value};
 use std::collections::VecDeque;
 
 /// Counts fresh messages over a sliding window of phases and emits
@@ -65,6 +65,29 @@ impl Module for RateMonitor {
 
     fn name(&self) -> &str {
         "rate-monitor"
+    }
+
+    fn snapshot_state(&self) -> StateSnapshot {
+        let mut w = StateWriter::new();
+        w.put_u32(self.arrivals.len() as u32);
+        for &p in &self.arrivals {
+            w.put_u64(p);
+        }
+        w.put_opt_value(&self.last);
+        StateSnapshot::from_writer(w)
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        let mut r = StateReader::new(bytes);
+        let n = r.get_u32()? as usize;
+        let mut arrivals = VecDeque::with_capacity(n);
+        for _ in 0..n {
+            arrivals.push_back(r.get_u64()?);
+        }
+        self.last = r.get_opt_value()?;
+        r.finish()?;
+        self.arrivals = arrivals;
+        Ok(())
     }
 }
 

@@ -2,7 +2,7 @@
 
 use super::{emit_if_changed, fresh_f64};
 use ec_core::{Emission, ExecCtx, Module};
-use ec_events::Value;
+use ec_events::{SnapshotError, StateReader, StateSnapshot, StateWriter, Value};
 
 /// Which side of the level counts as "triggered".
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,6 +59,18 @@ impl Module for Threshold {
 
     fn name(&self) -> &str {
         "threshold"
+    }
+
+    fn snapshot_state(&self) -> StateSnapshot {
+        let mut w = StateWriter::new();
+        w.put_opt_value(&self.last);
+        StateSnapshot::from_writer(w)
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        let mut r = StateReader::new(bytes);
+        self.last = r.get_opt_value()?;
+        r.finish()
     }
 }
 

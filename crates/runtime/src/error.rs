@@ -12,6 +12,9 @@ pub enum RuntimeError {
     Closed,
     /// Invalid configuration or wiring.
     Config(String),
+    /// The durable store failed (WAL append, snapshot write, recovery
+    /// validation). Carries the rendered `ec_store::StoreError`.
+    Store(String),
 }
 
 impl fmt::Display for RuntimeError {
@@ -20,6 +23,7 @@ impl fmt::Display for RuntimeError {
             RuntimeError::Engine(e) => write!(f, "engine error: {e}"),
             RuntimeError::Closed => write!(f, "runtime is shut down"),
             RuntimeError::Config(msg) => write!(f, "runtime configuration error: {msg}"),
+            RuntimeError::Store(msg) => write!(f, "durable store error: {msg}"),
         }
     }
 }
@@ -29,6 +33,12 @@ impl std::error::Error for RuntimeError {}
 impl From<EngineError> for RuntimeError {
     fn from(e: EngineError) -> RuntimeError {
         RuntimeError::Engine(e)
+    }
+}
+
+impl From<ec_store::StoreError> for RuntimeError {
+    fn from(e: ec_store::StoreError) -> RuntimeError {
+        RuntimeError::Store(e.to_string())
     }
 }
 

@@ -21,6 +21,14 @@
 //!   [`ExecutionHistory`](ec_core::ExecutionHistory) exactly. That is
 //!   the paper's serializability requirement extended to live
 //!   ingestion.
+//! * durability — [`StreamRuntimeBuilder::durable`] commits every
+//!   sealed row to an `ec-store` write-ahead log before admission and
+//!   snapshots operator state at retired phase boundaries
+//!   ([`snapshot_every`](StreamRuntimeBuilder::snapshot_every),
+//!   [`StreamRuntime::checkpoint`]);
+//!   [`restore`](StreamRuntimeBuilder::restore) resumes a killed
+//!   runtime at the exact next phase, extending serializability across
+//!   process restarts (see `tests/durability.rs`).
 //!
 //! ## Quick example
 //!

@@ -4,8 +4,8 @@
 //!  producers ──push──▶ SourceHandle queues (bounded, backpressured)
 //!                         │ seal (flush / count / tick)
 //!                         ▼
-//!                  PhaseScript row + LiveFeed bins
-//!                         │ admit
+//!            WAL append ── PhaseScript row + LiveFeed bins
+//!                         │ admit (batched: one lock per seal)
 //!                         ▼
 //!              LiveEngine (k workers, pipelined phases)
 //!                         │ phases retire in order
@@ -19,6 +19,20 @@
 //! therefore inherited from the engine, and every run commits a
 //! [`PhaseScript`] that replays the exact same history through the
 //! sequential oracle.
+//!
+//! ## Durability
+//!
+//! With [`StreamRuntimeBuilder::durable`], sealing appends each
+//! committed row to a write-ahead log (`ec-store`) *before* the phase
+//! is admitted — the log is the authoritative commit, so a killed
+//! process loses no accepted epoch. Periodic snapshots
+//! ([`snapshot_every`](StreamRuntimeBuilder::snapshot_every),
+//! [`snapshot_on_flush`](StreamRuntimeBuilder::snapshot_on_flush),
+//! [`StreamRuntime::checkpoint`]) capture operator state at retired
+//! phase boundaries to bound recovery time;
+//! [`StreamRuntimeBuilder::restore`] rebuilds from the newest usable
+//! snapshot, replays the log tail through the engine, and resumes at
+//! the exact next phase with global phase numbering intact.
 
 use crate::error::{PushError, RuntimeError};
 use crate::policy::{Backpressure, EpochPolicy};
@@ -27,8 +41,10 @@ use ec_core::{ExecutionHistory, LiveEngine, MetricsSnapshot};
 use ec_events::{FeedWriter, Value};
 use ec_fusion::{CorrelatorBuilder, NodeHandle};
 use ec_graph::VertexId;
+use ec_store::{Recovery, WalWriter};
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -41,13 +57,31 @@ struct LiveSource {
     writer: FeedWriter,
 }
 
-/// Ingest state: the bounded per-source queues and the committed
-/// script. One mutex for all of it, so a seal is atomic with respect
-/// to every push — the interleaving of pushes and flushes is always a
-/// well-defined sequence of committed rows.
+/// Durability configuration (immutable after build).
+struct DurableCfg {
+    dir: PathBuf,
+    /// Snapshot automatically once this many phases have been admitted
+    /// since the last snapshot.
+    snapshot_every: Option<u64>,
+    /// Snapshot after every explicit [`StreamRuntime::flush`].
+    snapshot_on_flush: bool,
+}
+
+/// Ingest state: the bounded per-source queues, the committed script
+/// and the WAL. One mutex for all of it, so a seal is atomic with
+/// respect to every push — the interleaving of pushes and flushes is
+/// always a well-defined sequence of committed rows, and the WAL
+/// records exactly that sequence.
 struct Ingest {
     queues: Vec<VecDeque<Value>>,
     rows: Vec<Vec<Option<Value>>>,
+    wal: Option<WalWriter>,
+    /// Phase of the last snapshot written (0 = none yet).
+    last_snapshot: u64,
+    /// First snapshot failure, if any: periodic snapshots stop (the WAL
+    /// alone still guarantees recovery) and the error surfaces on the
+    /// next explicit flush/tick/checkpoint call.
+    snapshot_error: Option<RuntimeError>,
 }
 
 impl Ingest {
@@ -60,8 +94,9 @@ impl Ingest {
 /// order.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SinkEmission {
-    /// The sink node's name (as given to the builder).
-    pub name: String,
+    /// The sink node's name (as given to the builder). Shared, so
+    /// fan-out to many subscribers does not copy the string.
+    pub name: Arc<str>,
     /// The sink vertex.
     pub vertex: VertexId,
     /// The phase that produced the value.
@@ -86,52 +121,149 @@ struct RuntimeShared {
     ticker_stop: AtomicBool,
     live: Vec<LiveSource>,
     /// Vertex names, indexed by `VertexId::index()`.
-    names: Vec<String>,
+    names: Vec<Arc<str>>,
     policy: EpochPolicy,
     backpressure: Backpressure,
     capacity: usize,
     /// Record committed rows into the [`PhaseScript`]. Off for
     /// long-running services, where the script would grow without
-    /// bound.
+    /// bound (the WAL, if enabled, still records every row).
     record_script: bool,
+    durable: Option<DurableCfg>,
 }
 
 impl RuntimeShared {
     /// Seals the current epoch: commits `max(longest queue, min_phases)`
-    /// phases, staging one bin per live source per phase. Caller holds
-    /// the ingest lock.
+    /// phases, appending each row to the WAL (when durable), staging one
+    /// bin per live source per phase, then admitting the whole batch
+    /// through one or few lock acquisitions. Caller holds the ingest
+    /// lock.
     fn seal_locked(&self, ingest: &mut Ingest, min_phases: u64) -> Result<u64, RuntimeError> {
+        // A poisoned runtime (store failure below, or shutdown) seals
+        // nothing: bins staged by an aborted seal must never be
+        // consumed by a later admission, or live phases would
+        // desynchronize from the WAL.
+        if self.stop.load(Relaxed) {
+            return Err(RuntimeError::Closed);
+        }
         let longest = ingest.queues.iter().map(VecDeque::len).max().unwrap_or(0) as u64;
         let phases = longest.max(min_phases);
-        for committed in 0..phases {
+        if phases == 0 {
+            return Ok(0);
+        }
+        // Commit each row: WAL first (the durable commit point), then
+        // stage its bins. A WAL failure (disk full, I/O error) POISONS
+        // the runtime: durability can no longer be guaranteed, so no
+        // further seal or push is accepted — which also guarantees the
+        // bins staged by this aborted seal are never polled. Rows
+        // appended before the failure are durably committed and will
+        // replay on restore (their pushes were accepted); the
+        // in-memory script is rolled back to match what actually ran.
+        let base_rows = ingest.rows.len();
+        let mut staged = 0u64;
+        let mut commit_error: Option<RuntimeError> = None;
+        for _ in 0..phases {
             let row: Vec<Option<Value>> =
                 ingest.queues.iter_mut().map(VecDeque::pop_front).collect();
+            if let Some(wal) = ingest.wal.as_mut() {
+                if let Err(e) = wal.append_row(&row) {
+                    commit_error = Some(e.into());
+                    break;
+                }
+            }
             for (source, bin) in self.live.iter().zip(row.iter()) {
                 source.writer.stage(bin.clone());
             }
             if self.record_script {
                 ingest.rows.push(row);
             }
-            // Admit may block on the engine's in-flight throttle; the
-            // workers drain independently, so this self-resolves.
-            if let Err(e) = self.engine.admit() {
-                // Keep the script consistent with what actually ran: a
-                // refused admission (engine failed or closing) must not
-                // leave a committed row behind. The staged bins are
-                // never polled — the engine admits no further phases.
-                if self.record_script {
-                    ingest.rows.pop();
+            staged += 1;
+        }
+        if let Some(e) = commit_error {
+            if self.record_script {
+                ingest.rows.truncate(base_rows);
+            }
+            self.stop.store(true, Relaxed);
+            self.ticker_stop.store(true, Relaxed);
+            self.space.notify_all(); // blocked pushers observe Closed
+            return Err(e);
+        }
+        debug_assert_eq!(staged, phases);
+        // Admit the batch: one global-lock acquisition per in-flight
+        // window instead of one per phase. Admission may block on the
+        // engine's throttle; the workers drain independently, so this
+        // self-resolves.
+        let mut admitted = 0u64;
+        while admitted < staged {
+            match self.engine.admit_batch(staged - admitted) {
+                Ok(n) => admitted += n,
+                Err(e) => {
+                    // Keep the in-memory script consistent with what
+                    // actually ran: refused admissions (engine failed or
+                    // closing) must not leave committed rows behind. The
+                    // staged bins are never polled — the engine admits
+                    // no further phases. (WAL rows stay: the log is the
+                    // durable commit and restore will replay them.)
+                    if self.record_script {
+                        ingest.rows.truncate(base_rows + admitted as usize);
+                    }
+                    if admitted > 0 {
+                        self.space.notify_all();
+                    }
+                    return Err(e.into());
                 }
-                if committed > 0 {
-                    self.space.notify_all();
-                }
-                return Err(e.into());
             }
         }
-        if phases > 0 {
-            self.space.notify_all();
+        self.space.notify_all();
+        Ok(staged)
+    }
+
+    /// Takes a snapshot at the current retired boundary. Caller holds
+    /// the ingest lock (so no seal can interleave); waits for every
+    /// admitted phase to retire first — a stop-the-world pause, which is
+    /// what makes the captured state a serializable cut.
+    fn checkpoint_locked(&self, ingest: &mut Ingest) -> Result<u64, RuntimeError> {
+        let Some(cfg) = &self.durable else {
+            return Err(RuntimeError::Config(
+                "checkpoint requires a durable runtime (StreamRuntimeBuilder::durable)".into(),
+            ));
+        };
+        self.engine.wait_idle()?;
+        let checkpoint = self.engine.checkpoint_vertices()?;
+        let names: Vec<String> = self.names.iter().map(|n| n.to_string()).collect();
+        ec_store::write_snapshot(&cfg.dir, &names, &checkpoint).map_err(RuntimeError::from)?;
+        if let Some(wal) = ingest.wal.as_ref() {
+            wal.sync()?;
         }
-        Ok(phases)
+        ingest.last_snapshot = checkpoint.phase;
+        Ok(checkpoint.phase)
+    }
+
+    /// Runs the automatic every-k-phases snapshot policy after a seal.
+    /// Failures do not poison the seal (the WAL remains authoritative):
+    /// the first error is remembered, periodic snapshots stop, and the
+    /// error surfaces on the next explicit flush/tick/checkpoint.
+    fn maybe_checkpoint_locked(&self, ingest: &mut Ingest) {
+        let Some(cfg) = &self.durable else { return };
+        let Some(every) = cfg.snapshot_every else {
+            return;
+        };
+        if ingest.snapshot_error.is_some() {
+            return;
+        }
+        if self.engine.admitted().saturating_sub(ingest.last_snapshot) >= every {
+            if let Err(e) = self.checkpoint_locked(ingest) {
+                ingest.snapshot_error = Some(e);
+            }
+        }
+    }
+
+    /// Surfaces (and clears) a deferred snapshot failure.
+    fn take_snapshot_error(&self, ingest: &mut Ingest) -> Result<(), RuntimeError> {
+        match ingest.snapshot_error.take() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
     fn deliver(&self, records: Vec<ec_core::SinkRecord>) {
@@ -141,7 +273,7 @@ impl RuntimeShared {
         let mut subs = self.subs.lock();
         for r in records {
             let emission = SinkEmission {
-                name: self.names[r.vertex.index()].clone(),
+                name: Arc::clone(&self.names[r.vertex.index()]),
                 vertex: r.vertex,
                 phase: r.phase.get(),
                 value: r.value,
@@ -208,6 +340,9 @@ pub struct StreamRuntimeBuilder {
     record_history: bool,
     record_script: bool,
     subs: Vec<Subscriber>,
+    durable_dir: Option<PathBuf>,
+    snapshot_every: Option<u64>,
+    snapshot_on_flush: bool,
 }
 
 impl Default for StreamRuntimeBuilder {
@@ -219,7 +354,7 @@ impl Default for StreamRuntimeBuilder {
 impl StreamRuntimeBuilder {
     /// New empty builder with defaults: manual epochs, blocking
     /// backpressure, 1024-event queues, 4 threads, engine-default
-    /// in-flight bound, history recording on.
+    /// in-flight bound, history recording on, no durability.
     pub fn new() -> StreamRuntimeBuilder {
         StreamRuntimeBuilder::from_correlator(CorrelatorBuilder::new(), Vec::new())
     }
@@ -249,6 +384,9 @@ impl StreamRuntimeBuilder {
             record_history: true,
             record_script: true,
             subs: Vec::new(),
+            durable_dir: None,
+            snapshot_every: None,
+            snapshot_on_flush: false,
         }
     }
 
@@ -341,36 +479,179 @@ impl StreamRuntimeBuilder {
     /// grows by one row per phase forever, so long-running services
     /// should turn it off alongside
     /// [`record_history`](Self::record_history); [`StreamRuntime::script`]
-    /// and the final report's script are then empty.
+    /// and the final report's script are then empty. A durable runtime
+    /// still logs every row to the WAL regardless of this setting.
     pub fn record_script(mut self, on: bool) -> Self {
         self.record_script = on;
         self
     }
 
+    /// Enables durability: every committed row is appended to a
+    /// write-ahead log in `dir` before its phase is admitted, so a
+    /// killed process can be [`restore`](Self::restore)d to the exact
+    /// next phase. [`build`](Self::build) creates a fresh store and
+    /// refuses to overwrite an existing one; [`restore`](Self::restore)
+    /// opens an existing store.
+    pub fn durable(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.durable_dir = Some(dir.into());
+        self
+    }
+
+    /// With [`durable`](Self::durable): automatically snapshot operator
+    /// state once `phases` phases have been admitted since the last
+    /// snapshot. Snapshots bound recovery time; without any, restore
+    /// replays the whole WAL from phase 1 (always correct, just
+    /// slower). Requires every module in the graph to support
+    /// [`snapshot_state`](ec_core::Module::snapshot_state).
+    pub fn snapshot_every(mut self, phases: u64) -> Self {
+        self.snapshot_every = Some(phases.max(1));
+        self
+    }
+
+    /// With [`durable`](Self::durable): snapshot after every explicit
+    /// [`StreamRuntime::flush`].
+    pub fn snapshot_on_flush(mut self, on: bool) -> Self {
+        self.snapshot_on_flush = on;
+        self
+    }
+
     /// Builds and starts the runtime (workers and delivery thread spawn
-    /// immediately; the interval ticker too, if configured).
+    /// immediately; the interval ticker too, if configured). With
+    /// [`durable`](Self::durable), creates a fresh store — errors if
+    /// one already exists at the directory (use
+    /// [`restore`](Self::restore) to resume it).
     pub fn build(self) -> Result<StreamRuntime, RuntimeError> {
+        self.build_inner(None)
+    }
+
+    /// Restores the runtime from the durable store configured with
+    /// [`durable`](Self::durable): loads the newest usable snapshot,
+    /// replays the WAL tail through the engine, and resumes at the
+    /// exact next phase (global phase numbering continues across the
+    /// restart).
+    ///
+    /// The builder must describe the **identical** graph the store was
+    /// written by (same nodes, names, wiring and configuration) — this
+    /// is validated against the recorded source and vertex names.
+    /// Subscribers registered on this builder receive the replayed
+    /// tail's sink emissions again (at-least-once delivery across
+    /// restarts); emissions of phases at or before the snapshot are
+    /// not repeated.
+    pub fn restore(self) -> Result<StreamRuntime, RuntimeError> {
+        let dir = self.durable_dir.clone().ok_or_else(|| {
+            RuntimeError::Config("restore requires StreamRuntimeBuilder::durable(dir)".into())
+        })?;
+        let recovery = Recovery::open(&dir)?;
+        // A torn tail is the expected shape of a crash and is dropped;
+        // a checksum/decode failure in the body is real damage. Resuming
+        // would silently discard acknowledged phases (the append writer
+        // truncates past the valid prefix), so refuse — inspect with
+        // `ec recover`, repair or move the store, then restore.
+        if let ec_store::WalTail::Corrupt {
+            at_row,
+            dropped_bytes,
+            message,
+        } = &recovery.tail
+        {
+            return Err(RuntimeError::Store(format!(
+                "WAL at {} is corrupt at row {at_row} ({message}; {dropped_bytes} bytes \
+                 affected): refusing to resume over damaged history",
+                ec_store::wal_path(&dir).display()
+            )));
+        }
+        self.build_inner(Some(recovery))
+    }
+
+    /// Convenience for durable services: [`restore`](Self::restore) if
+    /// the store already exists, otherwise [`build`](Self::build) a
+    /// fresh one.
+    pub fn build_or_restore(self) -> Result<StreamRuntime, RuntimeError> {
+        let dir = self.durable_dir.clone().ok_or_else(|| {
+            RuntimeError::Config(
+                "build_or_restore requires StreamRuntimeBuilder::durable(dir)".into(),
+            )
+        })?;
+        if ec_store::wal_path(&dir).exists() {
+            self.restore()
+        } else {
+            self.build()
+        }
+    }
+
+    fn build_inner(self, recovery: Option<Recovery>) -> Result<StreamRuntime, RuntimeError> {
         if self.correlator.is_empty() {
             return Err(RuntimeError::Config("graph has no nodes".into()));
         }
-        let names: Vec<String> = {
+        let names: Vec<Arc<str>> = {
             let dag = self.correlator.dag();
-            dag.vertices().map(|v| dag.name(v).to_string()).collect()
+            dag.vertices().map(|v| Arc::from(dag.name(v))).collect()
         };
+
+        // Validate the store against this graph before touching the
+        // engine: source columns and vertex names must line up, or the
+        // replay would bin events into the wrong feeds.
+        if let Some(rec) = &recovery {
+            let live_names: Vec<&str> = self.live.iter().map(|s| s.name.as_str()).collect();
+            let rec_names: Vec<&str> = rec.sources.iter().map(String::as_str).collect();
+            if live_names != rec_names {
+                return Err(RuntimeError::Config(format!(
+                    "store records live sources {rec_names:?}, graph has {live_names:?}"
+                )));
+            }
+            if let Some(snap) = &rec.snapshot {
+                let graph_names: Vec<&str> = names.iter().map(|n| n.as_ref()).collect();
+                let snap_names: Vec<&str> = snap.names.iter().map(String::as_str).collect();
+                if graph_names != snap_names {
+                    return Err(RuntimeError::Config(format!(
+                        "snapshot covers vertices {snap_names:?}, graph has {graph_names:?}"
+                    )));
+                }
+            }
+        }
+
+        let base = recovery.as_ref().map(|r| r.snapshot_phase()).unwrap_or(0);
         let engine = self
             .correlator
             .engine()
             .threads(self.threads)
             .max_inflight(self.max_inflight)
             .record_history(self.record_history)
-            .build()?
-            .into_live();
+            .resume_from(base)
+            .build()?;
+        if let Some(snap) = recovery.as_ref().and_then(|r| r.snapshot.as_ref()) {
+            engine.restore_checkpoint(&snap.checkpoint)?;
+        }
+        let engine = engine.into_live();
+
+        // The WAL half: fresh log, or reopen-and-truncate after the
+        // validated prefix.
+        let durable = self.durable_dir.map(|dir| DurableCfg {
+            dir,
+            snapshot_every: self.snapshot_every,
+            snapshot_on_flush: self.snapshot_on_flush,
+        });
+        let (wal, last_snapshot) = match (&durable, &recovery) {
+            (Some(_), Some(rec)) => (Some(rec.append_writer()?), rec.snapshot_phase()),
+            (Some(cfg), None) => {
+                let sources: Vec<String> = self.live.iter().map(|s| s.name.clone()).collect();
+                (Some(WalWriter::create(&cfg.dir, &sources)?), 0)
+            }
+            (None, _) => (None, 0),
+        };
+
         let queue_count = self.live.len();
+        let rows = match (&recovery, self.record_script) {
+            (Some(rec), true) => rec.rows.clone(),
+            _ => Vec::new(),
+        };
         let shared = Arc::new(RuntimeShared {
             engine,
             ingest: Mutex::new(Ingest {
                 queues: vec![VecDeque::new(); queue_count],
-                rows: Vec::new(),
+                rows,
+                wal,
+                last_snapshot,
+                snapshot_error: None,
             }),
             space: Condvar::new(),
             subs: Mutex::new(self.subs),
@@ -382,7 +663,26 @@ impl StreamRuntimeBuilder {
             backpressure: self.backpressure,
             capacity: self.capacity,
             record_script: self.record_script,
+            durable,
         });
+
+        // Replay the WAL tail (rows after the snapshot) before any
+        // thread can seal new epochs: stage every row's bins, then
+        // admit the batch. After this, operator state equals the
+        // crashed run's at its last committed phase.
+        if let Some(rec) = recovery {
+            let tail = rec.tail_rows();
+            for row in tail {
+                for (source, bin) in shared.live.iter().zip(row.iter()) {
+                    source.writer.stage(bin.clone());
+                }
+            }
+            let mut remaining = tail.len() as u64;
+            while remaining > 0 {
+                remaining -= shared.engine.admit_batch(remaining)?;
+            }
+            shared.engine.wait_idle()?;
+        }
 
         let delivery_shared = Arc::clone(&shared);
         let delivery = std::thread::Builder::new()
@@ -412,6 +712,7 @@ impl StreamRuntimeBuilder {
                             if ticker_shared.seal_locked(&mut ingest, 1).is_err() {
                                 break; // engine failed/closed; surfaced elsewhere
                             }
+                            ticker_shared.maybe_checkpoint_locked(&mut ingest);
                         }
                     })
                     .expect("spawn ticker thread"),
@@ -469,6 +770,7 @@ impl SourceHandle {
                 if shared.seal_locked(&mut ingest, 0).is_err() {
                     return Err(PushError::Closed);
                 }
+                shared.maybe_checkpoint_locked(&mut ingest);
                 continue;
             }
             match shared.backpressure {
@@ -485,12 +787,13 @@ impl SourceHandle {
             return Err(PushError::Closed);
         }
         ingest.queues[self.slot].push_back(value);
-        if shared.policy.should_seal(ingest.buffered())
-            && shared.seal_locked(&mut ingest, 0).is_err()
-        {
-            // The engine refused the admission (failed or closing); the
-            // root cause surfaces through wait_idle()/shutdown().
-            return Err(PushError::Closed);
+        if shared.policy.should_seal(ingest.buffered()) {
+            if shared.seal_locked(&mut ingest, 0).is_err() {
+                // The engine refused the admission (failed or closing);
+                // the root cause surfaces through wait_idle()/shutdown().
+                return Err(PushError::Closed);
+            }
+            shared.maybe_checkpoint_locked(&mut ingest);
         }
         Ok(())
     }
@@ -509,11 +812,16 @@ impl SourceHandle {
 /// Final state of a completed run.
 #[derive(Debug)]
 pub struct RuntimeReport {
-    /// Phases committed and completed.
+    /// Phases committed and completed (cumulative across restore: a
+    /// resumed runtime counts from the restored phase onward).
     pub phases: u64,
-    /// Full execution history (if recording was enabled).
+    /// Full execution history (if recording was enabled). After a
+    /// restore, covers the replayed tail plus the live continuation —
+    /// phases after the restored snapshot.
     pub history: Option<ExecutionHistory>,
-    /// The committed event-to-phase binning.
+    /// The committed event-to-phase binning. After a restore, includes
+    /// the rows recovered from the WAL, so the script always spans
+    /// phase 1 to the end.
     pub script: PhaseScript,
     /// Engine counters.
     pub metrics: MetricsSnapshot,
@@ -536,6 +844,17 @@ impl StreamRuntime {
     /// Starts a builder.
     pub fn builder() -> StreamRuntimeBuilder {
         StreamRuntimeBuilder::new()
+    }
+
+    /// Restores a runtime from the durable store at `dir`, built over
+    /// `builder`'s graph (which must match the one the store was
+    /// written by). Shorthand for
+    /// `builder.durable(dir).restore()`.
+    pub fn restore(
+        dir: impl Into<PathBuf>,
+        builder: StreamRuntimeBuilder,
+    ) -> Result<StreamRuntime, RuntimeError> {
+        builder.durable(dir).restore()
     }
 
     /// The push handle for a live source node.
@@ -574,6 +893,11 @@ impl StreamRuntime {
         self.shared.live.iter().map(|s| s.name.clone()).collect()
     }
 
+    /// The durable store directory, if durability is enabled.
+    pub fn store_dir(&self) -> Option<&Path> {
+        self.shared.durable.as_ref().map(|cfg| cfg.dir.as_path())
+    }
+
     /// Subscribes to sink emissions; `f` is called for every sink
     /// output, in serial order, as its phase retires. Emissions of
     /// phases that retired before this call are not replayed — to
@@ -587,13 +911,27 @@ impl StreamRuntime {
     /// Seals the current epoch explicitly: all buffered events commit
     /// to phases (the longest per-source backlog determines the phase
     /// count). Returns the number of phases committed (0 if nothing was
-    /// buffered).
+    /// buffered). On a durable runtime this is also a snapshot point
+    /// when [`snapshot_on_flush`](StreamRuntimeBuilder::snapshot_on_flush)
+    /// is set, and surfaces any deferred periodic-snapshot failure.
     pub fn flush(&self) -> Result<u64, RuntimeError> {
         if self.shared.stop.load(Relaxed) {
             return Err(RuntimeError::Closed);
         }
         let mut ingest = self.shared.ingest.lock();
-        self.shared.seal_locked(&mut ingest, 0)
+        let phases = self.shared.seal_locked(&mut ingest, 0)?;
+        if self
+            .shared
+            .durable
+            .as_ref()
+            .is_some_and(|cfg| cfg.snapshot_on_flush)
+        {
+            self.shared.checkpoint_locked(&mut ingest)?;
+        } else {
+            self.shared.maybe_checkpoint_locked(&mut ingest);
+        }
+        self.shared.take_snapshot_error(&mut ingest)?;
+        Ok(phases)
     }
 
     /// Like [`flush`](Self::flush) but commits at least one phase, even
@@ -604,7 +942,23 @@ impl StreamRuntime {
             return Err(RuntimeError::Closed);
         }
         let mut ingest = self.shared.ingest.lock();
-        self.shared.seal_locked(&mut ingest, 1)
+        let phases = self.shared.seal_locked(&mut ingest, 1)?;
+        self.shared.maybe_checkpoint_locked(&mut ingest);
+        self.shared.take_snapshot_error(&mut ingest)?;
+        Ok(phases)
+    }
+
+    /// Takes a snapshot now: waits for every admitted phase to retire,
+    /// captures operator state, writes it to the store and syncs the
+    /// WAL. Returns the snapshot's phase. Errors on a non-durable
+    /// runtime or when a module does not support snapshots.
+    pub fn checkpoint(&self) -> Result<u64, RuntimeError> {
+        if self.shared.stop.load(Relaxed) {
+            return Err(RuntimeError::Closed);
+        }
+        let mut ingest = self.shared.ingest.lock();
+        self.shared.take_snapshot_error(&mut ingest)?;
+        self.shared.checkpoint_locked(&mut ingest)
     }
 
     /// Phases committed so far.
@@ -637,7 +991,9 @@ impl StreamRuntime {
 
     /// Seals any remaining events, waits for completion, delivers every
     /// outstanding subscription callback, stops all threads and returns
-    /// the final report.
+    /// the final report. On a durable runtime the WAL is synced to
+    /// stable storage; no final snapshot is taken (restore replays the
+    /// tail from the last periodic snapshot).
     ///
     /// Events pushed concurrently with shutdown that miss the final
     /// seal are dropped (producers should quiesce first).
@@ -647,10 +1003,15 @@ impl StreamRuntime {
         if let Some(t) = self.ticker.take() {
             let _ = t.join();
         }
-        // 2. Final seal of whatever is buffered.
+        // 2. Final seal of whatever is buffered, then make the log
+        //    durable.
         let seal_result = {
             let mut ingest = self.shared.ingest.lock();
-            self.shared.seal_locked(&mut ingest, 0)
+            let sealed = self.shared.seal_locked(&mut ingest, 0);
+            if let Some(wal) = ingest.wal.as_ref() {
+                let _ = wal.sync();
+            }
+            sealed
         };
         // 3. Quiesce and stop the engine (workers join here).
         let engine_result = self.shared.engine.shutdown();
@@ -677,8 +1038,11 @@ impl StreamRuntime {
 
 impl Drop for StreamRuntime {
     fn drop(&mut self) {
-        // Unclean drop (e.g. test unwind): stop threads without
-        // sealing; LiveEngine's own Drop stops the workers.
+        // Unclean drop (e.g. test unwind, or a simulated crash in the
+        // durability tests): stop threads without sealing; LiveEngine's
+        // own Drop stops the workers. The WAL needs no special
+        // handling — every committed row was already written at seal
+        // time, which is exactly what restore reads back.
         self.shared.ticker_stop.store(true, Relaxed);
         self.shared.stop.store(true, Relaxed);
         self.shared.engine.wake_all();

@@ -39,15 +39,17 @@ impl PhaseScript {
         self.rows.is_empty()
     }
 
-    /// The bin column of one source, in phase order.
-    pub fn column(&self, source: usize) -> Vec<Option<Value>> {
-        self.rows.iter().map(|row| row[source].clone()).collect()
+    /// The bin column of one source, in phase order — borrowed, so
+    /// inspecting a million-row script allocates nothing.
+    pub fn column(&self, source: usize) -> impl Iterator<Item = Option<&Value>> + '_ {
+        self.rows.iter().map(move |row| row[source].as_ref())
     }
 
     /// A [`Replay`] source reproducing one column — feed these to an
-    /// identical graph to replay the run deterministically.
+    /// identical graph to replay the run deterministically. (This one
+    /// owns its values; `Value` clones are cheap — `Arc` payloads.)
     pub fn replay(&self, source: usize) -> Replay {
-        Replay::new(self.column(source))
+        Replay::new(self.column(source).map(|bin| bin.cloned()).collect())
     }
 
     /// Total non-silent bins committed (events that made it into
@@ -82,8 +84,14 @@ mod tests {
         assert_eq!(s.phases(), 2);
         assert!(!s.is_empty());
         assert_eq!(s.event_count(), 2);
-        assert_eq!(s.column(0), vec![Some(Value::Int(1)), None]);
-        assert_eq!(s.column(1), vec![None, Some(Value::Int(2))]);
+        assert_eq!(
+            s.column(0).collect::<Vec<_>>(),
+            vec![Some(&Value::Int(1)), None]
+        );
+        assert_eq!(
+            s.column(1).collect::<Vec<_>>(),
+            vec![None, Some(&Value::Int(2))]
+        );
     }
 
     #[test]

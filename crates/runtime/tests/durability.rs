@@ -1,0 +1,461 @@
+//! Durability integration tests: serializability extended across
+//! process restarts.
+//!
+//! The central bar (ISSUE 2 acceptance): a `StreamRuntime` killed at an
+//! arbitrary point — mid-stream, without shutdown — and restored from
+//! its store must continue exactly where the committed log left off,
+//! such that the stitched run is indistinguishable from an
+//! uninterrupted `Sequential` oracle execution of the same committed
+//! script. Recovery must also shrug off a torn WAL tail.
+
+use ec_core::ExecutionHistory;
+use ec_events::FeedWriter;
+use ec_fusion::operators::aggregate::Aggregate;
+use ec_fusion::operators::moving::MovingAverage;
+use ec_fusion::operators::threshold::Threshold;
+use ec_fusion::{CorrelatorBuilder, NodeHandle};
+use ec_graph::VertexId;
+use ec_runtime::{PhaseScript, RuntimeError, StreamRuntime, StreamRuntimeBuilder};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::path::PathBuf;
+
+fn test_dir(tag: &str) -> PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "ec-runtime-durability-{}-{tag}-{n}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn live_builder() -> StreamRuntimeBuilder {
+    let mut feeds: Vec<(String, NodeHandle, FeedWriter)> = Vec::new();
+    let (correlator, _alarm) = wire_graph(|b, name| {
+        let (handle, writer) = b.live_source(name);
+        feeds.push((name.to_string(), handle, writer));
+        handle
+    });
+    StreamRuntimeBuilder::from_correlator(correlator, feeds)
+}
+
+/// The shared test graph (all operators snapshot-capable):
+///
+/// ```text
+/// s1 ─┬─ sum ── avg(3) ── alarm(>10)
+/// s2 ─┘
+/// ```
+fn wire_graph(
+    mut mk_source: impl FnMut(&mut CorrelatorBuilder, &str) -> NodeHandle,
+) -> (CorrelatorBuilder, NodeHandle) {
+    let mut b = CorrelatorBuilder::new();
+    let s1 = mk_source(&mut b, "s1");
+    let s2 = mk_source(&mut b, "s2");
+    let sum = b.add("sum", Aggregate::sum(), &[s1, s2]);
+    let avg = b.add("avg", MovingAverage::new(3), &[sum]);
+    let alarm = b.add("alarm", Threshold::above(10.0), &[avg]);
+    (b, alarm)
+}
+
+/// Runs the sequential oracle, uninterrupted, over the committed script.
+fn oracle_history(script: &PhaseScript) -> ExecutionHistory {
+    let mut column = 0usize;
+    let (b, _) = wire_graph(|builder, name| {
+        let replay = script.replay(column);
+        column += 1;
+        builder.source(name, replay)
+    });
+    let mut seq = b.sequential().expect("oracle builds");
+    seq.run(script.phases()).expect("oracle runs");
+    seq.into_history()
+}
+
+/// Asserts the restored run's history (covering phases `base+1..`)
+/// matches the corresponding tail of the uninterrupted oracle run —
+/// record for record, emission for emission.
+fn assert_tail_matches(full: &ExecutionHistory, restored: &ExecutionHistory, base: u64) {
+    assert_eq!(full.vertex_count(), restored.vertex_count());
+    for vi in 0..full.vertex_count() {
+        let v = VertexId(vi as u32);
+        let want: Vec<_> = full.of(v).iter().filter(|(p, _)| p.get() > base).collect();
+        let got: Vec<_> = restored.of(v).iter().collect();
+        assert_eq!(
+            want.len(),
+            got.len(),
+            "{v:?}: oracle tail has {} executions after phase {base}, restored run has {}",
+            want.len(),
+            got.len()
+        );
+        for ((wp, we), (gp, ge)) in want.iter().zip(got.iter()) {
+            assert_eq!(wp, gp, "{v:?}: phase mismatch");
+            assert!(
+                we.same_as(ge),
+                "{v:?} phase {wp:?}: emission mismatch: {we:?} vs {ge:?}"
+            );
+        }
+    }
+    let want: Vec<_> = full
+        .sink_outputs()
+        .iter()
+        .filter(|r| r.phase.get() > base)
+        .collect();
+    let got: Vec<_> = restored.sink_outputs().iter().collect();
+    assert_eq!(want.len(), got.len(), "sink record counts diverge");
+    for (w, g) in want.iter().zip(got.iter()) {
+        assert_eq!(w.vertex, g.vertex);
+        assert_eq!(w.phase, g.phase);
+        assert!(w.value.same_as(&g.value));
+    }
+}
+
+/// One scripted interleaving step.
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    Push(usize, f64),
+    Flush,
+}
+
+fn random_ops(rng: &mut SmallRng, n: usize) -> Vec<Op> {
+    (0..n)
+        .map(|_| {
+            if rng.gen_range(0usize..10) < 7 {
+                Op::Push(rng.gen_range(0usize..2), rng.gen_range(-20i64..30) as f64)
+            } else {
+                Op::Flush
+            }
+        })
+        .collect()
+}
+
+fn apply_ops(rt: &StreamRuntime, ops: &[Op]) {
+    let handles = [
+        rt.handle_by_name("s1").unwrap(),
+        rt.handle_by_name("s2").unwrap(),
+    ];
+    for op in ops {
+        match *op {
+            Op::Push(which, v) => handles[which].push(v).unwrap(),
+            Op::Flush => {
+                rt.flush().unwrap();
+            }
+        }
+    }
+}
+
+/// The acceptance test: kill at a random point, restore, and require
+/// the stitched run to equal the uninterrupted sequential oracle.
+#[test]
+fn killed_and_restored_run_matches_uninterrupted_oracle() {
+    for seed in 0..8u64 {
+        let mut rng = SmallRng::seed_from_u64(seed * 1033 + 7);
+        let dir = test_dir("kill-restore");
+        let ops = random_ops(&mut rng, 60);
+        let kill_at = rng.gen_range(5usize..55);
+
+        // First incarnation: durable, periodic snapshots, killed by a
+        // plain drop — no shutdown, no final seal.
+        {
+            let rt = live_builder()
+                .threads(4)
+                .durable(&dir)
+                .snapshot_every(4)
+                .build()
+                .unwrap();
+            apply_ops(&rt, &ops[..kill_at]);
+            drop(rt); // simulated crash
+        }
+
+        // What the store committed (read-only peek, as `ec recover`
+        // would): phases so far and the snapshot the restore will use.
+        let rec = ec_store::Recovery::open(&dir).unwrap();
+        let committed_at_kill = rec.committed_phases();
+        let base = rec.snapshot_phase();
+        assert!(base <= committed_at_kill);
+        drop(rec);
+
+        // Second incarnation: restore and continue with the rest of
+        // the interleaving.
+        let rt = live_builder().threads(4).durable(&dir).restore().unwrap();
+        assert_eq!(rt.admitted(), committed_at_kill, "resumes at exact phase");
+        apply_ops(&rt, &ops[kill_at..]);
+        let report = rt.shutdown().unwrap();
+
+        // The script spans phase 1..end (recovered prefix + new rows).
+        assert!(report.script.phases() >= committed_at_kill);
+
+        // Uninterrupted oracle over the same committed script: the
+        // restored run's history must equal its tail exactly.
+        let full = oracle_history(&report.script);
+        let live = report.history.expect("history recorded");
+        assert_tail_matches(&full, &live, base);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// A deliberately torn WAL tail (crash mid-append) is dropped without
+/// error, and the run resumes from the surviving prefix.
+#[test]
+fn restore_drops_torn_wal_tail() {
+    let dir = test_dir("torn-tail");
+    {
+        let rt = live_builder().durable(&dir).build().unwrap();
+        let s1 = rt.handle_by_name("s1").unwrap();
+        for i in 1..=6i64 {
+            s1.push(i as f64).unwrap();
+            rt.flush().unwrap();
+        }
+        drop(rt);
+    }
+    // Tear the log: chop the final record mid-payload, then append a
+    // few garbage bytes as a half-written next record would leave.
+    let wal = ec_store::wal_path(&dir);
+    let mut bytes = std::fs::read(&wal).unwrap();
+    bytes.truncate(bytes.len() - 3);
+    bytes.extend_from_slice(&[0xDE, 0xAD]);
+    std::fs::write(&wal, &bytes).unwrap();
+
+    let rec = ec_store::Recovery::open(&dir).unwrap();
+    assert!(matches!(rec.tail, ec_store::WalTail::Torn { .. }));
+    assert_eq!(rec.committed_phases(), 5, "torn record dropped");
+    drop(rec);
+
+    let rt = live_builder().durable(&dir).restore().unwrap();
+    assert_eq!(rt.admitted(), 5);
+    let s1 = rt.handle_by_name("s1").unwrap();
+    s1.push(50.0).unwrap();
+    rt.flush().unwrap();
+    let report = rt.shutdown().unwrap();
+    assert_eq!(report.script.phases(), 6);
+    let full = oracle_history(&report.script);
+    let live = report.history.expect("history");
+    assert_tail_matches(&full, &live, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn build_refuses_to_overwrite_existing_store() {
+    let dir = test_dir("no-overwrite");
+    {
+        let rt = live_builder().durable(&dir).build().unwrap();
+        rt.shutdown().unwrap();
+    }
+    let err = match live_builder().durable(&dir).build() {
+        Ok(_) => panic!("building over an existing store must fail"),
+        Err(e) => e,
+    };
+    assert!(matches!(err, RuntimeError::Store(_)), "got {err:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn restore_validates_source_wiring() {
+    let dir = test_dir("wrong-graph");
+    {
+        let rt = live_builder().durable(&dir).build().unwrap();
+        let s1 = rt.handle_by_name("s1").unwrap();
+        s1.push(1.0).unwrap();
+        rt.flush().unwrap();
+        rt.shutdown().unwrap();
+    }
+    // A graph with different live sources must be rejected.
+    let mut wrong = StreamRuntime::builder();
+    let x = wrong.live_source("unrelated");
+    wrong.add("alarm", Threshold::above(1.0), &[x]);
+    let err = match wrong.durable(&dir).restore() {
+        Ok(_) => panic!("restoring a mismatched graph must fail"),
+        Err(e) => e,
+    };
+    assert!(
+        matches!(err, RuntimeError::Config(ref msg) if msg.contains("live sources")),
+        "got {err:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn snapshots_bound_replay_and_manual_checkpoint_works() {
+    let dir = test_dir("snapshots");
+    {
+        let rt = live_builder()
+            .durable(&dir)
+            .snapshot_every(3)
+            .build()
+            .unwrap();
+        let s1 = rt.handle_by_name("s1").unwrap();
+        for i in 1..=10i64 {
+            s1.push(i as f64).unwrap();
+            rt.flush().unwrap();
+        }
+        // Manual checkpoint on top of the periodic ones.
+        let phase = rt.checkpoint().unwrap();
+        assert_eq!(phase, 10);
+        rt.shutdown().unwrap();
+    }
+    let snapshots = ec_store::list_snapshots(&dir).unwrap();
+    assert!(
+        snapshots.iter().any(|(p, _)| *p == 10),
+        "manual checkpoint missing: {snapshots:?}"
+    );
+    assert!(snapshots.len() >= 3, "periodic snapshots missing");
+
+    let rec = ec_store::Recovery::open(&dir).unwrap();
+    assert_eq!(rec.snapshot_phase(), 10);
+    assert!(rec.tail_rows().is_empty(), "nothing to replay after 10");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn snapshot_on_flush_snapshots_every_flush() {
+    let dir = test_dir("on-flush");
+    let rt = live_builder()
+        .durable(&dir)
+        .snapshot_on_flush(true)
+        .build()
+        .unwrap();
+    let s1 = rt.handle_by_name("s1").unwrap();
+    s1.push(1.0).unwrap();
+    rt.flush().unwrap();
+    s1.push(2.0).unwrap();
+    rt.flush().unwrap();
+    rt.shutdown().unwrap();
+    let phases: Vec<u64> = ec_store::list_snapshots(&dir)
+        .unwrap()
+        .into_iter()
+        .map(|(p, _)| p)
+        .collect();
+    assert_eq!(phases, vec![1, 2]);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn build_or_restore_creates_then_resumes() {
+    let dir = test_dir("build-or-restore");
+    {
+        let rt = live_builder().durable(&dir).build_or_restore().unwrap();
+        let s1 = rt.handle_by_name("s1").unwrap();
+        s1.push(3.0).unwrap();
+        rt.flush().unwrap();
+        drop(rt); // crash
+    }
+    let rt = live_builder().durable(&dir).build_or_restore().unwrap();
+    assert_eq!(rt.admitted(), 1);
+    let report = rt.shutdown().unwrap();
+    assert_eq!(report.script.phases(), 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Restored subscribers see the replayed tail again (at-least-once),
+/// in serial order, before any new emissions.
+#[test]
+fn restore_redelivers_tail_emissions_in_order() {
+    use std::sync::{Arc, Mutex};
+    let dir = test_dir("redeliver");
+    {
+        let rt = live_builder()
+            .durable(&dir)
+            .snapshot_every(2)
+            .build()
+            .unwrap();
+        let s1 = rt.handle_by_name("s1").unwrap();
+        // Alternating signs flip the alarm every phase, so every phase
+        // carries a sink emission — including the replayed tail.
+        for i in 0..5i64 {
+            s1.push(if i % 2 == 0 { 100.0 } else { -100.0 }).unwrap();
+            rt.flush().unwrap();
+        }
+        drop(rt); // crash after 5 committed phases
+    }
+    let rec = ec_store::Recovery::open(&dir).unwrap();
+    let base = rec.snapshot_phase();
+    assert!(base >= 2, "periodic snapshot expected, got {base}");
+    drop(rec);
+
+    let seen: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+    let sink = Arc::clone(&seen);
+    let rt = live_builder()
+        .durable(&dir)
+        .subscribe(move |e| sink.lock().unwrap().push(e.phase))
+        .restore()
+        .unwrap();
+    let s1 = rt.handle_by_name("s1").unwrap();
+    s1.push(-100.0).unwrap();
+    rt.flush().unwrap();
+    rt.shutdown().unwrap();
+
+    let seen = seen.lock().unwrap();
+    // In order, covering exactly the replayed tail (phases after the
+    // snapshot) plus the new phase.
+    assert_eq!(*seen, ((base + 1)..=6).collect::<Vec<u64>>(), "base {base}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Real corruption in the WAL body (not a torn tail) must refuse to
+/// resume rather than silently truncate acknowledged history.
+#[test]
+fn restore_refuses_corrupt_wal_body() {
+    let dir = test_dir("corrupt-body");
+    {
+        let rt = live_builder().durable(&dir).build().unwrap();
+        let s1 = rt.handle_by_name("s1").unwrap();
+        for i in 1..=4i64 {
+            s1.push(i as f64).unwrap();
+            rt.flush().unwrap();
+        }
+        drop(rt);
+    }
+    // Flip a bit inside the SECOND row record: a complete record with a
+    // checksum mismatch, followed by more data — unambiguous damage.
+    let wal = ec_store::wal_path(&dir);
+    let bytes = std::fs::read(&wal).unwrap();
+    let mut offset = 0usize;
+    for _ in 0..2 {
+        // skip header + first row
+        let len = u32::from_le_bytes(bytes[offset..offset + 4].try_into().unwrap()) as usize;
+        offset += 8 + len;
+    }
+    let mut damaged = bytes.clone();
+    damaged[offset + 10] ^= 0x20;
+    std::fs::write(&wal, &damaged).unwrap();
+
+    let err = match live_builder().durable(&dir).restore() {
+        Ok(_) => panic!("resuming over a corrupt WAL must fail"),
+        Err(e) => e,
+    };
+    assert!(
+        matches!(err, RuntimeError::Store(ref msg) if msg.contains("corrupt")),
+        "got {err:?}"
+    );
+    // The file was NOT truncated by the refused restore.
+    assert_eq!(std::fs::read(&wal).unwrap(), damaged);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A fresh durable build refuses a directory holding stale snapshots
+/// from an earlier incarnation (they would restore the wrong state).
+#[test]
+fn build_refuses_stale_snapshot_files() {
+    let dir = test_dir("stale-snapshots");
+    {
+        let rt = live_builder()
+            .durable(&dir)
+            .snapshot_every(1)
+            .build()
+            .unwrap();
+        let s1 = rt.handle_by_name("s1").unwrap();
+        s1.push(1.0).unwrap();
+        rt.flush().unwrap();
+        rt.shutdown().unwrap();
+    }
+    // "Reset" the store the wrong way: delete only the WAL.
+    std::fs::remove_file(ec_store::wal_path(&dir)).unwrap();
+    let err = match live_builder().durable(&dir).build() {
+        Ok(_) => panic!("stale snapshots must block a fresh store"),
+        Err(e) => e,
+    };
+    assert!(matches!(err, RuntimeError::Store(_)), "got {err:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -99,7 +99,7 @@ fn subscribers_see_serial_order() {
     rt.subscribe(move |e| {
         sink.lock()
             .unwrap()
-            .push((e.name.clone(), e.phase, e.value.clone()));
+            .push((e.name.to_string(), e.phase, e.value.clone()));
     });
     let s1 = rt.handle_by_name("s1").unwrap();
     for i in 1..=30i64 {
@@ -338,11 +338,11 @@ fn out_of_order_arrivals_via_reorder_buffer() {
     assert_eq!(report.phases, 3);
     // Phases carry the events in generation order, not arrival order.
     assert_eq!(
-        report.script.column(0),
+        report.script.column(0).collect::<Vec<_>>(),
         vec![
-            Some(Value::Float(1.0)),
-            Some(Value::Float(2.0)),
-            Some(Value::Float(3.0)),
+            Some(&Value::Float(1.0)),
+            Some(&Value::Float(2.0)),
+            Some(&Value::Float(3.0)),
         ]
     );
     let live = report.history.expect("history");

@@ -10,7 +10,7 @@
 //! `pair-correlation`, `coincidence-join`.
 
 use crate::error::SpecError;
-use crate::schema::{ComputationSpec, NodeSpec, RunSettings};
+use crate::schema::{ComputationSpec, DurabilitySpec, NodeSpec, RunSettings};
 use crate::xml;
 use ec_core::{EngineBuilder, Module, PassThrough, Sequential, SumModule};
 use ec_events::csv::CsvReplay;
@@ -82,6 +82,8 @@ pub struct LiveLoadedSpec {
     pub handles: HashMap<String, NodeHandle>,
     /// `(id, handle, writer)` per `type="live"` source, in spec order.
     pub feeds: Vec<(String, NodeHandle, ec_events::FeedWriter)>,
+    /// Durability settings from the spec's `<durability>` element.
+    pub durability: Option<DurabilitySpec>,
 }
 
 /// Parses and instantiates a spec for live execution (see
@@ -103,6 +105,7 @@ pub fn load_spec_live(spec: &ComputationSpec) -> Result<LiveLoadedSpec, SpecErro
         settings: spec.settings.clone(),
         handles,
         feeds,
+        durability: spec.durability.clone(),
     })
 }
 

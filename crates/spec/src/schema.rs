@@ -23,6 +23,12 @@
 //! nodes defined earlier in the file; since edges always point from an
 //! earlier to a later node, a well-formed spec is acyclic by
 //! construction (the same argument as the builder's).
+//!
+//! An optional `<durability dir="..." snapshot-every="..."
+//! on-flush="..."/>` element enables the `ec-store` write-ahead log for
+//! live (`ec stream`) execution: committed epochs are logged to `dir`
+//! and operator state is snapshotted every `snapshot-every` phases
+//! and/or on every explicit flush.
 
 use crate::error::SpecError;
 use crate::xml::XmlElement;
@@ -47,6 +53,18 @@ impl Default for RunSettings {
             max_inflight: 64,
         }
     }
+}
+
+/// The `<durability>` element: where (and how eagerly) a live run
+/// persists its committed epochs and operator state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DurabilitySpec {
+    /// Store directory for the WAL and snapshots.
+    pub dir: String,
+    /// Snapshot automatically every this many admitted phases.
+    pub snapshot_every: Option<u64>,
+    /// Snapshot after every explicit flush.
+    pub on_flush: bool,
 }
 
 /// One `<node>` declaration.
@@ -129,6 +147,8 @@ pub struct ComputationSpec {
     pub settings: RunSettings,
     /// Nodes in definition order.
     pub nodes: Vec<NodeSpec>,
+    /// Durability settings for live execution, if any.
+    pub durability: Option<DurabilitySpec>,
 }
 
 impl ComputationSpec {
@@ -152,8 +172,42 @@ impl ComputationSpec {
         }
 
         let mut nodes = Vec::new();
+        let mut durability: Option<DurabilitySpec> = None;
         let mut seen = std::collections::HashSet::new();
         for el in root.elements() {
+            if el.name == "durability" {
+                if durability.is_some() {
+                    return Err(SpecError::Structure(
+                        "more than one <durability> element".into(),
+                    ));
+                }
+                let dir = el
+                    .attr("dir")
+                    .ok_or_else(|| SpecError::Structure("<durability> missing dir".into()))?
+                    .to_string();
+                let snapshot_every = match el.attr("snapshot-every") {
+                    Some(raw) => Some(parse_num(raw, "durability", "snapshot-every")?),
+                    None => None,
+                };
+                let on_flush = match el.attr("on-flush") {
+                    None => false,
+                    Some("true") => true,
+                    Some("false") => false,
+                    Some(other) => {
+                        return Err(SpecError::BadParam {
+                            node: "durability".into(),
+                            param: "on-flush".into(),
+                            value: other.into(),
+                        })
+                    }
+                };
+                durability = Some(DurabilitySpec {
+                    dir,
+                    snapshot_every,
+                    on_flush,
+                });
+                continue;
+            }
             if el.name != "node" {
                 return Err(SpecError::Structure(format!(
                     "unexpected element <{}> inside <computation>",
@@ -206,7 +260,11 @@ impl ComputationSpec {
         if nodes.is_empty() {
             return Err(SpecError::Structure("spec defines no nodes".into()));
         }
-        Ok(ComputationSpec { settings, nodes })
+        Ok(ComputationSpec {
+            settings,
+            nodes,
+            durability,
+        })
     }
 }
 
@@ -223,6 +281,48 @@ mod tests {
 
     fn spec(doc: &str) -> Result<ComputationSpec, SpecError> {
         ComputationSpec::from_element(&xml::parse(doc).unwrap())
+    }
+
+    #[test]
+    fn durability_element_parses() {
+        let doc = r#"<computation>
+          <durability dir="/var/lib/ec/store" snapshot-every="64" on-flush="true"/>
+          <node id="a" type="counter"/>
+        </computation>"#;
+        let s = spec(doc).unwrap();
+        let d = s.durability.expect("durability parsed");
+        assert_eq!(d.dir, "/var/lib/ec/store");
+        assert_eq!(d.snapshot_every, Some(64));
+        assert!(d.on_flush);
+
+        // Minimal form: dir only.
+        let doc = r#"<computation>
+          <durability dir="store"/>
+          <node id="a" type="counter"/>
+        </computation>"#;
+        let d = spec(doc).unwrap().durability.unwrap();
+        assert_eq!(d.snapshot_every, None);
+        assert!(!d.on_flush);
+    }
+
+    #[test]
+    fn durability_element_validated() {
+        let doc = r#"<computation>
+          <durability snapshot-every="4"/>
+          <node id="a" type="counter"/>
+        </computation>"#;
+        assert!(matches!(spec(doc).unwrap_err(), SpecError::Structure(_)));
+        let doc = r#"<computation>
+          <durability dir="d" on-flush="maybe"/>
+          <node id="a" type="counter"/>
+        </computation>"#;
+        assert!(matches!(spec(doc).unwrap_err(), SpecError::BadParam { .. }));
+        let doc = r#"<computation>
+          <durability dir="d"/>
+          <durability dir="e"/>
+          <node id="a" type="counter"/>
+        </computation>"#;
+        assert!(matches!(spec(doc).unwrap_err(), SpecError::Structure(_)));
     }
 
     #[test]

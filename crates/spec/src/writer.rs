@@ -79,6 +79,20 @@ pub fn spec_to_xml(spec: &ComputationSpec) -> String {
         ],
         children: Vec::new(),
     };
+    if let Some(d) = &spec.durability {
+        let mut attrs = vec![("dir".to_string(), d.dir.clone())];
+        if let Some(every) = d.snapshot_every {
+            attrs.push(("snapshot-every".into(), every.to_string()));
+        }
+        if d.on_flush {
+            attrs.push(("on-flush".into(), "true".into()));
+        }
+        root.children.push(XmlNode::Element(XmlElement {
+            name: "durability".into(),
+            attrs,
+            children: Vec::new(),
+        }));
+    }
     for node in &spec.nodes {
         root.children.push(XmlNode::Element(node_to_element(node)));
     }
@@ -159,6 +173,11 @@ mod tests {
                 threads: 3,
                 max_inflight: 9,
             },
+            durability: Some(crate::schema::DurabilitySpec {
+                dir: "store/dir".into(),
+                snapshot_every: Some(16),
+                on_flush: false,
+            }),
             nodes: vec![
                 NodeSpec {
                     id: "src".into(),

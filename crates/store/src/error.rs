@@ -1,0 +1,75 @@
+//! Store error types.
+
+use ec_events::SnapshotError;
+use std::fmt;
+use std::path::PathBuf;
+
+/// Errors surfaced by the durability layer.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem failure (path and the underlying error).
+    Io {
+        /// The path being accessed.
+        path: PathBuf,
+        /// The OS error.
+        source: std::io::Error,
+    },
+    /// The store directory holds no write-ahead log.
+    NotFound(PathBuf),
+    /// A store file exists where a fresh store was to be created.
+    AlreadyExists(PathBuf),
+    /// The file's contents are not a valid store artifact (bad magic,
+    /// impossible lengths, checksum mismatch in the *body* of the log).
+    Corrupt {
+        /// The offending file.
+        path: PathBuf,
+        /// What was wrong.
+        message: String,
+    },
+    /// A payload failed to decode.
+    Snapshot(SnapshotError),
+}
+
+impl StoreError {
+    pub(crate) fn io(path: impl Into<PathBuf>, source: std::io::Error) -> StoreError {
+        StoreError::Io {
+            path: path.into(),
+            source,
+        }
+    }
+
+    pub(crate) fn corrupt(path: impl Into<PathBuf>, message: impl Into<String>) -> StoreError {
+        StoreError::Corrupt {
+            path: path.into(),
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { path, source } => write!(f, "{}: {source}", path.display()),
+            StoreError::NotFound(path) => {
+                write!(f, "no write-ahead log at {}", path.display())
+            }
+            StoreError::AlreadyExists(path) => write!(
+                f,
+                "{} already exists (restore it instead of creating a new store)",
+                path.display()
+            ),
+            StoreError::Corrupt { path, message } => {
+                write!(f, "{} is corrupt: {message}", path.display())
+            }
+            StoreError::Snapshot(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<SnapshotError> for StoreError {
+    fn from(e: SnapshotError) -> StoreError {
+        StoreError::Snapshot(e)
+    }
+}

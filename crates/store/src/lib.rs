@@ -1,0 +1,60 @@
+//! # ec-store — durable checkpoint/restore for the streaming runtime
+//!
+//! The paper's serializability guarantee makes a live run *replayable*:
+//! the committed `PhaseScript` (one row of source bins per admitted
+//! phase) fed back through the sequential oracle reproduces the history
+//! exactly. This crate makes that log **durable**, turning the
+//! reproduction into a service that survives restarts:
+//!
+//! * [`WalWriter`] / [`read_wal`] — a crash-safe, length-prefixed and
+//!   CRC-checksummed write-ahead log of committed rows. Appends happen
+//!   at epoch seal, *before* the phase is admitted: a row the outside
+//!   world saw accepted is never lost. Recovery drops a torn tail
+//!   record (crash mid-append) and reports real corruption.
+//! * [`write_snapshot`] / [`read_snapshot`] — operator state
+//!   ([`ec_core::EngineCheckpoint`]) at a retired phase boundary,
+//!   written atomically. Snapshots bound recovery time; the WAL alone
+//!   is always sufficient.
+//! * [`Recovery`] — opens a store, validates everything, picks the
+//!   newest usable snapshot and exposes the log tail to replay. The
+//!   resumed run continues at the exact next phase with global phase
+//!   numbering intact.
+//!
+//! The streaming integration (`StreamRuntimeBuilder::durable`,
+//! `StreamRuntime::restore`) lives in `ec-runtime`; this crate owns the
+//! on-disk formats and is deliberately independent of the runtime so
+//! future subsystems (multi-tenant session stores, sharded logs) can
+//! reuse it.
+//!
+//! ## Store layout
+//!
+//! ```text
+//! <dir>/wal.log                      append-only row log
+//! <dir>/snapshot-<phase>.ecs         operator state at a retired phase
+//! ```
+
+#![warn(missing_docs)]
+
+mod crc;
+mod error;
+mod recovery;
+mod snapshot;
+mod wal;
+
+pub use crc::crc32;
+pub use error::StoreError;
+pub use recovery::Recovery;
+pub use snapshot::{list_snapshots, read_snapshot, snapshot_path, write_snapshot, SnapshotData};
+pub use wal::{read_wal, wal_path, Row, WalContents, WalTail, WalWriter, WAL_FILE};
+
+/// Fresh per-test directory under the system temp dir (no external
+/// tempfile dependency in the offline build).
+#[cfg(test)]
+pub(crate) fn test_dir(tag: &str) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("ec-store-test-{}-{tag}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}

@@ -1,0 +1,193 @@
+//! Opening a store and working out where to resume.
+//!
+//! [`Recovery`] reads the WAL (dropping a torn tail), finds the most
+//! recent *valid* snapshot whose phase is covered by the log, and
+//! presents the pieces a runtime needs to resume: the committed rows,
+//! the checkpoint to restore operator state from, and the tail of rows
+//! after it that must be replayed through the engine. Phase numbering
+//! is global: if the log holds `W` rows, the run resumes at phase
+//! `W + 1` — exactly where the crashed process would have continued.
+
+use crate::error::StoreError;
+use crate::snapshot::{list_snapshots, read_snapshot, SnapshotData};
+use crate::wal::{read_wal, Row, WalTail, WalWriter};
+use std::path::{Path, PathBuf};
+
+/// A store opened for recovery.
+#[derive(Debug)]
+pub struct Recovery {
+    dir: PathBuf,
+    /// Live source names (the WAL header).
+    pub sources: Vec<String>,
+    /// All valid committed rows, phase order (`rows[p]` = phase `p+1`).
+    pub rows: Vec<Row>,
+    /// State of the WAL tail (clean / torn / corrupt).
+    pub tail: WalTail,
+    /// The newest usable snapshot, if any.
+    pub snapshot: Option<SnapshotData>,
+    /// Snapshots present but skipped (unreadable, damaged, or ahead of
+    /// the log), as `(path, reason)`.
+    pub skipped_snapshots: Vec<(PathBuf, String)>,
+    valid_len: u64,
+}
+
+impl Recovery {
+    /// Opens the store at `dir`.
+    ///
+    /// Errors only when there is nothing to recover (no WAL, or an
+    /// unreadable header). A torn WAL tail is dropped silently — that
+    /// is the expected shape of a crash — and damaged snapshots are
+    /// skipped in favour of older ones (or none), since the WAL can
+    /// always be replayed from phase 1.
+    pub fn open(dir: &Path) -> Result<Recovery, StoreError> {
+        let contents = read_wal(dir)?;
+        let mut skipped = Vec::new();
+        let mut snapshot = None;
+        for (phase, path) in list_snapshots(dir)?.into_iter().rev() {
+            if phase > contents.rows.len() as u64 {
+                skipped.push((
+                    path,
+                    format!(
+                        "snapshot at phase {phase} is ahead of the log ({} rows)",
+                        contents.rows.len()
+                    ),
+                ));
+                continue;
+            }
+            match read_snapshot(&path) {
+                Ok(data) => {
+                    snapshot = Some(data);
+                    break;
+                }
+                Err(e) => skipped.push((path, e.to_string())),
+            }
+        }
+        Ok(Recovery {
+            dir: dir.to_path_buf(),
+            sources: contents.sources,
+            rows: contents.rows,
+            tail: contents.tail,
+            snapshot,
+            skipped_snapshots: skipped,
+            valid_len: contents.valid_len,
+        })
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Phases committed to the log.
+    pub fn committed_phases(&self) -> u64 {
+        self.rows.len() as u64
+    }
+
+    /// The phase the resumed run will admit next.
+    pub fn resume_phase(&self) -> u64 {
+        self.committed_phases() + 1
+    }
+
+    /// The phase of the usable snapshot (0 = none; replay starts from
+    /// the beginning).
+    pub fn snapshot_phase(&self) -> u64 {
+        self.snapshot.as_ref().map(|s| s.phase).unwrap_or(0)
+    }
+
+    /// Rows after the snapshot, which must be replayed through the
+    /// engine to rebuild state up to the resume point.
+    pub fn tail_rows(&self) -> &[Row] {
+        &self.rows[self.snapshot_phase() as usize..]
+    }
+
+    /// Reopens the WAL for appending, truncating any torn/corrupt tail
+    /// so new commits extend the validated prefix.
+    pub fn append_writer(&self) -> Result<WalWriter, StoreError> {
+        WalWriter::resume(&self.dir, self.valid_len, self.committed_phases())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::write_snapshot;
+    use crate::test_dir;
+    use ec_core::EngineCheckpoint;
+    use ec_events::Value;
+
+    fn store_with_rows(dir: &Path, n: u64) {
+        let mut w = WalWriter::create(dir, &["s".into()]).unwrap();
+        for i in 0..n {
+            w.append_row(&[Some(Value::Int(i as i64))]).unwrap();
+        }
+    }
+
+    fn empty_checkpoint(phase: u64) -> EngineCheckpoint {
+        EngineCheckpoint {
+            phase,
+            vertices: vec![],
+        }
+    }
+
+    #[test]
+    fn picks_newest_covered_snapshot() {
+        let dir = test_dir("rec-pick");
+        store_with_rows(&dir, 10);
+        for phase in [2u64, 6] {
+            write_snapshot(&dir, &["s".into()], &empty_checkpoint(phase)).unwrap();
+        }
+        // A snapshot *ahead* of the log (e.g. the log was truncated by
+        // a torn tail) must be skipped.
+        write_snapshot(&dir, &["s".into()], &empty_checkpoint(12)).unwrap();
+        let rec = Recovery::open(&dir).unwrap();
+        assert_eq!(rec.committed_phases(), 10);
+        assert_eq!(rec.resume_phase(), 11);
+        assert_eq!(rec.snapshot_phase(), 6);
+        assert_eq!(rec.tail_rows().len(), 4);
+        assert_eq!(rec.skipped_snapshots.len(), 1);
+    }
+
+    #[test]
+    fn damaged_snapshot_falls_back_to_older() {
+        let dir = test_dir("rec-fallback");
+        store_with_rows(&dir, 5);
+        write_snapshot(&dir, &["s".into()], &empty_checkpoint(2)).unwrap();
+        let newest = write_snapshot(&dir, &["s".into()], &empty_checkpoint(4)).unwrap();
+        let mut bytes = std::fs::read(&newest).unwrap();
+        let n = bytes.len();
+        bytes[n - 1] ^= 0xFF;
+        std::fs::write(&newest, &bytes).unwrap();
+
+        let rec = Recovery::open(&dir).unwrap();
+        assert_eq!(rec.snapshot_phase(), 2);
+        assert_eq!(rec.skipped_snapshots.len(), 1);
+    }
+
+    #[test]
+    fn no_snapshot_replays_everything() {
+        let dir = test_dir("rec-nosnap");
+        store_with_rows(&dir, 4);
+        let rec = Recovery::open(&dir).unwrap();
+        assert_eq!(rec.snapshot_phase(), 0);
+        assert_eq!(rec.tail_rows().len(), 4);
+        assert!(rec.snapshot.is_none());
+    }
+
+    #[test]
+    fn torn_tail_reduces_committed_phases() {
+        let dir = test_dir("rec-torn");
+        store_with_rows(&dir, 3);
+        let path = crate::wal::wal_path(&dir);
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 4]).unwrap();
+        let rec = Recovery::open(&dir).unwrap();
+        assert_eq!(rec.committed_phases(), 2);
+        assert!(matches!(rec.tail, WalTail::Torn { .. }));
+        // Appending resumes cleanly past the dropped tail.
+        let mut w = rec.append_writer().unwrap();
+        w.append_row(&[Some(Value::Int(99))]).unwrap();
+        let rec = Recovery::open(&dir).unwrap();
+        assert_eq!(rec.committed_phases(), 3);
+        assert!(matches!(rec.tail, WalTail::Clean));
+    }
+}

@@ -1,0 +1,214 @@
+//! Snapshot files: operator state at a retired phase boundary.
+//!
+//! A snapshot captures an [`EngineCheckpoint`] (module state +
+//! latest-value memory per vertex, see `ec-core`) together with the
+//! graph's vertex names, so restore can verify it is being applied to
+//! the same computation. Files are written to a temporary name and
+//! renamed into place, so a crash mid-snapshot leaves either the old
+//! set of snapshots or the new one — never a half-written file that
+//! parses. A snapshot that fails validation is simply ignored by
+//! recovery (the WAL can always fill the gap by replaying more rows).
+
+use crate::crc::crc32;
+use crate::error::StoreError;
+use ec_core::EngineCheckpoint;
+use ec_events::{StateReader, StateWriter};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+const SNAP_MAGIC: &[u8; 8] = b"ECSNAP1\0";
+const SNAP_VERSION: u32 = 1;
+
+/// Path of the snapshot taken at `phase` inside `dir`. Phases are
+/// zero-padded so lexicographic directory order is phase order.
+pub fn snapshot_path(dir: &Path, phase: u64) -> PathBuf {
+    dir.join(format!("snapshot-{phase:020}.ecs"))
+}
+
+/// A parsed snapshot file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotData {
+    /// The retired phase the state was captured at.
+    pub phase: u64,
+    /// Vertex names in `VertexId` order, for graph validation.
+    pub names: Vec<String>,
+    /// The captured engine state.
+    pub checkpoint: EngineCheckpoint,
+}
+
+/// Writes a snapshot of `checkpoint` (taken at `checkpoint.phase`) to
+/// `dir`, atomically. Returns the final path.
+pub fn write_snapshot(
+    dir: &Path,
+    names: &[String],
+    checkpoint: &EngineCheckpoint,
+) -> Result<PathBuf, StoreError> {
+    let mut w = StateWriter::new();
+    w.put_u32(SNAP_VERSION);
+    w.put_u32(names.len() as u32);
+    for name in names {
+        w.put_str(name);
+    }
+    w.put_bytes(&checkpoint.encode());
+    let payload = w.into_bytes();
+
+    let mut bytes = Vec::with_capacity(payload.len() + 16);
+    bytes.extend_from_slice(SNAP_MAGIC);
+    bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    bytes.extend_from_slice(&crc32(&payload).to_le_bytes());
+    bytes.extend_from_slice(&payload);
+
+    let path = snapshot_path(dir, checkpoint.phase);
+    let tmp = path.with_extension("ecs.tmp");
+    {
+        let mut file = std::fs::File::create(&tmp).map_err(|e| StoreError::io(&tmp, e))?;
+        file.write_all(&bytes)
+            .map_err(|e| StoreError::io(&tmp, e))?;
+        file.sync_all().map_err(|e| StoreError::io(&tmp, e))?;
+    }
+    std::fs::rename(&tmp, &path).map_err(|e| StoreError::io(&path, e))?;
+    Ok(path)
+}
+
+/// Reads and validates one snapshot file.
+pub fn read_snapshot(path: &Path) -> Result<SnapshotData, StoreError> {
+    let bytes = std::fs::read(path).map_err(|e| StoreError::io(path, e))?;
+    if bytes.len() < 16 || &bytes[..8] != SNAP_MAGIC {
+        return Err(StoreError::corrupt(path, "bad snapshot magic"));
+    }
+    let len = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
+    let crc = u32::from_le_bytes(bytes[12..16].try_into().unwrap());
+    if bytes.len() != 16 + len {
+        return Err(StoreError::corrupt(
+            path,
+            format!("payload length {} != declared {len}", bytes.len() - 16),
+        ));
+    }
+    let payload = &bytes[16..];
+    if crc32(payload) != crc {
+        return Err(StoreError::corrupt(path, "checksum mismatch"));
+    }
+    let mut r = StateReader::new(payload);
+    let version = r.get_u32()?;
+    if version != SNAP_VERSION {
+        return Err(StoreError::corrupt(
+            path,
+            format!("unsupported snapshot version {version}"),
+        ));
+    }
+    let n = r.get_u32()? as usize;
+    let mut names = Vec::with_capacity(n);
+    for _ in 0..n {
+        names.push(r.get_str()?);
+    }
+    let checkpoint = EngineCheckpoint::decode(&r.get_bytes()?)?;
+    r.finish()?;
+    Ok(SnapshotData {
+        phase: checkpoint.phase,
+        names,
+        checkpoint,
+    })
+}
+
+/// Lists snapshot files in `dir`, sorted ascending by phase (parsed
+/// from the file name; malformed names are skipped).
+pub fn list_snapshots(dir: &Path) -> Result<Vec<(u64, PathBuf)>, StoreError> {
+    let mut out = Vec::new();
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(out),
+        Err(e) => return Err(StoreError::io(dir, e)),
+    };
+    for entry in entries {
+        let entry = entry.map_err(|e| StoreError::io(dir, e))?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(stem) = name
+            .strip_prefix("snapshot-")
+            .and_then(|rest| rest.strip_suffix(".ecs"))
+        else {
+            continue;
+        };
+        if let Ok(phase) = stem.parse::<u64>() {
+            out.push((phase, entry.path()));
+        }
+    }
+    out.sort_by_key(|(phase, _)| *phase);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_dir;
+    use ec_core::VertexState;
+    use ec_events::{StateSnapshot, Value};
+    use ec_graph::VertexId;
+
+    fn checkpoint(phase: u64) -> EngineCheckpoint {
+        EngineCheckpoint {
+            phase,
+            vertices: vec![
+                VertexState {
+                    vertex: VertexId(0),
+                    module: StateSnapshot::Bytes(vec![7, 7, 7]),
+                    latest: vec![],
+                },
+                VertexState {
+                    vertex: VertexId(1),
+                    module: StateSnapshot::Stateless,
+                    latest: vec![Some(Value::Float(1.5)), None],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let dir = test_dir("snap-roundtrip");
+        std::fs::create_dir_all(&dir).unwrap();
+        let names = vec!["src".to_string(), "alarm".to_string()];
+        let path = write_snapshot(&dir, &names, &checkpoint(17)).unwrap();
+        let data = read_snapshot(&path).unwrap();
+        assert_eq!(data.phase, 17);
+        assert_eq!(data.names, names);
+        assert_eq!(data.checkpoint, checkpoint(17));
+    }
+
+    #[test]
+    fn listing_sorts_by_phase() {
+        let dir = test_dir("snap-list");
+        std::fs::create_dir_all(&dir).unwrap();
+        for phase in [30u64, 5, 200] {
+            write_snapshot(&dir, &["a".into()], &checkpoint(phase)).unwrap();
+        }
+        // Unrelated files are skipped.
+        std::fs::write(dir.join("wal.log"), b"x").unwrap();
+        std::fs::write(dir.join("snapshot-junk.ecs"), b"x").unwrap();
+        let phases: Vec<u64> = list_snapshots(&dir)
+            .unwrap()
+            .into_iter()
+            .map(|(p, _)| p)
+            .collect();
+        assert_eq!(phases, vec![5, 30, 200]);
+    }
+
+    #[test]
+    fn damaged_snapshot_rejected() {
+        let dir = test_dir("snap-damage");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = write_snapshot(&dir, &["a".into()], &checkpoint(3)).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let flip_at = bytes.len() - 2;
+        bytes[flip_at] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            read_snapshot(&path),
+            Err(StoreError::Corrupt { .. })
+        ));
+        // Truncation is also rejected.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        assert!(read_snapshot(&path).is_err());
+    }
+}

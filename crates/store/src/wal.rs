@@ -1,0 +1,548 @@
+//! The write-ahead log of committed phase-script rows.
+//!
+//! One file (`wal.log`) per store directory. The first record is a
+//! header naming the live sources (the script's column order); every
+//! subsequent record is one committed row — the bins staged for one
+//! admitted phase, exactly the unit the streaming runtime commits when
+//! it seals an epoch. Appending the row *before* the phase is admitted
+//! makes the log the authoritative commit: a phase the outside world
+//! saw accepted is never lost to a crash.
+//!
+//! ## Framing
+//!
+//! ```text
+//! [u32 payload_len][u32 crc32(payload)][payload]
+//! ```
+//!
+//! `payload[0]` is the record kind (header / row); the rest is encoded
+//! with the [`StateWriter`] codec. Recovery reads records until the
+//! file ends or a record fails validation:
+//!
+//! * bytes missing to complete the record → **torn tail** (the process
+//!   died mid-append); the partial record is dropped, recovery
+//!   proceeds with the valid prefix;
+//! * full record present but checksum or decode fails → **corruption**;
+//!   the valid prefix is still returned, with the damage reported so
+//!   callers can refuse or alert.
+
+use crate::crc::crc32;
+use crate::error::StoreError;
+use ec_events::{StateReader, StateWriter, Value};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// One committed phase-script row: one bin per live source, in wiring
+/// order (`None` = the source was silent that phase).
+pub type Row = Vec<Option<Value>>;
+
+/// File name of the write-ahead log inside a store directory.
+pub const WAL_FILE: &str = "wal.log";
+
+const KIND_HEADER: u8 = 0;
+const KIND_ROW: u8 = 1;
+const WAL_MAGIC: &[u8; 6] = b"ECWAL1";
+/// Upper bound on a single record; lengths beyond this are treated as
+/// corruption rather than attempted as allocations.
+const MAX_RECORD_LEN: u32 = 1 << 28;
+
+/// Path of the WAL inside `dir`.
+pub fn wal_path(dir: &Path) -> PathBuf {
+    dir.join(WAL_FILE)
+}
+
+fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 8);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+fn encode_header(sources: &[String]) -> Vec<u8> {
+    let mut w = StateWriter::new();
+    w.put_u8(KIND_HEADER);
+    for &b in WAL_MAGIC {
+        w.put_u8(b);
+    }
+    w.put_u32(1); // format version
+    w.put_u32(sources.len() as u32);
+    for s in sources {
+        w.put_str(s);
+    }
+    w.into_bytes()
+}
+
+fn encode_row(row: &[Option<Value>]) -> Vec<u8> {
+    let mut w = StateWriter::new();
+    w.put_u8(KIND_ROW);
+    w.put_u32(row.len() as u32);
+    for bin in row {
+        w.put_opt_value(bin);
+    }
+    w.into_bytes()
+}
+
+/// Append half of the log.
+pub struct WalWriter {
+    path: PathBuf,
+    file: File,
+    rows: u64,
+}
+
+impl WalWriter {
+    /// Creates a fresh store: the directory (if missing) and a new WAL
+    /// whose header names the live sources. Fails with
+    /// [`StoreError::AlreadyExists`] if a WAL — or any leftover
+    /// snapshot file — is already present: an existing store is
+    /// restored, never silently overwritten, and a stale snapshot next
+    /// to a fresh log would later restore the *old* run's operator
+    /// state over the new run's history.
+    pub fn create(dir: &Path, sources: &[String]) -> Result<WalWriter, StoreError> {
+        std::fs::create_dir_all(dir).map_err(|e| StoreError::io(dir, e))?;
+        if let Some((_, stale)) = crate::snapshot::list_snapshots(dir)?.into_iter().next() {
+            return Err(StoreError::AlreadyExists(stale));
+        }
+        let path = wal_path(dir);
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(&path)
+            .map_err(|e| {
+                if e.kind() == std::io::ErrorKind::AlreadyExists {
+                    StoreError::AlreadyExists(path.clone())
+                } else {
+                    StoreError::io(&path, e)
+                }
+            })?;
+        file.write_all(&frame(&encode_header(sources)))
+            .map_err(|e| StoreError::io(&path, e))?;
+        Ok(WalWriter {
+            path,
+            file,
+            rows: 0,
+        })
+    }
+
+    /// Reopens an existing WAL for appending after recovery.
+    ///
+    /// `valid_len` is the byte length of the validated prefix (from
+    /// [`read_wal`](crate::read_wal)); anything beyond it — a torn tail
+    /// — is truncated away so new appends start on a record boundary.
+    /// `rows` is the number of valid rows in that prefix.
+    pub fn resume(dir: &Path, valid_len: u64, rows: u64) -> Result<WalWriter, StoreError> {
+        let path = wal_path(dir);
+        let mut file = OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .map_err(|e| StoreError::io(&path, e))?;
+        file.set_len(valid_len)
+            .map_err(|e| StoreError::io(&path, e))?;
+        file.seek(SeekFrom::End(0))
+            .map_err(|e| StoreError::io(&path, e))?;
+        Ok(WalWriter { path, file, rows })
+    }
+
+    /// Appends one committed row. The write reaches the OS before this
+    /// returns (surviving a process kill); call [`sync`](Self::sync) to
+    /// force it to the device.
+    pub fn append_row(&mut self, row: &[Option<Value>]) -> Result<(), StoreError> {
+        self.file
+            .write_all(&frame(&encode_row(row)))
+            .map_err(|e| StoreError::io(&self.path, e))?;
+        self.rows += 1;
+        Ok(())
+    }
+
+    /// Rows appended through this writer plus any it resumed over.
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    /// Forces everything to stable storage (`fsync`).
+    pub fn sync(&self) -> Result<(), StoreError> {
+        self.file
+            .sync_all()
+            .map_err(|e| StoreError::io(&self.path, e))
+    }
+}
+
+/// How the end of the log looked during a read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalTail {
+    /// Every byte belonged to a valid record.
+    Clean,
+    /// The final record was incomplete (crash mid-append); its bytes
+    /// were dropped.
+    Torn {
+        /// Bytes discarded after the last valid record.
+        dropped_bytes: u64,
+    },
+    /// A complete record failed its checksum or decode. The valid
+    /// prefix is still usable; everything from the bad record on was
+    /// dropped.
+    Corrupt {
+        /// 0-based index of the offending row record.
+        at_row: u64,
+        /// Bytes discarded from the bad record to end of file.
+        dropped_bytes: u64,
+        /// What failed.
+        message: String,
+    },
+}
+
+/// Everything recovered from a WAL.
+#[derive(Debug)]
+pub struct WalContents {
+    /// Live source names from the header (column order of `rows`).
+    pub sources: Vec<String>,
+    /// Valid committed rows, in phase order (`rows[p]` is phase `p+1`).
+    pub rows: Vec<Row>,
+    /// State of the log's tail.
+    pub tail: WalTail,
+    /// Byte length of the validated prefix — pass to
+    /// [`WalWriter::resume`] to continue appending.
+    pub valid_len: u64,
+}
+
+enum RawRecord {
+    Complete { payload: Vec<u8>, end: u64 },
+    Torn,
+    BadChecksum,
+    BadLength(u32),
+}
+
+fn read_record(buf: &[u8], offset: usize) -> Option<RawRecord> {
+    let remaining = buf.len() - offset;
+    if remaining == 0 {
+        return None;
+    }
+    if remaining < 8 {
+        return Some(RawRecord::Torn);
+    }
+    let len = u32::from_le_bytes(buf[offset..offset + 4].try_into().unwrap());
+    let crc = u32::from_le_bytes(buf[offset + 4..offset + 8].try_into().unwrap());
+    if len > MAX_RECORD_LEN {
+        return Some(RawRecord::BadLength(len));
+    }
+    if remaining - 8 < len as usize {
+        return Some(RawRecord::Torn);
+    }
+    let payload = &buf[offset + 8..offset + 8 + len as usize];
+    if crc32(payload) != crc {
+        return Some(RawRecord::BadChecksum);
+    }
+    Some(RawRecord::Complete {
+        payload: payload.to_vec(),
+        end: (offset + 8 + len as usize) as u64,
+    })
+}
+
+fn decode_header(payload: &[u8]) -> Result<Vec<String>, String> {
+    let mut r = StateReader::new(payload);
+    let kind = r.get_u8().map_err(|e| e.to_string())?;
+    if kind != KIND_HEADER {
+        return Err(format!("first record has kind {kind}, expected header"));
+    }
+    for &expect in WAL_MAGIC {
+        let got = r.get_u8().map_err(|e| e.to_string())?;
+        if got != expect {
+            return Err("bad WAL magic".into());
+        }
+    }
+    let version = r.get_u32().map_err(|e| e.to_string())?;
+    if version != 1 {
+        return Err(format!("unsupported WAL version {version}"));
+    }
+    let n = r.get_u32().map_err(|e| e.to_string())? as usize;
+    let mut sources = Vec::with_capacity(n);
+    for _ in 0..n {
+        sources.push(r.get_str().map_err(|e| e.to_string())?);
+    }
+    r.finish().map_err(|e| e.to_string())?;
+    Ok(sources)
+}
+
+fn decode_row(payload: &[u8], columns: usize) -> Result<Row, String> {
+    let mut r = StateReader::new(payload);
+    let kind = r.get_u8().map_err(|e| e.to_string())?;
+    if kind != KIND_ROW {
+        return Err(format!("record has kind {kind}, expected row"));
+    }
+    let n = r.get_u32().map_err(|e| e.to_string())? as usize;
+    if n != columns {
+        return Err(format!("row has {n} columns, header declared {columns}"));
+    }
+    let mut row = Vec::with_capacity(n);
+    for _ in 0..n {
+        row.push(r.get_opt_value().map_err(|e| e.to_string())?);
+    }
+    r.finish().map_err(|e| e.to_string())?;
+    Ok(row)
+}
+
+/// Reads and validates the WAL in `dir`.
+///
+/// Errors only when no usable log exists (missing file, unreadable
+/// header). Damage *after* the header is reported through
+/// [`WalContents::tail`] — the valid prefix is always returned, because
+/// a prefix of a committed history is itself a committed history.
+pub fn read_wal(dir: &Path) -> Result<WalContents, StoreError> {
+    let path = wal_path(dir);
+    let mut file = match File::open(&path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Err(StoreError::NotFound(path))
+        }
+        Err(e) => return Err(StoreError::io(&path, e)),
+    };
+    let mut buf = Vec::new();
+    file.read_to_end(&mut buf)
+        .map_err(|e| StoreError::io(&path, e))?;
+
+    // Header record: must be intact, or the store is unusable.
+    let (sources, mut offset) = match read_record(&buf, 0) {
+        Some(RawRecord::Complete { payload, end }) => {
+            let sources = decode_header(&payload)
+                .map_err(|m| StoreError::corrupt(&path, format!("header: {m}")))?;
+            (sources, end)
+        }
+        None => return Err(StoreError::corrupt(&path, "empty file (no header)")),
+        Some(_) => return Err(StoreError::corrupt(&path, "unreadable header record")),
+    };
+
+    let mut rows: Vec<Row> = Vec::new();
+    let tail = loop {
+        match read_record(&buf, offset as usize) {
+            None => break WalTail::Clean,
+            Some(RawRecord::Torn) => {
+                break WalTail::Torn {
+                    dropped_bytes: buf.len() as u64 - offset,
+                }
+            }
+            Some(RawRecord::BadChecksum) => {
+                break WalTail::Corrupt {
+                    at_row: rows.len() as u64,
+                    dropped_bytes: buf.len() as u64 - offset,
+                    message: "checksum mismatch".into(),
+                }
+            }
+            Some(RawRecord::BadLength(len)) => {
+                break WalTail::Corrupt {
+                    at_row: rows.len() as u64,
+                    dropped_bytes: buf.len() as u64 - offset,
+                    message: format!("impossible record length {len}"),
+                }
+            }
+            Some(RawRecord::Complete { payload, end }) => {
+                match decode_row(&payload, sources.len()) {
+                    Ok(row) => {
+                        rows.push(row);
+                        offset = end;
+                    }
+                    Err(m) => {
+                        break WalTail::Corrupt {
+                            at_row: rows.len() as u64,
+                            dropped_bytes: buf.len() as u64 - offset,
+                            message: m,
+                        }
+                    }
+                }
+            }
+        }
+    };
+    Ok(WalContents {
+        sources,
+        rows,
+        tail,
+        valid_len: offset,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_dir;
+
+    fn sources() -> Vec<String> {
+        vec!["a".into(), "b".into()]
+    }
+
+    fn sample_rows() -> Vec<Row> {
+        vec![
+            vec![Some(Value::Int(1)), None],
+            vec![None, Some(Value::text("x"))],
+            vec![Some(Value::Float(2.5)), Some(Value::vector(vec![1.0, 2.0]))],
+        ]
+    }
+
+    #[test]
+    fn round_trips_rows() {
+        let dir = test_dir("wal-roundtrip");
+        let mut w = WalWriter::create(&dir, &sources()).unwrap();
+        for row in sample_rows() {
+            w.append_row(&row).unwrap();
+        }
+        w.sync().unwrap();
+        assert_eq!(w.rows(), 3);
+
+        let contents = read_wal(&dir).unwrap();
+        assert_eq!(contents.sources, sources());
+        assert_eq!(contents.rows, sample_rows());
+        assert_eq!(contents.tail, WalTail::Clean);
+    }
+
+    #[test]
+    fn refuses_to_overwrite_existing_store() {
+        let dir = test_dir("wal-exists");
+        WalWriter::create(&dir, &sources()).unwrap();
+        assert!(matches!(
+            WalWriter::create(&dir, &sources()),
+            Err(StoreError::AlreadyExists(_))
+        ));
+    }
+
+    #[test]
+    fn create_refuses_stale_snapshots() {
+        use crate::snapshot::write_snapshot;
+        use ec_core::EngineCheckpoint;
+        let dir = test_dir("wal-stale-snap");
+        std::fs::create_dir_all(&dir).unwrap();
+        // A snapshot from a previous incarnation, but no WAL (e.g. the
+        // user deleted wal.log to "reset" the store).
+        write_snapshot(
+            &dir,
+            &["s".into()],
+            &EngineCheckpoint {
+                phase: 5,
+                vertices: vec![],
+            },
+        )
+        .unwrap();
+        assert!(matches!(
+            WalWriter::create(&dir, &sources()),
+            Err(StoreError::AlreadyExists(_))
+        ));
+    }
+
+    #[test]
+    fn missing_wal_is_not_found() {
+        let dir = test_dir("wal-missing");
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(matches!(read_wal(&dir), Err(StoreError::NotFound(_))));
+    }
+
+    #[test]
+    fn torn_tail_dropped_at_every_truncation_point() {
+        let dir = test_dir("wal-torn");
+        let mut w = WalWriter::create(&dir, &sources()).unwrap();
+        for row in sample_rows() {
+            w.append_row(&row).unwrap();
+        }
+        drop(w);
+        let path = wal_path(&dir);
+        let full = std::fs::read(&path).unwrap();
+
+        // Record boundaries, to classify expectations.
+        let contents = read_wal(&dir).unwrap();
+        assert_eq!(contents.valid_len, full.len() as u64);
+
+        for cut in 1..full.len() {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            match read_wal(&dir) {
+                Ok(c) => {
+                    // A truncation mid-record drops exactly the torn
+                    // record; at a boundary the tail is clean.
+                    assert!(c.rows.len() <= 3);
+                    assert_eq!(c.rows[..], sample_rows()[..c.rows.len()]);
+                    match c.tail {
+                        WalTail::Clean => assert_eq!(c.valid_len, cut as u64),
+                        WalTail::Torn { dropped_bytes } => {
+                            assert_eq!(c.valid_len + dropped_bytes, cut as u64)
+                        }
+                        WalTail::Corrupt { .. } => {
+                            panic!("truncation must read as torn, not corrupt")
+                        }
+                    }
+                }
+                // Cuts inside the header leave no usable store.
+                Err(StoreError::Corrupt { .. }) => {}
+                Err(other) => panic!("unexpected error: {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn bit_flip_detected_as_corruption() {
+        let dir = test_dir("wal-bitflip");
+        let mut w = WalWriter::create(&dir, &sources()).unwrap();
+        for row in sample_rows() {
+            w.append_row(&row).unwrap();
+        }
+        drop(w);
+        let path = wal_path(&dir);
+        let full = std::fs::read(&path).unwrap();
+        let header_end = {
+            let len = u32::from_le_bytes(full[0..4].try_into().unwrap()) as usize;
+            8 + len
+        };
+        // Flip one bit in the payload of the second row record.
+        let first_row_len =
+            u32::from_le_bytes(full[header_end..header_end + 4].try_into().unwrap()) as usize;
+        let second_start = header_end + 8 + first_row_len;
+        let mut damaged = full.clone();
+        damaged[second_start + 10] ^= 0x40;
+        std::fs::write(&path, &damaged).unwrap();
+
+        let c = read_wal(&dir).unwrap();
+        assert_eq!(c.rows, sample_rows()[..1].to_vec());
+        assert!(
+            matches!(c.tail, WalTail::Corrupt { at_row: 1, .. }),
+            "tail: {:?}",
+            c.tail
+        );
+    }
+
+    #[test]
+    fn resume_truncates_torn_tail_and_appends() {
+        let dir = test_dir("wal-resume");
+        let mut w = WalWriter::create(&dir, &sources()).unwrap();
+        for row in sample_rows() {
+            w.append_row(&row).unwrap();
+        }
+        drop(w);
+        // Tear the last record.
+        let path = wal_path(&dir);
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 5]).unwrap();
+
+        let c = read_wal(&dir).unwrap();
+        assert_eq!(c.rows.len(), 2);
+        let mut w = WalWriter::resume(&dir, c.valid_len, c.rows.len() as u64).unwrap();
+        w.append_row(&[Some(Value::Int(9)), None]).unwrap();
+        assert_eq!(w.rows(), 3);
+        drop(w);
+
+        let c = read_wal(&dir).unwrap();
+        assert_eq!(c.tail, WalTail::Clean);
+        assert_eq!(c.rows.len(), 3);
+        assert_eq!(c.rows[2], vec![Some(Value::Int(9)), None]);
+    }
+
+    #[test]
+    fn wrong_column_count_is_corruption() {
+        let dir = test_dir("wal-columns");
+        let mut w = WalWriter::create(&dir, &sources()).unwrap();
+        w.append_row(&[Some(Value::Int(1)), None]).unwrap();
+        drop(w);
+        // Append a validly framed row with the wrong arity.
+        let bad = frame(&encode_row(&[Some(Value::Int(1))]));
+        let path = wal_path(&dir);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(&bad);
+        std::fs::write(&path, &bytes).unwrap();
+        let c = read_wal(&dir).unwrap();
+        assert_eq!(c.rows.len(), 1);
+        assert!(matches!(c.tail, WalTail::Corrupt { at_row: 1, .. }));
+    }
+}

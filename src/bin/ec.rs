@@ -2,7 +2,9 @@
 //!
 //! ```text
 //! ec run <spec.xml> [--threads N] [--phases N] [--sequential] [--quiet]
-//! ec stream <spec.xml> [--threads N] [--epoch-count N | --epoch-ms N] [--quiet]
+//! ec stream <spec.xml> [--threads N] [--epoch-count N | --epoch-ms N]
+//!           [--checkpoint DIR [--snapshot-every N]] [--quiet]
+//! ec recover <dir> <spec.xml> [--quiet]
 //! ec validate <spec.xml>
 //! ec dot <spec.xml>
 //! ec demo
@@ -10,7 +12,11 @@
 //!
 //! `run` executes a computation spec and prints metrics and sink
 //! outputs; `stream` serves a spec live, reading CSV/NDJSON events from
-//! stdin and printing sink alarms as their phases retire; `validate`
+//! stdin and printing sink alarms as their phases retire — with
+//! `--checkpoint` the run is durable (write-ahead log + operator
+//! snapshots) and restarting the same command resumes at the next
+//! phase; `recover` inspects a store, prints the resumable phase and
+//! replays the logged tail through the sequential oracle; `validate`
 //! checks the spec, graph and numbering; `dot` emits Graphviz for the
 //! spec's graph; `demo` runs a built-in correlator.
 
@@ -26,6 +32,8 @@ usage:
   ec run <spec.xml> [--threads N] [--phases N] [--sequential] [--quiet]
   ec stream <spec.xml> [--threads N] [--epoch-count N | --epoch-ms N]
             [--capacity N] [--reject] [--quiet]
+            [--checkpoint DIR] [--snapshot-every N]
+  ec recover <dir> <spec.xml> [--quiet]
   ec validate <spec.xml>
   ec dot <spec.xml>
   ec demo
@@ -34,6 +42,11 @@ stream input (stdin), one event per line:
   source,value             CSV
   {\"source\": s, \"value\": v} NDJSON
   (blank line)             seal the current epoch (even an empty one)
+
+durability: --checkpoint makes the stream durable (or use the spec's
+  <durability dir=... snapshot-every=.../> element); rerunning the same
+  command resumes at the exact next phase. `ec recover` inspects the
+  store and replays the tail through the sequential oracle.
 ";
 
 fn main() -> ExitCode {
@@ -41,6 +54,7 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
         Some("stream") => cmd_stream(&args[1..]),
+        Some("recover") => cmd_recover(&args[1..]),
         Some("validate") => cmd_validate(&args[1..]),
         Some("dot") => cmd_dot(&args[1..]),
         Some("demo") => cmd_demo(),
@@ -179,6 +193,8 @@ struct StreamOpts {
     capacity: Option<usize>,
     reject: bool,
     quiet: bool,
+    checkpoint: Option<String>,
+    snapshot_every: Option<u64>,
 }
 
 fn parse_stream_opts(args: &[String]) -> Result<StreamOpts, String> {
@@ -190,6 +206,8 @@ fn parse_stream_opts(args: &[String]) -> Result<StreamOpts, String> {
         capacity: None,
         reject: false,
         quiet: false,
+        checkpoint: None,
+        snapshot_every: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -202,6 +220,11 @@ fn parse_stream_opts(args: &[String]) -> Result<StreamOpts, String> {
             "--epoch-count" => opts.epoch_count = Some(num("--epoch-count")? as usize),
             "--epoch-ms" => opts.epoch_ms = Some(num("--epoch-ms")?),
             "--capacity" => opts.capacity = Some(num("--capacity")? as usize),
+            "--checkpoint" => {
+                let v = it.next().ok_or("--checkpoint needs a directory")?;
+                opts.checkpoint = Some(v.clone());
+            }
+            "--snapshot-every" => opts.snapshot_every = Some(num("--snapshot-every")?),
             "--reject" => opts.reject = true,
             "--quiet" => opts.quiet = true,
             other if other.starts_with("--") => {
@@ -307,6 +330,22 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
     } else {
         EpochPolicy::Manual
     };
+    // Durability: the --checkpoint flag wins, the spec's <durability>
+    // element is the default. --snapshot-every overrides either.
+    let (store_dir, mut snapshot_every, snapshot_on_flush) =
+        match (&opts.checkpoint, &live.durability) {
+            (Some(dir), d) => (
+                Some(dir.clone()),
+                d.as_ref().and_then(|d| d.snapshot_every),
+                d.as_ref().is_some_and(|d| d.on_flush),
+            ),
+            (None, Some(d)) => (Some(d.dir.clone()), d.snapshot_every, d.on_flush),
+            (None, None) => (None, None, false),
+        };
+    if opts.snapshot_every.is_some() {
+        snapshot_every = opts.snapshot_every;
+    }
+
     let mut builder = StreamRuntimeBuilder::from_correlator(live.builder, live.feeds)
         .threads(opts.threads.unwrap_or(settings.threads))
         .max_inflight(settings.max_inflight)
@@ -322,7 +361,24 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
     if opts.reject {
         builder = builder.backpressure(Backpressure::Reject);
     }
-    let rt = builder.build().map_err(|e| e.to_string())?;
+    let rt = if let Some(dir) = &store_dir {
+        builder = builder.durable(dir);
+        if let Some(every) = snapshot_every {
+            builder = builder.snapshot_every(every);
+        }
+        builder = builder.snapshot_on_flush(snapshot_on_flush);
+        builder.build_or_restore().map_err(|e| e.to_string())?
+    } else {
+        builder.build().map_err(|e| e.to_string())?
+    };
+    if let Some(dir) = &store_dir {
+        if !opts.quiet {
+            eprintln!(
+                "durable store {dir:?}: resuming at phase {}",
+                rt.admitted() + 1
+            );
+        }
+    }
 
     let names = rt.live_source_names();
     if !opts.quiet {
@@ -389,6 +445,104 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
              {} executions, {} sink outputs",
             report.phases, report.metrics.executions, report.metrics.sink_outputs
         );
+    }
+    Ok(())
+}
+
+fn cmd_recover(args: &[String]) -> Result<(), String> {
+    use event_correlation::store::{Recovery, WalTail};
+
+    let mut positional: Vec<&String> = Vec::new();
+    let mut quiet = false;
+    for arg in args {
+        match arg.as_str() {
+            "--quiet" => quiet = true,
+            other if other.starts_with("--") => return Err(format!("unknown flag {other:?}")),
+            _ => positional.push(arg),
+        }
+    }
+    let [dir, spec_path] = positional.as_slice() else {
+        return Err(format!("usage: ec recover <dir> <spec.xml>\n{USAGE}"));
+    };
+
+    let rec = Recovery::open(std::path::Path::new(dir)).map_err(|e| e.to_string())?;
+    println!("store {dir}:");
+    println!("  sources: {:?}", rec.sources);
+    println!("  committed phases: {}", rec.committed_phases());
+    match &rec.tail {
+        WalTail::Clean => println!("  wal tail: clean"),
+        WalTail::Torn { dropped_bytes } => {
+            println!("  wal tail: torn record dropped ({dropped_bytes} bytes)")
+        }
+        WalTail::Corrupt {
+            at_row,
+            dropped_bytes,
+            message,
+        } => println!(
+            "  wal tail: CORRUPT at row {at_row} ({message}); {dropped_bytes} bytes dropped"
+        ),
+    }
+    for (path, reason) in &rec.skipped_snapshots {
+        println!("  skipped snapshot {}: {reason}", path.display());
+    }
+    println!(
+        "  snapshot: phase {} ({} tail row(s) to replay)",
+        rec.snapshot_phase(),
+        rec.tail_rows().len()
+    );
+    println!("  resumable at phase {}", rec.resume_phase());
+
+    // Replay the whole committed log through the sequential oracle —
+    // the uninterrupted reference run — and show the tail's outputs.
+    let doc =
+        std::fs::read_to_string(spec_path).map_err(|e| format!("reading {spec_path:?}: {e}"))?;
+    let live = event_correlation::spec::load_str_live(&doc)
+        .map_err(|e| format!("loading {spec_path:?}: {e}"))?;
+    let live_names: Vec<&str> = live.feeds.iter().map(|(id, _, _)| id.as_str()).collect();
+    let rec_names: Vec<&str> = rec.sources.iter().map(String::as_str).collect();
+    if live_names != rec_names {
+        return Err(format!(
+            "store records live sources {rec_names:?}, spec has {live_names:?}"
+        ));
+    }
+    for row in &rec.rows {
+        for ((_, _, writer), bin) in live.feeds.iter().zip(row.iter()) {
+            writer.stage(bin.clone());
+        }
+    }
+    let mut handles: Vec<(String, _)> = live.handles.iter().map(|(k, v)| (k.clone(), *v)).collect();
+    handles.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut seq = live
+        .builder
+        .sequential()
+        .map_err(|e| format!("building oracle: {e}"))?;
+    seq.run(rec.committed_phases())
+        .map_err(|e| format!("oracle replay: {e}"))?;
+    let history = seq.into_history();
+    if !quiet {
+        let base = rec.snapshot_phase();
+        println!(
+            "\nreplayed tail (phases {}..={}):",
+            base + 1,
+            rec.committed_phases()
+        );
+        for (id, handle) in handles {
+            let outs: Vec<_> = history
+                .sink_outputs_of(handle.vertex())
+                .into_iter()
+                .filter(|(p, _)| p.get() > base)
+                .collect();
+            if outs.is_empty() {
+                continue;
+            }
+            println!("  {id}: {} output(s)", outs.len());
+            for (phase, value) in outs.iter().take(20) {
+                println!("    phase {phase}: {value}");
+            }
+            if outs.len() > 20 {
+                println!("    … {} more", outs.len() - 20);
+            }
+        }
     }
     Ok(())
 }

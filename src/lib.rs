@@ -14,6 +14,7 @@
 //! | [`fusion`] | operator library (thresholds, anomalies, correlation) + builder |
 //! | [`spec`] | XML computation specifications (§4's input format) |
 //! | [`runtime`] | online streaming runtime: live ingestion, epochs, backpressure, subscriptions |
+//! | [`store`] | durability: write-ahead log, operator snapshots, recovery |
 //!
 //! ## Quickstart
 //!
@@ -39,6 +40,7 @@ pub use ec_fusion as fusion;
 pub use ec_graph as graph;
 pub use ec_runtime as runtime;
 pub use ec_spec as spec;
+pub use ec_store as store;
 
 /// One-stop import for application code.
 pub mod prelude {
