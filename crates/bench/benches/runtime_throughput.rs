@@ -6,41 +6,15 @@
 //! batched admission) have a baseline to beat. Uses a fan-in graph
 //! (two live sources, shared aggregation spine) with history recording
 //! off, matching how a production service would run.
+//!
+//! The workload is shared with the `record` binary
+//! ([`ec_bench::runtime_workload`]), which writes the same measurement
+//! to `BENCH_runtime.json` for the machine-readable perf trajectory.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use ec_fusion::operators::aggregate::Aggregate;
-use ec_fusion::operators::moving::MovingAverage;
-use ec_fusion::operators::threshold::Threshold;
-use ec_runtime::{EpochPolicy, StreamRuntime};
+use ec_bench::{drive_runtime, runtime_workload};
 
 const EVENTS: u64 = 2_000;
-/// Events per sealed epoch (per source, alternating pushes).
-const EPOCH: usize = 16;
-
-fn build_runtime(threads: usize) -> StreamRuntime {
-    let mut b = StreamRuntime::builder()
-        .threads(threads)
-        .epoch_policy(EpochPolicy::ByCount(EPOCH))
-        .record_history(false)
-        .max_inflight(64);
-    let s1 = b.live_source("s1");
-    let s2 = b.live_source("s2");
-    let sum = b.add("sum", Aggregate::sum(), &[s1, s2]);
-    let avg = b.add("avg", MovingAverage::new(8), &[sum]);
-    let _alarm = b.add("alarm", Threshold::above(900.0), &[avg]);
-    b.build().expect("runtime builds")
-}
-
-fn drive(rt: &StreamRuntime, events: u64) {
-    let s1 = rt.handle_by_name("s1").unwrap();
-    let s2 = rt.handle_by_name("s2").unwrap();
-    for i in 0..events {
-        let handle = if i % 2 == 0 { &s1 } else { &s2 };
-        handle.push((i % 1000) as f64).expect("push accepted");
-    }
-    rt.flush().expect("flush");
-    rt.wait_idle().expect("completes");
-}
 
 fn bench_runtime_throughput(c: &mut Criterion) {
     let mut group = c.benchmark_group("runtime/throughput");
@@ -52,8 +26,8 @@ fn bench_runtime_throughput(c: &mut Criterion) {
             &threads,
             |b, &threads| {
                 b.iter(|| {
-                    let rt = build_runtime(threads);
-                    drive(&rt, EVENTS);
+                    let rt = runtime_workload(threads);
+                    drive_runtime(&rt, EVENTS);
                     rt.shutdown().expect("clean shutdown").phases
                 })
             },

@@ -1,0 +1,89 @@
+//! Writes `BENCH_runtime.json`: a machine-readable throughput baseline
+//! for the streaming runtime, so successive PRs can compare against a
+//! recorded trajectory instead of re-running ad-hoc benchmarks.
+//!
+//! Runs the same workload as the `runtime_throughput` Criterion bench
+//! (two live sources, shared aggregation spine, history off) at 1, 4
+//! and 8 worker threads, and records events/second for each.
+//!
+//! ```text
+//! cargo run --release -p ec-bench --bin record [-- OUTPUT_PATH [EVENTS]]
+//! ```
+//!
+//! Defaults: `BENCH_runtime.json` in the current directory, 20_000
+//! events per timed run. Each configuration runs one warmup pass and
+//! three timed passes; the median is reported.
+
+use ec_bench::{drive_runtime, runtime_workload, RUNTIME_EPOCH};
+use std::io::Write;
+use std::time::Instant;
+
+const THREADS: [usize; 3] = [1, 4, 8];
+const DEFAULT_EVENTS: u64 = 20_000;
+const TIMED_RUNS: usize = 3;
+
+fn measure(threads: usize, events: u64) -> f64 {
+    // Warmup: one full pass, untimed (thread spawn, allocator, caches).
+    {
+        let rt = runtime_workload(threads);
+        drive_runtime(&rt, events.min(2_000));
+        rt.shutdown().expect("clean shutdown");
+    }
+    let verbose = std::env::var_os("EC_BENCH_VERBOSE").is_some();
+    let mut rates: Vec<f64> = (0..TIMED_RUNS)
+        .map(|_| {
+            let rt = runtime_workload(threads);
+            let start = Instant::now();
+            drive_runtime(&rt, events);
+            let elapsed = start.elapsed().as_secs_f64();
+            if verbose {
+                let m = rt.metrics();
+                eprintln!(
+                    "  execs={} enq={} steals={} parks={} wakes={} \
+                     lock_wait={}us crit={}us exec={}us depth~{:.1}",
+                    m.executions,
+                    m.enqueued,
+                    m.steals,
+                    m.parks,
+                    m.wakes,
+                    m.lock_wait_nanos / 1_000,
+                    m.critical_nanos / 1_000,
+                    m.exec_nanos / 1_000,
+                    m.mean_concurrent_phases(),
+                );
+            }
+            rt.shutdown().expect("clean shutdown");
+            events as f64 / elapsed
+        })
+        .collect();
+    rates.sort_by(|a, b| a.total_cmp(b));
+    rates[rates.len() / 2]
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let out_path = args.next().unwrap_or_else(|| "BENCH_runtime.json".into());
+    let events: u64 = args
+        .next()
+        .map(|s| s.parse().expect("EVENTS must be an integer"))
+        .unwrap_or(DEFAULT_EVENTS);
+
+    let mut entries = Vec::new();
+    for &threads in &THREADS {
+        let rate = measure(threads, events);
+        eprintln!("threads={threads}: {rate:.0} events/s");
+        entries.push(format!(
+            "    {{\"threads\": {threads}, \"events_per_sec\": {rate:.1}}}"
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"runtime_throughput\",\n  \"events\": {events},\n  \
+         \"epoch\": {RUNTIME_EPOCH},\n  \"timed_runs\": {TIMED_RUNS},\n  \
+         \"results\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    let mut f = std::fs::File::create(&out_path).expect("create output file");
+    f.write_all(json.as_bytes()).expect("write output");
+    eprintln!("wrote {out_path}");
+}

@@ -96,6 +96,43 @@ pub fn run_barrier(
     (bar.executions, bar.messages_sent)
 }
 
+/// Events per sealed epoch in the streaming-runtime workload (per
+/// source, alternating pushes).
+pub const RUNTIME_EPOCH: usize = 16;
+
+/// The streaming-runtime throughput workload: two live sources feeding
+/// a shared aggregation spine, history recording off — the graph the
+/// `runtime_throughput` bench and the `record` baseline writer share.
+pub fn runtime_workload(threads: usize) -> ec_runtime::StreamRuntime {
+    use ec_fusion::operators::moving::MovingAverage;
+    use ec_fusion::operators::threshold::Threshold;
+    let mut b = ec_runtime::StreamRuntime::builder()
+        .threads(threads)
+        .epoch_policy(ec_runtime::EpochPolicy::ByCount(RUNTIME_EPOCH))
+        .record_history(false)
+        .record_script(false)
+        .max_inflight(64);
+    let s1 = b.live_source("s1");
+    let s2 = b.live_source("s2");
+    let sum = b.add("sum", Aggregate::sum(), &[s1, s2]);
+    let avg = b.add("avg", MovingAverage::new(8), &[sum]);
+    let _alarm = b.add("alarm", Threshold::above(900.0), &[avg]);
+    b.build().expect("runtime builds")
+}
+
+/// Pushes `events` events through the workload (alternating sources)
+/// and waits until every sealed phase has completed.
+pub fn drive_runtime(rt: &ec_runtime::StreamRuntime, events: u64) {
+    let s1 = rt.handle_by_name("s1").unwrap();
+    let s2 = rt.handle_by_name("s2").unwrap();
+    for i in 0..events {
+        let handle = if i % 2 == 0 { &s1 } else { &s2 };
+        handle.push((i % 1000) as f64).expect("push accepted");
+    }
+    rt.flush().expect("flush");
+    rt.wait_idle().expect("completes");
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -27,19 +27,19 @@
 
 use crate::checkpoint::EngineCheckpoint;
 use crate::error::EngineError;
-use crate::history::ExecutionHistory;
+use crate::history::{ExecutionHistory, RecordedEmission};
 use crate::metrics::{Metrics, MetricsSnapshot, PhaseGauge};
 use crate::module::Module;
 use crate::pool::{payload_to_string, WorkerPool};
-use crate::queue::{Dequeued, RunQueue};
+use crate::shard::{Dequeued, ShardedQueue};
 use crate::state::{Idx, SchedState, Task, Transition};
 use crate::trace::Trace;
 use crate::vertex::{route_emission, RoutedEmission, VertexSlot};
 use ec_events::{Phase, Value};
 use ec_graph::{Dag, Numbering, VertexId};
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, MutexGuard};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering::Relaxed};
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
@@ -159,12 +159,14 @@ impl EngineBuilder {
             shared: Arc::new(Shared {
                 state: Mutex::new(state),
                 progress: Condvar::new(),
-                queue: RunQueue::new(),
+                progress_waiters: AtomicUsize::new(0),
+                queue: ShardedQueue::new(self.threads),
                 vertices: slots.into_iter().map(Mutex::new).collect(),
                 succs_idx,
                 numbering,
                 metrics: Metrics::new(),
-                gauge: PhaseGauge::new(),
+                gauge: PhaseGauge::with_capacity(self.max_inflight),
+                record_history: self.record_history,
                 history: Mutex::new(if self.record_history {
                     Some(ExecutionHistory::new(n))
                 } else {
@@ -192,8 +194,13 @@ pub(crate) struct Shared {
     /// Signalled when `completed_through` advances or the run fails;
     /// waited on by the environment throttle and the run driver.
     pub(crate) progress: Condvar,
-    /// The run queue of Listing 1, statement 1.2.
-    pub(crate) queue: RunQueue<Task>,
+    /// Number of threads currently blocked on `progress`. Phase
+    /// completions skip the notify entirely when nobody is waiting —
+    /// the common case on the hot path.
+    progress_waiters: AtomicUsize,
+    /// The run queue of Listing 1, statement 1.2 — sharded across the
+    /// workers, with work stealing (see [`crate::shard`]).
+    pub(crate) queue: ShardedQueue<Task>,
     /// Vertex slots in schedule order (`vertices[i]` = index `i + 1`).
     /// Each slot's mutex is uncontended: the ready-set rule guarantees
     /// at most one in-flight execution per vertex.
@@ -206,6 +213,8 @@ pub(crate) struct Shared {
     pub(crate) metrics: Metrics,
     /// Distinct-phases-executing gauge (Figure 1 pipelining depth).
     gauge: PhaseGauge,
+    /// Mirror of `history.is_some()`, readable without the lock.
+    record_history: bool,
     /// Optional execution history.
     pub(crate) history: Mutex<Option<ExecutionHistory>>,
     /// Sink emissions not yet retired by a live front end. `Some` only
@@ -229,12 +238,46 @@ impl Shared {
         self.vertices.iter()
     }
 
-    pub(crate) fn enqueue_all(&self, transition: &mut Transition) {
+    /// Enqueues a transition's tasks. `worker` is the id of the calling
+    /// worker, if any: its own shard receives the tasks (LIFO
+    /// locality); admission paths pass `None` (shared injector).
+    pub(crate) fn enqueue_all(&self, transition: &mut Transition, worker: Option<usize>) {
         self.metrics
             .enqueued
             .fetch_add(transition.tasks.len() as u64, Relaxed);
         for task in transition.tasks.drain(..) {
-            self.queue.enqueue(task);
+            self.queue.enqueue(task, worker);
+        }
+    }
+
+    /// Blocks on the progress condvar, counting the wait so notifiers
+    /// can skip the syscall when nobody is listening.
+    pub(crate) fn wait_progress(&self, st: &mut MutexGuard<'_, SchedState>) {
+        self.progress_waiters.fetch_add(1, Relaxed);
+        self.progress.wait(st);
+        self.progress_waiters.fetch_sub(1, Relaxed);
+    }
+
+    /// Like [`wait_progress`](Self::wait_progress) with a timeout;
+    /// returns true if the wait timed out.
+    pub(crate) fn wait_progress_timeout(
+        &self,
+        st: &mut MutexGuard<'_, SchedState>,
+        timeout: Duration,
+    ) -> bool {
+        self.progress_waiters.fetch_add(1, Relaxed);
+        let timed_out = self.progress.wait_for(st, timeout).timed_out();
+        self.progress_waiters.fetch_sub(1, Relaxed);
+        timed_out
+    }
+
+    /// Wakes progress waiters, if there are any. The waiter count is
+    /// incremented under the state lock before waiting and every
+    /// notifier has just released that lock, so a skipped notify can
+    /// never strand a waiter.
+    pub(crate) fn notify_progress(&self) {
+        if self.progress_waiters.load(Relaxed) > 0 {
+            self.progress.notify_all();
         }
     }
 
@@ -251,20 +294,32 @@ impl Shared {
     }
 
     /// The body of Listing 1: dequeue, execute, update.
-    pub(crate) fn worker_loop(&self) {
+    pub(crate) fn worker_loop(&self, worker: usize) {
+        // Private steal-RNG state; any per-worker nonzero seed works.
+        let mut seed = 0x9E37_79B9_7F4A_7C15u64 ^ ((worker as u64 + 1) << 17);
+        // Reusable scratch: the transition written by finish_execution
+        // and the translated-inputs buffer, allocated once per worker.
+        let mut transition = Transition::default();
+        let mut fresh: Vec<(VertexId, Value)> = Vec::new();
         loop {
-            let task = match self.queue.dequeue() {
+            let task = match self.queue.dequeue(worker, &mut seed) {
                 Dequeued::Closed => return,
                 Dequeued::Item(t) => t,
             };
             if self.failed_fast.load(Relaxed) {
                 continue; // drain without executing
             }
-            self.run_task(task);
+            self.run_task(task, worker, &mut transition, &mut fresh);
         }
     }
 
-    fn run_task(&self, task: Task) {
+    fn run_task(
+        &self,
+        task: Task,
+        worker: usize,
+        transition: &mut Transition,
+        fresh: &mut Vec<(VertexId, Value)>,
+    ) {
         let Task { idx, phase, inputs } = task;
         let slot_pos = (idx - 1) as usize;
         let phase_t = Phase(phase);
@@ -277,11 +332,13 @@ impl Shared {
             let mut slot = self.vertices[slot_pos].lock();
             // The task owns its inputs: translate indices by value
             // instead of cloning every message payload.
-            let fresh: Vec<(VertexId, Value)> = inputs
-                .into_iter()
-                .map(|(i, v)| (self.numbering.vertex_at(i), v))
-                .collect();
-            let emission = slot.execute(phase_t, &fresh);
+            fresh.clear();
+            fresh.extend(
+                inputs
+                    .into_iter()
+                    .map(|(i, v)| (self.numbering.vertex_at(i), v)),
+            );
+            let emission = slot.execute(phase_t, fresh.as_slice());
             route_emission(
                 emission,
                 slot.is_sink,
@@ -310,8 +367,14 @@ impl Shared {
             }
             Ok(Ok(routed)) => routed,
         };
+        let RoutedEmission {
+            messages,
+            sink_value,
+            recorded,
+        } = routed;
+        let had_sink = sink_value.is_some();
 
-        self.record(idx, phase_t, &routed);
+        self.record(idx, phase_t, recorded, sink_value);
 
         // Statements 1.4–1.31: update the shared structures under the
         // global lock.
@@ -325,8 +388,9 @@ impl Shared {
             return;
         }
         let crit_start = Instant::now();
-        let message_count = routed.messages.len() as u64;
-        let mut transition = st.finish_execution(idx, phase, routed.messages);
+        let message_count = messages.len() as u64;
+        transition.reset();
+        st.finish_execution(idx, phase, messages, transition);
         if self.check_invariants {
             if let Err(msg) = st.check_invariants() {
                 drop(st);
@@ -335,57 +399,84 @@ impl Shared {
             }
         }
         let completed = transition.phases_completed;
-        self.enqueue_all(&mut transition);
         self.metrics
             .critical_nanos
             .fetch_add(crit_start.elapsed().as_nanos() as u64, Relaxed);
         drop(st);
+        // Enqueue outside the lock: ready tasks are already claimed in
+        // the scheduler state (at most one per vertex), so publication
+        // order does not matter — but lock hold time does.
+        self.enqueue_all(transition, Some(worker));
 
         self.metrics.executions.fetch_add(1, Relaxed);
         self.metrics.messages_sent.fetch_add(message_count, Relaxed);
-        if message_count == 0 && routed.sink_value.is_none() {
+        if message_count == 0 && !had_sink {
             self.metrics.silent_executions.fetch_add(1, Relaxed);
         }
-        if routed.sink_value.is_some() {
+        if had_sink {
             self.metrics.sink_outputs.fetch_add(1, Relaxed);
         }
         if completed > 0 {
             self.metrics.phases_completed.fetch_add(completed, Relaxed);
-            self.progress.notify_all();
+            self.notify_progress();
         }
     }
 
-    fn record(&self, idx: Idx, phase: Phase, routed: &RoutedEmission) {
-        {
+    /// Records an execution into the history and the live sink buffer.
+    /// Takes the emission by value: broadcast fan-out already shares
+    /// payload buffers (`Value`'s heap variants are `Arc`-backed), and
+    /// moving here avoids re-cloning the record on every execution.
+    fn record(
+        &self,
+        idx: Idx,
+        phase: Phase,
+        recorded: RecordedEmission,
+        sink_value: Option<Value>,
+    ) {
+        if self.record_history {
             let mut guard = self.history.lock();
             if let Some(history) = guard.as_mut() {
                 let vertex = self.numbering.vertex_at(idx);
-                history.record(vertex, phase, routed.recorded.clone());
-                if let Some(v) = &routed.sink_value {
+                history.record(vertex, phase, recorded);
+                if let Some(v) = &sink_value {
                     history.record_sink(vertex, phase, v.clone());
                 }
             }
         }
-        if let Some(v) = &routed.sink_value {
+        if let Some(v) = sink_value {
             let mut guard = self.live_sinks.lock();
             if let Some(pending) = guard.as_mut() {
                 let vertex = self.numbering.vertex_at(idx);
-                pending.insert((phase.get(), vertex), v.clone());
+                pending.insert((phase.get(), vertex), v);
             }
         }
     }
 
+    /// Snapshots the counters plus the sharded-queue observability
+    /// fields (steal/park/wake counts, per-worker depths).
+    pub(crate) fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut snap = self.metrics.snapshot();
+        snap.steals = self.queue.stats.steals.load(Relaxed);
+        snap.parks = self.queue.stats.parks.load(Relaxed);
+        snap.wakes = self.queue.stats.wakes.load(Relaxed);
+        snap.worker_queue_depths = self.queue.shard_depths();
+        snap.injector_depth = self.queue.injector_depth();
+        snap
+    }
+
     /// The body of Listing 2's loop, bounded to `target` phases.
     fn environment_loop(&self, target: u64, max_inflight: u64, delay: Option<Duration>) {
+        let mut transition = Transition::default();
         loop {
             let mut st = self.state.lock();
             while st.failed.is_none() && st.next() <= target && st.inflight() >= max_inflight {
-                self.progress.wait(&mut st);
+                self.wait_progress(&mut st);
             }
             if st.failed.is_some() || st.next() > target {
                 return;
             }
-            let (_, mut transition) = st.start_phase();
+            transition.reset();
+            st.start_phase(&mut transition);
             if self.check_invariants {
                 if let Err(msg) = st.check_invariants() {
                     drop(st);
@@ -393,8 +484,8 @@ impl Shared {
                     return;
                 }
             }
-            self.enqueue_all(&mut transition);
             drop(st);
+            self.enqueue_all(&mut transition, None);
             self.metrics.phases_started.fetch_add(1, Relaxed);
             if let Some(d) = delay {
                 thread::sleep(d);
@@ -441,7 +532,7 @@ impl Engine {
 
     /// Cumulative metrics.
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.shared.metrics.snapshot()
+        self.shared.metrics_snapshot()
     }
 
     /// Executes `phases` further phases to completion.
@@ -453,7 +544,7 @@ impl Engine {
         if phases == 0 {
             return Ok(RunReport {
                 phases: 0,
-                metrics: self.shared.metrics.snapshot(),
+                metrics: self.shared.metrics_snapshot(),
                 history: None,
                 trace: None,
             });
@@ -472,8 +563,8 @@ impl Engine {
         };
 
         let shared = Arc::clone(&self.shared);
-        let workers = WorkerPool::spawn("ec-worker", self.threads, move |_| {
-            shared.worker_loop();
+        let workers = WorkerPool::spawn("ec-worker", self.threads, move |i| {
+            shared.worker_loop(i);
         });
         let env_shared = Arc::clone(&self.shared);
         let (max_inflight, env_delay) = (self.max_inflight, self.env_delay);
@@ -488,7 +579,7 @@ impl Engine {
         {
             let mut st = self.shared.state.lock();
             while st.failed.is_none() && st.completed_through() < target {
-                self.shared.progress.wait(&mut st);
+                self.shared.wait_progress(&mut st);
             }
         }
         // Wake the environment in case it is throttled, and shut down.
@@ -521,7 +612,7 @@ impl Engine {
 
         Ok(RunReport {
             phases,
-            metrics: self.shared.metrics.snapshot(),
+            metrics: self.shared.metrics_snapshot(),
             history,
             trace,
         })

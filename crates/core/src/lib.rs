@@ -67,6 +67,7 @@ pub mod module;
 pub mod pool;
 pub mod queue;
 pub mod sequential;
+pub mod shard;
 mod state;
 pub mod stepper;
 pub mod trace;
@@ -89,5 +90,6 @@ pub use module::{
 pub use pool::WorkerPool;
 pub use queue::{Dequeued, RunQueue};
 pub use sequential::Sequential;
+pub use shard::{QueueStats, ShardedQueue};
 pub use stepper::{StepOutcome, Stepper};
 pub use trace::{SetMembership, SetSnapshot, Trace, TraceEvent, TraceStep};

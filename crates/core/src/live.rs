@@ -28,6 +28,7 @@ use crate::engine::{RunReport, Shared};
 use crate::error::EngineError;
 use crate::history::{ExecutionHistory, SinkRecord};
 use crate::pool::WorkerPool;
+use crate::state::Transition;
 use ec_events::Phase;
 use ec_graph::Numbering;
 use parking_lot::Mutex;
@@ -56,8 +57,8 @@ impl LiveEngine {
     pub(crate) fn spawn(shared: Arc<Shared>, threads: usize, max_inflight: u64) -> LiveEngine {
         *shared.live_sinks.lock() = Some(std::collections::BTreeMap::new());
         let worker_shared = Arc::clone(&shared);
-        let workers = WorkerPool::spawn("ec-live-worker", threads, move |_| {
-            worker_shared.worker_loop();
+        let workers = WorkerPool::spawn("ec-live-worker", threads, move |i| {
+            worker_shared.worker_loop(i);
         });
         LiveEngine {
             shared,
@@ -74,7 +75,7 @@ impl LiveEngine {
 
     /// Cumulative metrics.
     pub fn metrics(&self) -> crate::metrics::MetricsSnapshot {
-        self.shared.metrics.snapshot()
+        self.shared.metrics_snapshot()
     }
 
     /// Starts the next phase (the environment process's step) and
@@ -91,7 +92,7 @@ impl LiveEngine {
             && st.inflight() >= self.max_inflight
             && !self.closing.load(Relaxed)
         {
-            self.shared.progress.wait(&mut st);
+            self.shared.wait_progress(&mut st);
         }
         if let Some(msg) = &st.failed {
             return Err(EngineError::WorkerPanic(msg.clone()));
@@ -99,7 +100,8 @@ impl LiveEngine {
         if self.closing.load(Relaxed) {
             return Err(EngineError::Config("engine is shut down".into()));
         }
-        let (phase, mut transition) = st.start_phase();
+        let mut transition = Transition::default();
+        let phase = st.start_phase(&mut transition);
         if self.shared.check_invariants {
             if let Err(msg) = st.check_invariants() {
                 drop(st);
@@ -108,8 +110,8 @@ impl LiveEngine {
                 return Err(error);
             }
         }
-        self.shared.enqueue_all(&mut transition);
         drop(st);
+        self.shared.enqueue_all(&mut transition, None);
         self.shared.metrics.phases_started.fetch_add(1, Relaxed);
         Ok(phase)
     }
@@ -133,7 +135,7 @@ impl LiveEngine {
             && st.inflight() >= self.max_inflight
             && !self.closing.load(Relaxed)
         {
-            self.shared.progress.wait(&mut st);
+            self.shared.wait_progress(&mut st);
         }
         if let Some(msg) = &st.failed {
             return Err(EngineError::WorkerPanic(msg.clone()));
@@ -143,8 +145,9 @@ impl LiveEngine {
         }
         let headroom = self.max_inflight - st.inflight();
         let batch = limit.min(headroom).max(1);
+        let mut transition = Transition::default();
         for _ in 0..batch {
-            let (_, mut transition) = st.start_phase();
+            st.start_phase(&mut transition);
             if self.shared.check_invariants {
                 if let Err(msg) = st.check_invariants() {
                     drop(st);
@@ -153,9 +156,9 @@ impl LiveEngine {
                     return Err(error);
                 }
             }
-            self.shared.enqueue_all(&mut transition);
         }
         drop(st);
+        self.shared.enqueue_all(&mut transition, None);
         self.shared.metrics.phases_started.fetch_add(batch, Relaxed);
         Ok(batch)
     }
@@ -205,7 +208,7 @@ impl LiveEngine {
     pub fn wait_idle(&self) -> Result<u64, EngineError> {
         let mut st = self.shared.state.lock();
         while st.failed.is_none() && st.completed_through() < st.pmax() {
-            self.shared.progress.wait(&mut st);
+            self.shared.wait_progress(&mut st);
         }
         if let Some(msg) = &st.failed {
             return Err(EngineError::WorkerPanic(msg.clone()));
@@ -220,7 +223,7 @@ impl LiveEngine {
     pub fn wait_progress_for(&self, seen: u64, timeout: Duration) -> Result<u64, EngineError> {
         let mut st = self.shared.state.lock();
         while st.failed.is_none() && st.completed_through() <= seen && !self.closing.load(Relaxed) {
-            if self.shared.progress.wait_for(&mut st, timeout).timed_out() {
+            if self.shared.wait_progress_timeout(&mut st, timeout) {
                 break;
             }
         }
@@ -296,7 +299,7 @@ impl LiveEngine {
         };
         Ok(RunReport {
             phases: completed,
-            metrics: self.shared.metrics.snapshot(),
+            metrics: self.shared.metrics_snapshot(),
             history,
             trace: None,
         })

@@ -11,9 +11,7 @@
 //! the worker threads have been joined (which provides the necessary
 //! happens-before edge).
 
-use parking_lot::Mutex;
-use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering::Relaxed};
 
 /// Shared counters updated by workers and the environment thread.
 #[derive(Debug, Default)]
@@ -63,7 +61,9 @@ impl Metrics {
         self.max_concurrent_phases.fetch_max(depth, Relaxed);
     }
 
-    /// Snapshots all counters.
+    /// Snapshots all counters. Scheduler fields (steals, parks, wakes,
+    /// queue depths) are filled by the engine, which owns the sharded
+    /// run queue.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
             executions: self.executions.load(Relaxed),
@@ -80,6 +80,11 @@ impl Metrics {
             max_concurrent_phases: self.max_concurrent_phases.load(Relaxed),
             concurrent_phase_sum: self.concurrent_phase_sum.load(Relaxed),
             concurrent_phase_samples: self.concurrent_phase_samples.load(Relaxed),
+            steals: 0,
+            parks: 0,
+            wakes: 0,
+            worker_queue_depths: Vec::new(),
+            injector_depth: 0,
         }
     }
 }
@@ -115,6 +120,18 @@ pub struct MetricsSnapshot {
     pub concurrent_phase_sum: u64,
     /// Number of depth samples.
     pub concurrent_phase_samples: u64,
+    /// Successful steals between worker shards (sharded scheduler).
+    pub steals: u64,
+    /// Times a worker parked after finding no work anywhere.
+    pub parks: u64,
+    /// Targeted wakeups issued to parked workers.
+    pub wakes: u64,
+    /// Per-worker run-queue depth at snapshot time (racy; observability
+    /// only).
+    pub worker_queue_depths: Vec<u64>,
+    /// Shared-injector depth at snapshot time (racy; observability
+    /// only).
+    pub injector_depth: u64,
 }
 
 impl MetricsSnapshot {
@@ -152,40 +169,75 @@ impl MetricsSnapshot {
 /// Tracks the set of phases currently being executed by workers, to
 /// measure pipelining depth (how many phases are simultaneously "in the
 /// machine", as depicted in Figure 1).
-#[derive(Debug, Default)]
+///
+/// Lock-free: this sits on the hot path of every execution, where the
+/// previous `Mutex<BTreeMap>` implementation was a second global lock.
+/// Phases in flight at once lie in a window of at most `max_inflight`
+/// consecutive numbers (the environment throttle), so per-phase
+/// executing counts live in a power-of-two ring of atomic slots — two
+/// distinct in-flight phases never collide as long as the capacity
+/// covers the window ([`PhaseGauge::with_capacity`] sizes it so, up to
+/// a clamp for absurdly large windows).
+#[derive(Debug)]
 pub struct PhaseGauge {
-    executing: Mutex<BTreeMap<u64, u32>>,
+    /// Executing vertices per phase, indexed by `phase & mask`.
+    slots: Vec<AtomicU32>,
+    mask: u64,
+    /// Number of distinct phases with a nonzero slot.
+    distinct: AtomicU64,
+}
+
+impl Default for PhaseGauge {
+    fn default() -> Self {
+        PhaseGauge::with_capacity(64)
+    }
 }
 
 impl PhaseGauge {
-    /// Fresh gauge.
+    /// Fresh gauge for the engine-default in-flight window (64 phases).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Gauge able to track `max_inflight` simultaneously active phases
+    /// without collisions. Capacity is clamped (the gauge is
+    /// observability-only): beyond the clamp, two in-flight phases may
+    /// share a slot, which merely merges them in the distinct count —
+    /// never a panic or an unbounded allocation for an "effectively
+    /// unbounded" `max_inflight`.
+    pub fn with_capacity(max_inflight: u64) -> Self {
+        let cap = max_inflight.clamp(2, 1 << 16).next_power_of_two();
+        PhaseGauge {
+            slots: (0..cap).map(|_| AtomicU32::new(0)).collect(),
+            mask: cap - 1,
+            distinct: AtomicU64::new(0),
+        }
     }
 
     /// Marks a phase as having one more executing vertex; returns the
     /// number of distinct phases now executing.
     pub fn enter(&self, phase: u64) -> u64 {
-        let mut g = self.executing.lock();
-        *g.entry(phase).or_insert(0) += 1;
-        g.len() as u64
+        let slot = &self.slots[(phase & self.mask) as usize];
+        if slot.fetch_add(1, Relaxed) == 0 {
+            self.distinct.fetch_add(1, Relaxed) + 1
+        } else {
+            self.distinct.load(Relaxed)
+        }
     }
 
     /// Marks a phase as having one fewer executing vertex.
     pub fn exit(&self, phase: u64) {
-        let mut g = self.executing.lock();
-        match g.get_mut(&phase) {
-            Some(c) if *c > 1 => *c -= 1,
-            Some(_) => {
-                g.remove(&phase);
-            }
-            None => debug_assert!(false, "exit without enter for phase {phase}"),
+        let slot = &self.slots[(phase & self.mask) as usize];
+        let prev = slot.fetch_sub(1, Relaxed);
+        debug_assert!(prev > 0, "exit without enter for phase {phase}");
+        if prev == 1 {
+            self.distinct.fetch_sub(1, Relaxed);
         }
     }
 
     /// Number of distinct phases currently executing.
     pub fn depth(&self) -> u64 {
-        self.executing.lock().len() as u64
+        self.distinct.load(Relaxed)
     }
 }
 
@@ -230,6 +282,24 @@ mod tests {
         assert_eq!(empty.silent_fraction(), 0.0);
         assert_eq!(empty.mean_concurrent_phases(), 0.0);
         assert!(empty.bookkeeping_ratio().is_infinite());
+    }
+
+    #[test]
+    fn phase_gauge_capacity_is_clamped() {
+        // An "effectively unbounded" in-flight window must not panic or
+        // allocate terabytes of slots; collisions past the clamp only
+        // merge phases in the distinct count.
+        let g = PhaseGauge::with_capacity(u64::MAX);
+        assert_eq!(g.enter(1), 1);
+        assert_eq!(g.enter(2), 2);
+        // Far-apart phases may share a slot past the clamp: merged in
+        // the distinct count, still balanced on exit.
+        g.enter(1 + (1 << 40));
+        assert_eq!(g.depth(), 2);
+        g.exit(1 + (1 << 40));
+        g.exit(2);
+        g.exit(1);
+        assert_eq!(g.depth(), 0);
     }
 
     #[test]

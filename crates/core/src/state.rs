@@ -17,12 +17,26 @@
 //! * `pmax` / `next` — the highest started phase and the next to start.
 //!
 //! Instead of the paper's linear scans (statements 1.14–1.15 and
-//! 1.24–1.27), pairs are kept in per-phase ordered sets so the minimum
-//! active index and the "newly full" range are `O(log N)` — these are
-//! the "optimizations and custom data structures" the prototype alludes
-//! to in §4. The scans' *semantics* are reproduced exactly; the
-//! invariant checker used in tests re-derives every set from the raw
-//! definitions and compares.
+//! 1.24–1.27), pairs are kept in per-phase **index bitsets** so the
+//! minimum active index and the "newly full" range are word-parallel
+//! scans — these are the "optimizations and custom data structures" the
+//! prototype alludes to in §4. Because this code runs inside the global
+//! lock on every execution, it is also engineered to be allocation-free
+//! in steady state:
+//!
+//! * active phases live in a ring (`VecDeque`) — phases start at the
+//!   back and complete at the front in order, so lookups are O(1)
+//!   arithmetic instead of `BTreeMap` searches;
+//! * completed [`PhaseState`]s are recycled through a pool, so starting
+//!   a phase allocates nothing once the in-flight window has been
+//!   visited once;
+//! * inboxes are per-vertex slots in the phase state, not a `HashMap`;
+//! * transitions are written into a caller-owned scratch
+//!   ([`Transition`]) that each worker reuses across executions.
+//!
+//! The scans' *semantics* are reproduced exactly; the invariant checker
+//! used in tests re-derives every set from the raw definitions and
+//! compares.
 //!
 //! The paper's ghost variable `msg(v,p)` corresponds to membership in
 //! `partial ∪ full ∪ ready`: a pair holds messages from its creation
@@ -32,7 +46,7 @@
 
 use crate::trace::{SetMembership, SetSnapshot, Trace, TraceEvent, TraceStep};
 use ec_events::Value;
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::VecDeque;
 
 /// 1-based schedule index (the paper's vertex number).
 pub(crate) type Idx = u32;
@@ -46,38 +60,148 @@ pub(crate) struct Task {
     pub inputs: Vec<(Idx, Value)>,
 }
 
-/// Per-phase scheduling state.
-#[derive(Debug, Default)]
+/// A set of schedule indices (`1..=N`), stored as a bitmap. All hot
+/// operations are word-parallel; `N` is fixed at construction.
+#[derive(Debug, Clone, Default)]
+struct IdxSet {
+    words: Vec<u64>,
+}
+
+impl IdxSet {
+    fn for_n(n: Idx) -> IdxSet {
+        IdxSet {
+            words: vec![0; (n as usize + 1).div_ceil(64)],
+        }
+    }
+
+    #[inline]
+    fn insert(&mut self, i: Idx) {
+        self.words[(i / 64) as usize] |= 1u64 << (i % 64);
+    }
+
+    #[inline]
+    fn remove(&mut self, i: Idx) -> bool {
+        let w = &mut self.words[(i / 64) as usize];
+        let bit = 1u64 << (i % 64);
+        let was = *w & bit != 0;
+        *w &= !bit;
+        was
+    }
+
+    #[inline]
+    fn contains(&self, i: Idx) -> bool {
+        self.words[(i / 64) as usize] & (1u64 << (i % 64)) != 0
+    }
+
+    fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Smallest index in `self ∪ other` (the sets must be same-sized).
+    fn min_union(&self, other: &IdxSet) -> Option<Idx> {
+        for (w, (&a, &b)) in self.words.iter().zip(&other.words).enumerate() {
+            let or = a | b;
+            if or != 0 {
+                return Some(w as Idx * 64 + or.trailing_zeros() as Idx);
+            }
+        }
+        None
+    }
+
+    /// Removes every index `≤ bound` and appends them (ascending) to
+    /// `out`.
+    fn take_up_to(&mut self, bound: Idx, out: &mut Vec<Idx>) {
+        let last_word = (bound / 64) as usize;
+        for w in 0..=last_word.min(self.words.len() - 1) {
+            let mask = if w == last_word && bound % 64 != 63 {
+                (1u64 << (bound % 64 + 1)) - 1
+            } else {
+                u64::MAX
+            };
+            let mut taken = self.words[w] & mask;
+            self.words[w] &= !mask;
+            while taken != 0 {
+                let b = taken.trailing_zeros();
+                out.push(w as Idx * 64 + b as Idx);
+                taken &= taken - 1;
+            }
+        }
+    }
+
+    /// Ascending iteration (diagnostics and invariant checks only).
+    fn iter(&self) -> impl Iterator<Item = Idx> + '_ {
+        self.words.iter().enumerate().flat_map(|(w, &word)| {
+            let mut word = word;
+            std::iter::from_fn(move || {
+                if word == 0 {
+                    return None;
+                }
+                let b = word.trailing_zeros();
+                word &= word - 1;
+                Some(w as Idx * 64 + b as Idx)
+            })
+        })
+    }
+}
+
+/// Per-phase scheduling state. Pooled: completed phases are recycled
+/// into the next started phase without reallocating.
+#[derive(Debug)]
 struct PhaseState {
     /// Pairs with messages but not enough information (definition 9).
-    partial: BTreeSet<Idx>,
+    partial: IdxSet,
     /// Pairs with sufficient information (definition 7).
-    full: BTreeSet<Idx>,
+    full: IdxSet,
     /// The frontier `x_p`.
     x: Idx,
-    /// Undelivered messages per consumer: `(producer, value)` lists.
-    inbox: HashMap<Idx, Vec<(Idx, Value)>>,
+    /// Undelivered messages per consumer: `inbox[v - 1]` holds
+    /// `(producer, value)` pairs for vertex `v`.
+    inbox: Vec<Vec<(Idx, Value)>>,
 }
 
 impl PhaseState {
-    fn min_active(&self) -> Option<Idx> {
-        match (self.partial.first(), self.full.first()) {
-            (None, None) => None,
-            (a, b) => Some(
-                a.copied()
-                    .unwrap_or(Idx::MAX)
-                    .min(b.copied().unwrap_or(Idx::MAX)),
-            ),
+    fn for_n(n: Idx) -> PhaseState {
+        PhaseState {
+            partial: IdxSet::for_n(n),
+            full: IdxSet::for_n(n),
+            x: 0,
+            inbox: (0..n).map(|_| Vec::new()).collect(),
         }
+    }
+
+    /// Prepares a pooled state for reuse. Inboxes are already empty:
+    /// completion requires every message to have been delivered.
+    fn reset(&mut self) {
+        self.partial.clear();
+        self.full.clear();
+        self.x = 0;
+    }
+
+    fn min_active(&self) -> Option<Idx> {
+        self.partial.min_union(&self.full)
     }
 }
 
 /// Outcome of a state transition: pairs that became ready (to enqueue)
-/// and how many phases completed.
+/// and how many phases completed. Reused across calls — the engine
+/// keeps one per worker and [`SchedState`] methods append to it.
 #[derive(Debug, Default)]
 pub(crate) struct Transition {
     pub tasks: Vec<Task>,
     pub phases_completed: u64,
+}
+
+impl Transition {
+    /// Clears the scratch for the next transition (tasks are normally
+    /// drained by the enqueue path; the counter must be reset).
+    pub fn reset(&mut self) {
+        self.tasks.clear();
+        self.phases_completed = 0;
+    }
 }
 
 /// The shared scheduler state (guarded by the engine's global lock).
@@ -86,20 +210,26 @@ pub(crate) struct SchedState {
     n: Idx,
     /// The numbering's `m` table, `m[0..=N]`.
     m: Vec<Idx>,
-    /// Schedule indices of source vertices (always `1..=m(0)`).
-    sources: Vec<Idx>,
     /// Highest phase started (0 before any).
     pmax: u64,
     /// Next phase the environment will start.
     next: u64,
     /// All phases `≤ completed_through` have `x = N`.
     completed_through: u64,
-    /// Active (started, incomplete) phases.
-    phases: BTreeMap<u64, PhaseState>,
-    /// Phases in the full set, per vertex (index 0 unused).
-    vertex_full: Vec<BTreeSet<u64>>,
+    /// Active (started, incomplete) phases, in order: `ring[i]` is
+    /// phase `base + i`. Phases start at the back and complete at the
+    /// front (x_p monotonicity guarantees in-order completion).
+    ring: VecDeque<PhaseState>,
+    /// Phase number of `ring[0]` (meaningful only when non-empty).
+    base: u64,
+    /// Recycled phase states.
+    pool: Vec<PhaseState>,
+    /// Phases in the full set, per vertex (index 0 unused): ascending.
+    vertex_full: Vec<VecDeque<u64>>,
     /// The unique ready phase per vertex, if any (index 0 unused).
     ready_phase: Vec<Option<u64>>,
+    /// Scratch for promotion scans (single-threaded under the lock).
+    movers: Vec<Idx>,
     /// Set when a computation process fails; drains the run.
     pub failed: Option<String>,
     /// Optional Figure-3-style trace.
@@ -115,13 +245,15 @@ impl SchedState {
         SchedState {
             n,
             m: m_table.to_vec(),
-            sources: (1..=m_table[0]).collect(),
             pmax: 0,
             next: 1,
             completed_through: 0,
-            phases: BTreeMap::new(),
-            vertex_full: vec![BTreeSet::new(); n as usize + 1],
+            ring: VecDeque::new(),
+            base: 1,
+            pool: Vec::new(),
+            vertex_full: vec![VecDeque::new(); n as usize + 1],
             ready_phase: vec![None; n as usize + 1],
+            movers: Vec::new(),
             failed: None,
             trace: None,
         }
@@ -178,6 +310,16 @@ impl SchedState {
         self.pmax.saturating_sub(self.completed_through)
     }
 
+    #[inline]
+    fn ph(&self, p: u64) -> &PhaseState {
+        &self.ring[(p - self.base) as usize]
+    }
+
+    #[inline]
+    fn ph_mut(&mut self, p: u64) -> &mut PhaseState {
+        &mut self.ring[(p - self.base) as usize]
+    }
+
     /// `x_p` for any phase: `N` for completed phases, 0 for unstarted
     /// ones, the stored frontier otherwise.
     pub fn x_of(&self, p: u64) -> Idx {
@@ -186,46 +328,56 @@ impl SchedState {
         } else if p > self.pmax {
             0
         } else {
-            self.phases[&p].x
+            self.ph(p).x
         }
     }
 
     /// Starts the next phase (statements 2.11–2.19): inserts `(s, next)`
-    /// for every source into the full set, promotes newly ready pairs,
-    /// and advances `next`.
-    pub fn start_phase(&mut self) -> (u64, Transition) {
+    /// for every source into the full set, promotes newly ready pairs
+    /// into `out`, and advances `next`. Returns the phase number.
+    pub fn start_phase(&mut self, out: &mut Transition) -> u64 {
         let p = self.next;
         self.pmax = p;
         self.next += 1;
-        let st = PhaseState::default();
-        self.phases.insert(p, st);
-        let sources = self.sources.clone();
-        let mut out = Transition::default();
-        for s in sources {
-            let ph = self.phases.get_mut(&p).expect("just inserted");
-            ph.full.insert(s);
-            self.vertex_full[s as usize].insert(p);
+        let st = match self.pool.pop() {
+            Some(mut st) => {
+                st.reset();
+                st
+            }
+            None => PhaseState::for_n(self.n),
+        };
+        if self.ring.is_empty() {
+            self.base = p;
+        }
+        self.ring.push_back(st);
+        // Sources are always schedule indices 1..=m(0).
+        for s in 1..=self.m[0] {
+            self.ph_mut(p).full.insert(s);
+            vf_insert(&mut self.vertex_full[s as usize], p);
             self.try_promote(s, &mut out.tasks);
         }
         self.trace_step(TraceEvent::PhaseStarted(p));
-        (p, out)
+        p
     }
 
     /// Commits the execution of `(v, p)` with the given outputs — the
-    /// computation process's statements 1.5–1.30.
+    /// computation process's statements 1.5–1.30. Newly ready tasks and
+    /// the completed-phase count are appended to `out`.
     ///
     /// `outputs` are `(successor index, value)` messages for phase `p`.
-    pub fn finish_execution(&mut self, v: Idx, p: u64, outputs: Vec<(Idx, Value)>) -> Transition {
+    pub fn finish_execution(
+        &mut self,
+        v: Idx,
+        p: u64,
+        outputs: Vec<(Idx, Value)>,
+        out: &mut Transition,
+    ) {
         let emitted = outputs.len();
-        let mut out = Transition::default();
 
         // Statements 1.5–1.7: remove (v, p) from the full and ready sets.
         {
-            let ph = self
-                .phases
-                .get_mut(&p)
-                .expect("finished pair's phase must be active");
-            let was_full = ph.full.remove(&v);
+            let ph = self.ph_mut(p);
+            let was_full = ph.full.remove(v);
             debug_assert!(was_full, "({v}, {p}) finished but was not in full");
         }
         debug_assert_eq!(
@@ -234,19 +386,19 @@ impl SchedState {
             "({v}, {p}) finished but was not the ready pair of {v}"
         );
         self.ready_phase[v as usize] = None;
-        self.vertex_full[v as usize].remove(&p);
+        vf_remove(&mut self.vertex_full[v as usize], p);
 
         // Statements 1.8–1.11: deliver outputs into the partial set.
         {
-            let ph = self.phases.get_mut(&p).expect("phase active");
+            let ph = self.ph_mut(p);
             for (w, val) in outputs {
                 debug_assert!(w > v, "messages flow to higher indices only");
                 debug_assert!(
-                    !ph.full.contains(&w),
+                    !ph.full.contains(w),
                     "successor ({w}, {p}) cannot already be full while a \
                      predecessor was still executing"
                 );
-                ph.inbox.entry(w).or_default().push((v, val));
+                ph.inbox[w as usize - 1].push((v, val));
                 ph.partial.insert(w);
             }
         }
@@ -255,13 +407,16 @@ impl SchedState {
         // to pmax; since phase i's recomputed value depends only on its
         // own (unchanged, for i > p) sets and the clamp against x_{i−1},
         // the scan can stop at the first phase whose x does not change.
-        let mut changed: Vec<u64> = Vec::new();
+        // The changed phases are therefore the contiguous range
+        // `p..last_changed`.
+        let mut last_changed = p; // exclusive
         let mut i = p;
         while i <= self.pmax {
             let bound = self.x_of(i - 1);
-            let ph = self.phases.get_mut(&i).expect("phases ≤ pmax active");
+            let n = self.n;
+            let ph = self.ph_mut(i);
             let new_x = match ph.min_active() {
-                None => self.n.min(bound),
+                None => n.min(bound),
                 Some(mn) => (mn - 1).min(bound),
             };
             if new_x == ph.x {
@@ -269,49 +424,45 @@ impl SchedState {
             }
             debug_assert!(new_x > ph.x, "x_p never decreases (serializability)");
             ph.x = new_x;
-            changed.push(i);
             i += 1;
+            last_changed = i;
         }
 
         // Statements 1.24–1.26: promote newly full pairs. Phase p must
         // always be rechecked (new partial pairs may already satisfy
         // w ≤ m(x_p)); phases with changed x may promote as well.
-        let mut recheck: BTreeSet<u64> = changed.iter().copied().collect();
-        recheck.insert(p);
-        for &q in &recheck {
-            if q <= self.completed_through {
+        for q in p..last_changed.max(p + 1) {
+            if q <= self.completed_through || q > self.pmax {
                 continue;
             }
             let mx = self.m[self.x_of(q) as usize];
-            let ph = match self.phases.get_mut(&q) {
-                Some(ph) => ph,
-                None => continue,
-            };
-            let movers: Vec<Idx> = ph.partial.range(..=mx).copied().collect();
+            let mut movers = std::mem::take(&mut self.movers);
+            movers.clear();
+            self.ph_mut(q).partial.take_up_to(mx, &mut movers);
             for &w in &movers {
-                ph.partial.remove(&w);
-                ph.full.insert(w);
-            }
-            for w in movers {
-                self.vertex_full[w as usize].insert(q);
+                self.ph_mut(q).full.insert(w);
+                vf_insert(&mut self.vertex_full[w as usize], q);
                 self.try_promote(w, &mut out.tasks);
             }
+            self.movers = movers;
         }
 
         // Statements 1.27–1.30 for the executed vertex: its next full
         // phase (if any) may now be ready.
         self.try_promote(v, &mut out.tasks);
 
-        // Advance the completed frontier and drop finished phases.
-        while let Some((&q, ph)) = self.phases.first_key_value() {
-            if ph.x == self.n {
-                debug_assert!(ph.partial.is_empty() && ph.full.is_empty());
+        // Advance the completed frontier and recycle finished phases.
+        while let Some(front) = self.ring.front() {
+            if front.x == self.n {
+                debug_assert!(front.partial.is_empty() && front.full.is_empty());
                 debug_assert!(
-                    ph.inbox.is_empty(),
+                    front.inbox.iter().all(Vec::is_empty),
                     "completed phase must have delivered every message"
                 );
-                self.phases.remove(&q);
-                self.completed_through = q;
+                let st = self.ring.pop_front().expect("front exists");
+                self.pool.push(st);
+                self.completed_through = self.base;
+                self.base += 1;
                 out.phases_completed += 1;
             } else {
                 break;
@@ -323,7 +474,6 @@ impl SchedState {
             phase: p,
             emitted,
         });
-        out
     }
 
     /// Records one trace step (no-op unless tracing is enabled).
@@ -346,13 +496,13 @@ impl SchedState {
         if self.ready_phase[w as usize].is_some() {
             return;
         }
-        let q = match self.vertex_full[w as usize].first() {
+        let q = match self.vertex_full[w as usize].front() {
             Some(&q) => q,
             None => return,
         };
         self.ready_phase[w as usize] = Some(q);
-        let ph = self.phases.get_mut(&q).expect("full phase is active");
-        let mut inputs = ph.inbox.remove(&w).unwrap_or_default();
+        let ph = self.ph_mut(q);
+        let mut inputs = std::mem::take(&mut ph.inbox[w as usize - 1]);
         inputs.sort_by_key(|(prod, _)| *prod);
         tasks.push(Task {
             idx: w,
@@ -365,11 +515,12 @@ impl SchedState {
     pub fn snapshot(&self) -> SetSnapshot {
         let mut entries = Vec::new();
         let mut x = Vec::new();
-        for (&q, ph) in &self.phases {
-            for &w in &ph.partial {
+        for (i, ph) in self.ring.iter().enumerate() {
+            let q = self.base + i as u64;
+            for w in ph.partial.iter() {
                 entries.push((w, q, SetMembership::Partial));
             }
-            for &w in &ph.full {
+            for w in ph.full.iter() {
                 let m = if self.ready_phase[w as usize] == Some(q) {
                     SetMembership::FullAndReady
                 } else {
@@ -388,17 +539,20 @@ impl SchedState {
     /// every transition (`check_invariants` feature of the engine).
     pub fn check_invariants(&self) -> Result<(), String> {
         // The active window covers exactly (completed_through, pmax].
-        for &q in self.phases.keys() {
-            if q <= self.completed_through() || q > self.pmax() {
+        if !self.ring.is_empty() {
+            let first = self.base;
+            let last = self.base + self.ring.len() as u64 - 1;
+            if first <= self.completed_through() || last > self.pmax() {
                 return Err(format!(
-                    "phase {q} outside active window ({}, {}]",
+                    "phases [{first}, {last}] outside active window ({}, {}]",
                     self.completed_through(),
                     self.pmax()
                 ));
             }
         }
         // x_p window consistency, definition of x (§3.1.2).
-        for (&q, ph) in &self.phases {
+        for (i, ph) in self.ring.iter().enumerate() {
+            let q = self.base + i as u64;
             let bound = self.x_of(q - 1);
             let expect = match ph.min_active() {
                 None => self.n.min(bound),
@@ -409,16 +563,16 @@ impl SchedState {
             }
             let mx = self.m[ph.x as usize];
             // Definition (9): partial pairs have m(x_p) < v.
-            for &w in &ph.partial {
+            for w in ph.partial.iter() {
                 if w <= mx {
                     return Err(format!("({w}, {q}) in partial but w ≤ m(x_{q}) = {mx}"));
                 }
-                if !ph.inbox.contains_key(&w) {
+                if ph.inbox[w as usize - 1].is_empty() {
                     return Err(format!("({w}, {q}) in partial without messages"));
                 }
             }
             // Definition (7): full pairs have x_p < v ≤ m(x_p).
-            for &w in &ph.full {
+            for w in ph.full.iter() {
                 if w <= ph.x || w > mx {
                     return Err(format!(
                         "({w}, {q}) in full but not in (x_{q}, m(x_{q})] = ({}, {mx}]",
@@ -430,19 +584,23 @@ impl SchedState {
                 }
             }
         }
-        // vertex_full mirrors the per-phase full sets.
+        // vertex_full mirrors the per-phase full sets (and is sorted).
         for (w, phases) in self.vertex_full.iter().enumerate().skip(1) {
+            if phases
+                .iter()
+                .zip(phases.iter().skip(1))
+                .any(|(a, b)| a >= b)
+            {
+                return Err(format!("vertex_full[{w}] is not strictly ascending"));
+            }
             for &q in phases {
-                if !self
-                    .phases
-                    .get(&q)
-                    .is_some_and(|ph| ph.full.contains(&(w as Idx)))
-                {
+                let in_window = q > self.completed_through && q <= self.pmax;
+                if !in_window || !self.ph(q).full.contains(w as Idx) {
                     return Err(format!("vertex_full has stale ({w}, {q})"));
                 }
             }
             // Definition (8): the ready pair is the minimal full phase.
-            match (self.ready_phase[w], phases.first()) {
+            match (self.ready_phase[w], phases.front()) {
                 (Some(rp), Some(&mn)) if rp != mn => {
                     return Err(format!(
                         "vertex {w}: ready phase {rp} is not the minimal full phase {mn}"
@@ -462,13 +620,43 @@ impl SchedState {
         }
         // Monotonicity of x across phases (serializability guard).
         let mut prev = self.n;
-        for ph in self.phases.values() {
+        for ph in self.ring.iter() {
             if ph.x > prev {
                 return Err("x_p exceeds x_{p-1}".into());
             }
             prev = ph.x;
         }
         Ok(())
+    }
+}
+
+/// Inserts `q` into an ascending deque (common case: `q` is larger than
+/// everything present, i.e. `push_back`).
+fn vf_insert(dq: &mut VecDeque<u64>, q: u64) {
+    match dq.back() {
+        None => dq.push_back(q),
+        Some(&b) if b < q => dq.push_back(q),
+        _ => {
+            let pos = dq.partition_point(|&e| e < q);
+            if dq.get(pos) != Some(&q) {
+                dq.insert(pos, q);
+            }
+        }
+    }
+}
+
+/// Removes `q` from an ascending deque (common case: `q` is the front).
+fn vf_remove(dq: &mut VecDeque<u64>, q: u64) {
+    match dq.front() {
+        Some(&f) if f == q => {
+            dq.pop_front();
+        }
+        _ => {
+            let pos = dq.partition_point(|&e| e < q);
+            if dq.get(pos) == Some(&q) {
+                dq.remove(pos);
+            }
+        }
     }
 }
 
@@ -482,6 +670,21 @@ mod tests {
         SchedState::new(numbering.m_table())
     }
 
+    /// Starts a phase, returning the transition (test convenience over
+    /// the out-parameter API).
+    fn start(st: &mut SchedState) -> (u64, Transition) {
+        let mut out = Transition::default();
+        let p = st.start_phase(&mut out);
+        (p, out)
+    }
+
+    /// Finishes an execution, returning the transition.
+    fn finish(st: &mut SchedState, v: Idx, p: u64, outputs: Vec<(Idx, Value)>) -> Transition {
+        let mut out = Transition::default();
+        st.finish_execution(v, p, outputs, &mut out);
+        out
+    }
+
     /// Executes every returned task immediately with the given output
     /// function, breadth-first, checking invariants after each commit.
     fn drain(
@@ -493,7 +696,7 @@ mod tests {
         while let Some(task) = pending.pop() {
             executed.push((task.idx, task.phase));
             let outs = outputs(task.idx, task.phase);
-            let tr = st.finish_execution(task.idx, task.phase, outs);
+            let tr = finish(st, task.idx, task.phase, outs);
             st.check_invariants().unwrap();
             pending.extend(tr.tasks);
         }
@@ -507,7 +710,7 @@ mod tests {
         let mut st = state_for(&dag);
         st.check_invariants().unwrap();
 
-        let (p1, tr) = st.start_phase();
+        let (p1, tr) = start(&mut st);
         assert_eq!(p1, 1);
         assert_eq!(tr.tasks.len(), 1);
         assert_eq!(
@@ -520,7 +723,7 @@ mod tests {
         );
         st.check_invariants().unwrap();
 
-        let tr = st.finish_execution(1, 1, vec![]);
+        let tr = finish(&mut st, 1, 1, vec![]);
         assert_eq!(tr.phases_completed, 1);
         assert!(tr.tasks.is_empty());
         assert_eq!(st.completed_through(), 1);
@@ -531,23 +734,23 @@ mod tests {
     fn chain_propagates_messages() {
         let dag = generators::chain(3);
         let mut st = state_for(&dag);
-        let (_, tr) = st.start_phase();
+        let (_, tr) = start(&mut st);
         assert_eq!(tr.tasks.len(), 1); // one source
 
         // Source emits to vertex 2; 2 becomes full+ready at once because
         // x_1 advances to 1 and m(1) = 2.
-        let tr = st.finish_execution(1, 1, vec![(2, Value::Int(10))]);
+        let tr = finish(&mut st, 1, 1, vec![(2, Value::Int(10))]);
         st.check_invariants().unwrap();
         assert_eq!(tr.tasks.len(), 1);
         assert_eq!(tr.tasks[0].idx, 2);
         assert_eq!(tr.tasks[0].inputs, vec![(1, Value::Int(10))]);
 
-        let tr = st.finish_execution(2, 1, vec![(3, Value::Int(20))]);
+        let tr = finish(&mut st, 2, 1, vec![(3, Value::Int(20))]);
         st.check_invariants().unwrap();
         assert_eq!(tr.tasks.len(), 1);
         assert_eq!(tr.tasks[0].idx, 3);
 
-        let tr = st.finish_execution(3, 1, vec![]);
+        let tr = finish(&mut st, 3, 1, vec![]);
         assert_eq!(tr.phases_completed, 1);
         assert_eq!(st.completed_through(), 1);
     }
@@ -558,7 +761,7 @@ mod tests {
         // the source executed — information conveyed by absence.
         let dag = generators::chain(4);
         let mut st = state_for(&dag);
-        let (_, tr) = st.start_phase();
+        let (_, tr) = start(&mut st);
         let executed = drain(&mut st, tr.tasks, &mut |_, _| vec![]);
         assert_eq!(executed, vec![(1, 1)]);
         assert_eq!(st.completed_through(), 1);
@@ -568,8 +771,8 @@ mod tests {
     fn pipelined_phases_respect_ready_rule() {
         let dag = generators::chain(3);
         let mut st = state_for(&dag);
-        let (_, tr1) = st.start_phase();
-        let (_, tr2) = st.start_phase();
+        let (_, tr1) = start(&mut st);
+        let (_, tr2) = start(&mut st);
         st.check_invariants().unwrap();
         // Source ready for phase 1 only; phase 2 is full but not ready.
         assert_eq!(tr1.tasks.len(), 1);
@@ -578,7 +781,7 @@ mod tests {
         assert_eq!(st.snapshot().full(), vec![(1, 1), (1, 2)]);
 
         // Finishing (1,1) readies both (2,1) (via message) and (1,2).
-        let tr = st.finish_execution(1, 1, vec![(2, Value::Int(1))]);
+        let tr = finish(&mut st, 1, 1, vec![(2, Value::Int(1))]);
         st.check_invariants().unwrap();
         let mut ready: Vec<(Idx, u64)> = tr.tasks.iter().map(|t| (t.idx, t.phase)).collect();
         ready.sort_unstable();
@@ -590,18 +793,18 @@ mod tests {
         // Phase 2 cannot advance its frontier beyond phase 1's.
         let dag = generators::chain(2);
         let mut st = state_for(&dag);
-        st.start_phase();
-        st.start_phase();
+        start(&mut st);
+        start(&mut st);
         // Execute (1,1) emitting nothing; then (1,2) emitting to 2.
-        let tr = st.finish_execution(1, 1, vec![]);
+        let tr = finish(&mut st, 1, 1, vec![]);
         assert_eq!(tr.tasks.len(), 1); // (1,2) ready
                                        // Phase 1 complete, x_1 = N = 2.
         assert_eq!(st.completed_through(), 1);
-        let tr = st.finish_execution(1, 2, vec![(2, Value::Int(5))]);
+        let tr = finish(&mut st, 1, 2, vec![(2, Value::Int(5))]);
         st.check_invariants().unwrap();
         assert_eq!(tr.tasks.len(), 1);
         assert_eq!(tr.tasks[0].idx, 2);
-        let tr = st.finish_execution(2, 2, vec![]);
+        let tr = finish(&mut st, 2, 2, vec![]);
         assert_eq!(tr.phases_completed, 1);
         assert_eq!(st.completed_through(), 2);
     }
@@ -612,22 +815,22 @@ mod tests {
         // while phase 1 is still executing (x_2 ≤ x_1 < N).
         let dag = generators::chain(2);
         let mut st = state_for(&dag);
-        st.start_phase(); // phase 1: (1,1) ready
-        st.start_phase(); // phase 2: (1,2) full, not ready
-                          // Finish (1,1) with an output; (2,1) and (1,2) become ready.
-        let tr = st.finish_execution(1, 1, vec![(2, Value::Int(1))]);
+        start(&mut st); // phase 1: (1,1) ready
+        start(&mut st); // phase 2: (1,2) full, not ready
+                        // Finish (1,1) with an output; (2,1) and (1,2) become ready.
+        let tr = finish(&mut st, 1, 1, vec![(2, Value::Int(1))]);
         let mut pairs: Vec<_> = tr.tasks.iter().map(|t| (t.idx, t.phase)).collect();
         pairs.sort_unstable();
         assert_eq!(pairs, vec![(1, 2), (2, 1)]);
         // Finish (1,2) silently. Phase 2 now has no active pairs, but
         // phase 1 still does — phase 2 must not complete.
-        let tr = st.finish_execution(1, 2, vec![]);
+        let tr = finish(&mut st, 1, 2, vec![]);
         assert_eq!(tr.phases_completed, 0);
         assert_eq!(st.x_of(2), st.x_of(1));
         assert!(st.x_of(1) < st.n());
         st.check_invariants().unwrap();
         // Finishing (2,1) completes both phases in order.
-        let tr = st.finish_execution(2, 1, vec![]);
+        let tr = finish(&mut st, 2, 1, vec![]);
         assert_eq!(tr.phases_completed, 2);
         assert_eq!(st.completed_through(), 2);
     }
@@ -637,21 +840,21 @@ mod tests {
         // diamond: 1 -> {2, 3} -> 4 (schedule indices).
         let dag = generators::diamond();
         let mut st = state_for(&dag);
-        let (_, tr) = st.start_phase();
+        let (_, tr) = start(&mut st);
         assert_eq!(tr.tasks.len(), 1);
 
-        let tr = st.finish_execution(1, 1, vec![(2, Value::Int(1)), (3, Value::Int(2))]);
+        let tr = finish(&mut st, 1, 1, vec![(2, Value::Int(1)), (3, Value::Int(2))]);
         st.check_invariants().unwrap();
         assert_eq!(tr.tasks.len(), 2); // both branches ready
 
         // Finish one branch; 4 has a message but is only partial until
         // the other branch finishes.
-        let tr = st.finish_execution(2, 1, vec![(4, Value::Int(10))]);
+        let tr = finish(&mut st, 2, 1, vec![(4, Value::Int(10))]);
         st.check_invariants().unwrap();
         assert!(tr.tasks.is_empty());
         assert_eq!(st.snapshot().partial(), vec![(4, 1)]);
 
-        let tr = st.finish_execution(3, 1, vec![(4, Value::Int(20))]);
+        let tr = finish(&mut st, 3, 1, vec![(4, Value::Int(20))]);
         st.check_invariants().unwrap();
         assert_eq!(tr.tasks.len(), 1);
         assert_eq!(tr.tasks[0].idx, 4);
@@ -666,18 +869,18 @@ mod tests {
     fn join_fires_with_single_branch_when_other_silent() {
         let dag = generators::diamond();
         let mut st = state_for(&dag);
-        let (_, tr) = st.start_phase();
+        let (_, tr) = start(&mut st);
         let _ = tr;
-        let _ = st.finish_execution(1, 1, vec![(2, Value::Int(1)), (3, Value::Int(2))]);
+        let _ = finish(&mut st, 1, 1, vec![(2, Value::Int(1)), (3, Value::Int(2))]);
         // Branch 2 emits; branch 3 is silent. The join must still
         // execute (with just one fresh input) once branch 3 finishes —
         // the absence of 3's message is information.
-        let tr = st.finish_execution(2, 1, vec![(4, Value::Int(10))]);
+        let tr = finish(&mut st, 2, 1, vec![(4, Value::Int(10))]);
         assert!(tr.tasks.is_empty());
-        let tr = st.finish_execution(3, 1, vec![]);
+        let tr = finish(&mut st, 3, 1, vec![]);
         assert_eq!(tr.tasks.len(), 1);
         assert_eq!(tr.tasks[0].inputs, vec![(2, Value::Int(10))]);
-        let tr = st.finish_execution(4, 1, vec![]);
+        let tr = finish(&mut st, 4, 1, vec![]);
         assert_eq!(tr.phases_completed, 1);
     }
 
@@ -688,7 +891,7 @@ mod tests {
         let mut st = state_for(&dag);
         let mut pending: Vec<Task> = Vec::new();
         for _ in 0..5 {
-            let (_, tr) = st.start_phase();
+            let (_, tr) = start(&mut st);
             pending.extend(tr.tasks);
             st.check_invariants().unwrap();
         }
@@ -718,7 +921,7 @@ mod tests {
         let mut pending: Vec<Task> = Vec::new();
         let phases = 4u64;
         for _ in 0..phases {
-            let (_, tr) = st.start_phase();
+            let (_, tr) = start(&mut st);
             pending.extend(tr.tasks);
         }
         let mut seen = std::collections::HashSet::new();
@@ -742,7 +945,7 @@ mod tests {
                 .into_iter()
                 .map(|s| (s, Value::Int(1)))
                 .collect();
-            let tr = st.finish_execution(task.idx, task.phase, outs);
+            let tr = finish(&mut st, task.idx, task.phase, outs);
             st.check_invariants().unwrap();
             pending.extend(tr.tasks);
         }
@@ -755,11 +958,11 @@ mod tests {
         let dag = generators::chain(2);
         let mut st = state_for(&dag);
         st.enable_trace();
-        let (_, tr) = st.start_phase();
+        let (_, tr) = start(&mut st);
         let t = &tr.tasks;
         assert_eq!(t.len(), 1);
-        st.finish_execution(1, 1, vec![(2, Value::Int(1))]);
-        st.finish_execution(2, 1, vec![]);
+        finish(&mut st, 1, 1, vec![(2, Value::Int(1))]);
+        finish(&mut st, 2, 1, vec![]);
         let trace = st.take_trace().unwrap();
         assert_eq!(trace.len(), 3);
         assert!(matches!(trace.steps[0].event, TraceEvent::PhaseStarted(1)));
@@ -777,10 +980,63 @@ mod tests {
         let dag = generators::chain(2);
         let mut st = state_for(&dag);
         assert_eq!(st.x_of(1), 0); // unstarted
-        st.start_phase();
-        st.finish_execution(1, 1, vec![]);
+        start(&mut st);
+        finish(&mut st, 1, 1, vec![]);
         assert_eq!(st.completed_through(), 1);
         assert_eq!(st.x_of(1), st.n()); // completed
         assert_eq!(st.x_of(99), 0);
+    }
+
+    #[test]
+    fn pooled_phase_states_are_reset() {
+        // Phases cycling through the pool must come back clean: run a
+        // few full cycles and re-derive the invariants each time.
+        let dag = generators::diamond();
+        let mut st = state_for(&dag);
+        for round in 0..10u64 {
+            let (p, tr) = start(&mut st);
+            assert_eq!(p, round + 1);
+            let executed = drain(&mut st, tr.tasks, &mut |v, _| match v {
+                1 => vec![(2, Value::Int(1)), (3, Value::Int(2))],
+                2 | 3 => vec![(4, Value::Int(3))],
+                _ => vec![],
+            });
+            assert_eq!(executed.len(), 4);
+            assert_eq!(st.completed_through(), round + 1);
+        }
+    }
+
+    #[test]
+    fn idx_set_operations() {
+        let mut s = IdxSet::for_n(130);
+        assert!(s.is_empty());
+        s.insert(1);
+        s.insert(64);
+        s.insert(130);
+        assert!(s.contains(64) && !s.contains(63));
+        let mut t = IdxSet::for_n(130);
+        t.insert(63);
+        assert_eq!(s.min_union(&t), Some(1));
+        assert_eq!(t.min_union(&IdxSet::for_n(130)), Some(63));
+        let mut out = Vec::new();
+        s.take_up_to(64, &mut out);
+        assert_eq!(out, vec![1, 64]);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![130]);
+        assert!(s.remove(130));
+        assert!(!s.remove(130));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn vf_insert_remove_keep_order() {
+        let mut dq = VecDeque::new();
+        vf_insert(&mut dq, 5);
+        vf_insert(&mut dq, 2);
+        vf_insert(&mut dq, 9);
+        vf_insert(&mut dq, 5); // duplicate ignored
+        assert_eq!(dq.iter().copied().collect::<Vec<_>>(), vec![2, 5, 9]);
+        vf_remove(&mut dq, 2); // front fast path
+        vf_remove(&mut dq, 9); // binary search path
+        assert_eq!(dq.iter().copied().collect::<Vec<_>>(), vec![5]);
     }
 }

@@ -84,7 +84,8 @@ impl Stepper {
     /// Starts the next phase (the environment process's step) and
     /// returns its number.
     pub fn start_phase(&mut self) -> u64 {
-        let (p, tr) = self.state.start_phase();
+        let mut tr = crate::state::Transition::default();
+        let p = self.state.start_phase(&mut tr);
         self.pending.extend(tr.tasks);
         debug_assert!(self.state.check_invariants().is_ok());
         p
@@ -141,7 +142,9 @@ impl Stepper {
             self.history.record_sink(vertex, Phase(phase), v);
         }
         let emitted = routed.messages.len();
-        let tr = self.state.finish_execution(idx, phase, routed.messages);
+        let mut tr = crate::state::Transition::default();
+        self.state
+            .finish_execution(idx, phase, routed.messages, &mut tr);
         self.pending.extend(tr.tasks);
         self.state
             .check_invariants()

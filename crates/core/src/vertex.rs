@@ -180,6 +180,11 @@ pub(crate) fn route_emission(
             recorded: RecordedEmission::Silent,
         }),
         Emission::Broadcast(value) => {
+            // Fan-out is a refcount bump, not a payload copy: `Value`'s
+            // heap-carrying variants (`Text`, `Vector`) are `Arc`-backed,
+            // so every clone here shares one buffer across all
+            // consumers and the history record (pinned by the
+            // `broadcast_fanout_shares_payload_buffers` test).
             if slot_is_sink {
                 Ok(RoutedEmission {
                     messages: Vec::new(),
@@ -309,6 +314,53 @@ mod tests {
             vec![(2, Value::Int(1)), (3, Value::Int(1))]
         );
         assert!(routed.sink_value.is_none());
+    }
+
+    #[test]
+    fn broadcast_fanout_shares_payload_buffers() {
+        // Fanning a vector broadcast to two successors must share ONE
+        // heap buffer across every message and the history record — a
+        // refcount bump per consumer, not a copy of the payload.
+        let (_, numbering, _) = diamond_setup();
+        let payload = Value::vector(vec![1.0, 2.0, 3.0]);
+        let base = payload.as_vector().unwrap().as_ptr();
+        let routed = route_emission(
+            Emission::Broadcast(payload),
+            false,
+            numbering.vertex_at(1),
+            &[2, 3],
+            &numbering,
+        )
+        .unwrap();
+        assert_eq!(routed.messages.len(), 2);
+        for (_, v) in &routed.messages {
+            assert_eq!(
+                v.as_vector().unwrap().as_ptr(),
+                base,
+                "broadcast message copied the vector payload"
+            );
+        }
+        match &routed.recorded {
+            RecordedEmission::Broadcast(v) => {
+                assert_eq!(v.as_vector().unwrap().as_ptr(), base);
+            }
+            other => panic!("unexpected record {other:?}"),
+        }
+
+        // Same property for text payloads.
+        let text = Value::text("shared alert");
+        let text_ptr = text.as_text().unwrap().as_ptr();
+        let routed = route_emission(
+            Emission::Broadcast(text),
+            false,
+            numbering.vertex_at(1),
+            &[2, 3],
+            &numbering,
+        )
+        .unwrap();
+        for (_, v) in &routed.messages {
+            assert_eq!(v.as_text().unwrap().as_ptr(), text_ptr);
+        }
     }
 
     #[test]

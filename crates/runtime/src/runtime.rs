@@ -151,44 +151,42 @@ impl RuntimeShared {
         if phases == 0 {
             return Ok(0);
         }
-        // Commit each row: WAL first (the durable commit point), then
-        // stage its bins. A WAL failure (disk full, I/O error) POISONS
-        // the runtime: durability can no longer be guaranteed, so no
-        // further seal or push is accepted — which also guarantees the
-        // bins staged by this aborted seal are never polled. Rows
-        // appended before the failure are durably committed and will
-        // replay on restore (their pushes were accepted); the
-        // in-memory script is rolled back to match what actually ran.
+        // Commit the epoch: pop every row, stage all their WAL frames
+        // into the writer's buffer, and flush them with a single
+        // `write_all` — group commit, one syscall per epoch instead of
+        // one per row. The commit is the durable cut point: bins are
+        // staged for the engine only after the whole epoch has reached
+        // the OS. A WAL failure (disk full, I/O error) POISONS the
+        // runtime: durability can no longer be guaranteed, so no
+        // further seal or push is accepted, and since no bin was staged
+        // yet the engine never sees any of the aborted epoch (a partial
+        // batch left on disk recovers as a torn tail and replays — its
+        // pushes were accepted).
         let base_rows = ingest.rows.len();
-        let mut staged = 0u64;
-        let mut commit_error: Option<RuntimeError> = None;
+        let mut epoch: Vec<Vec<Option<Value>>> = Vec::with_capacity(phases as usize);
         for _ in 0..phases {
-            let row: Vec<Option<Value>> =
-                ingest.queues.iter_mut().map(VecDeque::pop_front).collect();
-            if let Some(wal) = ingest.wal.as_mut() {
-                if let Err(e) = wal.append_row(&row) {
-                    commit_error = Some(e.into());
-                    break;
-                }
+            epoch.push(ingest.queues.iter_mut().map(VecDeque::pop_front).collect());
+        }
+        if let Some(wal) = ingest.wal.as_mut() {
+            for row in &epoch {
+                wal.stage_row(row);
             }
+            if let Err(e) = wal.commit() {
+                self.stop.store(true, Relaxed);
+                self.ticker_stop.store(true, Relaxed);
+                self.space.notify_all(); // blocked pushers observe Closed
+                return Err(e.into());
+            }
+        }
+        let staged = phases;
+        for row in epoch {
             for (source, bin) in self.live.iter().zip(row.iter()) {
                 source.writer.stage(bin.clone());
             }
             if self.record_script {
                 ingest.rows.push(row);
             }
-            staged += 1;
         }
-        if let Some(e) = commit_error {
-            if self.record_script {
-                ingest.rows.truncate(base_rows);
-            }
-            self.stop.store(true, Relaxed);
-            self.ticker_stop.store(true, Relaxed);
-            self.space.notify_all(); // blocked pushers observe Closed
-            return Err(e);
-        }
-        debug_assert_eq!(staged, phases);
         // Admit the batch: one global-lock acquisition per in-flight
         // window instead of one per phase. Admission may block on the
         // engine's throttle; the workers drain independently, so this
@@ -232,7 +230,7 @@ impl RuntimeShared {
         let checkpoint = self.engine.checkpoint_vertices()?;
         let names: Vec<String> = self.names.iter().map(|n| n.to_string()).collect();
         ec_store::write_snapshot(&cfg.dir, &names, &checkpoint).map_err(RuntimeError::from)?;
-        if let Some(wal) = ingest.wal.as_ref() {
+        if let Some(wal) = ingest.wal.as_mut() {
             wal.sync()?;
         }
         ingest.last_snapshot = checkpoint.phase;
@@ -343,6 +341,7 @@ pub struct StreamRuntimeBuilder {
     durable_dir: Option<PathBuf>,
     snapshot_every: Option<u64>,
     snapshot_on_flush: bool,
+    wal_sync_every: Option<u64>,
 }
 
 impl Default for StreamRuntimeBuilder {
@@ -387,6 +386,7 @@ impl StreamRuntimeBuilder {
             durable_dir: None,
             snapshot_every: None,
             snapshot_on_flush: false,
+            wal_sync_every: None,
         }
     }
 
@@ -515,6 +515,16 @@ impl StreamRuntimeBuilder {
         self
     }
 
+    /// With [`durable`](Self::durable): fsync the WAL automatically
+    /// once `rows` committed rows have accumulated since the last sync
+    /// — a bounded-loss commit interval between the default (sync at
+    /// checkpoint/shutdown only; group commit still reaches the OS
+    /// every seal) and syncing every seal (`1`).
+    pub fn wal_sync_every(mut self, rows: u64) -> Self {
+        self.wal_sync_every = Some(rows.max(1));
+        self
+    }
+
     /// Builds and starts the runtime (workers and delivery thread spawn
     /// immediately; the interval ticker too, if configured). With
     /// [`durable`](Self::durable), creates a fresh store — errors if
@@ -630,7 +640,7 @@ impl StreamRuntimeBuilder {
             snapshot_every: self.snapshot_every,
             snapshot_on_flush: self.snapshot_on_flush,
         });
-        let (wal, last_snapshot) = match (&durable, &recovery) {
+        let (mut wal, last_snapshot) = match (&durable, &recovery) {
             (Some(_), Some(rec)) => (Some(rec.append_writer()?), rec.snapshot_phase()),
             (Some(cfg), None) => {
                 let sources: Vec<String> = self.live.iter().map(|s| s.name.clone()).collect();
@@ -638,6 +648,9 @@ impl StreamRuntimeBuilder {
             }
             (None, _) => (None, 0),
         };
+        if let Some(w) = wal.as_mut() {
+            w.set_sync_every(self.wal_sync_every);
+        }
 
         let queue_count = self.live.len();
         let rows = match (&recovery, self.record_script) {
@@ -1008,7 +1021,7 @@ impl StreamRuntime {
         let seal_result = {
             let mut ingest = self.shared.ingest.lock();
             let sealed = self.shared.seal_locked(&mut ingest, 0);
-            if let Some(wal) = ingest.wal.as_ref() {
+            if let Some(wal) = ingest.wal.as_mut() {
                 let _ = wal.sync();
             }
             sealed

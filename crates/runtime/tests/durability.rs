@@ -348,6 +348,34 @@ fn build_or_restore_creates_then_resumes() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The configurable WAL fsync interval composes with group commit:
+/// every epoch sealed under `wal_sync_every` survives a crash and the
+/// restored run still equals the sequential oracle.
+#[test]
+fn wal_sync_every_interval_survives_crash() {
+    let dir = test_dir("sync-every");
+    {
+        let rt = live_builder()
+            .durable(&dir)
+            .wal_sync_every(2)
+            .build()
+            .unwrap();
+        let s1 = rt.handle_by_name("s1").unwrap();
+        for i in 1..=5i64 {
+            s1.push(i as f64).unwrap();
+            rt.flush().unwrap();
+        }
+        drop(rt); // crash without shutdown
+    }
+    let rt = live_builder().durable(&dir).restore().unwrap();
+    assert_eq!(rt.admitted(), 5, "all synced epochs recovered");
+    let report = rt.shutdown().unwrap();
+    assert_eq!(report.script.phases(), 5);
+    let full = oracle_history(&report.script);
+    assert_tail_matches(&full, &report.history.expect("history"), 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Restored subscribers see the replayed tail again (at-least-once),
 /// in serial order, before any new emissions.
 #[test]
