@@ -1,26 +1,41 @@
-//! Writes `BENCH_runtime.json`: a machine-readable throughput baseline
-//! for the streaming runtime, so successive PRs can compare against a
-//! recorded trajectory instead of re-running ad-hoc benchmarks.
+//! Appends to `BENCH_runtime.json`: a machine-readable throughput
+//! *trajectory* for the streaming runtime, so successive PRs accumulate
+//! comparable data points instead of overwriting each other.
 //!
-//! Runs the same workload as the `runtime_throughput` Criterion bench
-//! (two live sources, shared aggregation spine, history off) at 1, 4
-//! and 8 worker threads, and records events/second for each.
+//! Each invocation measures two workloads and appends one entry:
+//!
+//! * `results` — the single-runtime workload of the
+//!   `runtime_throughput` Criterion bench (two live sources, shared
+//!   aggregation spine, history off) at 1, 4 and 8 worker threads;
+//! * `sessions` — the multi-tenant workload: 8 copies of the same
+//!   graph as tenant sessions on one shared `SessionPool`, at 4 and 8
+//!   workers, reporting aggregate events/second.
 //!
 //! ```text
 //! cargo run --release -p ec-bench --bin record [-- OUTPUT_PATH [EVENTS]]
 //! ```
 //!
-//! Defaults: `BENCH_runtime.json` in the current directory, 20_000
-//! events per timed run. Each configuration runs one warmup pass and
-//! three timed passes; the median is reported.
+//! The output file is a JSON array of entries (oldest first). A legacy
+//! single-object file from earlier revisions is migrated in place by
+//! wrapping it as the first entry. Defaults: `BENCH_runtime.json` in
+//! the current directory, 20_000 events per timed run. Each
+//! configuration runs one warmup pass and three timed passes; the
+//! median is reported.
 
-use ec_bench::{drive_runtime, runtime_workload, RUNTIME_EPOCH};
+use ec_bench::{drive_runtime, drive_sessions, runtime_workload, session_workload, RUNTIME_EPOCH};
 use std::io::Write;
 use std::time::Instant;
 
 const THREADS: [usize; 3] = [1, 4, 8];
+const SESSION_THREADS: [usize; 2] = [4, 8];
+const SESSION_TENANTS: usize = 8;
 const DEFAULT_EVENTS: u64 = 20_000;
 const TIMED_RUNS: usize = 3;
+
+fn median(mut rates: Vec<f64>) -> f64 {
+    rates.sort_by(|a, b| a.total_cmp(b));
+    rates[rates.len() / 2]
+}
 
 fn measure(threads: usize, events: u64) -> f64 {
     // Warmup: one full pass, untimed (thread spawn, allocator, caches).
@@ -30,34 +45,96 @@ fn measure(threads: usize, events: u64) -> f64 {
         rt.shutdown().expect("clean shutdown");
     }
     let verbose = std::env::var_os("EC_BENCH_VERBOSE").is_some();
-    let mut rates: Vec<f64> = (0..TIMED_RUNS)
-        .map(|_| {
-            let rt = runtime_workload(threads);
-            let start = Instant::now();
-            drive_runtime(&rt, events);
-            let elapsed = start.elapsed().as_secs_f64();
-            if verbose {
-                let m = rt.metrics();
-                eprintln!(
-                    "  execs={} enq={} steals={} parks={} wakes={} \
-                     lock_wait={}us crit={}us exec={}us depth~{:.1}",
-                    m.executions,
-                    m.enqueued,
-                    m.steals,
-                    m.parks,
-                    m.wakes,
-                    m.lock_wait_nanos / 1_000,
-                    m.critical_nanos / 1_000,
-                    m.exec_nanos / 1_000,
-                    m.mean_concurrent_phases(),
-                );
-            }
-            rt.shutdown().expect("clean shutdown");
-            events as f64 / elapsed
-        })
-        .collect();
-    rates.sort_by(|a, b| a.total_cmp(b));
-    rates[rates.len() / 2]
+    median(
+        (0..TIMED_RUNS)
+            .map(|_| {
+                let rt = runtime_workload(threads);
+                let start = Instant::now();
+                drive_runtime(&rt, events);
+                let elapsed = start.elapsed().as_secs_f64();
+                if verbose {
+                    let m = rt.metrics();
+                    eprintln!(
+                        "  execs={} enq={} steals={} parks={} wakes={} \
+                         lock_wait={}us crit={}us exec={}us depth~{:.1}",
+                        m.executions,
+                        m.enqueued,
+                        m.steals,
+                        m.parks,
+                        m.wakes,
+                        m.lock_wait_nanos / 1_000,
+                        m.critical_nanos / 1_000,
+                        m.exec_nanos / 1_000,
+                        m.mean_concurrent_phases(),
+                    );
+                }
+                rt.shutdown().expect("clean shutdown");
+                events as f64 / elapsed
+            })
+            .collect(),
+    )
+}
+
+fn measure_sessions(threads: usize, tenants: usize, events: u64) -> f64 {
+    {
+        let (_pool, sessions) = session_workload(threads, tenants);
+        drive_sessions(&sessions, events.min(2_000));
+        for s in sessions {
+            s.close().expect("clean shutdown");
+        }
+    }
+    median(
+        (0..TIMED_RUNS)
+            .map(|_| {
+                let (_pool, sessions) = session_workload(threads, tenants);
+                let start = Instant::now();
+                drive_sessions(&sessions, events);
+                let elapsed = start.elapsed().as_secs_f64();
+                for s in sessions {
+                    s.close().expect("clean shutdown");
+                }
+                events as f64 / elapsed
+            })
+            .collect(),
+    )
+}
+
+/// Appends `entry` to the JSON-array trajectory at `path`, migrating a
+/// legacy single-object file by wrapping it as the first element.
+fn append_entry(path: &str, entry: &str) -> std::io::Result<()> {
+    let existing = match std::fs::read_to_string(path) {
+        Ok(s) => s.trim().to_string(),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+        Err(e) => return Err(e),
+    };
+    let body = if existing.is_empty() {
+        format!("[\n{entry}\n]\n")
+    } else if existing.ends_with(']') {
+        // Already a trajectory array: splice the new entry in before
+        // the closing bracket.
+        let inner = existing[..existing.len() - 1].trim_end();
+        if inner.ends_with('[') {
+            format!("{inner}\n{entry}\n]\n") // degenerate empty array
+        } else {
+            format!("{inner},\n{entry}\n]\n")
+        }
+    } else {
+        // Legacy single-object file: wrap it as the first entry.
+        let indented: String = existing
+            .lines()
+            .map(|l| format!("  {l}\n"))
+            .collect::<String>();
+        format!("[\n{},\n{entry}\n]\n", indented.trim_end())
+    };
+    // Write-then-rename: an interrupt mid-write must not destroy the
+    // accumulated trajectory the file exists to preserve.
+    let tmp = format!("{path}.tmp-{}", std::process::id());
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(body.as_bytes())?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)
 }
 
 fn main() {
@@ -68,22 +145,33 @@ fn main() {
         .map(|s| s.parse().expect("EVENTS must be an integer"))
         .unwrap_or(DEFAULT_EVENTS);
 
-    let mut entries = Vec::new();
+    let mut results = Vec::new();
     for &threads in &THREADS {
         let rate = measure(threads, events);
         eprintln!("threads={threads}: {rate:.0} events/s");
-        entries.push(format!(
-            "    {{\"threads\": {threads}, \"events_per_sec\": {rate:.1}}}"
+        results.push(format!(
+            "      {{\"threads\": {threads}, \"events_per_sec\": {rate:.1}}}"
+        ));
+    }
+    let mut sessions = Vec::new();
+    for &threads in &SESSION_THREADS {
+        let rate = measure_sessions(threads, SESSION_TENANTS, events);
+        eprintln!(
+            "sessions: threads={threads} tenants={SESSION_TENANTS}: {rate:.0} events/s aggregate"
+        );
+        sessions.push(format!(
+            "      {{\"threads\": {threads}, \"tenants\": {SESSION_TENANTS}, \
+             \"events_per_sec\": {rate:.1}}}"
         ));
     }
 
-    let json = format!(
-        "{{\n  \"bench\": \"runtime_throughput\",\n  \"events\": {events},\n  \
-         \"epoch\": {RUNTIME_EPOCH},\n  \"timed_runs\": {TIMED_RUNS},\n  \
-         \"results\": [\n{}\n  ]\n}}\n",
-        entries.join(",\n")
+    let entry = format!(
+        "  {{\n    \"bench\": \"runtime_throughput\",\n    \"events\": {events},\n    \
+         \"epoch\": {RUNTIME_EPOCH},\n    \"timed_runs\": {TIMED_RUNS},\n    \
+         \"results\": [\n{}\n    ],\n    \"sessions\": [\n{}\n    ]\n  }}",
+        results.join(",\n"),
+        sessions.join(",\n")
     );
-    let mut f = std::fs::File::create(&out_path).expect("create output file");
-    f.write_all(json.as_bytes()).expect("write output");
-    eprintln!("wrote {out_path}");
+    append_entry(&out_path, &entry).expect("write output");
+    eprintln!("appended to {out_path}");
 }

@@ -133,6 +133,60 @@ pub fn drive_runtime(rt: &ec_runtime::StreamRuntime, events: u64) {
     rt.wait_idle().expect("completes");
 }
 
+/// The multi-tenant workload: `tenants` copies of the
+/// [`runtime_workload`] graph opened as sessions on one shared
+/// [`SessionPool`](ec_runtime::SessionPool) with `threads` workers.
+pub fn session_workload(
+    threads: usize,
+    tenants: usize,
+) -> (ec_runtime::SessionPool, Vec<ec_runtime::Session>) {
+    use ec_fusion::operators::moving::MovingAverage;
+    use ec_fusion::operators::threshold::Threshold;
+    let pool = ec_runtime::SessionPool::builder()
+        .threads(threads)
+        .max_sessions(tenants)
+        .build();
+    let sessions = (0..tenants)
+        .map(|t| {
+            let mut b = ec_runtime::StreamRuntime::builder()
+                .epoch_policy(ec_runtime::EpochPolicy::ByCount(RUNTIME_EPOCH))
+                .record_history(false)
+                .record_script(false)
+                .max_inflight(64);
+            let s1 = b.live_source("s1");
+            let s2 = b.live_source("s2");
+            let sum = b.add("sum", Aggregate::sum(), &[s1, s2]);
+            let avg = b.add("avg", MovingAverage::new(8), &[sum]);
+            let _alarm = b.add("alarm", Threshold::above(900.0), &[avg]);
+            pool.open(format!("tenant-{t}"), b).expect("session opens")
+        })
+        .collect();
+    (pool, sessions)
+}
+
+/// Pushes `events` events round-robin across the sessions (alternating
+/// sources within each) and waits until every tenant is idle.
+pub fn drive_sessions(sessions: &[ec_runtime::Session], events: u64) {
+    let handles: Vec<_> = sessions
+        .iter()
+        .flat_map(|s| {
+            [
+                s.handle_by_name("s1").unwrap(),
+                s.handle_by_name("s2").unwrap(),
+            ]
+        })
+        .collect();
+    for i in 0..events {
+        handles[(i % handles.len() as u64) as usize]
+            .push((i % 1000) as f64)
+            .expect("push accepted");
+    }
+    for s in sessions {
+        s.flush().expect("flush");
+        s.wait_idle().expect("completes");
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -147,6 +201,18 @@ mod tests {
         assert_eq!(m.phases_completed, 5);
         let m = run_engine(&dag, sparse_modules(&dag, 0.5, 0), 2, 20);
         assert_eq!(m.phases_completed, 20);
+    }
+
+    #[test]
+    fn session_workload_runs() {
+        let (pool, sessions) = session_workload(2, 3);
+        drive_sessions(&sessions, 300);
+        let rows = pool.metrics();
+        assert_eq!(rows.len(), 3);
+        assert!(rows.iter().all(|r| r.events_committed == 100));
+        for s in sessions {
+            s.close().unwrap();
+        }
     }
 
     #[test]

@@ -30,8 +30,9 @@ use crate::error::EngineError;
 use crate::history::{ExecutionHistory, RecordedEmission};
 use crate::metrics::{Metrics, MetricsSnapshot, PhaseGauge};
 use crate::module::Module;
+use crate::multi::{EnginePool, EngineQueue, PoolMembership};
 use crate::pool::{payload_to_string, WorkerPool};
-use crate::shard::{Dequeued, ShardedQueue};
+use crate::shard::Dequeued;
 use crate::state::{Idx, SchedState, Task, Transition};
 use crate::trace::Trace;
 use crate::vertex::{route_emission, RoutedEmission, VertexSlot};
@@ -55,6 +56,8 @@ pub struct EngineBuilder {
     trace: bool,
     check_invariants: bool,
     resume_from: u64,
+    pool: Option<EnginePool>,
+    pool_weight: u32,
 }
 
 impl EngineBuilder {
@@ -73,6 +76,8 @@ impl EngineBuilder {
             trace: false,
             check_invariants: false,
             resume_from: 0,
+            pool: None,
+            pool_weight: 1,
         }
     }
 
@@ -125,6 +130,30 @@ impl EngineBuilder {
         self
     }
 
+    /// Attaches the engine to a shared [`EnginePool`] instead of giving
+    /// it private workers: [`build`](Self::build) reserves a tenant
+    /// slot, and [`Engine::into_live`] registers with the pool.
+    ///
+    /// A pooled engine must be driven through the live API; the batch
+    /// [`Engine::run`] refuses (it owns a private worker lifecycle).
+    /// [`threads`](Self::threads) is ignored — the pool's worker count
+    /// applies — while [`max_inflight`](Self::max_inflight) becomes the
+    /// tenant's in-flight cap, bounding how much of the shared pool
+    /// this engine can occupy.
+    pub fn pooled(mut self, pool: &EnginePool) -> Self {
+        self.pool = Some(pool.clone());
+        self
+    }
+
+    /// With [`pooled`](Self::pooled): this tenant's weighted-round-robin
+    /// admission weight (default 1). A weight-`w` tenant receives
+    /// roughly `w` times the admission bandwidth of a weight-1 tenant
+    /// when both are backlogged.
+    pub fn pool_weight(mut self, weight: u32) -> Self {
+        self.pool_weight = weight.max(1);
+        self
+    }
+
     /// Builds the engine.
     pub fn build(self) -> Result<Engine, EngineError> {
         let numbering = Numbering::compute(&self.dag);
@@ -155,12 +184,25 @@ impl EngineBuilder {
             state.enable_trace();
         }
 
+        let (queue, membership) = match &self.pool {
+            Some(pool) => {
+                let (queue, membership) = pool.join_pool()?;
+                membership.set_weight(self.pool_weight);
+                (queue, Some(membership))
+            }
+            None => (EngineQueue::own(self.threads), None),
+        };
+        let threads = membership
+            .as_ref()
+            .map(|m| m.threads())
+            .unwrap_or(self.threads);
+
         Ok(Engine {
             shared: Arc::new(Shared {
                 state: Mutex::new(state),
                 progress: Condvar::new(),
                 progress_waiters: AtomicUsize::new(0),
-                queue: ShardedQueue::new(self.threads),
+                queue,
                 vertices: slots.into_iter().map(Mutex::new).collect(),
                 succs_idx,
                 numbering,
@@ -176,9 +218,10 @@ impl EngineBuilder {
                 failed_fast: AtomicBool::new(false),
                 check_invariants: self.check_invariants,
             }),
-            threads: self.threads,
+            threads,
             max_inflight: self.max_inflight,
             env_delay: self.env_delay,
+            membership,
         })
     }
 }
@@ -199,8 +242,10 @@ pub(crate) struct Shared {
     /// the common case on the hot path.
     progress_waiters: AtomicUsize,
     /// The run queue of Listing 1, statement 1.2 — sharded across the
-    /// workers, with work stealing (see [`crate::shard`]).
-    pub(crate) queue: ShardedQueue<Task>,
+    /// workers, with work stealing (see [`crate::shard`]), owned
+    /// privately or shared with other tenants through an
+    /// [`EnginePool`](crate::EnginePool).
+    pub(crate) queue: EngineQueue,
     /// Vertex slots in schedule order (`vertices[i]` = index `i + 1`).
     /// Each slot's mutex is uncontended: the ready-set rule guarantees
     /// at most one in-flight execution per vertex.
@@ -240,14 +285,32 @@ impl Shared {
 
     /// Enqueues a transition's tasks. `worker` is the id of the calling
     /// worker, if any: its own shard receives the tasks (LIFO
-    /// locality); admission paths pass `None` (shared injector).
+    /// locality); admission paths pass `None` (the engine's injector
+    /// lane).
     pub(crate) fn enqueue_all(&self, transition: &mut Transition, worker: Option<usize>) {
         self.metrics
             .enqueued
             .fetch_add(transition.tasks.len() as u64, Relaxed);
+        let mut refused = false;
         for task in transition.tasks.drain(..) {
-            self.queue.enqueue(task, worker);
+            refused |= !self.queue.enqueue(task, worker);
         }
+        // A private queue refuses only while a failed run drains
+        // (discarding is intended). A shared queue also refuses if the
+        // pool was shut down under a still-attached tenant: losing the
+        // tasks would strand `wait_idle` forever, so convert the
+        // refusal into an engine failure that surfaces everywhere.
+        if refused && self.queue.is_pooled() && !self.failed_fast.load(Relaxed) {
+            self.fail(EngineError::Config(
+                "engine pool shut down while this tenant was still attached".into(),
+            ));
+        }
+    }
+
+    /// Fast-path check of the failure flag (authoritative state is
+    /// `state.failed`; this is the lock-free mirror workers poll).
+    pub(crate) fn failed_fast(&self) -> bool {
+        self.failed_fast.load(Relaxed)
     }
 
     /// Blocks on the progress condvar, counting the wait so notifiers
@@ -313,7 +376,11 @@ impl Shared {
         }
     }
 
-    fn run_task(
+    /// Executes one dequeued task and applies its scheduler transition
+    /// — the per-task body of Listing 1, shared by private workers and
+    /// the multi-tenant pool dispatch ([`crate::multi`]). `transition`
+    /// and `fresh` are caller-owned scratch reused across tasks.
+    pub(crate) fn run_task(
         &self,
         task: Task,
         worker: usize,
@@ -456,9 +523,10 @@ impl Shared {
     /// fields (steal/park/wake counts, per-worker depths).
     pub(crate) fn metrics_snapshot(&self) -> MetricsSnapshot {
         let mut snap = self.metrics.snapshot();
-        snap.steals = self.queue.stats.steals.load(Relaxed);
-        snap.parks = self.queue.stats.parks.load(Relaxed);
-        snap.wakes = self.queue.stats.wakes.load(Relaxed);
+        let stats = self.queue.stats();
+        snap.steals = stats.steals.load(Relaxed);
+        snap.parks = stats.parks.load(Relaxed);
+        snap.wakes = stats.wakes.load(Relaxed);
         snap.worker_queue_depths = self.queue.shard_depths();
         snap.injector_depth = self.queue.injector_depth();
         snap
@@ -517,6 +585,9 @@ pub struct Engine {
     threads: usize,
     max_inflight: u64,
     env_delay: Option<Duration>,
+    /// `Some` when attached to a shared [`EnginePool`]; releases the
+    /// tenant slot when dropped.
+    membership: Option<PoolMembership>,
 }
 
 impl Engine {
@@ -541,6 +612,11 @@ impl Engine {
     /// waits until every started phase has completed (`x_p = N` for all
     /// of them), and joins all threads before returning.
     pub fn run(&mut self, phases: u64) -> Result<RunReport, EngineError> {
+        if self.membership.is_some() {
+            return Err(EngineError::Config(
+                "a pooled engine has no private workers; drive it through into_live()".into(),
+            ));
+        }
         if phases == 0 {
             return Ok(RunReport {
                 phases: 0,
@@ -668,8 +744,17 @@ impl Engine {
     /// builds on.
     ///
     /// Phase numbering continues from any previous `run` calls.
+    ///
+    /// A [`pooled`](EngineBuilder::pooled) engine registers with its
+    /// pool here instead of spawning private workers.
     pub fn into_live(self) -> crate::live::LiveEngine {
-        crate::live::LiveEngine::spawn(self.shared, self.threads, self.max_inflight)
+        match self.membership {
+            Some(membership) => {
+                membership.register(Arc::clone(&self.shared));
+                crate::live::LiveEngine::spawn_pooled(self.shared, membership, self.max_inflight)
+            }
+            None => crate::live::LiveEngine::spawn(self.shared, self.threads, self.max_inflight),
+        }
     }
 
     /// Dismantles the engine and returns the modules in vertex-id order

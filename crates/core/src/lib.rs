@@ -64,6 +64,7 @@ pub mod history;
 pub mod live;
 pub mod metrics;
 pub mod module;
+pub mod multi;
 pub mod pool;
 pub mod queue;
 pub mod sequential;
@@ -87,6 +88,7 @@ pub use module::{
     AlwaysEmit, CollectSink, Emission, ExecCtx, FnModule, InputView, Module, PassThrough,
     SourceModule, SumModule, Workload,
 };
+pub use multi::EnginePool;
 pub use pool::WorkerPool;
 pub use queue::{Dequeued, RunQueue};
 pub use sequential::Sequential;

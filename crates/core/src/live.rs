@@ -27,6 +27,7 @@ use crate::checkpoint::EngineCheckpoint;
 use crate::engine::{RunReport, Shared};
 use crate::error::EngineError;
 use crate::history::{ExecutionHistory, SinkRecord};
+use crate::multi::PoolMembership;
 use crate::pool::WorkerPool;
 use crate::state::Transition;
 use ec_events::Phase;
@@ -44,11 +45,16 @@ use std::time::Duration;
 /// ingestion thread and a delivery thread.
 pub struct LiveEngine {
     shared: Arc<Shared>,
-    /// Joined (and replaced by `None`) at shutdown.
+    /// Joined (and replaced by `None`) at shutdown. `None` from the
+    /// start for a pooled engine — the pool owns the workers.
     workers: Mutex<Option<WorkerPool>>,
     /// Set once shutdown begins; wakes [`wait_progress_for`] waiters.
     closing: AtomicBool,
     max_inflight: u64,
+    /// Tenant-slot claim on a shared pool, released (slot freed, queued
+    /// tasks invalidated) at shutdown or drop. `None` for an engine
+    /// with private workers.
+    membership: Mutex<Option<PoolMembership>>,
 }
 
 impl LiveEngine {
@@ -65,6 +71,26 @@ impl LiveEngine {
             workers: Mutex::new(Some(workers)),
             closing: AtomicBool::new(false),
             max_inflight,
+            membership: Mutex::new(None),
+        }
+    }
+
+    /// Wraps an engine already registered with a shared pool — no
+    /// private workers; the pool's workers execute this tenant's tasks
+    /// (crate-internal; use [`Engine::into_live`](crate::Engine::into_live)
+    /// after [`EngineBuilder::pooled`](crate::EngineBuilder::pooled)).
+    pub(crate) fn spawn_pooled(
+        shared: Arc<Shared>,
+        membership: PoolMembership,
+        max_inflight: u64,
+    ) -> LiveEngine {
+        *shared.live_sinks.lock() = Some(std::collections::BTreeMap::new());
+        LiveEngine {
+            shared,
+            workers: Mutex::new(None),
+            closing: AtomicBool::new(false),
+            max_inflight,
+            membership: Mutex::new(Some(membership)),
         }
     }
 
@@ -283,8 +309,12 @@ impl LiveEngine {
         let workers = self.workers.lock().take();
         let worker_panics = match workers {
             Some(pool) => pool.join(),
-            None => Vec::new(), // already shut down
+            None => Vec::new(), // pooled, or already shut down
         };
+        // Detach from a shared pool only after the idle wait: every
+        // admitted phase has been executed (or the engine failed), so
+        // invalidating the tenant's remaining queued tasks is safe.
+        drop(self.membership.lock().take());
         let completed = wait_result?;
         if !worker_panics.is_empty() {
             return Err(EngineError::WorkerPanic(worker_panics.join("; ")));
@@ -316,6 +346,11 @@ impl Drop for LiveEngine {
         if let Some(pool) = self.workers.lock().take() {
             let _ = pool.join();
         }
+        // An unclean drop of a pooled engine is the "killed tenant"
+        // case: release the slot so the pool discards whatever this
+        // tenant still had queued (a later occupant of the slot must
+        // never receive it) and keeps serving the other tenants.
+        drop(self.membership.lock().take());
     }
 }
 

@@ -29,6 +29,11 @@
 //!   [`restore`](StreamRuntimeBuilder::restore) resumes a killed
 //!   runtime at the exact next phase, extending serializability across
 //!   process restarts (see `tests/durability.rs`).
+//! * multi-tenancy — a [`SessionPool`] hosts many independent
+//!   runtimes (tenant sessions) on one shared worker pool with
+//!   weighted-round-robin admission, per-tenant in-flight caps,
+//!   per-tenant metrics rows and per-tenant durable store directories
+//!   (see [`sessions`] and `tests/sessions.rs`).
 //!
 //! ## Quick example
 //!
@@ -66,8 +71,12 @@ mod error;
 mod policy;
 mod runtime;
 mod script;
+pub mod sessions;
 
 pub use error::{PushError, RuntimeError};
 pub use policy::{Backpressure, EpochPolicy};
-pub use runtime::{RuntimeReport, SinkEmission, SourceHandle, StreamRuntime, StreamRuntimeBuilder};
+pub use runtime::{
+    RuntimeProbe, RuntimeReport, SinkEmission, SourceHandle, StreamRuntime, StreamRuntimeBuilder,
+};
 pub use script::PhaseScript;
+pub use sessions::{Session, SessionMetrics, SessionPool, SessionPoolBuilder};

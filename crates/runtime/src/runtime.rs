@@ -37,7 +37,7 @@
 use crate::error::{PushError, RuntimeError};
 use crate::policy::{Backpressure, EpochPolicy};
 use crate::script::PhaseScript;
-use ec_core::{ExecutionHistory, LiveEngine, MetricsSnapshot};
+use ec_core::{EnginePool, ExecutionHistory, LiveEngine, MetricsSnapshot};
 use ec_events::{FeedWriter, Value};
 use ec_fusion::{CorrelatorBuilder, NodeHandle};
 use ec_graph::VertexId;
@@ -45,7 +45,7 @@ use ec_store::{Recovery, WalWriter};
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -130,6 +130,9 @@ struct RuntimeShared {
     /// bound (the WAL, if enabled, still records every row).
     record_script: bool,
     durable: Option<DurableCfg>,
+    /// Events committed to phases so far (counted at seal; per-tenant
+    /// observability for session pools).
+    events_committed: AtomicU64,
 }
 
 impl RuntimeShared {
@@ -179,14 +182,17 @@ impl RuntimeShared {
             }
         }
         let staged = phases;
+        let mut events = 0u64;
         for row in epoch {
             for (source, bin) in self.live.iter().zip(row.iter()) {
                 source.writer.stage(bin.clone());
             }
+            events += row.iter().filter(|b| b.is_some()).count() as u64;
             if self.record_script {
                 ingest.rows.push(row);
             }
         }
+        self.events_committed.fetch_add(events, Relaxed);
         // Admit the batch: one global-lock acquisition per in-flight
         // window instead of one per phase. Admission may block on the
         // engine's throttle; the workers drain independently, so this
@@ -342,6 +348,8 @@ pub struct StreamRuntimeBuilder {
     snapshot_every: Option<u64>,
     snapshot_on_flush: bool,
     wal_sync_every: Option<u64>,
+    pool: Option<EnginePool>,
+    pool_weight: u32,
 }
 
 impl Default for StreamRuntimeBuilder {
@@ -387,6 +395,8 @@ impl StreamRuntimeBuilder {
             snapshot_every: None,
             snapshot_on_flush: false,
             wal_sync_every: None,
+            pool: None,
+            pool_weight: 1,
         }
     }
 
@@ -515,6 +525,25 @@ impl StreamRuntimeBuilder {
         self
     }
 
+    /// Runs this runtime's engine on a shared [`EnginePool`] instead of
+    /// private worker threads — the multi-tenant mode (see
+    /// [`SessionPool`](crate::SessionPool), which calls this for every
+    /// session it opens). [`threads`](Self::threads) is ignored (the
+    /// pool's worker count applies); [`max_inflight`](Self::max_inflight)
+    /// becomes this tenant's in-flight cap on the shared pool.
+    pub fn pool(mut self, pool: &EnginePool) -> Self {
+        self.pool = Some(pool.clone());
+        self
+    }
+
+    /// With [`pool`](Self::pool): this tenant's weighted-round-robin
+    /// admission weight (default 1) — its relative share of the shared
+    /// pool's admission bandwidth under contention.
+    pub fn pool_weight(mut self, weight: u32) -> Self {
+        self.pool_weight = weight.max(1);
+        self
+    }
+
     /// With [`durable`](Self::durable): fsync the WAL automatically
     /// once `rows` committed rows have accumulated since the last sync
     /// — a bounded-loss commit interval between the default (sync at
@@ -588,6 +617,13 @@ impl StreamRuntimeBuilder {
         }
     }
 
+    /// The configured durable store directory, if any (crate-internal:
+    /// the session pool namespaces un-configured sessions under its
+    /// root and rejects two sessions sharing one store directory).
+    pub(crate) fn durable_dir_ref(&self) -> Option<&PathBuf> {
+        self.durable_dir.as_ref()
+    }
+
     fn build_inner(self, recovery: Option<Recovery>) -> Result<StreamRuntime, RuntimeError> {
         if self.correlator.is_empty() {
             return Err(RuntimeError::Config("graph has no nodes".into()));
@@ -620,14 +656,17 @@ impl StreamRuntimeBuilder {
         }
 
         let base = recovery.as_ref().map(|r| r.snapshot_phase()).unwrap_or(0);
-        let engine = self
+        let mut engine_builder = self
             .correlator
             .engine()
             .threads(self.threads)
             .max_inflight(self.max_inflight)
             .record_history(self.record_history)
-            .resume_from(base)
-            .build()?;
+            .resume_from(base);
+        if let Some(pool) = &self.pool {
+            engine_builder = engine_builder.pooled(pool).pool_weight(self.pool_weight);
+        }
+        let engine = engine_builder.build()?;
         if let Some(snap) = recovery.as_ref().and_then(|r| r.snapshot.as_ref()) {
             engine.restore_checkpoint(&snap.checkpoint)?;
         }
@@ -677,6 +716,7 @@ impl StreamRuntimeBuilder {
             capacity: self.capacity,
             record_script: self.record_script,
             durable,
+            events_committed: AtomicU64::new(0),
         });
 
         // Replay the WAL tail (rows after the snapshot) before any
@@ -685,11 +725,14 @@ impl StreamRuntimeBuilder {
         // crashed run's at its last committed phase.
         if let Some(rec) = recovery {
             let tail = rec.tail_rows();
+            let mut replayed_events = 0u64;
             for row in tail {
                 for (source, bin) in shared.live.iter().zip(row.iter()) {
                     source.writer.stage(bin.clone());
                 }
+                replayed_events += row.iter().filter(|b| b.is_some()).count() as u64;
             }
+            shared.events_committed.fetch_add(replayed_events, Relaxed);
             let mut remaining = tail.len() as u64;
             while remaining > 0 {
                 remaining -= shared.engine.admit_batch(remaining)?;
@@ -979,6 +1022,22 @@ impl StreamRuntime {
         self.shared.engine.admitted()
     }
 
+    /// Events committed to phases so far (including a restored WAL
+    /// tail's replayed events).
+    pub fn events_committed(&self) -> u64 {
+        self.shared.events_committed.load(Relaxed)
+    }
+
+    /// A cheap, cloneable observability handle that outlives mutable
+    /// borrows of the runtime: a [`SessionPool`](crate::SessionPool)
+    /// keeps one per session to build its per-tenant metrics rows while
+    /// the sessions themselves are owned by the caller.
+    pub fn probe(&self) -> RuntimeProbe {
+        RuntimeProbe {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
     /// Phases fully completed so far.
     pub fn completed_through(&self) -> u64 {
         self.shared.engine.completed_through()
@@ -1046,6 +1105,57 @@ impl StreamRuntime {
             },
             metrics: report.metrics,
         })
+    }
+}
+
+/// Read-only observability handle for one runtime (see
+/// [`StreamRuntime::probe`]). Holding a probe does not keep the
+/// runtime's threads alive — only its counters readable.
+#[derive(Clone)]
+pub struct RuntimeProbe {
+    shared: Arc<RuntimeShared>,
+}
+
+impl RuntimeProbe {
+    /// Phases committed so far.
+    pub fn admitted(&self) -> u64 {
+        self.shared.engine.admitted()
+    }
+
+    /// Phases fully completed (retired) so far.
+    pub fn completed_through(&self) -> u64 {
+        self.shared.engine.completed_through()
+    }
+
+    /// Events committed to phases so far.
+    pub fn events_committed(&self) -> u64 {
+        self.shared.events_committed.load(Relaxed)
+    }
+
+    /// Events buffered in the ingest queues, not yet sealed.
+    pub fn buffered(&self) -> usize {
+        self.shared.ingest.lock().buffered()
+    }
+
+    /// Engine counters. For a pooled runtime, `injector_depth` is this
+    /// tenant's admission-lane depth while steal/park/wake counters are
+    /// pool-global.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.engine.metrics()
+    }
+
+    /// Takes a snapshot now, exactly like [`StreamRuntime::checkpoint`]
+    /// — the handle a [`SessionPool`](crate::SessionPool) uses to
+    /// schedule checkpoints across every durable tenant it hosts.
+    /// Errors with [`RuntimeError::Closed`] once the runtime has shut
+    /// down.
+    pub fn checkpoint(&self) -> Result<u64, RuntimeError> {
+        if self.shared.stop.load(Relaxed) {
+            return Err(RuntimeError::Closed);
+        }
+        let mut ingest = self.shared.ingest.lock();
+        self.shared.take_snapshot_error(&mut ingest)?;
+        self.shared.checkpoint_locked(&mut ingest)
     }
 }
 

@@ -1,0 +1,433 @@
+//! Multi-tenant sessions: many independent [`StreamRuntime`]s sharing
+//! one worker pool.
+//!
+//! A [`SessionPool`] owns one [`EnginePool`] (`ec-core`): a fixed set
+//! of worker threads draining a sharded run queue whose admission side
+//! is split into per-tenant lanes. Each session opened on the pool is a
+//! complete, independent [`StreamRuntime`] — its own correlator graph,
+//! epoch policy, subscribers, committed [`PhaseScript`](crate::PhaseScript)
+//! and (optionally) its own durable store directory namespaced under
+//! the pool's root — while execution is multiplexed over the shared
+//! workers.
+//!
+//! ## Fairness
+//!
+//! Tenant fairness is a *routing policy*, not a scheduler rewrite:
+//!
+//! * a session's admissions land in its own injector lane; idle workers
+//!   refill in **weighted round-robin** over lanes, so every rotation
+//!   visits every backlogged tenant and a lane's per-visit batch is
+//!   proportional to its [`weight`](StreamRuntimeBuilder::pool_weight);
+//! * each session keeps its own **in-flight cap**
+//!   ([`max_inflight`](StreamRuntimeBuilder::max_inflight)), bounding
+//!   how many of its phases can occupy the shared pool at once.
+//!
+//! Together these guarantee *bounded interference*: a saturating tenant
+//! has at most `max_inflight` phases' worth of tasks ahead of a trickle
+//! tenant's admission, after which the round-robin rotation reaches the
+//! trickle lane — the property `crates/runtime/tests/sessions.rs`
+//! measures as phase-retirement latency under a saturating neighbour.
+//!
+//! ## Durability
+//!
+//! With [`SessionPoolBuilder::durable_root`], every session gets an
+//! independent store at `root/<sanitized-name>` (see
+//! [`ec_store::session_dir`]) opened with build-or-restore semantics:
+//! killing the whole pool and reopening the same session names restores
+//! every tenant at its exact next phase, independently — the
+//! multi-tenant crash matrix in the test suite.
+//!
+//! ## Lifecycle
+//!
+//! [`Session`]s are owned by the caller and closed individually
+//! ([`Session::close`] seals, drains and reports). Dropping a session
+//! without closing is the simulated-crash path: its queued tasks are
+//! discarded and, if durable, its WAL already holds every committed
+//! row. Drop (or [`shutdown`](SessionPool::shutdown)) the pool *after*
+//! the sessions; a session still attached when the pool stops fails
+//! fast instead of hanging.
+
+use crate::error::RuntimeError;
+use crate::runtime::{RuntimeProbe, StreamRuntime, StreamRuntimeBuilder};
+use ec_core::{EnginePool, MetricsSnapshot};
+use parking_lot::Mutex;
+use std::path::PathBuf;
+use std::sync::{Arc, Weak};
+use std::time::Instant;
+
+/// Registry row for one open session.
+struct SessionEntry {
+    name: Arc<str>,
+    probe: RuntimeProbe,
+    opened: Instant,
+    /// `events_committed` at open time (nonzero after a restore, which
+    /// replays the WAL tail): the rate denominator starts here, so a
+    /// restored tenant does not report its replayed backlog as live
+    /// throughput.
+    events_at_open: u64,
+    /// The session's durable store directory, if any. Open refuses a
+    /// new session whose directory collides with an open session's —
+    /// distinct names can sanitize to the same path
+    /// ([`ec_store::session_dir`]), and two live WAL writers on one
+    /// store would corrupt it.
+    store_dir: Option<PathBuf>,
+}
+
+type Registry = Mutex<Vec<SessionEntry>>;
+
+/// Configures a [`SessionPool`].
+pub struct SessionPoolBuilder {
+    threads: usize,
+    max_sessions: usize,
+    durable_root: Option<PathBuf>,
+}
+
+impl SessionPoolBuilder {
+    /// Number of shared worker threads (default 4).
+    pub fn threads(mut self, k: usize) -> Self {
+        self.threads = k.max(1);
+        self
+    }
+
+    /// Maximum number of concurrently open sessions (default 16). Fixed
+    /// at pool creation: each potential session owns an admission lane.
+    pub fn max_sessions(mut self, n: usize) -> Self {
+        self.max_sessions = n.max(1);
+        self
+    }
+
+    /// Makes every session durable by default: a session opened without
+    /// its own [`durable`](StreamRuntimeBuilder::durable) directory
+    /// stores its WAL and snapshots at `root/<sanitized-name>`
+    /// ([`ec_store::session_dir`]) with build-or-restore semantics, so
+    /// reopening a killed pool's sessions resumes each tenant at its
+    /// exact next phase.
+    pub fn durable_root(mut self, root: impl Into<PathBuf>) -> Self {
+        self.durable_root = Some(root.into());
+        self
+    }
+
+    /// Builds the pool (workers spawn immediately and park until
+    /// sessions open).
+    pub fn build(self) -> SessionPool {
+        SessionPool {
+            registry: Arc::new(Mutex::new(Vec::new())),
+            opening: Mutex::new(()),
+            pool: EnginePool::new(self.threads, self.max_sessions),
+            durable_root: self.durable_root,
+        }
+    }
+}
+
+/// A shared worker pool hosting many independent tenant sessions.
+///
+/// See the [module docs](self) for the fairness and durability story.
+///
+/// ```
+/// use ec_runtime::{SessionPool, StreamRuntime};
+/// use ec_fusion::operators::threshold::Threshold;
+///
+/// let pool = SessionPool::builder().threads(2).max_sessions(4).build();
+///
+/// // Two tenants, each a full independent runtime on the shared pool.
+/// let mut sessions = Vec::new();
+/// for tenant in ["acme", "globex"] {
+///     let mut b = StreamRuntime::builder();
+///     let tx = b.live_source("tx");
+///     b.add("alarm", Threshold::above(100.0), &[tx]);
+///     sessions.push(pool.open(tenant, b).unwrap());
+/// }
+/// for (i, s) in sessions.iter().enumerate() {
+///     s.handle_by_name("tx").unwrap().push(200.0 * (i as f64 + 1.0)).unwrap();
+///     s.flush().unwrap();
+/// }
+/// for s in sessions {
+///     let report = s.close().unwrap();
+///     assert_eq!(report.phases, 1);
+/// }
+/// ```
+pub struct SessionPool {
+    registry: Arc<Registry>,
+    /// Serializes [`open`](SessionPool::open) calls end to end, so the
+    /// duplicate-name check and the registry insert are atomic — two
+    /// racing opens of the same name can never both build (which,
+    /// under a durable root, would mean two WAL writers on one store).
+    /// Metrics and close paths use only `registry` and stay
+    /// unblocked.
+    opening: Mutex<()>,
+    pool: EnginePool,
+    durable_root: Option<PathBuf>,
+}
+
+impl SessionPool {
+    /// Starts a builder.
+    pub fn builder() -> SessionPoolBuilder {
+        SessionPoolBuilder {
+            threads: 4,
+            max_sessions: 16,
+            durable_root: None,
+        }
+    }
+
+    /// Shorthand: a pool with `threads` workers and up to
+    /// `max_sessions` sessions, no durable root.
+    pub fn new(threads: usize, max_sessions: usize) -> SessionPool {
+        SessionPool::builder()
+            .threads(threads)
+            .max_sessions(max_sessions)
+            .build()
+    }
+
+    /// Number of shared worker threads.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// Maximum number of concurrently open sessions.
+    pub fn capacity(&self) -> usize {
+        self.pool.capacity()
+    }
+
+    /// Number of currently open sessions.
+    pub fn session_count(&self) -> usize {
+        self.registry.lock().len()
+    }
+
+    /// The durable root directory, if one was configured.
+    pub fn durable_root(&self) -> Option<&std::path::Path> {
+        self.durable_root.as_deref()
+    }
+
+    /// Opens a tenant session: builds (or, under a durable root,
+    /// builds-or-restores) `builder`'s graph as a [`StreamRuntime`]
+    /// running on this pool's shared workers.
+    ///
+    /// `builder` keeps full control of the graph, epoch policy,
+    /// subscribers, per-tenant in-flight cap
+    /// ([`max_inflight`](StreamRuntimeBuilder::max_inflight)) and
+    /// admission [`pool_weight`](StreamRuntimeBuilder::pool_weight);
+    /// its `threads` setting is ignored (the pool's worker count
+    /// applies). Session names must be unique among open sessions.
+    pub fn open(
+        &self,
+        name: impl Into<String>,
+        builder: StreamRuntimeBuilder,
+    ) -> Result<Session, RuntimeError> {
+        // One open at a time: makes check-duplicate → build → insert
+        // atomic against racing opens of the same name.
+        let _opening = self.opening.lock();
+        let name: Arc<str> = Arc::from(name.into());
+        if self.registry.lock().iter().any(|e| e.name == name) {
+            return Err(RuntimeError::Config(format!(
+                "a session named {name:?} is already open"
+            )));
+        }
+        let mut builder = builder.pool(&self.pool);
+        if builder.durable_dir_ref().is_none() {
+            if let Some(root) = &self.durable_root {
+                builder = builder.durable(ec_store::session_dir(root, &name));
+            }
+        }
+        let store_dir = builder.durable_dir_ref().cloned();
+        // Distinct names can sanitize to the same store directory
+        // ("a b" and "a_b" both map to root/a_b): refuse rather than
+        // attach a second live WAL writer to an open session's store.
+        if let Some(dir) = &store_dir {
+            if let Some(holder) = self
+                .registry
+                .lock()
+                .iter()
+                .find(|e| e.store_dir.as_ref() == Some(dir))
+            {
+                return Err(RuntimeError::Config(format!(
+                    "session {name:?} maps to store directory {} already held by \
+                     open session {:?}",
+                    dir.display(),
+                    holder.name
+                )));
+            }
+        }
+        let rt = if store_dir.is_some() {
+            builder.build_or_restore()?
+        } else {
+            builder.build()?
+        };
+        let probe = rt.probe();
+        self.registry.lock().push(SessionEntry {
+            name: Arc::clone(&name),
+            events_at_open: probe.events_committed(),
+            probe,
+            opened: Instant::now(),
+            store_dir,
+        });
+        Ok(Session {
+            name,
+            rt: Some(rt),
+            registry: Arc::downgrade(&self.registry),
+        })
+    }
+
+    /// One metrics row per open session, in opening order.
+    pub fn metrics(&self) -> Vec<SessionMetrics> {
+        self.registry
+            .lock()
+            .iter()
+            .map(|e| {
+                let engine = e.probe.metrics();
+                let admitted = e.probe.admitted();
+                let retired = e.probe.completed_through();
+                let events = e.probe.events_committed();
+                let live_events = events.saturating_sub(e.events_at_open);
+                let elapsed = e.opened.elapsed().as_secs_f64();
+                SessionMetrics {
+                    name: e.name.to_string(),
+                    lane_depth: engine.injector_depth,
+                    inflight: admitted.saturating_sub(retired),
+                    buffered: e.probe.buffered() as u64,
+                    phases_retired: retired,
+                    events_committed: events,
+                    events_per_sec: if elapsed > 0.0 {
+                        live_events as f64 / elapsed
+                    } else {
+                        0.0
+                    },
+                    engine,
+                }
+            })
+            .collect()
+    }
+
+    /// Total queued tasks across every tenant (racy; observability).
+    pub fn queue_len(&self) -> usize {
+        self.pool.queue_len()
+    }
+
+    /// Checkpoints every open session now (cross-tenant checkpoint
+    /// scheduling): each durable tenant snapshots its operator state at
+    /// its own retired phase boundary, independently — there is no
+    /// cross-tenant cut to coordinate, because tenants share no state.
+    /// Returns one `(name, result)` row per session, in opening order;
+    /// non-durable sessions report their configuration error rather
+    /// than stopping the sweep.
+    pub fn checkpoint_all(&self) -> Vec<(String, Result<u64, RuntimeError>)> {
+        let probes: Vec<(String, RuntimeProbe)> = self
+            .registry
+            .lock()
+            .iter()
+            .map(|e| (e.name.to_string(), e.probe.clone()))
+            .collect();
+        // Checkpoint outside the registry lock: a snapshot waits for
+        // the tenant to go idle, which can take a while under load.
+        probes
+            .into_iter()
+            .map(|(name, probe)| {
+                let result = probe.checkpoint();
+                (name, result)
+            })
+            .collect()
+    }
+
+    /// Stops the shared workers and joins them (idempotent; also runs
+    /// on drop). Close the sessions first: a session still attached
+    /// when the pool stops fails fast on its next admission instead of
+    /// executing further phases.
+    pub fn shutdown(&self) {
+        self.pool.shutdown();
+    }
+}
+
+impl Drop for SessionPool {
+    fn drop(&mut self) {
+        self.pool.shutdown();
+    }
+}
+
+/// Per-session observability row (see [`SessionPool::metrics`]).
+#[derive(Debug, Clone)]
+pub struct SessionMetrics {
+    /// Session name.
+    pub name: String,
+    /// Tasks queued in this tenant's admission lane, not yet picked up
+    /// by a worker.
+    pub lane_depth: u64,
+    /// Phases admitted but not yet retired.
+    pub inflight: u64,
+    /// Events buffered in the ingest queues, not yet sealed.
+    pub buffered: u64,
+    /// Phases fully completed.
+    pub phases_retired: u64,
+    /// Events committed to phases (cumulative: includes a restored WAL
+    /// tail's replayed events).
+    pub events_committed: u64,
+    /// Average committed events per second since the session opened,
+    /// counting only events committed live in this incarnation (a
+    /// restored tenant's replayed backlog is excluded).
+    pub events_per_sec: f64,
+    /// Full engine counter snapshot (steal/park/wake counters are
+    /// pool-global; `injector_depth` is this tenant's lane).
+    pub engine: MetricsSnapshot,
+}
+
+/// One open tenant session: a [`StreamRuntime`] owned by the caller,
+/// running on a shared [`SessionPool`].
+///
+/// Dereferences to [`StreamRuntime`], so pushes, flushes,
+/// subscriptions and checkpoints work exactly as on a standalone
+/// runtime. [`close`](Session::close) shuts the session down cleanly;
+/// dropping without closing simulates a crash (committed WAL rows
+/// survive; queued work is discarded).
+pub struct Session {
+    name: Arc<str>,
+    /// `Option` so [`close`](Session::close) can move the runtime out
+    /// of a type that has `Drop`. Always `Some` while the session is
+    /// alive.
+    rt: Option<StreamRuntime>,
+    registry: Weak<Registry>,
+}
+
+impl Session {
+    /// The session's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Seals remaining events, drains every phase, detaches from the
+    /// pool and returns the final report (see
+    /// [`StreamRuntime::shutdown`]). The session's name is freed only
+    /// *after* the runtime has fully quiesced, so a racing
+    /// [`SessionPool::open`] of the same name can never see a
+    /// half-closed session's durable store.
+    pub fn close(mut self) -> Result<crate::runtime::RuntimeReport, RuntimeError> {
+        let rt = self.rt.take().expect("session already closed");
+        let result = rt.shutdown();
+        self.deregister();
+        result
+    }
+
+    fn deregister(&self) {
+        if let Some(registry) = self.registry.upgrade() {
+            registry.lock().retain(|e| e.name != self.name);
+        }
+    }
+}
+
+impl std::ops::Deref for Session {
+    type Target = StreamRuntime;
+
+    fn deref(&self) -> &StreamRuntime {
+        self.rt.as_ref().expect("session already closed")
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        // The simulated-crash path: tear the runtime down first —
+        // threads stop, queued tasks are invalidated, the WAL writer
+        // flushes its committed rows — and only then free the name, so
+        // a racing `open` of the same name cannot touch the store
+        // while this incarnation is still dying (same ordering as
+        // `close`).
+        drop(self.rt.take());
+        self.deregister();
+    }
+}

@@ -47,6 +47,29 @@ pub use recovery::Recovery;
 pub use snapshot::{list_snapshots, read_snapshot, snapshot_path, write_snapshot, SnapshotData};
 pub use wal::{read_wal, wal_path, Row, WalContents, WalTail, WalWriter, WAL_FILE};
 
+/// The store directory for tenant session `name` under `root` — the
+/// namespacing rule multi-tenant session pools use so every tenant gets
+/// an independent WAL + snapshot directory.
+///
+/// The session name is sanitized into a single path component: ASCII
+/// alphanumerics, `.`, `_` and `-` pass through, every other byte
+/// (path separators included) becomes `_`, and a name that is empty or
+/// all-dots maps to `"_"` — so a hostile or merely unusual tenant name
+/// can never escape `root`.
+pub fn session_dir(root: &std::path::Path, name: &str) -> std::path::PathBuf {
+    let mut component: String = name
+        .chars()
+        .map(|c| match c {
+            'a'..='z' | 'A'..='Z' | '0'..='9' | '.' | '_' | '-' => c,
+            _ => '_',
+        })
+        .collect();
+    if component.is_empty() || component.chars().all(|c| c == '.') {
+        component = "_".into();
+    }
+    root.join(component)
+}
+
 /// Fresh per-test directory under the system temp dir (no external
 /// tempfile dependency in the offline build).
 #[cfg(test)]
@@ -57,4 +80,40 @@ pub(crate) fn test_dir(tag: &str) -> std::path::PathBuf {
     let dir = std::env::temp_dir().join(format!("ec-store-test-{}-{tag}-{n}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     dir
+}
+
+#[cfg(test)]
+mod session_dir_tests {
+    use super::session_dir;
+    use std::path::Path;
+
+    #[test]
+    fn plain_names_pass_through() {
+        assert_eq!(
+            session_dir(Path::new("/root/store"), "tenant-1"),
+            Path::new("/root/store/tenant-1")
+        );
+        assert_eq!(
+            session_dir(Path::new("r"), "A.b_c-9"),
+            Path::new("r/A.b_c-9")
+        );
+    }
+
+    #[test]
+    fn hostile_names_cannot_escape_root() {
+        let root = Path::new("/root/store");
+        for (name, want) in [
+            ("../evil", ".._evil"),
+            ("a/b", "a_b"),
+            ("a\\b", "a_b"),
+            ("..", "_"),
+            (".", "_"),
+            ("", "_"),
+            ("spaced name", "spaced_name"),
+        ] {
+            let dir = session_dir(root, name);
+            assert_eq!(dir, root.join(want), "{name:?}");
+            assert!(dir.parent() == Some(root), "{name:?} escaped root");
+        }
+    }
 }

@@ -4,6 +4,8 @@
 //! ec run <spec.xml> [--threads N] [--phases N] [--sequential] [--quiet]
 //! ec stream <spec.xml> [--threads N] [--epoch-count N | --epoch-ms N]
 //!           [--checkpoint DIR [--snapshot-every N]] [--quiet]
+//! ec sessions <spec.xml>... [--threads N] [--epoch-count N]
+//!             [--root DIR] [--weight NAME=W] [--quiet]
 //! ec recover <dir> <spec.xml> [--quiet]
 //! ec validate <spec.xml>
 //! ec dot <spec.xml>
@@ -15,7 +17,10 @@
 //! stdin and printing sink alarms as their phases retire — with
 //! `--checkpoint` the run is durable (write-ahead log + operator
 //! snapshots) and restarting the same command resumes at the next
-//! phase; `recover` inspects a store, prints the resumable phase and
+//! phase; `sessions` serves several specs as tenant sessions on one
+//! shared worker pool (events are prefixed with the session name; with
+//! `--root` every tenant is durable and restartable independently);
+//! `recover` inspects a store, prints the resumable phase and
 //! replays the logged tail through the sequential oracle; `validate`
 //! checks the spec, graph and numbering; `dot` emits Graphviz for the
 //! spec's graph; `demo` runs a built-in correlator.
@@ -33,6 +38,8 @@ usage:
   ec stream <spec.xml> [--threads N] [--epoch-count N | --epoch-ms N]
             [--capacity N] [--reject] [--quiet]
             [--checkpoint DIR] [--snapshot-every N]
+  ec sessions <spec.xml>... [--threads N] [--epoch-count N]
+              [--root DIR] [--weight NAME=W] [--quiet]
   ec recover <dir> <spec.xml> [--quiet]
   ec validate <spec.xml>
   ec dot <spec.xml>
@@ -43,10 +50,16 @@ stream input (stdin), one event per line:
   {\"source\": s, \"value\": v} NDJSON
   (blank line)             seal the current epoch (even an empty one)
 
+sessions input (stdin), one event per line (session = spec file stem):
+  session,source,value     CSV
+  (blank line)             seal every session's epoch
+
 durability: --checkpoint makes the stream durable (or use the spec's
   <durability dir=... snapshot-every=.../> element); rerunning the same
   command resumes at the exact next phase. `ec recover` inspects the
-  store and replays the tail through the sequential oracle.
+  store and replays the tail through the sequential oracle. For
+  `ec sessions`, --root DIR namespaces an independent store per
+  session under DIR; rerunning restores every tenant.
 ";
 
 fn main() -> ExitCode {
@@ -54,6 +67,7 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
         Some("stream") => cmd_stream(&args[1..]),
+        Some("sessions") => cmd_sessions(&args[1..]),
         Some("recover") => cmd_recover(&args[1..]),
         Some("validate") => cmd_validate(&args[1..]),
         Some("dot") => cmd_dot(&args[1..]),
@@ -445,6 +459,210 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
              {} executions, {} sink outputs",
             report.phases, report.metrics.executions, report.metrics.sink_outputs
         );
+    }
+    Ok(())
+}
+
+struct SessionsOpts {
+    spec_paths: Vec<String>,
+    threads: Option<usize>,
+    epoch_count: Option<usize>,
+    root: Option<String>,
+    weights: Vec<(String, u32)>,
+    quiet: bool,
+}
+
+fn parse_sessions_opts(args: &[String]) -> Result<SessionsOpts, String> {
+    let mut opts = SessionsOpts {
+        spec_paths: Vec::new(),
+        threads: None,
+        epoch_count: None,
+        root: None,
+        weights: Vec::new(),
+        quiet: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut num = |flag: &str| -> Result<u64, String> {
+            let v = it.next().ok_or(format!("{flag} needs a value"))?;
+            v.parse().map_err(|_| format!("bad {flag} value {v:?}"))
+        };
+        match arg.as_str() {
+            "--threads" => opts.threads = Some(num("--threads")? as usize),
+            "--epoch-count" => opts.epoch_count = Some(num("--epoch-count")? as usize),
+            "--root" => {
+                let v = it.next().ok_or("--root needs a directory")?;
+                opts.root = Some(v.clone());
+            }
+            "--weight" => {
+                let v = it.next().ok_or("--weight needs NAME=W")?;
+                let (name, w) = v
+                    .split_once('=')
+                    .ok_or_else(|| format!("--weight expects NAME=W, got {v:?}"))?;
+                let w: u32 = w.parse().map_err(|_| format!("bad weight in {v:?}"))?;
+                opts.weights.push((name.to_string(), w));
+            }
+            "--quiet" => opts.quiet = true,
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag {other:?}"));
+            }
+            path => opts.spec_paths.push(path.to_string()),
+        }
+    }
+    if opts.spec_paths.is_empty() {
+        return Err(format!("missing spec paths\n{USAGE}"));
+    }
+    Ok(opts)
+}
+
+/// Session name for a spec path: the file stem.
+fn session_name(path: &str) -> String {
+    std::path::Path::new(path)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.to_string())
+}
+
+fn cmd_sessions(args: &[String]) -> Result<(), String> {
+    use event_correlation::runtime::SessionPool;
+    use std::io::BufRead;
+
+    let opts = parse_sessions_opts(args)?;
+    let names: Vec<String> = opts.spec_paths.iter().map(|p| session_name(p)).collect();
+    {
+        let mut sorted = names.clone();
+        sorted.sort();
+        sorted.dedup();
+        if sorted.len() != names.len() {
+            return Err(format!(
+                "session names (spec file stems) must be unique, got {names:?}"
+            ));
+        }
+    }
+    // A --weight for a session that does not exist is almost certainly
+    // a typo; failing beats silently running with the default weight.
+    for (weight_name, _) in &opts.weights {
+        if !names.iter().any(|n| n == weight_name) {
+            return Err(format!(
+                "--weight names unknown session {weight_name:?} (sessions: {names:?})"
+            ));
+        }
+    }
+
+    let mut pool_builder = SessionPool::builder()
+        .threads(opts.threads.unwrap_or(4))
+        .max_sessions(opts.spec_paths.len());
+    if let Some(root) = &opts.root {
+        pool_builder = pool_builder.durable_root(root);
+    }
+    let pool = pool_builder.build();
+
+    let mut sessions = std::collections::HashMap::new();
+    for (path, name) in opts.spec_paths.iter().zip(&names) {
+        let doc = std::fs::read_to_string(path).map_err(|e| format!("reading {path:?}: {e}"))?;
+        let live = event_correlation::spec::load_str_live(&doc)
+            .map_err(|e| format!("loading {path:?}: {e}"))?;
+        let mut builder = StreamRuntimeBuilder::from_correlator(live.builder, live.feeds)
+            .max_inflight(live.settings.max_inflight)
+            .record_history(false)
+            .record_script(false);
+        if let Some(n) = opts.epoch_count {
+            builder = builder.epoch_policy(EpochPolicy::ByCount(n.max(1)));
+        }
+        // Last --weight wins when a name is repeated.
+        if let Some(&(_, w)) = opts.weights.iter().rev().find(|(n, _)| n == name) {
+            builder = builder.pool_weight(w);
+        }
+        let tag = name.clone();
+        builder = builder.subscribe(move |e| {
+            println!("[{tag} phase {}] {} = {}", e.phase, e.name, e.value);
+        });
+        let session = pool
+            .open(name.clone(), builder)
+            .map_err(|e| format!("opening session {name:?}: {e}"))?;
+        if !opts.quiet {
+            eprintln!(
+                "session {name:?} ({path}): live sources {:?}, resuming at phase {}",
+                session.live_source_names(),
+                session.admitted() + 1
+            );
+        }
+        sessions.insert(name.clone(), session);
+    }
+    if !opts.quiet {
+        eprintln!(
+            "serving {} session(s) on {} shared worker(s)",
+            sessions.len(),
+            pool.threads()
+        );
+    }
+
+    let stdin = std::io::stdin();
+    let mut events: u64 = 0;
+    let mut skipped: u64 = 0;
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| format!("reading stdin: {e}"))?;
+        if line.trim().is_empty() {
+            for session in sessions.values() {
+                session.tick().map_err(|e| e.to_string())?;
+            }
+            continue;
+        }
+        let Some((session_name, rest)) = line.split_once(',') else {
+            skipped += 1;
+            eprintln!("warning: expected session,source,value: {line:?}, line dropped");
+            continue;
+        };
+        let Some(session) = sessions.get(session_name.trim()) else {
+            skipped += 1;
+            eprintln!("warning: unknown session {session_name:?}, event dropped");
+            continue;
+        };
+        match parse_event_line(rest) {
+            Ok((source, value)) => match session.handle_by_name(&source) {
+                Ok(handle) => {
+                    // The manual policy's only sealer is this thread:
+                    // flush a full queue here instead of blocking.
+                    if handle.buffered() >= handle.capacity() {
+                        session.flush().map_err(|e| e.to_string())?;
+                    }
+                    handle.push(value).map_err(|e| e.to_string())?;
+                    events += 1;
+                }
+                Err(_) => {
+                    skipped += 1;
+                    eprintln!("warning: unknown source {source:?}, event dropped");
+                }
+            },
+            Err(msg) => {
+                skipped += 1;
+                eprintln!("warning: {msg}, line dropped");
+            }
+        }
+    }
+
+    // Final seal + per-tenant summary rows, then clean shutdown.
+    for session in sessions.values() {
+        session.flush().map_err(|e| e.to_string())?;
+        session.wait_idle().map_err(|e| e.to_string())?;
+    }
+    if !opts.quiet {
+        eprintln!("sessions done: {events} events in, {skipped} dropped");
+        let mut rows = pool.metrics();
+        rows.sort_by(|a, b| a.name.cmp(&b.name));
+        for row in rows {
+            eprintln!(
+                "  {}: {} phases retired, {} events, {} executions, {:.0} ev/s",
+                row.name,
+                row.phases_retired,
+                row.events_committed,
+                row.engine.executions,
+                row.events_per_sec
+            );
+        }
+    }
+    for (_, session) in sessions.drain() {
+        session.close().map_err(|e| e.to_string())?;
     }
     Ok(())
 }

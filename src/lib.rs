@@ -47,7 +47,8 @@ pub mod prelude {
     pub use ec_core::{Engine, EngineError, Module, RunReport, Sequential};
     pub use ec_fusion::prelude::*;
     pub use ec_runtime::{
-        Backpressure, EpochPolicy, SinkEmission, SourceHandle, StreamRuntime, StreamRuntimeBuilder,
+        Backpressure, EpochPolicy, Session, SessionPool, SinkEmission, SourceHandle, StreamRuntime,
+        StreamRuntimeBuilder,
     };
     pub use ec_spec::{load_file, load_str};
 }

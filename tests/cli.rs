@@ -336,3 +336,99 @@ fn recover_errors_without_store() {
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("no write-ahead log"), "{err}");
 }
+
+#[test]
+fn sessions_serve_multiple_specs_on_one_pool() {
+    let a = write_spec("sess_a.xml", LIVE_SPEC);
+    let b = write_spec("sess_b.xml", LIVE_SPEC);
+    // Session names are the file stems (sess_a / sess_b); a blank line
+    // ticks every session.
+    let input = "sess_a,tx,400\nsess_b,tx,10\n\nsess_a,tx,5\nnope,tx,1\nsess_b,oops,2\n";
+    let out = ec_with_stdin(
+        &[
+            "sessions",
+            a.to_str().unwrap(),
+            b.to_str().unwrap(),
+            "--threads",
+            "2",
+        ],
+        input,
+    );
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    // Each tenant's alarms are tagged with its session name and keep
+    // independent phase numbering.
+    assert!(text.contains("[sess_a phase 1] big = true"), "{text}");
+    assert!(text.contains("[sess_b phase 1] big = false"), "{text}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("3 events in, 2 dropped"), "{err}");
+    assert!(err.contains("unknown session \"nope\""), "{err}");
+    assert!(err.contains("unknown source \"oops\""), "{err}");
+    // Per-tenant summary rows (the tick seals each tenant's buffered
+    // event as phase 1; sess_a's second event seals at the final
+    // flush).
+    assert!(err.contains("sess_a: 2 phases retired, 2 events"), "{err}");
+    assert!(err.contains("sess_b: 1 phases retired, 1 events"), "{err}");
+}
+
+#[test]
+fn sessions_with_root_restore_each_tenant() {
+    let a = write_spec("sess_dur_a.xml", LIVE_SPEC);
+    let b = write_spec("sess_dur_b.xml", LIVE_SPEC);
+    let root = std::env::temp_dir().join(format!("ec-cli-sessions-root-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let args = [
+        "sessions",
+        a.to_str().unwrap(),
+        b.to_str().unwrap(),
+        "--root",
+        root.to_str().unwrap(),
+    ];
+    let out = ec_with_stdin(&args, "sess_dur_a,tx,1\nsess_dur_a,tx,2\nsess_dur_b,tx,3\n");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // Second run resumes each tenant at its own committed phase.
+    let out = ec_with_stdin(&args, "sess_dur_b,tx,4\n");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("session \"sess_dur_a\"") && err.contains("resuming at phase 3"),
+        "{err}"
+    );
+    assert!(err.contains("resuming at phase 2"), "{err}");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn sessions_reject_duplicate_names_and_bad_weights() {
+    let a = write_spec("sess_dup.xml", LIVE_SPEC);
+    let out = ec_with_stdin(&["sessions", a.to_str().unwrap(), a.to_str().unwrap()], "");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unique"), "{err}");
+
+    let out = ec_with_stdin(
+        &["sessions", a.to_str().unwrap(), "--weight", "nonsense"],
+        "",
+    );
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("NAME=W"), "{err}");
+
+    // A weight naming no session is a typo, not a no-op.
+    let out = ec_with_stdin(&["sessions", a.to_str().unwrap(), "--weight", "typo=4"], "");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown session \"typo\""), "{err}");
+}
