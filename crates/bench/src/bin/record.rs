@@ -22,12 +22,17 @@
 //! configuration runs one warmup pass and three timed passes; the
 //! median is reported.
 
-use ec_bench::{drive_runtime, drive_sessions, runtime_workload, session_workload, RUNTIME_EPOCH};
+use ec_bench::{
+    drive_runtime, drive_runtime_parallel, drive_sessions, ingest_workload, runtime_workload,
+    session_workload, INGEST_EPOCH, RUNTIME_EPOCH,
+};
 use std::io::Write;
 use std::time::Instant;
 
 const THREADS: [usize; 3] = [1, 4, 8];
 const SESSION_THREADS: [usize; 2] = [4, 8];
+const INGEST_PRODUCERS: [usize; 4] = [1, 2, 4, 8];
+const INGEST_THREADS: usize = 4;
 const SESSION_TENANTS: usize = 8;
 const DEFAULT_EVENTS: u64 = 20_000;
 const TIMED_RUNS: usize = 3;
@@ -66,6 +71,43 @@ fn measure(threads: usize, events: u64) -> f64 {
                         m.critical_nanos / 1_000,
                         m.exec_nanos / 1_000,
                         m.mean_concurrent_phases(),
+                    );
+                }
+                rt.shutdown().expect("clean shutdown");
+                events as f64 / elapsed
+            })
+            .collect(),
+    )
+}
+
+fn measure_ingest(producers: usize, events: u64) -> f64 {
+    {
+        let rt = ingest_workload(INGEST_THREADS, producers);
+        drive_runtime_parallel(&rt, producers, events.min(2_000));
+        rt.shutdown().expect("clean shutdown");
+    }
+    let verbose = std::env::var_os("EC_BENCH_VERBOSE").is_some();
+    median(
+        (0..TIMED_RUNS)
+            .map(|_| {
+                let rt = ingest_workload(INGEST_THREADS, producers);
+                let start = Instant::now();
+                drive_runtime_parallel(&rt, producers, events);
+                let elapsed = start.elapsed().as_secs_f64();
+                if verbose {
+                    let m = rt.metrics();
+                    eprintln!(
+                        "  waits={} seals={} mean_batch={:.1} lock_wait={}us crit={}us \
+                         exec={}us parks={} wakes={} phases={}",
+                        m.ingest_waits,
+                        m.seal_batches,
+                        m.mean_seal_batch(),
+                        m.lock_wait_nanos / 1_000,
+                        m.critical_nanos / 1_000,
+                        m.exec_nanos / 1_000,
+                        m.parks,
+                        m.wakes,
+                        m.phases_started,
                     );
                 }
                 rt.shutdown().expect("clean shutdown");
@@ -153,6 +195,15 @@ fn main() {
             "      {{\"threads\": {threads}, \"events_per_sec\": {rate:.1}}}"
         ));
     }
+    let mut ingest = Vec::new();
+    for &producers in &INGEST_PRODUCERS {
+        let rate = measure_ingest(producers, events);
+        eprintln!("ingest: producers={producers} threads={INGEST_THREADS}: {rate:.0} events/s");
+        ingest.push(format!(
+            "      {{\"producers\": {producers}, \"threads\": {INGEST_THREADS}, \
+             \"events_per_sec\": {rate:.1}}}"
+        ));
+    }
     let mut sessions = Vec::new();
     for &threads in &SESSION_THREADS {
         let rate = measure_sessions(threads, SESSION_TENANTS, events);
@@ -167,9 +218,12 @@ fn main() {
 
     let entry = format!(
         "  {{\n    \"bench\": \"runtime_throughput\",\n    \"events\": {events},\n    \
-         \"epoch\": {RUNTIME_EPOCH},\n    \"timed_runs\": {TIMED_RUNS},\n    \
-         \"results\": [\n{}\n    ],\n    \"sessions\": [\n{}\n    ]\n  }}",
+         \"epoch\": {RUNTIME_EPOCH},\n    \"ingest_epoch\": {INGEST_EPOCH},\n    \
+         \"timed_runs\": {TIMED_RUNS},\n    \
+         \"results\": [\n{}\n    ],\n    \"ingest\": [\n{}\n    ],\n    \
+         \"sessions\": [\n{}\n    ]\n  }}",
         results.join(",\n"),
+        ingest.join(",\n"),
         sessions.join(",\n")
     );
     append_entry(&out_path, &entry).expect("write output");

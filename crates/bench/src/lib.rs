@@ -133,6 +133,51 @@ pub fn drive_runtime(rt: &ec_runtime::StreamRuntime, events: u64) {
     rt.wait_idle().expect("completes");
 }
 
+/// Events buffered per producer before the epoch seals in the
+/// multi-producer ingest workload.
+pub const INGEST_EPOCH: usize = 8;
+
+/// The multi-producer ingest workload: `producers` live sources feeding
+/// one aggregation spine, one source per producer thread — the front-end
+/// contention case. Epochs seal every [`INGEST_EPOCH`] events per
+/// producer, so phase granularity stays constant as producers scale.
+pub fn ingest_workload(threads: usize, producers: usize) -> ec_runtime::StreamRuntime {
+    use ec_fusion::operators::moving::MovingAverage;
+    use ec_fusion::operators::threshold::Threshold;
+    let mut b = ec_runtime::StreamRuntime::builder()
+        .threads(threads)
+        .epoch_policy(ec_runtime::EpochPolicy::ByCount(INGEST_EPOCH * producers))
+        .record_history(false)
+        .record_script(false)
+        .max_inflight(64);
+    let sources: Vec<_> = (0..producers)
+        .map(|p| b.live_source(format!("p{p}")))
+        .collect();
+    let sum = b.add("sum", Aggregate::sum(), &sources);
+    let avg = b.add("avg", MovingAverage::new(8), &[sum]);
+    let _alarm = b.add("alarm", Threshold::above(900.0), &[avg]);
+    b.build().expect("runtime builds")
+}
+
+/// Drives [`ingest_workload`] with one thread per producer, each
+/// pushing `events / producers` events into its own source, then seals
+/// the remainder and waits for every phase to complete.
+pub fn drive_runtime_parallel(rt: &ec_runtime::StreamRuntime, producers: usize, events: u64) {
+    let per_producer = events / producers as u64;
+    std::thread::scope(|scope| {
+        for p in 0..producers {
+            let handle = rt.handle_by_name(&format!("p{p}")).unwrap();
+            scope.spawn(move || {
+                for i in 0..per_producer {
+                    handle.push((i % 1000) as f64).expect("push accepted");
+                }
+            });
+        }
+    });
+    rt.flush().expect("flush");
+    rt.wait_idle().expect("completes");
+}
+
 /// The multi-tenant workload: `tenants` copies of the
 /// [`runtime_workload`] graph opened as sessions on one shared
 /// [`SessionPool`](ec_runtime::SessionPool) with `threads` workers.
@@ -201,6 +246,20 @@ mod tests {
         assert_eq!(m.phases_completed, 5);
         let m = run_engine(&dag, sparse_modules(&dag, 0.5, 0), 2, 20);
         assert_eq!(m.phases_completed, 20);
+    }
+
+    #[test]
+    fn ingest_workload_runs() {
+        let rt = ingest_workload(2, 4);
+        drive_runtime_parallel(&rt, 4, 400);
+        assert_eq!(rt.events_committed(), 400);
+        let m = rt.metrics();
+        assert_eq!(m.ingest_depths.len(), 4);
+        assert_eq!(m.ingest_depths.iter().sum::<u64>(), 0, "all drained");
+        assert!(m.seal_batches > 0);
+        assert_eq!(m.seal_events, 400);
+        assert!(m.mean_seal_batch() > 0.0);
+        rt.shutdown().unwrap();
     }
 
     #[test]

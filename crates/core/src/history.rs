@@ -158,14 +158,30 @@ impl ExecutionHistory {
             .enumerate()
         {
             let vertex = VertexId(vi as u32);
-            if a.len() != b.len() {
+            // Compare the *observable* records: every emission, in
+            // order, at matching phases. Silent executions are the
+            // absence of information — the paper's optimisation — and
+            // schedules are free to elide provably silent executions
+            // altogether (silence-aware admission skips live-source
+            // polls whose staged bin is `None`), so a silent record on
+            // one side with no counterpart on the other is not a
+            // divergence.
+            fn observable(
+                records: &[(Phase, RecordedEmission)],
+            ) -> impl Iterator<Item = &(Phase, RecordedEmission)> {
+                records
+                    .iter()
+                    .filter(|(_, e)| !matches!(e, RecordedEmission::Silent))
+            }
+            let count = |records| observable(records).count();
+            if count(a) != count(b) {
                 return Err(Divergence::ExecutionCount {
                     vertex,
-                    left: a.len(),
-                    right: b.len(),
+                    left: count(a),
+                    right: count(b),
                 });
             }
-            for (i, ((pa, ea), (pb, eb))) in a.iter().zip(b.iter()).enumerate() {
+            for (i, ((pa, ea), (pb, eb))) in observable(a).zip(observable(b)).enumerate() {
                 if pa != pb || !ea.same_as(eb) {
                     return Err(Divergence::Record {
                         vertex,
@@ -270,9 +286,27 @@ mod tests {
     fn detects_missing_execution() {
         let a = h1();
         let mut b = h1();
-        b.record(VertexId(1), Phase(2), RecordedEmission::Silent);
+        // An extra *observable* record is a divergence...
+        b.record(
+            VertexId(1),
+            Phase(2),
+            RecordedEmission::Broadcast(Value::Int(5)),
+        );
         let err = a.equivalent(&b).unwrap_err();
         assert!(matches!(err, Divergence::ExecutionCount { vertex, .. } if vertex == VertexId(1)));
+    }
+
+    #[test]
+    fn silent_executions_are_not_observable() {
+        // ...but an extra silent execution is not: silence carries its
+        // information by absence, and silence-aware admission elides
+        // provably silent executions entirely, so equivalence compares
+        // only the observable records.
+        let a = h1();
+        let mut b = h1();
+        b.record(VertexId(1), Phase(2), RecordedEmission::Silent);
+        assert_eq!(a.equivalent(&b), Ok(()));
+        assert_eq!(b.equivalent(&a), Ok(()));
     }
 
     #[test]

@@ -153,6 +153,38 @@ impl LiveEngine {
     /// least one. Sources must have input staged for *every* started
     /// phase before the call.
     pub fn admit_batch(&self, limit: u64) -> Result<u64, EngineError> {
+        self.admit_batch_inner(limit, None)
+    }
+
+    /// [`admit_batch`](Self::admit_batch) with silence-aware admission:
+    /// for each started phase, `is_silent(offset, source)` is consulted
+    /// for every source vertex (`offset` counts phases within this
+    /// batch, from 0) and sources reported silent are not scheduled at
+    /// all — no task, no poll, no execution.
+    ///
+    /// Soundness is the *caller's* contract: a source may only be
+    /// reported silent when its execution would provably be a no-op —
+    /// poll `None`, emit nothing, mutate nothing. The streaming runtime
+    /// can promise this for its live feeds because it staged their bins
+    /// and knows exactly which phases are silent; scripted sources
+    /// (whose poll advances generator state) must never be skipped.
+    /// Downstream vertices are unaffected: they are scheduled by
+    /// message arrival, and a skipped execution would have sent none.
+    /// A phase whose every source is silent completes without any
+    /// execution.
+    pub fn admit_batch_sparse(
+        &self,
+        limit: u64,
+        mut is_silent: impl FnMut(u64, ec_graph::VertexId) -> bool,
+    ) -> Result<u64, EngineError> {
+        self.admit_batch_inner(limit, Some(&mut is_silent))
+    }
+
+    fn admit_batch_inner(
+        &self,
+        limit: u64,
+        mut is_silent: Option<&mut dyn FnMut(u64, ec_graph::VertexId) -> bool>,
+    ) -> Result<u64, EngineError> {
         if limit == 0 {
             return Ok(0);
         }
@@ -172,8 +204,18 @@ impl LiveEngine {
         let headroom = self.max_inflight - st.inflight();
         let batch = limit.min(headroom).max(1);
         let mut transition = Transition::default();
-        for _ in 0..batch {
-            st.start_phase(&mut transition);
+        for offset in 0..batch {
+            match is_silent.as_mut() {
+                Some(is_silent) => {
+                    let numbering = &self.shared.numbering;
+                    st.start_phase_filtered(&mut transition, |s| {
+                        !is_silent(offset, numbering.vertex_at(s))
+                    });
+                }
+                None => {
+                    st.start_phase(&mut transition);
+                }
+            }
             if self.shared.check_invariants {
                 if let Err(msg) = st.check_invariants() {
                     drop(st);
@@ -184,8 +226,18 @@ impl LiveEngine {
             }
         }
         drop(st);
+        // All-silent phases complete at admission (no worker will ever
+        // touch them): publish that progress exactly as a worker would.
+        let completed = transition.phases_completed;
         self.shared.enqueue_all(&mut transition, None);
         self.shared.metrics.phases_started.fetch_add(batch, Relaxed);
+        if completed > 0 {
+            self.shared
+                .metrics
+                .phases_completed
+                .fetch_add(completed, Relaxed);
+            self.shared.notify_progress();
+        }
         Ok(batch)
     }
 
@@ -589,6 +641,113 @@ mod tests {
         let first = live.admit_batch(10).unwrap();
         assert!((1..=3).contains(&first), "batch of {first}");
         live.wait_idle().unwrap();
+        live.shutdown().unwrap();
+    }
+
+    #[test]
+    fn admit_batch_sparse_skips_silent_sources() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+
+        /// Counts its polls — executions are exactly polls for sources.
+        struct CountingSource(Arc<AtomicU64>, i64);
+        impl ec_events::EventSource for CountingSource {
+            fn poll(&mut self, _phase: Phase) -> Option<Value> {
+                self.0.fetch_add(1, Ordering::Relaxed);
+                Some(Value::Int(self.1))
+            }
+            fn kind(&self) -> &'static str {
+                "counting"
+            }
+        }
+
+        // Two sources; source B is declared silent on odd offsets. Its
+        // module must only be polled on even ones.
+        let polls_a = Arc::new(AtomicU64::new(0));
+        let polls_b = Arc::new(AtomicU64::new(0));
+        let dag = {
+            let mut d = ec_graph::Dag::new();
+            let a = d.add_vertex("a");
+            let b = d.add_vertex("b");
+            let sink = d.add_vertex("sink");
+            d.add_edge(a, sink).unwrap();
+            d.add_edge(b, sink).unwrap();
+            d
+        };
+        let modules: Vec<Box<dyn Module>> = vec![
+            Box::new(SourceModule::new(CountingSource(Arc::clone(&polls_a), 1))),
+            Box::new(SourceModule::new(CountingSource(Arc::clone(&polls_b), 2))),
+            Box::new(PassThrough),
+        ];
+        let live = Engine::builder(dag, modules)
+            .threads(2)
+            .check_invariants(true)
+            .build()
+            .unwrap()
+            .into_live();
+        let b_vertex = live.numbering().vertex_at(2);
+        let started = live
+            .admit_batch_sparse(6, |offset, vertex| vertex == b_vertex && offset % 2 == 1)
+            .unwrap();
+        assert_eq!(started, 6);
+        live.wait_idle().unwrap();
+        live.shutdown().unwrap();
+        assert_eq!(polls_a.load(Ordering::Relaxed), 6);
+        assert_eq!(polls_b.load(Ordering::Relaxed), 3, "silent phases polled");
+    }
+
+    #[test]
+    fn all_silent_phases_complete_without_executions() {
+        let live = live_chain(3, 2);
+        // Every source silent in every phase: nothing is scheduled, yet
+        // the phases are admitted, complete immediately, and ordinary
+        // phases continue after them with numbering intact.
+        let started = live.admit_batch_sparse(4, |_, _| true).unwrap();
+        assert_eq!(started, 4);
+        assert_eq!(live.wait_idle().unwrap(), 4);
+        assert_eq!(live.completed_through(), 4);
+        assert_eq!(live.admit().unwrap(), 5);
+        live.wait_idle().unwrap();
+        let report = live.shutdown().unwrap();
+        assert_eq!(report.phases, 5);
+        // The dense phase executed the whole chain; the silent ones
+        // executed nothing.
+        assert_eq!(report.metrics.executions, 3);
+    }
+
+    #[test]
+    fn sparse_and_dense_admission_interleave_with_inflight_predecessors() {
+        use crate::module::{Emission, ExecCtx, FnModule};
+        use std::sync::mpsc;
+
+        // Phase 1 blocks in the sink; an all-silent phase 2 and a dense
+        // phase 3 are admitted behind it. Nothing may complete until
+        // phase 1 releases; then all three must retire in order.
+        let dag = generators::chain(2);
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let gate = std::sync::Mutex::new(release_rx);
+        let modules: Vec<Box<dyn Module>> = vec![
+            Box::new(SourceModule::new(Counter::new())),
+            Box::new(FnModule::new("gated", move |ctx: ExecCtx<'_>| {
+                if ctx.phase == Phase(1) {
+                    gate.lock().unwrap().recv().unwrap();
+                }
+                Emission::Silent
+            })),
+        ];
+        let live = Engine::builder(dag, modules)
+            .threads(2)
+            .check_invariants(true)
+            .build()
+            .unwrap()
+            .into_live();
+        live.admit().unwrap();
+        live.admit_batch_sparse(1, |_, _| true).unwrap();
+        live.admit().unwrap();
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(live.completed_through(), 0, "silent phase retired early");
+        release_tx.send(()).unwrap();
+        assert_eq!(live.wait_idle().unwrap(), 3);
         live.shutdown().unwrap();
     }
 

@@ -85,6 +85,10 @@ impl Metrics {
             wakes: 0,
             worker_queue_depths: Vec::new(),
             injector_depth: 0,
+            ingest_depths: Vec::new(),
+            ingest_waits: 0,
+            seal_batches: 0,
+            seal_events: 0,
         }
     }
 }
@@ -132,6 +136,19 @@ pub struct MetricsSnapshot {
     /// Shared-injector depth at snapshot time (racy; observability
     /// only).
     pub injector_depth: u64,
+    /// Per-source ingest buffer depths at snapshot time (streaming
+    /// runtime only; racy; observability only).
+    pub ingest_depths: Vec<u64>,
+    /// Producer-side ingest contention: pushes that found their
+    /// source's buffer full and had to block, retry, or force a seal
+    /// (streaming runtime only).
+    pub ingest_waits: u64,
+    /// Epoch seals that committed at least one phase (streaming
+    /// runtime only).
+    pub seal_batches: u64,
+    /// Events drained by those seals; `seal_events / seal_batches` is
+    /// the mean drain batch size (streaming runtime only).
+    pub seal_events: u64,
 }
 
 impl MetricsSnapshot {
@@ -151,6 +168,15 @@ impl MetricsSnapshot {
             0.0
         } else {
             self.silent_executions as f64 / self.executions as f64
+        }
+    }
+
+    /// Mean events drained per epoch seal (streaming runtime only).
+    pub fn mean_seal_batch(&self) -> f64 {
+        if self.seal_batches == 0 {
+            0.0
+        } else {
+            self.seal_events as f64 / self.seal_batches as f64
         }
     }
 

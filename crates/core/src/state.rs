@@ -336,6 +336,29 @@ impl SchedState {
     /// for every source into the full set, promotes newly ready pairs
     /// into `out`, and advances `next`. Returns the phase number.
     pub fn start_phase(&mut self, out: &mut Transition) -> u64 {
+        self.start_phase_filtered(out, |_| true)
+    }
+
+    /// Like [`start_phase`](Self::start_phase), but inserts only the
+    /// sources for which `active` returns true — silence-aware
+    /// admission. The caller asserts that every skipped source's
+    /// execution would be a guaranteed no-op this phase (poll `None`,
+    /// emit nothing, change no state); the streaming runtime knows this
+    /// for its live sources because *it* staged their bins. The paper's
+    /// "information in the absence of messages" applied one level up:
+    /// a provably silent execution need not be scheduled at all.
+    ///
+    /// The frontier `x_p` is set to its definitional value over the
+    /// inserted set, so invariants hold with gaps below `m(0)`; a phase
+    /// whose active set is empty completes as soon as its predecessors
+    /// have (immediately, if they already did — `out.phases_completed`
+    /// reports it, and the caller must publish that progress exactly as
+    /// workers do).
+    pub fn start_phase_filtered(
+        &mut self,
+        out: &mut Transition,
+        mut active: impl FnMut(Idx) -> bool,
+    ) -> u64 {
         let p = self.next;
         self.pmax = p;
         self.next += 1;
@@ -352,9 +375,28 @@ impl SchedState {
         self.ring.push_back(st);
         // Sources are always schedule indices 1..=m(0).
         for s in 1..=self.m[0] {
+            if !active(s) {
+                continue;
+            }
             self.ph_mut(p).full.insert(s);
             vf_insert(&mut self.vertex_full[s as usize], p);
             self.try_promote(s, &mut out.tasks);
+        }
+        // x_p by definition (§3.1.2) over the inserted set. With every
+        // source inserted the minimum active index is 1 and this is the
+        // usual 0; with gaps it may start higher, and with an empty
+        // active set the phase is already past every vertex — complete
+        // it now if its predecessors have completed, because no
+        // execution will ever visit it.
+        let bound = self.x_of(p - 1);
+        let n = self.n;
+        let ph = self.ph_mut(p);
+        ph.x = match ph.min_active() {
+            None => n.min(bound),
+            Some(mn) => (mn - 1).min(bound),
+        };
+        if ph.x == n {
+            self.advance_completed(out);
         }
         self.trace_step(TraceEvent::PhaseStarted(p));
         p
@@ -452,6 +494,21 @@ impl SchedState {
         self.try_promote(v, &mut out.tasks);
 
         // Advance the completed frontier and recycle finished phases.
+        self.advance_completed(out);
+
+        self.trace_step(TraceEvent::Executed {
+            vertex: v,
+            phase: p,
+            emitted,
+        });
+    }
+
+    /// Pops every leading phase whose frontier has reached `N` off the
+    /// active ring, recycling its state and counting it in
+    /// `out.phases_completed` — the commit half shared by
+    /// [`finish_execution`](Self::finish_execution) and the zero-active
+    /// path of [`start_phase_filtered`](Self::start_phase_filtered).
+    fn advance_completed(&mut self, out: &mut Transition) {
         while let Some(front) = self.ring.front() {
             if front.x == self.n {
                 debug_assert!(front.partial.is_empty() && front.full.is_empty());
@@ -468,12 +525,6 @@ impl SchedState {
                 break;
             }
         }
-
-        self.trace_step(TraceEvent::Executed {
-            vertex: v,
-            phase: p,
-            emitted,
-        });
     }
 
     /// Records one trace step (no-op unless tracing is enabled).

@@ -1,0 +1,201 @@
+//! Pooled, shared per-source epoch columns.
+//!
+//! When the streaming runtime seals an epoch, each live source's
+//! buffered events become one *column*: bin `r` is the source's value
+//! in the `r`-th phase of the epoch (`None` = silent). The column is
+//! frozen behind an [`Arc`] and handed simultaneously to the WAL
+//! encoder, the engine's [`LiveFeed`](crate::LiveFeed) and the
+//! committed script — one allocation shared by every consumer instead
+//! of a clone per destination.
+//!
+//! [`ColumnPool`] closes the loop: it remembers the columns it issued
+//! and, once every consumer has dropped its handle, reclaims the
+//! backing buffer for the next epoch. In steady state (script recording
+//! off, feeds draining promptly) sealing allocates nothing.
+
+use crate::value::Value;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// One source's bins for one sealed epoch, in phase order.
+///
+/// Immutable once built (consumers share it behind an [`Arc`]);
+/// dereferences to the bin slice.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PhaseColumn {
+    bins: Vec<Option<Value>>,
+}
+
+impl PhaseColumn {
+    /// Wraps a bin vector as a frozen column.
+    pub fn from_bins(bins: Vec<Option<Value>>) -> PhaseColumn {
+        PhaseColumn { bins }
+    }
+
+    /// The bins, in phase order.
+    pub fn bins(&self) -> &[Option<Value>] {
+        &self.bins
+    }
+
+    /// Unwraps the backing vector (pool reclamation).
+    pub fn into_bins(self) -> Vec<Option<Value>> {
+        self.bins
+    }
+}
+
+impl Deref for PhaseColumn {
+    type Target = [Option<Value>];
+
+    fn deref(&self) -> &[Option<Value>] {
+        &self.bins
+    }
+}
+
+impl From<Vec<Option<Value>>> for PhaseColumn {
+    fn from(bins: Vec<Option<Value>>) -> PhaseColumn {
+        PhaseColumn::from_bins(bins)
+    }
+}
+
+/// Recycler for column storage.
+///
+/// [`checkout`](ColumnPool::checkout) hands out an empty bin vector
+/// (reusing a reclaimed buffer's capacity when one is available);
+/// [`seal`](ColumnPool::seal) freezes a filled vector into a shared
+/// [`Arc<PhaseColumn>`] and remembers it; on later calls the pool scans
+/// its remembered columns and reclaims any whose every other holder has
+/// dropped. Both lists are bounded, so a consumer that retains columns
+/// forever (e.g. a recorded script) degrades to plain allocation, never
+/// to unbounded pool growth.
+#[derive(Debug, Default)]
+pub struct ColumnPool {
+    /// Empty buffers ready to hand out.
+    spares: Vec<Vec<Option<Value>>>,
+    /// Issued columns not yet reclaimed.
+    pending: Vec<Arc<PhaseColumn>>,
+}
+
+/// Bound on buffers kept ready (beyond it, reclaimed buffers are
+/// dropped).
+const MAX_SPARES: usize = 64;
+/// Bound on issued columns tracked for reclamation (beyond it, the
+/// oldest are forgotten and simply freed by their last consumer).
+const MAX_PENDING: usize = 256;
+
+impl ColumnPool {
+    /// New empty pool.
+    pub fn new() -> ColumnPool {
+        ColumnPool::default()
+    }
+
+    /// An empty bin vector, recycled when possible.
+    pub fn checkout(&mut self) -> Vec<Option<Value>> {
+        self.reclaim();
+        self.spares.pop().unwrap_or_default()
+    }
+
+    /// Returns an unused buffer (e.g. from an epoch that sealed zero
+    /// phases) to the spare list.
+    pub fn give_back(&mut self, mut bins: Vec<Option<Value>>) {
+        bins.clear();
+        if self.spares.len() < MAX_SPARES {
+            self.spares.push(bins);
+        }
+    }
+
+    /// Freezes a filled bin vector into a shared column, tracked for
+    /// reclamation once every consumer drops it.
+    pub fn seal(&mut self, bins: Vec<Option<Value>>) -> Arc<PhaseColumn> {
+        let col = Arc::new(PhaseColumn::from_bins(bins));
+        if self.pending.len() >= MAX_PENDING {
+            // A consumer is retaining columns (recorded script, slow
+            // feed): stop tracking the oldest — their last holder frees
+            // them normally.
+            self.pending.drain(..MAX_PENDING / 2);
+        }
+        self.pending.push(Arc::clone(&col));
+        col
+    }
+
+    /// Moves every fully released column's buffer back to the spare
+    /// list.
+    fn reclaim(&mut self) {
+        let mut i = 0;
+        while i < self.pending.len() {
+            if Arc::strong_count(&self.pending[i]) == 1 {
+                let col = self.pending.swap_remove(i);
+                // The count can only drop while we hold the last
+                // handle, so the unwrap cannot race.
+                let col = Arc::try_unwrap(col).unwrap_or_default();
+                self.give_back(col.into_bins());
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Issued columns still live somewhere (observability/tests).
+    pub fn outstanding(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Buffers ready for reuse (observability/tests).
+    pub fn spare_count(&self) -> usize {
+        self.spares.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn column_wraps_and_derefs() {
+        let col = PhaseColumn::from_bins(vec![Some(Value::Int(1)), None]);
+        assert_eq!(col.len(), 2);
+        assert_eq!(col[0], Some(Value::Int(1)));
+        assert_eq!(col.bins()[1], None);
+        assert_eq!(col.clone().into_bins().len(), 2);
+    }
+
+    #[test]
+    fn pool_recycles_released_columns() {
+        let mut pool = ColumnPool::new();
+        let mut bins = pool.checkout();
+        bins.reserve(128);
+        let ptr = bins.as_ptr() as usize;
+        let col = pool.seal(bins);
+        assert_eq!(pool.outstanding(), 1);
+        // Still held: the next checkout cannot reclaim it.
+        let other = pool.checkout();
+        assert_ne!(other.as_ptr() as usize, ptr);
+        pool.give_back(other);
+        drop(col);
+        // Released: the buffer (and its capacity) comes back.
+        let reused = pool.checkout();
+        assert_eq!(reused.as_ptr() as usize, ptr);
+        assert!(reused.is_empty());
+        assert!(reused.capacity() >= 128);
+        assert_eq!(pool.outstanding(), 0);
+    }
+
+    #[test]
+    fn retained_columns_never_grow_the_pool_unboundedly() {
+        let mut pool = ColumnPool::new();
+        let kept: Vec<_> = (0..2 * MAX_PENDING)
+            .map(|i| pool.seal(vec![Some(Value::Int(i as i64))]))
+            .collect();
+        assert!(pool.outstanding() <= MAX_PENDING);
+        drop(kept);
+        pool.reclaim();
+        assert!(pool.spare_count() <= MAX_SPARES);
+    }
+
+    #[test]
+    fn give_back_clears_and_bounds() {
+        let mut pool = ColumnPool::new();
+        pool.give_back(vec![Some(Value::Int(9))]);
+        let b = pool.checkout();
+        assert!(b.is_empty());
+    }
+}

@@ -21,9 +21,13 @@
 //!   model.
 //! * [`snapshot`] — the [`StateSnapshot`] capability and byte codec
 //!   behind checkpoint/restore (`ec-store`).
+//! * [`column`] — pooled, `Arc`-shared per-source epoch columns: the
+//!   zero-copy unit the streaming runtime seals and fans out to the
+//!   WAL, the live feeds and the committed script.
 
 #![warn(missing_docs)]
 
+pub mod column;
 pub mod csv;
 pub mod event;
 pub mod live;
@@ -36,6 +40,7 @@ pub mod timestamp;
 pub mod value;
 pub mod window;
 
+pub use column::{ColumnPool, PhaseColumn};
 pub use event::Event;
 pub use live::{FeedWriter, LiveFeed};
 pub use phase::Phase;

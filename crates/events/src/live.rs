@@ -13,7 +13,14 @@
 //! deterministic after the fact: the sequence of bins *is* the
 //! materialized phase script, and replaying it through
 //! [`Replay`](crate::sources::Replay) reproduces the run exactly.
+//!
+//! Bins arrive as shared [`PhaseColumn`] segments — a whole sealed
+//! epoch staged in one O(1) handoff
+//! ([`stage_column`](FeedWriter::stage_column)) — with a cursor walking
+//! each segment bin by bin. [`stage`](FeedWriter::stage) wraps a single
+//! bin as a one-phase column for tests and manual drivers.
 
+use crate::column::PhaseColumn;
 use crate::phase::Phase;
 use crate::snapshot::{SnapshotError, StateReader, StateSnapshot, StateWriter};
 use crate::sources::EventSource;
@@ -21,16 +28,52 @@ use crate::value::Value;
 use std::collections::VecDeque;
 use std::sync::{Arc, Mutex, PoisonError};
 
+/// One staged epoch: a shared column plus the consumption cursor.
+#[derive(Debug)]
+struct Segment {
+    col: Arc<PhaseColumn>,
+    next: usize,
+    /// Sparse segments serve only their `Some` bins: silent phases are
+    /// never polled (the runtime skipped them at admission), so the
+    /// cursor steps over `None`s instead of yielding them.
+    sparse: bool,
+}
+
+impl Segment {
+    /// Bins this segment will still yield to polls.
+    fn remaining(&self) -> usize {
+        if self.sparse {
+            self.col[self.next..].iter().filter(|b| b.is_some()).count()
+        } else {
+            self.col.len() - self.next
+        }
+    }
+}
+
 /// Shared bin queue between a [`LiveFeed`] and its [`FeedWriter`].
 #[derive(Debug, Default)]
 struct FeedQueue {
-    bins: VecDeque<Option<Value>>,
-    /// Bins ever pushed (for diagnostics).
+    segments: VecDeque<Segment>,
+    /// Bins ever staged (for diagnostics).
     pushed: u64,
     /// Polls that found no staged bin (should stay 0 under a correctly
     /// sequenced runtime; counted instead of panicking so a misuse is
     /// observable without bringing the engine down).
     underruns: u64,
+}
+
+impl FeedQueue {
+    fn staged(&self) -> usize {
+        self.segments.iter().map(Segment::remaining).sum()
+    }
+
+    fn remaining_bins(&self) -> impl Iterator<Item = &Option<Value>> {
+        self.segments.iter().flat_map(|s| {
+            s.col[s.next..]
+                .iter()
+                .filter(move |b| !s.sparse || b.is_some())
+        })
+    }
 }
 
 /// An [`EventSource`] whose per-phase values are staged at runtime.
@@ -59,12 +102,30 @@ impl LiveFeed {
 impl EventSource for LiveFeed {
     fn poll(&mut self, _phase: Phase) -> Option<Value> {
         let mut q = self.queue.lock().unwrap_or_else(PoisonError::into_inner);
-        match q.bins.pop_front() {
-            Some(bin) => bin,
-            None => {
+        loop {
+            let Some(seg) = q.segments.front_mut() else {
                 q.underruns += 1;
-                None
+                return None;
+            };
+            if seg.sparse {
+                // Silent phases were never admitted for this source:
+                // this poll belongs to the next value-bearing phase.
+                while seg.next < seg.col.len() && seg.col[seg.next].is_none() {
+                    seg.next += 1;
+                }
             }
+            if seg.next == seg.col.len() {
+                // Exhausted segment: dropping the Arc here is what lets
+                // the runtime's column pool reclaim the buffer.
+                q.segments.pop_front();
+                continue;
+            }
+            let bin = seg.col[seg.next].clone();
+            seg.next += 1;
+            if seg.next == seg.col.len() {
+                q.segments.pop_front();
+            }
+            return bin;
         }
     }
 
@@ -81,8 +142,8 @@ impl EventSource for LiveFeed {
         let mut w = StateWriter::new();
         w.put_u64(q.pushed);
         w.put_u64(q.underruns);
-        w.put_u32(q.bins.len() as u32);
-        for bin in &q.bins {
+        w.put_u32(q.staged() as u32);
+        for bin in q.remaining_bins() {
             w.put_opt_value(bin);
         }
         StateSnapshot::from_writer(w)
@@ -93,15 +154,22 @@ impl EventSource for LiveFeed {
         let pushed = r.get_u64()?;
         let underruns = r.get_u64()?;
         let n = r.get_u32()? as usize;
-        let mut bins = VecDeque::with_capacity(n);
+        let mut bins = Vec::with_capacity(n);
         for _ in 0..n {
-            bins.push_back(r.get_opt_value()?);
+            bins.push(r.get_opt_value()?);
         }
         r.finish()?;
         let mut q = self.queue.lock().unwrap_or_else(PoisonError::into_inner);
         q.pushed = pushed;
         q.underruns = underruns;
-        q.bins = bins;
+        q.segments.clear();
+        if !bins.is_empty() {
+            q.segments.push_back(Segment {
+                col: Arc::new(PhaseColumn::from_bins(bins)),
+                next: 0,
+                sparse: false,
+            });
+        }
         Ok(())
     }
 }
@@ -118,9 +186,41 @@ impl FeedWriter {
     /// Stages the bin for the next not-yet-staged phase: `Some(v)` for
     /// a value, `None` for a silent phase.
     pub fn stage(&self, bin: Option<Value>) {
+        self.stage_column(Arc::new(PhaseColumn::from_bins(vec![bin])));
+    }
+
+    /// Stages a whole sealed epoch at once: bin `r` of the column is
+    /// this source's value for the epoch's `r`-th phase. O(1) — the
+    /// column is shared, not copied. Empty columns are ignored.
+    pub fn stage_column(&self, col: Arc<PhaseColumn>) {
+        self.push_segment(col, false);
+    }
+
+    /// Like [`stage_column`](Self::stage_column), for a feed whose
+    /// silent phases are skipped at admission (silence-aware admission):
+    /// only the column's `Some` bins will ever be polled, one per
+    /// value-bearing phase, in order. Columns with no values stage
+    /// nothing.
+    pub fn stage_column_sparse(&self, col: Arc<PhaseColumn>) {
+        self.push_segment(col, true);
+    }
+
+    fn push_segment(&self, col: Arc<PhaseColumn>, sparse: bool) {
+        let polls = if sparse {
+            col.iter().filter(|b| b.is_some()).count()
+        } else {
+            col.len()
+        };
+        if polls == 0 {
+            return;
+        }
         let mut q = self.queue.lock().unwrap_or_else(PoisonError::into_inner);
-        q.bins.push_back(bin);
-        q.pushed += 1;
+        q.pushed += polls as u64;
+        q.segments.push_back(Segment {
+            col,
+            next: 0,
+            sparse,
+        });
     }
 
     /// Bins staged but not yet consumed by the engine.
@@ -128,8 +228,7 @@ impl FeedWriter {
         self.queue
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
-            .bins
-            .len()
+            .staged()
     }
 
     /// Polls that found no staged bin (0 under correct sequencing).
@@ -160,6 +259,81 @@ mod tests {
     }
 
     #[test]
+    fn staged_columns_interleave_with_single_bins() {
+        let (mut feed, writer) = LiveFeed::channel();
+        writer.stage_column(Arc::new(PhaseColumn::from_bins(vec![
+            Some(Value::Int(1)),
+            None,
+            Some(Value::Int(3)),
+        ])));
+        writer.stage(Some(Value::Int(4)));
+        writer.stage_column(Arc::new(PhaseColumn::from_bins(Vec::new()))); // ignored
+        assert_eq!(writer.staged(), 4);
+        let polled: Vec<_> = (1..=4).map(|p| feed.poll(Phase(p))).collect();
+        assert_eq!(
+            polled,
+            vec![
+                Some(Value::Int(1)),
+                None,
+                Some(Value::Int(3)),
+                Some(Value::Int(4))
+            ]
+        );
+        assert_eq!(writer.staged(), 0);
+        assert_eq!(writer.underruns(), 0);
+    }
+
+    #[test]
+    fn column_sharing_does_not_copy_payloads() {
+        // The staged column and the polled value share one text
+        // allocation: fan-out is pointer-counted, not copied.
+        let (mut feed, writer) = LiveFeed::channel();
+        let text: Arc<str> = Arc::from("shared");
+        let col = Arc::new(PhaseColumn::from_bins(vec![Some(Value::Text(Arc::clone(
+            &text,
+        )))]));
+        writer.stage_column(Arc::clone(&col));
+        let polled = feed.poll(Phase(1)).unwrap();
+        match (&polled, &col[0]) {
+            (Value::Text(a), Some(Value::Text(b))) => assert!(Arc::ptr_eq(a, b)),
+            other => panic!("unexpected bins: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sparse_columns_serve_only_their_values() {
+        let (mut feed, writer) = LiveFeed::channel();
+        writer.stage_column_sparse(Arc::new(PhaseColumn::from_bins(vec![
+            None,
+            Some(Value::Int(1)),
+            None,
+            Some(Value::Int(2)),
+        ])));
+        writer.stage_column_sparse(Arc::new(PhaseColumn::from_bins(vec![None, None]))); // no-op
+        writer.stage_column_sparse(Arc::new(PhaseColumn::from_bins(vec![Some(Value::Int(3))])));
+        assert_eq!(writer.staged(), 3);
+        // Only the value-bearing phases are polled under silence-aware
+        // admission; the silent bins are stepped over.
+        assert_eq!(feed.poll(Phase(2)), Some(Value::Int(1)));
+        assert_eq!(feed.poll(Phase(4)), Some(Value::Int(2)));
+        assert_eq!(feed.poll(Phase(5)), Some(Value::Int(3)));
+        assert_eq!(writer.staged(), 0);
+        assert_eq!(writer.underruns(), 0);
+        // Snapshot after partial consumption excludes skipped silents.
+        writer.stage_column_sparse(Arc::new(PhaseColumn::from_bins(vec![
+            None,
+            Some(Value::Int(9)),
+        ])));
+        let StateSnapshot::Bytes(bytes) = feed.snapshot_state() else {
+            panic!("expected bytes")
+        };
+        let (mut restored, w2) = LiveFeed::channel();
+        restored.restore_state(&bytes).unwrap();
+        assert_eq!(w2.staged(), 1);
+        assert_eq!(restored.poll(Phase(7)), Some(Value::Int(9)));
+    }
+
+    #[test]
     fn underrun_is_silent_but_counted() {
         let (mut feed, writer) = LiveFeed::channel();
         assert_eq!(feed.poll(Phase(1)), None);
@@ -167,6 +341,29 @@ mod tests {
         writer.stage(Some(Value::Int(7)));
         assert_eq!(feed.poll(Phase(2)), Some(Value::Int(7)));
         assert_eq!(writer.underruns(), 1);
+    }
+
+    #[test]
+    fn snapshot_restores_partially_consumed_segments() {
+        let (mut feed, writer) = LiveFeed::channel();
+        writer.stage_column(Arc::new(PhaseColumn::from_bins(vec![
+            Some(Value::Int(1)),
+            Some(Value::Int(2)),
+            None,
+        ])));
+        assert_eq!(feed.poll(Phase(1)), Some(Value::Int(1)));
+        let snap = feed.snapshot_state();
+        let StateSnapshot::Bytes(bytes) = snap else {
+            panic!("expected bytes")
+        };
+        let (mut restored, w2) = LiveFeed::channel();
+        restored.restore_state(&bytes).unwrap();
+        assert_eq!(w2.staged(), 2);
+        assert_eq!(restored.poll(Phase(2)), Some(Value::Int(2)));
+        assert_eq!(restored.poll(Phase(3)), None);
+        assert_eq!(w2.underruns(), 0);
+        assert_eq!(restored.poll(Phase(4)), None);
+        assert_eq!(w2.underruns(), 1);
     }
 
     #[test]

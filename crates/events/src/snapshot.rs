@@ -71,6 +71,14 @@ impl StateWriter {
         StateWriter::default()
     }
 
+    /// Writer over a recycled buffer: the buffer is cleared but its
+    /// capacity is kept, so hot-path encoders (the WAL's per-row
+    /// staging) re-encode into the same allocation every time.
+    pub fn reuse(mut buf: Vec<u8>) -> StateWriter {
+        buf.clear();
+        StateWriter { buf }
+    }
+
     /// Finishes into the raw bytes.
     pub fn into_bytes(self) -> Vec<u8> {
         self.buf
@@ -173,6 +181,13 @@ impl StateWriter {
     /// Appends `Some(value)` or a none marker — the encoding of one
     /// phase-script bin.
     pub fn put_opt_value(&mut self, v: &Option<Value>) {
+        self.put_bin(v.as_ref());
+    }
+
+    /// Like [`put_opt_value`](Self::put_opt_value) for a borrowed bin —
+    /// identical bytes, no owned `Option` required (columnar callers
+    /// hold `Option<&Value>`).
+    pub fn put_bin(&mut self, v: Option<&Value>) {
         match v {
             Some(v) => {
                 self.put_u8(1);

@@ -1,0 +1,237 @@
+//! Sharded ingest buffers: the producer-facing front door.
+//!
+//! Every live source owns one [`SourceShard`] — a finely striped buffer
+//! a producer locks *alone*: pushes to different sources never touch a
+//! shared lock, and the epoch seal never blocks a push for longer than
+//! one `Vec` pointer swap. The discipline mirrors the execution side's
+//! `ShardedQueue` (PR 3): striped push, batch drain.
+//!
+//! The buffer *is* the future epoch column: producers append
+//! `Some(value)` in arrival order, and [`drain`](IngestBuffers::drain)
+//! swaps the whole vector out in O(1) per source, handing the seal
+//! ready-made column storage (recycled through the
+//! [`ColumnPool`](ec_events::ColumnPool)). Per-source FIFO order is the
+//! shard lock's serialization order; the binning a seal commits is
+//! whatever each swap observed — exactly the well-defined-commit
+//! guarantee the old global mutex gave, without the global mutex.
+//!
+//! Backpressure stays per source: a full shard blocks the pusher on the
+//! shard's own condvar ([`Backpressure::Block`](crate::Backpressure))
+//! or bounces the value back ([`Backpressure::Reject`]
+//! (crate::Backpressure)); the seal's drain signals exactly the shards
+//! it emptied.
+
+use ec_events::{ColumnPool, Value};
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering::Relaxed};
+use std::time::Duration;
+
+/// One live source's striped ingest buffer.
+struct SourceShard {
+    /// The accumulating epoch column: producers append `Some(v)`; the
+    /// seal swaps the vector out whole.
+    bins: Mutex<Vec<Option<Value>>>,
+    /// Signalled when a drain empties this shard (or shutdown begins).
+    space: Condvar,
+    /// Cached depth, readable without the shard lock (observability).
+    depth: AtomicUsize,
+}
+
+/// All ingest shards plus the cross-shard counters.
+pub(crate) struct IngestBuffers {
+    shards: Vec<SourceShard>,
+    /// Events buffered across all shards (maintained by push/drain;
+    /// drives `EpochPolicy::ByCount`).
+    total: AtomicUsize,
+    /// Producer contention events: a push found its shard full and had
+    /// to block, retry or force a seal.
+    waits: AtomicU64,
+}
+
+impl IngestBuffers {
+    pub(crate) fn new(sources: usize) -> IngestBuffers {
+        IngestBuffers {
+            shards: (0..sources)
+                .map(|_| SourceShard {
+                    bins: Mutex::new(Vec::new()),
+                    space: Condvar::new(),
+                    depth: AtomicUsize::new(0),
+                })
+                .collect(),
+            total: AtomicUsize::new(0),
+            waits: AtomicU64::new(0),
+        }
+    }
+
+    /// Appends `value` to source `slot`'s buffer if it is below
+    /// `capacity`. On success returns the total buffered across all
+    /// shards *after* the push; on a full shard the value comes back to
+    /// the caller (who decides: block, reject, or force a seal).
+    pub(crate) fn try_push(
+        &self,
+        slot: usize,
+        value: Value,
+        capacity: usize,
+    ) -> Result<usize, Value> {
+        let shard = &self.shards[slot];
+        let mut bins = shard.bins.lock();
+        if bins.len() >= capacity {
+            return Err(value);
+        }
+        bins.push(Some(value));
+        shard.depth.store(bins.len(), Relaxed);
+        // Count under the shard lock: a drain (which takes this lock)
+        // can then never subtract an event before its increment landed,
+        // so `total` cannot transiently underflow.
+        let total = self.total.fetch_add(1, Relaxed) + 1;
+        drop(bins);
+        Ok(total)
+    }
+
+    /// Blocks until source `slot`'s shard has space, `timeout` elapses,
+    /// or a drain signals the shard. Returns immediately if space is
+    /// already available. The caller loops around [`try_push`]
+    /// (Self::try_push) — a racing producer may have refilled the shard.
+    pub(crate) fn wait_space(&self, slot: usize, capacity: usize, timeout: Duration) {
+        let shard = &self.shards[slot];
+        let mut bins = shard.bins.lock();
+        if bins.len() < capacity {
+            return;
+        }
+        shard.space.wait_for(&mut bins, timeout);
+    }
+
+    /// Counts one producer contention event.
+    pub(crate) fn count_wait(&self) {
+        self.waits.fetch_add(1, Relaxed);
+    }
+
+    /// Swaps every shard's buffer out (O(1) per source), replacing each
+    /// with an empty pooled vector, and wakes the pushers blocked on the
+    /// drained shards. Returns the per-source columns-in-progress, in
+    /// wiring order; element `s` holds source `s`'s buffered events in
+    /// FIFO order.
+    ///
+    /// All shard locks are held across the swaps, making the drain an
+    /// **atomic cut** with respect to every push — exactly the
+    /// commit-point guarantee the old global ingest mutex gave. Without
+    /// it, a producer pushing to source A (accepted) and then source B
+    /// while a drain walks the shards in between could see its *later*
+    /// push commit to the *earlier* epoch. Locks are taken in slot
+    /// order; producers only ever hold one, so there is no cycle, and
+    /// the hold spans `sources` pointer swaps — nanoseconds.
+    pub(crate) fn drain(&self, pool: &mut ColumnPool) -> Vec<Vec<Option<Value>>> {
+        let mut fresh: Vec<Vec<Option<Value>>> =
+            self.shards.iter().map(|_| pool.checkout()).collect();
+        let mut guards: Vec<_> = self.shards.iter().map(|s| s.bins.lock()).collect();
+        for (bins, fresh) in guards.iter_mut().zip(fresh.iter_mut()) {
+            std::mem::swap(&mut **bins, fresh);
+        }
+        let mut drained_total = 0;
+        for (shard, fresh) in self.shards.iter().zip(&fresh) {
+            shard.depth.store(0, Relaxed);
+            drained_total += fresh.len();
+        }
+        self.total.fetch_sub(drained_total, Relaxed);
+        drop(guards);
+        for shard in &self.shards {
+            shard.space.notify_all();
+        }
+        fresh
+    }
+
+    /// Wakes every blocked pusher (shutdown / poison: they observe the
+    /// stop flag and bail out).
+    pub(crate) fn notify_all(&self) {
+        for shard in &self.shards {
+            shard.space.notify_all();
+        }
+    }
+
+    /// Events buffered for one source (racy; observability only).
+    pub(crate) fn depth(&self, slot: usize) -> usize {
+        self.shards[slot].depth.load(Relaxed)
+    }
+
+    /// Per-source depths (racy; observability only).
+    pub(crate) fn depths(&self) -> Vec<u64> {
+        self.shards
+            .iter()
+            .map(|s| s.depth.load(Relaxed) as u64)
+            .collect()
+    }
+
+    /// Events buffered across all sources (racy; observability only).
+    pub(crate) fn total(&self) -> usize {
+        self.total.load(Relaxed)
+    }
+
+    /// Producer contention events so far.
+    pub(crate) fn waits(&self) -> u64 {
+        self.waits.load(Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_drain_preserves_fifo_per_source() {
+        let buffers = IngestBuffers::new(2);
+        let mut pool = ColumnPool::new();
+        for i in 0..5i64 {
+            buffers.try_push(0, Value::Int(i), 100).unwrap();
+        }
+        buffers.try_push(1, Value::Int(-1), 100).unwrap();
+        assert_eq!(buffers.total(), 6);
+        assert_eq!(buffers.depth(0), 5);
+        assert_eq!(buffers.depths(), vec![5, 1]);
+
+        let drained = buffers.drain(&mut pool);
+        assert_eq!(buffers.total(), 0);
+        assert_eq!(
+            drained[0],
+            (0..5).map(|i| Some(Value::Int(i))).collect::<Vec<_>>()
+        );
+        assert_eq!(drained[1], vec![Some(Value::Int(-1))]);
+    }
+
+    #[test]
+    fn full_shard_bounces_the_value_back() {
+        let buffers = IngestBuffers::new(1);
+        buffers.try_push(0, Value::Int(1), 1).unwrap();
+        let bounced = buffers.try_push(0, Value::Int(2), 1).unwrap_err();
+        assert_eq!(bounced, Value::Int(2));
+        // Wait with space available returns immediately.
+        buffers.wait_space(0, 2, Duration::from_millis(1));
+    }
+
+    #[test]
+    fn drain_wakes_blocked_pushers() {
+        let buffers = std::sync::Arc::new(IngestBuffers::new(1));
+        buffers.try_push(0, Value::Int(1), 1).unwrap();
+        let waiter = {
+            let buffers = std::sync::Arc::clone(&buffers);
+            std::thread::spawn(move || {
+                let start = std::time::Instant::now();
+                loop {
+                    match buffers.try_push(0, Value::Int(2), 1) {
+                        Ok(_) => return start.elapsed(),
+                        Err(_) => buffers.wait_space(0, 1, Duration::from_secs(5)),
+                    }
+                }
+            })
+        };
+        std::thread::sleep(Duration::from_millis(60));
+        let mut pool = ColumnPool::new();
+        let drained = buffers.drain(&mut pool);
+        assert_eq!(drained[0].len(), 1);
+        let waited = waiter.join().unwrap();
+        assert!(
+            waited >= Duration::from_millis(40),
+            "woke early: {waited:?}"
+        );
+        assert_eq!(buffers.total(), 1); // the retried push landed
+    }
+}

@@ -68,6 +68,7 @@
 #![warn(missing_docs)]
 
 mod error;
+mod ingest;
 mod policy;
 mod runtime;
 mod script;

@@ -1,12 +1,13 @@
 //! The streaming runtime: live ingestion over the pipelined engine.
 //!
 //! ```text
-//!  producers ──push──▶ SourceHandle queues (bounded, backpressured)
-//!                         │ seal (flush / count / tick)
-//!                         ▼
-//!            WAL append ── PhaseScript row + LiveFeed bins
-//!                         │ admit (batched: one lock per seal)
-//!                         ▼
+//!  producers ──push──▶ sharded ingest buffers (one striped shard per
+//!                         │ source; bounded, backpressured)
+//!                         │ seal (flush / count / tick): O(1) swap per
+//!                         ▼ source → pooled Arc'd epoch columns
+//!            WAL append ── PhaseScript segment + LiveFeed columns
+//!                         │ admit (batched + silence-aware: provably
+//!                         ▼ silent source polls are never scheduled)
 //!              LiveEngine (k workers, pipelined phases)
 //!                         │ phases retire in order
 //!                         ▼
@@ -35,15 +36,15 @@
 //! the exact next phase with global phase numbering intact.
 
 use crate::error::{PushError, RuntimeError};
+use crate::ingest::IngestBuffers;
 use crate::policy::{Backpressure, EpochPolicy};
-use crate::script::PhaseScript;
+use crate::script::{PhaseScript, ScriptSegment};
 use ec_core::{EnginePool, ExecutionHistory, LiveEngine, MetricsSnapshot};
-use ec_events::{FeedWriter, Value};
+use ec_events::{ColumnPool, FeedWriter, PhaseColumn, Value};
 use ec_fusion::{CorrelatorBuilder, NodeHandle};
 use ec_graph::VertexId;
 use ec_store::{Recovery, WalWriter};
-use parking_lot::{Condvar, Mutex};
-use std::collections::VecDeque;
+use parking_lot::Mutex;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
 use std::sync::Arc;
@@ -67,27 +68,27 @@ struct DurableCfg {
     snapshot_on_flush: bool,
 }
 
-/// Ingest state: the bounded per-source queues, the committed script
-/// and the WAL. One mutex for all of it, so a seal is atomic with
-/// respect to every push — the interleaving of pushes and flushes is
-/// always a well-defined sequence of committed rows, and the WAL
-/// records exactly that sequence.
-struct Ingest {
-    queues: Vec<VecDeque<Value>>,
-    rows: Vec<Vec<Option<Value>>>,
+/// Seal-side state: the WAL, the committed columnar script and the
+/// column pool. One mutex serializes *seals* (and snapshots) against
+/// each other — producers never touch it; they push into the sharded
+/// [`IngestBuffers`] and only the pusher that triggers an automatic
+/// seal crosses over. The interleaving of pushes and flushes is still a
+/// well-defined sequence of committed rows: each seal's drain is the
+/// commit point, and the WAL records exactly that sequence.
+struct SealState {
     wal: Option<WalWriter>,
+    /// Committed script segments (empty when `record_script` is off):
+    /// the same `Arc`'d columns handed to the WAL and the live feeds.
+    script: Vec<ScriptSegment>,
+    /// Recycler for epoch column storage: in steady state a seal
+    /// allocates nothing.
+    pool: ColumnPool,
     /// Phase of the last snapshot written (0 = none yet).
     last_snapshot: u64,
     /// First snapshot failure, if any: periodic snapshots stop (the WAL
     /// alone still guarantees recovery) and the error surfaces on the
     /// next explicit flush/tick/checkpoint call.
     snapshot_error: Option<RuntimeError>,
-}
-
-impl Ingest {
-    fn buffered(&self) -> usize {
-        self.queues.iter().map(VecDeque::len).sum()
-    }
 }
 
 /// A sink emission delivered to subscribers, in serial (phase, vertex)
@@ -109,10 +110,10 @@ type Subscriber = Box<dyn FnMut(&SinkEmission) + Send>;
 
 struct RuntimeShared {
     engine: LiveEngine,
-    ingest: Mutex<Ingest>,
-    /// Signalled when a seal drains the queues (or shutdown begins);
-    /// waited on by blocked pushers.
-    space: Condvar,
+    /// The sharded producer front door: per-source striped buffers.
+    buffers: IngestBuffers,
+    /// Seal/snapshot serialization and the state only seals touch.
+    seal: Mutex<SealState>,
     subs: Mutex<Vec<Subscriber>>,
     /// No more pushes/seals accepted.
     stop: AtomicBool,
@@ -120,6 +121,10 @@ struct RuntimeShared {
     /// ticker cannot race extra phases into a closing runtime).
     ticker_stop: AtomicBool,
     live: Vec<LiveSource>,
+    /// Live-source slot per vertex, indexed by `VertexId::index()`
+    /// (`None` for operators and scripted sources) — the map behind
+    /// silence-aware admission.
+    source_slot: Vec<Option<usize>>,
     /// Vertex names, indexed by `VertexId::index()`.
     names: Vec<Arc<str>>,
     policy: EpochPolicy,
@@ -133,15 +138,22 @@ struct RuntimeShared {
     /// Events committed to phases so far (counted at seal; per-tenant
     /// observability for session pools).
     events_committed: AtomicU64,
+    /// Seals that committed at least one phase.
+    seal_batches: AtomicU64,
+    /// Events drained by those seals (mean drain batch size =
+    /// `seal_events / seal_batches`).
+    seal_events: AtomicU64,
 }
 
 impl RuntimeShared {
-    /// Seals the current epoch: commits `max(longest queue, min_phases)`
-    /// phases, appending each row to the WAL (when durable), staging one
-    /// bin per live source per phase, then admitting the whole batch
-    /// through one or few lock acquisitions. Caller holds the ingest
-    /// lock.
-    fn seal_locked(&self, ingest: &mut Ingest, min_phases: u64) -> Result<u64, RuntimeError> {
+    /// Seals the current epoch: swaps every source's buffered column
+    /// out of the sharded ingest buffers (O(1) per source), commits
+    /// `max(longest buffer, min_phases)` phases, stages the WAL frames
+    /// (when durable), hands each frozen column to its live feed and
+    /// the script as a shared `Arc`, then admits the whole batch
+    /// through one or few lock acquisitions. Caller holds the seal
+    /// lock; producers keep pushing into the buffers throughout.
+    fn seal_locked(&self, seal: &mut SealState, min_phases: u64) -> Result<u64, RuntimeError> {
         // A poisoned runtime (store failure below, or shutdown) seals
         // nothing: bins staged by an aborted seal must never be
         // consumed by a later admission, or live phases would
@@ -149,84 +161,133 @@ impl RuntimeShared {
         if self.stop.load(Relaxed) {
             return Err(RuntimeError::Closed);
         }
-        let longest = ingest.queues.iter().map(VecDeque::len).max().unwrap_or(0) as u64;
+        // The drain is the commit point: whatever each shard swap
+        // observed is this epoch's binning. Pushes racing the drain
+        // land in the next epoch.
+        let mut drained = self.buffers.drain(&mut seal.pool);
+        let longest = drained.iter().map(Vec::len).max().unwrap_or(0) as u64;
         let phases = longest.max(min_phases);
         if phases == 0 {
+            for bins in drained {
+                seal.pool.give_back(bins);
+            }
             return Ok(0);
         }
-        // Commit the epoch: pop every row, stage all their WAL frames
-        // into the writer's buffer, and flush them with a single
-        // `write_all` — group commit, one syscall per epoch instead of
-        // one per row. The commit is the durable cut point: bins are
-        // staged for the engine only after the whole epoch has reached
-        // the OS. A WAL failure (disk full, I/O error) POISONS the
-        // runtime: durability can no longer be guaranteed, so no
-        // further seal or push is accepted, and since no bin was staged
-        // yet the engine never sees any of the aborted epoch (a partial
-        // batch left on disk recovers as a torn tail and replays — its
+        // Freeze the epoch: each drained buffer *is* its source's
+        // column — pad the shorter ones with silent bins and share.
+        // Events were appended in FIFO push order, so no per-event
+        // move or per-row allocation happens here.
+        let mut events = 0u64;
+        let cols: Vec<Arc<PhaseColumn>> = drained
+            .drain(..)
+            .map(|mut bins| {
+                events += bins.len() as u64;
+                bins.resize(phases as usize, None);
+                seal.pool.seal(bins)
+            })
+            .collect();
+        // Stage all the epoch's WAL frames into the writer's buffer
+        // (encoded row-major from the columns, via the writer's
+        // recycled scratch) and flush them with a single `write_all` —
+        // group commit, one syscall per epoch instead of one per row.
+        // The commit is the durable cut point: bins are staged for the
+        // engine only after the whole epoch has reached the OS. A WAL
+        // failure (disk full, I/O error) POISONS the runtime:
+        // durability can no longer be guaranteed, so no further seal
+        // or push is accepted, and since no bin was staged yet the
+        // engine never sees any of the aborted epoch (a partial batch
+        // left on disk recovers as a torn tail and replays — its
         // pushes were accepted).
-        let base_rows = ingest.rows.len();
-        let mut epoch: Vec<Vec<Option<Value>>> = Vec::with_capacity(phases as usize);
-        for _ in 0..phases {
-            epoch.push(ingest.queues.iter_mut().map(VecDeque::pop_front).collect());
-        }
-        if let Some(wal) = ingest.wal.as_mut() {
-            for row in &epoch {
-                wal.stage_row(row);
+        if let Some(wal) = seal.wal.as_mut() {
+            for r in 0..phases as usize {
+                wal.stage_row_bins(cols.iter().map(|c| c[r].as_ref()));
             }
             if let Err(e) = wal.commit() {
                 self.stop.store(true, Relaxed);
                 self.ticker_stop.store(true, Relaxed);
-                self.space.notify_all(); // blocked pushers observe Closed
+                self.buffers.notify_all(); // blocked pushers observe Closed
                 return Err(e.into());
             }
         }
         let staged = phases;
-        let mut events = 0u64;
-        for row in epoch {
-            for (source, bin) in self.live.iter().zip(row.iter()) {
-                source.writer.stage(bin.clone());
-            }
-            events += row.iter().filter(|b| b.is_some()).count() as u64;
-            if self.record_script {
-                ingest.rows.push(row);
-            }
+        for (source, col) in self.live.iter().zip(&cols) {
+            source.writer.stage_column_sparse(Arc::clone(col));
         }
         self.events_committed.fetch_add(events, Relaxed);
+        self.seal_batches.fetch_add(1, Relaxed);
+        self.seal_events.fetch_add(events, Relaxed);
         // Admit the batch: one global-lock acquisition per in-flight
-        // window instead of one per phase. Admission may block on the
-        // engine's throttle; the workers drain independently, so this
-        // self-resolves.
+        // window instead of one per phase, and *silence-aware* — the
+        // columns say exactly which sources are silent in which phases,
+        // so those executions (provable no-ops: poll `None`, emit
+        // nothing) are never scheduled at all. Admission may block on
+        // the engine's throttle; the workers drain independently, so
+        // this self-resolves.
         let mut admitted = 0u64;
+        let mut refused = None;
         while admitted < staged {
-            match self.engine.admit_batch(staged - admitted) {
+            let base = admitted as usize;
+            match self
+                .engine
+                .admit_batch_sparse(staged - admitted, |offset, vertex| {
+                    self.live_slot(vertex)
+                        .is_some_and(|slot| cols[slot][base + offset as usize].is_none())
+                }) {
                 Ok(n) => admitted += n,
                 Err(e) => {
-                    // Keep the in-memory script consistent with what
-                    // actually ran: refused admissions (engine failed or
-                    // closing) must not leave committed rows behind. The
-                    // staged bins are never polled — the engine admits
-                    // no further phases. (WAL rows stay: the log is the
-                    // durable commit and restore will replay them.)
-                    if self.record_script {
-                        ingest.rows.truncate(base_rows + admitted as usize);
-                    }
-                    if admitted > 0 {
-                        self.space.notify_all();
-                    }
-                    return Err(e.into());
+                    refused = Some(e);
+                    break;
                 }
             }
         }
-        self.space.notify_all();
-        Ok(staged)
+        // Record only what actually ran: refused admissions (engine
+        // failed or closing) must not leave committed rows behind. The
+        // staged bins past the admitted point are never polled — the
+        // engine admits no further phases. (WAL rows stay: the log is
+        // the durable commit and restore will replay them.) Truncation
+        // is O(1): the columns stay shared, only the bound moves.
+        if self.record_script && admitted > 0 {
+            let mut segment = ScriptSegment::new(cols, phases as usize);
+            segment.truncate(admitted as usize);
+            seal.script.push(segment);
+        }
+        match refused {
+            Some(e) => Err(e.into()),
+            None => Ok(staged),
+        }
+    }
+
+    /// The live-source slot of a vertex (`None` for operators and
+    /// scripted sources — the ones silence-aware admission must never
+    /// skip).
+    fn live_slot(&self, vertex: VertexId) -> Option<usize> {
+        self.source_slot.get(vertex.index()).copied().flatten()
+    }
+
+    /// Engine counters plus the ingest-side counters the runtime owns.
+    fn metrics_with_ingest(&self) -> MetricsSnapshot {
+        let mut m = self.engine.metrics();
+        self.fill_ingest(&mut m);
+        m
+    }
+
+    /// Fills the ingest-side counters into a snapshot (shared by
+    /// [`metrics_with_ingest`](Self::metrics_with_ingest) and the final
+    /// shutdown report, so a new counter cannot be forgotten in one).
+    fn fill_ingest(&self, m: &mut MetricsSnapshot) {
+        m.ingest_depths = self.buffers.depths();
+        m.ingest_waits = self.buffers.waits();
+        m.seal_batches = self.seal_batches.load(Relaxed);
+        m.seal_events = self.seal_events.load(Relaxed);
     }
 
     /// Takes a snapshot at the current retired boundary. Caller holds
-    /// the ingest lock (so no seal can interleave); waits for every
+    /// the seal lock (so no seal can interleave); waits for every
     /// admitted phase to retire first — a stop-the-world pause, which is
-    /// what makes the captured state a serializable cut.
-    fn checkpoint_locked(&self, ingest: &mut Ingest) -> Result<u64, RuntimeError> {
+    /// what makes the captured state a serializable cut. Producers keep
+    /// buffering throughout: unsealed events are not yet committed, so
+    /// they do not belong to the cut.
+    fn checkpoint_locked(&self, seal: &mut SealState) -> Result<u64, RuntimeError> {
         let Some(cfg) = &self.durable else {
             return Err(RuntimeError::Config(
                 "checkpoint requires a durable runtime (StreamRuntimeBuilder::durable)".into(),
@@ -236,10 +297,10 @@ impl RuntimeShared {
         let checkpoint = self.engine.checkpoint_vertices()?;
         let names: Vec<String> = self.names.iter().map(|n| n.to_string()).collect();
         ec_store::write_snapshot(&cfg.dir, &names, &checkpoint).map_err(RuntimeError::from)?;
-        if let Some(wal) = ingest.wal.as_mut() {
+        if let Some(wal) = seal.wal.as_mut() {
             wal.sync()?;
         }
-        ingest.last_snapshot = checkpoint.phase;
+        seal.last_snapshot = checkpoint.phase;
         Ok(checkpoint.phase)
     }
 
@@ -247,24 +308,24 @@ impl RuntimeShared {
     /// Failures do not poison the seal (the WAL remains authoritative):
     /// the first error is remembered, periodic snapshots stop, and the
     /// error surfaces on the next explicit flush/tick/checkpoint.
-    fn maybe_checkpoint_locked(&self, ingest: &mut Ingest) {
+    fn maybe_checkpoint_locked(&self, seal: &mut SealState) {
         let Some(cfg) = &self.durable else { return };
         let Some(every) = cfg.snapshot_every else {
             return;
         };
-        if ingest.snapshot_error.is_some() {
+        if seal.snapshot_error.is_some() {
             return;
         }
-        if self.engine.admitted().saturating_sub(ingest.last_snapshot) >= every {
-            if let Err(e) = self.checkpoint_locked(ingest) {
-                ingest.snapshot_error = Some(e);
+        if self.engine.admitted().saturating_sub(seal.last_snapshot) >= every {
+            if let Err(e) = self.checkpoint_locked(seal) {
+                seal.snapshot_error = Some(e);
             }
         }
     }
 
     /// Surfaces (and clears) a deferred snapshot failure.
-    fn take_snapshot_error(&self, ingest: &mut Ingest) -> Result<(), RuntimeError> {
-        match ingest.snapshot_error.take() {
+    fn take_snapshot_error(&self, seal: &mut SealState) -> Result<(), RuntimeError> {
+        match seal.snapshot_error.take() {
             Some(e) => Err(e),
             None => Ok(()),
         }
@@ -692,24 +753,34 @@ impl StreamRuntimeBuilder {
         }
 
         let queue_count = self.live.len();
-        let rows = match (&recovery, self.record_script) {
-            (Some(rec), true) => rec.rows.clone(),
+        // Recovered rows become one columnar script segment (shared
+        // storage, same as live seals produce).
+        let script = match (&recovery, self.record_script) {
+            (Some(rec), true) => {
+                let sources: Vec<String> = self.live.iter().map(|s| s.name.clone()).collect();
+                PhaseScript::from_rows(sources, rec.rows.clone()).into_segments()
+            }
             _ => Vec::new(),
         };
+        let mut source_slot: Vec<Option<usize>> = vec![None; names.len()];
+        for (slot, source) in self.live.iter().enumerate() {
+            source_slot[source.vertex.index()] = Some(slot);
+        }
         let shared = Arc::new(RuntimeShared {
             engine,
-            ingest: Mutex::new(Ingest {
-                queues: vec![VecDeque::new(); queue_count],
-                rows,
+            buffers: IngestBuffers::new(queue_count),
+            seal: Mutex::new(SealState {
                 wal,
+                script,
+                pool: ColumnPool::new(),
                 last_snapshot,
                 snapshot_error: None,
             }),
-            space: Condvar::new(),
             subs: Mutex::new(self.subs),
             stop: AtomicBool::new(false),
             ticker_stop: AtomicBool::new(false),
             live: self.live,
+            source_slot,
             names,
             policy: self.policy,
             backpressure: self.backpressure,
@@ -717,25 +788,42 @@ impl StreamRuntimeBuilder {
             record_script: self.record_script,
             durable,
             events_committed: AtomicU64::new(0),
+            seal_batches: AtomicU64::new(0),
+            seal_events: AtomicU64::new(0),
         });
 
         // Replay the WAL tail (rows after the snapshot) before any
-        // thread can seal new epochs: stage every row's bins, then
-        // admit the batch. After this, operator state equals the
-        // crashed run's at its last committed phase.
+        // thread can seal new epochs: transpose it into one column per
+        // source, stage the columns, then admit the batch. After this,
+        // operator state equals the crashed run's at its last committed
+        // phase.
         if let Some(rec) = recovery {
             let tail = rec.tail_rows();
             let mut replayed_events = 0u64;
-            for row in tail {
-                for (source, bin) in shared.live.iter().zip(row.iter()) {
-                    source.writer.stage(bin.clone());
+            let mut tail_cols: Vec<Arc<PhaseColumn>> = Vec::with_capacity(shared.live.len());
+            if !tail.is_empty() {
+                for (slot, source) in shared.live.iter().enumerate() {
+                    let col: Vec<Option<Value>> =
+                        tail.iter().map(|row| row[slot].clone()).collect();
+                    replayed_events += col.iter().filter(|b| b.is_some()).count() as u64;
+                    let col = Arc::new(PhaseColumn::from_bins(col));
+                    source.writer.stage_column_sparse(Arc::clone(&col));
+                    tail_cols.push(col);
                 }
-                replayed_events += row.iter().filter(|b| b.is_some()).count() as u64;
             }
             shared.events_committed.fetch_add(replayed_events, Relaxed);
-            let mut remaining = tail.len() as u64;
-            while remaining > 0 {
-                remaining -= shared.engine.admit_batch(remaining)?;
+            let total = tail.len() as u64;
+            let mut admitted = 0u64;
+            while admitted < total {
+                let base = admitted as usize;
+                admitted +=
+                    shared
+                        .engine
+                        .admit_batch_sparse(total - admitted, |offset, vertex| {
+                            shared.live_slot(vertex).is_some_and(|slot| {
+                                tail_cols[slot][base + offset as usize].is_none()
+                            })
+                        })?;
             }
             shared.engine.wait_idle()?;
         }
@@ -764,11 +852,11 @@ impl StreamRuntimeBuilder {
                                 continue;
                             }
                             last_tick = Instant::now();
-                            let mut ingest = ticker_shared.ingest.lock();
-                            if ticker_shared.seal_locked(&mut ingest, 1).is_err() {
+                            let mut seal = ticker_shared.seal.lock();
+                            if ticker_shared.seal_locked(&mut seal, 1).is_err() {
                                 break; // engine failed/closed; surfaced elsewhere
                             }
-                            ticker_shared.maybe_checkpoint_locked(&mut ingest);
+                            ticker_shared.maybe_checkpoint_locked(&mut seal);
                         }
                     })
                     .expect("spawn ticker thread"),
@@ -806,57 +894,71 @@ impl SourceHandle {
 
     /// Enqueues one event.
     ///
-    /// With [`Backpressure::Block`] a full queue blocks the caller
-    /// until an epoch seal drains it; with [`Backpressure::Reject`] it
-    /// returns [`PushError::Full`]. Under [`EpochPolicy::ByCount`] the
-    /// push that reaches the threshold seals the epoch itself.
+    /// Only this source's ingest shard is locked — producers on
+    /// different sources never contend, and an in-progress seal delays
+    /// a push by at most one buffer swap. With [`Backpressure::Block`]
+    /// a full shard blocks the caller until an epoch seal drains it;
+    /// with [`Backpressure::Reject`] it returns [`PushError::Full`].
+    /// Under [`EpochPolicy::ByCount`] the push that reaches the
+    /// threshold seals the epoch itself.
     pub fn push(&self, value: impl Into<Value>) -> Result<(), PushError> {
-        let value = value.into();
+        let mut value = value.into();
         let shared = &*self.shared;
-        let mut ingest = shared.ingest.lock();
-        while ingest.queues[self.slot].len() >= shared.capacity {
+        let total = loop {
             if shared.stop.load(Relaxed) {
                 return Err(PushError::Closed);
             }
-            // Under ByCount, a full queue forces the epoch: waiting
-            // would deadlock whenever the count threshold cannot be
-            // reached (larger than capacity, or other sources idle) —
-            // nobody else is going to seal.
-            if matches!(shared.policy, EpochPolicy::ByCount(_)) {
-                if shared.seal_locked(&mut ingest, 0).is_err() {
-                    return Err(PushError::Closed);
+            match shared.buffers.try_push(self.slot, value, shared.capacity) {
+                Ok(total) => break total,
+                Err(bounced) => {
+                    value = bounced;
+                    shared.buffers.count_wait();
+                    // Under ByCount, a full shard forces the epoch:
+                    // waiting would deadlock whenever the count
+                    // threshold cannot be reached (larger than
+                    // capacity, or other sources idle) — nobody else is
+                    // going to seal.
+                    if matches!(shared.policy, EpochPolicy::ByCount(_)) {
+                        let mut seal = shared.seal.lock();
+                        if shared.seal_locked(&mut seal, 0).is_err() {
+                            return Err(PushError::Closed);
+                        }
+                        shared.maybe_checkpoint_locked(&mut seal);
+                        continue;
+                    }
+                    match shared.backpressure {
+                        Backpressure::Reject => return Err(PushError::Full),
+                        Backpressure::Block => {
+                            // Bounded wait so shutdown can't strand us.
+                            shared.buffers.wait_space(
+                                self.slot,
+                                shared.capacity,
+                                Duration::from_millis(20),
+                            );
+                        }
+                    }
                 }
-                shared.maybe_checkpoint_locked(&mut ingest);
-                continue;
             }
-            match shared.backpressure {
-                Backpressure::Reject => return Err(PushError::Full),
-                Backpressure::Block => {
-                    // Bounded wait so shutdown can't strand us.
-                    shared
-                        .space
-                        .wait_for(&mut ingest, Duration::from_millis(20));
-                }
+        };
+        if shared.policy.should_seal(total) {
+            let mut seal = shared.seal.lock();
+            // The push itself has succeeded — the value is buffered and
+            // will be committed by whichever seal drains it (possibly
+            // the final one at shutdown). A failing follow-on seal
+            // (engine failed or closing) therefore does not bounce this
+            // push; the root cause surfaces through
+            // flush()/wait_idle()/shutdown(), and later pushes fail once
+            // the runtime poisons or their shard fills.
+            if shared.seal_locked(&mut seal, 0).is_ok() {
+                shared.maybe_checkpoint_locked(&mut seal);
             }
-        }
-        if shared.stop.load(Relaxed) {
-            return Err(PushError::Closed);
-        }
-        ingest.queues[self.slot].push_back(value);
-        if shared.policy.should_seal(ingest.buffered()) {
-            if shared.seal_locked(&mut ingest, 0).is_err() {
-                // The engine refused the admission (failed or closing);
-                // the root cause surfaces through wait_idle()/shutdown().
-                return Err(PushError::Closed);
-            }
-            shared.maybe_checkpoint_locked(&mut ingest);
         }
         Ok(())
     }
 
     /// Events currently buffered (unsealed) for this source.
     pub fn buffered(&self) -> usize {
-        self.shared.ingest.lock().queues[self.slot].len()
+        self.shared.buffers.depth(self.slot)
     }
 
     /// The configured per-source ingest queue capacity.
@@ -974,19 +1076,19 @@ impl StreamRuntime {
         if self.shared.stop.load(Relaxed) {
             return Err(RuntimeError::Closed);
         }
-        let mut ingest = self.shared.ingest.lock();
-        let phases = self.shared.seal_locked(&mut ingest, 0)?;
+        let mut seal = self.shared.seal.lock();
+        let phases = self.shared.seal_locked(&mut seal, 0)?;
         if self
             .shared
             .durable
             .as_ref()
             .is_some_and(|cfg| cfg.snapshot_on_flush)
         {
-            self.shared.checkpoint_locked(&mut ingest)?;
+            self.shared.checkpoint_locked(&mut seal)?;
         } else {
-            self.shared.maybe_checkpoint_locked(&mut ingest);
+            self.shared.maybe_checkpoint_locked(&mut seal);
         }
-        self.shared.take_snapshot_error(&mut ingest)?;
+        self.shared.take_snapshot_error(&mut seal)?;
         Ok(phases)
     }
 
@@ -997,10 +1099,10 @@ impl StreamRuntime {
         if self.shared.stop.load(Relaxed) {
             return Err(RuntimeError::Closed);
         }
-        let mut ingest = self.shared.ingest.lock();
-        let phases = self.shared.seal_locked(&mut ingest, 1)?;
-        self.shared.maybe_checkpoint_locked(&mut ingest);
-        self.shared.take_snapshot_error(&mut ingest)?;
+        let mut seal = self.shared.seal.lock();
+        let phases = self.shared.seal_locked(&mut seal, 1)?;
+        self.shared.maybe_checkpoint_locked(&mut seal);
+        self.shared.take_snapshot_error(&mut seal)?;
         Ok(phases)
     }
 
@@ -1012,9 +1114,9 @@ impl StreamRuntime {
         if self.shared.stop.load(Relaxed) {
             return Err(RuntimeError::Closed);
         }
-        let mut ingest = self.shared.ingest.lock();
-        self.shared.take_snapshot_error(&mut ingest)?;
-        self.shared.checkpoint_locked(&mut ingest)
+        let mut seal = self.shared.seal.lock();
+        self.shared.take_snapshot_error(&mut seal)?;
+        self.shared.checkpoint_locked(&mut seal)
     }
 
     /// Phases committed so far.
@@ -1048,17 +1150,21 @@ impl StreamRuntime {
         Ok(self.shared.engine.wait_idle()?)
     }
 
-    /// The committed script so far (clone; the run keeps extending it).
+    /// A snapshot of the committed script so far. O(epochs sealed), not
+    /// O(events): the snapshot shares the committed columns with the
+    /// runtime (`Arc` per source per epoch), so observability does not
+    /// scale with run length.
     pub fn script(&self) -> PhaseScript {
-        PhaseScript {
-            sources: self.live_source_names(),
-            rows: self.shared.ingest.lock().rows.clone(),
-        }
+        PhaseScript::from_segments(
+            self.live_source_names(),
+            self.shared.seal.lock().script.clone(),
+        )
     }
 
-    /// Engine counters.
+    /// Engine counters plus ingest-side counters (per-source buffer
+    /// depths, producer waits, seal drain batches).
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.shared.engine.metrics()
+        self.shared.metrics_with_ingest()
     }
 
     /// Seals any remaining events, waits for completion, delivers every
@@ -1078,9 +1184,9 @@ impl StreamRuntime {
         // 2. Final seal of whatever is buffered, then make the log
         //    durable.
         let seal_result = {
-            let mut ingest = self.shared.ingest.lock();
-            let sealed = self.shared.seal_locked(&mut ingest, 0);
-            if let Some(wal) = ingest.wal.as_mut() {
+            let mut seal = self.shared.seal.lock();
+            let sealed = self.shared.seal_locked(&mut seal, 0);
+            if let Some(wal) = seal.wal.as_mut() {
                 let _ = wal.sync();
             }
             sealed
@@ -1090,20 +1196,22 @@ impl StreamRuntime {
         // 4. Release pushers and the delivery thread.
         self.shared.stop.store(true, Relaxed);
         self.shared.engine.wake_all();
-        self.shared.space.notify_all();
+        self.shared.buffers.notify_all();
         if let Some(d) = self.delivery.take() {
             let _ = d.join();
         }
         let report = engine_result?;
         seal_result?;
+        let mut metrics = report.metrics;
+        self.shared.fill_ingest(&mut metrics);
         Ok(RuntimeReport {
             phases: report.phases,
             history: report.history,
-            script: PhaseScript {
-                sources: self.shared.live.iter().map(|s| s.name.clone()).collect(),
-                rows: std::mem::take(&mut self.shared.ingest.lock().rows),
-            },
-            metrics: report.metrics,
+            script: PhaseScript::from_segments(
+                self.shared.live.iter().map(|s| s.name.clone()).collect(),
+                std::mem::take(&mut self.shared.seal.lock().script),
+            ),
+            metrics,
         })
     }
 }
@@ -1132,16 +1240,16 @@ impl RuntimeProbe {
         self.shared.events_committed.load(Relaxed)
     }
 
-    /// Events buffered in the ingest queues, not yet sealed.
+    /// Events buffered in the ingest shards, not yet sealed.
     pub fn buffered(&self) -> usize {
-        self.shared.ingest.lock().buffered()
+        self.shared.buffers.total()
     }
 
-    /// Engine counters. For a pooled runtime, `injector_depth` is this
-    /// tenant's admission-lane depth while steal/park/wake counters are
-    /// pool-global.
+    /// Engine counters plus ingest-side counters. For a pooled runtime,
+    /// `injector_depth` is this tenant's admission-lane depth while
+    /// steal/park/wake counters are pool-global.
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.shared.engine.metrics()
+        self.shared.metrics_with_ingest()
     }
 
     /// Takes a snapshot now, exactly like [`StreamRuntime::checkpoint`]
@@ -1153,9 +1261,9 @@ impl RuntimeProbe {
         if self.shared.stop.load(Relaxed) {
             return Err(RuntimeError::Closed);
         }
-        let mut ingest = self.shared.ingest.lock();
-        self.shared.take_snapshot_error(&mut ingest)?;
-        self.shared.checkpoint_locked(&mut ingest)
+        let mut seal = self.shared.seal.lock();
+        self.shared.take_snapshot_error(&mut seal)?;
+        self.shared.checkpoint_locked(&mut seal)
     }
 }
 
@@ -1169,7 +1277,7 @@ impl Drop for StreamRuntime {
         self.shared.ticker_stop.store(true, Relaxed);
         self.shared.stop.store(true, Relaxed);
         self.shared.engine.wake_all();
-        self.shared.space.notify_all();
+        self.shared.buffers.notify_all();
         if let Some(t) = self.ticker.take() {
             let _ = t.join();
         }

@@ -14,35 +14,145 @@
 //! produce an equivalent [`ExecutionHistory`](ec_core::ExecutionHistory)
 //! — serializability extended to live ingestion. It is also the natural
 //! unit for future checkpoint/replay work.
+//!
+//! ## Representation
+//!
+//! Storage is columnar and shared: one [`ScriptSegment`] per sealed
+//! epoch, holding the *same* `Arc`'d [`PhaseColumn`]s the runtime
+//! handed to the WAL and the live feeds. Recording a script therefore
+//! costs one `Arc` clone per source per epoch — no second copy of the
+//! event data — and snapshotting a running script
+//! ([`StreamRuntime::script`](crate::StreamRuntime::script)) is O(epochs
+//! sealed), not O(events).
 
 use ec_events::sources::Replay;
-use ec_events::Value;
+use ec_events::{PhaseColumn, Value};
+use std::sync::Arc;
+
+/// One sealed epoch's contribution to the script: a shared column per
+/// source, each covering this epoch's `phases` phases.
+#[derive(Debug, Clone)]
+pub(crate) struct ScriptSegment {
+    /// Phases this segment spans. May be *less* than the columns' length
+    /// when an engine-refused admission truncated the epoch — accessors
+    /// must never look past it.
+    phases: usize,
+    /// One column per source, in wiring order.
+    cols: Vec<Arc<PhaseColumn>>,
+}
+
+impl ScriptSegment {
+    /// Wraps one sealed epoch (each column's length must be ≥ `phases`).
+    pub(crate) fn new(cols: Vec<Arc<PhaseColumn>>, phases: usize) -> ScriptSegment {
+        debug_assert!(cols.iter().all(|c| c.len() >= phases));
+        ScriptSegment { phases, cols }
+    }
+
+    /// Shrinks the segment to its first `phases` phases (admission was
+    /// refused partway through the epoch). O(1): the columns stay
+    /// shared, only the logical bound moves.
+    pub(crate) fn truncate(&mut self, phases: usize) {
+        self.phases = self.phases.min(phases);
+    }
+
+    pub(crate) fn phases(&self) -> usize {
+        self.phases
+    }
+
+    /// The bins of one source within this segment.
+    fn column(&self, source: usize) -> &[Option<Value>] {
+        &self.cols[source][..self.phases]
+    }
+}
 
 /// The committed event-to-phase binning of one live run.
-#[derive(Debug, Clone, Default, PartialEq)]
+///
+/// Columnar and cheap to clone/snapshot (shared storage, see the
+/// module docs); inspect it through [`column`](PhaseScript::column) /
+/// [`row`](PhaseScript::row) / [`replay`](PhaseScript::replay).
+#[derive(Debug, Clone, Default)]
 pub struct PhaseScript {
-    /// Live source names, in wiring order (column order of `rows`).
+    /// Live source names, in wiring order (column order of the rows).
     pub sources: Vec<String>,
-    /// One row per admitted phase: `rows[p][s]` is the bin staged for
-    /// source `s` in (1-based) phase `p + 1`.
-    pub rows: Vec<Vec<Option<Value>>>,
+    segments: Vec<ScriptSegment>,
 }
 
 impl PhaseScript {
+    /// Builds a script from row-major rows (`rows[p][s]` = source `s`'s
+    /// bin in phase `p+1`) — the shape WAL recovery yields.
+    pub fn from_rows(sources: Vec<String>, rows: Vec<Vec<Option<Value>>>) -> PhaseScript {
+        let phases = rows.len();
+        if phases == 0 {
+            return PhaseScript {
+                sources,
+                segments: Vec::new(),
+            };
+        }
+        let columns = sources.len();
+        let mut cols: Vec<Vec<Option<Value>>> =
+            (0..columns).map(|_| Vec::with_capacity(phases)).collect();
+        for row in rows {
+            debug_assert_eq!(row.len(), columns);
+            for (col, bin) in cols.iter_mut().zip(row) {
+                col.push(bin);
+            }
+        }
+        let segment = ScriptSegment::new(
+            cols.into_iter()
+                .map(|c| Arc::new(PhaseColumn::from_bins(c)))
+                .collect(),
+            phases,
+        );
+        PhaseScript {
+            sources,
+            segments: vec![segment],
+        }
+    }
+
+    /// Assembles a script from committed segments (crate-internal: the
+    /// runtime's seal produces segments directly).
+    pub(crate) fn from_segments(sources: Vec<String>, segments: Vec<ScriptSegment>) -> PhaseScript {
+        PhaseScript { sources, segments }
+    }
+
+    /// The committed segments (crate-internal: a restored runtime seeds
+    /// its live script log with the recovered prefix).
+    pub(crate) fn into_segments(self) -> Vec<ScriptSegment> {
+        self.segments
+    }
+
     /// Number of phases committed.
     pub fn phases(&self) -> u64 {
-        self.rows.len() as u64
+        self.segments.iter().map(|s| s.phases() as u64).sum()
     }
 
     /// True if no phase has been committed.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.phases() == 0
     }
 
     /// The bin column of one source, in phase order — borrowed, so
     /// inspecting a million-row script allocates nothing.
     pub fn column(&self, source: usize) -> impl Iterator<Item = Option<&Value>> + '_ {
-        self.rows.iter().map(move |row| row[source].as_ref())
+        self.segments
+            .iter()
+            .flat_map(move |seg| seg.column(source).iter().map(Option::as_ref))
+    }
+
+    /// One row (the bins of every source in 1-based phase `p + 1`),
+    /// cells cloned — [`Value`] clones are cheap (`Arc` payloads).
+    /// Panics if `p` is out of range.
+    pub fn row(&self, p: usize) -> Vec<Option<Value>> {
+        let mut offset = p;
+        for seg in &self.segments {
+            if offset < seg.phases() {
+                return (0..self.sources.len())
+                    .map(|s| seg.column(s)[offset].clone())
+                    .collect();
+            }
+            offset -= seg.phases();
+        }
+        panic!("row {p} out of range ({} phases)", self.phases());
     }
 
     /// A [`Replay`] source reproducing one column — feed these to an
@@ -55,11 +165,19 @@ impl PhaseScript {
     /// Total non-silent bins committed (events that made it into
     /// phases).
     pub fn event_count(&self) -> usize {
-        self.rows
-            .iter()
-            .flat_map(|row| row.iter())
-            .filter(|bin| bin.is_some())
-            .count()
+        (0..self.sources.len())
+            .map(|s| self.column(s).filter(|bin| bin.is_some()).count())
+            .sum()
+    }
+}
+
+impl PartialEq for PhaseScript {
+    /// Logical equality: same sources, same binning — segmentation (how
+    /// many epochs produced the rows) is an execution detail.
+    fn eq(&self, other: &PhaseScript) -> bool {
+        self.sources == other.sources
+            && self.phases() == other.phases()
+            && (0..self.sources.len()).all(|s| self.column(s).eq(other.column(s)))
     }
 }
 
@@ -69,13 +187,13 @@ mod tests {
     use ec_events::{EventSource, Phase};
 
     fn script() -> PhaseScript {
-        PhaseScript {
-            sources: vec!["a".into(), "b".into()],
-            rows: vec![
+        PhaseScript::from_rows(
+            vec!["a".into(), "b".into()],
+            vec![
                 vec![Some(Value::Int(1)), None],
                 vec![None, Some(Value::Int(2))],
             ],
-        }
+        )
     }
 
     #[test]
@@ -92,6 +210,8 @@ mod tests {
             s.column(1).collect::<Vec<_>>(),
             vec![None, Some(&Value::Int(2))]
         );
+        assert_eq!(s.row(0), vec![Some(Value::Int(1)), None]);
+        assert_eq!(s.row(1), vec![None, Some(Value::Int(2))]);
     }
 
     #[test]
@@ -101,5 +221,49 @@ mod tests {
         assert_eq!(r.poll(Phase(1)), None);
         assert_eq!(r.poll(Phase(2)), Some(Value::Int(2)));
         assert_eq!(r.poll(Phase(3)), None);
+    }
+
+    #[test]
+    fn equality_ignores_segmentation() {
+        // The same binning committed as one epoch or two must compare
+        // equal — segmentation is an execution accident.
+        let one = script();
+        let two = PhaseScript::from_segments(
+            vec!["a".into(), "b".into()],
+            vec![
+                ScriptSegment::new(
+                    vec![
+                        Arc::new(PhaseColumn::from_bins(vec![Some(Value::Int(1))])),
+                        Arc::new(PhaseColumn::from_bins(vec![None])),
+                    ],
+                    1,
+                ),
+                ScriptSegment::new(
+                    vec![
+                        Arc::new(PhaseColumn::from_bins(vec![None])),
+                        Arc::new(PhaseColumn::from_bins(vec![Some(Value::Int(2))])),
+                    ],
+                    1,
+                ),
+            ],
+        );
+        assert_eq!(one, two);
+        assert_ne!(one, PhaseScript::default());
+    }
+
+    #[test]
+    fn truncated_segment_hides_tail_phases() {
+        let mut seg = ScriptSegment::new(
+            vec![Arc::new(PhaseColumn::from_bins(vec![
+                Some(Value::Int(1)),
+                Some(Value::Int(2)),
+            ]))],
+            2,
+        );
+        seg.truncate(1);
+        let s = PhaseScript::from_segments(vec!["a".into()], vec![seg]);
+        assert_eq!(s.phases(), 1);
+        assert_eq!(s.event_count(), 1);
+        assert_eq!(s.column(0).collect::<Vec<_>>(), vec![Some(&Value::Int(1))]);
     }
 }

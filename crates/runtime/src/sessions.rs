@@ -284,6 +284,7 @@ impl SessionPool {
                     lane_depth: engine.injector_depth,
                     inflight: admitted.saturating_sub(retired),
                     buffered: e.probe.buffered() as u64,
+                    ingest_waits: engine.ingest_waits,
                     phases_retired: retired,
                     events_committed: events,
                     events_per_sec: if elapsed > 0.0 {
@@ -354,6 +355,11 @@ pub struct SessionMetrics {
     pub inflight: u64,
     /// Events buffered in the ingest queues, not yet sealed.
     pub buffered: u64,
+    /// Producer-side ingest contention so far: pushes that found their
+    /// source's shard full and had to block, retry or force a seal — a
+    /// tenant whose producers outrun its sealing shows up here before
+    /// it shows up as latency.
+    pub ingest_waits: u64,
     /// Phases fully completed.
     pub phases_retired: u64,
     /// Events committed to phases (cumulative: includes a restored WAL

@@ -75,13 +75,26 @@ fn oracle_history(script: &PhaseScript) -> ExecutionHistory {
 
 /// Asserts the restored run's history (covering phases `base+1..`)
 /// matches the corresponding tail of the uninterrupted oracle run —
-/// record for record, emission for emission.
+/// every *observable* record, emission for emission. Silent executions
+/// are compared by absence: the live engine's silence-aware admission
+/// never schedules a provably silent live-source poll, while the dense
+/// sequential oracle still records it, so silent records are filtered
+/// from both sides (exactly the contract of
+/// `ExecutionHistory::equivalent`).
 fn assert_tail_matches(full: &ExecutionHistory, restored: &ExecutionHistory, base: u64) {
+    use ec_core::RecordedEmission;
+    let observable =
+        |(_, e): &&(ec_events::Phase, RecordedEmission)| !matches!(e, RecordedEmission::Silent);
     assert_eq!(full.vertex_count(), restored.vertex_count());
     for vi in 0..full.vertex_count() {
         let v = VertexId(vi as u32);
-        let want: Vec<_> = full.of(v).iter().filter(|(p, _)| p.get() > base).collect();
-        let got: Vec<_> = restored.of(v).iter().collect();
+        let want: Vec<_> = full
+            .of(v)
+            .iter()
+            .filter(|(p, _)| p.get() > base)
+            .filter(observable)
+            .collect();
+        let got: Vec<_> = restored.of(v).iter().filter(observable).collect();
         assert_eq!(
             want.len(),
             got.len(),

@@ -194,11 +194,11 @@ fn by_count_policy_seals_automatically() {
     let report = rt.shutdown().unwrap();
     assert_eq!(report.phases, 2);
     assert_eq!(
-        report.script.rows[0],
+        report.script.row(0),
         vec![Some(Value::Float(1.0)), Some(Value::Float(3.0))]
     );
     assert_eq!(
-        report.script.rows[1],
+        report.script.row(1),
         vec![Some(Value::Float(2.0)), Some(Value::Float(4.0))]
     );
     let live = report.history.expect("history");
@@ -288,9 +288,9 @@ fn empty_epochs_interleave_correctly_with_events() {
     rt.tick().unwrap(); // phase 3: silent again
     let report = rt.shutdown().unwrap();
     assert_eq!(report.phases, 3);
-    assert_eq!(report.script.rows[0], vec![None, None]);
-    assert_eq!(report.script.rows[1], vec![Some(Value::Float(50.0)), None]);
-    assert_eq!(report.script.rows[2], vec![None, None]);
+    assert_eq!(report.script.row(0), vec![None, None]);
+    assert_eq!(report.script.row(1), vec![Some(Value::Float(50.0)), None]);
+    assert_eq!(report.script.row(2), vec![None, None]);
     let live = report.history.expect("history");
     assert_eq!(oracle_history(&report.script).equivalent(&live), Ok(()));
 }
