@@ -9,7 +9,13 @@
 //!   aggregation spine, history off) at 1, 4 and 8 worker threads;
 //! * `sessions` — the multi-tenant workload: 8 copies of the same
 //!   graph as tenant sessions on one shared `SessionPool`, at 4 and 8
-//!   workers, reporting aggregate events/second.
+//!   workers, reporting aggregate events/second;
+//! * `metrics` — the full `MetricsSnapshot` of the last 4-thread run
+//!   (scheduler counters, ingest counters, latency percentiles);
+//! * `obs` — the observability overhead A/B: the 4-thread workload
+//!   with the flight recorder + `/metrics` endpoint on vs off, runs
+//!   interleaved, with the instrumented run's snapshot. CI gates
+//!   `overhead_pct` at 5.
 //!
 //! ```text
 //! cargo run --release -p ec-bench --bin record [-- OUTPUT_PATH [EVENTS]]
@@ -24,60 +30,115 @@
 
 use ec_bench::{
     drive_runtime, drive_runtime_parallel, drive_sessions, ingest_workload, runtime_workload,
-    session_workload, INGEST_EPOCH, RUNTIME_EPOCH,
+    runtime_workload_observed, session_workload, INGEST_EPOCH, RUNTIME_EPOCH,
 };
 use std::io::Write;
 use std::time::Instant;
 
 const THREADS: [usize; 3] = [1, 4, 8];
+/// Thread count of the observability overhead A/B (and of the embedded
+/// metrics sample) — the middle of [`THREADS`].
+const OBS_THREADS: usize = 4;
 const SESSION_THREADS: [usize; 2] = [4, 8];
 const INGEST_PRODUCERS: [usize; 4] = [1, 2, 4, 8];
 const INGEST_THREADS: usize = 4;
 const SESSION_TENANTS: usize = 8;
 const DEFAULT_EVENTS: u64 = 20_000;
 const TIMED_RUNS: usize = 3;
+/// Paired rounds of the observability A/B. More than [`TIMED_RUNS`]
+/// because the A/B gates CI at a ±5% threshold, well inside the
+/// round-to-round drift of a shared container — medians over nine
+/// interleaved pairs keep the comparison honest.
+const OBS_AB_RUNS: usize = 9;
 
 fn median(mut rates: Vec<f64>) -> f64 {
     rates.sort_by(|a, b| a.total_cmp(b));
     rates[rates.len() / 2]
 }
 
-fn measure(threads: usize, events: u64) -> f64 {
+/// One timed pass of the workload built by `build`: events/second plus
+/// the run's full metrics snapshot.
+fn time_once<F>(build: &F, events: u64) -> (f64, ec_core::MetricsSnapshot)
+where
+    F: Fn() -> ec_runtime::StreamRuntime,
+{
+    let rt = build();
+    let start = Instant::now();
+    drive_runtime(&rt, events);
+    let elapsed = start.elapsed().as_secs_f64();
+    let m = rt.metrics();
+    if std::env::var_os("EC_BENCH_VERBOSE").is_some() {
+        eprintln!(
+            "  execs={} enq={} steals={} parks={} wakes={} \
+             lock_wait={}us crit={}us exec={}us depth~{:.1}",
+            m.executions,
+            m.enqueued,
+            m.scheduler.steals,
+            m.scheduler.parks,
+            m.scheduler.wakes,
+            m.lock_wait_nanos / 1_000,
+            m.critical_nanos / 1_000,
+            m.exec_nanos / 1_000,
+            m.mean_concurrent_phases(),
+        );
+    }
+    rt.shutdown().expect("clean shutdown");
+    (events as f64 / elapsed, m)
+}
+
+/// Measures the single-runtime workload built by `build`: one warmup
+/// pass, [`TIMED_RUNS`] timed passes, median rate. Also returns the
+/// final run's full metrics snapshot (counters + latency percentiles),
+/// which main() embeds in the trajectory entry.
+fn measure_built<F>(build: F, events: u64) -> (f64, ec_core::MetricsSnapshot)
+where
+    F: Fn() -> ec_runtime::StreamRuntime,
+{
     // Warmup: one full pass, untimed (thread spawn, allocator, caches).
     {
-        let rt = runtime_workload(threads);
+        let rt = build();
         drive_runtime(&rt, events.min(2_000));
         rt.shutdown().expect("clean shutdown");
     }
-    let verbose = std::env::var_os("EC_BENCH_VERBOSE").is_some();
-    median(
-        (0..TIMED_RUNS)
-            .map(|_| {
-                let rt = runtime_workload(threads);
-                let start = Instant::now();
-                drive_runtime(&rt, events);
-                let elapsed = start.elapsed().as_secs_f64();
-                if verbose {
-                    let m = rt.metrics();
-                    eprintln!(
-                        "  execs={} enq={} steals={} parks={} wakes={} \
-                         lock_wait={}us crit={}us exec={}us depth~{:.1}",
-                        m.executions,
-                        m.enqueued,
-                        m.steals,
-                        m.parks,
-                        m.wakes,
-                        m.lock_wait_nanos / 1_000,
-                        m.critical_nanos / 1_000,
-                        m.exec_nanos / 1_000,
-                        m.mean_concurrent_phases(),
-                    );
-                }
-                rt.shutdown().expect("clean shutdown");
-                events as f64 / elapsed
-            })
-            .collect(),
-    )
+    let mut sample = ec_core::MetricsSnapshot::default();
+    let rates = (0..TIMED_RUNS)
+        .map(|_| {
+            let (rate, m) = time_once(&build, events);
+            sample = m;
+            rate
+        })
+        .collect();
+    (median(rates), sample)
+}
+
+fn measure(threads: usize, events: u64) -> (f64, ec_core::MetricsSnapshot) {
+    measure_built(|| runtime_workload(threads), events)
+}
+
+/// The observability overhead A/B: the same workload with and without
+/// the flight recorder + `/metrics` endpoint, runs *interleaved*
+/// (base, obs, base, obs, …) so container drift between arms reads as
+/// noise, not overhead. Returns `(base median, obs median, obs
+/// sample)`.
+fn measure_obs_ab(events: u64) -> (f64, f64, ec_core::MetricsSnapshot) {
+    let base = || runtime_workload(OBS_THREADS);
+    let observed = || runtime_workload_observed(OBS_THREADS);
+    let warmups: [&dyn Fn() -> ec_runtime::StreamRuntime; 2] = [&base, &observed];
+    for build in warmups {
+        let rt = build();
+        drive_runtime(&rt, events.min(2_000));
+        rt.shutdown().expect("clean shutdown");
+    }
+    let mut base_rates = Vec::new();
+    let mut obs_rates = Vec::new();
+    let mut obs_sample = ec_core::MetricsSnapshot::default();
+    for _ in 0..OBS_AB_RUNS {
+        base_rates.push(time_once(&base, events).0);
+        let (rate, m) = time_once(&observed, events);
+        obs_rates.push(rate);
+        obs_sample = m;
+    }
+    (median(base_rates), median(obs_rates), obs_sample)
 }
 
 fn measure_ingest(producers: usize, events: u64) -> f64 {
@@ -99,14 +160,14 @@ fn measure_ingest(producers: usize, events: u64) -> f64 {
                     eprintln!(
                         "  waits={} seals={} mean_batch={:.1} lock_wait={}us crit={}us \
                          exec={}us parks={} wakes={} phases={}",
-                        m.ingest_waits,
-                        m.seal_batches,
+                        m.ingest.waits,
+                        m.ingest.seal_batches,
                         m.mean_seal_batch(),
                         m.lock_wait_nanos / 1_000,
                         m.critical_nanos / 1_000,
                         m.exec_nanos / 1_000,
-                        m.parks,
-                        m.wakes,
+                        m.scheduler.parks,
+                        m.scheduler.wakes,
                         m.phases_started,
                     );
                 }
@@ -188,13 +249,30 @@ fn main() {
         .unwrap_or(DEFAULT_EVENTS);
 
     let mut results = Vec::new();
+    let mut metrics_sample = ec_core::MetricsSnapshot::default();
     for &threads in &THREADS {
-        let rate = measure(threads, events);
+        let (rate, sample) = measure(threads, events);
         eprintln!("threads={threads}: {rate:.0} events/s");
         results.push(format!(
             "      {{\"threads\": {threads}, \"events_per_sec\": {rate:.1}}}"
         ));
+        if threads == OBS_THREADS {
+            metrics_sample = sample;
+        }
     }
+    // The observability A/B: same workload, same thread count, with the
+    // flight recorder and a live /metrics endpoint switched on. CI
+    // gates overhead_pct at 5.
+    let (base_rate, obs_rate, obs_sample) = measure_obs_ab(events);
+    let overhead_pct = if obs_rate > 0.0 && base_rate.is_finite() {
+        (base_rate / obs_rate - 1.0) * 100.0
+    } else {
+        0.0
+    };
+    eprintln!(
+        "obs A/B: threads={OBS_THREADS} instrumented={obs_rate:.0} \
+         uninstrumented={base_rate:.0} events/s overhead={overhead_pct:.2}%"
+    );
     let mut ingest = Vec::new();
     for &producers in &INGEST_PRODUCERS {
         let rate = measure_ingest(producers, events);
@@ -221,10 +299,18 @@ fn main() {
          \"epoch\": {RUNTIME_EPOCH},\n    \"ingest_epoch\": {INGEST_EPOCH},\n    \
          \"timed_runs\": {TIMED_RUNS},\n    \
          \"results\": [\n{}\n    ],\n    \"ingest\": [\n{}\n    ],\n    \
-         \"sessions\": [\n{}\n    ]\n  }}",
+         \"sessions\": [\n{}\n    ],\n    \
+         \"metrics\": {},\n    \
+         \"obs\": {{\"threads\": {OBS_THREADS}, \"ab_runs\": {OBS_AB_RUNS}, \
+         \"instrumented_events_per_sec\": {obs_rate:.1}, \
+         \"uninstrumented_events_per_sec\": {base_rate:.1}, \
+         \"overhead_pct\": {overhead_pct:.2}, \
+         \"metrics\": {}}}\n  }}",
         results.join(",\n"),
         ingest.join(",\n"),
-        sessions.join(",\n")
+        sessions.join(",\n"),
+        metrics_sample.to_json(),
+        obs_sample.to_json()
     );
     append_entry(&out_path, &entry).expect("write output");
     eprintln!("appended to {out_path}");

@@ -104,6 +104,18 @@ pub const RUNTIME_EPOCH: usize = 16;
 /// a shared aggregation spine, history recording off — the graph the
 /// `runtime_throughput` bench and the `record` baseline writer share.
 pub fn runtime_workload(threads: usize) -> ec_runtime::StreamRuntime {
+    runtime_workload_inner(threads, false)
+}
+
+/// [`runtime_workload`] with the full observability plane switched on:
+/// a flight recorder (4096-event rings) and an ephemeral `/metrics`
+/// endpoint. The instrumented arm of the overhead A/B that the
+/// `record` baseline writer measures and CI gates at ≤5%.
+pub fn runtime_workload_observed(threads: usize) -> ec_runtime::StreamRuntime {
+    runtime_workload_inner(threads, true)
+}
+
+fn runtime_workload_inner(threads: usize, observed: bool) -> ec_runtime::StreamRuntime {
     use ec_fusion::operators::moving::MovingAverage;
     use ec_fusion::operators::threshold::Threshold;
     let mut b = ec_runtime::StreamRuntime::builder()
@@ -112,6 +124,9 @@ pub fn runtime_workload(threads: usize) -> ec_runtime::StreamRuntime {
         .record_history(false)
         .record_script(false)
         .max_inflight(64);
+    if observed {
+        b = b.flight_recorder(4096).metrics_addr("127.0.0.1:0");
+    }
     let s1 = b.live_source("s1");
     let s2 = b.live_source("s2");
     let sum = b.add("sum", Aggregate::sum(), &[s1, s2]);
@@ -254,10 +269,10 @@ mod tests {
         drive_runtime_parallel(&rt, 4, 400);
         assert_eq!(rt.events_committed(), 400);
         let m = rt.metrics();
-        assert_eq!(m.ingest_depths.len(), 4);
-        assert_eq!(m.ingest_depths.iter().sum::<u64>(), 0, "all drained");
-        assert!(m.seal_batches > 0);
-        assert_eq!(m.seal_events, 400);
+        assert_eq!(m.ingest.depths.len(), 4);
+        assert_eq!(m.ingest.depths.iter().sum::<u64>(), 0, "all drained");
+        assert!(m.ingest.seal_batches > 0);
+        assert_eq!(m.ingest.seal_events, 400);
         assert!(m.mean_seal_batch() > 0.0);
         rt.shutdown().unwrap();
     }

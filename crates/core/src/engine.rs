@@ -28,7 +28,7 @@
 use crate::checkpoint::EngineCheckpoint;
 use crate::error::EngineError;
 use crate::history::{ExecutionHistory, RecordedEmission};
-use crate::metrics::{Metrics, MetricsSnapshot, PhaseGauge};
+use crate::metrics::{LatencyStats, Metrics, MetricsSnapshot, PhaseGauge, SchedulerCounters};
 use crate::module::Module;
 use crate::multi::{EnginePool, EngineQueue, PoolMembership};
 use crate::pool::{payload_to_string, WorkerPool};
@@ -38,12 +38,18 @@ use crate::trace::Trace;
 use crate::vertex::{route_emission, RoutedEmission, VertexSlot};
 use ec_events::{Phase, Value};
 use ec_graph::{Dag, Numbering, VertexId};
+use ec_obs::{FlightRecorder, HistogramBank, SpanKind};
 use parking_lot::{Condvar, Mutex, MutexGuard};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering::Relaxed};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering::Relaxed};
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
+
+/// Exec ring spans are sampled 1-in-(mask+1) per (phase, vertex); the
+/// exec histograms stay exact regardless. A ring write per vertex
+/// execution is the recorder's dominant cost at full throughput.
+const EXEC_SAMPLE_MASK: u64 = 7;
 
 /// Configuration for [`Engine`] construction.
 pub struct EngineBuilder {
@@ -58,6 +64,7 @@ pub struct EngineBuilder {
     resume_from: u64,
     pool: Option<EnginePool>,
     pool_weight: u32,
+    recorder: Option<Arc<FlightRecorder>>,
 }
 
 impl EngineBuilder {
@@ -78,6 +85,7 @@ impl EngineBuilder {
             resume_from: 0,
             pool: None,
             pool_weight: 1,
+            recorder: None,
         }
     }
 
@@ -154,6 +162,19 @@ impl EngineBuilder {
         self
     }
 
+    /// Attaches a flight recorder: workers and the admission path emit
+    /// span events (exec, phase admitted/retired, steal/park/wake) into
+    /// its per-lane rings. Lane 0 is the control plane; worker `w`
+    /// records into lane `w + 1`. Off by default — recording costs one
+    /// `Instant` read plus one ring write per event, and the
+    /// high-volume kinds (exec, phase retired) are sampled 1-in-8 so
+    /// the recorder stays cheap enough to leave on; histograms and
+    /// metrics counters see every event regardless.
+    pub fn flight_recorder(mut self, recorder: &Arc<FlightRecorder>) -> Self {
+        self.recorder = Some(Arc::clone(recorder));
+        self
+    }
+
     /// Builds the engine.
     pub fn build(self) -> Result<Engine, EngineError> {
         let numbering = Numbering::compute(&self.dag);
@@ -196,6 +217,9 @@ impl EngineBuilder {
             .as_ref()
             .map(|m| m.threads())
             .unwrap_or(self.threads);
+        if let Some(recorder) = &self.recorder {
+            queue.set_recorder(recorder);
+        }
 
         Ok(Engine {
             shared: Arc::new(Shared {
@@ -208,6 +232,10 @@ impl EngineBuilder {
                 numbering,
                 metrics: Metrics::new(),
                 gauge: PhaseGauge::with_capacity(self.max_inflight),
+                admit_clock: AdmitClock::new(self.max_inflight, self.resume_from),
+                exec_hist: HistogramBank::new(threads),
+                phase_hist: HistogramBank::new(threads),
+                recorder: self.recorder,
                 record_history: self.record_history,
                 history: Mutex::new(if self.record_history {
                     Some(ExecutionHistory::new(n))
@@ -223,6 +251,69 @@ impl EngineBuilder {
             env_delay: self.env_delay,
             membership,
         })
+    }
+}
+
+/// Admission timestamps for in-flight phases, in a power-of-two ring of
+/// atomic slots indexed `phase & mask` — the same windowing argument as
+/// [`PhaseGauge`]: at most `max_inflight` consecutive phases are ever
+/// in flight, so distinct in-flight phases never collide while the
+/// capacity covers the window. Retirement walks the frontier exactly
+/// once (a CAS claims the newly retired range), so each phase's
+/// admission→retirement latency is recorded exactly once.
+pub(crate) struct AdmitClock {
+    epoch: Instant,
+    slots: Vec<AtomicU64>,
+    mask: u64,
+    /// Highest phase whose retirement latency has been recorded.
+    last_retired: AtomicU64,
+}
+
+impl AdmitClock {
+    fn new(max_inflight: u64, resume_from: u64) -> AdmitClock {
+        let cap = max_inflight.clamp(2, 1 << 16).next_power_of_two();
+        AdmitClock {
+            epoch: Instant::now(),
+            slots: (0..cap).map(|_| AtomicU64::new(0)).collect(),
+            mask: cap - 1,
+            last_retired: AtomicU64::new(resume_from),
+        }
+    }
+
+    /// Stamps `phase`'s admission time off a clock read the caller
+    /// already made. Called under the state lock (right after
+    /// `start_phase`), so a racing retirement of this very phase cannot
+    /// read the slot before the stamp lands.
+    #[inline]
+    fn note_admitted_at(&self, phase: u64, now: Instant) {
+        let nanos = now.saturating_duration_since(self.epoch).as_nanos() as u64;
+        self.slots[(phase & self.mask) as usize].store(nanos, Relaxed);
+    }
+
+    /// Claims the newly retired range `(prev, frontier]` and reports
+    /// each phase's latency to `f(phase, nanos, end)` — `end` is the
+    /// single clock read shared by the whole batch. Exactly-once: the
+    /// CAS loop hands every phase to a single caller.
+    fn drain_retired(&self, frontier: u64, mut f: impl FnMut(u64, u64, Instant)) {
+        let mut prev = self.last_retired.load(Relaxed);
+        loop {
+            if frontier <= prev {
+                return;
+            }
+            match self
+                .last_retired
+                .compare_exchange_weak(prev, frontier, Relaxed, Relaxed)
+            {
+                Ok(_) => break,
+                Err(seen) => prev = seen,
+            }
+        }
+        let end = Instant::now();
+        let now = end.saturating_duration_since(self.epoch).as_nanos() as u64;
+        for phase in prev + 1..=frontier {
+            let admitted = self.slots[(phase & self.mask) as usize].load(Relaxed);
+            f(phase, now.saturating_sub(admitted), end);
+        }
     }
 }
 
@@ -258,6 +349,16 @@ pub(crate) struct Shared {
     pub(crate) metrics: Metrics,
     /// Distinct-phases-executing gauge (Figure 1 pipelining depth).
     gauge: PhaseGauge,
+    /// Admission timestamps per in-flight phase, for the seal→retire
+    /// latency histogram.
+    admit_clock: AdmitClock,
+    /// Per-worker module-execution duration histograms.
+    exec_hist: HistogramBank,
+    /// Per-worker phase admission→retirement latency histograms.
+    phase_hist: HistogramBank,
+    /// Optional flight recorder (lane 0 = control, lane `w+1` = worker
+    /// `w`).
+    pub(crate) recorder: Option<Arc<FlightRecorder>>,
     /// Mirror of `history.is_some()`, readable without the lock.
     record_history: bool,
     /// Optional execution history.
@@ -344,6 +445,57 @@ impl Shared {
         }
     }
 
+    /// Stamps a freshly started phase's admission time and records the
+    /// span event. Call under the state lock, right after
+    /// `start_phase`.
+    pub(crate) fn note_admitted(&self, phase: u64) {
+        let now = Instant::now();
+        self.admit_clock.note_admitted_at(phase, now);
+        if let Some(r) = &self.recorder {
+            // One clock read serves both the admit stamp and the span.
+            r.record_span_ending(0, SpanKind::PhaseAdmitted, phase, 1, 0, now);
+        }
+    }
+
+    /// Stamps `phase`'s admission time off a clock read the caller
+    /// already made, without emitting a ring event. Batch admission
+    /// stamps every phase in the batch with one shared read and emits
+    /// a single [`Shared::record_admitted_batch`] span once the state
+    /// lock is dropped, keeping the recorder off the serial section.
+    #[inline]
+    pub(crate) fn stamp_admitted(&self, phase: u64, now: Instant) {
+        self.admit_clock.note_admitted_at(phase, now);
+    }
+
+    /// Emits one `PhaseAdmitted` span covering the contiguous batch
+    /// `[first, first + count)`. Call after the state lock is dropped.
+    pub(crate) fn record_admitted_batch(&self, first: u64, count: u64, now: Instant) {
+        if let Some(r) = &self.recorder {
+            r.record_span_ending(0, SpanKind::PhaseAdmitted, first, count, 0, now);
+        }
+    }
+
+    /// Records admission→retirement latency for every phase newly
+    /// covered by the completion frontier. `worker` is the calling
+    /// worker, if any (`None` for the admission path's silent-phase
+    /// completions).
+    pub(crate) fn note_retired(&self, frontier: u64, worker: Option<usize>) {
+        let lane = worker.map(|w| w + 1).unwrap_or(0);
+        self.admit_clock
+            .drain_retired(frontier, |phase, nanos, end| {
+                self.phase_hist.record(worker.unwrap_or(0), nanos);
+                if let Some(r) = &self.recorder {
+                    // Sampled 1-in-8 like exec spans; the phase-latency
+                    // histogram above sees every phase regardless. Phases
+                    // number from 1, so `== 1` keeps the very first phase
+                    // of a run (and therefore tiny runs) in the trace.
+                    if phase & EXEC_SAMPLE_MASK == 1 {
+                        r.record_span_ending(lane, SpanKind::PhaseRetired, phase, nanos, 0, end);
+                    }
+                }
+            });
+    }
+
     pub(crate) fn fail(&self, error: EngineError) {
         self.failed_fast.store(true, Relaxed);
         {
@@ -414,9 +566,27 @@ impl Shared {
                 &self.numbering,
             )
         }));
-        self.metrics
-            .exec_nanos
-            .fetch_add(exec_start.elapsed().as_nanos() as u64, Relaxed);
+        let exec_end = Instant::now();
+        let exec_nanos = exec_end.saturating_duration_since(exec_start).as_nanos() as u64;
+        self.metrics.exec_nanos.fetch_add(exec_nanos, Relaxed);
+        self.exec_hist.record(worker, exec_nanos);
+        if let Some(r) = &self.recorder {
+            // Exec spans are sampled 1-in-8: the histograms above stay
+            // exact, but a ring write per vertex execution is the
+            // single largest recorder cost at full throughput. Reuse
+            // the exec-end read — recording costs a ring write, not
+            // another clock read.
+            if (phase ^ idx as u64) & EXEC_SAMPLE_MASK == 0 {
+                r.record_span_ending(
+                    worker + 1,
+                    SpanKind::Exec,
+                    phase,
+                    idx as u64,
+                    exec_nanos,
+                    exec_end,
+                );
+            }
+        }
         self.gauge.exit(phase);
 
         let routed = match result {
@@ -466,6 +636,11 @@ impl Shared {
             }
         }
         let completed = transition.phases_completed;
+        let frontier = if completed > 0 {
+            st.completed_through()
+        } else {
+            0
+        };
         self.metrics
             .critical_nanos
             .fetch_add(crit_start.elapsed().as_nanos() as u64, Relaxed);
@@ -485,6 +660,7 @@ impl Shared {
         }
         if completed > 0 {
             self.metrics.phases_completed.fetch_add(completed, Relaxed);
+            self.note_retired(frontier, Some(worker));
             self.notify_progress();
         }
     }
@@ -520,16 +696,23 @@ impl Shared {
     }
 
     /// Snapshots the counters plus the sharded-queue observability
-    /// fields (steal/park/wake counts, per-worker depths).
+    /// fields (steal/park/wake counts, per-worker depths) and the
+    /// engine-side latency histograms, merged across workers.
     pub(crate) fn metrics_snapshot(&self) -> MetricsSnapshot {
-        let mut snap = self.metrics.snapshot();
         let stats = self.queue.stats();
-        snap.steals = stats.steals.load(Relaxed);
-        snap.parks = stats.parks.load(Relaxed);
-        snap.wakes = stats.wakes.load(Relaxed);
-        snap.worker_queue_depths = self.queue.shard_depths();
-        snap.injector_depth = self.queue.injector_depth();
-        snap
+        let scheduler = SchedulerCounters {
+            steals: stats.steals.load(Relaxed),
+            parks: stats.parks.load(Relaxed),
+            wakes: stats.wakes.load(Relaxed),
+            worker_queue_depths: self.queue.shard_depths(),
+            injector_depth: self.queue.injector_depth(),
+        };
+        let latency = LatencyStats {
+            phase: self.phase_hist.snapshot(),
+            exec: self.exec_hist.snapshot(),
+            ..Default::default()
+        };
+        self.metrics.snapshot_with(scheduler, latency)
     }
 
     /// The body of Listing 2's loop, bounded to `target` phases.
@@ -544,7 +727,8 @@ impl Shared {
                 return;
             }
             transition.reset();
-            st.start_phase(&mut transition);
+            let phase = st.start_phase(&mut transition);
+            self.note_admitted(phase);
             if self.check_invariants {
                 if let Err(msg) = st.check_invariants() {
                     drop(st);

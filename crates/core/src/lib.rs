@@ -83,7 +83,9 @@ pub use engine::{Engine, EngineBuilder, RunReport};
 pub use error::EngineError;
 pub use history::{Divergence, ExecutionHistory, RecordedEmission, SinkRecord};
 pub use live::LiveEngine;
-pub use metrics::{Metrics, MetricsSnapshot, PhaseGauge};
+pub use metrics::{
+    IngestCounters, LatencyStats, Metrics, MetricsSnapshot, PhaseGauge, SchedulerCounters,
+};
 pub use module::{
     AlwaysEmit, CollectSink, Emission, ExecCtx, FnModule, InputView, Module, PassThrough,
     SourceModule, SumModule, Workload,

@@ -35,7 +35,7 @@ use ec_graph::Numbering;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A long-running engine whose phases are admitted by the caller.
 ///
@@ -128,6 +128,7 @@ impl LiveEngine {
         }
         let mut transition = Transition::default();
         let phase = st.start_phase(&mut transition);
+        self.shared.note_admitted(phase);
         if self.shared.check_invariants {
             if let Err(msg) = st.check_invariants() {
                 drop(st);
@@ -204,18 +205,25 @@ impl LiveEngine {
         let headroom = self.max_inflight - st.inflight();
         let batch = limit.min(headroom).max(1);
         let mut transition = Transition::default();
+        // One clock read stamps the whole batch; the ring span for it
+        // is emitted after the lock drops so the recorder never sits
+        // on the admission serial section.
+        let admitted_at = Instant::now();
+        let mut first_phase = 0;
         for offset in 0..batch {
-            match is_silent.as_mut() {
+            let phase = match is_silent.as_mut() {
                 Some(is_silent) => {
                     let numbering = &self.shared.numbering;
                     st.start_phase_filtered(&mut transition, |s| {
                         !is_silent(offset, numbering.vertex_at(s))
-                    });
+                    })
                 }
-                None => {
-                    st.start_phase(&mut transition);
-                }
+                None => st.start_phase(&mut transition),
+            };
+            if offset == 0 {
+                first_phase = phase;
             }
+            self.shared.stamp_admitted(phase, admitted_at);
             if self.shared.check_invariants {
                 if let Err(msg) = st.check_invariants() {
                     drop(st);
@@ -225,10 +233,17 @@ impl LiveEngine {
                 }
             }
         }
+        let completed = transition.phases_completed;
+        let frontier = if completed > 0 {
+            st.completed_through()
+        } else {
+            0
+        };
         drop(st);
+        self.shared
+            .record_admitted_batch(first_phase, batch, admitted_at);
         // All-silent phases complete at admission (no worker will ever
         // touch them): publish that progress exactly as a worker would.
-        let completed = transition.phases_completed;
         self.shared.enqueue_all(&mut transition, None);
         self.shared.metrics.phases_started.fetch_add(batch, Relaxed);
         if completed > 0 {
@@ -236,6 +251,7 @@ impl LiveEngine {
                 .metrics
                 .phases_completed
                 .fetch_add(completed, Relaxed);
+            self.shared.note_retired(frontier, None);
             self.shared.notify_progress();
         }
         Ok(batch)

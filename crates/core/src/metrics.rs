@@ -11,6 +11,7 @@
 //! the worker threads have been joined (which provides the necessary
 //! happens-before edge).
 
+use ec_obs::HistogramSnapshot;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering::Relaxed};
 
 /// Shared counters updated by workers and the environment thread.
@@ -61,10 +62,17 @@ impl Metrics {
         self.max_concurrent_phases.fetch_max(depth, Relaxed);
     }
 
-    /// Snapshots all counters. Scheduler fields (steals, parks, wakes,
-    /// queue depths) are filled by the engine, which owns the sharded
-    /// run queue.
-    pub fn snapshot(&self) -> MetricsSnapshot {
+    /// Snapshots all counters. The scheduler block is a *parameter*,
+    /// not a default: only the engine can see the sharded run queue, so
+    /// the type makes it impossible to build a snapshot that silently
+    /// reports zero steals/parks/depths (the bug the old
+    /// caller-overwrites-zeros contract invited). Latency histograms
+    /// are likewise merged and passed in by their owner.
+    pub fn snapshot_with(
+        &self,
+        scheduler: SchedulerCounters,
+        latency: LatencyStats,
+    ) -> MetricsSnapshot {
         MetricsSnapshot {
             executions: self.executions.load(Relaxed),
             silent_executions: self.silent_executions.load(Relaxed),
@@ -80,16 +88,79 @@ impl Metrics {
             max_concurrent_phases: self.max_concurrent_phases.load(Relaxed),
             concurrent_phase_sum: self.concurrent_phase_sum.load(Relaxed),
             concurrent_phase_samples: self.concurrent_phase_samples.load(Relaxed),
-            steals: 0,
-            parks: 0,
-            wakes: 0,
-            worker_queue_depths: Vec::new(),
-            injector_depth: 0,
-            ingest_depths: Vec::new(),
-            ingest_waits: 0,
-            seal_batches: 0,
-            seal_events: 0,
+            scheduler,
+            ingest: IngestCounters::default(),
+            latency,
         }
+    }
+}
+
+/// Scheduler-owned counters of a [`MetricsSnapshot`]: the engine reads
+/// these off its sharded run queue at snapshot time. Kept as a separate
+/// struct so [`Metrics::snapshot_with`] can *require* them — no
+/// snapshot path can forget to fill them in.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SchedulerCounters {
+    /// Successful steals between worker shards.
+    pub steals: u64,
+    /// Times a worker parked after finding no work anywhere.
+    pub parks: u64,
+    /// Targeted wakeups issued to parked workers.
+    pub wakes: u64,
+    /// Per-worker run-queue depth at snapshot time (racy; observability
+    /// only).
+    pub worker_queue_depths: Vec<u64>,
+    /// Shared-injector depth at snapshot time (racy; observability
+    /// only).
+    pub injector_depth: u64,
+}
+
+/// Ingest-plane counters of a [`MetricsSnapshot`], filled by the
+/// streaming runtime (zero for engines without an ingest plane — which
+/// genuinely have none, unlike the scheduler fields).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IngestCounters {
+    /// Per-source ingest buffer depths at snapshot time (racy;
+    /// observability only).
+    pub depths: Vec<u64>,
+    /// Producer-side contention: pushes that found their source's
+    /// buffer full and had to block, retry, or force a seal.
+    pub waits: u64,
+    /// Epoch seals that committed at least one phase.
+    pub seal_batches: u64,
+    /// Events drained by those seals; `seal_events / seal_batches` is
+    /// the mean drain batch size.
+    pub seal_events: u64,
+}
+
+/// Latency distributions of a [`MetricsSnapshot`]: log2-bucketed
+/// histograms merged across workers at snapshot time. All values are
+/// nanoseconds; percentiles come from
+/// [`HistogramSnapshot::percentile`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LatencyStats {
+    /// Admission → retirement latency per phase (how long a phase
+    /// lived in the machine).
+    pub phase: HistogramSnapshot,
+    /// Per-vertex module execution duration.
+    pub exec: HistogramSnapshot,
+    /// WAL group-commit duration (streaming runtime only).
+    pub wal_commit: HistogramSnapshot,
+    /// Producer push-wait duration: time a `push` spent bounced off a
+    /// full ingest buffer before succeeding (streaming runtime only).
+    pub ingest_wait: HistogramSnapshot,
+}
+
+impl LatencyStats {
+    /// Hand-rolled JSON object of the four histograms.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"phase\":{},\"exec\":{},\"wal_commit\":{},\"ingest_wait\":{}}}",
+            self.phase.to_json(),
+            self.exec.to_json(),
+            self.wal_commit.to_json(),
+            self.ingest_wait.to_json()
+        )
     }
 }
 
@@ -124,31 +195,13 @@ pub struct MetricsSnapshot {
     pub concurrent_phase_sum: u64,
     /// Number of depth samples.
     pub concurrent_phase_samples: u64,
-    /// Successful steals between worker shards (sharded scheduler).
-    pub steals: u64,
-    /// Times a worker parked after finding no work anywhere.
-    pub parks: u64,
-    /// Targeted wakeups issued to parked workers.
-    pub wakes: u64,
-    /// Per-worker run-queue depth at snapshot time (racy; observability
-    /// only).
-    pub worker_queue_depths: Vec<u64>,
-    /// Shared-injector depth at snapshot time (racy; observability
-    /// only).
-    pub injector_depth: u64,
-    /// Per-source ingest buffer depths at snapshot time (streaming
-    /// runtime only; racy; observability only).
-    pub ingest_depths: Vec<u64>,
-    /// Producer-side ingest contention: pushes that found their
-    /// source's buffer full and had to block, retry, or force a seal
-    /// (streaming runtime only).
-    pub ingest_waits: u64,
-    /// Epoch seals that committed at least one phase (streaming
-    /// runtime only).
-    pub seal_batches: u64,
-    /// Events drained by those seals; `seal_events / seal_batches` is
-    /// the mean drain batch size (streaming runtime only).
-    pub seal_events: u64,
+    /// Scheduler-owned counters, filled by the engine (required by
+    /// [`Metrics::snapshot_with`]).
+    pub scheduler: SchedulerCounters,
+    /// Ingest-plane counters, filled by the streaming runtime.
+    pub ingest: IngestCounters,
+    /// Latency histograms, merged across workers at snapshot time.
+    pub latency: LatencyStats,
 }
 
 impl MetricsSnapshot {
@@ -173,10 +226,10 @@ impl MetricsSnapshot {
 
     /// Mean events drained per epoch seal (streaming runtime only).
     pub fn mean_seal_batch(&self) -> f64 {
-        if self.seal_batches == 0 {
+        if self.ingest.seal_batches == 0 {
             0.0
         } else {
-            self.seal_events as f64 / self.seal_batches as f64
+            self.ingest.seal_events as f64 / self.ingest.seal_batches as f64
         }
     }
 
@@ -189,6 +242,58 @@ impl MetricsSnapshot {
         } else {
             (self.lock_wait_nanos + self.critical_nanos) as f64 / self.exec_nanos as f64
         }
+    }
+
+    /// Hand-rolled JSON object: flat counters, derived ratios, the
+    /// scheduler/ingest blocks, and the latency histograms as
+    /// percentile summaries. The offline serde shim is a no-op, so
+    /// serialization is spelled out here.
+    pub fn to_json(&self) -> String {
+        let depths = |v: &[u64]| {
+            let items: Vec<String> = v.iter().map(u64::to_string).collect();
+            format!("[{}]", items.join(","))
+        };
+        format!(
+            "{{\"executions\":{},\"silent_executions\":{},\"messages_sent\":{},\
+             \"sink_outputs\":{},\"enqueued\":{},\"phases_started\":{},\"phases_completed\":{},\
+             \"lock_acquisitions\":{},\"lock_wait_nanos\":{},\"exec_nanos\":{},\
+             \"critical_nanos\":{},\"max_concurrent_phases\":{},\"mean_concurrent_phases\":{:.3},\
+             \"silent_fraction\":{:.4},\"bookkeeping_ratio\":{:.4},\
+             \"scheduler\":{{\"steals\":{},\"parks\":{},\"wakes\":{},\
+             \"worker_queue_depths\":{},\"injector_depth\":{}}},\
+             \"ingest\":{{\"depths\":{},\"waits\":{},\"seal_batches\":{},\"seal_events\":{},\
+             \"mean_seal_batch\":{:.2}}},\"latency\":{}}}",
+            self.executions,
+            self.silent_executions,
+            self.messages_sent,
+            self.sink_outputs,
+            self.enqueued,
+            self.phases_started,
+            self.phases_completed,
+            self.lock_acquisitions,
+            self.lock_wait_nanos,
+            self.exec_nanos,
+            self.critical_nanos,
+            self.max_concurrent_phases,
+            self.mean_concurrent_phases(),
+            self.silent_fraction(),
+            if self.bookkeeping_ratio().is_finite() {
+                self.bookkeeping_ratio()
+            } else {
+                0.0
+            },
+            self.scheduler.steals,
+            self.scheduler.parks,
+            self.scheduler.wakes,
+            depths(&self.scheduler.worker_queue_depths),
+            self.scheduler.injector_depth,
+            depths(&self.ingest.depths),
+            self.ingest.waits,
+            self.ingest.seal_batches,
+            self.ingest.seal_events,
+            self.mean_seal_batch(),
+            self.latency.to_json()
+        )
     }
 }
 
@@ -272,14 +377,25 @@ mod tests {
     use super::*;
 
     #[test]
-    fn snapshot_copies_counters() {
+    fn snapshot_copies_counters_and_the_scheduler_block() {
         let m = Metrics::new();
         m.executions.fetch_add(3, Relaxed);
         m.messages_sent.fetch_add(5, Relaxed);
-        let s = m.snapshot();
+        let sched = SchedulerCounters {
+            steals: 7,
+            parks: 1,
+            wakes: 2,
+            worker_queue_depths: vec![0, 3],
+            injector_depth: 4,
+        };
+        let s = m.snapshot_with(sched.clone(), LatencyStats::default());
         assert_eq!(s.executions, 3);
         assert_eq!(s.messages_sent, 5);
         assert_eq!(s.silent_executions, 0);
+        // The engine-owned block is whatever the engine supplied — the
+        // old API hard-zeroed these and hoped callers would overwrite.
+        assert_eq!(s.scheduler, sched);
+        assert_eq!(s.ingest, IngestCounters::default());
     }
 
     #[test]
@@ -287,9 +403,37 @@ mod tests {
         let m = Metrics::new();
         m.sample_concurrent_phases(2);
         m.sample_concurrent_phases(4);
-        let s = m.snapshot();
+        let s = m.snapshot_with(SchedulerCounters::default(), LatencyStats::default());
         assert_eq!(s.max_concurrent_phases, 4);
         assert!((s.mean_concurrent_phases() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_json_is_well_formed() {
+        let m = Metrics::new();
+        m.executions.fetch_add(2, Relaxed);
+        let mut latency = LatencyStats::default();
+        let h = ec_obs::LogHistogram::new();
+        h.record(1_000);
+        latency.exec = h.snapshot();
+        let s = m.snapshot_with(
+            SchedulerCounters {
+                worker_queue_depths: vec![1, 2],
+                ..Default::default()
+            },
+            latency,
+        );
+        let j = s.to_json();
+        assert!(j.contains("\"executions\":2"), "{j}");
+        assert!(j.contains("\"worker_queue_depths\":[1,2]"), "{j}");
+        assert!(j.contains("\"exec\":{\"count\":1"), "{j}");
+        // Balanced braces — the cheap structural check the bench
+        // trajectory relies on.
+        assert_eq!(
+            j.matches('{').count(),
+            j.matches('}').count(),
+            "unbalanced JSON: {j}"
+        );
     }
 
     #[test]

@@ -137,6 +137,12 @@ impl EngineQueue {
         &self.queue.stats
     }
 
+    /// Attaches a flight recorder for steal/park/wake events (first
+    /// setter wins on a pool-shared queue).
+    pub(crate) fn set_recorder(&self, recorder: &Arc<ec_obs::FlightRecorder>) {
+        self.queue.set_recorder(recorder);
+    }
+
     /// Per-worker shard depths of the underlying queue.
     pub(crate) fn shard_depths(&self) -> Vec<u64> {
         self.queue.shard_depths()

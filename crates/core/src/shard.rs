@@ -42,10 +42,12 @@
 //! sees the new item, or the producer's wake sees the registered sleeper
 //! — there is no interleaving in which an item waits on a parked pool.
 
+use ec_obs::{FlightRecorder, SpanKind};
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::sync::atomic::Ordering::SeqCst;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering::Relaxed};
+use std::sync::{Arc, OnceLock};
 
 pub use crate::queue::Dequeued;
 
@@ -162,6 +164,10 @@ pub struct ShardedQueue<T> {
     parkers: Vec<Parker>,
     /// Observability counters.
     pub stats: QueueStats,
+    /// Optional flight recorder for steal/park/wake span events. All
+    /// three sites are off the fast local-pop path, so the cost of the
+    /// `OnceLock` load is paid only when a worker is already slow.
+    recorder: OnceLock<Arc<FlightRecorder>>,
 }
 
 impl<T> ShardedQueue<T> {
@@ -189,7 +195,15 @@ impl<T> ShardedQueue<T> {
             pending_wakes: AtomicUsize::new(0),
             parkers: (0..workers).map(|_| Parker::new()).collect(),
             stats: QueueStats::default(),
+            recorder: OnceLock::new(),
         }
+    }
+
+    /// Attaches a flight recorder for steal/park/wake events. First
+    /// caller wins (a pool-shared queue keeps the recorder of the
+    /// engine that set it first); later calls are ignored.
+    pub fn set_recorder(&self, recorder: &Arc<FlightRecorder>) {
+        let _ = self.recorder.set(Arc::clone(recorder));
     }
 
     /// Number of worker shards.
@@ -286,6 +300,9 @@ impl<T> ShardedQueue<T> {
         };
         if let Some(id) = woken {
             self.stats.wakes.fetch_add(1, Relaxed);
+            if let Some(r) = self.recorder.get() {
+                r.record(id + 1, SpanKind::Wake, id as u64, 0);
+            }
             self.parkers[id].unpark();
         }
     }
@@ -400,6 +417,9 @@ impl<T> ShardedQueue<T> {
                     self.shards[worker].lock().extend(taken);
                 }
                 self.stats.steals.fetch_add(1, Relaxed);
+                if let Some(r) = self.recorder.get() {
+                    r.record(worker + 1, SpanKind::Steal, victim as u64, batch as u64 + 1);
+                }
                 return Some(first);
             }
         }
@@ -448,6 +468,9 @@ impl<T> ShardedQueue<T> {
                 continue;
             }
             self.stats.parks.fetch_add(1, Relaxed);
+            if let Some(r) = self.recorder.get() {
+                r.record(worker + 1, SpanKind::Park, worker as u64, 0);
+            }
             self.parkers[worker].park();
             self.ack_wake();
         }

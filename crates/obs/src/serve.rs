@@ -1,0 +1,199 @@
+//! A minimal std-only TCP `/metrics` endpoint.
+//!
+//! One listener thread, one connection at a time, `Connection: close` —
+//! exactly enough HTTP for a Prometheus scraper or `curl`, with no
+//! framework and no dependency. The server owns nothing but a render
+//! closure: every request re-renders the page, so scrapes always see
+//! live numbers. Binding port 0 picks a free port
+//! ([`local_addr`](MetricsServer::local_addr) reports it), which is how
+//! tests avoid collisions.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Renders the `/metrics` page on demand.
+pub type RenderFn = Arc<dyn Fn() -> String + Send + Sync>;
+
+/// A background thread serving `GET /metrics` over plain HTTP/1.1.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for MetricsServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsServer")
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:9184"`, port 0 for ephemeral) and
+    /// serves `render()` to every `GET /metrics` until
+    /// [`stop`](Self::stop) or drop.
+    pub fn bind(addr: &str, render: RenderFn) -> io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("ec-metrics".into())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if thread_stop.load(SeqCst) {
+                        break;
+                    }
+                    if let Ok(stream) = stream {
+                        let _ = serve_one(stream, &render);
+                    }
+                }
+            })?;
+        Ok(MetricsServer {
+            addr: local,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the listener thread and joins it. Idempotent.
+    pub fn stop(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            self.stop.store(true, SeqCst);
+            // Unblock the accept loop with a throwaway connection.
+            let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Answers one request: `/metrics` (or `/`) gets the rendered page,
+/// anything else a 404.
+fn serve_one(mut stream: TcpStream, render: &RenderFn) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    let mut buf = [0u8; 4096];
+    let mut req = Vec::new();
+    loop {
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            break;
+        }
+        req.extend_from_slice(&buf[..n]);
+        if req.windows(4).any(|w| w == b"\r\n\r\n") || req.len() > 16 * 1024 {
+            break;
+        }
+    }
+    let request_line = String::from_utf8_lossy(&req);
+    let path = request_line
+        .lines()
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .unwrap_or("/");
+    let (status, body) = if path == "/metrics" || path == "/" {
+        ("200 OK", render())
+    } else {
+        ("404 Not Found", String::from("not found\n"))
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())
+}
+
+/// A matching minimal HTTP client: fetches `path` from `addr` and
+/// returns the body of a 200 response. Used by `ec top` and tests.
+pub fn http_get(addr: &str, path: &str) -> io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    let request = format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
+    stream.write_all(request.as_bytes())?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "no header terminator"))?;
+    let status = head.lines().next().unwrap_or("");
+    if !status.contains("200") {
+        return Err(io::Error::other(format!("unexpected status: {status}")));
+    }
+    Ok(body.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serves_the_rendered_page() {
+        let server = MetricsServer::bind(
+            "127.0.0.1:0",
+            Arc::new(|| "# TYPE ec_up gauge\nec_up 1\n".to_string()),
+        )
+        .expect("bind");
+        let addr = server.local_addr().to_string();
+        let body = http_get(&addr, "/metrics").expect("fetch");
+        assert_eq!(body, "# TYPE ec_up gauge\nec_up 1\n");
+        assert_eq!(crate::validate_exposition(&body), Ok(1));
+    }
+
+    #[test]
+    fn unknown_paths_get_404() {
+        let server = MetricsServer::bind("127.0.0.1:0", Arc::new(String::new)).expect("bind");
+        let addr = server.local_addr().to_string();
+        let err = http_get(&addr, "/nope").expect_err("404");
+        assert!(err.to_string().contains("404"), "{err}");
+    }
+
+    #[test]
+    fn stop_joins_and_is_idempotent() {
+        let mut server =
+            MetricsServer::bind("127.0.0.1:0", Arc::new(|| "x".to_string())).expect("bind");
+        let addr = server.local_addr().to_string();
+        assert!(http_get(&addr, "/metrics").is_ok());
+        server.stop();
+        server.stop();
+        assert!(http_get(&addr, "/metrics").is_err());
+    }
+
+    #[test]
+    fn every_scrape_re_renders() {
+        use std::sync::atomic::AtomicU64;
+        let hits = Arc::new(AtomicU64::new(0));
+        let render_hits = Arc::clone(&hits);
+        let server = MetricsServer::bind(
+            "127.0.0.1:0",
+            Arc::new(move || {
+                let n = render_hits.fetch_add(1, SeqCst) + 1;
+                format!("# TYPE ec_scrapes counter\nec_scrapes {n}\n")
+            }),
+        )
+        .expect("bind");
+        let addr = server.local_addr().to_string();
+        assert!(http_get(&addr, "/metrics")
+            .unwrap()
+            .contains("ec_scrapes 1"));
+        assert!(http_get(&addr, "/metrics")
+            .unwrap()
+            .contains("ec_scrapes 2"));
+    }
+}

@@ -1,0 +1,177 @@
+//! Property tests for the flight recorder: randomized concurrent
+//! record/drain interleavings conserve every event exactly (in the
+//! style of the runtime's `ingest_props.rs` ingest reconciliation).
+//!
+//! Each case runs one producer thread per lane — the engine's
+//! single-writer-per-lane discipline — racing a drainer thread that
+//! empties the rings at random moments. The reconciliation is exact,
+//! not statistical:
+//!
+//! * every recorded event is either drained exactly once or counted as
+//!   overwritten by ring wraparound: `recorded == drained + overwritten`
+//!   once the final drain has run;
+//! * drained events leave each lane oldest-first, so the concatenation
+//!   of successive drains is strictly increasing in sequence number and
+//!   non-decreasing in timestamp;
+//! * whatever survives renders into well-formed Chrome trace JSON with
+//!   non-negative, per-lane monotonic timestamps.
+
+use ec_obs::{chrome_trace_from, validate_chrome_trace, FlightRecorder, SpanEvent, SpanKind};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
+
+const KINDS: [SpanKind; 5] = [
+    SpanKind::Exec,
+    SpanKind::PhaseAdmitted,
+    SpanKind::PhaseRetired,
+    SpanKind::Steal,
+    SpanKind::Park,
+];
+
+/// Records `events` sequence-numbered events into every lane from one
+/// thread per lane while a drainer empties the rings at random moments;
+/// returns the per-lane concatenation of everything drained.
+fn race_record_drain(
+    recorder: &FlightRecorder,
+    events: u64,
+    seed: u64,
+    drains: usize,
+) -> Vec<Vec<SpanEvent>> {
+    let lanes = recorder.lanes();
+    let mut drained: Vec<Vec<SpanEvent>> = vec![Vec::new(); lanes];
+    let stop = AtomicBool::new(false);
+    let mid_drains = std::thread::scope(|scope| {
+        let producers: Vec<_> = (0..lanes)
+            .map(|lane| {
+                let recorder = &recorder;
+                scope.spawn(move || {
+                    for k in 0..events {
+                        let kind = KINDS[(k as usize + lane) % KINDS.len()];
+                        recorder.record_span(lane, kind, k, lane as u64, k % 7);
+                        if k % 32 == 0 {
+                            std::thread::yield_now();
+                        }
+                    }
+                })
+            })
+            .collect();
+        let drainer = {
+            let recorder = &recorder;
+            let stop = &stop;
+            scope.spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(seed);
+                let mut collected: Vec<Vec<SpanEvent>> = Vec::new();
+                for _ in 0..drains {
+                    if stop.load(Relaxed) {
+                        break;
+                    }
+                    for _ in 0..rng.gen_range(0..50u32) {
+                        std::thread::yield_now();
+                    }
+                    collected.push(recorder.drain().into_iter().flatten().collect());
+                }
+                collected
+            })
+        };
+        for p in producers {
+            p.join().unwrap();
+        }
+        stop.store(true, Relaxed);
+        drainer.join().unwrap()
+    });
+    // Mid-run drains interleave lanes; rebucket by payload lane tag
+    // (word `b` carries the producing lane).
+    for batch in mid_drains {
+        for e in batch {
+            drained[e.b as usize].push(e);
+        }
+    }
+    // The final drain sees quiesced rings: whatever wraparound spared.
+    for (lane, events) in recorder.drain().into_iter().enumerate() {
+        drained[lane].extend(events);
+    }
+    drained
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Sequential wraparound: a ring of capacity `cap` that saw
+    /// `events` records holds exactly the newest `min(cap, events)`,
+    /// in order, and accounts for every overwrite.
+    #[test]
+    fn wraparound_keeps_the_newest_window(cap in 8usize..64, events in 0u64..400) {
+        let r = FlightRecorder::new(1, cap);
+        for k in 0..events {
+            r.record(0, SpanKind::Exec, k, 0);
+        }
+        let kept: Vec<u64> = r.drain().remove(0).iter().map(|e| e.a).collect();
+        let expect_len = (events as usize).min(cap);
+        let first = events - expect_len as u64;
+        prop_assert_eq!(kept, (first..events).collect::<Vec<_>>());
+        let (recorded, overwritten) = r.lane_stats(0);
+        prop_assert_eq!(recorded, events);
+        prop_assert_eq!(overwritten, events - expect_len as u64);
+    }
+
+    /// Concurrent producers vs a racing drainer: exact conservation
+    /// (`recorded == drained + overwritten`), FIFO drain order, and
+    /// monotonic per-lane timestamps.
+    #[test]
+    fn concurrent_record_drain_reconciles(
+        seed in 0u64..10_000,
+        lanes in 1usize..5,
+        cap in 8usize..64,
+        events in 50u64..400,
+        drains in 0usize..8,
+    ) {
+        let recorder = FlightRecorder::new(lanes, cap);
+        let drained = race_record_drain(&recorder, events, seed, drains);
+        for (lane, got) in drained.iter().enumerate() {
+            let (recorded, overwritten) = recorder.lane_stats(lane);
+            prop_assert_eq!(recorded, events, "lane {} recorded", lane);
+            prop_assert_eq!(
+                got.len() as u64 + overwritten,
+                recorded,
+                "lane {}: drained + overwritten != recorded", lane
+            );
+            // FIFO: sequence numbers strictly increase across the
+            // concatenated drains (overwrites only drop a prefix of
+            // what each drain would have seen), timestamps never
+            // run backwards.
+            for w in got.windows(2) {
+                prop_assert!(w[0].a < w[1].a, "lane {} out of order", lane);
+                prop_assert!(w[0].at_nanos <= w[1].at_nanos, "lane {} time warp", lane);
+            }
+        }
+    }
+
+    /// Whatever a concurrent run leaves in the rings renders as
+    /// well-formed Chrome trace JSON: validated structure, one metadata
+    /// record per lane, and every span starting at a non-negative time.
+    #[test]
+    fn chrome_trace_is_well_formed_after_a_race(
+        seed in 0u64..10_000,
+        lanes in 1usize..4,
+        events in 20u64..200,
+    ) {
+        let recorder = FlightRecorder::new(lanes, 32);
+        // Race producers against 2 drains, then record a little more so
+        // the trace is non-trivial.
+        race_record_drain(&recorder, events, seed, 2);
+        for lane in 0..lanes {
+            recorder.record_span(lane, SpanKind::Exec, 1, lane as u64, 500);
+        }
+        let survivors = recorder.drain();
+        let n_events: usize = survivors.iter().map(Vec::len).sum();
+        for lane in &survivors {
+            for w in lane.windows(2) {
+                prop_assert!(w[0].at_nanos <= w[1].at_nanos);
+            }
+        }
+        let json = chrome_trace_from(&survivors);
+        prop_assert_eq!(validate_chrome_trace(&json), Ok(lanes + n_events));
+    }
+}

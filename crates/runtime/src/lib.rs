@@ -69,12 +69,14 @@
 
 mod error;
 mod ingest;
+pub mod obs;
 mod policy;
 mod runtime;
 mod script;
 pub mod sessions;
 
 pub use error::{PushError, RuntimeError};
+pub use obs::MetricsRegistry;
 pub use policy::{Backpressure, EpochPolicy};
 pub use runtime::{
     RuntimeProbe, RuntimeReport, SinkEmission, SourceHandle, StreamRuntime, StreamRuntimeBuilder,

@@ -1,0 +1,308 @@
+//! The live metrics plane: renders engine, ingest and per-session
+//! counters as Prometheus text exposition behind the std-only
+//! `/metrics` endpoint (`ec-obs`).
+//!
+//! The split of responsibilities: `ec-obs` owns the *format* (builder,
+//! validator, TCP endpoint) and knows nothing about this engine;
+//! this module owns the *vocabulary* — which `ec_*` series exist and
+//! which [`MetricsSnapshot`] fields feed them. A [`MetricsRegistry`]
+//! composes any number of providers (a standalone runtime registers
+//! one; a session pool registers one per pool plus the per-tenant
+//! rows) into one page, re-rendered on every scrape.
+
+use crate::sessions::SessionMetrics;
+use ec_core::MetricsSnapshot;
+use ec_obs::{MetricsServer, PromText};
+use parking_lot::Mutex;
+use std::io;
+use std::sync::Arc;
+
+type Provider = Box<dyn Fn(&mut PromText) + Send + Sync>;
+
+/// Composes metric providers into one `/metrics` page.
+///
+/// Providers run in registration order on every render, so scrapes
+/// always see live numbers; the registry holds no cached values.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    providers: Mutex<Vec<Provider>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry, shared between registrars and the server.
+    pub fn new() -> Arc<MetricsRegistry> {
+        Arc::new(MetricsRegistry::default())
+    }
+
+    /// Adds a provider; it is called on every render, after all
+    /// previously registered providers.
+    pub fn register(&self, provider: impl Fn(&mut PromText) + Send + Sync + 'static) {
+        self.providers.lock().push(Box::new(provider));
+    }
+
+    /// Renders every provider into one exposition page.
+    pub fn render(&self) -> String {
+        let mut page = PromText::new();
+        for provider in self.providers.lock().iter() {
+            provider(&mut page);
+        }
+        page.render()
+    }
+
+    /// Binds `addr` (port 0 for ephemeral) and serves this registry's
+    /// rendering at `GET /metrics` until the server is dropped.
+    pub fn serve(self: &Arc<Self>, addr: &str) -> io::Result<MetricsServer> {
+        let registry = Arc::clone(self);
+        MetricsServer::bind(addr, Arc::new(move || registry.render()))
+    }
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsRegistry")
+            .field("providers", &self.providers.lock().len())
+            .finish()
+    }
+}
+
+/// Renders one runtime's [`MetricsSnapshot`] as the `ec_*` series:
+/// engine counters, scheduler and ingest planes, and the four latency
+/// summaries. `labels` is appended to every sample (a session pool
+/// passes `session="name"`; a standalone runtime passes nothing).
+pub fn render_snapshot(page: &mut PromText, labels: &[(&str, &str)], m: &MetricsSnapshot) {
+    page.counter(
+        "ec_executions_total",
+        "Vertex-phase executions.",
+        labels,
+        m.executions,
+    );
+    page.counter(
+        "ec_silent_executions_total",
+        "Executions that emitted nothing.",
+        labels,
+        m.silent_executions,
+    );
+    page.counter(
+        "ec_messages_total",
+        "Messages sent along edges.",
+        labels,
+        m.messages_sent,
+    );
+    page.counter(
+        "ec_sink_outputs_total",
+        "Values delivered by sinks.",
+        labels,
+        m.sink_outputs,
+    );
+    page.counter(
+        "ec_phases_started_total",
+        "Phases admitted by the environment.",
+        labels,
+        m.phases_started,
+    );
+    page.counter(
+        "ec_phases_completed_total",
+        "Phases fully retired.",
+        labels,
+        m.phases_completed,
+    );
+    page.gauge(
+        "ec_pipeline_depth_max",
+        "Peak distinct phases executing at once.",
+        labels,
+        m.max_concurrent_phases as f64,
+    );
+    page.counter(
+        "ec_steals_total",
+        "Successful steals between worker shards.",
+        labels,
+        m.scheduler.steals,
+    );
+    page.counter(
+        "ec_parks_total",
+        "Workers parked after finding no work.",
+        labels,
+        m.scheduler.parks,
+    );
+    page.counter(
+        "ec_wakes_total",
+        "Targeted wakeups of parked workers.",
+        labels,
+        m.scheduler.wakes,
+    );
+    page.gauge(
+        "ec_injector_depth",
+        "Shared-injector depth (this tenant's lane when pooled).",
+        labels,
+        m.scheduler.injector_depth as f64,
+    );
+    for (w, depth) in m.scheduler.worker_queue_depths.iter().enumerate() {
+        let worker = w.to_string();
+        let mut with: Vec<(&str, &str)> = labels.to_vec();
+        with.push(("worker", &worker));
+        page.gauge(
+            "ec_worker_queue_depth",
+            "Per-worker run-queue depth.",
+            &with,
+            *depth as f64,
+        );
+    }
+    for (s, depth) in m.ingest.depths.iter().enumerate() {
+        let source = s.to_string();
+        let mut with: Vec<(&str, &str)> = labels.to_vec();
+        with.push(("source", &source));
+        page.gauge(
+            "ec_ingest_depth",
+            "Events buffered per source, not yet sealed.",
+            &with,
+            *depth as f64,
+        );
+    }
+    page.counter(
+        "ec_ingest_waits_total",
+        "Pushes that found their source's buffer full.",
+        labels,
+        m.ingest.waits,
+    );
+    page.counter(
+        "ec_seal_batches_total",
+        "Epoch seals that committed at least one phase.",
+        labels,
+        m.ingest.seal_batches,
+    );
+    page.counter(
+        "ec_seal_events_total",
+        "Events drained by committing seals.",
+        labels,
+        m.ingest.seal_events,
+    );
+    page.latency_summary(
+        "ec_phase_seconds",
+        "Phase admission-to-retirement latency.",
+        labels,
+        &m.latency.phase,
+    );
+    page.latency_summary(
+        "ec_exec_seconds",
+        "Per-vertex module execution duration.",
+        labels,
+        &m.latency.exec,
+    );
+    page.latency_summary(
+        "ec_wal_commit_seconds",
+        "WAL group-commit duration.",
+        labels,
+        &m.latency.wal_commit,
+    );
+    page.latency_summary(
+        "ec_ingest_wait_seconds",
+        "Producer push-wait on a full ingest buffer.",
+        labels,
+        &m.latency.ingest_wait,
+    );
+}
+
+/// Renders one tenant's [`SessionMetrics`] row as `ec_session_*`
+/// series carrying a `session` label, followed by the tenant's full
+/// engine snapshot (same `ec_*` families, same label).
+pub fn render_session(page: &mut PromText, row: &SessionMetrics) {
+    let labels = [("session", row.name.as_str())];
+    page.gauge(
+        "ec_session_lane_depth",
+        "Tasks queued in this tenant's admission lane.",
+        &labels,
+        row.lane_depth as f64,
+    );
+    page.gauge(
+        "ec_session_inflight",
+        "Phases admitted but not yet retired.",
+        &labels,
+        row.inflight as f64,
+    );
+    page.gauge(
+        "ec_session_buffered",
+        "Events buffered in the tenant's ingest queues.",
+        &labels,
+        row.buffered as f64,
+    );
+    page.counter(
+        "ec_session_phases_retired_total",
+        "Phases fully completed by this tenant.",
+        &labels,
+        row.phases_retired,
+    );
+    page.counter(
+        "ec_session_events_committed_total",
+        "Events committed to phases by this tenant.",
+        &labels,
+        row.events_committed,
+    );
+    page.gauge(
+        "ec_session_events_per_sec",
+        "Committed events per second since the session opened.",
+        &labels,
+        row.events_per_sec,
+    );
+    render_snapshot(page, &labels, &row.engine);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ec_obs::validate_exposition;
+
+    #[test]
+    fn registry_composes_providers_in_order() {
+        let registry = MetricsRegistry::new();
+        registry.register(|page| page.counter("ec_a_total", "A.", &[], 1));
+        registry.register(|page| page.counter("ec_b_total", "B.", &[], 2));
+        let page = registry.render();
+        assert!(page.find("ec_a_total").unwrap() < page.find("ec_b_total").unwrap());
+        assert_eq!(validate_exposition(&page), Ok(2));
+    }
+
+    #[test]
+    fn snapshot_rendering_is_valid_exposition() {
+        let mut m = MetricsSnapshot {
+            executions: 10,
+            phases_completed: 4,
+            ..Default::default()
+        };
+        m.scheduler.worker_queue_depths = vec![1, 0];
+        m.ingest.depths = vec![3];
+        let h = ec_obs::LogHistogram::new();
+        h.record(1_000);
+        m.latency.exec = h.snapshot();
+        let mut page = PromText::new();
+        render_snapshot(&mut page, &[], &m);
+        let page = page.render();
+        let samples = validate_exposition(&page).expect("valid page");
+        assert!(samples > 20, "only {samples} samples:\n{page}");
+        assert!(page.contains("ec_executions_total 10"));
+        assert!(page.contains("ec_worker_queue_depth{worker=\"1\"} 0"));
+        assert!(page.contains("ec_exec_seconds_count 1"));
+    }
+
+    #[test]
+    fn session_rows_share_families_across_tenants() {
+        let row = |name: &str| SessionMetrics {
+            name: name.to_string(),
+            lane_depth: 0,
+            inflight: 1,
+            buffered: 2,
+            ingest_waits: 0,
+            phases_retired: 3,
+            events_committed: 4,
+            events_per_sec: 0.5,
+            engine: MetricsSnapshot::default(),
+        };
+        let mut page = PromText::new();
+        render_session(&mut page, &row("acme"));
+        render_session(&mut page, &row("globex"));
+        let page = page.render();
+        validate_exposition(&page).expect("valid page");
+        assert_eq!(page.matches("# TYPE ec_session_inflight").count(), 1);
+        assert!(page.contains("ec_session_inflight{session=\"acme\"} 1"));
+        assert!(page.contains("ec_session_inflight{session=\"globex\"} 1"));
+    }
+}

@@ -37,12 +37,14 @@
 
 use crate::error::{PushError, RuntimeError};
 use crate::ingest::IngestBuffers;
+use crate::obs::MetricsRegistry;
 use crate::policy::{Backpressure, EpochPolicy};
 use crate::script::{PhaseScript, ScriptSegment};
 use ec_core::{EnginePool, ExecutionHistory, LiveEngine, MetricsSnapshot};
 use ec_events::{ColumnPool, FeedWriter, PhaseColumn, Value};
 use ec_fusion::{CorrelatorBuilder, NodeHandle};
 use ec_graph::VertexId;
+use ec_obs::{FlightRecorder, LogHistogram, MetricsServer, SpanKind};
 use ec_store::{Recovery, WalWriter};
 use parking_lot::Mutex;
 use std::path::{Path, PathBuf};
@@ -143,6 +145,15 @@ struct RuntimeShared {
     /// Events drained by those seals (mean drain batch size =
     /// `seal_events / seal_batches`).
     seal_events: AtomicU64,
+    /// WAL group-commit durations (one sample per non-empty commit).
+    wal_hist: LogHistogram,
+    /// Producer push-wait durations: time a `push` spent bounced off a
+    /// full ingest shard before succeeding.
+    ingest_wait_hist: LogHistogram,
+    /// Flight recorder shared with the engine, when one was configured
+    /// ([`StreamRuntimeBuilder::flight_recorder`]). The runtime records
+    /// its control-plane events (seal, WAL commit, snapshot) on lane 0.
+    recorder: Option<Arc<FlightRecorder>>,
 }
 
 impl RuntimeShared {
@@ -202,11 +213,21 @@ impl RuntimeShared {
             for r in 0..phases as usize {
                 wal.stage_row_bins(cols.iter().map(|c| c[r].as_ref()));
             }
-            if let Err(e) = wal.commit() {
-                self.stop.store(true, Relaxed);
-                self.ticker_stop.store(true, Relaxed);
-                self.buffers.notify_all(); // blocked pushers observe Closed
-                return Err(e.into());
+            match wal.commit() {
+                Err(e) => {
+                    self.stop.store(true, Relaxed);
+                    self.ticker_stop.store(true, Relaxed);
+                    self.buffers.notify_all(); // blocked pushers observe Closed
+                    return Err(e.into());
+                }
+                Ok(rows) if rows > 0 => {
+                    let commit_nanos = wal.last_commit_nanos();
+                    self.wal_hist.record(commit_nanos);
+                    if let Some(r) = &self.recorder {
+                        r.record_span(0, SpanKind::WalCommit, rows, 0, commit_nanos);
+                    }
+                }
+                Ok(_) => {}
             }
         }
         let staged = phases;
@@ -216,6 +237,9 @@ impl RuntimeShared {
         self.events_committed.fetch_add(events, Relaxed);
         self.seal_batches.fetch_add(1, Relaxed);
         self.seal_events.fetch_add(events, Relaxed);
+        if let Some(r) = &self.recorder {
+            r.record(0, SpanKind::EpochSealed, phases, events);
+        }
         // Admit the batch: one global-lock acquisition per in-flight
         // window instead of one per phase, and *silence-aware* — the
         // columns say exactly which sources are silent in which phases,
@@ -271,14 +295,17 @@ impl RuntimeShared {
         m
     }
 
-    /// Fills the ingest-side counters into a snapshot (shared by
+    /// Fills the ingest-side counters and runtime-owned latency
+    /// histograms into a snapshot (shared by
     /// [`metrics_with_ingest`](Self::metrics_with_ingest) and the final
     /// shutdown report, so a new counter cannot be forgotten in one).
     fn fill_ingest(&self, m: &mut MetricsSnapshot) {
-        m.ingest_depths = self.buffers.depths();
-        m.ingest_waits = self.buffers.waits();
-        m.seal_batches = self.seal_batches.load(Relaxed);
-        m.seal_events = self.seal_events.load(Relaxed);
+        m.ingest.depths = self.buffers.depths();
+        m.ingest.waits = self.buffers.waits();
+        m.ingest.seal_batches = self.seal_batches.load(Relaxed);
+        m.ingest.seal_events = self.seal_events.load(Relaxed);
+        m.latency.wal_commit = self.wal_hist.snapshot();
+        m.latency.ingest_wait = self.ingest_wait_hist.snapshot();
     }
 
     /// Takes a snapshot at the current retired boundary. Caller holds
@@ -293,6 +320,7 @@ impl RuntimeShared {
                 "checkpoint requires a durable runtime (StreamRuntimeBuilder::durable)".into(),
             ));
         };
+        let start = Instant::now();
         self.engine.wait_idle()?;
         let checkpoint = self.engine.checkpoint_vertices()?;
         let names: Vec<String> = self.names.iter().map(|n| n.to_string()).collect();
@@ -301,6 +329,15 @@ impl RuntimeShared {
             wal.sync()?;
         }
         seal.last_snapshot = checkpoint.phase;
+        if let Some(r) = &self.recorder {
+            r.record_span(
+                0,
+                SpanKind::Snapshot,
+                checkpoint.phase,
+                0,
+                start.elapsed().as_nanos() as u64,
+            );
+        }
         Ok(checkpoint.phase)
     }
 
@@ -411,6 +448,8 @@ pub struct StreamRuntimeBuilder {
     wal_sync_every: Option<u64>,
     pool: Option<EnginePool>,
     pool_weight: u32,
+    metrics_addr: Option<String>,
+    recorder_capacity: Option<usize>,
 }
 
 impl Default for StreamRuntimeBuilder {
@@ -458,6 +497,8 @@ impl StreamRuntimeBuilder {
             wal_sync_every: None,
             pool: None,
             pool_weight: 1,
+            metrics_addr: None,
+            recorder_capacity: None,
         }
     }
 
@@ -605,6 +646,31 @@ impl StreamRuntimeBuilder {
         self
     }
 
+    /// Serves live Prometheus metrics at `addr` (e.g.
+    /// `"127.0.0.1:9184"`; port 0 picks a free one, reported by
+    /// [`StreamRuntime::metrics_addr`]). The endpoint is a minimal
+    /// std-only HTTP server answering `GET /metrics` with the full
+    /// `ec_*` exposition — engine counters, scheduler and ingest
+    /// planes, and the latency summaries — re-rendered on every
+    /// scrape. Binding happens in [`build`](Self::build); a busy port
+    /// fails the build rather than silently dropping observability.
+    pub fn metrics_addr(mut self, addr: impl Into<String>) -> Self {
+        self.metrics_addr = Some(addr.into());
+        self
+    }
+
+    /// Attaches a flight recorder: per-worker ring buffers holding the
+    /// newest `capacity` span events each (phase admitted/retired,
+    /// per-vertex executions, epoch seals, WAL commits, snapshots,
+    /// steal/park/wake). Recording is one clock read plus one ring
+    /// write; the rings overwrite oldest-first, so a recorder left on
+    /// costs the same whether drained or not. Drain with
+    /// [`StreamRuntime::dump_trace`] (Chrome `chrome://tracing` JSON).
+    pub fn flight_recorder(mut self, capacity: usize) -> Self {
+        self.recorder_capacity = Some(capacity);
+        self
+    }
+
     /// With [`durable`](Self::durable): fsync the WAL automatically
     /// once `rows` committed rows have accumulated since the last sync
     /// — a bounded-loss commit interval between the default (sync at
@@ -717,6 +783,16 @@ impl StreamRuntimeBuilder {
         }
 
         let base = recovery.as_ref().map(|r| r.snapshot_phase()).unwrap_or(0);
+        // Lane 0 is the runtime's control plane (seals, WAL commits,
+        // snapshots, admission/retirement); lane w+1 is worker w.
+        let worker_lanes = self
+            .pool
+            .as_ref()
+            .map(EnginePool::threads)
+            .unwrap_or(self.threads);
+        let recorder = self
+            .recorder_capacity
+            .map(|cap| Arc::new(FlightRecorder::new(worker_lanes + 1, cap)));
         let mut engine_builder = self
             .correlator
             .engine()
@@ -724,6 +800,9 @@ impl StreamRuntimeBuilder {
             .max_inflight(self.max_inflight)
             .record_history(self.record_history)
             .resume_from(base);
+        if let Some(rec) = &recorder {
+            engine_builder = engine_builder.flight_recorder(rec);
+        }
         if let Some(pool) = &self.pool {
             engine_builder = engine_builder.pooled(pool).pool_weight(self.pool_weight);
         }
@@ -790,6 +869,9 @@ impl StreamRuntimeBuilder {
             events_committed: AtomicU64::new(0),
             seal_batches: AtomicU64::new(0),
             seal_events: AtomicU64::new(0),
+            wal_hist: LogHistogram::new(),
+            ingest_wait_hist: LogHistogram::new(),
+            recorder,
         });
 
         // Replay the WAL tail (rows after the snapshot) before any
@@ -865,10 +947,29 @@ impl StreamRuntimeBuilder {
             None
         };
 
+        // The live metrics plane: a registry rendering this runtime's
+        // full snapshot, served until shutdown. Bound last so a busy
+        // port cannot leave half-started background threads behind.
+        let metrics_server =
+            match &self.metrics_addr {
+                Some(addr) => {
+                    let registry = MetricsRegistry::new();
+                    let obs_shared = Arc::clone(&shared);
+                    registry.register(move |page| {
+                        crate::obs::render_snapshot(page, &[], &obs_shared.metrics_with_ingest());
+                    });
+                    Some(registry.serve(addr).map_err(|e| {
+                        RuntimeError::Config(format!("metrics endpoint {addr}: {e}"))
+                    })?)
+                }
+                None => None,
+            };
+
         Ok(StreamRuntime {
             shared,
             delivery: Some(delivery),
             ticker,
+            metrics_server,
         })
     }
 }
@@ -904,14 +1005,26 @@ impl SourceHandle {
     pub fn push(&self, value: impl Into<Value>) -> Result<(), PushError> {
         let mut value = value.into();
         let shared = &*self.shared;
+        // Clock reads only off the fast path: a push that never bounces
+        // never looks at the time. The first bounce starts the wait
+        // clock; the eventual success records the whole wait.
+        let mut wait_start: Option<Instant> = None;
         let total = loop {
             if shared.stop.load(Relaxed) {
                 return Err(PushError::Closed);
             }
             match shared.buffers.try_push(self.slot, value, shared.capacity) {
-                Ok(total) => break total,
+                Ok(total) => {
+                    if let Some(start) = wait_start {
+                        shared
+                            .ingest_wait_hist
+                            .record(start.elapsed().as_nanos() as u64);
+                    }
+                    break total;
+                }
                 Err(bounced) => {
                     value = bounced;
+                    wait_start.get_or_insert_with(Instant::now);
                     shared.buffers.count_wait();
                     // Under ByCount, a full shard forces the epoch:
                     // waiting would deadlock whenever the count
@@ -996,6 +1109,7 @@ pub struct StreamRuntime {
     shared: Arc<RuntimeShared>,
     delivery: Option<JoinHandle<()>>,
     ticker: Option<JoinHandle<()>>,
+    metrics_server: Option<MetricsServer>,
 }
 
 impl StreamRuntime {
@@ -1162,9 +1276,26 @@ impl StreamRuntime {
     }
 
     /// Engine counters plus ingest-side counters (per-source buffer
-    /// depths, producer waits, seal drain batches).
+    /// depths, producer waits, seal drain batches) and the latency
+    /// histograms (phase, exec, WAL commit, push wait).
     pub fn metrics(&self) -> MetricsSnapshot {
         self.shared.metrics_with_ingest()
+    }
+
+    /// The bound address of the live `/metrics` endpoint, if one was
+    /// configured with [`StreamRuntimeBuilder::metrics_addr`] (resolves
+    /// port 0 to the actual port).
+    pub fn metrics_addr(&self) -> Option<std::net::SocketAddr> {
+        self.metrics_server.as_ref().map(MetricsServer::local_addr)
+    }
+
+    /// Drains the flight recorder into a Chrome trace-viewer JSON
+    /// document (load it at `chrome://tracing` or in Perfetto), or
+    /// `None` if the runtime was built without
+    /// [`StreamRuntimeBuilder::flight_recorder`]. Draining empties the
+    /// rings: each call returns the events recorded since the last.
+    pub fn dump_trace(&self) -> Option<String> {
+        self.shared.recorder.as_ref().map(|r| r.chrome_trace())
     }
 
     /// Seals any remaining events, waits for completion, delivers every
@@ -1176,6 +1307,11 @@ impl StreamRuntime {
     /// Events pushed concurrently with shutdown that miss the final
     /// seal are dropped (producers should quiesce first).
     pub fn shutdown(mut self) -> Result<RuntimeReport, RuntimeError> {
+        // 0. Stop the metrics endpoint: scrapes must not race the
+        //    teardown below.
+        if let Some(mut server) = self.metrics_server.take() {
+            server.stop();
+        }
         // 1. Stop the ticker so it cannot admit more phases below.
         self.shared.ticker_stop.store(true, Relaxed);
         if let Some(t) = self.ticker.take() {
@@ -1274,6 +1410,9 @@ impl Drop for StreamRuntime {
         // own Drop stops the workers. The WAL needs no special
         // handling — every committed row was already written at seal
         // time, which is exactly what restore reads back.
+        if let Some(mut server) = self.metrics_server.take() {
+            server.stop();
+        }
         self.shared.ticker_stop.store(true, Relaxed);
         self.shared.stop.store(true, Relaxed);
         self.shared.engine.wake_all();

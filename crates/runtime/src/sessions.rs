@@ -48,8 +48,10 @@
 //! fast instead of hanging.
 
 use crate::error::RuntimeError;
+use crate::obs::{render_session, MetricsRegistry};
 use crate::runtime::{RuntimeProbe, StreamRuntime, StreamRuntimeBuilder};
 use ec_core::{EnginePool, MetricsSnapshot};
+use ec_obs::MetricsServer;
 use parking_lot::Mutex;
 use std::path::PathBuf;
 use std::sync::{Arc, Weak};
@@ -115,6 +117,7 @@ impl SessionPoolBuilder {
             opening: Mutex::new(()),
             pool: EnginePool::new(self.threads, self.max_sessions),
             durable_root: self.durable_root,
+            metrics_server: Mutex::new(None),
         }
     }
 }
@@ -157,6 +160,9 @@ pub struct SessionPool {
     opening: Mutex<()>,
     pool: EnginePool,
     durable_root: Option<PathBuf>,
+    /// Live `/metrics` endpoint serving one row per open session (see
+    /// [`serve_metrics`](SessionPool::serve_metrics)).
+    metrics_server: Mutex<Option<MetricsServer>>,
 }
 
 impl SessionPool {
@@ -269,33 +275,38 @@ impl SessionPool {
 
     /// One metrics row per open session, in opening order.
     pub fn metrics(&self) -> Vec<SessionMetrics> {
-        self.registry
+        metrics_rows(&self.registry)
+    }
+
+    /// Binds a live Prometheus `/metrics` endpoint (port 0 picks a free
+    /// one) serving one `ec_session_*` row — plus the tenant's full
+    /// `ec_*` engine snapshot under a `session` label — per open
+    /// session, re-rendered on every scrape. Returns the bound
+    /// address; the endpoint stops at [`shutdown`](Self::shutdown) or
+    /// drop. Calling again replaces the previous endpoint.
+    pub fn serve_metrics(&self, addr: &str) -> Result<std::net::SocketAddr, RuntimeError> {
+        let registry = MetricsRegistry::new();
+        let rows = Arc::clone(&self.registry);
+        registry.register(move |page| {
+            for row in metrics_rows(&rows) {
+                render_session(page, &row);
+            }
+        });
+        let server = registry
+            .serve(addr)
+            .map_err(|e| RuntimeError::Config(format!("metrics endpoint {addr}: {e}")))?;
+        let local = server.local_addr();
+        *self.metrics_server.lock() = Some(server);
+        Ok(local)
+    }
+
+    /// The bound `/metrics` address, if
+    /// [`serve_metrics`](Self::serve_metrics) has been called.
+    pub fn metrics_addr(&self) -> Option<std::net::SocketAddr> {
+        self.metrics_server
             .lock()
-            .iter()
-            .map(|e| {
-                let engine = e.probe.metrics();
-                let admitted = e.probe.admitted();
-                let retired = e.probe.completed_through();
-                let events = e.probe.events_committed();
-                let live_events = events.saturating_sub(e.events_at_open);
-                let elapsed = e.opened.elapsed().as_secs_f64();
-                SessionMetrics {
-                    name: e.name.to_string(),
-                    lane_depth: engine.injector_depth,
-                    inflight: admitted.saturating_sub(retired),
-                    buffered: e.probe.buffered() as u64,
-                    ingest_waits: engine.ingest_waits,
-                    phases_retired: retired,
-                    events_committed: events,
-                    events_per_sec: if elapsed > 0.0 {
-                        live_events as f64 / elapsed
-                    } else {
-                        0.0
-                    },
-                    engine,
-                }
-            })
-            .collect()
+            .as_ref()
+            .map(MetricsServer::local_addr)
     }
 
     /// Total queued tasks across every tenant (racy; observability).
@@ -333,14 +344,50 @@ impl SessionPool {
     /// when the pool stops fails fast on its next admission instead of
     /// executing further phases.
     pub fn shutdown(&self) {
+        if let Some(mut server) = self.metrics_server.lock().take() {
+            server.stop();
+        }
         self.pool.shutdown();
     }
 }
 
 impl Drop for SessionPool {
     fn drop(&mut self) {
-        self.pool.shutdown();
+        self.shutdown();
     }
+}
+
+/// Builds the per-session metrics rows from the registry — shared by
+/// [`SessionPool::metrics`] and the `/metrics` endpoint's render
+/// closure, so the scraped rows and the API rows cannot drift.
+fn metrics_rows(registry: &Registry) -> Vec<SessionMetrics> {
+    registry
+        .lock()
+        .iter()
+        .map(|e| {
+            let engine = e.probe.metrics();
+            let admitted = e.probe.admitted();
+            let retired = e.probe.completed_through();
+            let events = e.probe.events_committed();
+            let live_events = events.saturating_sub(e.events_at_open);
+            let elapsed = e.opened.elapsed().as_secs_f64();
+            SessionMetrics {
+                name: e.name.to_string(),
+                lane_depth: engine.scheduler.injector_depth,
+                inflight: admitted.saturating_sub(retired),
+                buffered: e.probe.buffered() as u64,
+                ingest_waits: engine.ingest.waits,
+                phases_retired: retired,
+                events_committed: events,
+                events_per_sec: if elapsed > 0.0 {
+                    live_events as f64 / elapsed
+                } else {
+                    0.0
+                },
+                engine,
+            }
+        })
+        .collect()
 }
 
 /// Per-session observability row (see [`SessionPool::metrics`]).
@@ -372,6 +419,32 @@ pub struct SessionMetrics {
     /// Full engine counter snapshot (steal/park/wake counters are
     /// pool-global; `injector_depth` is this tenant's lane).
     pub engine: MetricsSnapshot,
+}
+
+impl SessionMetrics {
+    /// Hand-rolled JSON object (the offline serde shim is a no-op):
+    /// the per-tenant row plus the full engine snapshot under
+    /// `"engine"`. Session names are escaped as JSON strings.
+    pub fn to_json(&self) -> String {
+        let name = self
+            .name
+            .replace('\\', "\\\\")
+            .replace('"', "\\\"")
+            .replace('\n', "\\n");
+        format!(
+            "{{\"name\":\"{name}\",\"lane_depth\":{},\"inflight\":{},\"buffered\":{},\
+             \"ingest_waits\":{},\"phases_retired\":{},\"events_committed\":{},\
+             \"events_per_sec\":{:.2},\"engine\":{}}}",
+            self.lane_depth,
+            self.inflight,
+            self.buffered,
+            self.ingest_waits,
+            self.phases_retired,
+            self.events_committed,
+            self.events_per_sec,
+            self.engine.to_json()
+        )
+    }
 }
 
 /// One open tenant session: a [`StreamRuntime`] owned by the caller,

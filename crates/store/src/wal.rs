@@ -94,6 +94,9 @@ pub struct WalWriter {
     /// Reusable row-payload encoding buffer: staging a row is an
     /// in-place encode plus one memcpy into `buf`, no allocation.
     scratch: Vec<u8>,
+    /// Wall-clock duration of the most recent non-empty
+    /// [`commit`](WalWriter::commit), including any automatic fsync.
+    last_commit_nanos: u64,
 }
 
 impl WalWriter {
@@ -132,6 +135,7 @@ impl WalWriter {
             sync_every: None,
             rows_since_sync: 0,
             scratch: Vec::new(),
+            last_commit_nanos: 0,
         })
     }
 
@@ -160,6 +164,7 @@ impl WalWriter {
             sync_every: None,
             rows_since_sync: 0,
             scratch: Vec::new(),
+            last_commit_nanos: 0,
         })
     }
 
@@ -214,6 +219,7 @@ impl WalWriter {
         if self.buf.is_empty() {
             return Ok(0);
         }
+        let start = std::time::Instant::now();
         let batch = self.staged_rows;
         let result = self
             .file
@@ -229,7 +235,17 @@ impl WalWriter {
                 self.sync()?;
             }
         }
+        self.last_commit_nanos = start.elapsed().as_nanos() as u64;
         Ok(batch)
+    }
+
+    /// Nanoseconds the most recent non-empty [`commit`](Self::commit)
+    /// spent in `write_all` (plus any automatic fsync it triggered).
+    /// `0` until the first commit. Timed here — at the syscall — so
+    /// callers get the true group-commit latency without wrapping the
+    /// call site.
+    pub fn last_commit_nanos(&self) -> u64 {
+        self.last_commit_nanos
     }
 
     /// Appends one committed row and flushes it to the OS immediately

@@ -1,0 +1,95 @@
+//! The observability plane, end to end: a runtime with the flight
+//! recorder and a live Prometheus `/metrics` endpoint switched on,
+//! pushed hard for a few seconds while you watch from outside.
+//!
+//! ```text
+//! cargo run --release --example observability
+//! # in another terminal, while it runs:
+//! curl http://127.0.0.1:9184/metrics
+//! cargo run --bin ec -- top 127.0.0.1:9184 --once
+//! ```
+//!
+//! Environment knobs (CI's observability-smoke job drives both):
+//!
+//! * `EC_METRICS_ADDR` — endpoint bind address, default
+//!   `127.0.0.1:9184` (use port 0 for an ephemeral port; the actual
+//!   address is printed either way);
+//! * `EC_OBS_SECONDS` — how long to keep pushing, default 6;
+//! * `EC_TRACE_OUT` — where to write the Chrome trace, default
+//!   `obs_trace.json`.
+
+use event_correlation::fusion::operators::aggregate::Aggregate;
+use event_correlation::fusion::operators::moving::MovingAverage;
+use event_correlation::fusion::operators::threshold::Threshold;
+use event_correlation::obs::validate_chrome_trace;
+use event_correlation::runtime::{EpochPolicy, StreamRuntimeBuilder};
+use std::time::{Duration, Instant};
+
+fn env_or(key: &str, default: &str) -> String {
+    std::env::var(key).unwrap_or_else(|_| default.to_string())
+}
+
+fn main() {
+    let addr = env_or("EC_METRICS_ADDR", "127.0.0.1:9184");
+    let seconds: u64 = env_or("EC_OBS_SECONDS", "6")
+        .parse()
+        .expect("EC_OBS_SECONDS");
+    let trace_out = env_or("EC_TRACE_OUT", "obs_trace.json");
+
+    let mut b = StreamRuntimeBuilder::new()
+        .threads(4)
+        .epoch_policy(EpochPolicy::ByCount(64))
+        .record_history(false)
+        .record_script(false)
+        .max_inflight(64)
+        .flight_recorder(8192)
+        .metrics_addr(&addr);
+    let s1 = b.live_source("s1");
+    let s2 = b.live_source("s2");
+    let sum = b.add("sum", Aggregate::sum(), &[s1, s2]);
+    let avg = b.add("avg", MovingAverage::new(8), &[sum]);
+    let _alarm = b.add("alarm", Threshold::above(900.0), &[avg]);
+    let rt = b.build().expect("runtime builds");
+
+    // CI greps this exact line for the bound address.
+    let bound = rt.metrics_addr().expect("endpoint bound");
+    println!("metrics endpoint: http://{bound}/metrics");
+    println!("pushing for {seconds}s — scrape it live or run `ec top {bound}`");
+
+    let s1 = rt.handle_by_name("s1").unwrap();
+    let s2 = rt.handle_by_name("s2").unwrap();
+    let deadline = Instant::now() + Duration::from_secs(seconds);
+    let mut i: u64 = 0;
+    while Instant::now() < deadline {
+        let h = if i.is_multiple_of(2) { &s1 } else { &s2 };
+        h.push((i % 1000) as f64).expect("push accepted");
+        i += 1;
+        if i.is_multiple_of(4096) {
+            // Brief pauses keep the run long enough to scrape mid-flight.
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+    rt.flush().expect("flush");
+    rt.wait_idle().expect("idle");
+
+    let m = rt.metrics();
+    println!(
+        "pushed {i} events: {} phases completed, {} executions, {} epoch seals",
+        m.phases_completed, m.executions, m.ingest.seal_batches
+    );
+    println!(
+        "phase latency p50/p95/p99: {}us / {}us / {}us over {} phases",
+        m.latency.phase.p50() / 1_000,
+        m.latency.phase.p95() / 1_000,
+        m.latency.phase.p99() / 1_000,
+        m.latency.phase.count()
+    );
+
+    let trace = rt.dump_trace().expect("recorder attached");
+    let events = validate_chrome_trace(&trace).expect("well-formed chrome trace");
+    std::fs::write(&trace_out, &trace).expect("write trace");
+    println!("trace: {events} events -> {trace_out} (open chrome://tracing)");
+
+    rt.shutdown().expect("clean shutdown");
+    println!("done");
+}

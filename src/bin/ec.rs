@@ -3,9 +3,12 @@
 //! ```text
 //! ec run <spec.xml> [--threads N] [--phases N] [--sequential] [--quiet]
 //! ec stream <spec.xml> [--threads N] [--epoch-count N | --epoch-ms N]
-//!           [--checkpoint DIR [--snapshot-every N]] [--quiet]
+//!           [--checkpoint DIR [--snapshot-every N]]
+//!           [--metrics ADDR] [--trace FILE] [--quiet]
 //! ec sessions <spec.xml>... [--threads N] [--epoch-count N]
-//!             [--root DIR] [--weight NAME=W] [--quiet]
+//!             [--root DIR] [--weight NAME=W] [--metrics ADDR] [--quiet]
+//! ec trace <spec.xml> [stream flags] [--out FILE]
+//! ec top <addr> [--interval MS] [--once]
 //! ec recover <dir> <spec.xml> [--quiet]
 //! ec validate <spec.xml>
 //! ec dot <spec.xml>
@@ -17,13 +20,19 @@
 //! stdin and printing sink alarms as their phases retire — with
 //! `--checkpoint` the run is durable (write-ahead log + operator
 //! snapshots) and restarting the same command resumes at the next
-//! phase; `sessions` serves several specs as tenant sessions on one
-//! shared worker pool (events are prefixed with the session name; with
-//! `--root` every tenant is durable and restartable independently);
-//! `recover` inspects a store, prints the resumable phase and
-//! replays the logged tail through the sequential oracle; `validate`
-//! checks the spec, graph and numbering; `dot` emits Graphviz for the
-//! spec's graph; `demo` runs a built-in correlator.
+//! phase, with `--metrics` it serves live Prometheus exposition and
+//! with `--trace` it records a flight-recorder timeline and writes
+//! Chrome `chrome://tracing` JSON at shutdown; `sessions` serves
+//! several specs as tenant sessions on one shared worker pool (events
+//! are prefixed with the session name; with `--root` every tenant is
+//! durable and restartable independently; `--metrics` exposes
+//! per-tenant rows); `trace` is `stream` with the recorder always on,
+//! writing the timeline to `--out`; `top` polls a `/metrics` endpoint
+//! and renders a live one-screen summary; `recover` inspects a store,
+//! prints the resumable phase and replays the logged tail through the
+//! sequential oracle; `validate` checks the spec, graph and numbering;
+//! `dot` emits Graphviz for the spec's graph; `demo` runs a built-in
+//! correlator.
 
 use event_correlation::core::EngineError;
 use event_correlation::events::Value;
@@ -38,8 +47,11 @@ usage:
   ec stream <spec.xml> [--threads N] [--epoch-count N | --epoch-ms N]
             [--capacity N] [--reject] [--quiet]
             [--checkpoint DIR] [--snapshot-every N]
+            [--metrics ADDR] [--trace FILE]
   ec sessions <spec.xml>... [--threads N] [--epoch-count N]
-              [--root DIR] [--weight NAME=W] [--quiet]
+              [--root DIR] [--weight NAME=W] [--metrics ADDR] [--quiet]
+  ec trace <spec.xml> [stream flags] [--out FILE]
+  ec top <addr> [--interval MS] [--once]
   ec recover <dir> <spec.xml> [--quiet]
   ec validate <spec.xml>
   ec dot <spec.xml>
@@ -60,6 +72,12 @@ durability: --checkpoint makes the stream durable (or use the spec's
   store and replays the tail through the sequential oracle. For
   `ec sessions`, --root DIR namespaces an independent store per
   session under DIR; rerunning restores every tenant.
+
+observability: --metrics ADDR (e.g. 127.0.0.1:9184, port 0 for
+  ephemeral) serves Prometheus text exposition at /metrics; watch it
+  live with `ec top ADDR`. --trace FILE (or `ec trace ... --out FILE`)
+  keeps a per-worker flight recorder on and writes the timeline as
+  Chrome trace JSON on shutdown — open it at chrome://tracing.
 ";
 
 fn main() -> ExitCode {
@@ -68,6 +86,8 @@ fn main() -> ExitCode {
         Some("run") => cmd_run(&args[1..]),
         Some("stream") => cmd_stream(&args[1..]),
         Some("sessions") => cmd_sessions(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
+        Some("top") => cmd_top(&args[1..]),
         Some("recover") => cmd_recover(&args[1..]),
         Some("validate") => cmd_validate(&args[1..]),
         Some("dot") => cmd_dot(&args[1..]),
@@ -209,7 +229,12 @@ struct StreamOpts {
     quiet: bool,
     checkpoint: Option<String>,
     snapshot_every: Option<u64>,
+    metrics: Option<String>,
+    trace_out: Option<String>,
 }
+
+/// Ring capacity (events per worker lane) of the CLI flight recorder.
+const TRACE_CAPACITY: usize = 8192;
 
 fn parse_stream_opts(args: &[String]) -> Result<StreamOpts, String> {
     let mut opts = StreamOpts {
@@ -222,6 +247,8 @@ fn parse_stream_opts(args: &[String]) -> Result<StreamOpts, String> {
         quiet: false,
         checkpoint: None,
         snapshot_every: None,
+        metrics: None,
+        trace_out: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -239,6 +266,14 @@ fn parse_stream_opts(args: &[String]) -> Result<StreamOpts, String> {
                 opts.checkpoint = Some(v.clone());
             }
             "--snapshot-every" => opts.snapshot_every = Some(num("--snapshot-every")?),
+            "--metrics" => {
+                let v = it.next().ok_or("--metrics needs an address")?;
+                opts.metrics = Some(v.clone());
+            }
+            "--trace" => {
+                let v = it.next().ok_or("--trace needs a file")?;
+                opts.trace_out = Some(v.clone());
+            }
             "--reject" => opts.reject = true,
             "--quiet" => opts.quiet = true,
             other if other.starts_with("--") => {
@@ -375,6 +410,12 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
     if opts.reject {
         builder = builder.backpressure(Backpressure::Reject);
     }
+    if let Some(addr) = &opts.metrics {
+        builder = builder.metrics_addr(addr);
+    }
+    if opts.trace_out.is_some() {
+        builder = builder.flight_recorder(TRACE_CAPACITY);
+    }
     let rt = if let Some(dir) = &store_dir {
         builder = builder.durable(dir);
         if let Some(every) = snapshot_every {
@@ -391,6 +432,12 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
                 "durable store {dir:?}: resuming at phase {}",
                 rt.admitted() + 1
             );
+        }
+    }
+
+    if let Some(addr) = rt.metrics_addr() {
+        if !opts.quiet {
+            eprintln!("metrics endpoint: http://{addr}/metrics (try `ec top {addr}`)");
         }
     }
 
@@ -452,6 +499,22 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
             }
         }
     }
+    // Dump the flight-recorder timeline before shutdown consumes the
+    // runtime (draining leaves the rings empty, which is fine: the
+    // process is exiting). Quiesce first so the tail of the input —
+    // including its retirements — is on the timeline.
+    if let Some(path) = &opts.trace_out {
+        rt.flush().map_err(|e| e.to_string())?;
+        rt.wait_idle().map_err(|e| e.to_string())?;
+        let trace = rt.dump_trace().ok_or("flight recorder missing")?;
+        std::fs::write(path, &trace).map_err(|e| format!("writing {path:?}: {e}"))?;
+        if !opts.quiet {
+            eprintln!(
+                "trace written to {path} ({} bytes) — open chrome://tracing",
+                trace.len()
+            );
+        }
+    }
     let report = rt.shutdown().map_err(|e| e.to_string())?;
     if !opts.quiet {
         eprintln!(
@@ -463,12 +526,246 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `ec trace` — `ec stream` with the flight recorder always on and the
+/// Chrome trace written to `--out FILE` (default `trace.json`).
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    let mut rewritten: Vec<String> = Vec::with_capacity(args.len() + 2);
+    let mut out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--out" || arg == "--trace" {
+            let v = it.next().ok_or(format!("{arg} needs a file"))?;
+            out = Some(v.clone());
+        } else {
+            rewritten.push(arg.clone());
+        }
+    }
+    rewritten.push("--trace".into());
+    rewritten.push(out.unwrap_or_else(|| "trace.json".into()));
+    cmd_stream(&rewritten)
+}
+
+/// One parsed Prometheus sample from a text-exposition page.
+struct PromSample {
+    name: String,
+    labels: Vec<(String, String)>,
+    value: f64,
+}
+
+/// Parses Prometheus text exposition into samples, skipping comments
+/// and anything unparsable (`ec top` is a viewer, not a validator).
+fn parse_exposition(body: &str) -> Vec<PromSample> {
+    let mut out = Vec::new();
+    for line in body.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((series, value)) = line.rsplit_once(' ') else {
+            continue;
+        };
+        let Ok(value) = value.parse::<f64>() else {
+            continue;
+        };
+        let (name, labels) = match series.split_once('{') {
+            Some((n, rest)) => {
+                let body = rest.strip_suffix('}').unwrap_or(rest);
+                let labels = body
+                    .split(',')
+                    .filter_map(|kv| {
+                        let (k, v) = kv.split_once('=')?;
+                        Some((k.trim().to_string(), v.trim().trim_matches('"').to_string()))
+                    })
+                    .collect();
+                (n.to_string(), labels)
+            }
+            None => (series.to_string(), Vec::new()),
+        };
+        out.push(PromSample {
+            name,
+            labels,
+            value,
+        });
+    }
+    out
+}
+
+/// Sum of every sample named `name`, across all label sets — on a
+/// session endpoint this aggregates the tenant rows.
+fn prom_sum(samples: &[PromSample], name: &str) -> f64 {
+    samples
+        .iter()
+        .filter(|s| s.name == name)
+        .map(|s| s.value)
+        .sum()
+}
+
+/// Worst (largest) value of quantile `q` of the summary `name` across
+/// label sets.
+fn prom_quantile(samples: &[PromSample], name: &str, q: &str) -> Option<f64> {
+    samples
+        .iter()
+        .filter(|s| s.name == name && s.labels.iter().any(|(k, v)| k == "quantile" && v == q))
+        .map(|s| s.value)
+        .fold(None, |acc: Option<f64>, v| {
+            Some(acc.map_or(v, |a| a.max(v)))
+        })
+}
+
+/// Human-readable seconds: `1.23s`, `4.5ms`, `6.7us`, `890ns`.
+fn fmt_secs(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.2}s")
+    } else if secs >= 1e-3 {
+        format!("{:.1}ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.1}us", secs * 1e6)
+    } else {
+        format!("{:.0}ns", secs * 1e9)
+    }
+}
+
+fn cmd_top(args: &[String]) -> Result<(), String> {
+    let mut addr = String::new();
+    let mut interval_ms: u64 = 2000;
+    let mut once = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--interval" => {
+                let v = it.next().ok_or("--interval needs milliseconds")?;
+                interval_ms = v.parse().map_err(|_| format!("bad interval {v:?}"))?;
+            }
+            "--once" => once = true,
+            other if other.starts_with("--") => return Err(format!("unknown flag {other:?}")),
+            a => {
+                if !addr.is_empty() {
+                    return Err(format!("unexpected extra argument {a:?}"));
+                }
+                addr = a.to_string();
+            }
+        }
+    }
+    if addr.is_empty() {
+        return Err(format!("missing metrics address\n{USAGE}"));
+    }
+
+    let mut prev: Option<(f64, std::time::Instant)> = None;
+    loop {
+        let body = event_correlation::obs::http_get(&addr, "/metrics").map_err(|e| {
+            format!("fetching http://{addr}/metrics: {e} (is the runtime up with --metrics?)")
+        })?;
+        let samples = parse_exposition(&body);
+        let sealed = prom_sum(&samples, "ec_seal_events_total");
+        let now = std::time::Instant::now();
+        let rate =
+            prev.map(|(last, at)| (sealed - last) / now.duration_since(at).as_secs_f64().max(1e-9));
+        prev = Some((sealed, now));
+        render_top(&addr, &samples, rate);
+        if once {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms.max(100)));
+    }
+}
+
+/// Renders one `ec top` frame from a scraped sample set.
+fn render_top(addr: &str, samples: &[PromSample], rate: Option<f64>) {
+    let g = |name: &str| prom_sum(samples, name);
+    let rate = rate.map_or(String::new(), |r| format!("   {r:.0} ev/s"));
+    println!("ec top {addr} — {} samples", samples.len());
+    println!(
+        "  phases   started {:.0}   completed {:.0}   max pipeline depth {:.0}",
+        g("ec_phases_started_total"),
+        g("ec_phases_completed_total"),
+        g("ec_pipeline_depth_max"),
+    );
+    println!(
+        "  events   sealed {:.0}{rate}   executions {:.0} ({:.0} silent)   \
+         messages {:.0}   sinks {:.0}",
+        g("ec_seal_events_total"),
+        g("ec_executions_total"),
+        g("ec_silent_executions_total"),
+        g("ec_messages_total"),
+        g("ec_sink_outputs_total"),
+    );
+    println!(
+        "  sched    steals {:.0}   parks {:.0}   wakes {:.0}   injector {:.0}",
+        g("ec_steals_total"),
+        g("ec_parks_total"),
+        g("ec_wakes_total"),
+        g("ec_injector_depth"),
+    );
+    println!(
+        "  ingest   depth {:.0}   waits {:.0}   seal batches {:.0}",
+        g("ec_ingest_depth"),
+        g("ec_ingest_waits_total"),
+        g("ec_seal_batches_total"),
+    );
+    for (label, series) in [
+        ("phase", "ec_phase_seconds"),
+        ("exec", "ec_exec_seconds"),
+        ("wal", "ec_wal_commit_seconds"),
+        ("in-wait", "ec_ingest_wait_seconds"),
+    ] {
+        let count = prom_sum(samples, &format!("{series}_count"));
+        if count == 0.0 {
+            continue;
+        }
+        let q = |q: &str| prom_quantile(samples, series, q).map_or_else(|| "-".into(), fmt_secs);
+        println!(
+            "  {label:<8} p50 {}   p95 {}   p99 {}   max {}   (n={count:.0})",
+            q("0.5"),
+            q("0.95"),
+            q("0.99"),
+            q("1"),
+        );
+    }
+    // Per-tenant rows, present when the endpoint is a SessionPool's.
+    let mut tenants: Vec<&PromSample> = samples
+        .iter()
+        .filter(|s| s.name == "ec_session_events_per_sec")
+        .collect();
+    let session_of = |s: &PromSample| {
+        s.labels
+            .iter()
+            .find(|(k, _)| k == "session")
+            .map(|(_, v)| v.clone())
+            .unwrap_or_default()
+    };
+    tenants.sort_by_key(|s| session_of(s));
+    for t in tenants {
+        let session = session_of(t);
+        let f = |name: &str| {
+            samples
+                .iter()
+                .find(|s| {
+                    s.name == name
+                        && s.labels
+                            .iter()
+                            .any(|(k, v)| k == "session" && *v == session)
+                })
+                .map_or(0.0, |s| s.value)
+        };
+        println!(
+            "  session {session}: {:.0} phases retired, {:.0} events, {:.0} ev/s, \
+             {:.0} in flight",
+            f("ec_session_phases_retired_total"),
+            f("ec_session_events_committed_total"),
+            t.value,
+            f("ec_session_inflight"),
+        );
+    }
+    println!();
+}
+
 struct SessionsOpts {
     spec_paths: Vec<String>,
     threads: Option<usize>,
     epoch_count: Option<usize>,
     root: Option<String>,
     weights: Vec<(String, u32)>,
+    metrics: Option<String>,
     quiet: bool,
 }
 
@@ -479,6 +776,7 @@ fn parse_sessions_opts(args: &[String]) -> Result<SessionsOpts, String> {
         epoch_count: None,
         root: None,
         weights: Vec::new(),
+        metrics: None,
         quiet: false,
     };
     let mut it = args.iter();
@@ -501,6 +799,10 @@ fn parse_sessions_opts(args: &[String]) -> Result<SessionsOpts, String> {
                     .ok_or_else(|| format!("--weight expects NAME=W, got {v:?}"))?;
                 let w: u32 = w.parse().map_err(|_| format!("bad weight in {v:?}"))?;
                 opts.weights.push((name.to_string(), w));
+            }
+            "--metrics" => {
+                let v = it.next().ok_or("--metrics needs an address")?;
+                opts.metrics = Some(v.clone());
             }
             "--quiet" => opts.quiet = true,
             other if other.starts_with("--") => {
@@ -556,6 +858,12 @@ fn cmd_sessions(args: &[String]) -> Result<(), String> {
         pool_builder = pool_builder.durable_root(root);
     }
     let pool = pool_builder.build();
+    if let Some(addr) = &opts.metrics {
+        let bound = pool.serve_metrics(addr).map_err(|e| e.to_string())?;
+        if !opts.quiet {
+            eprintln!("metrics endpoint: http://{bound}/metrics (try `ec top {bound}`)");
+        }
+    }
 
     let mut sessions = std::collections::HashMap::new();
     for (path, name) in opts.spec_paths.iter().zip(&names) {
@@ -823,4 +1131,59 @@ fn cmd_demo() -> Result<(), String> {
 
 fn fmt_engine_err(e: EngineError) -> String {
     e.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exposition_parsing_handles_labels_and_comments() {
+        let page = "# HELP ec_executions_total x\n# TYPE ec_executions_total counter\n\
+                    ec_executions_total 42\n\
+                    ec_worker_queue_depth{worker=\"0\"} 3\n\
+                    ec_worker_queue_depth{worker=\"1\"} 4\n\
+                    ec_phase_seconds{quantile=\"0.5\"} 0.001\n\
+                    ec_phase_seconds{quantile=\"0.99\"} 0.25\n\
+                    garbage line without a number x\n";
+        let samples = parse_exposition(page);
+        assert_eq!(samples.len(), 5);
+        assert_eq!(prom_sum(&samples, "ec_executions_total"), 42.0);
+        assert_eq!(prom_sum(&samples, "ec_worker_queue_depth"), 7.0);
+        assert_eq!(
+            prom_quantile(&samples, "ec_phase_seconds", "0.5"),
+            Some(0.001)
+        );
+        assert_eq!(prom_quantile(&samples, "ec_phase_seconds", "0.95"), None);
+    }
+
+    #[test]
+    fn quantile_takes_the_worst_tenant() {
+        let page = "ec_phase_seconds{session=\"a\",quantile=\"0.5\"} 0.001\n\
+                    ec_phase_seconds{session=\"b\",quantile=\"0.5\"} 0.030\n";
+        let samples = parse_exposition(page);
+        assert_eq!(
+            prom_quantile(&samples, "ec_phase_seconds", "0.5"),
+            Some(0.030)
+        );
+    }
+
+    #[test]
+    fn seconds_format_picks_a_sane_unit() {
+        assert_eq!(fmt_secs(2.5), "2.50s");
+        assert_eq!(fmt_secs(0.0042), "4.2ms");
+        assert_eq!(fmt_secs(0.0000042), "4.2us");
+        assert_eq!(fmt_secs(0.000000250), "250ns");
+    }
+
+    #[test]
+    fn stream_opts_parse_observability_flags() {
+        let args: Vec<String> = ["spec.xml", "--metrics", "127.0.0.1:0", "--trace", "t.json"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let opts = parse_stream_opts(&args).expect("parses");
+        assert_eq!(opts.metrics.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(opts.trace_out.as_deref(), Some("t.json"));
+    }
 }

@@ -15,6 +15,7 @@
 //! | [`spec`] | XML computation specifications (§4's input format) |
 //! | [`runtime`] | online streaming runtime: live ingestion, epochs, backpressure, subscriptions |
 //! | [`store`] | durability: write-ahead log, operator snapshots, recovery |
+//! | [`obs`] | observability: flight recorder, latency histograms, Prometheus `/metrics` |
 //!
 //! ## Quickstart
 //!
@@ -38,6 +39,7 @@ pub use ec_core as core;
 pub use ec_events as events;
 pub use ec_fusion as fusion;
 pub use ec_graph as graph;
+pub use ec_obs as obs;
 pub use ec_runtime as runtime;
 pub use ec_spec as spec;
 pub use ec_store as store;

@@ -432,3 +432,119 @@ fn sessions_reject_duplicate_names_and_bad_weights() {
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("unknown session \"typo\""), "{err}");
 }
+
+#[test]
+fn trace_writes_chrome_json() {
+    let path = write_spec("trace.xml", LIVE_SPEC);
+    let out_file = std::env::temp_dir()
+        .join("ec-cli-tests")
+        .join("trace-out.json");
+    let _ = std::fs::remove_file(&out_file);
+    let out = ec_with_stdin(
+        &[
+            "trace",
+            path.to_str().unwrap(),
+            "--out",
+            out_file.to_str().unwrap(),
+        ],
+        "tx,10\ntx,20\n\ntx,5\n",
+    );
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("trace written to"), "{err}");
+    let json = std::fs::read_to_string(&out_file).expect("trace file written");
+    let events = event_correlation::obs::validate_chrome_trace(&json).expect("well-formed trace");
+    assert!(events > 0, "{json}");
+    assert!(json.contains("\"name\":\"epoch_sealed\""), "{json}");
+    assert!(json.contains("\"name\":\"phase_retired\""), "{json}");
+    let _ = std::fs::remove_file(&out_file);
+}
+
+#[test]
+fn stream_metrics_flag_serves_exposition() {
+    use std::io::{BufRead, BufReader, Write};
+    use std::process::Stdio;
+
+    let path = write_spec("metrics.xml", LIVE_SPEC);
+    let mut child = Command::new(env!("CARGO_BIN_EXE_ec"))
+        .args(["stream", path.to_str().unwrap(), "--metrics", "127.0.0.1:0"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("ec binary spawns");
+    let mut stdin = child.stdin.take().expect("stdin piped");
+    // The endpoint line is printed before stdin is consumed; find the
+    // ephemeral port in it while the stream is still live.
+    let mut stderr = BufReader::new(child.stderr.take().expect("stderr piped"));
+    let addr = loop {
+        let mut line = String::new();
+        assert!(
+            stderr.read_line(&mut line).expect("stderr readable") > 0,
+            "stream exited before announcing the metrics endpoint"
+        );
+        if let Some(rest) = line.trim().strip_prefix("metrics endpoint: http://") {
+            break rest
+                .split_once("/metrics")
+                .expect("endpoint line has a path")
+                .0
+                .to_string();
+        }
+    };
+    stdin.write_all(b"tx,10\ntx,20\n\n").expect("stdin writes");
+    stdin.flush().unwrap();
+    let body = event_correlation::obs::http_get(&addr, "/metrics").expect("scrape live stream");
+    event_correlation::obs::validate_exposition(&body).expect("well-formed exposition");
+    assert!(body.contains("ec_executions_total"), "{body}");
+    drop(stdin); // EOF: the stream shuts down cleanly.
+    let status = child.wait().expect("ec binary exits");
+    assert!(status.success());
+}
+
+#[test]
+fn top_renders_one_frame() {
+    use std::sync::Arc;
+    let page = "\
+# TYPE ec_executions_total counter\nec_executions_total 42\n\
+# TYPE ec_phases_completed_total counter\nec_phases_completed_total 7\n\
+# TYPE ec_seal_events_total counter\nec_seal_events_total 99\n\
+# TYPE ec_phase_seconds summary\nec_phase_seconds{quantile=\"0.5\"} 0.002\n\
+ec_phase_seconds{quantile=\"0.95\"} 0.004\nec_phase_seconds{quantile=\"0.99\"} 0.008\n\
+ec_phase_seconds{quantile=\"1\"} 0.016\nec_phase_seconds_sum 1.5\nec_phase_seconds_count 7\n\
+# TYPE ec_session_events_per_sec gauge\n\
+ec_session_events_per_sec{session=\"alpha\"} 123\n";
+    let server = event_correlation::obs::MetricsServer::bind(
+        "127.0.0.1:0",
+        Arc::new(move || page.to_string()),
+    )
+    .expect("bind");
+    let addr = server.local_addr().to_string();
+    let out = ec(&["top", &addr, "--once"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("completed 7"), "{text}");
+    assert!(text.contains("sealed 99"), "{text}");
+    assert!(text.contains("p50 2.0ms"), "{text}");
+    assert!(text.contains("session alpha"), "{text}");
+}
+
+#[test]
+fn top_errors_helpfully_when_nothing_listens() {
+    // Bind-then-drop guarantees a dead port.
+    let dead = {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        l.local_addr().unwrap().to_string()
+    };
+    let out = ec(&["top", &dead, "--once"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("is the runtime up with --metrics?"), "{err}");
+}
