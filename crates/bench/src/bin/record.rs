@@ -13,8 +13,10 @@
 //! * `metrics` — the full `MetricsSnapshot` of the last 4-thread run
 //!   (scheduler counters, ingest counters, latency percentiles);
 //! * `obs` — the observability overhead A/B: the 4-thread workload
-//!   with the flight recorder + `/metrics` endpoint on vs off, runs
-//!   interleaved, with the instrumented run's snapshot. CI gates
+//!   with the flight recorder + `/metrics` endpoint + default causal
+//!   trace sampling on vs fully off, runs interleaved, with the
+//!   instrumented run's snapshot and its merged end-to-end latency
+//!   percentiles (`e2e_us`: p50/p95/p99 in microseconds). CI gates
 //!   `overhead_pct` at 5.
 //!
 //! ```text
@@ -264,6 +266,7 @@ fn main() {
     // flight recorder and a live /metrics endpoint switched on. CI
     // gates overhead_pct at 5.
     let (base_rate, obs_rate, obs_sample) = measure_obs_ab(events);
+    let e2e = obs_sample.latency.e2e_merged();
     let overhead_pct = if obs_rate > 0.0 && base_rate.is_finite() {
         (base_rate / obs_rate - 1.0) * 100.0
     } else {
@@ -305,11 +308,16 @@ fn main() {
          \"instrumented_events_per_sec\": {obs_rate:.1}, \
          \"uninstrumented_events_per_sec\": {base_rate:.1}, \
          \"overhead_pct\": {overhead_pct:.2}, \
+         \"e2e_us\": {{\"count\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}}}, \
          \"metrics\": {}}}\n  }}",
         results.join(",\n"),
         ingest.join(",\n"),
         sessions.join(",\n"),
         metrics_sample.to_json(),
+        e2e.count(),
+        e2e.p50() / 1_000,
+        e2e.p95() / 1_000,
+        e2e.p99() / 1_000,
         obs_sample.to_json()
     );
     append_entry(&out_path, &entry).expect("write output");

@@ -108,9 +108,10 @@ pub fn runtime_workload(threads: usize) -> ec_runtime::StreamRuntime {
 }
 
 /// [`runtime_workload`] with the full observability plane switched on:
-/// a flight recorder (4096-event rings) and an ephemeral `/metrics`
-/// endpoint. The instrumented arm of the overhead A/B that the
-/// `record` baseline writer measures and CI gates at ≤5%.
+/// a flight recorder (4096-event rings), an ephemeral `/metrics`
+/// endpoint, and causal trace sampling at the default 1-in-64 rate.
+/// The instrumented arm of the overhead A/B that the `record` baseline
+/// writer measures and CI gates at ≤5%.
 pub fn runtime_workload_observed(threads: usize) -> ec_runtime::StreamRuntime {
     runtime_workload_inner(threads, true)
 }
@@ -125,7 +126,11 @@ fn runtime_workload_inner(threads: usize, observed: bool) -> ec_runtime::StreamR
         .record_script(false)
         .max_inflight(64);
     if observed {
+        // Default trace sampling (1 in 64) stays on: the A/B overhead
+        // gate covers the causal-tracing path, not just the recorder.
         b = b.flight_recorder(4096).metrics_addr("127.0.0.1:0");
+    } else {
+        b = b.trace_sampling(0);
     }
     let s1 = b.live_source("s1");
     let s2 = b.live_source("s2");

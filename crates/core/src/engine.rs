@@ -233,6 +233,7 @@ impl EngineBuilder {
                 metrics: Metrics::new(),
                 gauge: PhaseGauge::with_capacity(self.max_inflight),
                 admit_clock: AdmitClock::new(self.max_inflight, self.resume_from),
+                traced: TracedPhases::new(self.max_inflight),
                 exec_hist: HistogramBank::new(threads),
                 phase_hist: HistogramBank::new(threads),
                 recorder: self.recorder,
@@ -317,6 +318,39 @@ impl AdmitClock {
     }
 }
 
+/// Phases carrying a sampled causal trace, in a power-of-two ring of
+/// atomic slots indexed `phase & mask` (the same windowing argument as
+/// [`AdmitClock`]). A slot stores `phase + 1` and lookups require an
+/// exact match, so a collision (a seal staging more phases ahead than
+/// the ring covers) can only *lose* a mark — a traced phase silently
+/// degrades to normal 1-in-8 span sampling — never force-trace the
+/// wrong phase.
+pub(crate) struct TracedPhases {
+    slots: Vec<AtomicU64>,
+    mask: u64,
+}
+
+impl TracedPhases {
+    fn new(max_inflight: u64) -> TracedPhases {
+        let cap = max_inflight.clamp(2, 1 << 16).next_power_of_two();
+        TracedPhases {
+            slots: (0..cap).map(|_| AtomicU64::new(0)).collect(),
+            mask: cap - 1,
+        }
+    }
+
+    /// Marks `phase` as traced (called before its admission).
+    pub(crate) fn mark(&self, phase: u64) {
+        self.slots[(phase & self.mask) as usize].store(phase + 1, Relaxed);
+    }
+
+    /// Whether `phase` carries a trace mark.
+    #[inline]
+    pub(crate) fn contains(&self, phase: u64) -> bool {
+        self.slots[(phase & self.mask) as usize].load(Relaxed) == phase + 1
+    }
+}
+
 /// Everything shared between worker threads, the environment thread and
 /// the caller.
 ///
@@ -352,6 +386,9 @@ pub(crate) struct Shared {
     /// Admission timestamps per in-flight phase, for the seal→retire
     /// latency histogram.
     admit_clock: AdmitClock,
+    /// Phases carrying a sampled causal trace: their exec/retire spans
+    /// bypass 1-in-8 sampling so `ec trace` shows the full chain.
+    traced: TracedPhases,
     /// Per-worker module-execution duration histograms.
     exec_hist: HistogramBank,
     /// Per-worker phase admission→retirement latency histograms.
@@ -475,6 +512,13 @@ impl Shared {
         }
     }
 
+    /// Marks `phase` as carrying a sampled causal trace, forcing its
+    /// exec/retire spans past 1-in-8 sampling. Call before the phase is
+    /// admitted.
+    pub(crate) fn mark_traced(&self, phase: u64) {
+        self.traced.mark(phase);
+    }
+
     /// Records admission→retirement latency for every phase newly
     /// covered by the completion frontier. `worker` is the calling
     /// worker, if any (`None` for the admission path's silent-phase
@@ -489,7 +533,9 @@ impl Shared {
                     // histogram above sees every phase regardless. Phases
                     // number from 1, so `== 1` keeps the very first phase
                     // of a run (and therefore tiny runs) in the trace.
-                    if phase & EXEC_SAMPLE_MASK == 1 {
+                    // Trace-marked phases always record, so a sampled
+                    // event's causal chain is complete.
+                    if phase & EXEC_SAMPLE_MASK == 1 || self.traced.contains(phase) {
                         r.record_span_ending(lane, SpanKind::PhaseRetired, phase, nanos, 0, end);
                     }
                 }
@@ -576,7 +622,7 @@ impl Shared {
             // single largest recorder cost at full throughput. Reuse
             // the exec-end read — recording costs a ring write, not
             // another clock read.
-            if (phase ^ idx as u64) & EXEC_SAMPLE_MASK == 0 {
+            if (phase ^ idx as u64) & EXEC_SAMPLE_MASK == 0 || self.traced.contains(phase) {
                 r.record_span_ending(
                     worker + 1,
                     SpanKind::Exec,

@@ -84,7 +84,8 @@ pub use error::EngineError;
 pub use history::{Divergence, ExecutionHistory, RecordedEmission, SinkRecord};
 pub use live::LiveEngine;
 pub use metrics::{
-    IngestCounters, LatencyStats, Metrics, MetricsSnapshot, PhaseGauge, SchedulerCounters,
+    IngestCounters, LatencyStats, Metrics, MetricsSnapshot, PathLatency, PhaseGauge,
+    SchedulerCounters,
 };
 pub use module::{
     AlwaysEmit, CollectSink, Emission, ExecCtx, FnModule, InputView, Module, PassThrough,

@@ -292,6 +292,13 @@ impl LiveEngine {
         self.shared.state.lock().pmax()
     }
 
+    /// Marks a not-yet-admitted phase as carrying a sampled causal
+    /// trace: its exec/retire spans bypass the recorder's 1-in-8
+    /// sampling so the event's full chain lands in the flight recorder.
+    pub fn mark_traced(&self, phase: u64) {
+        self.shared.mark_traced(phase);
+    }
+
     /// All phases up to and including this have completed.
     pub fn completed_through(&self) -> u64 {
         self.shared.state.lock().completed_through()

@@ -123,14 +123,44 @@ pub struct IngestCounters {
     /// Per-source ingest buffer depths at snapshot time (racy;
     /// observability only).
     pub depths: Vec<u64>,
+    /// Source names, parallel to `depths`/`source_waits` (spec names,
+    /// so dashboards survive spec reordering; empty for engines without
+    /// an ingest plane).
+    pub sources: Vec<String>,
     /// Producer-side contention: pushes that found their source's
     /// buffer full and had to block, retry, or force a seal.
     pub waits: u64,
+    /// Per-source breakdown of `waits`, parallel to `depths`.
+    pub source_waits: Vec<u64>,
     /// Epoch seals that committed at least one phase.
     pub seal_batches: u64,
     /// Events drained by those seals; `seal_events / seal_batches` is
     /// the mean drain batch size.
     pub seal_events: u64,
+}
+
+/// End-to-end latency of one causally traced (source → sink) path:
+/// producer push to subscriber delivery, from sampled trace stamps
+/// (streaming runtime only). Nanoseconds.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PathLatency {
+    /// Source name where the sampled events entered.
+    pub source: String,
+    /// Sink name where their phases' outputs were delivered.
+    pub sink: String,
+    /// Push → delivery latency distribution.
+    pub hist: HistogramSnapshot,
+}
+
+impl PathLatency {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"source\":\"{}\",\"sink\":\"{}\",\"hist\":{}}}",
+            self.source.replace(['"', '\\'], "_"),
+            self.sink.replace(['"', '\\'], "_"),
+            self.hist.to_json()
+        )
+    }
 }
 
 /// Latency distributions of a [`MetricsSnapshot`]: log2-bucketed
@@ -149,17 +179,33 @@ pub struct LatencyStats {
     /// Producer push-wait duration: time a `push` spent bounced off a
     /// full ingest buffer before succeeding (streaming runtime only).
     pub ingest_wait: HistogramSnapshot,
+    /// End-to-end (source, sink) path latencies from sampled trace
+    /// stamps (streaming runtime only; empty when tracing is off).
+    pub e2e: Vec<PathLatency>,
 }
 
 impl LatencyStats {
-    /// Hand-rolled JSON object of the four histograms.
+    /// One histogram merging every traced (source, sink) path —
+    /// "how long does an event take, regardless of route".
+    pub fn e2e_merged(&self) -> HistogramSnapshot {
+        let mut merged = HistogramSnapshot::default();
+        for path in &self.e2e {
+            merged.merge(&path.hist);
+        }
+        merged
+    }
+
+    /// Hand-rolled JSON object of the stage histograms plus the traced
+    /// end-to-end paths.
     pub fn to_json(&self) -> String {
+        let e2e: Vec<String> = self.e2e.iter().map(PathLatency::to_json).collect();
         format!(
-            "{{\"phase\":{},\"exec\":{},\"wal_commit\":{},\"ingest_wait\":{}}}",
+            "{{\"phase\":{},\"exec\":{},\"wal_commit\":{},\"ingest_wait\":{},\"e2e\":[{}]}}",
             self.phase.to_json(),
             self.exec.to_json(),
             self.wal_commit.to_json(),
-            self.ingest_wait.to_json()
+            self.ingest_wait.to_json(),
+            e2e.join(",")
         )
     }
 }
@@ -261,7 +307,8 @@ impl MetricsSnapshot {
              \"silent_fraction\":{:.4},\"bookkeeping_ratio\":{:.4},\
              \"scheduler\":{{\"steals\":{},\"parks\":{},\"wakes\":{},\
              \"worker_queue_depths\":{},\"injector_depth\":{}}},\
-             \"ingest\":{{\"depths\":{},\"waits\":{},\"seal_batches\":{},\"seal_events\":{},\
+             \"ingest\":{{\"depths\":{},\"sources\":{},\"waits\":{},\"source_waits\":{},\
+             \"seal_batches\":{},\"seal_events\":{},\
              \"mean_seal_batch\":{:.2}}},\"latency\":{}}}",
             self.executions,
             self.silent_executions,
@@ -288,7 +335,17 @@ impl MetricsSnapshot {
             depths(&self.scheduler.worker_queue_depths),
             self.scheduler.injector_depth,
             depths(&self.ingest.depths),
+            {
+                let names: Vec<String> = self
+                    .ingest
+                    .sources
+                    .iter()
+                    .map(|s| format!("\"{}\"", s.replace(['"', '\\'], "_")))
+                    .collect();
+                format!("[{}]", names.join(","))
+            },
             self.ingest.waits,
+            depths(&self.ingest.source_waits),
             self.ingest.seal_batches,
             self.ingest.seal_events,
             self.mean_seal_batch(),

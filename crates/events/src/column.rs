@@ -17,19 +17,53 @@ use crate::value::Value;
 use std::ops::Deref;
 use std::sync::Arc;
 
+/// A sampled trace stamp riding out-of-band on a sealed column: the
+/// event in bin `bin` was chosen for causal tracing when its producer
+/// pushed it.
+///
+/// Stamps are observability metadata, not data: they are excluded from
+/// [`PhaseColumn`] equality, never serialized to the WAL, and dropped
+/// on pool reclamation, so a traced run commits a byte-identical
+/// `PhaseScript` to an untraced one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BinStamp {
+    /// Index of the stamped bin within the column.
+    pub bin: u32,
+    /// Trace id assigned at push time (unique per runtime).
+    pub trace_id: u64,
+    /// Push timestamp, nanoseconds since the runtime's trace epoch.
+    pub ingest_nanos: u64,
+}
+
 /// One source's bins for one sealed epoch, in phase order.
 ///
 /// Immutable once built (consumers share it behind an [`Arc`]);
-/// dereferences to the bin slice.
-#[derive(Debug, Clone, Default, PartialEq)]
+/// dereferences to the bin slice. May carry sampled [`BinStamp`]s;
+/// equality compares bins only (stamps are observability metadata).
+#[derive(Debug, Clone, Default)]
 pub struct PhaseColumn {
     bins: Vec<Option<Value>>,
+    stamps: Vec<BinStamp>,
+}
+
+impl PartialEq for PhaseColumn {
+    fn eq(&self, other: &PhaseColumn) -> bool {
+        self.bins == other.bins
+    }
 }
 
 impl PhaseColumn {
     /// Wraps a bin vector as a frozen column.
     pub fn from_bins(bins: Vec<Option<Value>>) -> PhaseColumn {
-        PhaseColumn { bins }
+        PhaseColumn {
+            bins,
+            stamps: Vec::new(),
+        }
+    }
+
+    /// Wraps a bin vector plus its sampled trace stamps.
+    pub fn from_stamped_bins(bins: Vec<Option<Value>>, stamps: Vec<BinStamp>) -> PhaseColumn {
+        PhaseColumn { bins, stamps }
     }
 
     /// The bins, in phase order.
@@ -37,7 +71,13 @@ impl PhaseColumn {
         &self.bins
     }
 
-    /// Unwraps the backing vector (pool reclamation).
+    /// Sampled trace stamps carried by this column (usually empty).
+    pub fn stamps(&self) -> &[BinStamp] {
+        &self.stamps
+    }
+
+    /// Unwraps the backing vector (pool reclamation); stamps are
+    /// dropped.
     pub fn into_bins(self) -> Vec<Option<Value>> {
         self.bins
     }
@@ -106,7 +146,17 @@ impl ColumnPool {
     /// Freezes a filled bin vector into a shared column, tracked for
     /// reclamation once every consumer drops it.
     pub fn seal(&mut self, bins: Vec<Option<Value>>) -> Arc<PhaseColumn> {
-        let col = Arc::new(PhaseColumn::from_bins(bins));
+        self.seal_stamped(bins, Vec::new())
+    }
+
+    /// [`seal`](ColumnPool::seal), carrying sampled trace stamps on the
+    /// frozen column.
+    pub fn seal_stamped(
+        &mut self,
+        bins: Vec<Option<Value>>,
+        stamps: Vec<BinStamp>,
+    ) -> Arc<PhaseColumn> {
+        let col = Arc::new(PhaseColumn::from_stamped_bins(bins, stamps));
         if self.pending.len() >= MAX_PENDING {
             // A consumer is retaining columns (recorded script, slow
             // feed): stop tracking the oldest — their last holder frees
@@ -156,6 +206,23 @@ mod tests {
         assert_eq!(col[0], Some(Value::Int(1)));
         assert_eq!(col.bins()[1], None);
         assert_eq!(col.clone().into_bins().len(), 2);
+    }
+
+    #[test]
+    fn stamps_ride_along_but_never_affect_equality() {
+        let bins = vec![Some(Value::Int(1)), None, Some(Value::Int(3))];
+        let stamp = BinStamp {
+            bin: 2,
+            trace_id: 7,
+            ingest_nanos: 123,
+        };
+        let plain = PhaseColumn::from_bins(bins.clone());
+        let stamped = PhaseColumn::from_stamped_bins(bins, vec![stamp]);
+        assert_eq!(plain, stamped);
+        assert_eq!(stamped.stamps(), &[stamp]);
+        assert!(plain.stamps().is_empty());
+        // Reclamation drops stamps with the column wrapper.
+        assert_eq!(stamped.into_bins().len(), 3);
     }
 
     #[test]

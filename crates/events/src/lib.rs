@@ -40,7 +40,7 @@ pub mod timestamp;
 pub mod value;
 pub mod window;
 
-pub use column::{ColumnPool, PhaseColumn};
+pub use column::{BinStamp, ColumnPool, PhaseColumn};
 pub use event::Event;
 pub use live::{FeedWriter, LiveFeed};
 pub use phase::Phase;

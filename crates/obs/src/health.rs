@@ -1,0 +1,600 @@
+//! A watchdog that turns raw progress counters into a health verdict.
+//!
+//! [`HealthMonitor`] is deliberately engine-agnostic: a driver (the
+//! runtime's delivery loop, a session-pool sampler thread, a test with
+//! a synthetic clock) periodically feeds it an [`Observation`] — the
+//! admitted/retired frontier plus per-source queue depths and
+//! per-lane event totals — and it maintains a rolling [`HealthReport`]
+//! answering three questions:
+//!
+//! 1. **Is retirement stalled?** Phases are inflight but the retired
+//!    frontier has not advanced for [`HealthConfig::stall_after`].
+//! 2. **Is ingest wedged, and by whom?** A source queue sits at
+//!    capacity with its producer wait count climbing while no phase is
+//!    admitted — the report blames that source by name.
+//! 3. **Did throughput collapse?** Each lane's event rate is compared
+//!    against a half-life-decayed baseline; a drop beyond
+//!    [`HealthConfig::collapse_ratio`] while demand exists (queued
+//!    input or inflight phases) flags the lane as degraded.
+//!
+//! The monitor never reads a clock itself — every call takes an
+//! explicit `now: Instant`, so tests drive it with a mock timeline and
+//! production drivers pass `Instant::now()`.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Overall health classification, ordered from best to worst.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Verdict {
+    /// Progress looks normal.
+    Ok,
+    /// Making progress, but a tracked baseline collapsed.
+    Degraded,
+    /// No progress where progress is owed: retirement or ingest wedged.
+    Stalled,
+}
+
+impl Verdict {
+    /// Stable lowercase name used in JSON reports and `ec doctor`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Verdict::Ok => "ok",
+            Verdict::Degraded => "degraded",
+            Verdict::Stalled => "stalled",
+        }
+    }
+}
+
+/// Tuning knobs for [`HealthMonitor`].
+#[derive(Debug, Clone)]
+pub struct HealthConfig {
+    /// How long the retired frontier (or a wedged full source) may sit
+    /// still before the verdict flips to [`Verdict::Stalled`].
+    pub stall_after: Duration,
+    /// Fractional drop vs. the decayed baseline that flags a lane as
+    /// collapsed: `0.8` means "flag when the rate falls below 20% of
+    /// baseline".
+    pub collapse_ratio: f64,
+    /// Half-life of the per-lane rate baseline decay.
+    pub halflife: Duration,
+    /// A lane must have committed at least this many events before its
+    /// baseline is trusted enough to flag a collapse.
+    pub min_events: u64,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            stall_after: Duration::from_secs(2),
+            collapse_ratio: 0.8,
+            halflife: Duration::from_secs(10),
+            min_events: 1_000,
+        }
+    }
+}
+
+/// One source's queue state at observation time.
+#[derive(Debug, Clone)]
+pub struct SourceObs {
+    /// Source name (spec name, not index).
+    pub name: String,
+    /// Events currently queued in the source's ingest buffer.
+    pub depth: usize,
+    /// The buffer's capacity.
+    pub capacity: usize,
+    /// Cumulative producer waits/bounces against this source's buffer.
+    pub waits: u64,
+}
+
+/// One throughput lane (a tenant session, or the whole runtime) at
+/// observation time.
+#[derive(Debug, Clone)]
+pub struct LaneObs {
+    /// Lane name (tenant/session name, or `"runtime"`).
+    pub name: String,
+    /// Cumulative committed events on this lane.
+    pub events: u64,
+}
+
+/// A point-in-time progress sample fed to [`HealthMonitor::observe`].
+#[derive(Debug, Clone, Default)]
+pub struct Observation {
+    /// Phases admitted so far (monotone).
+    pub admitted: u64,
+    /// Phases retired so far (monotone, `<= admitted`).
+    pub retired: u64,
+    /// Per-source queue state.
+    pub sources: Vec<SourceObs>,
+    /// Per-lane cumulative event totals.
+    pub lanes: Vec<LaneObs>,
+}
+
+#[derive(Debug, Clone)]
+struct LaneBaseline {
+    /// Events at the previous observation.
+    last_events: u64,
+    /// Half-life-decayed events/sec baseline.
+    baseline: f64,
+    /// Most recently observed events/sec.
+    rate: f64,
+}
+
+#[derive(Debug)]
+struct State {
+    last: Option<(Instant, Observation)>,
+    /// When the retired frontier last advanced (or monitoring began).
+    retired_progress_at: Instant,
+    /// When the admitted frontier last advanced (or monitoring began).
+    admitted_progress_at: Instant,
+    /// Per-source wait count at the last observation, by name.
+    last_waits: HashMap<String, u64>,
+    lanes: HashMap<String, LaneBaseline>,
+    report: HealthReport,
+}
+
+/// A rolling watchdog over engine progress counters.
+///
+/// Thread-safe: `observe` and `report` take `&self`.
+#[derive(Debug)]
+pub struct HealthMonitor {
+    cfg: HealthConfig,
+    state: Mutex<State>,
+}
+
+/// One lane's throughput summary inside a [`HealthReport`].
+#[derive(Debug, Clone)]
+pub struct LaneHealth {
+    /// Lane name.
+    pub name: String,
+    /// Cumulative committed events.
+    pub events: u64,
+    /// Most recent events/sec.
+    pub rate: f64,
+    /// Decayed events/sec baseline.
+    pub baseline: f64,
+}
+
+/// The structured verdict rendered on `/healthz` and by `ec doctor`.
+#[derive(Debug, Clone)]
+pub struct HealthReport {
+    /// Overall verdict (worst of all detections).
+    pub verdict: Verdict,
+    /// Human-readable reasons for any non-Ok verdict.
+    pub reasons: Vec<String>,
+    /// Phases admitted at the last observation.
+    pub admitted: u64,
+    /// Phases retired at the last observation.
+    pub retired: u64,
+    /// Per-source queue state at the last observation.
+    pub sources: Vec<SourceObs>,
+    /// Per-lane throughput summaries.
+    pub lanes: Vec<LaneHealth>,
+}
+
+impl Default for HealthReport {
+    fn default() -> Self {
+        HealthReport {
+            verdict: Verdict::Ok,
+            reasons: Vec::new(),
+            admitted: 0,
+            retired: 0,
+            sources: Vec::new(),
+            lanes: Vec::new(),
+        }
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl HealthReport {
+    /// Renders the report as a JSON object. `verdict` is the first key
+    /// so even the simplest scraper finds it.
+    pub fn to_json(&self) -> String {
+        let reasons = self
+            .reasons
+            .iter()
+            .map(|r| format!("\"{}\"", json_escape(r)))
+            .collect::<Vec<_>>()
+            .join(",");
+        let sources = self
+            .sources
+            .iter()
+            .map(|s| {
+                format!(
+                    "{{\"name\":\"{}\",\"depth\":{},\"capacity\":{},\"waits\":{}}}",
+                    json_escape(&s.name),
+                    s.depth,
+                    s.capacity,
+                    s.waits
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        let lanes = self
+            .lanes
+            .iter()
+            .map(|l| {
+                format!(
+                    "{{\"name\":\"{}\",\"events\":{},\"rate\":{:.1},\"baseline\":{:.1}}}",
+                    json_escape(&l.name),
+                    l.events,
+                    l.rate,
+                    l.baseline
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "{{\"verdict\":\"{}\",\"reasons\":[{}],\"admitted\":{},\"retired\":{},\
+             \"inflight\":{},\"sources\":[{}],\"lanes\":[{}]}}",
+            self.verdict.name(),
+            reasons,
+            self.admitted,
+            self.retired,
+            self.admitted.saturating_sub(self.retired),
+            sources,
+            lanes
+        )
+    }
+}
+
+impl HealthMonitor {
+    /// Creates a monitor; `start` anchors the stall timers (pass
+    /// `Instant::now()` in production).
+    pub fn new(cfg: HealthConfig, start: Instant) -> HealthMonitor {
+        HealthMonitor {
+            cfg,
+            state: Mutex::new(State {
+                last: None,
+                retired_progress_at: start,
+                admitted_progress_at: start,
+                last_waits: HashMap::new(),
+                lanes: HashMap::new(),
+                report: HealthReport::default(),
+            }),
+        }
+    }
+
+    /// The monitor's configuration.
+    pub fn config(&self) -> &HealthConfig {
+        &self.cfg
+    }
+
+    /// Feeds one progress sample and recomputes the report.
+    pub fn observe(&self, now: Instant, obs: Observation) {
+        let mut st = self.state.lock().unwrap();
+        let st = &mut *st;
+        let mut reasons = Vec::new();
+        let mut verdict = Verdict::Ok;
+
+        // Progress timers.
+        if let Some((_, prev)) = &st.last {
+            if obs.retired > prev.retired {
+                st.retired_progress_at = now;
+            }
+            if obs.admitted > prev.admitted {
+                st.admitted_progress_at = now;
+            }
+        } else if obs.retired > 0 {
+            st.retired_progress_at = now;
+        }
+
+        // 1. Retirement stall: work inflight, frontier frozen.
+        let inflight = obs.admitted.saturating_sub(obs.retired);
+        let retired_idle = now.saturating_duration_since(st.retired_progress_at);
+        if inflight > 0 && retired_idle >= self.cfg.stall_after {
+            verdict = verdict.max(Verdict::Stalled);
+            reasons.push(format!(
+                "phase retirement stalled: {} phase(s) inflight, retired frontier \
+                 stuck at {} for {:.1}s",
+                inflight,
+                obs.retired,
+                retired_idle.as_secs_f64()
+            ));
+        }
+
+        // 2. Ingest wedge: a full source with climbing producer waits
+        // while nothing is admitted — blame the source.
+        let admit_idle = now.saturating_duration_since(st.admitted_progress_at);
+        if admit_idle >= self.cfg.stall_after {
+            for s in &obs.sources {
+                let prev_waits = st.last_waits.get(&s.name).copied().unwrap_or(0);
+                if s.capacity > 0 && s.depth >= s.capacity && s.waits > prev_waits {
+                    verdict = verdict.max(Verdict::Stalled);
+                    reasons.push(format!(
+                        "ingest wedged: source \"{}\" full ({}/{}) with producers \
+                         waiting ({} waits) and no phase admitted for {:.1}s",
+                        s.name,
+                        s.depth,
+                        s.capacity,
+                        s.waits,
+                        admit_idle.as_secs_f64()
+                    ));
+                }
+            }
+        }
+
+        // 3. Throughput collapse vs. decayed baseline, only while
+        // demand exists (otherwise an idle-but-healthy lane would be
+        // flagged whenever traffic legitimately ends).
+        let demand = inflight > 0 || obs.sources.iter().any(|s| s.depth > 0);
+        let dt = st
+            .last
+            .as_ref()
+            .map(|(t, _)| now.saturating_duration_since(*t).as_secs_f64())
+            .unwrap_or(0.0);
+        let mut lane_health = Vec::with_capacity(obs.lanes.len());
+        for lane in &obs.lanes {
+            let entry = st
+                .lanes
+                .entry(lane.name.clone())
+                .or_insert_with(|| LaneBaseline {
+                    last_events: lane.events,
+                    baseline: 0.0,
+                    rate: 0.0,
+                });
+            if dt > 0.0 {
+                let delta = lane.events.saturating_sub(entry.last_events) as f64;
+                let rate = delta / dt;
+                let alpha = 0.5_f64.powf(dt / self.cfg.halflife.as_secs_f64().max(1e-9));
+                entry.baseline = if entry.baseline == 0.0 {
+                    rate
+                } else {
+                    alpha * entry.baseline + (1.0 - alpha) * rate
+                };
+                entry.rate = rate;
+                entry.last_events = lane.events;
+                if demand
+                    && lane.events >= self.cfg.min_events
+                    && entry.baseline > 0.0
+                    && rate < entry.baseline * (1.0 - self.cfg.collapse_ratio)
+                {
+                    verdict = verdict.max(Verdict::Degraded);
+                    reasons.push(format!(
+                        "throughput collapse on lane \"{}\": {:.0} ev/s vs \
+                         baseline {:.0} ev/s",
+                        lane.name, rate, entry.baseline
+                    ));
+                }
+            }
+            lane_health.push(LaneHealth {
+                name: lane.name.clone(),
+                events: lane.events,
+                rate: entry.rate,
+                baseline: entry.baseline,
+            });
+        }
+
+        st.last_waits = obs
+            .sources
+            .iter()
+            .map(|s| (s.name.clone(), s.waits))
+            .collect();
+        st.report = HealthReport {
+            verdict,
+            reasons,
+            admitted: obs.admitted,
+            retired: obs.retired,
+            sources: obs.sources.clone(),
+            lanes: lane_health,
+        };
+        st.last = Some((now, obs));
+    }
+
+    /// The most recent report (default/Ok before the first
+    /// observation).
+    pub fn report(&self) -> HealthReport {
+        self.state.lock().unwrap().report.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> HealthConfig {
+        HealthConfig {
+            stall_after: Duration::from_millis(100),
+            collapse_ratio: 0.8,
+            halflife: Duration::from_secs(10),
+            min_events: 100,
+        }
+    }
+
+    fn obs(admitted: u64, retired: u64) -> Observation {
+        Observation {
+            admitted,
+            retired,
+            sources: Vec::new(),
+            lanes: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn idle_monitor_is_ok() {
+        let t0 = Instant::now();
+        let mon = HealthMonitor::new(cfg(), t0);
+        assert_eq!(mon.report().verdict, Verdict::Ok);
+        mon.observe(t0 + Duration::from_secs(5), obs(0, 0));
+        assert_eq!(mon.report().verdict, Verdict::Ok);
+    }
+
+    #[test]
+    fn steady_progress_is_ok() {
+        let t0 = Instant::now();
+        let mon = HealthMonitor::new(cfg(), t0);
+        for i in 1..=10u64 {
+            mon.observe(t0 + Duration::from_millis(50 * i), obs(i * 10, i * 10 - 1));
+        }
+        let r = mon.report();
+        assert_eq!(r.verdict, Verdict::Ok, "{:?}", r.reasons);
+    }
+
+    #[test]
+    fn frozen_retirement_with_inflight_is_stalled() {
+        let t0 = Instant::now();
+        let mon = HealthMonitor::new(cfg(), t0);
+        mon.observe(t0 + Duration::from_millis(10), obs(5, 2));
+        mon.observe(t0 + Duration::from_millis(250), obs(5, 2));
+        let r = mon.report();
+        assert_eq!(r.verdict, Verdict::Stalled);
+        assert!(
+            r.reasons.iter().any(|m| m.contains("retirement stalled")),
+            "{:?}",
+            r.reasons
+        );
+        // Progress clears the stall.
+        mon.observe(t0 + Duration::from_millis(300), obs(5, 5));
+        assert_eq!(mon.report().verdict, Verdict::Ok);
+    }
+
+    #[test]
+    fn full_source_with_climbing_waits_blames_the_source() {
+        let t0 = Instant::now();
+        let mon = HealthMonitor::new(cfg(), t0);
+        let src = |waits| Observation {
+            admitted: 0,
+            retired: 0,
+            sources: vec![SourceObs {
+                name: "ticks".into(),
+                depth: 8,
+                capacity: 8,
+                waits,
+            }],
+            lanes: Vec::new(),
+        };
+        mon.observe(t0 + Duration::from_millis(10), src(5));
+        mon.observe(t0 + Duration::from_millis(250), src(20));
+        let r = mon.report();
+        assert_eq!(r.verdict, Verdict::Stalled);
+        assert!(
+            r.reasons.iter().any(|m| m.contains("\"ticks\"")),
+            "{:?}",
+            r.reasons
+        );
+    }
+
+    #[test]
+    fn full_source_without_new_waits_is_not_blamed() {
+        let t0 = Instant::now();
+        let mon = HealthMonitor::new(cfg(), t0);
+        let src = Observation {
+            admitted: 0,
+            retired: 0,
+            sources: vec![SourceObs {
+                name: "ticks".into(),
+                depth: 8,
+                capacity: 8,
+                waits: 5,
+            }],
+            lanes: Vec::new(),
+        };
+        mon.observe(t0 + Duration::from_millis(10), src.clone());
+        mon.observe(t0 + Duration::from_millis(250), src);
+        assert_eq!(mon.report().verdict, Verdict::Ok);
+    }
+
+    #[test]
+    fn rate_collapse_under_demand_is_degraded() {
+        let t0 = Instant::now();
+        let mon = HealthMonitor::new(cfg(), t0);
+        let lane = |events, depth| Observation {
+            admitted: 100,
+            retired: 100,
+            sources: vec![SourceObs {
+                name: "s".into(),
+                depth,
+                capacity: 64,
+                waits: 0,
+            }],
+            lanes: vec![LaneObs {
+                name: "tenant-a".into(),
+                events,
+            }],
+        };
+        // Warm a ~1000 ev/s baseline.
+        for i in 1..=5u64 {
+            mon.observe(t0 + Duration::from_secs(i), lane(i * 1000, 10));
+        }
+        assert_eq!(mon.report().verdict, Verdict::Ok);
+        // Collapse to ~10 ev/s with input still queued.
+        mon.observe(t0 + Duration::from_secs(6), lane(5010, 10));
+        let r = mon.report();
+        assert_eq!(r.verdict, Verdict::Degraded, "{:?}", r.reasons);
+        assert!(
+            r.reasons.iter().any(|m| m.contains("tenant-a")),
+            "{:?}",
+            r.reasons
+        );
+        // The same collapse with no queued demand is a quiet period,
+        // not a degradation.
+        let mon2 = HealthMonitor::new(cfg(), t0);
+        for i in 1..=5u64 {
+            mon2.observe(t0 + Duration::from_secs(i), lane(i * 1000, 10));
+        }
+        mon2.observe(t0 + Duration::from_secs(6), lane(5010, 0));
+        assert_eq!(mon2.report().verdict, Verdict::Ok);
+    }
+
+    #[test]
+    fn report_json_shape() {
+        let t0 = Instant::now();
+        let mon = HealthMonitor::new(cfg(), t0);
+        mon.observe(
+            t0 + Duration::from_millis(10),
+            Observation {
+                admitted: 7,
+                retired: 4,
+                sources: vec![SourceObs {
+                    name: "a\"b".into(),
+                    depth: 1,
+                    capacity: 8,
+                    waits: 2,
+                }],
+                lanes: vec![LaneObs {
+                    name: "t0".into(),
+                    events: 9,
+                }],
+            },
+        );
+        let json = mon.report().to_json();
+        assert!(json.starts_with("{\"verdict\":\"ok\""), "{json}");
+        assert!(json.contains("\"inflight\":3"), "{json}");
+        assert!(json.contains("a\\\"b"), "{json}");
+        let (mut depth, mut max_depth) = (0i32, 0i32);
+        for c in json.chars() {
+            match c {
+                '{' | '[' => {
+                    depth += 1;
+                    max_depth = max_depth.max(depth);
+                }
+                '}' | ']' => depth -= 1,
+                _ => {}
+            }
+        }
+        assert_eq!(depth, 0, "unbalanced: {json}");
+        assert!(max_depth >= 3);
+    }
+
+    #[test]
+    fn verdict_ordering_takes_the_worst() {
+        assert!(Verdict::Stalled > Verdict::Degraded);
+        assert!(Verdict::Degraded > Verdict::Ok);
+        assert_eq!(Verdict::Ok.name(), "ok");
+        assert_eq!(Verdict::Stalled.name(), "stalled");
+    }
+}

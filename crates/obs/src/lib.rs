@@ -21,19 +21,28 @@
 //! * [`PromText`] — a tiny Prometheus text-exposition builder (plus
 //!   [`validate_exposition`], used by tests and CI to keep the output
 //!   well-formed), and [`MetricsServer`] — a minimal std-only TCP
-//!   `/metrics` endpoint serving whatever render closure it is given.
+//!   endpoint serving whatever render closures it is given (`/metrics`,
+//!   and `/healthz` when a watchdog is wired in).
+//! * [`HealthMonitor`] — a watchdog that turns raw progress counters
+//!   (admitted/retired frontiers, source queue depths and waits,
+//!   per-lane event totals) into a structured [`HealthReport`] with an
+//!   Ok / Degraded / Stalled [`Verdict`] and blame-carrying reasons.
 //!
 //! Nothing here knows about engines or runtimes: `ec-core` and
 //! `ec-runtime` own *what* is recorded; this crate owns *how cheaply*.
 
 #![warn(missing_docs)]
 
+mod health;
 mod hist;
 mod prom;
 mod recorder;
 mod serve;
 
+pub use health::{
+    HealthConfig, HealthMonitor, HealthReport, LaneHealth, LaneObs, Observation, SourceObs, Verdict,
+};
 pub use hist::{HistogramBank, HistogramSnapshot, LogHistogram};
 pub use prom::{validate_exposition, PromText};
 pub use recorder::{chrome_trace_from, validate_chrome_trace, FlightRecorder, SpanEvent, SpanKind};
-pub use serve::{http_get, MetricsServer};
+pub use serve::{http_get, MetricsServer, RenderFn, Route, CONTENT_TYPE_JSON, CONTENT_TYPE_PROM};

@@ -41,6 +41,13 @@ pub enum SpanKind {
     Park,
     /// A parked worker was woken.
     Wake,
+    /// A sampled producer push entered the ingest plane (start of a
+    /// causal trace; `a` = trace id, `b` = source slot).
+    TraceIngest,
+    /// A sampled event's phase retired and its sink output reached the
+    /// delivery plane (end of a causal trace; `a` = trace id, `b` =
+    /// phase; duration = ingest→delivery latency).
+    TraceDeliver,
 }
 
 impl SpanKind {
@@ -56,6 +63,8 @@ impl SpanKind {
             SpanKind::Steal => "steal",
             SpanKind::Park => "park",
             SpanKind::Wake => "wake",
+            SpanKind::TraceIngest => "trace_ingest",
+            SpanKind::TraceDeliver => "trace_deliver",
         }
     }
 
@@ -68,6 +77,8 @@ impl SpanKind {
             SpanKind::Snapshot => ("phase", "aux"),
             SpanKind::Steal => ("victim", "batch"),
             SpanKind::Park | SpanKind::Wake => ("worker", "aux"),
+            SpanKind::TraceIngest => ("trace", "source"),
+            SpanKind::TraceDeliver => ("trace", "phase"),
         }
     }
 }

@@ -18,7 +18,17 @@ use std::time::Duration;
 /// Renders the `/metrics` page on demand.
 pub type RenderFn = Arc<dyn Fn() -> String + Send + Sync>;
 
-/// A background thread serving `GET /metrics` over plain HTTP/1.1.
+/// A `(path, content_type, render)` route table entry for
+/// [`MetricsServer::bind_routes`].
+pub type Route = (&'static str, &'static str, RenderFn);
+
+/// Prometheus text exposition content type (the `/metrics` default).
+pub const CONTENT_TYPE_PROM: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+/// JSON content type, used by `/healthz`.
+pub const CONTENT_TYPE_JSON: &str = "application/json";
+
+/// A background thread serving `GET` routes over plain HTTP/1.1.
 pub struct MetricsServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
@@ -38,6 +48,19 @@ impl MetricsServer {
     /// serves `render()` to every `GET /metrics` until
     /// [`stop`](Self::stop) or drop.
     pub fn bind(addr: &str, render: RenderFn) -> io::Result<MetricsServer> {
+        Self::bind_routes(
+            addr,
+            vec![
+                ("/metrics", CONTENT_TYPE_PROM, Arc::clone(&render)),
+                ("/", CONTENT_TYPE_PROM, render),
+            ],
+        )
+    }
+
+    /// Binds `addr` and serves a table of `GET` routes; each request
+    /// re-renders its route's page. Unknown paths get a 404 listing the
+    /// known routes.
+    pub fn bind_routes(addr: &str, routes: Vec<Route>) -> io::Result<MetricsServer> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -50,7 +73,7 @@ impl MetricsServer {
                         break;
                     }
                     if let Ok(stream) = stream {
-                        let _ = serve_one(stream, &render);
+                        let _ = serve_one(stream, &routes);
                     }
                 }
             })?;
@@ -83,9 +106,9 @@ impl Drop for MetricsServer {
     }
 }
 
-/// Answers one request: `/metrics` (or `/`) gets the rendered page,
-/// anything else a 404.
-fn serve_one(mut stream: TcpStream, render: &RenderFn) -> io::Result<()> {
+/// Answers one request: a known route gets its rendered page, anything
+/// else a 404.
+fn serve_one(mut stream: TcpStream, routes: &[Route]) -> io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_secs(2)))?;
     stream.set_write_timeout(Some(Duration::from_secs(2)))?;
     let mut buf = [0u8; 4096];
@@ -106,13 +129,16 @@ fn serve_one(mut stream: TcpStream, render: &RenderFn) -> io::Result<()> {
         .next()
         .and_then(|l| l.split_whitespace().nth(1))
         .unwrap_or("/");
-    let (status, body) = if path == "/metrics" || path == "/" {
-        ("200 OK", render())
-    } else {
-        ("404 Not Found", String::from("not found\n"))
+    let (status, content_type, body) = match routes.iter().find(|(p, _, _)| *p == path) {
+        Some((_, content_type, render)) => ("200 OK", *content_type, render()),
+        None => (
+            "404 Not Found",
+            CONTENT_TYPE_PROM,
+            "not found\n".to_string(),
+        ),
     };
     let response = format!(
-        "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\n\
          Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
         body.len()
     );
@@ -162,6 +188,30 @@ mod tests {
         let addr = server.local_addr().to_string();
         let err = http_get(&addr, "/nope").expect_err("404");
         assert!(err.to_string().contains("404"), "{err}");
+    }
+
+    #[test]
+    fn routes_dispatch_by_path() {
+        let server = MetricsServer::bind_routes(
+            "127.0.0.1:0",
+            vec![
+                (
+                    "/metrics",
+                    CONTENT_TYPE_PROM,
+                    Arc::new(|| "metrics-page\n".to_string()),
+                ),
+                (
+                    "/healthz",
+                    CONTENT_TYPE_JSON,
+                    Arc::new(|| "{\"verdict\":\"ok\"}".to_string()),
+                ),
+            ],
+        )
+        .expect("bind");
+        let addr = server.local_addr().to_string();
+        assert_eq!(http_get(&addr, "/metrics").unwrap(), "metrics-page\n");
+        assert_eq!(http_get(&addr, "/healthz").unwrap(), "{\"verdict\":\"ok\"}");
+        assert!(http_get(&addr, "/").is_err());
     }
 
     #[test]

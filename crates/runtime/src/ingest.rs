@@ -15,26 +15,44 @@
 //! whatever each swap observed — exactly the well-defined-commit
 //! guarantee the old global mutex gave, without the global mutex.
 //!
+//! Sampled causal traces ride the same swap: a push chosen for tracing
+//! leaves a [`BinStamp`] beside its bin, and the drain hands the stamp
+//! vector out with the bins so the seal can thread ingest timestamps
+//! through to delivery. Stamps are metadata — they never change what a
+//! seal commits.
+//!
 //! Backpressure stays per source: a full shard blocks the pusher on the
 //! shard's own condvar ([`Backpressure::Block`](crate::Backpressure))
 //! or bounces the value back ([`Backpressure::Reject`]
 //! (crate::Backpressure)); the seal's drain signals exactly the shards
-//! it emptied.
+//! it emptied. Contention is counted per shard so the health plane can
+//! blame the specific source wedging its producers.
 
-use ec_events::{ColumnPool, Value};
+use ec_events::{BinStamp, ColumnPool, Value};
 use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering::Relaxed};
 use std::time::Duration;
 
+/// A shard's accumulating epoch column plus the trace stamps riding it.
+/// One mutex covers both so the drain's swap stays a single atomic cut.
+#[derive(Default)]
+struct ShardBuf {
+    /// Producers append `Some(v)`; the seal swaps the vector out whole.
+    bins: Vec<Option<Value>>,
+    /// Sampled trace stamps for this buffer's bins (usually empty).
+    stamps: Vec<BinStamp>,
+}
+
 /// One live source's striped ingest buffer.
 struct SourceShard {
-    /// The accumulating epoch column: producers append `Some(v)`; the
-    /// seal swaps the vector out whole.
-    bins: Mutex<Vec<Option<Value>>>,
+    buf: Mutex<ShardBuf>,
     /// Signalled when a drain empties this shard (or shutdown begins).
     space: Condvar,
     /// Cached depth, readable without the shard lock (observability).
     depth: AtomicUsize,
+    /// Producer contention events against this shard: a push found it
+    /// full and had to block, retry or force a seal.
+    waits: AtomicU64,
 }
 
 /// All ingest shards plus the cross-shard counters.
@@ -43,9 +61,6 @@ pub(crate) struct IngestBuffers {
     /// Events buffered across all shards (maintained by push/drain;
     /// drives `EpochPolicy::ByCount`).
     total: AtomicUsize,
-    /// Producer contention events: a push found its shard full and had
-    /// to block, retry or force a seal.
-    waits: AtomicU64,
 }
 
 impl IngestBuffers {
@@ -53,18 +68,20 @@ impl IngestBuffers {
         IngestBuffers {
             shards: (0..sources)
                 .map(|_| SourceShard {
-                    bins: Mutex::new(Vec::new()),
+                    buf: Mutex::new(ShardBuf::default()),
                     space: Condvar::new(),
                     depth: AtomicUsize::new(0),
+                    waits: AtomicU64::new(0),
                 })
                 .collect(),
             total: AtomicUsize::new(0),
-            waits: AtomicU64::new(0),
         }
     }
 
     /// Appends `value` to source `slot`'s buffer if it is below
-    /// `capacity`. On success returns the total buffered across all
+    /// `capacity`. A `Some(stamp)` marks the event for causal tracing:
+    /// `stamp = (trace_id, ingest_nanos)`, recorded against the bin the
+    /// value lands in. On success returns the total buffered across all
     /// shards *after* the push; on a full shard the value comes back to
     /// the caller (who decides: block, reject, or force a seal).
     pub(crate) fn try_push(
@@ -72,19 +89,28 @@ impl IngestBuffers {
         slot: usize,
         value: Value,
         capacity: usize,
+        stamp: Option<(u64, u64)>,
     ) -> Result<usize, Value> {
         let shard = &self.shards[slot];
-        let mut bins = shard.bins.lock();
-        if bins.len() >= capacity {
+        let mut buf = shard.buf.lock();
+        if buf.bins.len() >= capacity {
             return Err(value);
         }
-        bins.push(Some(value));
-        shard.depth.store(bins.len(), Relaxed);
+        if let Some((trace_id, ingest_nanos)) = stamp {
+            let bin = buf.bins.len() as u32;
+            buf.stamps.push(BinStamp {
+                bin,
+                trace_id,
+                ingest_nanos,
+            });
+        }
+        buf.bins.push(Some(value));
+        shard.depth.store(buf.bins.len(), Relaxed);
         // Count under the shard lock: a drain (which takes this lock)
         // can then never subtract an event before its increment landed,
         // so `total` cannot transiently underflow.
         let total = self.total.fetch_add(1, Relaxed) + 1;
-        drop(bins);
+        drop(buf);
         Ok(total)
     }
 
@@ -94,23 +120,23 @@ impl IngestBuffers {
     /// (Self::try_push) — a racing producer may have refilled the shard.
     pub(crate) fn wait_space(&self, slot: usize, capacity: usize, timeout: Duration) {
         let shard = &self.shards[slot];
-        let mut bins = shard.bins.lock();
-        if bins.len() < capacity {
+        let mut buf = shard.buf.lock();
+        if buf.bins.len() < capacity {
             return;
         }
-        shard.space.wait_for(&mut bins, timeout);
+        shard.space.wait_for(&mut buf, timeout);
     }
 
-    /// Counts one producer contention event.
-    pub(crate) fn count_wait(&self) {
-        self.waits.fetch_add(1, Relaxed);
+    /// Counts one producer contention event against source `slot`.
+    pub(crate) fn count_wait(&self, slot: usize) {
+        self.shards[slot].waits.fetch_add(1, Relaxed);
     }
 
     /// Swaps every shard's buffer out (O(1) per source), replacing each
     /// with an empty pooled vector, and wakes the pushers blocked on the
-    /// drained shards. Returns the per-source columns-in-progress, in
-    /// wiring order; element `s` holds source `s`'s buffered events in
-    /// FIFO order.
+    /// drained shards. Returns the per-source columns-in-progress with
+    /// their trace stamps, in wiring order; element `s` holds source
+    /// `s`'s buffered events in FIFO order.
     ///
     /// All shard locks are held across the swaps, making the drain an
     /// **atomic cut** with respect to every push — exactly the
@@ -120,17 +146,21 @@ impl IngestBuffers {
     /// push commit to the *earlier* epoch. Locks are taken in slot
     /// order; producers only ever hold one, so there is no cycle, and
     /// the hold spans `sources` pointer swaps — nanoseconds.
-    pub(crate) fn drain(&self, pool: &mut ColumnPool) -> Vec<Vec<Option<Value>>> {
-        let mut fresh: Vec<Vec<Option<Value>>> =
-            self.shards.iter().map(|_| pool.checkout()).collect();
-        let mut guards: Vec<_> = self.shards.iter().map(|s| s.bins.lock()).collect();
-        for (bins, fresh) in guards.iter_mut().zip(fresh.iter_mut()) {
-            std::mem::swap(&mut **bins, fresh);
+    pub(crate) fn drain(&self, pool: &mut ColumnPool) -> Vec<(Vec<Option<Value>>, Vec<BinStamp>)> {
+        let mut fresh: Vec<(Vec<Option<Value>>, Vec<BinStamp>)> = self
+            .shards
+            .iter()
+            .map(|_| (pool.checkout(), Vec::new()))
+            .collect();
+        let mut guards: Vec<_> = self.shards.iter().map(|s| s.buf.lock()).collect();
+        for (buf, fresh) in guards.iter_mut().zip(fresh.iter_mut()) {
+            std::mem::swap(&mut buf.bins, &mut fresh.0);
+            std::mem::swap(&mut buf.stamps, &mut fresh.1);
         }
         let mut drained_total = 0;
-        for (shard, fresh) in self.shards.iter().zip(&fresh) {
+        for (shard, (bins, _)) in self.shards.iter().zip(&fresh) {
             shard.depth.store(0, Relaxed);
-            drained_total += fresh.len();
+            drained_total += bins.len();
         }
         self.total.fetch_sub(drained_total, Relaxed);
         drop(guards);
@@ -166,9 +196,14 @@ impl IngestBuffers {
         self.total.load(Relaxed)
     }
 
-    /// Producer contention events so far.
+    /// Producer contention events so far, across all sources.
     pub(crate) fn waits(&self) -> u64 {
-        self.waits.load(Relaxed)
+        self.shards.iter().map(|s| s.waits.load(Relaxed)).sum()
+    }
+
+    /// Per-source producer contention counts (blame attribution).
+    pub(crate) fn wait_counts(&self) -> Vec<u64> {
+        self.shards.iter().map(|s| s.waits.load(Relaxed)).collect()
     }
 }
 
@@ -181,9 +216,9 @@ mod tests {
         let buffers = IngestBuffers::new(2);
         let mut pool = ColumnPool::new();
         for i in 0..5i64 {
-            buffers.try_push(0, Value::Int(i), 100).unwrap();
+            buffers.try_push(0, Value::Int(i), 100, None).unwrap();
         }
-        buffers.try_push(1, Value::Int(-1), 100).unwrap();
+        buffers.try_push(1, Value::Int(-1), 100, None).unwrap();
         assert_eq!(buffers.total(), 6);
         assert_eq!(buffers.depth(0), 5);
         assert_eq!(buffers.depths(), vec![5, 1]);
@@ -191,32 +226,62 @@ mod tests {
         let drained = buffers.drain(&mut pool);
         assert_eq!(buffers.total(), 0);
         assert_eq!(
-            drained[0],
+            drained[0].0,
             (0..5).map(|i| Some(Value::Int(i))).collect::<Vec<_>>()
         );
-        assert_eq!(drained[1], vec![Some(Value::Int(-1))]);
+        assert_eq!(drained[1].0, vec![Some(Value::Int(-1))]);
+        assert!(drained[0].1.is_empty() && drained[1].1.is_empty());
+    }
+
+    #[test]
+    fn stamps_follow_their_bins_through_the_drain() {
+        let buffers = IngestBuffers::new(1);
+        let mut pool = ColumnPool::new();
+        buffers.try_push(0, Value::Int(10), 100, None).unwrap();
+        buffers
+            .try_push(0, Value::Int(11), 100, Some((42, 1_000)))
+            .unwrap();
+        buffers.try_push(0, Value::Int(12), 100, None).unwrap();
+        let drained = buffers.drain(&mut pool);
+        assert_eq!(drained[0].0.len(), 3);
+        assert_eq!(
+            drained[0].1,
+            vec![BinStamp {
+                bin: 1,
+                trace_id: 42,
+                ingest_nanos: 1_000,
+            }]
+        );
+        // The next epoch starts clean.
+        buffers.try_push(0, Value::Int(13), 100, None).unwrap();
+        let next = buffers.drain(&mut pool);
+        assert!(next[0].1.is_empty());
     }
 
     #[test]
     fn full_shard_bounces_the_value_back() {
         let buffers = IngestBuffers::new(1);
-        buffers.try_push(0, Value::Int(1), 1).unwrap();
-        let bounced = buffers.try_push(0, Value::Int(2), 1).unwrap_err();
+        buffers.try_push(0, Value::Int(1), 1, None).unwrap();
+        let bounced = buffers.try_push(0, Value::Int(2), 1, None).unwrap_err();
         assert_eq!(bounced, Value::Int(2));
         // Wait with space available returns immediately.
         buffers.wait_space(0, 2, Duration::from_millis(1));
+        // Contention is attributed to the shard that bounced.
+        buffers.count_wait(0);
+        assert_eq!(buffers.waits(), 1);
+        assert_eq!(buffers.wait_counts(), vec![1]);
     }
 
     #[test]
     fn drain_wakes_blocked_pushers() {
         let buffers = std::sync::Arc::new(IngestBuffers::new(1));
-        buffers.try_push(0, Value::Int(1), 1).unwrap();
+        buffers.try_push(0, Value::Int(1), 1, None).unwrap();
         let waiter = {
             let buffers = std::sync::Arc::clone(&buffers);
             std::thread::spawn(move || {
                 let start = std::time::Instant::now();
                 loop {
-                    match buffers.try_push(0, Value::Int(2), 1) {
+                    match buffers.try_push(0, Value::Int(2), 1, None) {
                         Ok(_) => return start.elapsed(),
                         Err(_) => buffers.wait_space(0, 1, Duration::from_secs(5)),
                     }
@@ -226,7 +291,7 @@ mod tests {
         std::thread::sleep(Duration::from_millis(60));
         let mut pool = ColumnPool::new();
         let drained = buffers.drain(&mut pool);
-        assert_eq!(drained[0].len(), 1);
+        assert_eq!(drained[0].0.len(), 1);
         let waited = waiter.join().unwrap();
         assert!(
             waited >= Duration::from_millis(40),

@@ -75,6 +75,7 @@ mod runtime;
 mod script;
 pub mod sessions;
 
+pub use ec_obs::{HealthConfig, HealthReport, LaneHealth, Verdict};
 pub use error::{PushError, RuntimeError};
 pub use obs::MetricsRegistry;
 pub use policy::{Backpressure, EpochPolicy};

@@ -12,7 +12,7 @@
 
 use crate::sessions::SessionMetrics;
 use ec_core::MetricsSnapshot;
-use ec_obs::{MetricsServer, PromText};
+use ec_obs::{MetricsServer, PromText, RenderFn, Route, CONTENT_TYPE_PROM};
 use parking_lot::Mutex;
 use std::io;
 use std::sync::Arc;
@@ -52,8 +52,24 @@ impl MetricsRegistry {
     /// Binds `addr` (port 0 for ephemeral) and serves this registry's
     /// rendering at `GET /metrics` until the server is dropped.
     pub fn serve(self: &Arc<Self>, addr: &str) -> io::Result<MetricsServer> {
+        self.serve_with(addr, Vec::new())
+    }
+
+    /// [`serve`](Self::serve) plus extra routes beside `/metrics`
+    /// (e.g. a `/healthz` report).
+    pub fn serve_with(
+        self: &Arc<Self>,
+        addr: &str,
+        extra: Vec<Route>,
+    ) -> io::Result<MetricsServer> {
         let registry = Arc::clone(self);
-        MetricsServer::bind(addr, Arc::new(move || registry.render()))
+        let render: RenderFn = Arc::new(move || registry.render());
+        let mut routes: Vec<Route> = vec![
+            ("/metrics", CONTENT_TYPE_PROM, Arc::clone(&render)),
+            ("/", CONTENT_TYPE_PROM, render),
+        ];
+        routes.extend(extra);
+        MetricsServer::bind_routes(addr, routes)
     }
 }
 
@@ -148,15 +164,24 @@ pub fn render_snapshot(page: &mut PromText, labels: &[(&str, &str)], m: &Metrics
         );
     }
     for (s, depth) in m.ingest.depths.iter().enumerate() {
-        let source = s.to_string();
+        let fallback = s.to_string();
+        let source = m.ingest.sources.get(s).map_or(fallback.as_str(), |n| n);
         let mut with: Vec<(&str, &str)> = labels.to_vec();
-        with.push(("source", &source));
+        with.push(("source", source));
         page.gauge(
             "ec_ingest_depth",
             "Events buffered per source, not yet sealed.",
             &with,
             *depth as f64,
         );
+        if let Some(waits) = m.ingest.source_waits.get(s) {
+            page.counter(
+                "ec_ingest_source_waits_total",
+                "Full-buffer contention events per source.",
+                &with,
+                *waits,
+            );
+        }
     }
     page.counter(
         "ec_ingest_waits_total",
@@ -200,6 +225,17 @@ pub fn render_snapshot(page: &mut PromText, labels: &[(&str, &str)], m: &Metrics
         labels,
         &m.latency.ingest_wait,
     );
+    for path in &m.latency.e2e {
+        let mut with: Vec<(&str, &str)> = labels.to_vec();
+        with.push(("source", &path.source));
+        with.push(("sink", &path.sink));
+        page.latency_summary(
+            "ec_e2e_seconds",
+            "End-to-end ingest-to-delivery latency (sampled traces).",
+            &with,
+            &path.hist,
+        );
+    }
 }
 
 /// Renders one tenant's [`SessionMetrics`] row as `ec_session_*`
@@ -242,6 +278,12 @@ pub fn render_session(page: &mut PromText, row: &SessionMetrics) {
         "Committed events per second since the session opened.",
         &labels,
         row.events_per_sec,
+    );
+    page.latency_summary(
+        "ec_session_e2e_seconds",
+        "End-to-end ingest-to-delivery latency, all paths merged.",
+        &labels,
+        &row.engine.latency.e2e_merged(),
     );
     render_snapshot(page, &labels, &row.engine);
 }

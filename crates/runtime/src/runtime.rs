@@ -40,13 +40,17 @@ use crate::ingest::IngestBuffers;
 use crate::obs::MetricsRegistry;
 use crate::policy::{Backpressure, EpochPolicy};
 use crate::script::{PhaseScript, ScriptSegment};
-use ec_core::{EnginePool, ExecutionHistory, LiveEngine, MetricsSnapshot};
+use ec_core::{EnginePool, ExecutionHistory, LiveEngine, MetricsSnapshot, PathLatency};
 use ec_events::{ColumnPool, FeedWriter, PhaseColumn, Value};
 use ec_fusion::{CorrelatorBuilder, NodeHandle};
 use ec_graph::VertexId;
-use ec_obs::{FlightRecorder, LogHistogram, MetricsServer, SpanKind};
+use ec_obs::{
+    FlightRecorder, HealthConfig, HealthMonitor, HealthReport, LaneObs, LogHistogram,
+    MetricsServer, Observation, SourceObs, SpanKind,
+};
 use ec_store::{Recovery, WalWriter};
 use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
 use std::sync::Arc;
@@ -91,6 +95,91 @@ struct SealState {
     /// alone still guarantees recovery) and the error surfaces on the
     /// next explicit flush/tick/checkpoint call.
     snapshot_error: Option<RuntimeError>,
+}
+
+/// Default trace sampling rate: 1 in 64 pushes carries a causal trace.
+const DEFAULT_TRACE_SAMPLING: u64 = 64;
+
+/// Bound on traces awaiting delivery. Past it the oldest are dropped —
+/// sampling loss, never memory growth, when subscribers lag far behind.
+const MAX_PENDING_TRACES: usize = 4096;
+
+/// One sampled event between its seal (phase assignment) and its
+/// phase's sink delivery.
+struct PendingTrace {
+    phase: u64,
+    /// Live-source slot the event entered through.
+    slot: usize,
+    trace_id: u64,
+    /// Push timestamp, nanoseconds since [`TracePlane::epoch`].
+    ingest_nanos: u64,
+}
+
+/// The causal-tracing plane: samples producer pushes 1-in-N, assigns
+/// trace ids, and accumulates end-to-end (source, sink) latency
+/// histograms as traced phases deliver.
+struct TracePlane {
+    /// Power-of-two sampling interval (a push is sampled when its
+    /// source's counter hits a multiple of it).
+    mask: u64,
+    /// Per-source push counters (sampling is per source, so a quiet
+    /// source still gets traces).
+    counters: Vec<AtomicU64>,
+    next_id: AtomicU64,
+    /// The clock all trace timestamps are relative to.
+    epoch: Instant,
+    /// Traces sealed into phases, awaiting those phases' deliveries.
+    /// Globally phase-sorted: seals serialize under the seal lock and
+    /// each appends its batch in phase order.
+    pending: Mutex<VecDeque<PendingTrace>>,
+    /// End-to-end latency per (source slot, sink vertex index) path.
+    /// Written only by the delivery thread; snapshotted by scrapes.
+    e2e: Mutex<HashMap<(usize, usize), LogHistogram>>,
+}
+
+impl TracePlane {
+    fn new(sample_every: u64, sources: usize) -> TracePlane {
+        TracePlane {
+            mask: sample_every.max(1).next_power_of_two() - 1,
+            counters: (0..sources).map(|_| AtomicU64::new(0)).collect(),
+            next_id: AtomicU64::new(1),
+            epoch: Instant::now(),
+            pending: Mutex::new(VecDeque::new()),
+            e2e: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Nanoseconds since the trace epoch.
+    fn nanos_now(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Decides whether this push is sampled; if so returns its
+    /// `(trace_id, ingest_nanos)` stamp. One relaxed `fetch_add` on the
+    /// unsampled path.
+    fn maybe_stamp(&self, slot: usize) -> Option<(u64, u64)> {
+        if self.counters[slot].fetch_add(1, Relaxed) & self.mask != 0 {
+            return None;
+        }
+        let id = self.next_id.fetch_add(1, Relaxed);
+        Some((id, self.nanos_now()))
+    }
+
+    /// Snapshots the accumulated (source, sink) histograms, resolving
+    /// indices to names.
+    fn path_snapshots(&self, live: &[LiveSource], names: &[Arc<str>]) -> Vec<PathLatency> {
+        let e2e = self.e2e.lock();
+        let mut paths: Vec<PathLatency> = e2e
+            .iter()
+            .map(|((slot, sink), hist)| PathLatency {
+                source: live[*slot].name.clone(),
+                sink: names[*sink].to_string(),
+                hist: hist.snapshot(),
+            })
+            .collect();
+        paths.sort_by(|a, b| a.source.cmp(&b.source).then(a.sink.cmp(&b.sink)));
+        paths
+    }
 }
 
 /// A sink emission delivered to subscribers, in serial (phase, vertex)
@@ -154,6 +243,12 @@ struct RuntimeShared {
     /// ([`StreamRuntimeBuilder::flight_recorder`]). The runtime records
     /// its control-plane events (seal, WAL commit, snapshot) on lane 0.
     recorder: Option<Arc<FlightRecorder>>,
+    /// Causal trace sampling, `None` when disabled
+    /// ([`StreamRuntimeBuilder::trace_sampling`] of 0).
+    trace: Option<TracePlane>,
+    /// The watchdog, fed by the delivery loop; always on (its cost is
+    /// one observation per delivery wakeup).
+    health: HealthMonitor,
 }
 
 impl RuntimeShared {
@@ -176,25 +271,49 @@ impl RuntimeShared {
         // observed is this epoch's binning. Pushes racing the drain
         // land in the next epoch.
         let mut drained = self.buffers.drain(&mut seal.pool);
-        let longest = drained.iter().map(Vec::len).max().unwrap_or(0) as u64;
+        let longest = drained
+            .iter()
+            .map(|(bins, _)| bins.len())
+            .max()
+            .unwrap_or(0) as u64;
         let phases = longest.max(min_phases);
         if phases == 0 {
-            for bins in drained {
+            for (bins, _) in drained {
                 seal.pool.give_back(bins);
             }
             return Ok(0);
         }
+        // Phase numbering for this epoch: bin `r` becomes phase
+        // `base + r + 1`. All admission happens under the seal lock we
+        // hold, so `admitted()` here is exactly the base the admit loop
+        // below continues from — which lets sampled trace stamps be
+        // resolved to their final phase numbers before admission.
+        let base = self.engine.admitted();
         // Freeze the epoch: each drained buffer *is* its source's
         // column — pad the shorter ones with silent bins and share.
         // Events were appended in FIFO push order, so no per-event
-        // move or per-row allocation happens here.
+        // move or per-row allocation happens here. Sampled trace stamps
+        // ride their column; their phases are marked in the engine
+        // *before* admission so exec/retire spans bypass sampling.
         let mut events = 0u64;
+        let mut traces: Vec<PendingTrace> = Vec::new();
         let cols: Vec<Arc<PhaseColumn>> = drained
             .drain(..)
-            .map(|mut bins| {
+            .enumerate()
+            .map(|(slot, (mut bins, stamps))| {
                 events += bins.len() as u64;
                 bins.resize(phases as usize, None);
-                seal.pool.seal(bins)
+                for s in &stamps {
+                    let phase = base + s.bin as u64 + 1;
+                    self.engine.mark_traced(phase);
+                    traces.push(PendingTrace {
+                        phase,
+                        slot,
+                        trace_id: s.trace_id,
+                        ingest_nanos: s.ingest_nanos,
+                    });
+                }
+                seal.pool.seal_stamped(bins, stamps)
             })
             .collect();
         // Stage all the epoch's WAL frames into the writer's buffer
@@ -264,6 +383,22 @@ impl RuntimeShared {
                 }
             }
         }
+        // Register sealed traces for the delivery thread, only for
+        // phases that were actually admitted. The deque stays globally
+        // phase-sorted: seals serialize, and this batch's phases all
+        // follow every previous batch's.
+        if let Some(tp) = &self.trace {
+            if !traces.is_empty() {
+                let limit = base + admitted;
+                traces.retain(|t| t.phase <= limit);
+                traces.sort_by_key(|t| t.phase);
+                let mut pending = tp.pending.lock();
+                pending.extend(traces);
+                while pending.len() > MAX_PENDING_TRACES {
+                    pending.pop_front();
+                }
+            }
+        }
         // Record only what actually ran: refused admissions (engine
         // failed or closing) must not leave committed rows behind. The
         // staged bins past the admitted point are never polled — the
@@ -301,11 +436,16 @@ impl RuntimeShared {
     /// shutdown report, so a new counter cannot be forgotten in one).
     fn fill_ingest(&self, m: &mut MetricsSnapshot) {
         m.ingest.depths = self.buffers.depths();
+        m.ingest.sources = self.live.iter().map(|s| s.name.clone()).collect();
         m.ingest.waits = self.buffers.waits();
+        m.ingest.source_waits = self.buffers.wait_counts();
         m.ingest.seal_batches = self.seal_batches.load(Relaxed);
         m.ingest.seal_events = self.seal_events.load(Relaxed);
         m.latency.wal_commit = self.wal_hist.snapshot();
         m.latency.ingest_wait = self.ingest_wait_hist.snapshot();
+        if let Some(tp) = &self.trace {
+            m.latency.e2e = tp.path_snapshots(&self.live, &self.names);
+        }
     }
 
     /// Takes a snapshot at the current retired boundary. Caller holds
@@ -368,10 +508,89 @@ impl RuntimeShared {
         }
     }
 
+    /// Closes sampled traces against a retired-sink batch: for every
+    /// record whose phase carries pending traces, records push→delivery
+    /// latency into the (source, sink) path histogram and emits a
+    /// `TraceDeliver` span. `records` arrive in (phase, vertex) order
+    /// and the pending deque is phase-sorted, so one forward walk
+    /// suffices; traces for phases *before* a record's (their phases
+    /// produced no sink output up to here) are discarded as the walk
+    /// passes them.
+    fn match_traces(&self, records: &[ec_core::SinkRecord]) {
+        let Some(tp) = &self.trace else { return };
+        let mut pending = tp.pending.lock();
+        if pending.is_empty() {
+            return;
+        }
+        let now = tp.nanos_now();
+        let mut e2e = tp.e2e.lock();
+        for r in records {
+            let phase = r.phase.get();
+            while pending.front().is_some_and(|t| t.phase < phase) {
+                pending.pop_front();
+            }
+            // Multiple sinks can deliver the same phase, so matching
+            // traces are *read*, not popped — the purge after the drain
+            // retires them.
+            for t in pending.iter().take_while(|t| t.phase == phase) {
+                let nanos = now.saturating_sub(t.ingest_nanos);
+                e2e.entry((t.slot, r.vertex.index()))
+                    .or_insert_with(LogHistogram::new)
+                    .record(nanos);
+                if let Some(rec) = &self.recorder {
+                    rec.record_span(0, SpanKind::TraceDeliver, t.trace_id, phase, nanos);
+                }
+            }
+        }
+    }
+
+    /// Drops pending traces whose phases have fully retired — they
+    /// either matched sink records in [`match_traces`] or their phases
+    /// produced no sink output at all.
+    fn purge_traces(&self, frontier: u64) {
+        if let Some(tp) = &self.trace {
+            let mut pending = tp.pending.lock();
+            while pending.front().is_some_and(|t| t.phase <= frontier) {
+                pending.pop_front();
+            }
+        }
+    }
+
+    /// Feeds one progress sample to the watchdog (called from the
+    /// delivery loop, throttled by its wait cadence).
+    fn observe_health(&self) {
+        let depths = self.buffers.depths();
+        let waits = self.buffers.wait_counts();
+        let sources = self
+            .live
+            .iter()
+            .zip(depths.iter().zip(&waits))
+            .map(|(s, (&depth, &w))| SourceObs {
+                name: s.name.clone(),
+                depth: depth as usize,
+                capacity: self.capacity,
+                waits: w,
+            })
+            .collect();
+        self.health.observe(
+            Instant::now(),
+            Observation {
+                admitted: self.engine.admitted(),
+                retired: self.engine.completed_through(),
+                sources,
+                lanes: vec![LaneObs {
+                    name: "runtime".into(),
+                    events: self.events_committed.load(Relaxed),
+                }],
+            },
+        );
+    }
+
     fn deliver(&self, records: Vec<ec_core::SinkRecord>) {
         if records.is_empty() {
             return;
         }
+        self.match_traces(&records);
         let mut subs = self.subs.lock();
         for r in records {
             let emission = SinkEmission {
@@ -387,9 +606,12 @@ impl RuntimeShared {
     }
 
     /// The delivery loop: waits for phases to retire and forwards their
-    /// sink emissions to subscribers in serial order.
+    /// sink emissions to subscribers in serial order. Doubles as the
+    /// watchdog driver: each wakeup (at most every ~50 ms when idle)
+    /// feeds the health monitor a progress sample — no extra thread.
     fn delivery_loop(&self) {
         let mut last = 0u64;
+        let mut last_health = Instant::now();
         loop {
             let frontier = match self
                 .engine
@@ -407,7 +629,12 @@ impl RuntimeShared {
             let progressed = frontier > last;
             if progressed {
                 self.deliver(self.engine.drain_retired_sinks());
+                self.purge_traces(frontier);
                 last = frontier;
+            }
+            if last_health.elapsed() >= Duration::from_millis(50) {
+                self.observe_health();
+                last_health = Instant::now();
             }
             if self.stop.load(Relaxed) {
                 // Shutdown path: everything admitted has completed by
@@ -450,6 +677,8 @@ pub struct StreamRuntimeBuilder {
     pool_weight: u32,
     metrics_addr: Option<String>,
     recorder_capacity: Option<usize>,
+    trace_sampling: u64,
+    health_config: Option<HealthConfig>,
 }
 
 impl Default for StreamRuntimeBuilder {
@@ -499,6 +728,8 @@ impl StreamRuntimeBuilder {
             pool_weight: 1,
             metrics_addr: None,
             recorder_capacity: None,
+            trace_sampling: DEFAULT_TRACE_SAMPLING,
+            health_config: None,
         }
     }
 
@@ -656,6 +887,28 @@ impl StreamRuntimeBuilder {
     /// fails the build rather than silently dropping observability.
     pub fn metrics_addr(mut self, addr: impl Into<String>) -> Self {
         self.metrics_addr = Some(addr.into());
+        self
+    }
+
+    /// Sets the causal-trace sampling interval: roughly 1 in `every`
+    /// pushes per source carries an end-to-end trace stamp (rounded to
+    /// a power of two; default 64). Sampled events yield the
+    /// (source, sink) push→delivery latency histograms in
+    /// [`MetricsSnapshot`] and `/metrics`, and their phases' spans
+    /// bypass the flight recorder's 1-in-8 sampling so `ec trace`
+    /// shows their full causal chain. `0` disables tracing entirely.
+    /// Sampling never changes what a seal commits — a traced run's
+    /// `PhaseScript` is identical to an untraced one's.
+    pub fn trace_sampling(mut self, every: u64) -> Self {
+        self.trace_sampling = every;
+        self
+    }
+
+    /// Tunes the health watchdog (stall timeout, collapse threshold,
+    /// baseline half-life). The watchdog itself is always on — this
+    /// only overrides [`HealthConfig::default`].
+    pub fn health_config(mut self, cfg: HealthConfig) -> Self {
+        self.health_config = Some(cfg);
         self
     }
 
@@ -872,6 +1125,9 @@ impl StreamRuntimeBuilder {
             wal_hist: LogHistogram::new(),
             ingest_wait_hist: LogHistogram::new(),
             recorder,
+            trace: (self.trace_sampling > 0)
+                .then(|| TracePlane::new(self.trace_sampling, queue_count)),
+            health: HealthMonitor::new(self.health_config.unwrap_or_default(), Instant::now()),
         });
 
         // Replay the WAL tail (rows after the snapshot) before any
@@ -948,22 +1204,29 @@ impl StreamRuntimeBuilder {
         };
 
         // The live metrics plane: a registry rendering this runtime's
-        // full snapshot, served until shutdown. Bound last so a busy
-        // port cannot leave half-started background threads behind.
-        let metrics_server =
-            match &self.metrics_addr {
-                Some(addr) => {
-                    let registry = MetricsRegistry::new();
-                    let obs_shared = Arc::clone(&shared);
-                    registry.register(move |page| {
-                        crate::obs::render_snapshot(page, &[], &obs_shared.metrics_with_ingest());
-                    });
-                    Some(registry.serve(addr).map_err(|e| {
-                        RuntimeError::Config(format!("metrics endpoint {addr}: {e}"))
-                    })?)
-                }
-                None => None,
-            };
+        // full snapshot on `/metrics` plus the watchdog's report on
+        // `/healthz`, served until shutdown. Bound last so a busy port
+        // cannot leave half-started background threads behind.
+        let metrics_server = match &self.metrics_addr {
+            Some(addr) => {
+                let registry = MetricsRegistry::new();
+                let obs_shared = Arc::clone(&shared);
+                registry.register(move |page| {
+                    crate::obs::render_snapshot(page, &[], &obs_shared.metrics_with_ingest());
+                });
+                let health_shared = Arc::clone(&shared);
+                let healthz: ec_obs::RenderFn =
+                    Arc::new(move || health_shared.health.report().to_json());
+                Some(
+                    registry
+                        .serve_with(addr, vec![("/healthz", ec_obs::CONTENT_TYPE_JSON, healthz)])
+                        .map_err(|e| {
+                            RuntimeError::Config(format!("metrics endpoint {addr}: {e}"))
+                        })?,
+                )
+            }
+            None => None,
+        };
 
         Ok(StreamRuntime {
             shared,
@@ -1005,6 +1268,17 @@ impl SourceHandle {
     pub fn push(&self, value: impl Into<Value>) -> Result<(), PushError> {
         let mut value = value.into();
         let shared = &*self.shared;
+        // Sample the trace decision before the retry loop, so a traced
+        // event's latency includes any time it spent bounced off a full
+        // shard — that queueing delay is exactly what end-to-end
+        // tracing exists to see.
+        let stamp = shared.trace.as_ref().and_then(|tp| {
+            let stamp = tp.maybe_stamp(self.slot);
+            if let (Some((trace_id, _)), Some(r)) = (stamp, &shared.recorder) {
+                r.record(0, SpanKind::TraceIngest, trace_id, self.slot as u64);
+            }
+            stamp
+        });
         // Clock reads only off the fast path: a push that never bounces
         // never looks at the time. The first bounce starts the wait
         // clock; the eventual success records the whole wait.
@@ -1013,7 +1287,10 @@ impl SourceHandle {
             if shared.stop.load(Relaxed) {
                 return Err(PushError::Closed);
             }
-            match shared.buffers.try_push(self.slot, value, shared.capacity) {
+            match shared
+                .buffers
+                .try_push(self.slot, value, shared.capacity, stamp)
+            {
                 Ok(total) => {
                     if let Some(start) = wait_start {
                         shared
@@ -1025,7 +1302,7 @@ impl SourceHandle {
                 Err(bounced) => {
                     value = bounced;
                     wait_start.get_or_insert_with(Instant::now);
-                    shared.buffers.count_wait();
+                    shared.buffers.count_wait(self.slot);
                     // Under ByCount, a full shard forces the epoch:
                     // waiting would deadlock whenever the count
                     // threshold cannot be reached (larger than
@@ -1289,6 +1566,14 @@ impl StreamRuntime {
         self.metrics_server.as_ref().map(MetricsServer::local_addr)
     }
 
+    /// The watchdog's current verdict: stalled retirement, wedged
+    /// sources (with blame), throughput collapses. Served as JSON on
+    /// `/healthz` when [`StreamRuntimeBuilder::metrics_addr`] is set;
+    /// tune thresholds with [`StreamRuntimeBuilder::health_config`].
+    pub fn health(&self) -> HealthReport {
+        self.shared.health.report()
+    }
+
     /// Drains the flight recorder into a Chrome trace-viewer JSON
     /// document (load it at `chrome://tracing` or in Perfetto), or
     /// `None` if the runtime was built without
@@ -1386,6 +1671,14 @@ impl RuntimeProbe {
     /// steal/park/wake counters are pool-global.
     pub fn metrics(&self) -> MetricsSnapshot {
         self.shared.metrics_with_ingest()
+    }
+
+    /// The watchdog's current verdict (see [`StreamRuntime::health`]).
+    /// Each runtime's delivery loop keeps its own watchdog fed, so a
+    /// [`SessionPool`](crate::SessionPool) can aggregate these without
+    /// driving anything.
+    pub fn health(&self) -> HealthReport {
+        self.shared.health.report()
     }
 
     /// Takes a snapshot now, exactly like [`StreamRuntime::checkpoint`]

@@ -51,7 +51,7 @@ use crate::error::RuntimeError;
 use crate::obs::{render_session, MetricsRegistry};
 use crate::runtime::{RuntimeProbe, StreamRuntime, StreamRuntimeBuilder};
 use ec_core::{EnginePool, MetricsSnapshot};
-use ec_obs::MetricsServer;
+use ec_obs::{HealthReport, MetricsServer, Verdict};
 use parking_lot::Mutex;
 use std::path::PathBuf;
 use std::sync::{Arc, Weak};
@@ -281,9 +281,11 @@ impl SessionPool {
     /// Binds a live Prometheus `/metrics` endpoint (port 0 picks a free
     /// one) serving one `ec_session_*` row — plus the tenant's full
     /// `ec_*` engine snapshot under a `session` label — per open
-    /// session, re-rendered on every scrape. Returns the bound
-    /// address; the endpoint stops at [`shutdown`](Self::shutdown) or
-    /// drop. Calling again replaces the previous endpoint.
+    /// session, re-rendered on every scrape. A `/healthz` route next
+    /// door aggregates every tenant's watchdog report under the worst
+    /// verdict across the pool. Returns the bound address; the
+    /// endpoint stops at [`shutdown`](Self::shutdown) or drop. Calling
+    /// again replaces the previous endpoint.
     pub fn serve_metrics(&self, addr: &str) -> Result<std::net::SocketAddr, RuntimeError> {
         let registry = MetricsRegistry::new();
         let rows = Arc::clone(&self.registry);
@@ -292,12 +294,25 @@ impl SessionPool {
                 render_session(page, &row);
             }
         });
+        let health_rows = Arc::clone(&self.registry);
+        let healthz: ec_obs::RenderFn = Arc::new(move || pool_health_json(&health_rows));
         let server = registry
-            .serve(addr)
+            .serve_with(addr, vec![("/healthz", ec_obs::CONTENT_TYPE_JSON, healthz)])
             .map_err(|e| RuntimeError::Config(format!("metrics endpoint {addr}: {e}")))?;
         let local = server.local_addr();
         *self.metrics_server.lock() = Some(server);
         Ok(local)
+    }
+
+    /// Every open session's watchdog report, in opening order. Each
+    /// runtime's own delivery loop keeps its watchdog fed; this only
+    /// reads the latest verdicts.
+    pub fn health(&self) -> Vec<(String, HealthReport)> {
+        self.registry
+            .lock()
+            .iter()
+            .map(|e| (e.name.to_string(), e.probe.health()))
+            .collect()
     }
 
     /// The bound `/metrics` address, if
@@ -355,6 +370,33 @@ impl Drop for SessionPool {
     fn drop(&mut self) {
         self.shutdown();
     }
+}
+
+/// Renders the pool's `/healthz` body: the worst verdict across every
+/// open tenant, then each tenant's full report keyed by name.
+fn pool_health_json(registry: &Registry) -> String {
+    let reports: Vec<(String, HealthReport)> = registry
+        .lock()
+        .iter()
+        .map(|e| (e.name.to_string(), e.probe.health()))
+        .collect();
+    let worst = reports
+        .iter()
+        .map(|(_, r)| r.verdict)
+        .max()
+        .unwrap_or(Verdict::Ok);
+    let sessions: Vec<String> = reports
+        .iter()
+        .map(|(name, r)| {
+            let name = name.replace('\\', "\\\\").replace('"', "\\\"");
+            format!("{{\"name\":\"{name}\",\"report\":{}}}", r.to_json())
+        })
+        .collect();
+    format!(
+        "{{\"verdict\":\"{}\",\"sessions\":[{}]}}",
+        worst.name(),
+        sessions.join(",")
+    )
 }
 
 /// Builds the per-session metrics rows from the registry — shared by

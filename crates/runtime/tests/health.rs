@@ -1,0 +1,222 @@
+//! Integration tests for the watchdog plane: a healthy runtime reports
+//! `ok` over `/healthz`, a wedged source (full buffer, producers
+//! bouncing, epoch never sealed) is blamed by name with a `stalled`
+//! verdict, and — the tracing-side invariant — trace-stamp sampling
+//! never changes what a run commits.
+
+use ec_fusion::operators::aggregate::Aggregate;
+use ec_fusion::operators::moving::MovingAverage;
+use ec_obs::http_get;
+use ec_runtime::{
+    Backpressure, EpochPolicy, HealthConfig, PhaseScript, StreamRuntimeBuilder, Verdict,
+};
+use proptest::prelude::*;
+use std::time::{Duration, Instant};
+
+fn observed_builder() -> StreamRuntimeBuilder {
+    let mut b = StreamRuntimeBuilder::new()
+        .threads(2)
+        .epoch_policy(EpochPolicy::ByCount(8))
+        .record_history(false)
+        .record_script(false);
+    let s1 = b.live_source("s1");
+    let s2 = b.live_source("s2");
+    let sum = b.add("sum", Aggregate::sum(), &[s1, s2]);
+    b.add("avg", MovingAverage::new(4), &[sum]);
+    b
+}
+
+/// Polls `fetch` until `pass` accepts the body or the deadline hits;
+/// returns the last body either way.
+fn poll_until(
+    deadline: Duration,
+    fetch: impl Fn() -> String,
+    pass: impl Fn(&str) -> bool,
+) -> String {
+    let start = Instant::now();
+    loop {
+        let body = fetch();
+        if pass(&body) || start.elapsed() > deadline {
+            return body;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn healthy_runtime_reports_ok_on_healthz() {
+    let rt = observed_builder()
+        .metrics_addr("127.0.0.1:0")
+        .build()
+        .expect("runtime builds");
+    let addr = rt.metrics_addr().expect("endpoint bound").to_string();
+    let s1 = rt.handle_by_name("s1").unwrap();
+    for i in 0..64 {
+        s1.push(i as f64).expect("push accepted");
+    }
+    rt.flush().expect("flush");
+    rt.wait_idle().expect("idle");
+
+    // The delivery loop feeds the watchdog at most every ~50 ms; wait
+    // until an observation has landed (the report carries sources).
+    let body = poll_until(
+        Duration::from_secs(5),
+        || http_get(&addr, "/healthz").expect("healthz responds"),
+        |b| b.contains("\"name\":\"s1\""),
+    );
+    assert!(body.contains("\"verdict\":\"ok\""), "{body}");
+    assert_eq!(rt.health().verdict, Verdict::Ok);
+    assert!(rt.health().reasons.is_empty());
+    rt.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn wedged_source_is_blamed_as_stalled() {
+    // Manual policy and nobody flushing: the epoch never seals. The
+    // producer keeps bouncing off the tiny full buffer (Reject), so the
+    // watchdog sees a full source with climbing waits and zero
+    // admissions — a wedge blamed on "s1".
+    let rt = observed_builder()
+        .epoch_policy(EpochPolicy::Manual)
+        .backpressure(Backpressure::Reject)
+        .ingest_capacity(4)
+        .health_config(HealthConfig {
+            stall_after: Duration::from_millis(150),
+            ..HealthConfig::default()
+        })
+        .metrics_addr("127.0.0.1:0")
+        .build()
+        .expect("runtime builds");
+    let addr = rt.metrics_addr().expect("endpoint bound").to_string();
+    let s1 = rt.handle_by_name("s1").unwrap();
+    for i in 0..4 {
+        s1.push(i as f64).expect("fills the buffer");
+    }
+
+    let start = Instant::now();
+    let body = loop {
+        // Keep the producer bouncing so waits climb between watchdog
+        // observations (a full-but-quiet source is not a wedge).
+        assert!(s1.push(99.0).is_err(), "buffer should stay full");
+        let body = http_get(&addr, "/healthz").expect("healthz responds");
+        if body.contains("\"verdict\":\"stalled\"") || start.elapsed() > Duration::from_secs(10) {
+            break body;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert!(body.contains("\"verdict\":\"stalled\""), "{body}");
+    assert!(body.contains("ingest wedged"), "{body}");
+    assert!(body.contains("source \\\"s1\\\""), "{body}");
+
+    let report = rt.health();
+    assert_eq!(report.verdict, Verdict::Stalled);
+    assert!(
+        report.reasons.iter().any(|r| r.contains("\"s1\"")),
+        "wrong blame: {:?}",
+        report.reasons
+    );
+    // The healthy neighbour is not blamed.
+    assert!(
+        !report.reasons.iter().any(|r| r.contains("\"s2\"")),
+        "s2 wrongly blamed: {:?}",
+        report.reasons
+    );
+    rt.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn recovery_clears_the_stalled_verdict() {
+    let rt = observed_builder()
+        .epoch_policy(EpochPolicy::Manual)
+        .backpressure(Backpressure::Reject)
+        .ingest_capacity(4)
+        .health_config(HealthConfig {
+            stall_after: Duration::from_millis(100),
+            ..HealthConfig::default()
+        })
+        .build()
+        .expect("runtime builds");
+    let s1 = rt.handle_by_name("s1").unwrap();
+    for i in 0..4 {
+        s1.push(i as f64).expect("fills the buffer");
+    }
+    let start = Instant::now();
+    while rt.health().verdict != Verdict::Stalled {
+        assert!(s1.push(99.0).is_err());
+        assert!(start.elapsed() < Duration::from_secs(10), "never stalled");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // Sealing the epoch drains the wedge; the verdict recovers.
+    rt.flush().expect("flush");
+    rt.wait_idle().expect("idle");
+    let start = Instant::now();
+    while rt.health().verdict != Verdict::Ok {
+        assert!(start.elapsed() < Duration::from_secs(10), "never recovered");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    rt.shutdown().expect("clean shutdown");
+}
+
+/// Builds the two-source graph with full recording on, at the given
+/// trace sampling rate, runs a deterministic push/flush schedule, and
+/// returns (script, history-vs-oracle equivalence).
+fn run_sampled(sampling: u64, ops: &[(usize, i64)]) -> (PhaseScript, ec_core::ExecutionHistory) {
+    let mut b = StreamRuntimeBuilder::new()
+        .threads(2)
+        .epoch_policy(EpochPolicy::Manual)
+        .trace_sampling(sampling);
+    let s1 = b.live_source("s1");
+    let s2 = b.live_source("s2");
+    let sum = b.add("sum", Aggregate::sum(), &[s1, s2]);
+    b.add("avg", MovingAverage::new(3), &[sum]);
+    let rt = b.build().expect("runtime builds");
+    let handles = [
+        rt.handle_by_name("s1").unwrap(),
+        rt.handle_by_name("s2").unwrap(),
+    ];
+    for &(op, v) in ops {
+        match op {
+            0 | 1 => handles[op].push(v as f64).expect("push accepted"),
+            _ => {
+                rt.flush().expect("flush");
+            }
+        }
+    }
+    let report = rt.shutdown().expect("clean shutdown");
+    (report.script, report.history.expect("history recorded"))
+}
+
+/// Replays `script` through the sequential oracle over the same graph.
+fn oracle_history(script: &PhaseScript) -> ec_core::ExecutionHistory {
+    let mut b = ec_fusion::CorrelatorBuilder::new();
+    let s1 = b.source("s1", script.replay(0));
+    let s2 = b.source("s2", script.replay(1));
+    let sum = b.add("sum", Aggregate::sum(), &[s1, s2]);
+    b.add("avg", MovingAverage::new(3), &[sum]);
+    let mut seq = b.sequential().expect("oracle builds");
+    seq.run(script.phases()).expect("oracle runs");
+    seq.into_history()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Trace stamps are metadata: sampling every event, some events, or
+    /// none commits the identical `PhaseScript`, and the traced run
+    /// stays equivalent to the sequential oracle.
+    #[test]
+    fn trace_sampling_never_alters_the_committed_script(
+        ops in proptest::collection::vec((0usize..3, -20i64..30), 5..60),
+    ) {
+        let (traced_script, traced_history) = run_sampled(1, &ops);
+        let (plain_script, _) = run_sampled(0, &ops);
+        prop_assert_eq!(&traced_script, &plain_script);
+        let oracle = oracle_history(&traced_script);
+        prop_assert!(
+            oracle.equivalent(&traced_history).is_ok(),
+            "traced run diverged from oracle: {}",
+            oracle.equivalent(&traced_history).unwrap_err()
+        );
+    }
+}

@@ -55,10 +55,18 @@ fn metrics_endpoint_serves_live_exposition() {
         "ec_worker_queue_depth{worker=\"0\"}",
         "ec_phase_seconds{quantile=\"0.99\"}",
         "ec_exec_seconds_count",
-        "ec_ingest_depth{source=\"0\"}",
+        "ec_ingest_depth{source=\"s1\"}",
+        "ec_ingest_depth{source=\"s2\"}",
+        "ec_ingest_source_waits_total{source=\"s1\"}",
+        "ec_e2e_seconds_count{source=\"s1\",sink=\"avg\"}",
     ] {
         assert!(body.contains(series), "missing {series} in:\n{body}");
     }
+
+    // The health plane serves next door and reports a healthy verdict.
+    let health = http_get(&addr, "/healthz").expect("healthz responds");
+    assert!(health.contains("\"verdict\":\"ok\""), "{health}");
+    assert!(health.contains("\"sources\""), "{health}");
 
     // A scrape observes *live* numbers: more work moves the counters.
     drive(&rt, 64);

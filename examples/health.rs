@@ -1,0 +1,144 @@
+//! The health/watchdog plane, end to end: a runtime with causal trace
+//! sampling and the `/healthz` watchdog endpoint on, pushed for a few
+//! seconds so the end-to-end latency histograms fill, then deliberately
+//! wedged so the watchdog flips from `ok` to `stalled` and blames the
+//! offending source.
+//!
+//! ```text
+//! cargo run --release --example health
+//! # in another terminal, while it runs:
+//! curl http://127.0.0.1:9185/healthz
+//! cargo run --bin ec -- doctor 127.0.0.1:9185
+//! ```
+//!
+//! Environment knobs (CI's health-smoke job drives both):
+//!
+//! * `EC_METRICS_ADDR` — bind address, default `127.0.0.1:9185` (port 0
+//!   for ephemeral; the actual address is printed either way);
+//! * `EC_HEALTH_SECONDS` — how long to stay healthy before wedging,
+//!   default 4;
+//! * `EC_HEALTH_WEDGE` — set to `0` to skip the wedge demonstration
+//!   (CI's smoke leaves it on to watch the verdict flip).
+
+use event_correlation::fusion::operators::aggregate::Aggregate;
+use event_correlation::fusion::operators::moving::MovingAverage;
+use event_correlation::obs::http_get;
+use event_correlation::runtime::{
+    Backpressure, EpochPolicy, HealthConfig, StreamRuntimeBuilder, Verdict,
+};
+use std::time::{Duration, Instant};
+
+fn env_or(key: &str, default: &str) -> String {
+    std::env::var(key).unwrap_or_else(|_| default.to_string())
+}
+
+fn main() {
+    let addr = env_or("EC_METRICS_ADDR", "127.0.0.1:9185");
+    let seconds: u64 = env_or("EC_HEALTH_SECONDS", "4")
+        .parse()
+        .expect("EC_HEALTH_SECONDS");
+    let wedge = env_or("EC_HEALTH_WEDGE", "1") != "0";
+
+    // Manual sealing: the healthy phase flushes explicitly, and the
+    // wedge phase simply stops — under ByCount a full shard would force
+    // its own seal and the watchdog would (correctly) see progress.
+    let mut b = StreamRuntimeBuilder::new()
+        .threads(4)
+        .epoch_policy(EpochPolicy::Manual)
+        .record_history(false)
+        .record_script(false)
+        .max_inflight(64)
+        .ingest_capacity(256)
+        .backpressure(Backpressure::Reject)
+        .trace_sampling(16)
+        .health_config(HealthConfig {
+            stall_after: Duration::from_millis(500),
+            ..HealthConfig::default()
+        })
+        .metrics_addr(&addr);
+    let s1 = b.live_source("s1");
+    let s2 = b.live_source("s2");
+    let sum = b.add("sum", Aggregate::sum(), &[s1, s2]);
+    b.add("avg", MovingAverage::new(8), &[sum]);
+    let rt = b.build().expect("runtime builds");
+
+    // CI greps this exact line for the bound address.
+    let bound = rt.metrics_addr().expect("endpoint bound");
+    println!("metrics endpoint: http://{bound}/metrics");
+    println!("health endpoint:  http://{bound}/healthz (try `ec doctor {bound}`)");
+
+    // Phase 1: healthy traffic. Sampled pushes carry trace stamps, so
+    // /metrics grows ec_e2e_seconds{source,sink} histograms.
+    let s1 = rt.handle_by_name("s1").unwrap();
+    let s2 = rt.handle_by_name("s2").unwrap();
+    let deadline = Instant::now() + Duration::from_secs(seconds);
+    let mut i: u64 = 0;
+    while Instant::now() < deadline {
+        let h = if i.is_multiple_of(2) { &s1 } else { &s2 };
+        h.push((i % 1000) as f64).expect("push accepted");
+        i += 1;
+        if i.is_multiple_of(64) {
+            rt.flush().expect("flush");
+        }
+        if i.is_multiple_of(2048) {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+    rt.flush().expect("flush");
+    rt.wait_idle().expect("idle");
+    // Give the watchdog a beat to observe the now-idle runtime.
+    std::thread::sleep(Duration::from_millis(200));
+
+    let report = rt.health();
+    println!(
+        "pushed {i} events; verdict: {} ({} e2e paths traced)",
+        report.verdict.name(),
+        rt.metrics().latency.e2e.len()
+    );
+    for path in &rt.metrics().latency.e2e {
+        println!(
+            "  e2e {} -> {}: p50 {}us p99 {}us over {} samples",
+            path.source,
+            path.sink,
+            path.hist.p50() / 1_000,
+            path.hist.p99() / 1_000,
+            path.hist.count()
+        );
+    }
+    assert_eq!(report.verdict, Verdict::Ok, "healthy run must report ok");
+    println!(
+        "healthz: {}",
+        http_get(&bound.to_string(), "/healthz").expect("healthz")
+    );
+
+    if wedge {
+        // Phase 2: wedge s1 — fill its buffer and stop sealing (no more
+        // flushes; ByCount can't fire because pushes now bounce). The
+        // watchdog notices the full source with climbing waits and no
+        // admissions, and flips to stalled, blaming s1.
+        println!("wedging s1 (watch the verdict flip) ...");
+        while s1.push(1.0).is_ok() {} // fill the buffer to the brim
+        let start = Instant::now();
+        loop {
+            let _ = s1.push(1.0); // keep bouncing: waits keep climbing
+            let report = rt.health();
+            if report.verdict == Verdict::Stalled {
+                println!("verdict: {}", report.verdict.name());
+                for reason in &report.reasons {
+                    println!("  reason: {reason}");
+                }
+                break;
+            }
+            if start.elapsed() > Duration::from_secs(30) {
+                panic!("watchdog never flipped to stalled");
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        // Seal the wedged epoch so shutdown drains cleanly.
+        rt.flush().expect("flush");
+        rt.wait_idle().expect("idle");
+    }
+
+    rt.shutdown().expect("clean shutdown");
+    println!("done");
+}

@@ -9,6 +9,7 @@
 //!             [--root DIR] [--weight NAME=W] [--metrics ADDR] [--quiet]
 //! ec trace <spec.xml> [stream flags] [--out FILE]
 //! ec top <addr> [--interval MS] [--once]
+//! ec doctor <addr> [--quiet]
 //! ec recover <dir> <spec.xml> [--quiet]
 //! ec validate <spec.xml>
 //! ec dot <spec.xml>
@@ -28,7 +29,9 @@
 //! durable and restartable independently; `--metrics` exposes
 //! per-tenant rows); `trace` is `stream` with the recorder always on,
 //! writing the timeline to `--out`; `top` polls a `/metrics` endpoint
-//! and renders a live one-screen summary; `recover` inspects a store,
+//! and renders a live one-screen summary; `doctor` fetches a runtime's
+//! `/healthz` watchdog report and exits nonzero unless the verdict is
+//! healthy; `recover` inspects a store,
 //! prints the resumable phase and replays the logged tail through the
 //! sequential oracle; `validate` checks the spec, graph and numbering;
 //! `dot` emits Graphviz for the spec's graph; `demo` runs a built-in
@@ -52,6 +55,7 @@ usage:
               [--root DIR] [--weight NAME=W] [--metrics ADDR] [--quiet]
   ec trace <spec.xml> [stream flags] [--out FILE]
   ec top <addr> [--interval MS] [--once]
+  ec doctor <addr> [--quiet]
   ec recover <dir> <spec.xml> [--quiet]
   ec validate <spec.xml>
   ec dot <spec.xml>
@@ -75,9 +79,12 @@ durability: --checkpoint makes the stream durable (or use the spec's
 
 observability: --metrics ADDR (e.g. 127.0.0.1:9184, port 0 for
   ephemeral) serves Prometheus text exposition at /metrics; watch it
-  live with `ec top ADDR`. --trace FILE (or `ec trace ... --out FILE`)
-  keeps a per-worker flight recorder on and writes the timeline as
-  Chrome trace JSON on shutdown — open it at chrome://tracing.
+  live with `ec top ADDR`. The same endpoint serves the watchdog's
+  health report at /healthz — `ec doctor ADDR` prints it and exits
+  nonzero unless the verdict is ok. --trace FILE (or
+  `ec trace ... --out FILE`) keeps a per-worker flight recorder on and
+  writes the timeline as Chrome trace JSON on shutdown — open it at
+  chrome://tracing.
 ";
 
 fn main() -> ExitCode {
@@ -88,6 +95,7 @@ fn main() -> ExitCode {
         Some("sessions") => cmd_sessions(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
         Some("top") => cmd_top(&args[1..]),
+        Some("doctor") => cmd_doctor(&args[1..]),
         Some("recover") => cmd_recover(&args[1..]),
         Some("validate") => cmd_validate(&args[1..]),
         Some("dot") => cmd_dot(&args[1..]),
@@ -650,18 +658,43 @@ fn cmd_top(args: &[String]) -> Result<(), String> {
         return Err(format!("missing metrics address\n{USAGE}"));
     }
 
-    let mut prev: Option<(f64, std::time::Instant)> = None;
+    let mut prev: Option<TopFrame> = None;
     loop {
         let body = event_correlation::obs::http_get(&addr, "/metrics").map_err(|e| {
             format!("fetching http://{addr}/metrics: {e} (is the runtime up with --metrics?)")
         })?;
         let samples = parse_exposition(&body);
-        let sealed = prom_sum(&samples, "ec_seal_events_total");
-        let now = std::time::Instant::now();
-        let rate =
-            prev.map(|(last, at)| (sealed - last) / now.duration_since(at).as_secs_f64().max(1e-9));
-        prev = Some((sealed, now));
-        render_top(&addr, &samples, rate);
+        let frame = TopFrame {
+            sealed: prom_sum(&samples, "ec_seal_events_total"),
+            session_events: samples
+                .iter()
+                .filter(|s| s.name == "ec_session_events_committed_total")
+                .filter_map(|s| {
+                    let session = s.labels.iter().find(|(k, _)| k == "session")?;
+                    Some((session.1.clone(), s.value))
+                })
+                .collect(),
+            at: std::time::Instant::now(),
+        };
+        // Rates are deltas against the previous refresh, so they track
+        // *current* throughput rather than the lifetime average.
+        let (rate, session_rates) = match &prev {
+            Some(last) => {
+                let dt = frame.at.duration_since(last.at).as_secs_f64().max(1e-9);
+                let per_session = frame
+                    .session_events
+                    .iter()
+                    .map(|(name, events)| {
+                        let before = last.session_events.get(name).copied().unwrap_or(0.0);
+                        (name.clone(), (events - before) / dt)
+                    })
+                    .collect();
+                (Some((frame.sealed - last.sealed) / dt), per_session)
+            }
+            None => (None, std::collections::HashMap::new()),
+        };
+        prev = Some(frame);
+        render_top(&addr, &samples, rate, &session_rates);
         if once {
             return Ok(());
         }
@@ -669,8 +702,71 @@ fn cmd_top(args: &[String]) -> Result<(), String> {
     }
 }
 
+/// Counter values remembered between `ec top` refreshes (rate deltas).
+struct TopFrame {
+    sealed: f64,
+    session_events: std::collections::HashMap<String, f64>,
+    at: std::time::Instant,
+}
+
+/// Fetches `/healthz` from a runtime's metrics endpoint, prints the
+/// watchdog report and exits nonzero unless every verdict is ok.
+fn cmd_doctor(args: &[String]) -> Result<(), String> {
+    let mut addr = String::new();
+    let mut quiet = false;
+    for arg in args {
+        match arg.as_str() {
+            "--quiet" => quiet = true,
+            other if other.starts_with("--") => return Err(format!("unknown flag {other:?}")),
+            a => {
+                if !addr.is_empty() {
+                    return Err(format!("unexpected extra argument {a:?}"));
+                }
+                addr = a.to_string();
+            }
+        }
+    }
+    if addr.is_empty() {
+        return Err(format!("missing metrics address\n{USAGE}"));
+    }
+    let body = event_correlation::obs::http_get(&addr, "/healthz").map_err(|e| {
+        format!("fetching http://{addr}/healthz: {e} (is the runtime up with --metrics?)")
+    })?;
+    if !quiet {
+        println!("{body}");
+    }
+    let verdict = json_field(&body, "verdict").map(|v| unquote(&v))?;
+    let mut reasons = Vec::new();
+    for chunk in body.split("\"reasons\":[").skip(1) {
+        let end = chunk.find(']').unwrap_or(chunk.len());
+        for reason in chunk[..end].split("\",\"") {
+            let reason = reason.trim_matches('"');
+            if !reason.is_empty() {
+                reasons.push(reason.to_string());
+            }
+        }
+    }
+    match verdict.as_str() {
+        "ok" => {
+            println!("healthy: verdict ok");
+            Ok(())
+        }
+        other => {
+            for reason in &reasons {
+                eprintln!("  - {reason}");
+            }
+            Err(format!("health verdict: {other}"))
+        }
+    }
+}
+
 /// Renders one `ec top` frame from a scraped sample set.
-fn render_top(addr: &str, samples: &[PromSample], rate: Option<f64>) {
+fn render_top(
+    addr: &str,
+    samples: &[PromSample],
+    rate: Option<f64>,
+    session_rates: &std::collections::HashMap<String, f64>,
+) {
     let g = |name: &str| prom_sum(samples, name);
     let rate = rate.map_or(String::new(), |r| format!("   {r:.0} ev/s"));
     println!("ec top {addr} — {} samples", samples.len());
@@ -707,6 +803,7 @@ fn render_top(addr: &str, samples: &[PromSample], rate: Option<f64>) {
         ("exec", "ec_exec_seconds"),
         ("wal", "ec_wal_commit_seconds"),
         ("in-wait", "ec_ingest_wait_seconds"),
+        ("e2e", "ec_e2e_seconds"),
     ] {
         let count = prom_sum(samples, &format!("{series}_count"));
         if count == 0.0 {
@@ -747,13 +844,31 @@ fn render_top(addr: &str, samples: &[PromSample], rate: Option<f64>) {
                 })
                 .map_or(0.0, |s| s.value)
         };
+        // Per-tenant e2e quantiles from the merged session summary.
+        let q = |q: &str| {
+            samples
+                .iter()
+                .find(|s| {
+                    s.name == "ec_session_e2e_seconds"
+                        && s.labels
+                            .iter()
+                            .any(|(k, v)| k == "session" && *v == session)
+                        && s.labels.iter().any(|(k, v)| k == "quantile" && v == q)
+                })
+                .map_or_else(|| "-".into(), |s| fmt_secs(s.value))
+        };
+        let delta = session_rates
+            .get(&session)
+            .map_or(String::new(), |r| format!(", {r:.0} ev/s now"));
         println!(
-            "  session {session}: {:.0} phases retired, {:.0} events, {:.0} ev/s, \
-             {:.0} in flight",
+            "  session {session}: {:.0} phases retired, {:.0} events, {:.0} ev/s{delta}, \
+             {:.0} in flight, e2e p95 {} p99 {}",
             f("ec_session_phases_retired_total"),
             f("ec_session_events_committed_total"),
             t.value,
             f("ec_session_inflight"),
+            q("0.95"),
+            q("0.99"),
         );
     }
     println!();

@@ -537,6 +537,94 @@ ec_session_events_per_sec{session=\"alpha\"} 123\n";
 }
 
 #[test]
+fn doctor_exits_by_verdict() {
+    use std::sync::Arc;
+    // Healthy endpoint: doctor prints the report and exits 0.
+    let ok_body = "{\"verdict\":\"ok\",\"reasons\":[],\"admitted\":5,\"retired\":5}";
+    let server = event_correlation::obs::MetricsServer::bind_routes(
+        "127.0.0.1:0",
+        vec![(
+            "/healthz",
+            event_correlation::obs::CONTENT_TYPE_JSON,
+            Arc::new(move || ok_body.to_string()),
+        )],
+    )
+    .expect("bind");
+    let addr = server.local_addr().to_string();
+    let out = ec(&["doctor", &addr]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("\"verdict\":\"ok\""), "{text}");
+    assert!(text.contains("healthy"), "{text}");
+    drop(server);
+
+    // Stalled endpoint: nonzero exit, reasons surfaced on stderr.
+    let bad_body = "{\"verdict\":\"stalled\",\"reasons\":[\"ingest wedged: source s1 full\"],\
+                    \"admitted\":5,\"retired\":3}";
+    let server = event_correlation::obs::MetricsServer::bind_routes(
+        "127.0.0.1:0",
+        vec![(
+            "/healthz",
+            event_correlation::obs::CONTENT_TYPE_JSON,
+            Arc::new(move || bad_body.to_string()),
+        )],
+    )
+    .expect("bind");
+    let addr = server.local_addr().to_string();
+    let out = ec(&["doctor", &addr]);
+    assert!(!out.status.success(), "stalled verdict must exit nonzero");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("health verdict: stalled"), "{err}");
+    assert!(err.contains("ingest wedged"), "{err}");
+}
+
+#[test]
+fn doctor_reads_a_live_stream_runtime() {
+    use std::io::{BufRead, BufReader, Write};
+    use std::process::Stdio;
+
+    let path = write_spec("doctor_live.xml", LIVE_SPEC);
+    let mut child = Command::new(env!("CARGO_BIN_EXE_ec"))
+        .args(["stream", path.to_str().unwrap(), "--metrics", "127.0.0.1:0"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("ec binary spawns");
+    let mut stdin = child.stdin.take().expect("stdin piped");
+    let mut stderr = BufReader::new(child.stderr.take().expect("stderr piped"));
+    let addr = loop {
+        let mut line = String::new();
+        assert!(
+            stderr.read_line(&mut line).expect("stderr readable") > 0,
+            "stream exited before announcing the metrics endpoint"
+        );
+        if let Some(rest) = line.trim().strip_prefix("metrics endpoint: http://") {
+            break rest
+                .split_once("/metrics")
+                .expect("endpoint line has a path")
+                .0
+                .to_string();
+        }
+    };
+    stdin.write_all(b"tx,10\ntx,20\n\n").expect("stdin writes");
+    stdin.flush().unwrap();
+    let out = ec(&["doctor", &addr]);
+    assert!(
+        out.status.success(),
+        "doctor on a healthy stream: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    drop(stdin);
+    let status = child.wait().expect("ec binary exits");
+    assert!(status.success());
+}
+
+#[test]
 fn top_errors_helpfully_when_nothing_listens() {
     // Bind-then-drop guarantees a dead port.
     let dead = {
