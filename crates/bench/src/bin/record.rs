@@ -12,6 +12,9 @@
 //!   workers, reporting aggregate events/second;
 //! * `metrics` — the full `MetricsSnapshot` of the last 4-thread run
 //!   (scheduler counters, ingest counters, latency percentiles);
+//! * `store` — durability costs: per-commit WAL append latency against
+//!   a real segmented store (default batched-fsync cadence) and the
+//!   full-vs-delta snapshot cost through a durable runtime;
 //! * `obs` — the observability overhead A/B: the 4-thread workload
 //!   with the flight recorder + `/metrics` endpoint + default causal
 //!   trace sampling on vs fully off, runs interleaved, with the
@@ -204,6 +207,87 @@ fn measure_sessions(threads: usize, tenants: usize, events: u64) -> f64 {
     )
 }
 
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    sorted[((sorted.len() - 1) as f64 * p) as usize]
+}
+
+/// Durability costs for the trajectory entry: per-commit WAL append
+/// latency against a raw segmented store, then full-vs-delta snapshot
+/// latency through a durable runtime (`snapshot_full_every(4)` makes
+/// checkpoints 0, 4, 8 full and the rest deltas).
+fn measure_store(events: u64) -> String {
+    use ec_events::Value;
+
+    let root = std::env::temp_dir().join(format!("ec-bench-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+
+    // WAL append cost: n single-row group commits, timed one by one,
+    // fsync at the writer's default batched cadence — the shape the
+    // runtime's seal path produces.
+    let mut wal =
+        ec_store::WalWriter::create(&root.join("wal"), &["s".to_string()]).expect("create store");
+    let n = events.min(5_000) as usize;
+    let mut lat = Vec::with_capacity(n);
+    for i in 0..n {
+        wal.stage_row(&[Some(Value::Float(i as f64))]);
+        let t = Instant::now();
+        wal.commit().expect("wal commit");
+        lat.push(t.elapsed().as_nanos() as u64);
+    }
+    drop(wal);
+    lat.sort_unstable();
+
+    // Snapshot cost: push a batch, flush, checkpoint, 12 rounds.
+    const FULL_EVERY: u64 = 4;
+    let mut b = ec_runtime::StreamRuntime::builder();
+    let s = b.live_source("s");
+    b.add(
+        "sum",
+        ec_fusion::operators::aggregate::Aggregate::sum(),
+        &[s],
+    );
+    let rt = b
+        .durable(root.join("snap"))
+        .snapshot_full_every(FULL_EVERY as u32)
+        .build()
+        .expect("durable runtime");
+    let h = rt.handle(s).expect("live handle");
+    let mut full_lat = Vec::new();
+    let mut delta_lat = Vec::new();
+    for k in 0..12u64 {
+        for _ in 0..32 {
+            h.push(1.0).expect("push");
+        }
+        rt.flush().expect("flush");
+        let t = Instant::now();
+        rt.checkpoint().expect("checkpoint");
+        let us = t.elapsed().as_nanos() as u64 / 1_000;
+        if k % FULL_EVERY == 0 {
+            full_lat.push(us);
+        } else {
+            delta_lat.push(us);
+        }
+    }
+    rt.shutdown().expect("clean shutdown");
+    let _ = std::fs::remove_dir_all(&root);
+
+    let full_us = median(full_lat.iter().map(|&v| v as f64).collect());
+    let delta_us = median(delta_lat.iter().map(|&v| v as f64).collect());
+    eprintln!(
+        "store: wal commit p50={}ns p99={}ns; snapshot full={full_us:.0}us delta={delta_us:.0}us",
+        percentile(&lat, 0.50),
+        percentile(&lat, 0.99),
+    );
+    format!(
+        "{{\"wal_commit_ns\": {{\"count\": {n}, \"p50\": {}, \"p95\": {}, \"p99\": {}}}, \
+         \"snapshot_us\": {{\"full_every\": {FULL_EVERY}, \"full\": {full_us:.1}, \
+         \"delta\": {delta_us:.1}}}}}",
+        percentile(&lat, 0.50),
+        percentile(&lat, 0.95),
+        percentile(&lat, 0.99),
+    )
+}
+
 /// Appends `entry` to the JSON-array trajectory at `path`, migrating a
 /// legacy single-object file by wrapping it as the first element.
 fn append_entry(path: &str, entry: &str) -> std::io::Result<()> {
@@ -285,6 +369,7 @@ fn main() {
              \"events_per_sec\": {rate:.1}}}"
         ));
     }
+    let store = measure_store(events);
     let mut sessions = Vec::new();
     for &threads in &SESSION_THREADS {
         let rate = measure_sessions(threads, SESSION_TENANTS, events);
@@ -303,6 +388,7 @@ fn main() {
          \"timed_runs\": {TIMED_RUNS},\n    \
          \"results\": [\n{}\n    ],\n    \"ingest\": [\n{}\n    ],\n    \
          \"sessions\": [\n{}\n    ],\n    \
+         \"store\": {store},\n    \
          \"metrics\": {},\n    \
          \"obs\": {{\"threads\": {OBS_THREADS}, \"ab_runs\": {OBS_AB_RUNS}, \
          \"instrumented_events_per_sec\": {obs_rate:.1}, \

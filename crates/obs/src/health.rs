@@ -109,6 +109,11 @@ pub struct Observation {
     pub sources: Vec<SourceObs>,
     /// Per-lane cumulative event totals.
     pub lanes: Vec<LaneObs>,
+    /// Active subsystem faults reported by the driver (e.g.
+    /// `"degraded: wal /path: fsync failed"` when the runtime suspended
+    /// durability). Any entry forces at least [`Verdict::Degraded`] and
+    /// its text is surfaced verbatim as a reason.
+    pub faults: Vec<String>,
 }
 
 #[derive(Debug, Clone)]
@@ -379,6 +384,13 @@ impl HealthMonitor {
             });
         }
 
+        // 4. Driver-reported subsystem faults (suspended durability,
+        // failing store, …): making progress, but a promise is broken.
+        for fault in &obs.faults {
+            verdict = verdict.max(Verdict::Degraded);
+            reasons.push(fault.clone());
+        }
+
         st.last_waits = obs
             .sources
             .iter()
@@ -419,8 +431,7 @@ mod tests {
         Observation {
             admitted,
             retired,
-            sources: Vec::new(),
-            lanes: Vec::new(),
+            ..Observation::default()
         }
     }
 
@@ -463,19 +474,39 @@ mod tests {
     }
 
     #[test]
+    fn driver_fault_forces_degraded_and_surfaces_verbatim() {
+        let t0 = Instant::now();
+        let mon = HealthMonitor::new(cfg(), t0);
+        let fault = "degraded: wal /tmp/store: fsync failed".to_string();
+        mon.observe(
+            t0 + Duration::from_millis(10),
+            Observation {
+                admitted: 10,
+                retired: 10,
+                faults: vec![fault.clone()],
+                ..Observation::default()
+            },
+        );
+        let r = mon.report();
+        assert_eq!(r.verdict, Verdict::Degraded);
+        assert!(r.reasons.contains(&fault), "{:?}", r.reasons);
+        // The fault clearing restores Ok.
+        mon.observe(t0 + Duration::from_millis(20), obs(11, 11));
+        assert_eq!(mon.report().verdict, Verdict::Ok);
+    }
+
+    #[test]
     fn full_source_with_climbing_waits_blames_the_source() {
         let t0 = Instant::now();
         let mon = HealthMonitor::new(cfg(), t0);
         let src = |waits| Observation {
-            admitted: 0,
-            retired: 0,
             sources: vec![SourceObs {
                 name: "ticks".into(),
                 depth: 8,
                 capacity: 8,
                 waits,
             }],
-            lanes: Vec::new(),
+            ..Observation::default()
         };
         mon.observe(t0 + Duration::from_millis(10), src(5));
         mon.observe(t0 + Duration::from_millis(250), src(20));
@@ -501,7 +532,7 @@ mod tests {
                 capacity: 8,
                 waits: 5,
             }],
-            lanes: Vec::new(),
+            ..Observation::default()
         };
         mon.observe(t0 + Duration::from_millis(10), src.clone());
         mon.observe(t0 + Duration::from_millis(250), src);
@@ -525,6 +556,7 @@ mod tests {
                 name: "tenant-a".into(),
                 events,
             }],
+            ..Observation::default()
         };
         // Warm a ~1000 ev/s baseline.
         for i in 1..=5u64 {
@@ -569,6 +601,7 @@ mod tests {
                     name: "t0".into(),
                     events: 9,
                 }],
+                ..Observation::default()
             },
         );
         let json = mon.report().to_json();

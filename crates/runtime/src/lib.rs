@@ -80,7 +80,8 @@ pub use error::{PushError, RuntimeError};
 pub use obs::MetricsRegistry;
 pub use policy::{Backpressure, EpochPolicy};
 pub use runtime::{
-    RuntimeProbe, RuntimeReport, SinkEmission, SourceHandle, StreamRuntime, StreamRuntimeBuilder,
+    RuntimeProbe, RuntimeReport, SinkEmission, SourceHandle, StoreRetry, StreamRuntime,
+    StreamRuntimeBuilder,
 };
 pub use script::PhaseScript;
 pub use sessions::{Session, SessionMetrics, SessionPool, SessionPoolBuilder};

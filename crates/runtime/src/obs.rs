@@ -238,6 +238,69 @@ pub fn render_snapshot(page: &mut PromText, labels: &[(&str, &str)], m: &Metrics
     }
 }
 
+/// Renders the durable-store plane as `ec_store_*` series: WAL size
+/// and segmentation, commit/retry counters, snapshot cadence (full vs
+/// delta), compactions, and the degraded flag the runtime raises when
+/// durability is suspended.
+pub(crate) fn render_store(
+    page: &mut PromText,
+    labels: &[(&str, &str)],
+    s: &crate::runtime::StoreStatsSnapshot,
+) {
+    page.counter(
+        "ec_store_commits_total",
+        "Successful WAL group commits.",
+        labels,
+        s.commits,
+    );
+    page.counter(
+        "ec_store_retries_total",
+        "Store operations retried after a transient failure.",
+        labels,
+        s.retries,
+    );
+    page.gauge(
+        "ec_store_wal_bytes",
+        "Live WAL bytes across all segments.",
+        labels,
+        s.wal_bytes as f64,
+    );
+    page.gauge(
+        "ec_store_wal_segments",
+        "Live WAL segment count.",
+        labels,
+        s.segments as f64,
+    );
+    let mut with: Vec<(&str, &str)> = labels.to_vec();
+    with.push(("kind", "full"));
+    page.counter(
+        "ec_store_snapshots_total",
+        "Snapshots written, by kind.",
+        &with,
+        s.snapshots_full,
+    );
+    let mut with: Vec<(&str, &str)> = labels.to_vec();
+    with.push(("kind", "delta"));
+    page.counter(
+        "ec_store_snapshots_total",
+        "Snapshots written, by kind.",
+        &with,
+        s.snapshots_delta,
+    );
+    page.counter(
+        "ec_store_compactions_total",
+        "WAL compactions that dropped at least one segment.",
+        labels,
+        s.compactions,
+    );
+    page.gauge(
+        "ec_store_degraded",
+        "1 once durability was suspended after persistent store failure.",
+        labels,
+        if s.degraded { 1.0 } else { 0.0 },
+    );
+}
+
 /// Renders one tenant's [`SessionMetrics`] row as `ec_session_*`
 /// series carrying a `session` label, followed by the tenant's full
 /// engine snapshot (same `ec_*` families, same label).

@@ -48,7 +48,7 @@ use ec_obs::{
     FlightRecorder, HealthConfig, HealthMonitor, HealthReport, LaneObs, LogHistogram,
     MetricsServer, Observation, SourceObs, SpanKind,
 };
-use ec_store::{Recovery, WalWriter};
+use ec_store::{Recovery, Snapshotter, StoreIo, WalOptions, WalWriter};
 use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
 use std::path::{Path, PathBuf};
@@ -72,6 +72,117 @@ struct DurableCfg {
     snapshot_every: Option<u64>,
     /// Snapshot after every explicit [`StreamRuntime::flush`].
     snapshot_on_flush: bool,
+    /// WAL segment size bound (rotation threshold).
+    segment_bytes: u64,
+    /// Compact the WAL after this many successful snapshots (0 = never).
+    compact_every: u64,
+    /// Bounded retry for transient store errors.
+    store_retry: StoreRetry,
+    /// The I/O plane every store mutation goes through (swappable for
+    /// fault injection).
+    io: Arc<dyn StoreIo>,
+}
+
+impl DurableCfg {
+    fn wal_options(&self) -> WalOptions {
+        WalOptions {
+            segment_bytes: self.segment_bytes,
+            io: Arc::clone(&self.io),
+        }
+    }
+}
+
+/// Bounded-retry policy for transient store failures (see
+/// [`StreamRuntimeBuilder::store_retry`]): `attempts` extra tries after
+/// the first failure, sleeping `base_delay` before the first retry and
+/// doubling it each time.
+#[derive(Debug, Clone)]
+pub struct StoreRetry {
+    /// Extra attempts after the first failure.
+    pub attempts: u32,
+    /// Sleep before the first retry; doubles per subsequent retry.
+    pub base_delay: Duration,
+}
+
+impl Default for StoreRetry {
+    fn default() -> Self {
+        StoreRetry {
+            attempts: 3,
+            base_delay: Duration::from_millis(1),
+        }
+    }
+}
+
+/// Runs `op`, retrying transient failures per `retry` with exponential
+/// backoff; counts retries into `retries`. Returns the first success or
+/// the last error.
+fn retry_store<T>(
+    retry: &StoreRetry,
+    retries: &AtomicU64,
+    mut op: impl FnMut() -> Result<T, ec_store::StoreError>,
+) -> Result<T, ec_store::StoreError> {
+    let mut result = op();
+    let mut delay = retry.base_delay;
+    for _ in 0..retry.attempts {
+        if result.is_ok() {
+            break;
+        }
+        if !delay.is_zero() {
+            std::thread::sleep(delay);
+        }
+        delay = delay.saturating_mul(2);
+        retries.fetch_add(1, Relaxed);
+        result = op();
+    }
+    result
+}
+
+/// Store-plane counters, rendered as `ec_store_*` on `/metrics`.
+#[derive(Default)]
+struct StoreStats {
+    /// Successful WAL group commits.
+    commits: AtomicU64,
+    /// Retried store operations (commits, snapshots) after a failure.
+    retries: AtomicU64,
+    /// Live WAL bytes across all segments (gauge).
+    wal_bytes: AtomicU64,
+    /// Live WAL segment count (gauge).
+    segments: AtomicU64,
+    /// Full snapshots written.
+    snapshots_full: AtomicU64,
+    /// Incremental (delta) snapshots written.
+    snapshots_delta: AtomicU64,
+    /// Compactions that removed at least one segment.
+    compactions: AtomicU64,
+    /// 1 once durability was suspended (degraded mode).
+    degraded: AtomicU64,
+}
+
+/// A plain copy of [`StoreStats`] for rendering.
+pub(crate) struct StoreStatsSnapshot {
+    pub(crate) commits: u64,
+    pub(crate) retries: u64,
+    pub(crate) wal_bytes: u64,
+    pub(crate) segments: u64,
+    pub(crate) snapshots_full: u64,
+    pub(crate) snapshots_delta: u64,
+    pub(crate) compactions: u64,
+    pub(crate) degraded: bool,
+}
+
+impl StoreStats {
+    fn snapshot(&self) -> StoreStatsSnapshot {
+        StoreStatsSnapshot {
+            commits: self.commits.load(Relaxed),
+            retries: self.retries.load(Relaxed),
+            wal_bytes: self.wal_bytes.load(Relaxed),
+            segments: self.segments.load(Relaxed),
+            snapshots_full: self.snapshots_full.load(Relaxed),
+            snapshots_delta: self.snapshots_delta.load(Relaxed),
+            compactions: self.compactions.load(Relaxed),
+            degraded: self.degraded.load(Relaxed) != 0,
+        }
+    }
 }
 
 /// Seal-side state: the WAL, the committed columnar script and the
@@ -95,6 +206,11 @@ struct SealState {
     /// alone still guarantees recovery) and the error surfaces on the
     /// next explicit flush/tick/checkpoint call.
     snapshot_error: Option<RuntimeError>,
+    /// Incremental-snapshot cadence: deltas between fulls, diffed
+    /// against the previously captured state.
+    snapshotter: Snapshotter,
+    /// Successful snapshots since the last compaction.
+    snapshots_since_compact: u64,
 }
 
 /// Default trace sampling rate: 1 in 64 pushes carries a causal trace.
@@ -249,6 +365,13 @@ struct RuntimeShared {
     /// The watchdog, fed by the delivery loop; always on (its cost is
     /// one observation per delivery wakeup).
     health: HealthMonitor,
+    /// `Some(reason)` once durability was suspended after a persistent
+    /// store failure — ingest keeps flowing, the WAL is closed, and the
+    /// reason (`"degraded: wal <path>: <cause>"`) is reported by the
+    /// health plane until restart.
+    degraded: Mutex<Option<String>>,
+    /// Store-plane counters (`ec_store_*`).
+    store_stats: StoreStats,
 }
 
 impl RuntimeShared {
@@ -260,10 +383,9 @@ impl RuntimeShared {
     /// through one or few lock acquisitions. Caller holds the seal
     /// lock; producers keep pushing into the buffers throughout.
     fn seal_locked(&self, seal: &mut SealState, min_phases: u64) -> Result<u64, RuntimeError> {
-        // A poisoned runtime (store failure below, or shutdown) seals
-        // nothing: bins staged by an aborted seal must never be
-        // consumed by a later admission, or live phases would
-        // desynchronize from the WAL.
+        // A closed runtime seals nothing: bins staged by an aborted
+        // seal must never be consumed by a later admission, or live
+        // phases would desynchronize from the WAL.
         if self.stop.load(Relaxed) {
             return Err(RuntimeError::Closed);
         }
@@ -322,24 +444,42 @@ impl RuntimeShared {
         // group commit, one syscall per epoch instead of one per row.
         // The commit is the durable cut point: bins are staged for the
         // engine only after the whole epoch has reached the OS. A WAL
-        // failure (disk full, I/O error) POISONS the runtime:
-        // durability can no longer be guaranteed, so no further seal
-        // or push is accepted, and since no bin was staged yet the
-        // engine never sees any of the aborted epoch (a partial batch
-        // left on disk recovers as a torn tail and replays — its
-        // pushes were accepted).
+        // failure (disk full, I/O error) gets a bounded retry with
+        // exponential backoff — the writer's repair path truncates the
+        // partial batch and rewrites it, so a retried commit is
+        // exactly-once. If the failure persists the runtime flips to
+        // DEGRADED instead of stopping: the WAL is closed, ingest keeps
+        // flowing (this epoch included, now without a durability
+        // guarantee), and the health plane reports `degraded: wal` with
+        // the failing path until restart.
+        let mut suspend_wal = false;
         if let Some(wal) = seal.wal.as_mut() {
             for r in 0..phases as usize {
                 wal.stage_row_bins(cols.iter().map(|c| c[r].as_ref()));
             }
-            match wal.commit() {
+            let retry = self
+                .durable
+                .as_ref()
+                .map(|cfg| cfg.store_retry.clone())
+                .unwrap_or_default();
+            match retry_store(&retry, &self.store_stats.retries, || wal.commit()) {
                 Err(e) => {
-                    self.stop.store(true, Relaxed);
-                    self.ticker_stop.store(true, Relaxed);
-                    self.buffers.notify_all(); // blocked pushers observe Closed
-                    return Err(e.into());
+                    let dir = self
+                        .durable
+                        .as_ref()
+                        .map(|cfg| ec_store::wal_dir(&cfg.dir))
+                        .unwrap_or_default();
+                    let reason = format!("degraded: wal {}: {e}", dir.display());
+                    *self.degraded.lock() = Some(reason);
+                    self.store_stats.degraded.store(1, Relaxed);
+                    suspend_wal = true;
                 }
                 Ok(rows) if rows > 0 => {
+                    self.store_stats.commits.fetch_add(1, Relaxed);
+                    self.store_stats.wal_bytes.store(wal.wal_bytes(), Relaxed);
+                    self.store_stats
+                        .segments
+                        .store(wal.segment_count(), Relaxed);
                     let commit_nanos = wal.last_commit_nanos();
                     self.wal_hist.record(commit_nanos);
                     if let Some(r) = &self.recorder {
@@ -348,6 +488,11 @@ impl RuntimeShared {
                 }
                 Ok(_) => {}
             }
+        }
+        if suspend_wal {
+            // Dropping the writer is safe here: a failed commit leaves
+            // it in its repair state, which skips the drop-time flush.
+            seal.wal = None;
         }
         let staged = phases;
         for (source, col) in self.live.iter().zip(&cols) {
@@ -460,15 +605,55 @@ impl RuntimeShared {
                 "checkpoint requires a durable runtime (StreamRuntimeBuilder::durable)".into(),
             ));
         };
+        if let Some(reason) = self.degraded.lock().clone() {
+            return Err(RuntimeError::Store(format!(
+                "checkpoint refused: durability suspended ({reason})"
+            )));
+        }
         let start = Instant::now();
         self.engine.wait_idle()?;
         let checkpoint = self.engine.checkpoint_vertices()?;
         let names: Vec<String> = self.names.iter().map(|n| n.to_string()).collect();
-        ec_store::write_snapshot(&cfg.dir, &names, &checkpoint).map_err(RuntimeError::from)?;
+        // Incremental snapshots: the snapshotter writes a delta of the
+        // changed vertices, falling back to a full snapshot every K
+        // increments (and on its first write after a restart). Errors
+        // leave its memory unchanged, so a retry rewrites the same
+        // file.
+        let outcome = retry_store(&cfg.store_retry, &self.store_stats.retries, || {
+            seal.snapshotter
+                .write(&cfg.dir, &names, &checkpoint, &cfg.io)
+        })
+        .map_err(RuntimeError::from)?;
+        if outcome.full {
+            self.store_stats.snapshots_full.fetch_add(1, Relaxed);
+        } else {
+            self.store_stats.snapshots_delta.fetch_add(1, Relaxed);
+        }
         if let Some(wal) = seal.wal.as_mut() {
-            wal.sync()?;
+            retry_store(&cfg.store_retry, &self.store_stats.retries, || wal.sync())?;
         }
         seal.last_snapshot = checkpoint.phase;
+        // Compaction: with the snapshot durable, segments whose every
+        // row it covers are replay-dead — drop them so a long-running
+        // stream's disk usage stays bounded. Best-effort: a failed
+        // compaction only leaves extra segments behind.
+        seal.snapshots_since_compact += 1;
+        if cfg.compact_every > 0 && seal.snapshots_since_compact >= cfg.compact_every {
+            seal.snapshots_since_compact = 0;
+            if let Some(wal) = seal.wal.as_mut() {
+                if let Ok(report) = wal.compact(seal.last_snapshot) {
+                    if report.changed() {
+                        self.store_stats.compactions.fetch_add(1, Relaxed);
+                    }
+                }
+            }
+        }
+        if let Some(wal) = seal.wal.as_ref() {
+            self.store_stats.wal_bytes.store(wal.wal_bytes(), Relaxed);
+            self.store_stats
+                .segments
+                .store(wal.segment_count(), Relaxed);
+        }
         if let Some(r) = &self.recorder {
             r.record_span(
                 0,
@@ -582,6 +767,7 @@ impl RuntimeShared {
                     name: "runtime".into(),
                     events: self.events_committed.load(Relaxed),
                 }],
+                faults: self.degraded.lock().clone().into_iter().collect(),
             },
         );
     }
@@ -673,6 +859,11 @@ pub struct StreamRuntimeBuilder {
     snapshot_every: Option<u64>,
     snapshot_on_flush: bool,
     wal_sync_every: Option<u64>,
+    segment_bytes: u64,
+    compact_every: u64,
+    snapshot_full_every: u32,
+    store_retry: StoreRetry,
+    store_io: Option<Arc<dyn StoreIo>>,
     pool: Option<EnginePool>,
     pool_weight: u32,
     metrics_addr: Option<String>,
@@ -724,6 +915,11 @@ impl StreamRuntimeBuilder {
             snapshot_every: None,
             snapshot_on_flush: false,
             wal_sync_every: None,
+            segment_bytes: ec_store::DEFAULT_SEGMENT_BYTES,
+            compact_every: 1,
+            snapshot_full_every: 4,
+            store_retry: StoreRetry::default(),
+            store_io: None,
             pool: None,
             pool_weight: 1,
             metrics_addr: None,
@@ -934,6 +1130,57 @@ impl StreamRuntimeBuilder {
         self
     }
 
+    /// With [`durable`](Self::durable): the WAL segment size bound
+    /// (default 64 MiB). Once the active segment exceeds it, the next
+    /// group commit rotates to a fresh segment — the unit compaction
+    /// reclaims once a snapshot covers it.
+    pub fn segment_bytes(mut self, bytes: u64) -> Self {
+        self.segment_bytes = bytes.max(1);
+        self
+    }
+
+    /// With [`durable`](Self::durable): compact the WAL (drop segments
+    /// fully covered by the newest snapshot) after every `snapshots`
+    /// successful snapshots (default 1, i.e. after each one). `0`
+    /// disables compaction; the log then grows without bound.
+    pub fn compact_every(mut self, snapshots: u64) -> Self {
+        self.compact_every = snapshots;
+        self
+    }
+
+    /// With [`durable`](Self::durable): write a full snapshot every
+    /// `k`-th snapshot and cheap incremental deltas (changed operators
+    /// only) in between (default 4). `1` makes every snapshot full.
+    pub fn snapshot_full_every(mut self, k: u32) -> Self {
+        self.snapshot_full_every = k.max(1);
+        self
+    }
+
+    /// With [`durable`](Self::durable): the bounded-retry policy for
+    /// transient store failures (default 3 attempts starting at 1 ms,
+    /// doubling). When the retries are exhausted on a WAL commit the
+    /// runtime flips to *degraded* mode instead of stopping: ingest
+    /// keeps flowing, durability is suspended, and
+    /// [`StreamRuntime::degraded_reason`] / the `/healthz` verdict
+    /// report `degraded: wal` with the failing path.
+    pub fn store_retry(mut self, attempts: u32, base_delay: Duration) -> Self {
+        self.store_retry = StoreRetry {
+            attempts,
+            base_delay,
+        };
+        self
+    }
+
+    /// With [`durable`](Self::durable): routes every mutating store
+    /// operation through `io` instead of the real filesystem — the
+    /// fault-injection hook ([`ec_store::FaultIo`]) the crash/fault
+    /// matrix uses to prove recovery and degraded mode. Reads still go
+    /// to the filesystem.
+    pub fn store_io(mut self, io: Arc<dyn StoreIo>) -> Self {
+        self.store_io = Some(io);
+        self
+    }
+
     /// Builds and starts the runtime (workers and delivery thread spawn
     /// immediately; the interval ticker too, if configured). With
     /// [`durable`](Self::durable), creates a fresh store — errors if
@@ -973,9 +1220,9 @@ impl StreamRuntimeBuilder {
         } = &recovery.tail
         {
             return Err(RuntimeError::Store(format!(
-                "WAL at {} is corrupt at row {at_row} ({message}; {dropped_bytes} bytes \
+                "WAL in store {} is corrupt at row {at_row} ({message}; {dropped_bytes} bytes \
                  affected): refusing to resume over damaged history",
-                ec_store::wal_path(&dir).display()
+                dir.display()
             )));
         }
         self.build_inner(Some(recovery))
@@ -990,7 +1237,7 @@ impl StreamRuntimeBuilder {
                 "build_or_restore requires StreamRuntimeBuilder::durable(dir)".into(),
             )
         })?;
-        if ec_store::wal_path(&dir).exists() {
+        if ec_store::store_exists(&dir) {
             self.restore()
         } else {
             self.build()
@@ -1071,12 +1318,26 @@ impl StreamRuntimeBuilder {
             dir,
             snapshot_every: self.snapshot_every,
             snapshot_on_flush: self.snapshot_on_flush,
+            segment_bytes: self.segment_bytes,
+            compact_every: self.compact_every,
+            store_retry: self.store_retry.clone(),
+            io: self.store_io.clone().unwrap_or_else(ec_store::real_io),
         });
         let (mut wal, last_snapshot) = match (&durable, &recovery) {
-            (Some(_), Some(rec)) => (Some(rec.append_writer()?), rec.snapshot_phase()),
+            (Some(cfg), Some(rec)) => (
+                Some(rec.append_writer_with(cfg.wal_options())?),
+                rec.snapshot_phase(),
+            ),
             (Some(cfg), None) => {
                 let sources: Vec<String> = self.live.iter().map(|s| s.name.clone()).collect();
-                (Some(WalWriter::create(&cfg.dir, &sources)?), 0)
+                (
+                    Some(WalWriter::create_with(
+                        &cfg.dir,
+                        &sources,
+                        cfg.wal_options(),
+                    )?),
+                    0,
+                )
             }
             (None, _) => (None, 0),
         };
@@ -1107,6 +1368,8 @@ impl StreamRuntimeBuilder {
                 pool: ColumnPool::new(),
                 last_snapshot,
                 snapshot_error: None,
+                snapshotter: Snapshotter::new(self.snapshot_full_every),
+                snapshots_since_compact: 0,
             }),
             subs: Mutex::new(self.subs),
             stop: AtomicBool::new(false),
@@ -1128,7 +1391,16 @@ impl StreamRuntimeBuilder {
             trace: (self.trace_sampling > 0)
                 .then(|| TracePlane::new(self.trace_sampling, queue_count)),
             health: HealthMonitor::new(self.health_config.unwrap_or_default(), Instant::now()),
+            degraded: Mutex::new(None),
+            store_stats: StoreStats::default(),
         });
+        if let Some(wal) = shared.seal.lock().wal.as_ref() {
+            shared.store_stats.wal_bytes.store(wal.wal_bytes(), Relaxed);
+            shared
+                .store_stats
+                .segments
+                .store(wal.segment_count(), Relaxed);
+        }
 
         // Replay the WAL tail (rows after the snapshot) before any
         // thread can seal new epochs: transpose it into one column per
@@ -1214,6 +1486,12 @@ impl StreamRuntimeBuilder {
                 registry.register(move |page| {
                     crate::obs::render_snapshot(page, &[], &obs_shared.metrics_with_ingest());
                 });
+                if shared.durable.is_some() {
+                    let store_shared = Arc::clone(&shared);
+                    registry.register(move |page| {
+                        crate::obs::render_store(page, &[], &store_shared.store_stats.snapshot());
+                    });
+                }
                 let health_shared = Arc::clone(&shared);
                 let healthz: ec_obs::RenderFn =
                     Arc::new(move || health_shared.health.report().to_json());
@@ -1574,6 +1852,16 @@ impl StreamRuntime {
         self.shared.health.report()
     }
 
+    /// `Some(reason)` once the runtime suspended durability after a
+    /// persistent store failure survived its bounded retries. The
+    /// runtime keeps serving (pushes, seals, deliveries all proceed)
+    /// but nothing further reaches the WAL; the same reason forces the
+    /// `/healthz` verdict to `degraded`. Restart and
+    /// [`restore`](StreamRuntimeBuilder::restore) to recover.
+    pub fn degraded_reason(&self) -> Option<String> {
+        self.shared.degraded.lock().clone()
+    }
+
     /// Drains the flight recorder into a Chrome trace-viewer JSON
     /// document (load it at `chrome://tracing` or in Perfetto), or
     /// `None` if the runtime was built without
@@ -1679,6 +1967,12 @@ impl RuntimeProbe {
     /// driving anything.
     pub fn health(&self) -> HealthReport {
         self.shared.health.report()
+    }
+
+    /// `Some(reason)` once durability was suspended (see
+    /// [`StreamRuntime::degraded_reason`]).
+    pub fn degraded_reason(&self) -> Option<String> {
+        self.shared.degraded.lock().clone()
     }
 
     /// Takes a snapshot now, exactly like [`StreamRuntime::checkpoint`]

@@ -225,7 +225,8 @@ fn restore_drops_torn_wal_tail() {
     }
     // Tear the log: chop the final record mid-payload, then append a
     // few garbage bytes as a half-written next record would leave.
-    let wal = ec_store::wal_path(&dir);
+    // (Everything fits one segment at the default segment size.)
+    let wal = ec_store::segment_path(&dir, 1);
     let mut bytes = std::fs::read(&wal).unwrap();
     bytes.truncate(bytes.len() - 3);
     bytes.extend_from_slice(&[0xDE, 0xAD]);
@@ -308,9 +309,11 @@ fn snapshots_bound_replay_and_manual_checkpoint_works() {
         assert_eq!(phase, 10);
         rt.shutdown().unwrap();
     }
-    let snapshots = ec_store::list_snapshots(&dir).unwrap();
+    // Snapshots are incremental: the first is full, later ones may be
+    // deltas — list both kinds.
+    let snapshots = ec_store::list_snapshot_files(&dir).unwrap();
     assert!(
-        snapshots.iter().any(|(p, _)| *p == 10),
+        snapshots.iter().any(|f| f.phase == 10),
         "manual checkpoint missing: {snapshots:?}"
     );
     assert!(snapshots.len() >= 3, "periodic snapshots missing");
@@ -335,12 +338,12 @@ fn snapshot_on_flush_snapshots_every_flush() {
     s1.push(2.0).unwrap();
     rt.flush().unwrap();
     rt.shutdown().unwrap();
-    let phases: Vec<u64> = ec_store::list_snapshots(&dir)
-        .unwrap()
-        .into_iter()
-        .map(|(p, _)| p)
-        .collect();
+    let files = ec_store::list_snapshot_files(&dir).unwrap();
+    let phases: Vec<u64> = files.iter().map(|f| f.phase).collect();
     assert_eq!(phases, vec![1, 2]);
+    // The second snapshot rode the incremental path: a delta against
+    // the phase-1 full.
+    assert!(!files[0].delta && files[1].delta, "{files:?}");
     let _ = std::fs::remove_dir_all(&dir);
 }
 
@@ -450,7 +453,7 @@ fn restore_refuses_corrupt_wal_body() {
     }
     // Flip a bit inside the SECOND row record: a complete record with a
     // checksum mismatch, followed by more data — unambiguous damage.
-    let wal = ec_store::wal_path(&dir);
+    let wal = ec_store::segment_path(&dir, 1);
     let bytes = std::fs::read(&wal).unwrap();
     let mut offset = 0usize;
     for _ in 0..2 {
@@ -491,8 +494,8 @@ fn build_refuses_stale_snapshot_files() {
         rt.flush().unwrap();
         rt.shutdown().unwrap();
     }
-    // "Reset" the store the wrong way: delete only the WAL.
-    std::fs::remove_file(ec_store::wal_path(&dir)).unwrap();
+    // "Reset" the store the wrong way: delete only the WAL directory.
+    std::fs::remove_dir_all(ec_store::wal_dir(&dir)).unwrap();
     let err = match live_builder().durable(&dir).build() {
         Ok(_) => panic!("stale snapshots must block a fresh store"),
         Err(e) => e,

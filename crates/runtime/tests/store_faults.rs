@@ -1,0 +1,238 @@
+//! Runtime-level store fault injection.
+//!
+//! Two acceptance bars from the store-lifecycle issue:
+//!
+//! * a persistent fsync failure flips the runtime into **degraded
+//!   mode** — ingest keeps flowing, durability is suspended, and
+//!   `/healthz` reports `degraded: wal` naming the failing path —
+//!   instead of stopping or panicking;
+//! * a long-running durable stream with tiny segments, periodic
+//!   incremental snapshots and compaction keeps its **disk usage
+//!   bounded**, and still restores to the exact next phase.
+
+use ec_fusion::operators::aggregate::Aggregate;
+use ec_runtime::StreamRuntimeBuilder;
+use ec_store::{StoreFile, StoreIo};
+use std::io::{self, Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn test_dir(tag: &str) -> PathBuf {
+    use std::sync::atomic::AtomicU64;
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "ec-runtime-storefaults-{}-{tag}-{n}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// `s ── sum` — minimal snapshot-capable durable graph.
+fn builder() -> StreamRuntimeBuilder {
+    let mut b = StreamRuntimeBuilder::new();
+    let s = b.live_source("s");
+    b.add("sum", Aggregate::sum(), &[s]);
+    b
+}
+
+/// Delegates to the real filesystem until `broken` flips, then fails
+/// every fsync — the "disk went bad under a running service" shape, as
+/// opposed to the store crate's op-indexed [`ec_store::FaultIo`] plans.
+#[derive(Debug)]
+struct BreakableIo {
+    inner: Arc<dyn StoreIo>,
+    broken: Arc<AtomicBool>,
+}
+
+struct BreakableFile {
+    inner: Box<dyn StoreFile>,
+    broken: Arc<AtomicBool>,
+}
+
+impl StoreFile for BreakableFile {
+    fn append(&mut self, buf: &[u8]) -> io::Result<()> {
+        self.inner.append(buf)
+    }
+
+    fn fsync(&mut self) -> io::Result<()> {
+        if self.broken.load(Relaxed) {
+            return Err(io::Error::other("injected fsync failure"));
+        }
+        self.inner.fsync()
+    }
+
+    fn truncate_to(&mut self, len: u64) -> io::Result<()> {
+        self.inner.truncate_to(len)
+    }
+}
+
+impl StoreIo for BreakableIo {
+    fn create_dir_all(&self, dir: &std::path::Path) -> io::Result<()> {
+        self.inner.create_dir_all(dir)
+    }
+
+    fn open(&self, path: &std::path::Path, create_new: bool) -> io::Result<Box<dyn StoreFile>> {
+        let inner = self.inner.open(path, create_new)?;
+        Ok(Box::new(BreakableFile {
+            inner,
+            broken: Arc::clone(&self.broken),
+        }))
+    }
+
+    fn rename(&self, from: &std::path::Path, to: &std::path::Path) -> io::Result<()> {
+        self.inner.rename(from, to)
+    }
+
+    fn remove(&self, path: &std::path::Path) -> io::Result<()> {
+        self.inner.remove(path)
+    }
+}
+
+fn http_get(addr: SocketAddr, path: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n"
+    )
+    .expect("request");
+    let mut body = String::new();
+    stream.read_to_string(&mut body).expect("response");
+    body
+}
+
+#[test]
+fn persistent_fsync_failure_degrades_instead_of_panicking() {
+    let dir = test_dir("degraded");
+    let broken = Arc::new(AtomicBool::new(false));
+    let io: Arc<dyn StoreIo> = Arc::new(BreakableIo {
+        inner: ec_store::real_io(),
+        broken: Arc::clone(&broken),
+    });
+    let rt = builder()
+        .durable(&dir)
+        .wal_sync_every(1) // every commit fsyncs, so the fault is hit
+        .store_retry(2, Duration::from_millis(1))
+        .store_io(io)
+        .metrics_addr("127.0.0.1:0")
+        .build()
+        .unwrap();
+    let s = rt.handle_by_name("s").unwrap();
+
+    // Healthy phase commits normally.
+    s.push(1.0).unwrap();
+    rt.flush().unwrap();
+    assert_eq!(rt.degraded_reason(), None);
+
+    // The disk goes bad: fsync fails from here on. The seal retries,
+    // exhausts the budget, then suspends durability — and keeps going.
+    broken.store(true, Relaxed);
+    s.push(2.0).unwrap();
+    let flushed = rt.flush();
+    assert!(flushed.is_ok(), "degraded, not dead: {flushed:?}");
+    let reason = rt
+        .degraded_reason()
+        .expect("persistent fsync failure must degrade the runtime");
+    assert!(reason.starts_with("degraded: wal"), "{reason}");
+    assert!(
+        reason.contains(&ec_store::wal_dir(&dir).display().to_string()),
+        "reason must name the failing path: {reason}"
+    );
+
+    // Ingest keeps flowing: later pushes and seals still succeed.
+    s.push(3.0).unwrap();
+    rt.flush().unwrap();
+    assert_eq!(rt.admitted(), 3);
+
+    // Checkpoints are refused while durability is suspended.
+    assert!(rt.checkpoint().is_err());
+
+    // The health plane reports it over real HTTP: /healthz flips to
+    // degraded (the watchdog samples every ~50 ms — poll briefly) and
+    // /metrics raises the ec_store_degraded gauge immediately.
+    let addr = rt.metrics_addr().expect("metrics endpoint");
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let health = loop {
+        let body = http_get(addr, "/healthz");
+        if body.contains("\"verdict\":\"degraded\"") {
+            break body;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "/healthz never turned degraded: {body}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert!(health.contains("degraded: wal"), "{health}");
+    let metrics = http_get(addr, "/metrics");
+    assert!(metrics.contains("ec_store_degraded 1"), "{metrics}");
+
+    // Clean shutdown, no panic; the rows committed before the fault
+    // survived and restore still works (the suspended tail is lost —
+    // that is the degraded-mode contract).
+    rt.shutdown().unwrap();
+    let rec = ec_store::Recovery::open(&dir).unwrap();
+    assert!(rec.committed_phases() >= 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn compaction_keeps_long_running_disk_usage_bounded() {
+    let dir = test_dir("bounded");
+    let rt = builder()
+        .durable(&dir)
+        .segment_bytes(256) // rotate every handful of rows
+        .snapshot_every(4)
+        .snapshot_full_every(3)
+        .compact_every(1)
+        .build()
+        .unwrap();
+    let s = rt.handle_by_name("s").unwrap();
+    for i in 0..200i64 {
+        s.push(i as f64).unwrap();
+        rt.flush().unwrap();
+    }
+    rt.shutdown().unwrap();
+
+    // The log stayed bounded: compaction dropped every segment fully
+    // covered by a snapshot, so neither bytes nor segment count scale
+    // with the 200 committed phases.
+    let wal_files: Vec<(PathBuf, u64)> = std::fs::read_dir(ec_store::wal_dir(&dir))
+        .unwrap()
+        .map(|e| {
+            let e = e.unwrap();
+            (e.path(), e.metadata().unwrap().len())
+        })
+        .collect();
+    let segments = wal_files
+        .iter()
+        .filter(|(p, _)| p.extension().is_some_and(|x| x == "log"))
+        .count();
+    let total: u64 = wal_files.iter().map(|(_, len)| len).sum();
+    assert!(segments <= 5, "unbounded segments: {wal_files:?}");
+    assert!(total < 4096, "unbounded WAL bytes: {total} ({wal_files:?})");
+
+    // Full-snapshot pruning bounded the snapshot chain too.
+    let snapshots = ec_store::list_snapshot_files(&dir).unwrap();
+    assert!(snapshots.len() <= 8, "unbounded snapshots: {snapshots:?}");
+
+    // And the compacted store still restores to the exact next phase,
+    // with global phase numbering intact.
+    let rec = ec_store::Recovery::open(&dir).unwrap();
+    assert!(rec.base_rows > 0, "compaction never ran");
+    assert_eq!(rec.committed_phases(), 200);
+    drop(rec);
+    let rt = builder().durable(&dir).restore().unwrap();
+    assert_eq!(rt.admitted(), 200);
+    s.push(0.0).unwrap_err(); // old handle is dead, not the new store
+    let s = rt.handle_by_name("s").unwrap();
+    s.push(200.0).unwrap();
+    rt.flush().unwrap();
+    let report = rt.shutdown().unwrap();
+    assert!(report.phases >= 201);
+    let _ = std::fs::remove_dir_all(&dir);
+}

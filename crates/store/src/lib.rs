@@ -7,18 +7,29 @@
 //! reproduction into a service that survives restarts:
 //!
 //! * [`WalWriter`] / [`read_wal`] — a crash-safe, length-prefixed and
-//!   CRC-checksummed write-ahead log of committed rows. Appends happen
-//!   at epoch seal, *before* the phase is admitted: a row the outside
-//!   world saw accepted is never lost. Recovery drops a torn tail
-//!   record (crash mid-append) and reports real corruption.
-//! * [`write_snapshot`] / [`read_snapshot`] — operator state
-//!   ([`ec_core::EngineCheckpoint`]) at a retired phase boundary,
-//!   written atomically. Snapshots bound recovery time; the WAL alone
-//!   is always sufficient.
-//! * [`Recovery`] — opens a store, validates everything, picks the
-//!   newest usable snapshot and exposes the log tail to replay. The
-//!   resumed run continues at the exact next phase with global phase
-//!   numbering intact.
+//!   CRC-checksummed write-ahead log of committed rows, kept as a
+//!   directory of size-bounded segments listed by a monotonically
+//!   named manifest. Appends happen at epoch seal, *before* the phase
+//!   is admitted: a row the outside world saw accepted is never lost.
+//!   Recovery drops a torn tail record (crash mid-append) and reports
+//!   real corruption. Pre-segmentation single-file stores (`wal.log`)
+//!   are still read and resumed.
+//! * [`write_snapshot`] / [`read_snapshot`] / [`Snapshotter`] —
+//!   operator state ([`ec_core::EngineCheckpoint`]) at a retired phase
+//!   boundary, written atomically; incremental deltas carry only the
+//!   vertices that changed, with a full-snapshot fallback every K
+//!   increments. Snapshots bound recovery time — and once a segment's
+//!   every row is covered by one, [`compact_store`] (or
+//!   [`WalWriter::compact`]) drops the segment, bounding disk usage.
+//! * [`Recovery`] — opens a store, validates everything, resolves the
+//!   newest usable snapshot chain and exposes the log tail to replay.
+//!   The resumed run continues at the exact next phase with global
+//!   phase numbering intact, compaction included.
+//! * [`StoreIo`] / [`FaultIo`] — every mutating file operation goes
+//!   through an injectable I/O plane, so tests drive the whole
+//!   lifecycle through deterministic fault plans (torn writes, fsync
+//!   failures, disk-full, kill-at-Nth-op) and prove recovery at every
+//!   crash point.
 //!
 //! The streaming integration (`StreamRuntimeBuilder::durable`,
 //! `StreamRuntime::restore`) lives in `ec-runtime`; this crate owns the
@@ -29,23 +40,39 @@
 //! ## Store layout
 //!
 //! ```text
-//! <dir>/wal.log                      append-only row log
-//! <dir>/snapshot-<phase>.ecs         operator state at a retired phase
+//! <dir>/wal/seg-<seq>.log            append-only row log segments
+//! <dir>/wal/manifest-<gen>.ecm       authoritative segment list
+//! <dir>/snapshot-<phase>.ecs         full operator state at a phase
+//! <dir>/delta-<phase>.ecs            changed vertices since a parent
+//! <dir>/wal.log                      legacy single-file log (read-only
+//!                                    layout; still appendable)
 //! ```
 
 #![warn(missing_docs)]
 
+mod compact;
 mod crc;
 mod error;
+mod io;
+mod manifest;
 mod recovery;
 mod snapshot;
 mod wal;
 
+pub use compact::{compact_store, compact_store_with, CompactReport};
 pub use crc::crc32;
 pub use error::StoreError;
+pub use io::{real_io, Fault, FaultIo, FaultPlan, RealIo, StoreFile, StoreIo};
+pub use manifest::SegmentEntry;
 pub use recovery::Recovery;
-pub use snapshot::{list_snapshots, read_snapshot, snapshot_path, write_snapshot, SnapshotData};
-pub use wal::{read_wal, wal_path, Row, WalContents, WalTail, WalWriter, WAL_FILE};
+pub use snapshot::{
+    delta_path, list_snapshot_files, list_snapshots, read_snapshot, snapshot_path, write_snapshot,
+    SnapshotData, SnapshotFile, SnapshotKind, SnapshotOutcome, Snapshotter,
+};
+pub use wal::{
+    read_wal, segment_path, store_exists, wal_dir, wal_path, Row, SegmentInfo, WalContents,
+    WalOptions, WalTail, WalWriter, DEFAULT_SEGMENT_BYTES, WAL_DIR, WAL_FILE,
+};
 
 /// The store directory for tenant session `name` under `root` — the
 /// namespacing rule multi-tenant session pools use so every tenant gets

@@ -1,0 +1,287 @@
+//! The segment manifest: which WAL segments are live, in what order,
+//! and how much history was compacted away before the first one.
+//!
+//! A segmented store keeps exactly one *authoritative* manifest —
+//! `wal/manifest-<gen>.ecm`, where `gen` increases monotonically on
+//! every rotation and compaction. Manifests are immutable once named:
+//! a new generation is written to a temp file, fsynced and renamed into
+//! place *before* anything it references is touched, then the old
+//! generation is removed best-effort. Recovery takes the highest
+//! generation that parses, so a crash between the rename and the
+//! removal merely leaves a stale older manifest behind — never an
+//! inconsistent view.
+//!
+//! Each entry records a segment's sequence number and `first_row`, the
+//! absolute number of committed rows preceding it. `first_row` of the
+//! first entry is the store's *base*: rows `0..base` were compacted
+//! away and are covered by a snapshot at or beyond that phase.
+
+use crate::crc::crc32;
+use crate::error::StoreError;
+use crate::io::StoreIo;
+use ec_events::{StateReader, StateWriter};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+const MANIFEST_MAGIC: &[u8; 8] = b"ECMANI1\0";
+const MANIFEST_VERSION: u32 = 1;
+
+/// One live segment, as recorded in the manifest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentEntry {
+    /// Monotonic segment sequence number (names `seg-<seq>.log`).
+    pub seq: u64,
+    /// Absolute committed rows preceding this segment.
+    pub first_row: u64,
+}
+
+/// Path of the manifest at generation `gen` inside `dir`'s WAL
+/// directory. Generations are zero-padded so lexicographic order is
+/// generation order.
+pub(crate) fn manifest_path(dir: &Path, gen: u64) -> PathBuf {
+    crate::wal::wal_dir(dir).join(format!("manifest-{gen:020}.ecm"))
+}
+
+/// Encodes a manifest body (entries only; framing is added around it).
+fn encode(entries: &[SegmentEntry]) -> Vec<u8> {
+    let mut w = StateWriter::new();
+    w.put_u32(MANIFEST_VERSION);
+    w.put_u32(entries.len() as u32);
+    for e in entries {
+        w.put_u64(e.seq);
+        w.put_u64(e.first_row);
+    }
+    let payload = w.into_bytes();
+    let mut bytes = Vec::with_capacity(payload.len() + 16);
+    bytes.extend_from_slice(MANIFEST_MAGIC);
+    bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    bytes.extend_from_slice(&crc32(&payload).to_le_bytes());
+    bytes.extend_from_slice(&payload);
+    bytes
+}
+
+/// Parses manifest bytes.
+pub(crate) fn decode(path: &Path, bytes: &[u8]) -> Result<Vec<SegmentEntry>, StoreError> {
+    if bytes.len() < 16 || &bytes[..8] != MANIFEST_MAGIC {
+        return Err(StoreError::corrupt(path, "bad manifest magic"));
+    }
+    let len = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
+    let crc = u32::from_le_bytes(bytes[12..16].try_into().unwrap());
+    if bytes.len() != 16 + len {
+        return Err(StoreError::corrupt(
+            path,
+            format!("payload length {} != declared {len}", bytes.len() - 16),
+        ));
+    }
+    let payload = &bytes[16..];
+    if crc32(payload) != crc {
+        return Err(StoreError::corrupt(path, "checksum mismatch"));
+    }
+    let mut r = StateReader::new(payload);
+    let version = r.get_u32()?;
+    if version != MANIFEST_VERSION {
+        return Err(StoreError::corrupt(
+            path,
+            format!("unsupported manifest version {version}"),
+        ));
+    }
+    let n = r.get_u32()? as usize;
+    let mut entries = Vec::with_capacity(n);
+    for _ in 0..n {
+        let seq = r.get_u64()?;
+        let first_row = r.get_u64()?;
+        entries.push(SegmentEntry { seq, first_row });
+    }
+    r.finish()?;
+    if entries.is_empty() {
+        return Err(StoreError::corrupt(path, "manifest lists no segments"));
+    }
+    for pair in entries.windows(2) {
+        if pair[1].seq <= pair[0].seq || pair[1].first_row < pair[0].first_row {
+            return Err(StoreError::corrupt(path, "manifest entries out of order"));
+        }
+    }
+    Ok(entries)
+}
+
+/// Lists manifest generations in `dir`, ascending. Malformed names are
+/// skipped; a missing WAL directory is an empty list.
+pub(crate) fn list_manifests(dir: &Path) -> Result<Vec<(u64, PathBuf)>, StoreError> {
+    let wal_dir = crate::wal::wal_dir(dir);
+    let mut out = Vec::new();
+    let entries = match std::fs::read_dir(&wal_dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(out),
+        Err(e) => return Err(StoreError::io(&wal_dir, e)),
+    };
+    for entry in entries {
+        let entry = entry.map_err(|e| StoreError::io(&wal_dir, e))?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(stem) = name
+            .strip_prefix("manifest-")
+            .and_then(|rest| rest.strip_suffix(".ecm"))
+        else {
+            continue;
+        };
+        if let Ok(gen) = stem.parse::<u64>() {
+            out.push((gen, entry.path()));
+        }
+    }
+    out.sort_by_key(|(gen, _)| *gen);
+    Ok(out)
+}
+
+/// Writes generation `gen` atomically (temp file, fsync, rename). The
+/// previous generation is untouched; callers remove it best-effort
+/// *after* this returns.
+pub(crate) fn write_manifest(
+    dir: &Path,
+    gen: u64,
+    entries: &[SegmentEntry],
+    io: &Arc<dyn StoreIo>,
+) -> Result<PathBuf, StoreError> {
+    let path = manifest_path(dir, gen);
+    let tmp = path.with_extension("ecm.tmp");
+    // Debris from an earlier crashed attempt at this same generation.
+    crate::io::scrub(&tmp);
+    let bytes = encode(entries);
+    {
+        let mut file = io.open(&tmp, true).map_err(|e| StoreError::io(&tmp, e))?;
+        file.append(&bytes).map_err(|e| StoreError::io(&tmp, e))?;
+        file.fsync().map_err(|e| StoreError::io(&tmp, e))?;
+    }
+    io.rename(&tmp, &path)
+        .map_err(|e| StoreError::io(&path, e))?;
+    Ok(path)
+}
+
+/// Loads the authoritative manifest: the highest generation that
+/// parses. Unparseable newer generations are reported in `skipped`
+/// (they can only be bit-rot — generations are written atomically).
+/// Returns `None` if no manifest exists at all.
+#[allow(clippy::type_complexity)]
+pub(crate) fn load_latest(
+    dir: &Path,
+) -> Result<Option<(u64, Vec<SegmentEntry>, Vec<(PathBuf, String)>)>, StoreError> {
+    let mut skipped = Vec::new();
+    for (gen, path) in list_manifests(dir)?.into_iter().rev() {
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(e) => {
+                skipped.push((path, e.to_string()));
+                continue;
+            }
+        };
+        match decode(&path, &bytes) {
+            Ok(entries) => return Ok(Some((gen, entries, skipped))),
+            Err(e) => skipped.push((path, e.to_string())),
+        }
+    }
+    if skipped.is_empty() {
+        Ok(None)
+    } else {
+        // Manifests exist but none parse: the store is present and
+        // damaged, not absent.
+        let (path, message) = skipped.into_iter().next_back().unwrap();
+        Err(StoreError::corrupt(
+            path,
+            format!("no parseable manifest generation ({message})"),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::real_io;
+    use crate::test_dir;
+
+    fn entries() -> Vec<SegmentEntry> {
+        vec![
+            SegmentEntry {
+                seq: 3,
+                first_row: 10,
+            },
+            SegmentEntry {
+                seq: 4,
+                first_row: 25,
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trips_and_picks_highest_generation() {
+        let dir = test_dir("manifest-roundtrip");
+        std::fs::create_dir_all(crate::wal::wal_dir(&dir)).unwrap();
+        let io = real_io();
+        write_manifest(
+            &dir,
+            1,
+            &[SegmentEntry {
+                seq: 1,
+                first_row: 0,
+            }],
+            &io,
+        )
+        .unwrap();
+        write_manifest(&dir, 2, &entries(), &io).unwrap();
+        let (gen, got, skipped) = load_latest(&dir).unwrap().unwrap();
+        assert_eq!(gen, 2);
+        assert_eq!(got, entries());
+        assert!(skipped.is_empty());
+    }
+
+    #[test]
+    fn damaged_generation_falls_back_to_older() {
+        let dir = test_dir("manifest-fallback");
+        std::fs::create_dir_all(crate::wal::wal_dir(&dir)).unwrap();
+        let io = real_io();
+        write_manifest(&dir, 5, &entries(), &io).unwrap();
+        let newer = write_manifest(&dir, 6, &entries(), &io).unwrap();
+        let mut bytes = std::fs::read(&newer).unwrap();
+        let n = bytes.len();
+        bytes[n - 1] ^= 0xFF;
+        std::fs::write(&newer, &bytes).unwrap();
+        let (gen, _, skipped) = load_latest(&dir).unwrap().unwrap();
+        assert_eq!(gen, 5);
+        assert_eq!(skipped.len(), 1);
+    }
+
+    #[test]
+    fn all_generations_damaged_is_corrupt_not_absent() {
+        let dir = test_dir("manifest-allbad");
+        std::fs::create_dir_all(crate::wal::wal_dir(&dir)).unwrap();
+        let io = real_io();
+        let path = write_manifest(&dir, 1, &entries(), &io).unwrap();
+        std::fs::write(&path, b"garbage").unwrap();
+        assert!(matches!(load_latest(&dir), Err(StoreError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn missing_wal_dir_is_none() {
+        let dir = test_dir("manifest-missing");
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(load_latest(&dir).unwrap().is_none());
+    }
+
+    #[test]
+    fn rejects_disordered_entries() {
+        let dir = test_dir("manifest-order");
+        std::fs::create_dir_all(crate::wal::wal_dir(&dir)).unwrap();
+        let io = real_io();
+        let bad = vec![
+            SegmentEntry {
+                seq: 4,
+                first_row: 9,
+            },
+            SegmentEntry {
+                seq: 3,
+                first_row: 2,
+            },
+        ];
+        let path = write_manifest(&dir, 1, &bad, &io).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        assert!(decode(&path, &bytes).is_err());
+    }
+}

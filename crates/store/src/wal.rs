@@ -1,12 +1,16 @@
 //! The write-ahead log of committed phase-script rows.
 //!
-//! One file (`wal.log`) per store directory. The first record is a
-//! header naming the live sources (the script's column order); every
-//! subsequent record is one committed row — the bins staged for one
-//! admitted phase, exactly the unit the streaming runtime commits when
-//! it seals an epoch. Appending the row *before* the phase is admitted
-//! makes the log the authoritative commit: a phase the outside world
-//! saw accepted is never lost to a crash.
+//! A store's log is a directory of size-bounded **segments**
+//! (`wal/seg-<seq>.log`) listed by a monotonically named manifest
+//! (`wal/manifest-<gen>.ecm`, see [`crate::manifest`]). Each segment
+//! opens with a header record naming the live sources (the script's
+//! column order); every subsequent record is one committed row — the
+//! bins staged for one admitted phase, exactly the unit the streaming
+//! runtime commits when it seals an epoch. Appending the row *before*
+//! the phase is admitted makes the log the authoritative commit: a
+//! phase the outside world saw accepted is never lost to a crash.
+//! Single-file stores from earlier versions (`wal.log`) are still
+//! read and resumed in place.
 //!
 //! ## Framing
 //!
@@ -24,20 +28,43 @@
 //! * full record present but checksum or decode fails → **corruption**;
 //!   the valid prefix is still returned, with the damage reported so
 //!   callers can refuse or alert.
+//!
+//! Damage is only tolerated in the *final* segment — earlier segments
+//! were sealed and fsynced before the log moved on, so a hole there is
+//! real corruption, not a crash artifact.
+//!
+//! ## Rotation ordering
+//!
+//! Rotation keeps one invariant: **every committed row lives in a
+//! manifest-listed segment**. The old segment is fsynced, the new
+//! segment is created with its header and fsynced, the next manifest
+//! generation is renamed into place — and only then do commits land in
+//! the new segment. A crash anywhere in that sequence leaves either
+//! the old manifest (the orphan new segment holds no committed rows
+//! and is scrubbed on resume) or the new one (both segments listed,
+//! rows intact).
 
 use crate::crc::crc32;
 use crate::error::StoreError;
+use crate::io::{real_io, StoreFile, StoreIo};
+use crate::manifest::{self, SegmentEntry};
 use ec_events::{StateReader, StateWriter, Value};
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// One committed phase-script row: one bin per live source, in wiring
 /// order (`None` = the source was silent that phase).
 pub type Row = Vec<Option<Value>>;
 
-/// File name of the write-ahead log inside a store directory.
+/// File name of a legacy single-file write-ahead log.
 pub const WAL_FILE: &str = "wal.log";
+
+/// Directory of WAL segments and manifests inside a store directory.
+pub const WAL_DIR: &str = "wal";
+
+/// Default segment size bound: large enough that short-lived runs stay
+/// in one segment, small enough that long runs compact usefully.
+pub const DEFAULT_SEGMENT_BYTES: u64 = 64 << 20;
 
 const KIND_HEADER: u8 = 0;
 const KIND_ROW: u8 = 1;
@@ -46,9 +73,29 @@ const WAL_MAGIC: &[u8; 6] = b"ECWAL1";
 /// corruption rather than attempted as allocations.
 const MAX_RECORD_LEN: u32 = 1 << 28;
 
-/// Path of the WAL inside `dir`.
+/// Path of a legacy single-file WAL inside `dir`.
 pub fn wal_path(dir: &Path) -> PathBuf {
     dir.join(WAL_FILE)
+}
+
+/// The segment directory inside `dir`.
+pub fn wal_dir(dir: &Path) -> PathBuf {
+    dir.join(WAL_DIR)
+}
+
+/// Path of segment `seq` inside `dir`. Sequence numbers are zero-padded
+/// so lexicographic directory order is log order.
+pub fn segment_path(dir: &Path, seq: u64) -> PathBuf {
+    wal_dir(dir).join(format!("seg-{seq:012}.log"))
+}
+
+/// Whether `dir` holds a store (segmented or legacy). This — not the
+/// presence of any one file — is the create-vs-restore test.
+pub fn store_exists(dir: &Path) -> bool {
+    wal_path(dir).exists()
+        || manifest::list_manifests(dir)
+            .map(|m| !m.is_empty())
+            .unwrap_or(true)
 }
 
 fn frame(payload: &[u8]) -> Vec<u8> {
@@ -73,16 +120,68 @@ fn encode_header(sources: &[String]) -> Vec<u8> {
     w.into_bytes()
 }
 
+/// Knobs for opening a WAL: the segment size bound and the I/O plane
+/// (production [`real_io`] or a fault-injecting wrapper).
+#[derive(Debug, Clone)]
+pub struct WalOptions {
+    /// Rotate to a new segment once the active one holds at least this
+    /// many bytes. Segments exceed the bound by at most one epoch.
+    pub segment_bytes: u64,
+    /// The I/O plane every mutating operation goes through.
+    pub io: Arc<dyn StoreIo>,
+}
+
+impl Default for WalOptions {
+    fn default() -> WalOptions {
+        WalOptions {
+            segment_bytes: DEFAULT_SEGMENT_BYTES,
+            io: real_io(),
+        }
+    }
+}
+
+enum Layout {
+    /// Pre-segmentation single file; never rotates or compacts.
+    Legacy,
+    Segmented {
+        segment_bytes: u64,
+        entries: Vec<SegmentEntry>,
+        gen: u64,
+    },
+}
+
 /// Append half of the log, with group commit: rows are staged into an
 /// in-memory buffer ([`stage_row`](WalWriter::stage_row)) and flushed
-/// to the OS in one contiguous `write_all` per
-/// [`commit`](WalWriter::commit) — one syscall per sealed epoch instead
-/// of one per row. The on-disk framing is unchanged (byte-compatible
-/// with per-row appends), so existing stores recover identically.
+/// to the OS in one contiguous append per [`commit`](WalWriter::commit)
+/// — one syscall per sealed epoch instead of one per row. The on-disk
+/// framing is unchanged (byte-compatible with per-row appends), so
+/// existing stores recover identically.
+///
+/// A failed commit **keeps the staged buffer**: the writer remembers
+/// the last known-good file length, truncates any torn bytes away on
+/// the next attempt and rewrites the whole batch, so callers can retry
+/// transient errors without losing or duplicating rows.
 pub struct WalWriter {
+    io: Arc<dyn StoreIo>,
+    dir: PathBuf,
+    sources: Vec<String>,
+    layout: Layout,
+    /// The active file (last segment, or the legacy single file).
     path: PathBuf,
-    file: File,
+    file: Box<dyn StoreFile>,
+    /// Absolute committed rows, compacted history included.
     rows: u64,
+    /// Committed bytes in the active file.
+    active_len: u64,
+    /// Bytes in sealed (non-active) live segments.
+    sealed_bytes: u64,
+    /// A failed append may have left a partial frame after
+    /// `active_len`; truncate before the next append, and never
+    /// best-effort-flush over it.
+    needs_repair: bool,
+    /// An automatic fsync failed; retry it on the next commit instead
+    /// of silently reporting the batch durable.
+    pending_sync: bool,
     /// Frames staged since the last commit.
     buf: Vec<u8>,
     staged_rows: u64,
@@ -100,36 +199,76 @@ pub struct WalWriter {
 }
 
 impl WalWriter {
-    /// Creates a fresh store: the directory (if missing) and a new WAL
-    /// whose header names the live sources. Fails with
-    /// [`StoreError::AlreadyExists`] if a WAL — or any leftover
-    /// snapshot file — is already present: an existing store is
-    /// restored, never silently overwritten, and a stale snapshot next
-    /// to a fresh log would later restore the *old* run's operator
-    /// state over the new run's history.
+    /// Creates a fresh segmented store with default [`WalOptions`].
     pub fn create(dir: &Path, sources: &[String]) -> Result<WalWriter, StoreError> {
-        std::fs::create_dir_all(dir).map_err(|e| StoreError::io(dir, e))?;
-        if let Some((_, stale)) = crate::snapshot::list_snapshots(dir)?.into_iter().next() {
+        WalWriter::create_with(dir, sources, WalOptions::default())
+    }
+
+    /// Creates a fresh store: the directory (if missing), the first
+    /// segment with a header naming the live sources, and manifest
+    /// generation 1. Fails with [`StoreError::AlreadyExists`] if a
+    /// store — or any leftover snapshot file — is already present: an
+    /// existing store is restored, never silently overwritten, and a
+    /// stale snapshot next to a fresh log would later restore the *old*
+    /// run's operator state over the new run's history.
+    pub fn create_with(
+        dir: &Path,
+        sources: &[String],
+        opts: WalOptions,
+    ) -> Result<WalWriter, StoreError> {
+        let io = opts.io;
+        io.create_dir_all(dir).map_err(|e| StoreError::io(dir, e))?;
+        if wal_path(dir).exists() {
+            return Err(StoreError::AlreadyExists(wal_path(dir)));
+        }
+        if let Some((_, stale)) = manifest::list_manifests(dir)?.into_iter().next_back() {
             return Err(StoreError::AlreadyExists(stale));
         }
-        let path = wal_path(dir);
-        let mut file = OpenOptions::new()
-            .write(true)
-            .create_new(true)
-            .open(&path)
-            .map_err(|e| {
-                if e.kind() == std::io::ErrorKind::AlreadyExists {
-                    StoreError::AlreadyExists(path.clone())
-                } else {
-                    StoreError::io(&path, e)
-                }
-            })?;
-        file.write_all(&frame(&encode_header(sources)))
-            .map_err(|e| StoreError::io(&path, e))?;
+        if let Some(stale) = crate::snapshot::list_snapshot_files(dir)?
+            .into_iter()
+            .next()
+        {
+            return Err(StoreError::AlreadyExists(stale.path));
+        }
+        let seg_dir = wal_dir(dir);
+        io.create_dir_all(&seg_dir)
+            .map_err(|e| StoreError::io(&seg_dir, e))?;
+        // With no manifest present, any segment files are debris from
+        // a run that died before its first manifest write.
+        scrub_segment_debris(dir, u64::MAX, 0);
+
+        let path = segment_path(dir, 1);
+        let mut file = io.open(&path, true).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::AlreadyExists {
+                StoreError::AlreadyExists(path.clone())
+            } else {
+                StoreError::io(&path, e)
+            }
+        })?;
+        let header = frame(&encode_header(sources));
+        file.append(&header).map_err(|e| StoreError::io(&path, e))?;
+        file.fsync().map_err(|e| StoreError::io(&path, e))?;
+        let entries = vec![SegmentEntry {
+            seq: 1,
+            first_row: 0,
+        }];
+        manifest::write_manifest(dir, 1, &entries, &io)?;
         Ok(WalWriter {
+            io,
+            dir: dir.to_path_buf(),
+            sources: sources.to_vec(),
+            layout: Layout::Segmented {
+                segment_bytes: opts.segment_bytes.max(1),
+                entries,
+                gen: 1,
+            },
             path,
             file,
             rows: 0,
+            active_len: header.len() as u64,
+            sealed_bytes: 0,
+            needs_repair: false,
+            pending_sync: false,
             buf: Vec::new(),
             staged_rows: 0,
             sync_every: None,
@@ -139,26 +278,123 @@ impl WalWriter {
         })
     }
 
-    /// Reopens an existing WAL for appending after recovery.
-    ///
-    /// `valid_len` is the byte length of the validated prefix (from
-    /// [`read_wal`](crate::read_wal)); anything beyond it — a torn tail
-    /// — is truncated away so new appends start on a record boundary.
-    /// `rows` is the number of valid rows in that prefix.
+    /// Reopens a **legacy** single-file WAL for appending after
+    /// recovery. `valid_len` is the byte length of the validated prefix
+    /// (from [`read_wal`](crate::read_wal)); anything beyond it — a
+    /// torn tail — is truncated away so new appends start on a record
+    /// boundary. `rows` is the number of valid rows in that prefix.
+    /// Segmented stores resume through
+    /// [`Recovery::append_writer`](crate::Recovery::append_writer).
     pub fn resume(dir: &Path, valid_len: u64, rows: u64) -> Result<WalWriter, StoreError> {
+        let io = real_io();
         let path = wal_path(dir);
-        let mut file = OpenOptions::new()
-            .write(true)
-            .open(&path)
+        let mut file = io
+            .open(&path, false)
             .map_err(|e| StoreError::io(&path, e))?;
-        file.set_len(valid_len)
-            .map_err(|e| StoreError::io(&path, e))?;
-        file.seek(SeekFrom::End(0))
+        file.truncate_to(valid_len)
             .map_err(|e| StoreError::io(&path, e))?;
         Ok(WalWriter {
+            io,
+            dir: dir.to_path_buf(),
+            sources: Vec::new(),
+            layout: Layout::Legacy,
             path,
             file,
             rows,
+            active_len: valid_len,
+            sealed_bytes: 0,
+            needs_repair: false,
+            pending_sync: false,
+            buf: Vec::new(),
+            staged_rows: 0,
+            sync_every: None,
+            rows_since_sync: 0,
+            scratch: Vec::new(),
+            last_commit_nanos: 0,
+        })
+    }
+
+    /// Reopens a store described by [`WalContents`] for appending,
+    /// truncating any torn tail in the final segment. Refuses stores
+    /// whose damage is not confined to the final segment. (Production
+    /// code resumes through [`Recovery`](crate::Recovery), which does
+    /// the same via [`resume_segmented`](Self::resume_segmented).)
+    #[cfg(test)]
+    pub(crate) fn resume_contents(
+        dir: &Path,
+        contents: &WalContents,
+        opts: WalOptions,
+    ) -> Result<WalWriter, StoreError> {
+        let ContentsLayout::Segmented { gen, ref entries } = contents.layout else {
+            return WalWriter::resume(dir, contents.valid_len, contents.rows.len() as u64);
+        };
+        if !contents.resumable {
+            let last = entries.last().expect("manifest entries are non-empty");
+            return Err(StoreError::corrupt(
+                segment_path(dir, last.seq),
+                "damage before the final segment; refusing to resume",
+            ));
+        }
+        let sealed_bytes = contents
+            .segments
+            .iter()
+            .take(contents.segments.len().saturating_sub(1))
+            .map(|s| s.bytes)
+            .sum();
+        WalWriter::resume_segmented(
+            dir,
+            &contents.sources,
+            gen,
+            entries,
+            contents.base_rows + contents.rows.len() as u64,
+            contents.valid_len,
+            sealed_bytes,
+            opts,
+        )
+    }
+
+    /// Reopens the final segment of a validated segmented store for
+    /// appending. `rows` is absolute (compacted history included);
+    /// `valid_len` is the validated prefix of the final segment.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn resume_segmented(
+        dir: &Path,
+        sources: &[String],
+        gen: u64,
+        entries: &[SegmentEntry],
+        rows: u64,
+        valid_len: u64,
+        sealed_bytes: u64,
+        opts: WalOptions,
+    ) -> Result<WalWriter, StoreError> {
+        let last = entries.last().expect("manifest entries are non-empty");
+        // Segments outside the manifest are debris: past it, a crashed
+        // rotation (no committed rows by construction); before it, a
+        // dead prefix a crashed compaction didn't finish removing.
+        scrub_segment_debris(dir, entries[0].seq, last.seq);
+        let io = opts.io;
+        let path = segment_path(dir, last.seq);
+        let mut file = io
+            .open(&path, false)
+            .map_err(|e| StoreError::io(&path, e))?;
+        file.truncate_to(valid_len)
+            .map_err(|e| StoreError::io(&path, e))?;
+        Ok(WalWriter {
+            io,
+            dir: dir.to_path_buf(),
+            sources: sources.to_vec(),
+            layout: Layout::Segmented {
+                segment_bytes: opts.segment_bytes.max(1),
+                entries: entries.to_vec(),
+                gen,
+            },
+            path,
+            file,
+            rows,
+            active_len: valid_len,
+            sealed_bytes,
+            needs_repair: false,
+            pending_sync: false,
             buf: Vec::new(),
             staged_rows: 0,
             sync_every: None,
@@ -210,29 +446,110 @@ impl WalWriter {
         self.staged_rows
     }
 
-    /// Commits every staged row in one contiguous `write_all`: the
-    /// whole batch reaches the OS before this returns (surviving a
-    /// process kill). Returns the number of rows committed. On error
-    /// the staged buffer is dropped — the file may hold a prefix of the
-    /// batch, which recovery treats as a torn tail.
+    /// Seals the active segment and starts the next one. See the
+    /// module docs for the crash-safe ordering.
+    fn rotate(&mut self) -> Result<(), StoreError> {
+        let Layout::Segmented {
+            ref entries, gen, ..
+        } = self.layout
+        else {
+            return Ok(());
+        };
+        self.file
+            .fsync()
+            .map_err(|e| StoreError::io(&self.path, e))?;
+        let next_seq = entries.last().expect("entries non-empty").seq + 1;
+        let path = segment_path(&self.dir, next_seq);
+        // Debris from a rotation that crashed between creating the
+        // segment and writing the manifest.
+        crate::io::scrub(&path);
+        let mut file = self
+            .io
+            .open(&path, true)
+            .map_err(|e| StoreError::io(&path, e))?;
+        let header = frame(&encode_header(&self.sources));
+        file.append(&header).map_err(|e| StoreError::io(&path, e))?;
+        file.fsync().map_err(|e| StoreError::io(&path, e))?;
+        let mut new_entries = entries.clone();
+        new_entries.push(SegmentEntry {
+            seq: next_seq,
+            first_row: self.rows,
+        });
+        manifest::write_manifest(&self.dir, gen + 1, &new_entries, &self.io)?;
+        let _ = self.io.remove(&manifest::manifest_path(&self.dir, gen));
+        // Only now — with the new generation authoritative — does the
+        // writer move over.
+        self.sealed_bytes += self.active_len;
+        self.path = path;
+        self.file = file;
+        self.active_len = header.len() as u64;
+        if let Layout::Segmented {
+            ref mut entries,
+            ref mut gen,
+            ..
+        } = self.layout
+        {
+            *entries = new_entries;
+            *gen += 1;
+        }
+        Ok(())
+    }
+
+    /// Commits every staged row in one contiguous append: the whole
+    /// batch reaches the OS before this returns (surviving a process
+    /// kill). Returns the number of rows committed. On error the
+    /// staged batch is **retained** — the file may hold a torn prefix
+    /// of it, which the next attempt truncates away before rewriting
+    /// the batch, so a retried commit is exactly-once.
     pub fn commit(&mut self) -> Result<u64, StoreError> {
-        if self.buf.is_empty() {
+        if self.buf.is_empty() && !self.needs_repair && !self.pending_sync {
             return Ok(0);
         }
         let start = std::time::Instant::now();
-        let batch = self.staged_rows;
-        let result = self
-            .file
-            .write_all(&self.buf)
-            .map_err(|e| StoreError::io(&self.path, e));
-        self.buf.clear();
-        self.staged_rows = 0;
-        result?;
-        self.rows += batch;
-        if let Some(every) = self.sync_every {
+        if self.needs_repair {
+            self.file
+                .truncate_to(self.active_len)
+                .map_err(|e| StoreError::io(&self.path, e))?;
+            self.needs_repair = false;
+        }
+        // Rotate when the active segment is over its bound *and* holds
+        // at least one row — never leaving an empty segment behind.
+        let rotate_due = match self.layout {
+            Layout::Segmented {
+                segment_bytes,
+                ref entries,
+                ..
+            } => {
+                !self.buf.is_empty()
+                    && self.active_len >= segment_bytes
+                    && self.rows > entries.last().expect("entries non-empty").first_row
+            }
+            Layout::Legacy => false,
+        };
+        if rotate_due {
+            self.rotate()?;
+        }
+        let mut batch = 0;
+        if !self.buf.is_empty() {
+            if let Err(e) = self.file.append(&self.buf) {
+                self.needs_repair = true;
+                return Err(StoreError::io(&self.path, e));
+            }
+            self.active_len += self.buf.len() as u64;
+            batch = self.staged_rows;
+            self.buf.clear();
+            self.staged_rows = 0;
+            self.rows += batch;
             self.rows_since_sync += batch;
-            if self.rows_since_sync >= every {
-                self.sync()?;
+        }
+        if self.pending_sync
+            || self
+                .sync_every
+                .is_some_and(|every| self.rows_since_sync >= every)
+        {
+            if let Err(e) = self.sync() {
+                self.pending_sync = true;
+                return Err(e);
             }
         }
         self.last_commit_nanos = start.elapsed().as_nanos() as u64;
@@ -240,8 +557,8 @@ impl WalWriter {
     }
 
     /// Nanoseconds the most recent non-empty [`commit`](Self::commit)
-    /// spent in `write_all` (plus any automatic fsync it triggered).
-    /// `0` until the first commit. Timed here — at the syscall — so
+    /// spent appending (plus any automatic fsync it triggered). `0`
+    /// until the first commit. Timed here — at the syscall — so
     /// callers get the true group-commit latency without wrapping the
     /// call site.
     pub fn last_commit_nanos(&self) -> u64 {
@@ -257,20 +574,76 @@ impl WalWriter {
         Ok(())
     }
 
-    /// Rows committed through this writer plus any it resumed over.
-    /// Staged-but-uncommitted rows are not counted.
+    /// Rows committed through this writer plus any it resumed over,
+    /// compacted history included. Staged-but-uncommitted rows are not
+    /// counted.
     pub fn rows(&self) -> u64 {
         self.rows
     }
 
-    /// Forces everything committed to stable storage (`fsync`). Staged
-    /// rows are *not* implicitly committed — stage/commit boundaries
-    /// belong to the caller.
+    /// Rows compacted away: the log physically starts at this absolute
+    /// row index. `0` for legacy stores and before any compaction.
+    pub fn base_rows(&self) -> u64 {
+        match self.layout {
+            Layout::Legacy => 0,
+            Layout::Segmented { ref entries, .. } => entries[0].first_row,
+        }
+    }
+
+    /// Live segments (1 for a legacy store).
+    pub fn segment_count(&self) -> u64 {
+        match self.layout {
+            Layout::Legacy => 1,
+            Layout::Segmented { ref entries, .. } => entries.len() as u64,
+        }
+    }
+
+    /// Committed bytes across all live segments.
+    pub fn wal_bytes(&self) -> u64 {
+        self.sealed_bytes + self.active_len
+    }
+
+    /// Drops sealed segments whose every row is at or below
+    /// `keep_phase` (i.e. covered by a durable snapshot at that phase).
+    /// The active segment is never dropped. No-op on legacy stores.
+    pub fn compact(
+        &mut self,
+        keep_phase: u64,
+    ) -> Result<crate::compact::CompactReport, StoreError> {
+        let Layout::Segmented {
+            ref entries, gen, ..
+        } = self.layout
+        else {
+            return Ok(crate::compact::CompactReport::noop(0));
+        };
+        match crate::compact::drop_dead_segments(&self.dir, &self.io, entries, gen, keep_phase)? {
+            None => Ok(crate::compact::CompactReport::noop(entries[0].first_row)),
+            Some((new_entries, new_gen, report)) => {
+                self.sealed_bytes = self.sealed_bytes.saturating_sub(report.removed_bytes);
+                if let Layout::Segmented {
+                    ref mut entries,
+                    ref mut gen,
+                    ..
+                } = self.layout
+                {
+                    *entries = new_entries;
+                    *gen = new_gen;
+                }
+                Ok(report)
+            }
+        }
+    }
+
+    /// Forces everything committed to stable storage (`fsync` of the
+    /// active segment; sealed segments were fsynced at rotation).
+    /// Staged rows are *not* implicitly committed — stage/commit
+    /// boundaries belong to the caller.
     pub fn sync(&mut self) -> Result<(), StoreError> {
         self.file
-            .sync_all()
+            .fsync()
             .map_err(|e| StoreError::io(&self.path, e))?;
         self.rows_since_sync = 0;
+        self.pending_sync = false;
         Ok(())
     }
 }
@@ -279,10 +652,43 @@ impl Drop for WalWriter {
     /// Best-effort flush of staged rows: a writer dropped mid-epoch
     /// (e.g. unwinding) should not silently lose frames it could still
     /// hand to the OS. Errors are ignored — the crash-recovery contract
-    /// only covers rows whose `commit` returned.
+    /// only covers rows whose `commit` returned. Skipped after a
+    /// failed append: the file may end in a partial frame, and
+    /// appending after it would bury valid-looking rows behind garbage.
     fn drop(&mut self) {
-        if !self.buf.is_empty() {
-            let _ = self.file.write_all(&self.buf);
+        if !self.buf.is_empty() && !self.needs_repair {
+            let _ = self.file.append(&self.buf);
+        }
+    }
+}
+
+/// Removes segment files outside `[first_listed, last_listed]`
+/// (best-effort, plain `std::fs`): above the range is debris from a
+/// rotation or creation that died before its manifest write (such
+/// segments hold no committed rows, by the rotation ordering); below it
+/// is a dead prefix whose removal a crashed compaction never finished.
+fn scrub_segment_debris(dir: &Path, first_listed: u64, last_listed: u64) {
+    let Ok(entries) = std::fs::read_dir(wal_dir(dir)) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if name.ends_with(".tmp") {
+            crate::io::scrub(&entry.path());
+            continue;
+        }
+        let Some(stem) = name
+            .strip_prefix("seg-")
+            .and_then(|rest| rest.strip_suffix(".log"))
+        else {
+            continue;
+        };
+        if stem
+            .parse::<u64>()
+            .is_ok_and(|seq| seq < first_listed || seq > last_listed)
+        {
+            crate::io::scrub(&entry.path());
         }
     }
 }
@@ -298,11 +704,11 @@ pub enum WalTail {
         /// Bytes discarded after the last valid record.
         dropped_bytes: u64,
     },
-    /// A complete record failed its checksum or decode. The valid
-    /// prefix is still usable; everything from the bad record on was
-    /// dropped.
+    /// A complete record failed its checksum or decode — or a sealed
+    /// (non-final) segment was damaged. The valid prefix is still
+    /// usable; everything from the bad record on was dropped.
     Corrupt {
-        /// 0-based index of the offending row record.
+        /// 0-based absolute index of the offending row record.
         at_row: u64,
         /// Bytes discarded from the bad record to end of file.
         dropped_bytes: u64,
@@ -311,18 +717,54 @@ pub enum WalTail {
     },
 }
 
+/// One live segment as read back, for accounting and inspection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentInfo {
+    /// Segment sequence number (`0` for a legacy single-file store).
+    pub seq: u64,
+    /// The segment file.
+    pub path: PathBuf,
+    /// Absolute committed rows preceding this segment.
+    pub first_row: u64,
+    /// Valid rows read from this segment.
+    pub rows: u64,
+    /// File size in bytes.
+    pub bytes: u64,
+}
+
+#[derive(Debug)]
+pub(crate) enum ContentsLayout {
+    Legacy,
+    Segmented {
+        gen: u64,
+        entries: Vec<SegmentEntry>,
+    },
+}
+
 /// Everything recovered from a WAL.
 #[derive(Debug)]
 pub struct WalContents {
     /// Live source names from the header (column order of `rows`).
     pub sources: Vec<String>,
-    /// Valid committed rows, in phase order (`rows[p]` is phase `p+1`).
+    /// Valid committed rows still on disk, in phase order: `rows[p]`
+    /// is phase `base_rows + p + 1`.
     pub rows: Vec<Row>,
     /// State of the log's tail.
     pub tail: WalTail,
-    /// Byte length of the validated prefix — pass to
-    /// [`WalWriter::resume`] to continue appending.
+    /// Byte length of the validated prefix of the **final** segment
+    /// (or the legacy file) — where appending resumes.
     pub valid_len: u64,
+    /// Rows compacted away before `rows[0]` (covered by a snapshot).
+    pub base_rows: u64,
+    /// Per-segment accounting, log order (one pseudo-entry for a
+    /// legacy store).
+    pub segments: Vec<SegmentInfo>,
+    /// Manifest generations skipped as unreadable, `(path, reason)`.
+    pub skipped_manifests: Vec<(PathBuf, String)>,
+    /// Damage, if any, is confined to the final segment, so truncating
+    /// to `valid_len` and appending is sound.
+    pub(crate) resumable: bool,
+    pub(crate) layout: ContentsLayout,
 }
 
 enum RawRecord {
@@ -401,27 +843,98 @@ fn decode_row(payload: &[u8], columns: usize) -> Result<Row, String> {
     Ok(row)
 }
 
-/// Reads and validates the WAL in `dir`.
+/// Outcome of scanning one file's records after its header.
+struct FileScan {
+    rows: Vec<Row>,
+    tail: WalTail,
+    /// End of the validated prefix within the file.
+    valid_len: u64,
+}
+
+/// Scans `buf` from `offset` (just past the header) collecting rows.
+/// `row_base` is the absolute index of the first row in this file, for
+/// corruption reports.
+fn scan_rows(buf: &[u8], mut offset: u64, columns: usize, row_base: u64) -> FileScan {
+    let mut rows: Vec<Row> = Vec::new();
+    let tail = loop {
+        match read_record(buf, offset as usize) {
+            None => break WalTail::Clean,
+            Some(RawRecord::Torn) => {
+                break WalTail::Torn {
+                    dropped_bytes: buf.len() as u64 - offset,
+                }
+            }
+            Some(RawRecord::BadChecksum) => {
+                break WalTail::Corrupt {
+                    at_row: row_base + rows.len() as u64,
+                    dropped_bytes: buf.len() as u64 - offset,
+                    message: "checksum mismatch".into(),
+                }
+            }
+            Some(RawRecord::BadLength(len)) => {
+                break WalTail::Corrupt {
+                    at_row: row_base + rows.len() as u64,
+                    dropped_bytes: buf.len() as u64 - offset,
+                    message: format!("impossible record length {len}"),
+                }
+            }
+            Some(RawRecord::Complete { payload, end }) => match decode_row(&payload, columns) {
+                Ok(row) => {
+                    rows.push(row);
+                    offset = end;
+                }
+                Err(m) => {
+                    break WalTail::Corrupt {
+                        at_row: row_base + rows.len() as u64,
+                        dropped_bytes: buf.len() as u64 - offset,
+                        message: m,
+                    }
+                }
+            },
+        }
+    };
+    FileScan {
+        rows,
+        tail,
+        valid_len: offset,
+    }
+}
+
+/// Reads and validates the WAL in `dir` — segmented if a manifest
+/// exists, otherwise the legacy single file.
 ///
-/// Errors only when no usable log exists (missing file, unreadable
-/// header). Damage *after* the header is reported through
-/// [`WalContents::tail`] — the valid prefix is always returned, because
-/// a prefix of a committed history is itself a committed history.
+/// Errors only when no usable log exists (missing store, unreadable
+/// first header, a hole in the manifest chain). Damage in the *final*
+/// segment is reported through [`WalContents::tail`] — the valid
+/// prefix is always returned, because a prefix of a committed history
+/// is itself a committed history. Damage in a sealed earlier segment
+/// also surfaces as a [`WalTail::Corrupt`] tail (with the valid prefix
+/// up to the damage), but marks the store non-resumable.
 pub fn read_wal(dir: &Path) -> Result<WalContents, StoreError> {
+    match manifest::load_latest(dir)? {
+        Some((gen, entries, skipped)) => read_segmented(dir, gen, entries, skipped),
+        None => {
+            if wal_path(dir).exists() {
+                read_legacy(dir)
+            } else {
+                Err(StoreError::NotFound(wal_path(dir)))
+            }
+        }
+    }
+}
+
+fn read_legacy(dir: &Path) -> Result<WalContents, StoreError> {
     let path = wal_path(dir);
-    let mut file = match File::open(&path) {
-        Ok(f) => f,
+    let buf = match std::fs::read(&path) {
+        Ok(b) => b,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
             return Err(StoreError::NotFound(path))
         }
         Err(e) => return Err(StoreError::io(&path, e)),
     };
-    let mut buf = Vec::new();
-    file.read_to_end(&mut buf)
-        .map_err(|e| StoreError::io(&path, e))?;
 
     // Header record: must be intact, or the store is unusable.
-    let (sources, mut offset) = match read_record(&buf, 0) {
+    let (sources, offset) = match read_record(&buf, 0) {
         Some(RawRecord::Complete { payload, end }) => {
             let sources = decode_header(&payload)
                 .map_err(|m| StoreError::corrupt(&path, format!("header: {m}")))?;
@@ -431,51 +944,176 @@ pub fn read_wal(dir: &Path) -> Result<WalContents, StoreError> {
         Some(_) => return Err(StoreError::corrupt(&path, "unreadable header record")),
     };
 
+    let scan = scan_rows(&buf, offset, sources.len(), 0);
+    let segments = vec![SegmentInfo {
+        seq: 0,
+        path,
+        first_row: 0,
+        rows: scan.rows.len() as u64,
+        bytes: buf.len() as u64,
+    }];
+    Ok(WalContents {
+        sources,
+        rows: scan.rows,
+        tail: scan.tail,
+        valid_len: scan.valid_len,
+        base_rows: 0,
+        segments,
+        skipped_manifests: Vec::new(),
+        resumable: true,
+        layout: ContentsLayout::Legacy,
+    })
+}
+
+fn read_segmented(
+    dir: &Path,
+    gen: u64,
+    entries: Vec<SegmentEntry>,
+    skipped_manifests: Vec<(PathBuf, String)>,
+) -> Result<WalContents, StoreError> {
+    let base_rows = entries[0].first_row;
+    let mut sources: Vec<String> = Vec::new();
     let mut rows: Vec<Row> = Vec::new();
-    let tail = loop {
-        match read_record(&buf, offset as usize) {
-            None => break WalTail::Clean,
-            Some(RawRecord::Torn) => {
-                break WalTail::Torn {
-                    dropped_bytes: buf.len() as u64 - offset,
+    let mut segments: Vec<SegmentInfo> = Vec::new();
+    let mut tail = WalTail::Clean;
+    let mut valid_len = 0u64;
+    let mut resumable = true;
+
+    for (i, entry) in entries.iter().enumerate() {
+        let path = segment_path(dir, entry.seq);
+        let is_first = i == 0;
+        let is_last = i + 1 == entries.len();
+        let absolute = base_rows + rows.len() as u64;
+
+        let soft_corrupt = |message: String, rows_here: u64| WalTail::Corrupt {
+            at_row: absolute,
+            dropped_bytes: rows_here,
+            message,
+        };
+
+        let buf = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(e) => {
+                let message = format!("listed segment unreadable: {e}");
+                if is_first {
+                    return Err(StoreError::corrupt(&path, message));
                 }
+                tail = soft_corrupt(message, 0);
+                resumable = false;
+                break;
             }
-            Some(RawRecord::BadChecksum) => {
-                break WalTail::Corrupt {
-                    at_row: rows.len() as u64,
-                    dropped_bytes: buf.len() as u64 - offset,
-                    message: "checksum mismatch".into(),
-                }
+        };
+
+        if entry.first_row != absolute {
+            let message = format!(
+                "manifest says segment starts at row {}, log holds {absolute}",
+                entry.first_row
+            );
+            if is_first {
+                return Err(StoreError::corrupt(&path, message));
             }
-            Some(RawRecord::BadLength(len)) => {
-                break WalTail::Corrupt {
-                    at_row: rows.len() as u64,
-                    dropped_bytes: buf.len() as u64 - offset,
-                    message: format!("impossible record length {len}"),
-                }
-            }
-            Some(RawRecord::Complete { payload, end }) => {
-                match decode_row(&payload, sources.len()) {
-                    Ok(row) => {
-                        rows.push(row);
-                        offset = end;
+            tail = soft_corrupt(message, buf.len() as u64);
+            resumable = false;
+            break;
+        }
+
+        let (seg_sources, offset) = match read_record(&buf, 0) {
+            Some(RawRecord::Complete { payload, end }) => match decode_header(&payload) {
+                Ok(s) => (s, end),
+                Err(m) => {
+                    let message = format!("header: {m}");
+                    if is_first {
+                        return Err(StoreError::corrupt(&path, message));
                     }
-                    Err(m) => {
-                        break WalTail::Corrupt {
-                            at_row: rows.len() as u64,
-                            dropped_bytes: buf.len() as u64 - offset,
-                            message: m,
-                        }
-                    }
+                    tail = soft_corrupt(message, buf.len() as u64);
+                    resumable = false;
+                    break;
                 }
+            },
+            other => {
+                let message = if other.is_none() {
+                    "empty segment (no header)".to_string()
+                } else {
+                    "unreadable header record".to_string()
+                };
+                if is_first {
+                    return Err(StoreError::corrupt(&path, message));
+                }
+                tail = soft_corrupt(message, buf.len() as u64);
+                resumable = false;
+                break;
+            }
+        };
+        if is_first {
+            sources = seg_sources;
+        } else if seg_sources != sources {
+            tail = soft_corrupt(
+                "segment header names different sources".into(),
+                buf.len() as u64,
+            );
+            resumable = false;
+            break;
+        }
+
+        let scan = scan_rows(&buf, offset, sources.len(), absolute);
+        let seg_rows = scan.rows.len() as u64;
+        rows.extend(scan.rows);
+        segments.push(SegmentInfo {
+            seq: entry.seq,
+            path: path.clone(),
+            first_row: entry.first_row,
+            rows: seg_rows,
+            bytes: buf.len() as u64,
+        });
+        match scan.tail {
+            WalTail::Clean => {
+                if is_last {
+                    valid_len = scan.valid_len;
+                }
+            }
+            WalTail::Torn { dropped_bytes } if is_last => {
+                tail = WalTail::Torn { dropped_bytes };
+                valid_len = scan.valid_len;
+            }
+            WalTail::Torn { dropped_bytes } => {
+                // A sealed segment was fsynced before the log moved on;
+                // a truncation here is damage, not a crash artifact.
+                tail = WalTail::Corrupt {
+                    at_row: base_rows + rows.len() as u64,
+                    dropped_bytes,
+                    message: "sealed segment truncated mid-record".into(),
+                };
+                valid_len = scan.valid_len;
+                resumable = false;
+                break;
+            }
+            WalTail::Corrupt {
+                at_row,
+                dropped_bytes,
+                message,
+            } => {
+                tail = WalTail::Corrupt {
+                    at_row,
+                    dropped_bytes,
+                    message,
+                };
+                valid_len = scan.valid_len;
+                resumable = is_last;
+                break;
             }
         }
-    };
+    }
+
     Ok(WalContents {
         sources,
         rows,
         tail,
-        valid_len: offset,
+        valid_len,
+        base_rows,
+        segments,
+        skipped_manifests,
+        resumable,
+        layout: ContentsLayout::Segmented { gen, entries },
     })
 }
 
@@ -496,6 +1134,18 @@ mod tests {
         ]
     }
 
+    /// A store in the pre-segmentation single-file layout, built by
+    /// demoting a fresh segmented store (the framing is identical).
+    fn make_legacy(dir: &Path, rows: &[Row]) {
+        let mut w = WalWriter::create(dir, &sources()).unwrap();
+        for row in rows {
+            w.append_row(row).unwrap();
+        }
+        drop(w);
+        std::fs::rename(segment_path(dir, 1), wal_path(dir)).unwrap();
+        std::fs::remove_dir_all(wal_dir(dir)).unwrap();
+    }
+
     #[test]
     fn round_trips_rows() {
         let dir = test_dir("wal-roundtrip");
@@ -505,11 +1155,15 @@ mod tests {
         }
         w.sync().unwrap();
         assert_eq!(w.rows(), 3);
+        assert_eq!(w.segment_count(), 1);
 
         let contents = read_wal(&dir).unwrap();
         assert_eq!(contents.sources, sources());
         assert_eq!(contents.rows, sample_rows());
         assert_eq!(contents.tail, WalTail::Clean);
+        assert_eq!(contents.base_rows, 0);
+        assert_eq!(contents.segments.len(), 1);
+        assert_eq!(contents.segments[0].rows, 3);
     }
 
     #[test]
@@ -538,8 +1192,8 @@ mod tests {
         drop(per_row);
 
         assert_eq!(
-            std::fs::read(wal_path(&dir_group)).unwrap(),
-            std::fs::read(wal_path(&dir_rows)).unwrap()
+            std::fs::read(segment_path(&dir_group, 1)).unwrap(),
+            std::fs::read(segment_path(&dir_rows, 1)).unwrap()
         );
         let contents = read_wal(&dir_group).unwrap();
         assert_eq!(contents.rows, sample_rows());
@@ -576,6 +1230,18 @@ mod tests {
     fn refuses_to_overwrite_existing_store() {
         let dir = test_dir("wal-exists");
         WalWriter::create(&dir, &sources()).unwrap();
+        assert!(store_exists(&dir));
+        assert!(matches!(
+            WalWriter::create(&dir, &sources()),
+            Err(StoreError::AlreadyExists(_))
+        ));
+    }
+
+    #[test]
+    fn refuses_to_overwrite_legacy_store() {
+        let dir = test_dir("wal-exists-legacy");
+        make_legacy(&dir, &sample_rows());
+        assert!(store_exists(&dir));
         assert!(matches!(
             WalWriter::create(&dir, &sources()),
             Err(StoreError::AlreadyExists(_))
@@ -589,7 +1255,7 @@ mod tests {
         let dir = test_dir("wal-stale-snap");
         std::fs::create_dir_all(&dir).unwrap();
         // A snapshot from a previous incarnation, but no WAL (e.g. the
-        // user deleted wal.log to "reset" the store).
+        // user deleted the log to "reset" the store).
         write_snapshot(
             &dir,
             &["s".into()],
@@ -609,7 +1275,148 @@ mod tests {
     fn missing_wal_is_not_found() {
         let dir = test_dir("wal-missing");
         std::fs::create_dir_all(&dir).unwrap();
+        assert!(!store_exists(&dir));
         assert!(matches!(read_wal(&dir), Err(StoreError::NotFound(_))));
+    }
+
+    #[test]
+    fn orphan_segments_without_manifest_are_debris() {
+        // A run that died between creating seg 1 and writing manifest
+        // gen 1 left a segment but no manifest: not a store.
+        let dir = test_dir("wal-orphan-create");
+        std::fs::create_dir_all(wal_dir(&dir)).unwrap();
+        std::fs::write(segment_path(&dir, 1), b"half a header").unwrap();
+        assert!(!store_exists(&dir));
+        assert!(matches!(read_wal(&dir), Err(StoreError::NotFound(_))));
+        // Creation scrubs the debris and succeeds.
+        let mut w = WalWriter::create(&dir, &sources()).unwrap();
+        w.append_row(&[None, None]).unwrap();
+        drop(w);
+        assert_eq!(read_wal(&dir).unwrap().rows.len(), 1);
+    }
+
+    #[test]
+    fn rotation_spreads_rows_across_segments() {
+        let dir = test_dir("wal-rotate");
+        let mut w = WalWriter::create_with(
+            &dir,
+            &sources(),
+            WalOptions {
+                segment_bytes: 1, // rotate on every commit
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for row in sample_rows() {
+            w.append_row(&row).unwrap();
+        }
+        assert_eq!(w.segment_count(), 3, "each commit after the first rotates");
+        assert_eq!(w.rows(), 3);
+        drop(w);
+
+        let contents = read_wal(&dir).unwrap();
+        assert_eq!(contents.rows, sample_rows());
+        assert_eq!(contents.tail, WalTail::Clean);
+        assert_eq!(contents.segments.len(), 3);
+        assert_eq!(
+            contents
+                .segments
+                .iter()
+                .map(|s| s.first_row)
+                .collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        // Exactly one manifest generation survives steady state.
+        assert_eq!(manifest::list_manifests(&dir).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn resume_continues_in_final_segment() {
+        let dir = test_dir("wal-resume-seg");
+        let opts = WalOptions {
+            segment_bytes: 1,
+            ..Default::default()
+        };
+        let mut w = WalWriter::create_with(&dir, &sources(), opts.clone()).unwrap();
+        for row in sample_rows() {
+            w.append_row(&row).unwrap();
+        }
+        drop(w);
+        // Tear the final segment's last record.
+        let contents = read_wal(&dir).unwrap();
+        let last = contents.segments.last().unwrap().path.clone();
+        let bytes = std::fs::read(&last).unwrap();
+        std::fs::write(&last, &bytes[..bytes.len() - 3]).unwrap();
+
+        let contents = read_wal(&dir).unwrap();
+        assert_eq!(contents.rows.len(), 2);
+        assert!(matches!(contents.tail, WalTail::Torn { .. }));
+        let mut w = WalWriter::resume_contents(&dir, &contents, opts).unwrap();
+        assert_eq!(w.rows(), 2);
+        w.append_row(&[Some(Value::Int(9)), None]).unwrap();
+        drop(w);
+        let contents = read_wal(&dir).unwrap();
+        assert_eq!(contents.tail, WalTail::Clean);
+        assert_eq!(contents.rows.len(), 3);
+        assert_eq!(contents.rows[2], vec![Some(Value::Int(9)), None]);
+    }
+
+    #[test]
+    fn damage_in_sealed_segment_is_corrupt_and_non_resumable() {
+        let dir = test_dir("wal-sealed-damage");
+        let opts = WalOptions {
+            segment_bytes: 1,
+            ..Default::default()
+        };
+        let mut w = WalWriter::create_with(&dir, &sources(), opts.clone()).unwrap();
+        for row in sample_rows() {
+            w.append_row(&row).unwrap();
+        }
+        drop(w);
+        // Truncate the *middle* segment.
+        let middle = segment_path(&dir, 2);
+        let bytes = std::fs::read(&middle).unwrap();
+        std::fs::write(&middle, &bytes[..bytes.len() - 2]).unwrap();
+
+        let contents = read_wal(&dir).unwrap();
+        assert_eq!(contents.rows.len(), 1, "prefix before the damage survives");
+        assert!(
+            matches!(contents.tail, WalTail::Corrupt { .. }),
+            "tail: {:?}",
+            contents.tail
+        );
+        assert!(WalWriter::resume_contents(&dir, &contents, opts).is_err());
+    }
+
+    #[test]
+    fn failed_commit_retains_batch_for_retry() {
+        use crate::io::{Fault, FaultIo, FaultPlan};
+        let dir = test_dir("wal-retry");
+        // Ops: create dirs (0,1), open seg (2), header append (3),
+        // fsync (4), manifest open/append/fsync/rename (5-8). The
+        // first row append is op 9.
+        let io = FaultIo::new(FaultPlan::new().fail_at(9, Fault::TornWrite));
+        let mut w = WalWriter::create_with(
+            &dir,
+            &sources(),
+            WalOptions {
+                segment_bytes: DEFAULT_SEGMENT_BYTES,
+                io: Arc::new(io),
+            },
+        )
+        .unwrap();
+        w.stage_row(&[Some(Value::Int(1)), None]);
+        assert!(w.commit().is_err(), "torn append must surface");
+        assert_eq!(w.rows(), 0);
+        // Retry: truncates the torn prefix, rewrites the batch.
+        assert_eq!(w.commit().unwrap(), 1);
+        assert_eq!(w.rows(), 1);
+        w.append_row(&[None, Some(Value::Int(2))]).unwrap();
+        drop(w);
+        let contents = read_wal(&dir).unwrap();
+        assert_eq!(contents.tail, WalTail::Clean);
+        assert_eq!(contents.rows.len(), 2);
+        assert_eq!(contents.rows[0], vec![Some(Value::Int(1)), None]);
     }
 
     #[test]
@@ -620,7 +1427,7 @@ mod tests {
             w.append_row(&row).unwrap();
         }
         drop(w);
-        let path = wal_path(&dir);
+        let path = segment_path(&dir, 1);
         let full = std::fs::read(&path).unwrap();
 
         // Record boundaries, to classify expectations.
@@ -660,7 +1467,7 @@ mod tests {
             w.append_row(&row).unwrap();
         }
         drop(w);
-        let path = wal_path(&dir);
+        let path = segment_path(&dir, 1);
         let full = std::fs::read(&path).unwrap();
         let header_end = {
             let len = u32::from_le_bytes(full[0..4].try_into().unwrap()) as usize;
@@ -684,25 +1491,25 @@ mod tests {
     }
 
     #[test]
-    fn resume_truncates_torn_tail_and_appends() {
-        let dir = test_dir("wal-resume");
-        let mut w = WalWriter::create(&dir, &sources()).unwrap();
-        for row in sample_rows() {
-            w.append_row(&row).unwrap();
-        }
-        drop(w);
-        // Tear the last record.
+    fn legacy_store_reads_and_resumes() {
+        let dir = test_dir("wal-legacy");
+        make_legacy(&dir, &sample_rows());
+        let c = read_wal(&dir).unwrap();
+        assert_eq!(c.rows, sample_rows());
+        assert_eq!(c.tail, WalTail::Clean);
+        assert_eq!(c.segments.len(), 1);
+        assert_eq!(c.segments[0].seq, 0);
+
+        // Tear the last record; legacy resume truncates and appends.
         let path = wal_path(&dir);
         let full = std::fs::read(&path).unwrap();
         std::fs::write(&path, &full[..full.len() - 5]).unwrap();
-
         let c = read_wal(&dir).unwrap();
         assert_eq!(c.rows.len(), 2);
         let mut w = WalWriter::resume(&dir, c.valid_len, c.rows.len() as u64).unwrap();
         w.append_row(&[Some(Value::Int(9)), None]).unwrap();
         assert_eq!(w.rows(), 3);
         drop(w);
-
         let c = read_wal(&dir).unwrap();
         assert_eq!(c.tail, WalTail::Clean);
         assert_eq!(c.rows.len(), 3);
@@ -723,7 +1530,7 @@ mod tests {
             w.put_opt_value(&Some(Value::Int(1)));
             frame(&w.into_bytes())
         };
-        let path = wal_path(&dir);
+        let path = segment_path(&dir, 1);
         let mut bytes = std::fs::read(&path).unwrap();
         bytes.extend_from_slice(&bad);
         std::fs::write(&path, &bytes).unwrap();

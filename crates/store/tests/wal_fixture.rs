@@ -82,7 +82,9 @@ fn test_dir(name: &str) -> PathBuf {
 fn staging_path_reproduces_committed_fixture_bytes() {
     let dir = test_dir("write");
     write_store(&dir);
-    let written = std::fs::read(ec_store::wal_path(&dir)).unwrap();
+    // The fixture predates segmentation, but a segment's bytes are
+    // identical to the old single file: same header, same frames.
+    let written = std::fs::read(ec_store::segment_path(&dir, 1)).unwrap();
 
     let fixture = fixture_path();
     if std::env::var_os("EC_BLESS_FIXTURES").is_some() {

@@ -3,7 +3,7 @@
 //! appended, whatever the truncation point.
 
 use ec_events::Value;
-use ec_store::{read_wal, wal_path, Row, WalTail, WalWriter};
+use ec_store::{read_wal, segment_path, Row, WalTail, WalWriter};
 use proptest::prelude::*;
 use std::path::PathBuf;
 
@@ -94,7 +94,7 @@ proptest! {
             w.append_row(row).unwrap();
         }
         drop(w);
-        let path = wal_path(&dir);
+        let path = segment_path(&dir, 1);
         let full = std::fs::read(&path).unwrap();
         let header_len = {
             let len = u32::from_le_bytes(full[0..4].try_into().unwrap()) as usize;

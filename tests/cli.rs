@@ -329,6 +329,75 @@ fn stream_checkpoint_then_recover_then_resume() {
 }
 
 #[test]
+fn store_inspect_verify_compact() {
+    let store = std::env::temp_dir().join(format!("ec-cli-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store);
+    let spec_body = DURABLE_SPEC_TEMPLATE.replace("__DIR__", store.to_str().unwrap());
+    let path = write_spec("store-cli.xml", &spec_body);
+    let spec = path.to_str().unwrap();
+    let dir = store.to_str().unwrap();
+
+    // Build a real store: three sealed epochs (snapshot-every=2).
+    let out = ec_with_stdin(&["stream", spec], "tx,5\n\ntx,20\n\ntx,30\n\n");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // inspect shows the segmented layout end to end.
+    let out = ec(&["store", dir, "inspect"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("layout: segmented"), "{text}");
+    assert!(text.contains("committed phases: 3"), "{text}");
+    assert!(text.contains("seg-000000000001.log"), "{text}");
+    assert!(text.contains("resumable at phase 4"), "{text}");
+
+    // verify walks every CRC and reports a healthy store.
+    let out = ec(&["store", dir, "verify"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("OK"), "{text}");
+
+    // compact is safe to run any time (here nothing is dead yet:
+    // every segment still carries rows past the snapshot).
+    let out = ec(&["store", dir, "compact"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Flip one byte inside the segment: verify must exit nonzero.
+    let seg = store.join("wal").join("seg-000000000001.log");
+    let mut bytes = std::fs::read(&seg).unwrap();
+    let n = bytes.len();
+    bytes[n - 10] ^= 0xff;
+    std::fs::write(&seg, &bytes).unwrap();
+    let out = ec(&["store", dir, "verify"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("problem"), "{err}");
+
+    // Unknown action and missing store both fail cleanly.
+    let out = ec(&["store", dir, "frobnicate"]);
+    assert!(!out.status.success());
+    let out = ec(&["store", "/definitely/not/a/store", "verify"]);
+    assert!(!out.status.success());
+
+    let _ = std::fs::remove_dir_all(&store);
+}
+
+#[test]
 fn recover_errors_without_store() {
     let path = write_spec("recover-missing.xml", SPEC);
     let out = ec(&["recover", "/definitely/not/a/store", path.to_str().unwrap()]);
