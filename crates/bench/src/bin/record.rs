@@ -15,6 +15,11 @@
 //! * `store` — durability costs: per-commit WAL append latency against
 //!   a real segmented store (default batched-fsync cadence) and the
 //!   full-vs-delta snapshot cost through a durable runtime;
+//! * `wire` — the `ec serve` TCP path: the same tenant graph served by
+//!   a `WireServer` on an ephemeral port and loaded by real
+//!   `WireClient` producers (framing, CRC, striped ingest), at 1 and 4
+//!   tenants, with the 4-tenant run's merged end-to-end latency
+//!   percentiles;
 //! * `obs` — the observability overhead A/B: the 4-thread workload
 //!   with the flight recorder + `/metrics` endpoint + default causal
 //!   trace sampling on vs fully off, runs interleaved, with the
@@ -34,8 +39,9 @@
 //! median is reported.
 
 use ec_bench::{
-    drive_runtime, drive_runtime_parallel, drive_sessions, ingest_workload, runtime_workload,
-    runtime_workload_observed, session_workload, INGEST_EPOCH, RUNTIME_EPOCH,
+    drive_runtime, drive_runtime_parallel, drive_sessions, drive_wire, ingest_workload,
+    runtime_workload, runtime_workload_observed, session_workload, wire_workload, INGEST_EPOCH,
+    RUNTIME_EPOCH, WIRE_BATCH,
 };
 use std::io::Write;
 use std::time::Instant;
@@ -48,6 +54,8 @@ const SESSION_THREADS: [usize; 2] = [4, 8];
 const INGEST_PRODUCERS: [usize; 4] = [1, 2, 4, 8];
 const INGEST_THREADS: usize = 4;
 const SESSION_TENANTS: usize = 8;
+const WIRE_TENANTS: [usize; 2] = [1, 4];
+const WIRE_THREADS: usize = 4;
 const DEFAULT_EVENTS: u64 = 20_000;
 const TIMED_RUNS: usize = 3;
 /// Paired rounds of the observability A/B. More than [`TIMED_RUNS`]
@@ -205,6 +213,35 @@ fn measure_sessions(threads: usize, tenants: usize, events: u64) -> f64 {
             })
             .collect(),
     )
+}
+
+/// The wire-serving path over real TCP: per-pass server + producer
+/// connections, rate measured over the events the server acked. Also
+/// returns the final pass's tenant-0 metrics snapshot, whose merged
+/// end-to-end percentiles cover the socket→retire path.
+fn measure_wire(tenants: usize, events: u64) -> (f64, ec_core::MetricsSnapshot) {
+    {
+        let server = wire_workload(WIRE_THREADS, tenants);
+        drive_wire(&server, events.min(2_000));
+        for (name, report) in server.shutdown() {
+            report.unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+    let mut sample = ec_core::MetricsSnapshot::default();
+    let rates = (0..TIMED_RUNS)
+        .map(|_| {
+            let server = wire_workload(WIRE_THREADS, tenants);
+            let start = Instant::now();
+            let acked = drive_wire(&server, events);
+            let elapsed = start.elapsed().as_secs_f64();
+            sample = server.tenant("tenant-0").expect("tenant exists").metrics();
+            for (name, report) in server.shutdown() {
+                report.unwrap_or_else(|e| panic!("{name}: {e}"));
+            }
+            acked as f64 / elapsed
+        })
+        .collect();
+    (median(rates), sample)
 }
 
 fn percentile(sorted: &[u64], p: f64) -> u64 {
@@ -370,6 +407,18 @@ fn main() {
         ));
     }
     let store = measure_store(events);
+    let mut wire = Vec::new();
+    let mut wire_sample = ec_core::MetricsSnapshot::default();
+    for &tenants in &WIRE_TENANTS {
+        let (rate, sample) = measure_wire(tenants, events);
+        eprintln!("wire: tenants={tenants} threads={WIRE_THREADS}: {rate:.0} events/s over TCP");
+        wire.push(format!(
+            "      {{\"tenants\": {tenants}, \"threads\": {WIRE_THREADS}, \
+             \"events_per_sec\": {rate:.1}}}"
+        ));
+        wire_sample = sample;
+    }
+    let wire_e2e = wire_sample.latency.e2e_merged();
     let mut sessions = Vec::new();
     for &threads in &SESSION_THREADS {
         let rate = measure_sessions(threads, SESSION_TENANTS, events);
@@ -388,6 +437,8 @@ fn main() {
          \"timed_runs\": {TIMED_RUNS},\n    \
          \"results\": [\n{}\n    ],\n    \"ingest\": [\n{}\n    ],\n    \
          \"sessions\": [\n{}\n    ],\n    \
+         \"wire\": {{\"batch\": {WIRE_BATCH}, \"results\": [\n{}\n    ], \
+         \"e2e_us\": {{\"count\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}}}}},\n    \
          \"store\": {store},\n    \
          \"metrics\": {},\n    \
          \"obs\": {{\"threads\": {OBS_THREADS}, \"ab_runs\": {OBS_AB_RUNS}, \
@@ -399,6 +450,11 @@ fn main() {
         results.join(",\n"),
         ingest.join(",\n"),
         sessions.join(",\n"),
+        wire.join(",\n"),
+        wire_e2e.count(),
+        wire_e2e.p50() / 1_000,
+        wire_e2e.p95() / 1_000,
+        wire_e2e.p99() / 1_000,
         metrics_sample.to_json(),
         e2e.count(),
         e2e.p50() / 1_000,

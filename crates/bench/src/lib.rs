@@ -252,6 +252,91 @@ pub fn drive_sessions(sessions: &[ec_runtime::Session], events: u64) {
     }
 }
 
+/// Events per `PushBatch` frame in the wire loadgen — the wire-level
+/// batching that amortizes the per-frame round trip.
+pub const WIRE_BATCH: usize = 64;
+
+/// The wire-serving workload: `tenants` copies of the
+/// [`runtime_workload`] graph opened on one shared pool and exposed
+/// over TCP by a [`WireServer`](ec_runtime::WireServer) on an
+/// ephemeral port — the full `ec serve` path (framing, CRC, striped
+/// ingest, epoch seals) that [`drive_wire`] loads from real sockets.
+pub fn wire_workload(threads: usize, tenants: usize) -> ec_runtime::WireServer {
+    use ec_fusion::operators::moving::MovingAverage;
+    use ec_fusion::operators::threshold::Threshold;
+    let pool = ec_runtime::SessionPool::builder()
+        .threads(threads)
+        .max_sessions(tenants)
+        .build();
+    let sessions = (0..tenants)
+        .map(|t| {
+            let mut b = ec_runtime::StreamRuntime::builder()
+                .epoch_policy(ec_runtime::EpochPolicy::ByCount(RUNTIME_EPOCH))
+                .record_history(false)
+                .record_script(false)
+                .max_inflight(64);
+            let s1 = b.live_source("s1");
+            let s2 = b.live_source("s2");
+            let sum = b.add("sum", Aggregate::sum(), &[s1, s2]);
+            let avg = b.add("avg", MovingAverage::new(8), &[sum]);
+            let _alarm = b.add("alarm", Threshold::above(900.0), &[avg]);
+            pool.open(format!("tenant-{t}"), b).expect("session opens")
+        })
+        .collect();
+    ec_runtime::WireServer::builder()
+        .bind("127.0.0.1:0", pool, sessions)
+        .expect("wire server binds")
+}
+
+/// Drives a [`wire_workload`] server over real TCP: one producer
+/// connection per tenant, `events` split evenly, pushed as
+/// [`WIRE_BATCH`]-event frames alternating between the two sources,
+/// with a final seal per tenant. Blocks until every tenant has
+/// retired all committed phases; returns the total events the server
+/// acked.
+pub fn drive_wire(server: &ec_runtime::WireServer, events: u64) -> u64 {
+    use ec_runtime::serve::Role;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    let addr = server.local_addr().to_string();
+    let names = server.tenant_names();
+    let per_tenant = events / names.len() as u64;
+    let acked = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for name in &names {
+            let (addr, acked) = (&addr, &acked);
+            scope.spawn(move || {
+                let mut client =
+                    ec_runtime::WireClient::connect(addr.as_str(), "", name, Role::Producer)
+                        .expect("producer connects");
+                let s1 = client.source_index("s1").unwrap();
+                let s2 = client.source_index("s2").unwrap();
+                let mut batch = Vec::with_capacity(WIRE_BATCH);
+                let mut sent = 0u64;
+                let mut source = s1;
+                while sent < per_tenant {
+                    batch.clear();
+                    while batch.len() < WIRE_BATCH && sent < per_tenant {
+                        batch.push(ec_events::Value::Float((sent % 1000) as f64));
+                        sent += 1;
+                    }
+                    let got = client.push_batch(source, &batch).expect("batch acked");
+                    acked.fetch_add(got as u64, Ordering::Relaxed);
+                    source = if source == s1 { s2 } else { s1 };
+                }
+                client.seal().expect("final seal");
+            });
+        }
+    });
+    for name in &names {
+        server
+            .tenant(name)
+            .expect("tenant exists")
+            .wait_idle()
+            .expect("tenant drains");
+    }
+    acked.load(std::sync::atomic::Ordering::Relaxed)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -291,6 +376,19 @@ mod tests {
         assert!(rows.iter().all(|r| r.events_committed == 100));
         for s in sessions {
             s.close().unwrap();
+        }
+    }
+
+    #[test]
+    fn wire_workload_runs() {
+        let server = wire_workload(2, 2);
+        let acked = drive_wire(&server, 400);
+        assert_eq!(acked, 400);
+        let stats = server.stats();
+        assert_eq!(stats.events_in, 400);
+        assert_eq!(stats.connections_total, 2);
+        for (name, report) in server.shutdown() {
+            report.unwrap_or_else(|e| panic!("{name}: {e}"));
         }
     }
 

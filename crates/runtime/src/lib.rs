@@ -73,6 +73,7 @@ pub mod obs;
 mod policy;
 mod runtime;
 mod script;
+pub mod serve;
 pub mod sessions;
 
 pub use ec_obs::{HealthConfig, HealthReport, LaneHealth, Verdict};
@@ -84,4 +85,5 @@ pub use runtime::{
     StreamRuntimeBuilder,
 };
 pub use script::PhaseScript;
+pub use serve::{WireClient, WireServer, WireServerBuilder};
 pub use sessions::{Session, SessionMetrics, SessionPool, SessionPoolBuilder};

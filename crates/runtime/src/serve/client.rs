@@ -1,0 +1,184 @@
+//! A blocking client for the `ec serve` wire protocol — the loadgen
+//! (`ec-bench`), the `ec push` CLI, the examples, and the test battery
+//! all speak through this one implementation.
+
+use super::wire::{self, FlowState, Frame, Role, WireAlarm, WireError};
+use ec_events::Value;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// One authenticated wire connection (producer or subscriber).
+///
+/// The protocol is synchronous per connection: a producer sends a
+/// frame and reads until its reply arrives, treating interleaved
+/// [`FlowControl`](Frame::FlowControl) frames as backpressure
+/// bookkeeping (counted in [`blocks_seen`](Self::blocks_seen)) rather
+/// than replies. Wire-level batching
+/// ([`push_batch`](Self::push_batch)) amortizes the round trip over
+/// many events.
+pub struct WireClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    tenant: String,
+    sources: Vec<String>,
+    next_seq: u64,
+    blocks_seen: u64,
+}
+
+impl WireClient {
+    /// Connects, exchanges preambles, and authenticates to `tenant` as
+    /// `role`. A refusal (bad token, unknown tenant, version skew)
+    /// surfaces as [`WireError::Refused`].
+    pub fn connect(
+        addr: impl ToSocketAddrs,
+        token: &str,
+        tenant: &str,
+        role: Role,
+    ) -> Result<WireClient, WireError> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        let mut writer = BufWriter::new(stream.try_clone()?);
+        let mut reader = BufReader::new(stream);
+        wire::write_preamble(&mut writer)?;
+        writer.flush().map_err(WireError::Io)?;
+        wire::write_frame(
+            &mut writer,
+            &Frame::Hello {
+                token: token.into(),
+                tenant: tenant.into(),
+                role,
+            },
+        )?;
+        wire::read_preamble(&mut reader)?;
+        match wire::read_frame(&mut reader)? {
+            Frame::HelloOk { tenant, sources } => Ok(WireClient {
+                reader,
+                writer,
+                tenant,
+                sources,
+                next_seq: 0,
+                blocks_seen: 0,
+            }),
+            Frame::Error { reason } => Err(WireError::Refused(reason)),
+            _ => Err(WireError::Unexpected("expected HelloOk or Error")),
+        }
+    }
+
+    /// The tenant this connection serves.
+    pub fn tenant(&self) -> &str {
+        &self.tenant
+    }
+
+    /// The tenant's live sources in wiring order —
+    /// [`push_batch`](Self::push_batch)'s `source` indexes this list.
+    pub fn sources(&self) -> &[String] {
+        &self.sources
+    }
+
+    /// Index of a source by name.
+    pub fn source_index(&self, name: &str) -> Option<u32> {
+        self.sources
+            .iter()
+            .position(|s| s == name)
+            .map(|i| i as u32)
+    }
+
+    /// `FlowControl(Block)` frames observed so far — each one is a
+    /// backpressure episode the server surfaced explicitly.
+    pub fn blocks_seen(&self) -> u64 {
+        self.blocks_seen
+    }
+
+    /// Pushes a batch of events for one source and waits for the ack.
+    /// Returns the number of events the server accepted into the
+    /// source's striped buffer.
+    pub fn push_batch(&mut self, source: u32, values: &[Value]) -> Result<u32, WireError> {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let bins = values.iter().cloned().map(Some).collect();
+        wire::write_frame(&mut self.writer, &Frame::PushBatch { seq, source, bins })?;
+        loop {
+            match self.read_counted()? {
+                Frame::PushAck { seq: got, accepted } => {
+                    if got != seq {
+                        return Err(WireError::Unexpected("ack for a different batch"));
+                    }
+                    return Ok(accepted);
+                }
+                Frame::FlowControl { state, .. } => {
+                    if state == FlowState::Block {
+                        self.blocks_seen += 1;
+                    }
+                }
+                Frame::Error { reason } => return Err(WireError::Refused(reason)),
+                _ => return Err(WireError::Unexpected("expected PushAck")),
+            }
+        }
+    }
+
+    /// Seals the tenant's current epoch; returns the phases committed.
+    pub fn seal(&mut self) -> Result<u64, WireError> {
+        wire::write_frame(&mut self.writer, &Frame::Seal)?;
+        loop {
+            match self.read_counted()? {
+                Frame::SealOk { phases } => return Ok(phases),
+                Frame::FlowControl { state, .. } => {
+                    if state == FlowState::Block {
+                        self.blocks_seen += 1;
+                    }
+                }
+                Frame::Error { reason } => return Err(WireError::Refused(reason)),
+                _ => return Err(WireError::Unexpected("expected SealOk")),
+            }
+        }
+    }
+
+    /// Fetches the tenant's metrics row as JSON.
+    pub fn metrics_json(&mut self) -> Result<String, WireError> {
+        wire::write_frame(&mut self.writer, &Frame::MetricsRequest)?;
+        match self.read_counted()? {
+            Frame::MetricsReply { json } => Ok(json),
+            Frame::Error { reason } => Err(WireError::Refused(reason)),
+            _ => Err(WireError::Unexpected("expected MetricsReply")),
+        }
+    }
+
+    /// Asks the server to shut down; resolves once acknowledged.
+    pub fn shutdown_server(&mut self) -> Result<(), WireError> {
+        wire::write_frame(&mut self.writer, &Frame::Shutdown)?;
+        match self.read_counted()? {
+            Frame::ShutdownOk => Ok(()),
+            Frame::Error { reason } => Err(WireError::Refused(reason)),
+            _ => Err(WireError::Unexpected("expected ShutdownOk")),
+        }
+    }
+
+    /// Starts the alarm stream on a subscriber connection; follow with
+    /// [`next_alarms`](Self::next_alarms). Resolves once the server has
+    /// registered the subscription, so any phase retired after this
+    /// returns is guaranteed to be delivered (or the connection
+    /// dropped) — no registration race against producers.
+    pub fn subscribe(&mut self) -> Result<(), WireError> {
+        wire::write_frame(&mut self.writer, &Frame::SubscribeAlarms)?;
+        match self.read_counted()? {
+            Frame::SubscribeOk => Ok(()),
+            Frame::Error { reason } => Err(WireError::Refused(reason)),
+            _ => Err(WireError::Unexpected("expected SubscribeOk")),
+        }
+    }
+
+    /// Blocks for the next batch of retired-phase alarms, in serial
+    /// order. A server-side disconnect (e.g. this reader was too slow)
+    /// surfaces as [`WireError::Refused`] or a disconnect I/O error.
+    pub fn next_alarms(&mut self) -> Result<Vec<WireAlarm>, WireError> {
+        match self.read_counted()? {
+            Frame::AlarmBatch { alarms } => Ok(alarms),
+            Frame::Error { reason } => Err(WireError::Refused(reason)),
+            _ => Err(WireError::Unexpected("expected AlarmBatch")),
+        }
+    }
+
+    fn read_counted(&mut self) -> Result<Frame, WireError> {
+        wire::read_frame(&mut self.reader)
+    }
+}

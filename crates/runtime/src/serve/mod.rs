@@ -1,0 +1,926 @@
+//! # `ec serve` — the TCP front end
+//!
+//! Nothing outside the process could reach the runtime before this
+//! module: traffic entered via stdin or in-process callers only. A
+//! [`WireServer`] puts a socket in front of a [`SessionPool`]: one
+//! long-running listener serving many tenants, speaking the
+//! length-prefixed, CRC-framed binary protocol of [`wire`].
+//!
+//! ## Connection model
+//!
+//! Every connection opens with the versioned preamble and a
+//! [`Hello`](wire::Frame::Hello) that authenticates it to one tenant
+//! (token + tenant name) as either a **producer** or a **subscriber**:
+//!
+//! * Producer connections push [`PushBatch`](wire::Frame::PushBatch)
+//!   frames — wire-level batching amortizes syscalls — that land on
+//!   the tenant's per-source striped ingest buffers in FIFO order.
+//!   Each fully-buffered batch is acknowledged with a
+//!   [`PushAck`](wire::Frame::PushAck); a producer that disconnects
+//!   mid-epoch therefore commits a clean FIFO prefix of its
+//!   acknowledged pushes (a torn frame is discarded whole, never
+//!   half-applied). When a source's buffer fills under
+//!   [`Backpressure::Reject`](crate::Backpressure::Reject) the server
+//!   sends an explicit [`FlowControl`](wire::Frame::FlowControl)
+//!   `Block` frame — not a silent TCP stall — keeps the pending event,
+//!   retries it, and sends `Open` when it lands.
+//!   [`Seal`](wire::Frame::Seal) is the remote
+//!   [`flush`](crate::StreamRuntime::flush).
+//! * Subscriber connections send
+//!   [`SubscribeAlarms`](wire::Frame::SubscribeAlarms) once and then
+//!   stream [`AlarmBatch`](wire::Frame::AlarmBatch) frames: retired
+//!   sink emissions in serial (phase, vertex) order — exactly the
+//!   sequential oracle's output order. Each subscriber owns a bounded
+//!   buffer fed by the tenant's delivery loop; a reader too slow to
+//!   drain it is disconnected (with an [`Error`](wire::Frame::Error)
+//!   frame) rather than allowed to wedge retirement.
+//!
+//! Tenancy, fairness, durability, and observability are all the
+//! session layer's: tenants keep their weighted lanes, per-tenant
+//! durable stores, and `/metrics` + `/healthz` rows
+//! ([`WireServerBuilder::metrics_addr`] binds the pool's endpoint with
+//! the wire transport's per-connection series appended).
+
+pub mod wire;
+
+mod client;
+
+pub use client::WireClient;
+pub use wire::{FlowState, Frame, Role, WireAlarm, WireError};
+
+use crate::error::PushError;
+use crate::runtime::{RuntimeReport, SourceHandle, StreamRuntime};
+use crate::sessions::{Session, SessionPool};
+use crate::RuntimeError;
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How long a producer retry or subscriber drain sleeps between
+/// checks; bounds shutdown latency.
+const POLL: Duration = Duration::from_millis(1);
+
+/// Counters of the wire transport, rendered onto the pool's `/metrics`
+/// page as `ec_wire_*` series.
+#[derive(Debug, Default)]
+struct WireStats {
+    connections_total: AtomicU64,
+    producers_open: AtomicU64,
+    subscribers_open: AtomicU64,
+    frames_in: AtomicU64,
+    frames_out: AtomicU64,
+    events_in: AtomicU64,
+    alarms_out: AtomicU64,
+    flow_blocks: AtomicU64,
+    refused: AtomicU64,
+}
+
+/// A point-in-time copy of the wire transport counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WireStatsSnapshot {
+    /// Connections accepted since bind (any outcome).
+    pub connections_total: u64,
+    /// Producer connections currently authenticated.
+    pub producers_open: u64,
+    /// Subscriber connections currently authenticated.
+    pub subscribers_open: u64,
+    /// Frames read from clients.
+    pub frames_in: u64,
+    /// Frames written to clients.
+    pub frames_out: u64,
+    /// Events accepted into striped ingest buffers.
+    pub events_in: u64,
+    /// Alarms streamed to subscribers.
+    pub alarms_out: u64,
+    /// `FlowControl(Block)` frames sent (backpressure episodes).
+    pub flow_blocks: u64,
+    /// Hellos refused (bad token / unknown tenant / bad preamble).
+    pub refused: u64,
+}
+
+impl WireStats {
+    fn snapshot(&self) -> WireStatsSnapshot {
+        WireStatsSnapshot {
+            connections_total: self.connections_total.load(Relaxed),
+            producers_open: self.producers_open.load(Relaxed),
+            subscribers_open: self.subscribers_open.load(Relaxed),
+            frames_in: self.frames_in.load(Relaxed),
+            frames_out: self.frames_out.load(Relaxed),
+            events_in: self.events_in.load(Relaxed),
+            alarms_out: self.alarms_out.load(Relaxed),
+            flow_blocks: self.flow_blocks.load(Relaxed),
+            refused: self.refused.load(Relaxed),
+        }
+    }
+
+    fn render(&self, page: &mut ec_obs::PromText) {
+        let s = self.snapshot();
+        page.counter(
+            "ec_wire_connections_total",
+            "Wire connections accepted since bind",
+            &[],
+            s.connections_total,
+        );
+        page.gauge(
+            "ec_wire_connections_open",
+            "Authenticated wire connections by role",
+            &[("role", "producer")],
+            s.producers_open as f64,
+        );
+        page.gauge(
+            "ec_wire_connections_open",
+            "Authenticated wire connections by role",
+            &[("role", "subscriber")],
+            s.subscribers_open as f64,
+        );
+        page.counter(
+            "ec_wire_frames_total",
+            "Wire frames by direction",
+            &[("dir", "in")],
+            s.frames_in,
+        );
+        page.counter(
+            "ec_wire_frames_total",
+            "Wire frames by direction",
+            &[("dir", "out")],
+            s.frames_out,
+        );
+        page.counter(
+            "ec_wire_events_total",
+            "Events accepted into striped ingest buffers over the wire",
+            &[],
+            s.events_in,
+        );
+        page.counter(
+            "ec_wire_alarms_total",
+            "Retired-phase alarms streamed to subscribers",
+            &[],
+            s.alarms_out,
+        );
+        page.counter(
+            "ec_wire_flow_blocks_total",
+            "FlowControl(Block) frames sent (backpressure episodes)",
+            &[],
+            s.flow_blocks,
+        );
+        page.counter(
+            "ec_wire_refused_total",
+            "Hellos refused (bad token, unknown tenant, bad preamble)",
+            &[],
+            s.refused,
+        );
+    }
+}
+
+/// Outcome of one subscriber drain attempt.
+enum Drained {
+    /// Alarms, oldest first (possibly after a short wait).
+    Batch(Vec<WireAlarm>),
+    /// Nothing arrived within the timeout.
+    Empty,
+    /// The slot overflowed: the reader was too slow.
+    Overflowed,
+}
+
+/// Per-tenant fan-out from the runtime's serial delivery loop to any
+/// number of bounded subscriber slots. `publish` runs on the delivery
+/// thread and never blocks: a full slot is marked overflowed (its
+/// connection is then dropped) instead of wedging retirement.
+struct Hub {
+    inner: Mutex<HubInner>,
+    cv: Condvar,
+}
+
+#[derive(Default)]
+struct HubInner {
+    slots: Vec<Slot>,
+    next: u64,
+}
+
+struct Slot {
+    id: u64,
+    cap: usize,
+    queue: VecDeque<WireAlarm>,
+    overflowed: bool,
+}
+
+impl Hub {
+    fn new() -> Arc<Hub> {
+        Arc::new(Hub {
+            inner: Mutex::new(HubInner::default()),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn publish(&self, alarm: &WireAlarm) {
+        let mut inner = self.inner.lock();
+        for slot in &mut inner.slots {
+            if slot.overflowed {
+                continue;
+            }
+            if slot.queue.len() >= slot.cap {
+                slot.overflowed = true;
+                slot.queue.clear();
+            } else {
+                slot.queue.push_back(alarm.clone());
+            }
+        }
+        drop(inner);
+        self.cv.notify_all();
+    }
+
+    fn register(&self, cap: usize) -> u64 {
+        let mut inner = self.inner.lock();
+        let id = inner.next;
+        inner.next += 1;
+        inner.slots.push(Slot {
+            id,
+            cap: cap.max(1),
+            queue: VecDeque::new(),
+            overflowed: false,
+        });
+        id
+    }
+
+    fn unregister(&self, id: u64) {
+        self.inner.lock().slots.retain(|s| s.id != id);
+    }
+
+    fn drain(&self, id: u64, max: usize, timeout: Duration) -> Drained {
+        let mut inner = self.inner.lock();
+        for waited in [false, true] {
+            let Some(slot) = inner.slots.iter_mut().find(|s| s.id == id) else {
+                return Drained::Empty;
+            };
+            if slot.overflowed {
+                return Drained::Overflowed;
+            }
+            if !slot.queue.is_empty() {
+                let n = slot.queue.len().min(max);
+                return Drained::Batch(slot.queue.drain(..n).collect());
+            }
+            if waited {
+                break;
+            }
+            self.cv.wait_for(&mut inner, timeout);
+        }
+        Drained::Empty
+    }
+}
+
+/// One served tenant: its session plus the wiring the handlers need.
+struct Tenant {
+    name: String,
+    session: Session,
+    sources: Vec<String>,
+    handles: Vec<SourceHandle>,
+    hub: Arc<Hub>,
+}
+
+struct ServerCtx {
+    tenants: HashMap<String, Arc<Tenant>>,
+    /// Tenant names in opening order (shutdown closes in this order).
+    order: Vec<String>,
+    token: String,
+    stop: AtomicBool,
+    local_addr: SocketAddr,
+    conns: Mutex<Vec<TcpStream>>,
+    handlers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    stats: WireStats,
+    pool: SessionPool,
+    subscriber_buffer: usize,
+    alarm_batch: usize,
+}
+
+impl ServerCtx {
+    /// Asks the accept loop to exit: set the flag, then poke the
+    /// listener with a throwaway connection so `accept` returns.
+    fn request_stop(&self) {
+        self.stop.store(true, Relaxed);
+        let _ = TcpStream::connect(self.local_addr);
+    }
+}
+
+/// Configuration for a [`WireServer`].
+#[derive(Debug, Clone)]
+pub struct WireServerBuilder {
+    token: String,
+    metrics_addr: Option<String>,
+    subscriber_buffer: usize,
+    alarm_batch: usize,
+}
+
+impl Default for WireServerBuilder {
+    fn default() -> WireServerBuilder {
+        WireServerBuilder {
+            token: String::new(),
+            metrics_addr: None,
+            subscriber_buffer: 1024,
+            alarm_batch: 256,
+        }
+    }
+}
+
+impl WireServerBuilder {
+    /// Requires every `Hello` to carry this token (default: open, any
+    /// token accepted).
+    pub fn token(mut self, token: impl Into<String>) -> Self {
+        self.token = token.into();
+        self
+    }
+
+    /// Also binds the pool's `/metrics` + `/healthz` endpoint at
+    /// `addr` (port 0 picks a free one), with the wire transport's
+    /// `ec_wire_*` series appended to every scrape.
+    pub fn metrics_addr(mut self, addr: impl Into<String>) -> Self {
+        self.metrics_addr = Some(addr.into());
+        self
+    }
+
+    /// Alarms buffered per subscriber before it is declared too slow
+    /// and disconnected (default 1024, minimum 1).
+    pub fn subscriber_buffer(mut self, n: usize) -> Self {
+        self.subscriber_buffer = n.max(1);
+        self
+    }
+
+    /// Maximum alarms per `AlarmBatch` frame (default 256).
+    pub fn alarm_batch(mut self, n: usize) -> Self {
+        self.alarm_batch = n.max(1);
+        self
+    }
+
+    /// Binds the wire listener at `addr` (port 0 picks a free one) and
+    /// starts serving `sessions` — tenants already opened on `pool`.
+    /// The server takes ownership of both; [`WireServer::shutdown`]
+    /// closes them cleanly.
+    pub fn bind(
+        self,
+        addr: &str,
+        pool: SessionPool,
+        sessions: Vec<Session>,
+    ) -> Result<WireServer, RuntimeError> {
+        if sessions.is_empty() {
+            return Err(RuntimeError::Config(
+                "a wire server needs at least one tenant session".into(),
+            ));
+        }
+        let mut tenants = HashMap::new();
+        let mut order = Vec::new();
+        for session in sessions {
+            let name = session.name().to_string();
+            let sources = session.live_source_names();
+            let handles = sources
+                .iter()
+                .map(|s| session.handle_by_name(s))
+                .collect::<Result<Vec<_>, _>>()?;
+            let hub = Hub::new();
+            let pub_hub = Arc::clone(&hub);
+            session.subscribe(move |e| {
+                pub_hub.publish(&WireAlarm {
+                    phase: e.phase,
+                    sink: e.name.to_string(),
+                    value: e.value.clone(),
+                });
+            });
+            order.push(name.clone());
+            tenants.insert(
+                name.clone(),
+                Arc::new(Tenant {
+                    name,
+                    session,
+                    sources,
+                    handles,
+                    hub,
+                }),
+            );
+        }
+        let listener = TcpListener::bind(addr)
+            .map_err(|e| RuntimeError::Config(format!("wire endpoint {addr}: {e}")))?;
+        let local_addr = listener
+            .local_addr()
+            .map_err(|e| RuntimeError::Config(format!("wire endpoint {addr}: {e}")))?;
+        let ctx = Arc::new(ServerCtx {
+            tenants,
+            order,
+            token: self.token,
+            stop: AtomicBool::new(false),
+            local_addr,
+            conns: Mutex::new(Vec::new()),
+            handlers: Mutex::new(Vec::new()),
+            stats: WireStats::default(),
+            pool,
+            subscriber_buffer: self.subscriber_buffer,
+            alarm_batch: self.alarm_batch,
+        });
+        let metrics_addr = match &self.metrics_addr {
+            Some(addr) => {
+                let stats_ctx = Arc::clone(&ctx);
+                Some(
+                    ctx.pool
+                        .serve_metrics_with(addr, move |page| stats_ctx.stats.render(page))?,
+                )
+            }
+            None => None,
+        };
+        let accept_ctx = Arc::clone(&ctx);
+        let listener_thread = std::thread::Builder::new()
+            .name("ec-wire-accept".into())
+            .spawn(move || accept_loop(listener, accept_ctx))
+            .map_err(|e| RuntimeError::Config(format!("spawn accept loop: {e}")))?;
+        Ok(WireServer {
+            ctx: Some(ctx),
+            listener_thread: Some(listener_thread),
+            local_addr,
+            metrics_addr,
+        })
+    }
+}
+
+/// A live TCP front end over a [`SessionPool`]. See the module docs
+/// for the connection model.
+///
+/// Dropping the server without calling [`shutdown`](Self::shutdown)
+/// stops the listener and *drops* the tenant sessions — the simulated
+/// crash of [`Session`]'s drop semantics. Durable tenants restore on
+/// the next bind.
+pub struct WireServer {
+    ctx: Option<Arc<ServerCtx>>,
+    listener_thread: Option<std::thread::JoinHandle<()>>,
+    local_addr: SocketAddr,
+    metrics_addr: Option<SocketAddr>,
+}
+
+/// Read-only view of one served tenant; derefs to its
+/// [`StreamRuntime`] for observation (`metrics`, `script`,
+/// `wait_idle`, …).
+pub struct ServedTenant {
+    inner: Arc<Tenant>,
+}
+
+impl std::ops::Deref for ServedTenant {
+    type Target = StreamRuntime;
+
+    fn deref(&self) -> &StreamRuntime {
+        &self.inner.session
+    }
+}
+
+impl WireServer {
+    /// A fresh configuration.
+    pub fn builder() -> WireServerBuilder {
+        WireServerBuilder::default()
+    }
+
+    /// The bound wire address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The bound `/metrics` + `/healthz` address, if configured.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
+    }
+
+    /// Tenant names, in opening order.
+    pub fn tenant_names(&self) -> Vec<String> {
+        self.ctx.as_ref().map_or_else(Vec::new, |c| c.order.clone())
+    }
+
+    /// Observation handle on one tenant's runtime.
+    pub fn tenant(&self, name: &str) -> Option<ServedTenant> {
+        let ctx = self.ctx.as_ref()?;
+        ctx.tenants.get(name).map(|t| ServedTenant {
+            inner: Arc::clone(t),
+        })
+    }
+
+    /// Wire transport counters.
+    pub fn stats(&self) -> WireStatsSnapshot {
+        self.ctx
+            .as_ref()
+            .map(|c| c.stats.snapshot())
+            .unwrap_or_default()
+    }
+
+    /// True once a shutdown was requested — by [`shutdown`](Self::shutdown)
+    /// or by a client's [`Shutdown`](wire::Frame::Shutdown) frame. The
+    /// owner should then call [`shutdown`](Self::shutdown).
+    pub fn stop_requested(&self) -> bool {
+        self.ctx.as_ref().is_some_and(|c| c.stop.load(Relaxed))
+    }
+
+    /// Stops accepting, disconnects every client, joins the handler
+    /// threads, closes every tenant session cleanly (in opening
+    /// order), and shuts the pool down. Returns one report per tenant.
+    ///
+    /// A tenant still held as a [`ServedTenant`] elsewhere cannot be
+    /// closed cleanly; it is crash-dropped (durable tenants restore)
+    /// and reported as an error row.
+    pub fn shutdown(mut self) -> Vec<(String, Result<RuntimeReport, RuntimeError>)> {
+        let ctx = match self.teardown() {
+            Some(ctx) => ctx,
+            None => return Vec::new(),
+        };
+        let mut ctx = match Arc::try_unwrap(ctx) {
+            Ok(ctx) => ctx,
+            Err(_) => return Vec::new(), // a leaked handle keeps everything alive
+        };
+        let mut reports = Vec::new();
+        for name in std::mem::take(&mut ctx.order) {
+            let Some(tenant) = ctx.tenants.remove(&name) else {
+                continue;
+            };
+            match Arc::try_unwrap(tenant) {
+                Ok(t) => reports.push((name, t.session.close())),
+                Err(_held) => reports.push((
+                    name.clone(),
+                    Err(RuntimeError::Config(format!(
+                        "tenant {name:?} still observed; crash-dropped instead of closed"
+                    ))),
+                )),
+            }
+        }
+        ctx.pool.shutdown();
+        reports
+    }
+
+    /// Stops the listener and connection threads and returns the ctx;
+    /// shared by `shutdown` and `Drop`.
+    fn teardown(&mut self) -> Option<Arc<ServerCtx>> {
+        let ctx = self.ctx.take()?;
+        ctx.request_stop();
+        for conn in ctx.conns.lock().drain(..) {
+            let _ = conn.shutdown(std::net::Shutdown::Both);
+        }
+        if let Some(t) = self.listener_thread.take() {
+            let _ = t.join();
+        }
+        let handlers: Vec<_> = ctx.handlers.lock().drain(..).collect();
+        for h in handlers {
+            let _ = h.join();
+        }
+        Some(ctx)
+    }
+}
+
+impl Drop for WireServer {
+    fn drop(&mut self) {
+        let _ = self.teardown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, ctx: Arc<ServerCtx>) {
+    loop {
+        let (stream, _) = match listener.accept() {
+            Ok(pair) => pair,
+            Err(_) => {
+                if ctx.stop.load(Relaxed) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if ctx.stop.load(Relaxed) {
+            return;
+        }
+        if let Ok(clone) = stream.try_clone() {
+            ctx.conns.lock().push(clone);
+        }
+        let conn_ctx = Arc::clone(&ctx);
+        let spawned = std::thread::Builder::new()
+            .name("ec-wire-conn".into())
+            .spawn(move || handle_conn(conn_ctx, stream));
+        if let Ok(h) = spawned {
+            ctx.handlers.lock().push(h);
+        }
+    }
+}
+
+/// Decrements an open-connection gauge on scope exit.
+struct OpenGuard<'a>(&'a AtomicU64);
+
+impl Drop for OpenGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Relaxed);
+    }
+}
+
+/// Sends one frame, counting it; false means the connection is gone.
+fn send(ctx: &ServerCtx, w: &mut impl Write, frame: &Frame) -> bool {
+    match wire::write_frame(w, frame) {
+        Ok(()) => {
+            ctx.stats.frames_out.fetch_add(1, Relaxed);
+            true
+        }
+        Err(_) => false,
+    }
+}
+
+fn refuse(ctx: &ServerCtx, w: &mut impl Write, reason: String) {
+    ctx.stats.refused.fetch_add(1, Relaxed);
+    send(ctx, w, &Frame::Error { reason });
+}
+
+fn handle_conn(ctx: Arc<ServerCtx>, stream: TcpStream) {
+    ctx.stats.connections_total.fetch_add(1, Relaxed);
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    // Preamble exchange: validate the client's, then send ours so the
+    // client can parse the reply even when we refuse.
+    let preamble = wire::read_preamble(&mut reader);
+    if wire::write_preamble(&mut writer).is_err() || writer.flush().is_err() {
+        return;
+    }
+    if let Err(e) = preamble {
+        refuse(&ctx, &mut writer, e.to_string());
+        return;
+    }
+    let hello = match wire::read_frame(&mut reader) {
+        Ok(f) => f,
+        Err(e) => {
+            refuse(&ctx, &mut writer, format!("bad first frame: {e}"));
+            return;
+        }
+    };
+    ctx.stats.frames_in.fetch_add(1, Relaxed);
+    let Frame::Hello {
+        token,
+        tenant,
+        role,
+    } = hello
+    else {
+        refuse(&ctx, &mut writer, "first frame must be Hello".into());
+        return;
+    };
+    if !ctx.token.is_empty() && token != ctx.token {
+        refuse(&ctx, &mut writer, "bad token".into());
+        return;
+    }
+    let Some(t) = ctx.tenants.get(&tenant).map(Arc::clone) else {
+        refuse(&ctx, &mut writer, format!("unknown tenant {tenant:?}"));
+        return;
+    };
+    if !send(
+        &ctx,
+        &mut writer,
+        &Frame::HelloOk {
+            tenant: t.name.clone(),
+            sources: t.sources.clone(),
+        },
+    ) {
+        return;
+    }
+    match role {
+        Role::Producer => {
+            ctx.stats.producers_open.fetch_add(1, Relaxed);
+            let _open = OpenGuard(&ctx.stats.producers_open);
+            producer_loop(&ctx, &t, &mut reader, &mut writer);
+        }
+        Role::Subscriber => {
+            ctx.stats.subscribers_open.fetch_add(1, Relaxed);
+            let _open = OpenGuard(&ctx.stats.subscribers_open);
+            subscriber_loop(&ctx, &t, &mut reader, &mut writer);
+        }
+    }
+}
+
+fn producer_loop(
+    ctx: &ServerCtx,
+    t: &Tenant,
+    reader: &mut impl std::io::Read,
+    writer: &mut impl Write,
+) {
+    loop {
+        let frame = match wire::read_frame(reader) {
+            Ok(f) => f,
+            Err(e) => {
+                // A torn/corrupt frame is discarded whole: everything
+                // pushed so far stays (the acknowledged FIFO prefix),
+                // nothing from the bad frame enters a buffer.
+                if !e.is_disconnect() {
+                    send(
+                        ctx,
+                        writer,
+                        &Frame::Error {
+                            reason: e.to_string(),
+                        },
+                    );
+                }
+                return;
+            }
+        };
+        ctx.stats.frames_in.fetch_add(1, Relaxed);
+        match frame {
+            Frame::PushBatch { seq, source, bins } => {
+                let Some(handle) = t.handles.get(source as usize) else {
+                    send(
+                        ctx,
+                        writer,
+                        &Frame::Error {
+                            reason: format!(
+                                "unknown source index {source} (tenant has {})",
+                                t.handles.len()
+                            ),
+                        },
+                    );
+                    return;
+                };
+                let mut accepted = 0u32;
+                for bin in bins {
+                    let Some(v) = bin else { continue };
+                    if !push_one(ctx, writer, handle, source, v) {
+                        return;
+                    }
+                    accepted += 1;
+                }
+                ctx.stats.events_in.fetch_add(accepted as u64, Relaxed);
+                if !send(ctx, writer, &Frame::PushAck { seq, accepted }) {
+                    return;
+                }
+            }
+            Frame::Seal => match t.session.flush() {
+                Ok(phases) => {
+                    if !send(ctx, writer, &Frame::SealOk { phases }) {
+                        return;
+                    }
+                }
+                Err(e) => {
+                    send(
+                        ctx,
+                        writer,
+                        &Frame::Error {
+                            reason: e.to_string(),
+                        },
+                    );
+                    return;
+                }
+            },
+            Frame::MetricsRequest => {
+                let json = ctx
+                    .pool
+                    .metrics()
+                    .iter()
+                    .find(|r| r.name == t.name)
+                    .map(|r| r.to_json())
+                    .unwrap_or_else(|| "{}".into());
+                if !send(ctx, writer, &Frame::MetricsReply { json }) {
+                    return;
+                }
+            }
+            Frame::Shutdown => {
+                ctx.request_stop();
+                send(ctx, writer, &Frame::ShutdownOk);
+                return;
+            }
+            _ => {
+                send(
+                    ctx,
+                    writer,
+                    &Frame::Error {
+                        reason: "unexpected frame on a producer connection".into(),
+                    },
+                );
+                return;
+            }
+        }
+    }
+}
+
+/// Pushes one event, surfacing a full buffer as `FlowControl(Block)`
+/// and retrying until it lands (then `FlowControl(Open)`). False means
+/// the connection or tenant is gone.
+fn push_one(
+    ctx: &ServerCtx,
+    writer: &mut impl Write,
+    handle: &SourceHandle,
+    source: u32,
+    value: ec_events::Value,
+) -> bool {
+    let mut blocked = false;
+    loop {
+        match handle.push(value.clone()) {
+            Ok(()) => {
+                if blocked
+                    && !send(
+                        ctx,
+                        writer,
+                        &Frame::FlowControl {
+                            source,
+                            state: FlowState::Open,
+                        },
+                    )
+                {
+                    return false;
+                }
+                return true;
+            }
+            Err(PushError::Full) => {
+                if !blocked {
+                    blocked = true;
+                    ctx.stats.flow_blocks.fetch_add(1, Relaxed);
+                    if !send(
+                        ctx,
+                        writer,
+                        &Frame::FlowControl {
+                            source,
+                            state: FlowState::Block,
+                        },
+                    ) {
+                        return false;
+                    }
+                }
+                if ctx.stop.load(Relaxed) {
+                    send(
+                        ctx,
+                        writer,
+                        &Frame::Error {
+                            reason: "server shutting down".into(),
+                        },
+                    );
+                    return false;
+                }
+                std::thread::sleep(POLL);
+            }
+            Err(PushError::Closed) => {
+                send(
+                    ctx,
+                    writer,
+                    &Frame::Error {
+                        reason: "tenant closed".into(),
+                    },
+                );
+                return false;
+            }
+        }
+    }
+}
+
+fn subscriber_loop(
+    ctx: &ServerCtx,
+    t: &Tenant,
+    reader: &mut impl std::io::Read,
+    writer: &mut impl Write,
+) {
+    match wire::read_frame(reader) {
+        Ok(Frame::SubscribeAlarms) => {
+            ctx.stats.frames_in.fetch_add(1, Relaxed);
+        }
+        Ok(_) => {
+            ctx.stats.frames_in.fetch_add(1, Relaxed);
+            send(
+                ctx,
+                writer,
+                &Frame::Error {
+                    reason: "a subscriber must send SubscribeAlarms first".into(),
+                },
+            );
+            return;
+        }
+        Err(_) => return,
+    }
+    let id = t.hub.register(ctx.subscriber_buffer);
+    // Acknowledge only once the slot exists: after SubscribeOk, every
+    // retired alarm is either delivered or this subscriber is
+    // disconnected — no silent registration gap.
+    if !send(ctx, writer, &Frame::SubscribeOk) {
+        t.hub.unregister(id);
+        return;
+    }
+    loop {
+        if ctx.stop.load(Relaxed) {
+            break;
+        }
+        match t.hub.drain(id, ctx.alarm_batch, Duration::from_millis(50)) {
+            Drained::Batch(alarms) => {
+                ctx.stats.alarms_out.fetch_add(alarms.len() as u64, Relaxed);
+                if !send(ctx, writer, &Frame::AlarmBatch { alarms }) {
+                    break;
+                }
+            }
+            Drained::Empty => continue,
+            Drained::Overflowed => {
+                send(
+                    ctx,
+                    writer,
+                    &Frame::Error {
+                        reason: format!(
+                            "subscriber buffer overflowed ({} alarms): reader too slow",
+                            ctx.subscriber_buffer
+                        ),
+                    },
+                );
+                break;
+            }
+        }
+    }
+    t.hub.unregister(id);
+}

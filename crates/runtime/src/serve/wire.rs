@@ -1,0 +1,518 @@
+//! The `ec serve` wire format: length-prefixed, CRC-framed binary
+//! frames over TCP.
+//!
+//! The framing discipline is the WAL's (`ec-store`): every frame is
+//!
+//! ```text
+//! [u32 payload_len (LE)] [payload bytes] [u32 crc32(payload) (LE)]
+//! ```
+//!
+//! and the payload is a one-byte frame tag followed by a body encoded
+//! with the same [`StateWriter`]/[`StateReader`] codec the snapshot
+//! and WAL layers use — fixed-width LE scalars, length-prefixed
+//! strings, tagged [`Value`]s, and the phase-column bin encoding
+//! ([`StateWriter::put_bin`]) for producer batches, so a `PushBatch`
+//! body is literally a miniature [`PhaseColumn`](ec_events::PhaseColumn)
+//! slice.
+//!
+//! Each connection opens with an 8-byte preamble — magic
+//! [`WIRE_MAGIC`] then [`WIRE_VERSION`], both u32 LE, sent by each
+//! side — so a stray HTTP client or an old peer is refused before any
+//! frame is parsed.
+//!
+//! Every decode path returns a typed [`WireError`]; corrupt input
+//! (truncation, bit flips, oversized lengths, unknown tags, trailing
+//! bytes) must never panic and never misparse. `tests/wire_props.rs`
+//! holds the property suite and the pinned `wire_v1.bin` byte fixture.
+
+use ec_events::{SnapshotError, StateReader, StateWriter, Value};
+use std::io::{Read, Write};
+
+/// Connection preamble magic: `"ECWP"` as a little-endian u32.
+pub const WIRE_MAGIC: u32 = u32::from_le_bytes(*b"ECWP");
+
+/// Protocol version spoken by this build. Bumping it invalidates the
+/// `wire_v1.bin` fixture on purpose: the old format must keep decoding
+/// or the bump must be deliberate.
+pub const WIRE_VERSION: u32 = 1;
+
+/// Hard ceiling on a single frame's payload, applied on both encode
+/// and decode. A corrupt length prefix must not convince the peer to
+/// allocate gigabytes.
+pub const MAX_FRAME: u32 = 1 << 20;
+
+/// What a connection authenticates as.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Pushes event batches into the tenant's live sources.
+    Producer,
+    /// Streams retired-phase alarms out of the tenant.
+    Subscriber,
+}
+
+/// Producer-facing backpressure state of one source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowState {
+    /// The source accepts pushes again.
+    Open,
+    /// The source's striped buffer is full: stop sending until an
+    /// `Open` arrives. The server keeps the pending event and retries
+    /// it, so nothing acknowledged is ever dropped.
+    Block,
+}
+
+/// One retired-phase sink emission, as streamed to subscribers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireAlarm {
+    /// 1-based phase the sink emitted in (serial order).
+    pub phase: u64,
+    /// Sink vertex name.
+    pub sink: String,
+    /// The emitted value.
+    pub value: Value,
+}
+
+/// Every frame of the protocol.
+///
+/// | tag | frame | direction | body |
+/// |-----|-------|-----------|------|
+/// | 1 | `Hello` | client → server | token, tenant, role |
+/// | 2 | `HelloOk` | server → client | tenant, source names |
+/// | 3 | `Error` | server → client | reason (then close) |
+/// | 4 | `PushBatch` | producer → server | seq, source index, bins |
+/// | 5 | `PushAck` | server → producer | seq, events accepted |
+/// | 6 | `Seal` | producer → server | — |
+/// | 7 | `SealOk` | server → producer | phases committed |
+/// | 8 | `FlowControl` | server → producer | source index, state |
+/// | 9 | `SubscribeAlarms` | subscriber → server | — |
+/// | 10 | `AlarmBatch` | server → subscriber | alarms in serial order |
+/// | 15 | `SubscribeOk` | server → subscriber | — |
+/// | 11 | `MetricsRequest` | client → server | — |
+/// | 12 | `MetricsReply` | server → client | tenant metrics JSON |
+/// | 13 | `Shutdown` | client → server | — |
+/// | 14 | `ShutdownOk` | server → client | — |
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Authenticate this connection to one tenant.
+    Hello {
+        /// Shared secret; must match the server's token (empty when
+        /// the server runs open).
+        token: String,
+        /// Tenant (session) name to attach to.
+        tenant: String,
+        /// Producer or subscriber.
+        role: Role,
+    },
+    /// Hello accepted: the tenant's live sources in wiring order.
+    /// `PushBatch.source` indexes this list.
+    HelloOk {
+        /// Echoed tenant name.
+        tenant: String,
+        /// Live source names in wiring order.
+        sources: Vec<String>,
+    },
+    /// The request was refused or the connection is being dropped;
+    /// `reason` is the diagnostic. The server closes after sending.
+    Error {
+        /// Human-readable refusal reason.
+        reason: String,
+    },
+    /// A batch of events for one source, in FIFO order. Bins use the
+    /// phase-column encoding; `None` bins are allowed and skipped
+    /// (they let a replayed column ship unmodified).
+    PushBatch {
+        /// Producer-assigned sequence number, echoed in the ack.
+        seq: u64,
+        /// Index into the `HelloOk` source list.
+        source: u32,
+        /// The events (phase-column bin encoding).
+        bins: Vec<Option<Value>>,
+    },
+    /// Batch `seq` is fully buffered server-side: `accepted` events
+    /// entered the source's striped buffer (acknowledged pushes
+    /// survive a subsequent producer disconnect).
+    PushAck {
+        /// Echoed sequence number.
+        seq: u64,
+        /// Events accepted from the batch.
+        accepted: u32,
+    },
+    /// Seal the tenant's current epoch (same commit point as
+    /// [`StreamRuntime::flush`](crate::StreamRuntime::flush)).
+    Seal,
+    /// Seal done: `phases` phases committed by this seal.
+    SealOk {
+        /// Phases committed (0 if nothing was buffered).
+        phases: u64,
+    },
+    /// Explicit backpressure for one source — sent instead of letting
+    /// the TCP window stall silently.
+    FlowControl {
+        /// Index into the `HelloOk` source list.
+        source: u32,
+        /// Block or open.
+        state: FlowState,
+    },
+    /// Start streaming retired-phase alarms on this connection.
+    SubscribeAlarms,
+    /// Subscription registered: every alarm retired from here on will
+    /// be delivered (or the subscriber disconnected). Sent before the
+    /// first `AlarmBatch` so a subscriber can sequence itself against
+    /// producers without racing registration.
+    SubscribeOk,
+    /// Retired sink emissions, in serial (phase, vertex) order.
+    AlarmBatch {
+        /// The emissions.
+        alarms: Vec<WireAlarm>,
+    },
+    /// Ask for the tenant's metrics row.
+    MetricsRequest,
+    /// The tenant's `SessionMetrics` as JSON.
+    MetricsReply {
+        /// JSON document (same shape as `SessionMetrics::to_json`).
+        json: String,
+    },
+    /// Ask the whole server to shut down cleanly.
+    Shutdown,
+    /// Shutdown acknowledged; the server stops accepting and closes.
+    ShutdownOk,
+}
+
+/// Typed decode/transport failure. Corrupt bytes land here — never in
+/// a panic.
+#[derive(Debug)]
+pub enum WireError {
+    /// Socket-level failure (includes EOF mid-frame).
+    Io(std::io::Error),
+    /// The preamble's magic was not [`WIRE_MAGIC`].
+    BadMagic(u32),
+    /// The peer speaks a different protocol version.
+    Version(u32),
+    /// Frame payload checksum mismatch.
+    Crc {
+        /// CRC the frame carried.
+        expected: u32,
+        /// CRC of the bytes received.
+        found: u32,
+    },
+    /// A length prefix larger than [`MAX_FRAME`].
+    Oversized(u32),
+    /// An unknown frame tag.
+    UnknownFrame(u8),
+    /// The payload failed to decode (truncated body, bad value tag,
+    /// trailing bytes).
+    Malformed(String),
+    /// The peer refused the request (carries the `Error` frame's
+    /// reason).
+    Refused(String),
+    /// The peer sent a well-formed frame that is invalid in the
+    /// current protocol state.
+    Unexpected(&'static str),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "wire i/o: {e}"),
+            WireError::BadMagic(m) => write!(f, "bad wire magic {m:#010x}"),
+            WireError::Version(v) => {
+                write!(f, "unsupported wire version {v} (speaking {WIRE_VERSION})")
+            }
+            WireError::Crc { expected, found } => {
+                write!(
+                    f,
+                    "frame crc mismatch: carried {expected:#010x}, computed {found:#010x}"
+                )
+            }
+            WireError::Oversized(n) => {
+                write!(f, "frame length {n} exceeds the {MAX_FRAME}-byte ceiling")
+            }
+            WireError::UnknownFrame(t) => write!(f, "unknown frame tag {t}"),
+            WireError::Malformed(m) => write!(f, "malformed frame: {m}"),
+            WireError::Refused(r) => write!(f, "refused by peer: {r}"),
+            WireError::Unexpected(what) => write!(f, "unexpected frame: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> WireError {
+        WireError::Io(e)
+    }
+}
+
+impl From<SnapshotError> for WireError {
+    fn from(e: SnapshotError) -> WireError {
+        WireError::Malformed(e.to_string())
+    }
+}
+
+impl WireError {
+    /// True when the failure is a closed/broken connection rather than
+    /// corrupt data — the "peer went away" case handlers treat as a
+    /// normal disconnect.
+    pub fn is_disconnect(&self) -> bool {
+        matches!(
+            self,
+            WireError::Io(e) if matches!(
+                e.kind(),
+                std::io::ErrorKind::UnexpectedEof
+                    | std::io::ErrorKind::ConnectionReset
+                    | std::io::ErrorKind::ConnectionAborted
+                    | std::io::ErrorKind::BrokenPipe
+            )
+        )
+    }
+}
+
+const TAG_HELLO: u8 = 1;
+const TAG_HELLO_OK: u8 = 2;
+const TAG_ERROR: u8 = 3;
+const TAG_PUSH_BATCH: u8 = 4;
+const TAG_PUSH_ACK: u8 = 5;
+const TAG_SEAL: u8 = 6;
+const TAG_SEAL_OK: u8 = 7;
+const TAG_FLOW_CONTROL: u8 = 8;
+const TAG_SUBSCRIBE: u8 = 9;
+const TAG_ALARM_BATCH: u8 = 10;
+const TAG_METRICS_REQ: u8 = 11;
+const TAG_METRICS_REPLY: u8 = 12;
+const TAG_SHUTDOWN: u8 = 13;
+const TAG_SHUTDOWN_OK: u8 = 14;
+const TAG_SUBSCRIBE_OK: u8 = 15;
+
+/// Encodes one frame's payload (tag + body), without the length/CRC
+/// envelope.
+pub fn encode(frame: &Frame) -> Vec<u8> {
+    let mut w = StateWriter::new();
+    match frame {
+        Frame::Hello {
+            token,
+            tenant,
+            role,
+        } => {
+            w.put_u8(TAG_HELLO);
+            w.put_str(token);
+            w.put_str(tenant);
+            w.put_u8(match role {
+                Role::Producer => 0,
+                Role::Subscriber => 1,
+            });
+        }
+        Frame::HelloOk { tenant, sources } => {
+            w.put_u8(TAG_HELLO_OK);
+            w.put_str(tenant);
+            w.put_u32(sources.len() as u32);
+            for s in sources {
+                w.put_str(s);
+            }
+        }
+        Frame::Error { reason } => {
+            w.put_u8(TAG_ERROR);
+            w.put_str(reason);
+        }
+        Frame::PushBatch { seq, source, bins } => {
+            w.put_u8(TAG_PUSH_BATCH);
+            w.put_u64(*seq);
+            w.put_u32(*source);
+            w.put_u32(bins.len() as u32);
+            for bin in bins {
+                w.put_bin(bin.as_ref());
+            }
+        }
+        Frame::PushAck { seq, accepted } => {
+            w.put_u8(TAG_PUSH_ACK);
+            w.put_u64(*seq);
+            w.put_u32(*accepted);
+        }
+        Frame::Seal => w.put_u8(TAG_SEAL),
+        Frame::SealOk { phases } => {
+            w.put_u8(TAG_SEAL_OK);
+            w.put_u64(*phases);
+        }
+        Frame::FlowControl { source, state } => {
+            w.put_u8(TAG_FLOW_CONTROL);
+            w.put_u32(*source);
+            w.put_u8(match state {
+                FlowState::Open => 0,
+                FlowState::Block => 1,
+            });
+        }
+        Frame::SubscribeAlarms => w.put_u8(TAG_SUBSCRIBE),
+        Frame::SubscribeOk => w.put_u8(TAG_SUBSCRIBE_OK),
+        Frame::AlarmBatch { alarms } => {
+            w.put_u8(TAG_ALARM_BATCH);
+            w.put_u32(alarms.len() as u32);
+            for a in alarms {
+                w.put_u64(a.phase);
+                w.put_str(&a.sink);
+                w.put_value(&a.value);
+            }
+        }
+        Frame::MetricsRequest => w.put_u8(TAG_METRICS_REQ),
+        Frame::MetricsReply { json } => {
+            w.put_u8(TAG_METRICS_REPLY);
+            w.put_str(json);
+        }
+        Frame::Shutdown => w.put_u8(TAG_SHUTDOWN),
+        Frame::ShutdownOk => w.put_u8(TAG_SHUTDOWN_OK),
+    }
+    w.into_bytes()
+}
+
+/// Decodes one frame payload (as produced by [`encode`]). Trailing
+/// bytes are an error: a frame is exactly its body, nothing more.
+pub fn decode(payload: &[u8]) -> Result<Frame, WireError> {
+    let mut r = StateReader::new(payload);
+    let tag = r.get_u8()?;
+    let frame = match tag {
+        TAG_HELLO => {
+            let token = r.get_str()?;
+            let tenant = r.get_str()?;
+            let role = match r.get_u8()? {
+                0 => Role::Producer,
+                1 => Role::Subscriber,
+                other => {
+                    return Err(WireError::Malformed(format!("unknown role tag {other}")));
+                }
+            };
+            Frame::Hello {
+                token,
+                tenant,
+                role,
+            }
+        }
+        TAG_HELLO_OK => {
+            let tenant = r.get_str()?;
+            let n = checked_count(r.get_u32()?, payload.len())?;
+            let mut sources = Vec::with_capacity(n);
+            for _ in 0..n {
+                sources.push(r.get_str()?);
+            }
+            Frame::HelloOk { tenant, sources }
+        }
+        TAG_ERROR => Frame::Error {
+            reason: r.get_str()?,
+        },
+        TAG_PUSH_BATCH => {
+            let seq = r.get_u64()?;
+            let source = r.get_u32()?;
+            let n = checked_count(r.get_u32()?, payload.len())?;
+            let mut bins = Vec::with_capacity(n);
+            for _ in 0..n {
+                bins.push(r.get_opt_value()?);
+            }
+            Frame::PushBatch { seq, source, bins }
+        }
+        TAG_PUSH_ACK => Frame::PushAck {
+            seq: r.get_u64()?,
+            accepted: r.get_u32()?,
+        },
+        TAG_SEAL => Frame::Seal,
+        TAG_SEAL_OK => Frame::SealOk {
+            phases: r.get_u64()?,
+        },
+        TAG_FLOW_CONTROL => {
+            let source = r.get_u32()?;
+            let state = match r.get_u8()? {
+                0 => FlowState::Open,
+                1 => FlowState::Block,
+                other => {
+                    return Err(WireError::Malformed(format!("unknown flow state {other}")));
+                }
+            };
+            Frame::FlowControl { source, state }
+        }
+        TAG_SUBSCRIBE => Frame::SubscribeAlarms,
+        TAG_SUBSCRIBE_OK => Frame::SubscribeOk,
+        TAG_ALARM_BATCH => {
+            let n = checked_count(r.get_u32()?, payload.len())?;
+            let mut alarms = Vec::with_capacity(n);
+            for _ in 0..n {
+                alarms.push(WireAlarm {
+                    phase: r.get_u64()?,
+                    sink: r.get_str()?,
+                    value: r.get_value()?,
+                });
+            }
+            Frame::AlarmBatch { alarms }
+        }
+        TAG_METRICS_REQ => Frame::MetricsRequest,
+        TAG_METRICS_REPLY => Frame::MetricsReply { json: r.get_str()? },
+        TAG_SHUTDOWN => Frame::Shutdown,
+        TAG_SHUTDOWN_OK => Frame::ShutdownOk,
+        other => return Err(WireError::UnknownFrame(other)),
+    };
+    r.finish()?;
+    Ok(frame)
+}
+
+/// Rejects element counts that could not possibly fit in the payload —
+/// a flipped count byte must not trigger a giant allocation before the
+/// per-element reads fail.
+fn checked_count(n: u32, payload_len: usize) -> Result<usize, WireError> {
+    // Every encoded element costs at least one byte.
+    if n as usize > payload_len {
+        return Err(WireError::Malformed(format!(
+            "element count {n} exceeds payload size {payload_len}"
+        )));
+    }
+    Ok(n as usize)
+}
+
+/// Writes the 8-byte connection preamble (magic + version).
+pub fn write_preamble(w: &mut impl Write) -> Result<(), WireError> {
+    w.write_all(&WIRE_MAGIC.to_le_bytes())?;
+    w.write_all(&WIRE_VERSION.to_le_bytes())?;
+    Ok(())
+}
+
+/// Reads and validates the peer's preamble.
+pub fn read_preamble(r: &mut impl Read) -> Result<(), WireError> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    let magic = u32::from_le_bytes(buf);
+    if magic != WIRE_MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    r.read_exact(&mut buf)?;
+    let version = u32::from_le_bytes(buf);
+    if version != WIRE_VERSION {
+        return Err(WireError::Version(version));
+    }
+    Ok(())
+}
+
+/// Writes one frame (length + payload + CRC) and flushes.
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> Result<(), WireError> {
+    let payload = encode(frame);
+    if payload.len() as u64 > MAX_FRAME as u64 {
+        return Err(WireError::Oversized(payload.len() as u32));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(&payload)?;
+    w.write_all(&ec_store::crc32(&payload).to_le_bytes())?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one frame, validating length, CRC, and payload.
+pub fn read_frame(r: &mut impl Read) -> Result<Frame, WireError> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    let len = u32::from_le_bytes(buf);
+    if len > MAX_FRAME {
+        return Err(WireError::Oversized(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    r.read_exact(&mut buf)?;
+    let expected = u32::from_le_bytes(buf);
+    let found = ec_store::crc32(&payload);
+    if expected != found {
+        return Err(WireError::Crc { expected, found });
+    }
+    decode(&payload)
+}

@@ -287,6 +287,18 @@ impl SessionPool {
     /// endpoint stops at [`shutdown`](Self::shutdown) or drop. Calling
     /// again replaces the previous endpoint.
     pub fn serve_metrics(&self, addr: &str) -> Result<std::net::SocketAddr, RuntimeError> {
+        self.serve_metrics_with(addr, |_page| {})
+    }
+
+    /// [`serve_metrics`](Self::serve_metrics) with an extra provider
+    /// appended to the `/metrics` page on every scrape — the wire
+    /// front end ([`crate::serve`]) adds its per-connection series
+    /// here so one scrape covers tenants and transport alike.
+    pub fn serve_metrics_with(
+        &self,
+        addr: &str,
+        extra: impl Fn(&mut ec_obs::PromText) + Send + Sync + 'static,
+    ) -> Result<std::net::SocketAddr, RuntimeError> {
         let registry = MetricsRegistry::new();
         let rows = Arc::clone(&self.registry);
         registry.register(move |page| {
@@ -294,6 +306,7 @@ impl SessionPool {
                 render_session(page, &row);
             }
         });
+        registry.register(extra);
         let health_rows = Arc::clone(&self.registry);
         let healthz: ec_obs::RenderFn = Arc::new(move || pool_health_json(&health_rows));
         let server = registry

@@ -53,6 +53,11 @@ usage:
             [--metrics ADDR] [--trace FILE]
   ec sessions <spec.xml>... [--threads N] [--epoch-count N]
               [--root DIR] [--weight NAME=W] [--metrics ADDR] [--quiet]
+  ec serve <spec.xml>... [--addr ADDR] [--threads N]
+           [--epoch-count N | --epoch-ms N] [--capacity N] [--block]
+           [--root DIR] [--weight NAME=W] [--metrics ADDR]
+           [--token TOK] [--quiet]
+  ec push <addr> <tenant> [--token TOK] [--batch N] [--quiet]
   ec trace <spec.xml> [stream flags] [--out FILE]
   ec top <addr> [--interval MS] [--once]
   ec doctor <addr> [--quiet]
@@ -81,6 +86,18 @@ durability: --checkpoint makes the stream durable (or use the spec's
   `ec sessions`, --root DIR namespaces an independent store per
   session under DIR; rerunning restores every tenant.
 
+serving: `ec serve` binds a TCP wire endpoint (--addr, default
+  127.0.0.1:0) in front of one session per spec (tenant = spec file
+  stem) and runs until stdin closes or a client sends a Shutdown
+  frame. Connections speak the length-prefixed, CRC-framed binary
+  protocol (see README \"Serving\"): producers push event batches and
+  get explicit FlowControl backpressure frames; subscribers stream
+  retired-phase alarms in serial order. --token TOK requires clients
+  to authenticate; --root DIR makes every tenant durable. `ec push`
+  is the matching producer client: stdin lines as in `ec stream`
+  (CSV/NDJSON, blank line seals), batched over the wire (--batch,
+  default 256).
+
 observability: --metrics ADDR (e.g. 127.0.0.1:9184, port 0 for
   ephemeral) serves Prometheus text exposition at /metrics; watch it
   live with `ec top ADDR`. The same endpoint serves the watchdog's
@@ -97,6 +114,8 @@ fn main() -> ExitCode {
         Some("run") => cmd_run(&args[1..]),
         Some("stream") => cmd_stream(&args[1..]),
         Some("sessions") => cmd_sessions(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("push") => cmd_push(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
         Some("top") => cmd_top(&args[1..]),
         Some("doctor") => cmd_doctor(&args[1..]),
@@ -1091,6 +1110,353 @@ fn cmd_sessions(args: &[String]) -> Result<(), String> {
     }
     for (_, session) in sessions.drain() {
         session.close().map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+struct ServeOpts {
+    spec_paths: Vec<String>,
+    addr: String,
+    threads: Option<usize>,
+    epoch_count: Option<usize>,
+    epoch_ms: Option<u64>,
+    capacity: Option<usize>,
+    block: bool,
+    root: Option<String>,
+    weights: Vec<(String, u32)>,
+    metrics: Option<String>,
+    token: Option<String>,
+    quiet: bool,
+}
+
+fn parse_serve_opts(args: &[String]) -> Result<ServeOpts, String> {
+    let mut opts = ServeOpts {
+        spec_paths: Vec::new(),
+        addr: "127.0.0.1:0".into(),
+        threads: None,
+        epoch_count: None,
+        epoch_ms: None,
+        capacity: None,
+        block: false,
+        root: None,
+        weights: Vec::new(),
+        metrics: None,
+        token: None,
+        quiet: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut num = |flag: &str| -> Result<u64, String> {
+            let v = it.next().ok_or(format!("{flag} needs a value"))?;
+            v.parse().map_err(|_| format!("bad {flag} value {v:?}"))
+        };
+        match arg.as_str() {
+            "--addr" => {
+                let v = it.next().ok_or("--addr needs an address")?;
+                opts.addr = v.clone();
+            }
+            "--threads" => opts.threads = Some(num("--threads")? as usize),
+            "--epoch-count" => opts.epoch_count = Some(num("--epoch-count")? as usize),
+            "--epoch-ms" => opts.epoch_ms = Some(num("--epoch-ms")?),
+            "--capacity" => opts.capacity = Some(num("--capacity")? as usize),
+            "--block" => opts.block = true,
+            "--root" => {
+                let v = it.next().ok_or("--root needs a directory")?;
+                opts.root = Some(v.clone());
+            }
+            "--weight" => {
+                let v = it.next().ok_or("--weight needs NAME=W")?;
+                let (name, w) = v
+                    .split_once('=')
+                    .ok_or_else(|| format!("--weight expects NAME=W, got {v:?}"))?;
+                let w: u32 = w.parse().map_err(|_| format!("bad weight in {v:?}"))?;
+                opts.weights.push((name.to_string(), w));
+            }
+            "--metrics" => {
+                let v = it.next().ok_or("--metrics needs an address")?;
+                opts.metrics = Some(v.clone());
+            }
+            "--token" => {
+                let v = it.next().ok_or("--token needs a value")?;
+                opts.token = Some(v.clone());
+            }
+            "--quiet" => opts.quiet = true,
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag {other:?}"));
+            }
+            path => opts.spec_paths.push(path.to_string()),
+        }
+    }
+    if opts.spec_paths.is_empty() {
+        return Err(format!("missing spec paths\n{USAGE}"));
+    }
+    if opts.epoch_count.is_some() && opts.epoch_ms.is_some() {
+        return Err("--epoch-count and --epoch-ms are mutually exclusive".into());
+    }
+    Ok(opts)
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    use event_correlation::runtime::{SessionPool, WireServer};
+
+    let opts = parse_serve_opts(args)?;
+    let names: Vec<String> = opts.spec_paths.iter().map(|p| session_name(p)).collect();
+    {
+        let mut sorted = names.clone();
+        sorted.sort();
+        sorted.dedup();
+        if sorted.len() != names.len() {
+            return Err(format!(
+                "tenant names (spec file stems) must be unique, got {names:?}"
+            ));
+        }
+    }
+    for (weight_name, _) in &opts.weights {
+        if !names.iter().any(|n| n == weight_name) {
+            return Err(format!(
+                "--weight names unknown tenant {weight_name:?} (tenants: {names:?})"
+            ));
+        }
+    }
+
+    let mut pool_builder = SessionPool::builder()
+        .threads(opts.threads.unwrap_or(4))
+        .max_sessions(opts.spec_paths.len());
+    if let Some(root) = &opts.root {
+        pool_builder = pool_builder.durable_root(root);
+    }
+    let pool = pool_builder.build();
+
+    let mut sessions = Vec::new();
+    for (path, name) in opts.spec_paths.iter().zip(&names) {
+        let doc = std::fs::read_to_string(path).map_err(|e| format!("reading {path:?}: {e}"))?;
+        let live = event_correlation::spec::load_str_live(&doc)
+            .map_err(|e| format!("loading {path:?}: {e}"))?;
+        let mut builder = StreamRuntimeBuilder::from_correlator(live.builder, live.feeds)
+            .max_inflight(live.settings.max_inflight)
+            .record_history(false)
+            .record_script(false)
+            // Reject turns a full source into explicit FlowControl
+            // frames; --block trades that for in-server waiting.
+            .backpressure(if opts.block {
+                Backpressure::Block
+            } else {
+                Backpressure::Reject
+            });
+        if let Some(n) = opts.capacity {
+            builder = builder.ingest_capacity(n.max(1));
+        }
+        if let Some(n) = opts.epoch_count {
+            builder = builder.epoch_policy(EpochPolicy::ByCount(n.max(1)));
+        }
+        if let Some(ms) = opts.epoch_ms {
+            builder = builder.epoch_policy(EpochPolicy::ByInterval(
+                std::time::Duration::from_millis(ms.max(1)),
+            ));
+        }
+        if let Some(&(_, w)) = opts.weights.iter().rev().find(|(n, _)| n == name) {
+            builder = builder.pool_weight(w);
+        }
+        let session = pool
+            .open(name.clone(), builder)
+            .map_err(|e| format!("opening tenant {name:?}: {e}"))?;
+        if !opts.quiet {
+            eprintln!(
+                "tenant {name:?} ({path}): live sources {:?}, resuming at phase {}",
+                session.live_source_names(),
+                session.admitted() + 1
+            );
+        }
+        sessions.push(session);
+    }
+
+    let mut server_builder = WireServer::builder();
+    if let Some(token) = &opts.token {
+        server_builder = server_builder.token(token.clone());
+    }
+    if let Some(addr) = &opts.metrics {
+        server_builder = server_builder.metrics_addr(addr.clone());
+    }
+    let server = server_builder
+        .bind(&opts.addr, pool, sessions)
+        .map_err(|e| e.to_string())?;
+    // The endpoint lines go to stderr before any blocking read so a
+    // harness can scrape the ephemeral ports while the server is live.
+    eprintln!(
+        "wire endpoint: {} (tenants: {names:?})",
+        server.local_addr()
+    );
+    if let Some(m) = server.metrics_addr() {
+        eprintln!("metrics endpoint: http://{m}/metrics (try `ec doctor {m}`)");
+    }
+    if !opts.quiet {
+        eprintln!("serving until stdin closes or a Shutdown frame arrives");
+    }
+
+    // Serve until the process is asked to stop: stdin EOF (the
+    // supervisor hung up) or a client's Shutdown frame.
+    let stdin_eof = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let eof_flag = std::sync::Arc::clone(&stdin_eof);
+    std::thread::spawn(move || {
+        use std::io::Read;
+        let mut sink = Vec::new();
+        let _ = std::io::stdin().lock().read_to_end(&mut sink);
+        eof_flag.store(true, std::sync::atomic::Ordering::Relaxed);
+    });
+    while !server.stop_requested() && !stdin_eof.load(std::sync::atomic::Ordering::Relaxed) {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+
+    let stats = server.stats();
+    let reports = server.shutdown();
+    if !opts.quiet {
+        eprintln!(
+            "serve done: {} connections, {} events in, {} alarms out, {} flow blocks, \
+             {} refused",
+            stats.connections_total,
+            stats.events_in,
+            stats.alarms_out,
+            stats.flow_blocks,
+            stats.refused
+        );
+    }
+    let mut failed = Vec::new();
+    for (name, report) in reports {
+        match report {
+            Ok(r) => {
+                if !opts.quiet {
+                    eprintln!("  {name}: {} phases committed", r.phases);
+                }
+            }
+            Err(e) => failed.push(format!("{name}: {e}")),
+        }
+    }
+    if failed.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("tenant shutdown failed: {}", failed.join("; ")))
+    }
+}
+
+struct PushOpts {
+    addr: String,
+    tenant: String,
+    token: String,
+    batch: usize,
+    quiet: bool,
+}
+
+fn parse_push_opts(args: &[String]) -> Result<PushOpts, String> {
+    let mut positional = Vec::new();
+    let mut token = String::new();
+    let mut batch = 256usize;
+    let mut quiet = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--token" => {
+                token = it.next().ok_or("--token needs a value")?.clone();
+            }
+            "--batch" => {
+                let v = it.next().ok_or("--batch needs a value")?;
+                batch = v.parse().map_err(|_| format!("bad --batch value {v:?}"))?;
+            }
+            "--quiet" => quiet = true,
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag {other:?}"));
+            }
+            _ => positional.push(arg.clone()),
+        }
+    }
+    let [addr, tenant] = positional.as_slice() else {
+        return Err(format!("usage: ec push <addr> <tenant>\n{USAGE}"));
+    };
+    Ok(PushOpts {
+        addr: addr.clone(),
+        tenant: tenant.clone(),
+        token,
+        batch: batch.max(1),
+        quiet,
+    })
+}
+
+fn cmd_push(args: &[String]) -> Result<(), String> {
+    use event_correlation::runtime::serve::Role;
+    use event_correlation::runtime::WireClient;
+    use std::io::BufRead;
+
+    let opts = parse_push_opts(args)?;
+    let mut client = WireClient::connect(&opts.addr, &opts.token, &opts.tenant, Role::Producer)
+        .map_err(|e| format!("connecting to {}: {e}", opts.addr))?;
+    if !opts.quiet {
+        eprintln!(
+            "connected to {} as tenant {:?}, sources {:?}",
+            opts.addr,
+            client.tenant(),
+            client.sources()
+        );
+    }
+
+    // One pending batch per source; flushed at --batch events, on a
+    // blank line (followed by a Seal), and at EOF.
+    let mut pending: Vec<Vec<Value>> = vec![Vec::new(); client.sources().len()];
+    let mut events: u64 = 0;
+    let mut acked: u64 = 0;
+    let mut skipped: u64 = 0;
+    let mut seals: u64 = 0;
+    let flush_pending = |client: &mut WireClient,
+                         pending: &mut Vec<Vec<Value>>,
+                         acked: &mut u64|
+     -> Result<(), String> {
+        for (i, values) in pending.iter_mut().enumerate() {
+            if values.is_empty() {
+                continue;
+            }
+            let accepted = client
+                .push_batch(i as u32, values)
+                .map_err(|e| format!("push batch for source {i}: {e}"))?;
+            *acked += accepted as u64;
+            values.clear();
+        }
+        Ok(())
+    };
+
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| format!("reading stdin: {e}"))?;
+        if line.trim().is_empty() {
+            flush_pending(&mut client, &mut pending, &mut acked)?;
+            client.seal().map_err(|e| format!("seal: {e}"))?;
+            seals += 1;
+            continue;
+        }
+        match parse_event_line(&line) {
+            Ok((source, value)) => match client.source_index(&source) {
+                Some(i) => {
+                    pending[i as usize].push(value);
+                    events += 1;
+                    if pending[i as usize].len() >= opts.batch {
+                        flush_pending(&mut client, &mut pending, &mut acked)?;
+                    }
+                }
+                None => {
+                    skipped += 1;
+                    eprintln!("warning: unknown source {source:?}, event dropped");
+                }
+            },
+            Err(msg) => {
+                skipped += 1;
+                eprintln!("warning: {msg}, line dropped");
+            }
+        }
+    }
+    flush_pending(&mut client, &mut pending, &mut acked)?;
+    if !opts.quiet {
+        eprintln!(
+            "push done: {events} events in ({acked} acked), {skipped} dropped, {seals} seals, \
+             {} flow blocks",
+            client.blocks_seen()
+        );
     }
     Ok(())
 }

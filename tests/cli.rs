@@ -705,3 +705,159 @@ fn top_errors_helpfully_when_nothing_listens() {
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("is the runtime up with --metrics?"), "{err}");
 }
+
+/// Spawns `ec serve` on an ephemeral port and scrapes the endpoint
+/// lines from stderr while the server is live. Returns the child, its
+/// stdin handle (drop it for a clean EOF shutdown), the stderr reader
+/// (positioned after the endpoint lines), the wire address, and the
+/// metrics address when `--metrics` was passed.
+fn spawn_serve(
+    spec: &std::path::Path,
+    extra: &[&str],
+) -> (
+    std::process::Child,
+    std::process::ChildStdin,
+    std::io::BufReader<std::process::ChildStderr>,
+    String,
+    Option<String>,
+) {
+    use std::io::BufRead;
+    use std::process::Stdio;
+
+    let mut args = vec!["serve", spec.to_str().unwrap(), "--addr", "127.0.0.1:0"];
+    args.extend_from_slice(extra);
+    let mut child = Command::new(env!("CARGO_BIN_EXE_ec"))
+        .args(&args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("ec binary spawns");
+    let stdin = child.stdin.take().expect("stdin piped");
+    let mut stderr = std::io::BufReader::new(child.stderr.take().expect("stderr piped"));
+    let want_metrics = extra.contains(&"--metrics");
+    let mut wire = None;
+    let mut metrics = None;
+    while wire.is_none() || (want_metrics && metrics.is_none()) {
+        let mut line = String::new();
+        assert!(
+            stderr.read_line(&mut line).expect("stderr readable") > 0,
+            "serve exited before announcing its endpoints"
+        );
+        if let Some(rest) = line.trim().strip_prefix("wire endpoint: ") {
+            wire = Some(
+                rest.split_once(' ')
+                    .expect("endpoint line has tenants")
+                    .0
+                    .to_string(),
+            );
+        } else if let Some(rest) = line.trim().strip_prefix("metrics endpoint: http://") {
+            metrics = Some(
+                rest.split_once("/metrics")
+                    .expect("endpoint line has a path")
+                    .0
+                    .to_string(),
+            );
+        }
+    }
+    (child, stdin, stderr, wire.unwrap(), metrics)
+}
+
+#[test]
+fn serve_accepts_a_push_client_and_exits_on_stdin_close() {
+    let path = write_spec("serve_live.xml", LIVE_SPEC);
+    let (mut child, stdin, mut stderr, wire, _) = spawn_serve(&path, &[]);
+
+    // A full producer session over the wire: three events, two seals.
+    let out = ec_with_stdin(&["push", &wire, "serve_live"], "tx,10\ntx,20\n\ntx,400\n\n");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("sources [\"tx\"]"), "{err}");
+    assert!(
+        err.contains("3 events in (3 acked), 0 dropped, 2 seals"),
+        "{err}"
+    );
+
+    // Closing stdin is the supervisor hanging up: the server drains,
+    // reports per-tenant phase counts, and exits zero.
+    drop(stdin);
+    let status = child.wait().expect("ec binary exits");
+    assert!(status.success());
+    let mut rest = String::new();
+    std::io::Read::read_to_string(&mut stderr, &mut rest).expect("stderr drains");
+    assert!(rest.contains("serve done:"), "{rest}");
+    assert!(rest.contains("3 events in"), "{rest}");
+    assert!(rest.contains("serve_live: 3 phases committed"), "{rest}");
+}
+
+#[test]
+fn serve_metrics_healthz_and_doctor() {
+    let path = write_spec("serve_metrics.xml", LIVE_SPEC);
+    let (mut child, stdin, _stderr, wire, metrics) =
+        spawn_serve(&path, &["--metrics", "127.0.0.1:0", "--quiet"]);
+    let metrics = metrics.expect("metrics endpoint announced");
+
+    let out = ec_with_stdin(&["push", &wire, "serve_metrics", "--quiet"], "tx,10\n\n");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let body = event_correlation::obs::http_get(&metrics, "/metrics").expect("scrape server");
+    event_correlation::obs::validate_exposition(&body).expect("well-formed exposition");
+    assert!(body.contains("ec_wire_connections_total"), "{body}");
+    assert!(body.contains("ec_session_events_per_sec"), "{body}");
+
+    let health = event_correlation::obs::http_get(&metrics, "/healthz").expect("healthz");
+    assert!(health.contains("\"verdict\""), "{health}");
+
+    let out = ec(&["doctor", &metrics]);
+    assert!(
+        out.status.success(),
+        "doctor on a healthy server: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    drop(stdin);
+    let status = child.wait().expect("ec binary exits");
+    assert!(status.success());
+}
+
+#[test]
+fn push_refusals_exit_nonzero_with_diagnostics() {
+    let path = write_spec("serve_auth.xml", LIVE_SPEC);
+    let (mut child, stdin, _stderr, wire, _) =
+        spawn_serve(&path, &["--token", "sesame", "--quiet"]);
+
+    // Wrong token: refused at Hello, before any stdin is consumed.
+    let out = ec_with_stdin(&["push", &wire, "serve_auth", "--token", "wrong"], "");
+    assert!(!out.status.success(), "bad token must exit nonzero");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("token"), "{err}");
+
+    // Unknown tenant, correct token: refused with the tenant named.
+    let out = ec_with_stdin(&["push", &wire, "nope", "--token", "sesame"], "");
+    assert!(!out.status.success(), "unknown tenant must exit nonzero");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown tenant"), "{err}");
+
+    // The right credentials still work on the same server.
+    let out = ec_with_stdin(
+        &["push", &wire, "serve_auth", "--token", "sesame", "--quiet"],
+        "tx,1\n\n",
+    );
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    drop(stdin);
+    let status = child.wait().expect("ec binary exits");
+    assert!(status.success());
+}
