@@ -85,5 +85,5 @@ pub use runtime::{
     StreamRuntimeBuilder,
 };
 pub use script::PhaseScript;
-pub use serve::{WireClient, WireServer, WireServerBuilder};
+pub use serve::{RetryPolicy, WireClient, WireClientBuilder, WireServer, WireServerBuilder};
 pub use sessions::{Session, SessionMetrics, SessionPool, SessionPoolBuilder};

@@ -4,13 +4,18 @@
 //! module: traffic entered via stdin or in-process callers only. A
 //! [`WireServer`] puts a socket in front of a [`SessionPool`]: one
 //! long-running listener serving many tenants, speaking the
-//! length-prefixed, CRC-framed binary protocol of [`wire`].
+//! length-prefixed, CRC-framed binary protocol of [`wire`]. Every
+//! socket is reached through the injectable [`net`] transport plane
+//! ([`NetIo`]) — production uses [`RealNet`], the chaos matrix routes
+//! the same server and clients through a seeded [`FaultNet`].
 //!
 //! ## Connection model
 //!
 //! Every connection opens with the versioned preamble and a
-//! [`Hello`](wire::Frame::Hello) that authenticates it to one tenant
-//! (token + tenant name) as either a **producer** or a **subscriber**:
+//! [`Hello`](wire::Frame::Hello) (or, for resumable producers, a
+//! [`HelloResume`](wire::Frame::HelloResume)) that authenticates it to
+//! one tenant (token + tenant name) as either a **producer** or a
+//! **subscriber**:
 //!
 //! * Producer connections push [`PushBatch`](wire::Frame::PushBatch)
 //!   frames — wire-level batching amortizes syscalls — that land on
@@ -35,17 +40,40 @@
 //!   drain it is disconnected (with an [`Error`](wire::Frame::Error)
 //!   frame) rather than allowed to wedge retirement.
 //!
+//! ## Robustness
+//!
+//! * **Resumable sessions.** A producer that authenticates with
+//!   `HelloResume` names a session id; the server keeps a bounded
+//!   per-(session, source) window of recently acked batch sequence
+//!   numbers. A reconnecting client replays its unacked suffix and
+//!   already-applied batches are re-acked from the window instead of
+//!   re-applied — every acked event commits exactly once, and
+//!   concurrent connections on one source are safe (same-session
+//!   batches serialize on the window lock).
+//! * **Liveness.** Connections carry read/write deadlines. An idle
+//!   producer is pinged every ping interval; a peer silent past the
+//!   idle deadline is reaped — a half-open socket cannot wedge
+//!   retirement. The server also pings while a producer is
+//!   flow-blocked, so the client's own deadline sees a live peer.
+//! * **Graceful drain.** [`WireServer::drain`] refuses new `Hello`s,
+//!   lets in-flight frames finish, flushes every acked prefix, lets
+//!   subscribers catch up, sends [`Goodbye`](wire::Frame::Goodbye)
+//!   both ways, then shuts down.
+//!
 //! Tenancy, fairness, durability, and observability are all the
 //! session layer's: tenants keep their weighted lanes, per-tenant
 //! durable stores, and `/metrics` + `/healthz` rows
 //! ([`WireServerBuilder::metrics_addr`] binds the pool's endpoint with
-//! the wire transport's per-connection series appended).
+//! the wire transport's per-connection series appended and the drain
+//! state surfaced on the health plane).
 
+pub mod net;
 pub mod wire;
 
 mod client;
 
-pub use client::WireClient;
+pub use client::{RetryPolicy, WireClient, WireClientBuilder};
+pub use net::{real_net, FaultNet, NetConn, NetFault, NetFaultPlan, NetIo, NetListener, RealNet};
 pub use wire::{FlowState, Frame, Role, WireAlarm, WireError};
 
 use crate::error::PushError;
@@ -54,11 +82,11 @@ use crate::sessions::{Session, SessionPool};
 use crate::RuntimeError;
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
-use std::io::{BufReader, BufWriter, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::io::Write;
+use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How long a producer retry or subscriber drain sleeps between
 /// checks; bounds shutdown latency.
@@ -77,6 +105,12 @@ struct WireStats {
     alarms_out: AtomicU64,
     flow_blocks: AtomicU64,
     refused: AtomicU64,
+    reconnects: AtomicU64,
+    dedup_hits: AtomicU64,
+    pings: AtomicU64,
+    reaped: AtomicU64,
+    clean_closes: AtomicU64,
+    crash_closes: AtomicU64,
 }
 
 /// A point-in-time copy of the wire transport counters.
@@ -98,8 +132,27 @@ pub struct WireStatsSnapshot {
     pub alarms_out: u64,
     /// `FlowControl(Block)` frames sent (backpressure episodes).
     pub flow_blocks: u64,
-    /// Hellos refused (bad token / unknown tenant / bad preamble).
+    /// Hellos refused (bad token / unknown tenant / bad preamble /
+    /// draining).
     pub refused: u64,
+    /// `HelloResume`s that attached to an already-known session — each
+    /// one is a producer reconnect.
+    pub reconnects: u64,
+    /// Batches re-acked from a session's resume window instead of
+    /// re-applied (duplicate delivery absorbed).
+    pub dedup_hits: u64,
+    /// `Ping` frames sent to clients (idle probes and flow-blocked
+    /// heartbeats).
+    pub pings: u64,
+    /// Connections reaped for blowing the idle deadline (half-open
+    /// peers).
+    pub reaped: u64,
+    /// Connections that ended with a client `Goodbye` — deliberate
+    /// closes.
+    pub clean_closes: u64,
+    /// Connections that ended in a broken socket — crashes, resets,
+    /// vanished peers.
+    pub crash_closes: u64,
 }
 
 impl WireStats {
@@ -114,10 +167,16 @@ impl WireStats {
             alarms_out: self.alarms_out.load(Relaxed),
             flow_blocks: self.flow_blocks.load(Relaxed),
             refused: self.refused.load(Relaxed),
+            reconnects: self.reconnects.load(Relaxed),
+            dedup_hits: self.dedup_hits.load(Relaxed),
+            pings: self.pings.load(Relaxed),
+            reaped: self.reaped.load(Relaxed),
+            clean_closes: self.clean_closes.load(Relaxed),
+            crash_closes: self.crash_closes.load(Relaxed),
         }
     }
 
-    fn render(&self, page: &mut ec_obs::PromText) {
+    fn render(&self, page: &mut ec_obs::PromText, draining: bool) {
         let s = self.snapshot();
         page.counter(
             "ec_wire_connections_total",
@@ -169,9 +228,51 @@ impl WireStats {
         );
         page.counter(
             "ec_wire_refused_total",
-            "Hellos refused (bad token, unknown tenant, bad preamble)",
+            "Hellos refused (bad token, unknown tenant, bad preamble, draining)",
             &[],
             s.refused,
+        );
+        page.counter(
+            "ec_wire_reconnects_total",
+            "Producer reconnects that resumed a known session",
+            &[],
+            s.reconnects,
+        );
+        page.counter(
+            "ec_wire_dedup_hits_total",
+            "Replayed batches re-acked from a resume window instead of re-applied",
+            &[],
+            s.dedup_hits,
+        );
+        page.counter(
+            "ec_wire_pings_total",
+            "Ping frames sent to clients (idle probes and flow-blocked heartbeats)",
+            &[],
+            s.pings,
+        );
+        page.counter(
+            "ec_wire_reaped_total",
+            "Connections reaped for blowing the idle deadline",
+            &[],
+            s.reaped,
+        );
+        page.counter(
+            "ec_wire_disconnects_total",
+            "Connection ends by kind",
+            &[("kind", "clean")],
+            s.clean_closes,
+        );
+        page.counter(
+            "ec_wire_disconnects_total",
+            "Connection ends by kind",
+            &[("kind", "crash")],
+            s.crash_closes,
+        );
+        page.gauge(
+            "ec_wire_draining",
+            "1 while the server is draining (refusing new Hellos)",
+            &[],
+            if draining { 1.0 } else { 0.0 },
         );
     }
 }
@@ -272,6 +373,34 @@ impl Hub {
     }
 }
 
+/// Dedup state of one resumable producer session: a bounded window of
+/// recently acked `(seq, accepted)` pairs per source. The lock
+/// serializes batch application across every connection claiming the
+/// same session id — a concurrent duplicate blocks, then sees the
+/// recorded entry and is re-acked.
+#[derive(Default)]
+struct ProducerSession {
+    windows: Mutex<HashMap<u32, SourceWindow>>,
+}
+
+#[derive(Default)]
+struct SourceWindow {
+    /// Recently acked batches, oldest first, bounded by the server's
+    /// resume window.
+    recent: VecDeque<(u64, u32)>,
+    /// Highest sequence number ever recorded — a replayed seq at or
+    /// below it that fell out of the window is refused, never
+    /// re-applied.
+    max_seen: Option<u64>,
+}
+
+/// Per-tenant registry of producer sessions, LRU-bounded.
+#[derive(Default)]
+struct ResumeTable {
+    sessions: HashMap<String, Arc<ProducerSession>>,
+    order: VecDeque<String>,
+}
+
 /// One served tenant: its session plus the wiring the handlers need.
 struct Tenant {
     name: String,
@@ -279,6 +408,32 @@ struct Tenant {
     sources: Vec<String>,
     handles: Vec<SourceHandle>,
     hub: Arc<Hub>,
+    resume: Mutex<ResumeTable>,
+}
+
+impl Tenant {
+    /// Gets or creates the resume state for one producer session id
+    /// (LRU-touched, bounded by `cap`); the bool reports whether it
+    /// already existed — i.e. this Hello is a reconnect.
+    fn resume_session(&self, id: &str, cap: usize) -> (Arc<ProducerSession>, bool) {
+        let mut table = self.resume.lock();
+        table.order.retain(|s| s != id);
+        table.order.push_back(id.to_string());
+        if let Some(sess) = table.sessions.get(id) {
+            return (Arc::clone(sess), true);
+        }
+        let sess = Arc::new(ProducerSession::default());
+        table.sessions.insert(id.to_string(), Arc::clone(&sess));
+        while table.sessions.len() > cap.max(1) {
+            match table.order.pop_front() {
+                Some(old) => {
+                    table.sessions.remove(&old);
+                }
+                None => break,
+            }
+        }
+        (sess, false)
+    }
 }
 
 struct ServerCtx {
@@ -287,13 +442,26 @@ struct ServerCtx {
     order: Vec<String>,
     token: String,
     stop: AtomicBool,
+    /// Set by [`WireServer::drain`]: refuse new Hellos, wind down
+    /// producer connections after their in-flight frame.
+    draining: AtomicBool,
+    /// Set once every acked prefix has been flushed and retirement has
+    /// gone idle: subscribers may now say goodbye after their queue
+    /// empties.
+    drained: AtomicBool,
     local_addr: SocketAddr,
-    conns: Mutex<Vec<TcpStream>>,
+    conns: Mutex<Vec<Box<dyn NetConn>>>,
     handlers: Mutex<Vec<std::thread::JoinHandle<()>>>,
     stats: WireStats,
     pool: SessionPool,
     subscriber_buffer: usize,
     alarm_batch: usize,
+    ping_interval: Duration,
+    idle_timeout: Duration,
+    write_deadline: Duration,
+    resume_window: usize,
+    resume_sessions: usize,
+    drain_grace: Duration,
 }
 
 impl ServerCtx {
@@ -301,7 +469,7 @@ impl ServerCtx {
     /// listener with a throwaway connection so `accept` returns.
     fn request_stop(&self) {
         self.stop.store(true, Relaxed);
-        let _ = TcpStream::connect(self.local_addr);
+        let _ = std::net::TcpStream::connect(self.local_addr);
     }
 }
 
@@ -312,6 +480,13 @@ pub struct WireServerBuilder {
     metrics_addr: Option<String>,
     subscriber_buffer: usize,
     alarm_batch: usize,
+    net: Arc<dyn NetIo>,
+    ping_interval: Duration,
+    idle_timeout: Duration,
+    write_deadline: Duration,
+    resume_window: usize,
+    resume_sessions: usize,
+    drain_grace: Duration,
 }
 
 impl Default for WireServerBuilder {
@@ -321,6 +496,13 @@ impl Default for WireServerBuilder {
             metrics_addr: None,
             subscriber_buffer: 1024,
             alarm_batch: 256,
+            net: real_net(),
+            ping_interval: Duration::from_secs(5),
+            idle_timeout: Duration::from_secs(30),
+            write_deadline: Duration::from_secs(10),
+            resume_window: 128,
+            resume_sessions: 1024,
+            drain_grace: Duration::from_secs(5),
         }
     }
 }
@@ -335,7 +517,8 @@ impl WireServerBuilder {
 
     /// Also binds the pool's `/metrics` + `/healthz` endpoint at
     /// `addr` (port 0 picks a free one), with the wire transport's
-    /// `ec_wire_*` series appended to every scrape.
+    /// `ec_wire_*` series appended to every scrape and the drain state
+    /// surfaced on `/healthz`.
     pub fn metrics_addr(mut self, addr: impl Into<String>) -> Self {
         self.metrics_addr = Some(addr.into());
         self
@@ -351,6 +534,60 @@ impl WireServerBuilder {
     /// Maximum alarms per `AlarmBatch` frame (default 256).
     pub fn alarm_batch(mut self, n: usize) -> Self {
         self.alarm_batch = n.max(1);
+        self
+    }
+
+    /// Routes the listener and every accepted connection through this
+    /// transport plane (default [`RealNet`]). The chaos matrix injects
+    /// a [`FaultNet`] here.
+    pub fn net(mut self, net: Arc<dyn NetIo>) -> Self {
+        self.net = net;
+        self
+    }
+
+    /// How often an idle (or flow-blocked) v2 peer is pinged; also the
+    /// read-deadline granularity of the connection loops (default 5s).
+    pub fn ping_interval(mut self, d: Duration) -> Self {
+        self.ping_interval = d.max(Duration::from_millis(1));
+        self
+    }
+
+    /// A connection silent for this long — no frames, no pong — is
+    /// reaped as half-open (default 30s; keep it a few multiples of
+    /// the ping interval).
+    pub fn idle_timeout(mut self, d: Duration) -> Self {
+        self.idle_timeout = d.max(Duration::from_millis(1));
+        self
+    }
+
+    /// Write deadline per connection: a peer whose receive buffer
+    /// stays full this long (black-holed, wedged) fails the write and
+    /// is disconnected instead of stalling its handler (default 10s).
+    pub fn write_deadline(mut self, d: Duration) -> Self {
+        self.write_deadline = d.max(Duration::from_millis(1));
+        self
+    }
+
+    /// Acked batches remembered per (session, source) for replay dedup
+    /// (default 128, minimum 1). A synchronous client has at most one
+    /// batch in flight, so even the minimum suffices for it.
+    pub fn resume_window(mut self, n: usize) -> Self {
+        self.resume_window = n.max(1);
+        self
+    }
+
+    /// Producer sessions remembered per tenant, LRU-evicted beyond
+    /// this (default 1024).
+    pub fn resume_sessions(mut self, n: usize) -> Self {
+        self.resume_sessions = n.max(1);
+        self
+    }
+
+    /// How long [`WireServer::drain`] waits for producers to finish
+    /// their in-flight frames and for subscribers to catch up before
+    /// forcing the shutdown (default 5s).
+    pub fn drain_grace(mut self, d: Duration) -> Self {
+        self.drain_grace = d;
         self
     }
 
@@ -396,10 +633,13 @@ impl WireServerBuilder {
                     sources,
                     handles,
                     hub,
+                    resume: Mutex::new(ResumeTable::default()),
                 }),
             );
         }
-        let listener = TcpListener::bind(addr)
+        let listener = self
+            .net
+            .bind(addr)
             .map_err(|e| RuntimeError::Config(format!("wire endpoint {addr}: {e}")))?;
         let local_addr = listener
             .local_addr()
@@ -409,6 +649,8 @@ impl WireServerBuilder {
             order,
             token: self.token,
             stop: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
+            drained: AtomicBool::new(false),
             local_addr,
             conns: Mutex::new(Vec::new()),
             handlers: Mutex::new(Vec::new()),
@@ -416,14 +658,34 @@ impl WireServerBuilder {
             pool,
             subscriber_buffer: self.subscriber_buffer,
             alarm_batch: self.alarm_batch,
+            ping_interval: self.ping_interval,
+            idle_timeout: self.idle_timeout,
+            write_deadline: self.write_deadline,
+            resume_window: self.resume_window,
+            resume_sessions: self.resume_sessions,
+            drain_grace: self.drain_grace,
         });
         let metrics_addr = match &self.metrics_addr {
             Some(addr) => {
-                let stats_ctx = Arc::clone(&ctx);
-                Some(
-                    ctx.pool
-                        .serve_metrics_with(addr, move |page| stats_ctx.stats.render(page))?,
-                )
+                // Weak references: the registry closures live inside
+                // the pool the ctx owns, so strong captures would keep
+                // the ctx alive forever and break shutdown's unwrap.
+                let stats_ctx = Arc::downgrade(&ctx);
+                let health_ctx = Arc::downgrade(&ctx);
+                Some(ctx.pool.serve_metrics_ext(
+                    addr,
+                    move |page| {
+                        if let Some(ctx) = stats_ctx.upgrade() {
+                            ctx.stats.render(page, ctx.draining.load(Relaxed));
+                        }
+                    },
+                    move || {
+                        let draining = health_ctx
+                            .upgrade()
+                            .is_some_and(|ctx| ctx.draining.load(Relaxed));
+                        vec![("draining".to_string(), draining.to_string())]
+                    },
+                )?)
             }
             None => None,
         };
@@ -509,9 +771,65 @@ impl WireServer {
 
     /// True once a shutdown was requested — by [`shutdown`](Self::shutdown)
     /// or by a client's [`Shutdown`](wire::Frame::Shutdown) frame. The
-    /// owner should then call [`shutdown`](Self::shutdown).
+    /// owner should then call [`shutdown`](Self::shutdown) (or
+    /// [`drain`](Self::drain)).
     pub fn stop_requested(&self) -> bool {
         self.ctx.as_ref().is_some_and(|c| c.stop.load(Relaxed))
+    }
+
+    /// True while a [`drain`](Self::drain) is in progress: new Hellos
+    /// are refused and connections are winding down.
+    pub fn draining(&self) -> bool {
+        self.ctx.as_ref().is_some_and(|c| c.draining.load(Relaxed))
+    }
+
+    /// Gracefully winds the server down, then shuts it down:
+    ///
+    /// 1. refuse new `Hello`s (with an explicit "draining" error);
+    /// 2. let every producer finish its in-flight frame, then send it
+    ///    [`Goodbye`](wire::Frame::Goodbye) — flushing tenants
+    ///    throughout so a flow-blocked push can land;
+    /// 3. flush every tenant's acked prefix and wait for retirement to
+    ///    go idle;
+    /// 4. let subscribers drain their remaining alarms, then send them
+    ///    `Goodbye`;
+    /// 5. run the normal [`shutdown`](Self::shutdown).
+    ///
+    /// Each waiting step is bounded by
+    /// [`drain_grace`](WireServerBuilder::drain_grace); a wedged peer
+    /// delays the drain at most that long.
+    pub fn drain(self) -> Vec<(String, Result<RuntimeReport, RuntimeError>)> {
+        if let Some(ctx) = self.ctx.as_ref() {
+            ctx.draining.store(true, Relaxed);
+            let deadline = Instant::now() + ctx.drain_grace;
+            while ctx.stats.producers_open.load(Relaxed) > 0 && Instant::now() < deadline {
+                // Flushing unblocks any producer stuck in a full
+                // buffer so its in-flight batch can complete and be
+                // recorded before the goodbye.
+                for t in ctx.tenants.values() {
+                    let _ = t.session.flush();
+                }
+                std::thread::sleep(POLL);
+            }
+            for t in ctx.tenants.values() {
+                let _ = t.session.flush();
+                let _ = t.session.wait_idle();
+            }
+            // `wait_idle` covers retirement; the delivery thread
+            // forwards the final sink emissions to the hub up to one
+            // ~50ms wakeup later. Let that settle before declaring the
+            // alarm stream complete, or the goodbye could beat the
+            // last batch.
+            std::thread::sleep(Duration::from_millis(150));
+            ctx.drained.store(true, Relaxed);
+            // The producer wait above may have consumed the whole
+            // grace period on a wedged peer; subscribers get their own.
+            let deadline = Instant::now() + ctx.drain_grace;
+            while ctx.stats.subscribers_open.load(Relaxed) > 0 && Instant::now() < deadline {
+                std::thread::sleep(POLL);
+            }
+        }
+        self.shutdown()
     }
 
     /// Stops accepting, disconnects every client, joins the handler
@@ -555,7 +873,7 @@ impl WireServer {
         let ctx = self.ctx.take()?;
         ctx.request_stop();
         for conn in ctx.conns.lock().drain(..) {
-            let _ = conn.shutdown(std::net::Shutdown::Both);
+            let _ = conn.shutdown_both();
         }
         if let Some(t) = self.listener_thread.take() {
             let _ = t.join();
@@ -574,10 +892,10 @@ impl Drop for WireServer {
     }
 }
 
-fn accept_loop(listener: TcpListener, ctx: Arc<ServerCtx>) {
+fn accept_loop(listener: Box<dyn NetListener>, ctx: Arc<ServerCtx>) {
     loop {
-        let (stream, _) = match listener.accept() {
-            Ok(pair) => pair,
+        let conn = match listener.accept() {
+            Ok(conn) => conn,
             Err(_) => {
                 if ctx.stop.load(Relaxed) {
                     return;
@@ -588,13 +906,13 @@ fn accept_loop(listener: TcpListener, ctx: Arc<ServerCtx>) {
         if ctx.stop.load(Relaxed) {
             return;
         }
-        if let Ok(clone) = stream.try_clone() {
+        if let Ok(clone) = conn.try_clone_conn() {
             ctx.conns.lock().push(clone);
         }
         let conn_ctx = Arc::clone(&ctx);
         let spawned = std::thread::Builder::new()
             .name("ec-wire-conn".into())
-            .spawn(move || handle_conn(conn_ctx, stream));
+            .spawn(move || handle_conn(conn_ctx, conn));
         if let Ok(h) = spawned {
             ctx.handlers.lock().push(h);
         }
@@ -626,24 +944,40 @@ fn refuse(ctx: &ServerCtx, w: &mut impl Write, reason: String) {
     send(ctx, w, &Frame::Error { reason });
 }
 
-fn handle_conn(ctx: Arc<ServerCtx>, stream: TcpStream) {
+/// Drops a connection the server can no longer trust (corrupt framing,
+/// missed liveness deadline) without refusing anything: v2 peers get a
+/// best-effort [`Frame::Abort`] telling them a resume is safe, v1
+/// peers (which predate `Abort`) get the legacy `Error`.
+fn abort(ctx: &ServerCtx, w: &mut impl Write, peer_version: u32, reason: String) {
+    if peer_version >= 2 {
+        send(ctx, w, &Frame::Abort { reason });
+    } else {
+        send(ctx, w, &Frame::Error { reason });
+    }
+}
+
+fn handle_conn(ctx: Arc<ServerCtx>, mut reader: Box<dyn NetConn>) {
     ctx.stats.connections_total.fetch_add(1, Relaxed);
-    let _ = stream.set_nodelay(true);
-    let Ok(read_half) = stream.try_clone() else {
+    let Ok(mut writer) = reader.try_clone_conn() else {
         return;
     };
-    let mut reader = BufReader::new(read_half);
-    let mut writer = BufWriter::new(stream);
+    // Deadlines from the first byte: a peer that never completes its
+    // handshake is timed out instead of parking this thread forever.
+    let _ = reader.set_read_timeout(Some(ctx.idle_timeout));
+    let _ = writer.set_write_timeout(Some(ctx.write_deadline));
     // Preamble exchange: validate the client's, then send ours so the
     // client can parse the reply even when we refuse.
     let preamble = wire::read_preamble(&mut reader);
     if wire::write_preamble(&mut writer).is_err() || writer.flush().is_err() {
         return;
     }
-    if let Err(e) = preamble {
-        refuse(&ctx, &mut writer, e.to_string());
-        return;
-    }
+    let peer_version = match preamble {
+        Ok(v) => v,
+        Err(e) => {
+            refuse(&ctx, &mut writer, e.to_string());
+            return;
+        }
+    };
     let hello = match wire::read_frame(&mut reader) {
         Ok(f) => f,
         Err(e) => {
@@ -652,15 +986,30 @@ fn handle_conn(ctx: Arc<ServerCtx>, stream: TcpStream) {
         }
     };
     ctx.stats.frames_in.fetch_add(1, Relaxed);
-    let Frame::Hello {
-        token,
-        tenant,
-        role,
-    } = hello
-    else {
-        refuse(&ctx, &mut writer, "first frame must be Hello".into());
-        return;
+    let (token, tenant, role, session_id) = match hello {
+        Frame::Hello {
+            token,
+            tenant,
+            role,
+        } => (token, tenant, role, None),
+        Frame::HelloResume {
+            token,
+            tenant,
+            session,
+        } => (token, tenant, Role::Producer, Some(session)),
+        _ => {
+            refuse(&ctx, &mut writer, "first frame must be Hello".into());
+            return;
+        }
     };
+    if ctx.draining.load(Relaxed) {
+        refuse(
+            &ctx,
+            &mut writer,
+            "server draining: not accepting new sessions".into(),
+        );
+        return;
+    }
     if !ctx.token.is_empty() && token != ctx.token {
         refuse(&ctx, &mut writer, "bad token".into());
         return;
@@ -669,6 +1018,13 @@ fn handle_conn(ctx: Arc<ServerCtx>, stream: TcpStream) {
         refuse(&ctx, &mut writer, format!("unknown tenant {tenant:?}"));
         return;
     };
+    let session = session_id.map(|id| {
+        let (sess, existed) = t.resume_session(&id, ctx.resume_sessions);
+        if existed {
+            ctx.stats.reconnects.fetch_add(1, Relaxed);
+        }
+        sess
+    });
     if !send(
         &ctx,
         &mut writer,
@@ -679,16 +1035,18 @@ fn handle_conn(ctx: Arc<ServerCtx>, stream: TcpStream) {
     ) {
         return;
     }
+    // Steady-state read deadline: one ping interval per tick.
+    let _ = reader.set_read_timeout(Some(ctx.ping_interval));
     match role {
         Role::Producer => {
             ctx.stats.producers_open.fetch_add(1, Relaxed);
             let _open = OpenGuard(&ctx.stats.producers_open);
-            producer_loop(&ctx, &t, &mut reader, &mut writer);
+            producer_loop(&ctx, &t, &mut reader, &mut writer, peer_version, session);
         }
         Role::Subscriber => {
             ctx.stats.subscribers_open.fetch_add(1, Relaxed);
             let _open = OpenGuard(&ctx.stats.subscribers_open);
-            subscriber_loop(&ctx, &t, &mut reader, &mut writer);
+            subscriber_loop(&ctx, &t, &mut reader, &mut writer, peer_version);
         }
     }
 }
@@ -696,28 +1054,77 @@ fn handle_conn(ctx: Arc<ServerCtx>, stream: TcpStream) {
 fn producer_loop(
     ctx: &ServerCtx,
     t: &Tenant,
-    reader: &mut impl std::io::Read,
-    writer: &mut impl Write,
+    reader: &mut Box<dyn NetConn>,
+    writer: &mut Box<dyn NetConn>,
+    peer_version: u32,
+    session: Option<Arc<ProducerSession>>,
 ) {
+    let mut fr = wire::FrameReader::new();
+    let mut last_frame = Instant::now();
+    let mut ping_nonce = 0u64;
     loop {
-        let frame = match wire::read_frame(reader) {
-            Ok(f) => f,
+        if ctx.stop.load(Relaxed) {
+            send(
+                ctx,
+                writer,
+                &Frame::Error {
+                    reason: "server shutting down".into(),
+                },
+            );
+            return;
+        }
+        if ctx.draining.load(Relaxed) && !fr.mid_frame() {
+            if peer_version >= 2 {
+                send(
+                    ctx,
+                    writer,
+                    &Frame::Goodbye {
+                        reason: "server draining".into(),
+                    },
+                );
+            }
+            return;
+        }
+        let frame = match fr.read_from(reader) {
+            Ok(Some(f)) => f,
+            Ok(None) => {
+                // Idle tick: the read deadline (one ping interval)
+                // expired with no complete frame.
+                if last_frame.elapsed() >= ctx.idle_timeout {
+                    ctx.stats.reaped.fetch_add(1, Relaxed);
+                    abort(
+                        ctx,
+                        writer,
+                        peer_version,
+                        "idle deadline exceeded: reaping half-open producer".into(),
+                    );
+                    return;
+                }
+                if peer_version >= 2 {
+                    ping_nonce += 1;
+                    ctx.stats.pings.fetch_add(1, Relaxed);
+                    if !send(ctx, writer, &Frame::Ping { nonce: ping_nonce }) {
+                        ctx.stats.crash_closes.fetch_add(1, Relaxed);
+                        return;
+                    }
+                }
+                continue;
+            }
             Err(e) => {
                 // A torn/corrupt frame is discarded whole: everything
                 // pushed so far stays (the acknowledged FIFO prefix),
-                // nothing from the bad frame enters a buffer.
+                // nothing from the bad frame enters a buffer. The
+                // stream itself is untrusted from here, so this is an
+                // abort, not a refusal — a resuming client redials and
+                // replays, and dedup keeps the commit exactly-once.
+                ctx.stats.crash_closes.fetch_add(1, Relaxed);
                 if !e.is_disconnect() {
-                    send(
-                        ctx,
-                        writer,
-                        &Frame::Error {
-                            reason: e.to_string(),
-                        },
-                    );
+                    abort(ctx, writer, peer_version, e.to_string());
                 }
                 return;
             }
         };
+        last_frame = Instant::now();
         ctx.stats.frames_in.fetch_add(1, Relaxed);
         match frame {
             Frame::PushBatch { seq, source, bins } => {
@@ -734,22 +1141,88 @@ fn producer_loop(
                     );
                     return;
                 };
-                let mut accepted = 0u32;
-                for bin in bins {
-                    let Some(v) = bin else { continue };
-                    if !push_one(ctx, writer, handle, source, v) {
-                        return;
+                let mut conn_ok = true;
+                let accepted = match &session {
+                    Some(sess) => {
+                        // The window lock serializes same-session
+                        // batches across concurrent connections and is
+                        // held through application, so a duplicate
+                        // blocks and then dedups.
+                        let mut windows = sess.windows.lock();
+                        let win = windows.entry(source).or_default();
+                        if let Some(&(_, accepted)) =
+                            win.recent.iter().rev().find(|(s, _)| *s == seq)
+                        {
+                            ctx.stats.dedup_hits.fetch_add(1, Relaxed);
+                            drop(windows);
+                            if !send(ctx, writer, &Frame::PushAck { seq, accepted }) {
+                                ctx.stats.crash_closes.fetch_add(1, Relaxed);
+                                return;
+                            }
+                            continue;
+                        }
+                        if win.max_seen.is_some_and(|hi| seq <= hi) {
+                            // Acked long ago and evicted — refusing is
+                            // the only answer that cannot double-apply.
+                            send(
+                                ctx,
+                                writer,
+                                &Frame::Error {
+                                    reason: format!(
+                                        "batch seq {seq} is behind the session's resume window"
+                                    ),
+                                },
+                            );
+                            return;
+                        }
+                        let Some(accepted) = apply_batch(
+                            ctx,
+                            writer,
+                            &mut conn_ok,
+                            handle,
+                            source,
+                            bins,
+                            peer_version,
+                        ) else {
+                            // Terminal (tenant closed / stopping): the
+                            // partial batch stays unrecorded — a replay
+                            // meets the same terminal refusal, never a
+                            // double-apply.
+                            return;
+                        };
+                        let win = windows.entry(source).or_default();
+                        win.max_seen = Some(win.max_seen.map_or(seq, |hi| hi.max(seq)));
+                        win.recent.push_back((seq, accepted));
+                        while win.recent.len() > ctx.resume_window {
+                            win.recent.pop_front();
+                        }
+                        accepted
                     }
-                    accepted += 1;
-                }
+                    None => {
+                        let Some(accepted) = apply_batch(
+                            ctx,
+                            writer,
+                            &mut conn_ok,
+                            handle,
+                            source,
+                            bins,
+                            peer_version,
+                        ) else {
+                            return;
+                        };
+                        accepted
+                    }
+                };
                 ctx.stats.events_in.fetch_add(accepted as u64, Relaxed);
-                if !send(ctx, writer, &Frame::PushAck { seq, accepted }) {
+                if !conn_ok || !send(ctx, writer, &Frame::PushAck { seq, accepted }) {
+                    ctx.stats.crash_closes.fetch_add(1, Relaxed);
                     return;
                 }
             }
             Frame::Seal => match t.session.flush() {
                 Ok(phases) => {
                     if !send(ctx, writer, &Frame::SealOk { phases }) {
+                        ctx.stats.crash_closes.fetch_add(1, Relaxed);
                         return;
                     }
                 }
@@ -773,12 +1246,27 @@ fn producer_loop(
                     .map(|r| r.to_json())
                     .unwrap_or_else(|| "{}".into());
                 if !send(ctx, writer, &Frame::MetricsReply { json }) {
+                    ctx.stats.crash_closes.fetch_add(1, Relaxed);
                     return;
                 }
             }
             Frame::Shutdown => {
                 ctx.request_stop();
                 send(ctx, writer, &Frame::ShutdownOk);
+                return;
+            }
+            Frame::Ping { nonce } => {
+                if !send(ctx, writer, &Frame::Pong { nonce }) {
+                    ctx.stats.crash_closes.fetch_add(1, Relaxed);
+                    return;
+                }
+            }
+            Frame::Pong { .. } => {
+                // Liveness answer; receiving any frame already reset
+                // the idle clock.
+            }
+            Frame::Goodbye { .. } => {
+                ctx.stats.clean_closes.fetch_add(1, Relaxed);
                 return;
             }
             _ => {
@@ -795,21 +1283,55 @@ fn producer_loop(
     }
 }
 
+/// Applies a whole batch. Returns `Some(accepted)` once every bin has
+/// entered the source's buffer — even if the client connection died
+/// along the way (`conn_ok` flips false) — so that a recorded resume
+/// entry always describes a fully-applied batch and a replay can be
+/// re-acked safely. Returns `None` only on a terminal condition
+/// (tenant closed, server stopping): then the partial batch must not
+/// be recorded, and a replay meets the same terminal refusal.
+fn apply_batch(
+    ctx: &ServerCtx,
+    writer: &mut impl Write,
+    conn_ok: &mut bool,
+    handle: &SourceHandle,
+    source: u32,
+    bins: Vec<Option<ec_events::Value>>,
+    peer_version: u32,
+) -> Option<u32> {
+    let mut accepted = 0u32;
+    for bin in bins {
+        let Some(v) = bin else { continue };
+        if !push_one(ctx, writer, conn_ok, handle, source, v, peer_version) {
+            return None;
+        }
+        accepted += 1;
+    }
+    Some(accepted)
+}
+
 /// Pushes one event, surfacing a full buffer as `FlowControl(Block)`
-/// and retrying until it lands (then `FlowControl(Open)`). False means
-/// the connection or tenant is gone.
+/// and retrying until it lands (then `FlowControl(Open)`), pinging the
+/// peer while blocked so its deadline sees a live server. A dead
+/// client connection flips `conn_ok` but does not stop the push —
+/// batch application must run to completion (see [`apply_batch`]).
+/// False means a terminal condition: tenant closed or server stopping.
 fn push_one(
     ctx: &ServerCtx,
     writer: &mut impl Write,
+    conn_ok: &mut bool,
     handle: &SourceHandle,
     source: u32,
     value: ec_events::Value,
+    peer_version: u32,
 ) -> bool {
     let mut blocked = false;
+    let mut last_ping = Instant::now();
     loop {
         match handle.push(value.clone()) {
             Ok(()) => {
                 if blocked
+                    && *conn_ok
                     && !send(
                         ctx,
                         writer,
@@ -819,7 +1341,7 @@ fn push_one(
                         },
                     )
                 {
-                    return false;
+                    *conn_ok = false;
                 }
                 return true;
             }
@@ -827,37 +1349,50 @@ fn push_one(
                 if !blocked {
                     blocked = true;
                     ctx.stats.flow_blocks.fetch_add(1, Relaxed);
-                    if !send(
-                        ctx,
-                        writer,
-                        &Frame::FlowControl {
-                            source,
-                            state: FlowState::Block,
-                        },
-                    ) {
-                        return false;
+                    if *conn_ok
+                        && !send(
+                            ctx,
+                            writer,
+                            &Frame::FlowControl {
+                                source,
+                                state: FlowState::Block,
+                            },
+                        )
+                    {
+                        *conn_ok = false;
                     }
                 }
                 if ctx.stop.load(Relaxed) {
-                    send(
-                        ctx,
-                        writer,
-                        &Frame::Error {
-                            reason: "server shutting down".into(),
-                        },
-                    );
+                    if *conn_ok {
+                        send(
+                            ctx,
+                            writer,
+                            &Frame::Error {
+                                reason: "server shutting down".into(),
+                            },
+                        );
+                    }
                     return false;
+                }
+                if *conn_ok && peer_version >= 2 && last_ping.elapsed() >= ctx.ping_interval {
+                    last_ping = Instant::now();
+                    ctx.stats.pings.fetch_add(1, Relaxed);
+                    if !send(ctx, writer, &Frame::Ping { nonce: 0 }) {
+                        *conn_ok = false;
+                    }
                 }
                 std::thread::sleep(POLL);
             }
             Err(PushError::Closed) => {
-                send(
-                    ctx,
-                    writer,
-                    &Frame::Error {
-                        reason: "tenant closed".into(),
-                    },
-                );
+                if *conn_ok {
+                    send(
+                        ctx,
+                        writer,
+                        &Frame::Error {
+                            reason: "tenant closed".into(),
+                        },
+                    );
+                }
                 return false;
             }
         }
@@ -867,25 +1402,54 @@ fn push_one(
 fn subscriber_loop(
     ctx: &ServerCtx,
     t: &Tenant,
-    reader: &mut impl std::io::Read,
-    writer: &mut impl Write,
+    reader: &mut Box<dyn NetConn>,
+    writer: &mut Box<dyn NetConn>,
+    peer_version: u32,
 ) {
-    match wire::read_frame(reader) {
-        Ok(Frame::SubscribeAlarms) => {
-            ctx.stats.frames_in.fetch_add(1, Relaxed);
+    let mut fr = wire::FrameReader::new();
+    let started = Instant::now();
+    loop {
+        match fr.read_from(reader) {
+            Ok(Some(Frame::SubscribeAlarms)) => {
+                ctx.stats.frames_in.fetch_add(1, Relaxed);
+                break;
+            }
+            Ok(Some(Frame::Goodbye { .. })) => {
+                ctx.stats.frames_in.fetch_add(1, Relaxed);
+                ctx.stats.clean_closes.fetch_add(1, Relaxed);
+                return;
+            }
+            Ok(Some(_)) => {
+                ctx.stats.frames_in.fetch_add(1, Relaxed);
+                send(
+                    ctx,
+                    writer,
+                    &Frame::Error {
+                        reason: "a subscriber must send SubscribeAlarms first".into(),
+                    },
+                );
+                return;
+            }
+            Ok(None) => {
+                if started.elapsed() >= ctx.idle_timeout {
+                    ctx.stats.reaped.fetch_add(1, Relaxed);
+                    abort(
+                        ctx,
+                        writer,
+                        peer_version,
+                        "idle deadline exceeded: reaping half-open subscriber".into(),
+                    );
+                    return;
+                }
+            }
+            Err(e) => {
+                ctx.stats.crash_closes.fetch_add(1, Relaxed);
+                if !e.is_disconnect() {
+                    abort(ctx, writer, peer_version, e.to_string());
+                }
+                return;
+            }
         }
-        Ok(_) => {
-            ctx.stats.frames_in.fetch_add(1, Relaxed);
-            send(
-                ctx,
-                writer,
-                &Frame::Error {
-                    reason: "a subscriber must send SubscribeAlarms first".into(),
-                },
-            );
-            return;
-        }
-        Err(_) => return,
     }
     let id = t.hub.register(ctx.subscriber_buffer);
     // Acknowledge only once the slot exists: after SubscribeOk, every
@@ -895,18 +1459,86 @@ fn subscriber_loop(
         t.hub.unregister(id);
         return;
     }
+    // Short read deadline from here on: the loop interleaves hub
+    // drains with polls for client frames (Ping, Goodbye, close).
+    let _ = reader.set_read_timeout(Some(POLL));
+    let mut last_out = Instant::now();
+    let mut ping_nonce = 0u64;
     loop {
         if ctx.stop.load(Relaxed) {
             break;
         }
-        match t.hub.drain(id, ctx.alarm_batch, Duration::from_millis(50)) {
-            Drained::Batch(alarms) => {
-                ctx.stats.alarms_out.fetch_add(alarms.len() as u64, Relaxed);
-                if !send(ctx, writer, &Frame::AlarmBatch { alarms }) {
+        match fr.read_from(reader) {
+            Ok(Some(Frame::Ping { nonce })) => {
+                ctx.stats.frames_in.fetch_add(1, Relaxed);
+                if !send(ctx, writer, &Frame::Pong { nonce }) {
+                    ctx.stats.crash_closes.fetch_add(1, Relaxed);
                     break;
                 }
             }
-            Drained::Empty => continue,
+            Ok(Some(Frame::Pong { .. })) => {
+                ctx.stats.frames_in.fetch_add(1, Relaxed);
+            }
+            Ok(Some(Frame::Goodbye { .. })) => {
+                ctx.stats.frames_in.fetch_add(1, Relaxed);
+                ctx.stats.clean_closes.fetch_add(1, Relaxed);
+                t.hub.unregister(id);
+                return;
+            }
+            Ok(Some(_)) => {
+                ctx.stats.frames_in.fetch_add(1, Relaxed);
+                send(
+                    ctx,
+                    writer,
+                    &Frame::Error {
+                        reason: "unexpected frame on a subscriber connection".into(),
+                    },
+                );
+                break;
+            }
+            Ok(None) => {}
+            Err(e) => {
+                ctx.stats.crash_closes.fetch_add(1, Relaxed);
+                if !e.is_disconnect() {
+                    abort(ctx, writer, peer_version, e.to_string());
+                }
+                break;
+            }
+        }
+        match t.hub.drain(id, ctx.alarm_batch, Duration::from_millis(50)) {
+            Drained::Batch(alarms) => {
+                last_out = Instant::now();
+                ctx.stats.alarms_out.fetch_add(alarms.len() as u64, Relaxed);
+                if !send(ctx, writer, &Frame::AlarmBatch { alarms }) {
+                    ctx.stats.crash_closes.fetch_add(1, Relaxed);
+                    break;
+                }
+            }
+            Drained::Empty => {
+                if ctx.drained.load(Relaxed) {
+                    // Every acked prefix is flushed and retired, and
+                    // this slot is empty: the stream is complete.
+                    if peer_version >= 2 {
+                        send(
+                            ctx,
+                            writer,
+                            &Frame::Goodbye {
+                                reason: "server draining: alarm stream complete".into(),
+                            },
+                        );
+                    }
+                    break;
+                }
+                if peer_version >= 2 && last_out.elapsed() >= ctx.ping_interval {
+                    last_out = Instant::now();
+                    ping_nonce += 1;
+                    ctx.stats.pings.fetch_add(1, Relaxed);
+                    if !send(ctx, writer, &Frame::Ping { nonce: ping_nonce }) {
+                        ctx.stats.crash_closes.fetch_add(1, Relaxed);
+                        break;
+                    }
+                }
+            }
             Drained::Overflowed => {
                 send(
                     ctx,

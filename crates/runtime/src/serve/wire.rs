@@ -31,10 +31,18 @@ use std::io::{Read, Write};
 /// Connection preamble magic: `"ECWP"` as a little-endian u32.
 pub const WIRE_MAGIC: u32 = u32::from_le_bytes(*b"ECWP");
 
-/// Protocol version spoken by this build. Bumping it invalidates the
-/// `wire_v1.bin` fixture on purpose: the old format must keep decoding
-/// or the bump must be deliberate.
-pub const WIRE_VERSION: u32 = 1;
+/// Protocol version spoken by this build. Version 2 added the liveness
+/// and resume frames (`Ping`/`Pong`/`HelloResume`/`Goodbye`) without
+/// changing any version-1 encoding, so version-1 peers are still
+/// accepted ([`MIN_WIRE_VERSION`]) — they just never receive the new
+/// frames. Bumping past a peer's version invalidates its fixture on
+/// purpose: the old format must keep decoding or the bump must be
+/// deliberate.
+pub const WIRE_VERSION: u32 = 2;
+
+/// Oldest peer version still accepted. Every frame tag that existed at
+/// this version encodes identically today — `wire_v1.bin` pins that.
+pub const MIN_WIRE_VERSION: u32 = 1;
 
 /// Hard ceiling on a single frame's payload, applied on both encode
 /// and decode. A corrupt length prefix must not convince the peer to
@@ -91,6 +99,11 @@ pub struct WireAlarm {
 /// | 12 | `MetricsReply` | server → client | tenant metrics JSON |
 /// | 13 | `Shutdown` | client → server | — |
 /// | 14 | `ShutdownOk` | server → client | — |
+/// | 16 | `Ping` | either | nonce (v2+) |
+/// | 17 | `Pong` | either | echoed nonce (v2+) |
+/// | 18 | `HelloResume` | client → server | token, tenant, session id (v2+) |
+/// | 19 | `Goodbye` | either | reason, then clean close (v2+) |
+/// | 20 | `Abort` | server → client | reason, then close; retry safe (v2+) |
 #[derive(Debug, Clone, PartialEq)]
 pub enum Frame {
     /// Authenticate this connection to one tenant.
@@ -176,6 +189,53 @@ pub enum Frame {
     Shutdown,
     /// Shutdown acknowledged; the server stops accepting and closes.
     ShutdownOk,
+    /// Liveness probe (v2+). Either side may send one at any time; the
+    /// peer answers with a [`Pong`](Frame::Pong) echoing the nonce. The
+    /// server pings idle and flow-blocked producers so a half-open peer
+    /// is detected by deadline instead of wedging forever.
+    Ping {
+        /// Opaque probe id, echoed back in the `Pong`.
+        nonce: u64,
+    },
+    /// Answer to a [`Ping`](Frame::Ping) (v2+).
+    Pong {
+        /// The nonce of the ping being answered.
+        nonce: u64,
+    },
+    /// Authenticate a producer connection to a resumable session
+    /// (v2+). The server keeps a bounded per-(session, source) window
+    /// of recently acked batch sequence numbers: a reconnecting client
+    /// that replays its unacked suffix under the same session id gets
+    /// already-applied batches re-acked instead of re-applied, so
+    /// every acked event commits exactly once — which also makes
+    /// multiple concurrent connections per source safe.
+    HelloResume {
+        /// Shared secret, as in [`Hello`](Frame::Hello).
+        token: String,
+        /// Tenant (session) name to attach to.
+        tenant: String,
+        /// Client-chosen session id; batch dedup is keyed by it.
+        session: String,
+    },
+    /// Clean close (v2+). A client sends it before hanging up so the
+    /// server can tell a deliberate close from a crashed peer; the
+    /// server sends it to connections it is draining. No reply — the
+    /// stream ends here.
+    Goodbye {
+        /// Why the sender is going away.
+        reason: String,
+    },
+    /// Connection-level failure (v2+): the server can no longer trust
+    /// this stream (corrupt framing, liveness deadline missed) and is
+    /// closing it, but nothing was *refused* — a client with a
+    /// resumable session should redial and replay. Contrast with
+    /// [`Error`](Frame::Error), which is a terminal application
+    /// refusal (bad token, unknown tenant, outside the resume window)
+    /// that a retry would only repeat.
+    Abort {
+        /// Why the connection is being dropped.
+        reason: String,
+    },
 }
 
 /// Typed decode/transport failure. Corrupt bytes land here — never in
@@ -208,6 +268,10 @@ pub enum WireError {
     /// The peer sent a well-formed frame that is invalid in the
     /// current protocol state.
     Unexpected(&'static str),
+    /// The peer ended the stream deliberately with a
+    /// [`Goodbye`](Frame::Goodbye) (carries its reason) — a clean
+    /// close, not a failure.
+    Closed(String),
 }
 
 impl std::fmt::Display for WireError {
@@ -231,6 +295,7 @@ impl std::fmt::Display for WireError {
             WireError::Malformed(m) => write!(f, "malformed frame: {m}"),
             WireError::Refused(r) => write!(f, "refused by peer: {r}"),
             WireError::Unexpected(what) => write!(f, "unexpected frame: {what}"),
+            WireError::Closed(reason) => write!(f, "peer said goodbye: {reason}"),
         }
     }
 }
@@ -265,6 +330,19 @@ impl WireError {
             )
         )
     }
+
+    /// True when the failure is a read/write deadline expiring rather
+    /// than corrupt data or a dead socket — the idle tick the liveness
+    /// layer acts on.
+    pub fn is_timeout(&self) -> bool {
+        matches!(
+            self,
+            WireError::Io(e) if matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            )
+        )
+    }
 }
 
 const TAG_HELLO: u8 = 1;
@@ -282,6 +360,11 @@ const TAG_METRICS_REPLY: u8 = 12;
 const TAG_SHUTDOWN: u8 = 13;
 const TAG_SHUTDOWN_OK: u8 = 14;
 const TAG_SUBSCRIBE_OK: u8 = 15;
+const TAG_PING: u8 = 16;
+const TAG_PONG: u8 = 17;
+const TAG_HELLO_RESUME: u8 = 18;
+const TAG_GOODBYE: u8 = 19;
+const TAG_ABORT: u8 = 20;
 
 /// Encodes one frame's payload (tag + body), without the length/CRC
 /// envelope.
@@ -358,6 +441,32 @@ pub fn encode(frame: &Frame) -> Vec<u8> {
         }
         Frame::Shutdown => w.put_u8(TAG_SHUTDOWN),
         Frame::ShutdownOk => w.put_u8(TAG_SHUTDOWN_OK),
+        Frame::Ping { nonce } => {
+            w.put_u8(TAG_PING);
+            w.put_u64(*nonce);
+        }
+        Frame::Pong { nonce } => {
+            w.put_u8(TAG_PONG);
+            w.put_u64(*nonce);
+        }
+        Frame::HelloResume {
+            token,
+            tenant,
+            session,
+        } => {
+            w.put_u8(TAG_HELLO_RESUME);
+            w.put_str(token);
+            w.put_str(tenant);
+            w.put_str(session);
+        }
+        Frame::Goodbye { reason } => {
+            w.put_u8(TAG_GOODBYE);
+            w.put_str(reason);
+        }
+        Frame::Abort { reason } => {
+            w.put_u8(TAG_ABORT);
+            w.put_str(reason);
+        }
     }
     w.into_bytes()
 }
@@ -443,6 +552,23 @@ pub fn decode(payload: &[u8]) -> Result<Frame, WireError> {
         TAG_METRICS_REPLY => Frame::MetricsReply { json: r.get_str()? },
         TAG_SHUTDOWN => Frame::Shutdown,
         TAG_SHUTDOWN_OK => Frame::ShutdownOk,
+        TAG_PING => Frame::Ping {
+            nonce: r.get_u64()?,
+        },
+        TAG_PONG => Frame::Pong {
+            nonce: r.get_u64()?,
+        },
+        TAG_HELLO_RESUME => Frame::HelloResume {
+            token: r.get_str()?,
+            tenant: r.get_str()?,
+            session: r.get_str()?,
+        },
+        TAG_GOODBYE => Frame::Goodbye {
+            reason: r.get_str()?,
+        },
+        TAG_ABORT => Frame::Abort {
+            reason: r.get_str()?,
+        },
         other => return Err(WireError::UnknownFrame(other)),
     };
     r.finish()?;
@@ -462,15 +588,30 @@ fn checked_count(n: u32, payload_len: usize) -> Result<usize, WireError> {
     Ok(n as usize)
 }
 
-/// Writes the 8-byte connection preamble (magic + version).
+/// Writes the 8-byte connection preamble (magic + [`WIRE_VERSION`]) as
+/// a single write, so an injected duplication or tear operates on the
+/// whole preamble rather than splitting the magic from the version.
 pub fn write_preamble(w: &mut impl Write) -> Result<(), WireError> {
-    w.write_all(&WIRE_MAGIC.to_le_bytes())?;
-    w.write_all(&WIRE_VERSION.to_le_bytes())?;
+    write_preamble_version(w, WIRE_VERSION)
+}
+
+/// Writes a preamble claiming a specific (still-supported) `version` —
+/// how the byte-pinned v1 fixture stays writable after a bump.
+pub fn write_preamble_version(w: &mut impl Write, version: u32) -> Result<(), WireError> {
+    if !(MIN_WIRE_VERSION..=WIRE_VERSION).contains(&version) {
+        return Err(WireError::Version(version));
+    }
+    let mut buf = [0u8; 8];
+    buf[..4].copy_from_slice(&WIRE_MAGIC.to_le_bytes());
+    buf[4..].copy_from_slice(&version.to_le_bytes());
+    w.write_all(&buf)?;
     Ok(())
 }
 
-/// Reads and validates the peer's preamble.
-pub fn read_preamble(r: &mut impl Read) -> Result<(), WireError> {
+/// Reads and validates the peer's preamble; returns the version the
+/// peer speaks (any of [`MIN_WIRE_VERSION`]..=[`WIRE_VERSION`]). The
+/// caller must not send frames newer than that version.
+pub fn read_preamble(r: &mut impl Read) -> Result<u32, WireError> {
     let mut buf = [0u8; 4];
     r.read_exact(&mut buf)?;
     let magic = u32::from_le_bytes(buf);
@@ -479,23 +620,126 @@ pub fn read_preamble(r: &mut impl Read) -> Result<(), WireError> {
     }
     r.read_exact(&mut buf)?;
     let version = u32::from_le_bytes(buf);
-    if version != WIRE_VERSION {
+    if !(MIN_WIRE_VERSION..=WIRE_VERSION).contains(&version) {
         return Err(WireError::Version(version));
     }
-    Ok(())
+    Ok(version)
 }
 
-/// Writes one frame (length + payload + CRC) and flushes.
+/// Writes one frame (length + payload + CRC) and flushes. The whole
+/// envelope goes down in a single write, so a transport that tears or
+/// duplicates a write operates on frame boundaries — a duplicated
+/// frame is two decodable copies, a torn one is a discarded prefix.
 pub fn write_frame(w: &mut impl Write, frame: &Frame) -> Result<(), WireError> {
     let payload = encode(frame);
     if payload.len() as u64 > MAX_FRAME as u64 {
         return Err(WireError::Oversized(payload.len() as u32));
     }
-    w.write_all(&(payload.len() as u32).to_le_bytes())?;
-    w.write_all(&payload)?;
-    w.write_all(&ec_store::crc32(&payload).to_le_bytes())?;
+    let mut buf = Vec::with_capacity(payload.len() + 8);
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&payload);
+    buf.extend_from_slice(&ec_store::crc32(&payload).to_le_bytes());
+    w.write_all(&buf)?;
     w.flush()?;
     Ok(())
+}
+
+/// An incremental frame reader that survives read deadlines.
+///
+/// A bare [`read_frame`] over a socket with a read timeout desyncs the
+/// stream: a timeout firing after `read_exact` consumed half a length
+/// prefix loses those bytes. `FrameReader` accumulates partial bytes
+/// across calls instead — [`read_from`](Self::read_from) returns
+/// `Ok(None)` on a deadline tick and resumes exactly where it left
+/// off, which is what lets the server run idle deadlines and
+/// heartbeats on the same connection it is parsing.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+    /// Bytes the current envelope needs in `buf`: 4 until the length
+    /// prefix is complete, then `8 + payload_len`.
+    want: usize,
+}
+
+impl FrameReader {
+    /// A reader with no partial state.
+    pub fn new() -> FrameReader {
+        FrameReader {
+            buf: Vec::new(),
+            want: 4,
+        }
+    }
+
+    /// True while bytes of an incomplete frame are pending — a peer
+    /// that goes silent here is mid-frame, not idle.
+    pub fn mid_frame(&self) -> bool {
+        !self.buf.is_empty()
+    }
+
+    /// Reads until one complete frame is available (`Ok(Some)`), the
+    /// read deadline expires (`Ok(None)`; partial progress is kept for
+    /// the next call), or the stream fails. EOF — even on a frame
+    /// boundary — is `WireError::Io(UnexpectedEof)`, the normal
+    /// disconnect the caller classifies with
+    /// [`WireError::is_disconnect`].
+    pub fn read_from(&mut self, r: &mut impl Read) -> Result<Option<Frame>, WireError> {
+        loop {
+            if self.want == 4 && self.buf.len() >= 4 {
+                let len = u32::from_le_bytes(self.buf[..4].try_into().unwrap());
+                if len > MAX_FRAME {
+                    self.reset();
+                    return Err(WireError::Oversized(len));
+                }
+                self.want = 8 + len as usize;
+            }
+            if self.want > 4 && self.buf.len() >= self.want {
+                let payload_end = self.want - 4;
+                let expected =
+                    u32::from_le_bytes(self.buf[payload_end..self.want].try_into().unwrap());
+                let found = ec_store::crc32(&self.buf[4..payload_end]);
+                if expected != found {
+                    self.reset();
+                    return Err(WireError::Crc { expected, found });
+                }
+                let frame = decode(&self.buf[4..payload_end]);
+                // Keep any bytes of the next frame already buffered.
+                self.buf.drain(..self.want);
+                self.want = 4;
+                match frame {
+                    Ok(f) => return Ok(Some(f)),
+                    Err(e) => {
+                        self.reset();
+                        return Err(e);
+                    }
+                }
+            }
+            let mut chunk = [0u8; 8192];
+            match r.read(&mut chunk) {
+                Ok(0) => {
+                    return Err(WireError::Io(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "connection closed",
+                    )));
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    return Ok(None);
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    fn reset(&mut self) {
+        self.buf.clear();
+        self.want = 4;
+    }
 }
 
 /// Reads one frame, validating length, CRC, and payload.

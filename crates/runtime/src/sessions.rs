@@ -299,6 +299,21 @@ impl SessionPool {
         addr: &str,
         extra: impl Fn(&mut ec_obs::PromText) + Send + Sync + 'static,
     ) -> Result<std::net::SocketAddr, RuntimeError> {
+        self.serve_metrics_ext(addr, extra, Vec::new)
+    }
+
+    /// [`serve_metrics_with`](Self::serve_metrics_with) plus extra
+    /// top-level `/healthz` fields rendered on every probe — the wire
+    /// front end surfaces its draining state here so orchestrators see
+    /// a drain in progress on the health plane, not just in logs.
+    /// Field values are emitted verbatim (JSON literals: `true`,
+    /// numbers, or pre-quoted strings).
+    pub fn serve_metrics_ext(
+        &self,
+        addr: &str,
+        extra: impl Fn(&mut ec_obs::PromText) + Send + Sync + 'static,
+        health_fields: impl Fn() -> Vec<(String, String)> + Send + Sync + 'static,
+    ) -> Result<std::net::SocketAddr, RuntimeError> {
         let registry = MetricsRegistry::new();
         let rows = Arc::clone(&self.registry);
         registry.register(move |page| {
@@ -308,7 +323,8 @@ impl SessionPool {
         });
         registry.register(extra);
         let health_rows = Arc::clone(&self.registry);
-        let healthz: ec_obs::RenderFn = Arc::new(move || pool_health_json(&health_rows));
+        let healthz: ec_obs::RenderFn =
+            Arc::new(move || pool_health_json(&health_rows, &health_fields()));
         let server = registry
             .serve_with(addr, vec![("/healthz", ec_obs::CONTENT_TYPE_JSON, healthz)])
             .map_err(|e| RuntimeError::Config(format!("metrics endpoint {addr}: {e}")))?;
@@ -386,8 +402,9 @@ impl Drop for SessionPool {
 }
 
 /// Renders the pool's `/healthz` body: the worst verdict across every
-/// open tenant, then each tenant's full report keyed by name.
-fn pool_health_json(registry: &Registry) -> String {
+/// open tenant, then each tenant's full report keyed by name, plus any
+/// caller-provided top-level fields (values emitted verbatim).
+fn pool_health_json(registry: &Registry, fields: &[(String, String)]) -> String {
     let reports: Vec<(String, HealthReport)> = registry
         .lock()
         .iter()
@@ -405,8 +422,15 @@ fn pool_health_json(registry: &Registry) -> String {
             format!("{{\"name\":\"{name}\",\"report\":{}}}", r.to_json())
         })
         .collect();
+    let extra: String = fields
+        .iter()
+        .map(|(k, v)| {
+            let k = k.replace('\\', "\\\\").replace('"', "\\\"");
+            format!(",\"{k}\":{v}")
+        })
+        .collect();
     format!(
-        "{{\"verdict\":\"{}\",\"sessions\":[{}]}}",
+        "{{\"verdict\":\"{}\"{extra},\"sessions\":[{}]}}",
         worst.name(),
         sessions.join(",")
     )

@@ -135,8 +135,18 @@ fn remote_producers_match_the_sequential_oracle() {
 
     // Drain the wire subscriber until it has everything the in-process
     // subscription saw (both feed from the same serial delivery loop).
+    // Delivery runs on its own thread and can lag retirement by one
+    // ~50ms wakeup, so wait for the in-process stream to quiesce
+    // before snapshotting it.
     server.tenant("alpha").unwrap().wait_idle().unwrap();
-    let want = inproc.lock().unwrap().clone();
+    let want = loop {
+        let before = inproc.lock().unwrap().len();
+        std::thread::sleep(Duration::from_millis(60));
+        let after = inproc.lock().unwrap();
+        if after.len() == before {
+            break after.clone();
+        }
+    };
     let mut got: Vec<(u64, Value)> = Vec::new();
     while got.len() < want.len() {
         let alarms = wire_sub.next_alarms().expect("alarm stream live");
@@ -233,7 +243,9 @@ fn disconnected_producer_commits_acked_fifo_prefix() {
 
     // Second kind of death: a fully-delivered frame with a flipped
     // payload bit. The CRC catches it; the server answers with a typed
-    // Error and drops the connection, committing nothing from it.
+    // Abort (the stream is untrusted, but nothing was refused — a
+    // resumable session may redial) and drops the connection,
+    // committing nothing from it.
     let stream = TcpStream::connect(addr).unwrap();
     let mut w = BufWriter::new(stream.try_clone().unwrap());
     let mut r = BufReader::new(stream);
@@ -266,8 +278,8 @@ fn disconnected_producer_commits_acked_fifo_prefix() {
     w.write_all(&crc.to_le_bytes()).unwrap();
     w.flush().unwrap();
     match wire::read_frame(&mut r).unwrap() {
-        Frame::Error { reason } => assert!(reason.contains("crc"), "{reason}"),
-        other => panic!("expected Error for a corrupt frame, got {other:?}"),
+        Frame::Abort { reason } => assert!(reason.contains("crc"), "{reason}"),
+        other => panic!("expected Abort for a corrupt frame, got {other:?}"),
     }
     drop(w);
     drop(r);

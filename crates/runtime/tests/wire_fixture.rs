@@ -1,9 +1,11 @@
-//! Byte-compatibility pin for the wire framing.
+//! Byte-compatibility pins for the wire framing.
 //!
-//! `fixtures/wire_v1.bin` holds a preamble plus one of every frame
-//! type, framed by [`wire::write_frame`], and is committed to the
-//! repository. Two guarantees are pinned (mirroring the WAL's
-//! `wal_v1.bin`):
+//! `fixtures/wire_v1.bin` holds a v1 preamble plus one of every v1
+//! frame type; `fixtures/wire_v2.bin` adds the v2 liveness/resume
+//! frames (`Ping`, `Pong`, `HelloResume`, `Goodbye`) under a v2
+//! preamble. Both are framed by [`wire::write_frame`] and committed to
+//! the repository. Two guarantees are pinned per fixture (mirroring
+//! the WAL's `wal_v1.bin`):
 //!
 //! 1. the current encoder produces a byte-identical stream for the
 //!    same frames — the framing never drifts, so clients and servers
@@ -12,9 +14,11 @@
 //!    an *old* peer's stream parsed by the *new* code yields the same
 //!    protocol messages.
 //!
-//! If this test fails, the wire format changed: that is a protocol
+//! The v1 fixture is frozen forever: v2 only *added* frame types, so
+//! every v1 encoding is unchanged and a v1 peer still interoperates.
+//! If either test fails, the wire format changed: that is a protocol
 //! break for every deployed producer and subscriber, and requires a
-//! `WIRE_VERSION` bump plus a new `wire_v2.bin`, not a re-bless.
+//! `WIRE_VERSION` bump plus a new `wire_v3.bin`, not a re-bless.
 //!
 //! To bless a deliberately new fixture:
 //! `EC_BLESS_FIXTURES=1 cargo test -p ec-runtime --test wire_fixture`
@@ -23,19 +27,18 @@ use ec_events::Value;
 use ec_runtime::serve::wire::{self, FlowState, Frame, Role, WireAlarm};
 use std::path::PathBuf;
 
-const FIXTURE: &str = "fixtures/wire_v1.bin";
-
-fn fixture_path() -> PathBuf {
+fn fixture_path(name: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("tests")
-        .join(FIXTURE)
+        .join("fixtures")
+        .join(name)
 }
 
-/// One of every frame type, with bodies covering every `Value`
+/// One of every v1 frame type, with bodies covering every `Value`
 /// variant, silent bins, empty strings and empty lists — the shapes a
 /// real session produces, plus the NaN bit pattern the property tests
 /// skip.
-fn fixture_frames() -> Vec<Frame> {
+fn v1_frames() -> Vec<Frame> {
     vec![
         Frame::Hello {
             token: "s3cret".into(),
@@ -115,16 +118,50 @@ fn fixture_frames() -> Vec<Frame> {
     ]
 }
 
-fn write_stream() -> Vec<u8> {
+/// The v2 stream: every v1 frame (unchanged encodings) plus the
+/// liveness/resume frames v2 introduced.
+fn v2_frames() -> Vec<Frame> {
+    let mut frames = v1_frames();
+    frames.extend([
+        Frame::Ping { nonce: 0 },
+        Frame::Ping { nonce: u64::MAX },
+        Frame::Pong { nonce: 417 },
+        Frame::HelloResume {
+            token: "s3cret".into(),
+            tenant: "payments".into(),
+            session: "sess-4242-0-deadbeef".into(),
+        },
+        Frame::HelloResume {
+            token: String::new(),
+            tenant: "ops".into(),
+            session: String::new(),
+        },
+        Frame::Goodbye {
+            reason: "server draining".into(),
+        },
+        Frame::Goodbye {
+            reason: String::new(),
+        },
+        Frame::Abort {
+            reason: "frame crc mismatch".into(),
+        },
+        Frame::Abort {
+            reason: String::new(),
+        },
+    ]);
+    frames
+}
+
+fn write_stream(version: u32, frames: &[Frame]) -> Vec<u8> {
     let mut buf = Vec::new();
-    wire::write_preamble(&mut buf).unwrap();
-    for frame in fixture_frames() {
-        wire::write_frame(&mut buf, &frame).unwrap();
+    wire::write_preamble_version(&mut buf, version).unwrap();
+    for frame in frames {
+        wire::write_frame(&mut buf, frame).unwrap();
     }
     buf
 }
 
-/// `WireAlarm` equality that treats NaN by bits, like the WAL fixture.
+/// `Frame` equality that treats NaN by bits, like the WAL fixture.
 fn same_frame(a: &Frame, b: &Frame) -> bool {
     match (a, b) {
         (
@@ -152,10 +189,9 @@ fn same_frame(a: &Frame, b: &Frame) -> bool {
     }
 }
 
-#[test]
-fn encoder_reproduces_committed_fixture_bytes() {
-    let written = write_stream();
-    let fixture = fixture_path();
+fn check_encoder_pin(name: &str, version: u32, frames: &[Frame]) {
+    let written = write_stream(version, frames);
+    let fixture = fixture_path(name);
     if std::env::var_os("EC_BLESS_FIXTURES").is_some() {
         std::fs::create_dir_all(fixture.parent().unwrap()).unwrap();
         std::fs::write(&fixture, &written).unwrap();
@@ -172,28 +208,48 @@ fn encoder_reproduces_committed_fixture_bytes() {
     });
     assert_eq!(
         written, committed,
-        "wire bytes diverged from the committed v1 fixture: the framing \
+        "wire bytes diverged from the committed {name} fixture: the framing \
          changed, which breaks every deployed peer (bump WIRE_VERSION \
          instead of re-blessing)"
     );
 }
 
-#[test]
-fn committed_fixture_decodes_to_original_frames() {
-    let committed = std::fs::read(fixture_path()).expect("committed fixture present");
+fn check_decode_pin(name: &str, version: u32, frames: &[Frame]) {
+    let committed = std::fs::read(fixture_path(name)).expect("committed fixture present");
     let mut r = std::io::Cursor::new(committed.as_slice());
-    wire::read_preamble(&mut r).expect("fixture preamble valid");
-    for (i, want) in fixture_frames().into_iter().enumerate() {
+    let got_version = wire::read_preamble(&mut r).expect("fixture preamble valid");
+    assert_eq!(got_version, version, "{name} preamble version");
+    for (i, want) in frames.iter().enumerate() {
         let got = wire::read_frame(&mut r)
-            .unwrap_or_else(|e| panic!("fixture frame {i} failed to decode: {e}"));
+            .unwrap_or_else(|e| panic!("{name} frame {i} failed to decode: {e}"));
         assert!(
-            same_frame(&got, &want),
-            "frame {i}: got {got:?}, want {want:?}"
+            same_frame(&got, want),
+            "{name} frame {i}: got {got:?}, want {want:?}"
         );
     }
     assert_eq!(
         r.position() as usize,
         committed.len(),
-        "fixture has trailing bytes beyond the known frames"
+        "{name} has trailing bytes beyond the known frames"
     );
+}
+
+#[test]
+fn encoder_reproduces_committed_v1_bytes() {
+    check_encoder_pin("wire_v1.bin", 1, &v1_frames());
+}
+
+#[test]
+fn committed_v1_fixture_decodes_to_original_frames() {
+    check_decode_pin("wire_v1.bin", 1, &v1_frames());
+}
+
+#[test]
+fn encoder_reproduces_committed_v2_bytes() {
+    check_encoder_pin("wire_v2.bin", 2, &v2_frames());
+}
+
+#[test]
+fn committed_v2_fixture_decodes_to_original_frames() {
+    check_decode_pin("wire_v2.bin", 2, &v2_frames());
 }

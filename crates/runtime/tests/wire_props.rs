@@ -11,10 +11,11 @@
 
 use ec_events::Value;
 use ec_runtime::serve::wire::{
-    self, FlowState, Frame, Role, WireAlarm, WireError, MAX_FRAME, WIRE_MAGIC, WIRE_VERSION,
+    self, FlowState, Frame, Role, WireAlarm, WireError, MAX_FRAME, MIN_WIRE_VERSION, WIRE_MAGIC,
+    WIRE_VERSION,
 };
 use proptest::prelude::*;
-use std::io::Cursor;
+use std::io::{Cursor, Read};
 
 /// An arbitrary `Value` covering every variant, from three raw draws.
 /// Floats stay NaN-free so `Frame: PartialEq` compares cleanly; the
@@ -33,7 +34,7 @@ fn value_from(tag: u8, num: i64, frac: f64) -> Value {
 /// An arbitrary frame covering every tag, from raw draws. `kind`
 /// selects the variant; the rest parameterize its fields.
 fn frame_from(kind: u8, seq: u64, idx: u32, text: &str, cells: &[(u8, i64, f64)]) -> Frame {
-    match kind % 15 {
+    match kind % 20 {
         0 => Frame::Hello {
             token: format!("t-{text}"),
             tenant: text.to_string(),
@@ -89,12 +90,79 @@ fn frame_from(kind: u8, seq: u64, idx: u32, text: &str, cells: &[(u8, i64, f64)]
         },
         12 => Frame::Shutdown,
         13 => Frame::ShutdownOk,
-        _ => Frame::SubscribeOk,
+        14 => Frame::SubscribeOk,
+        15 => Frame::Ping { nonce: seq },
+        16 => Frame::Pong { nonce: seq },
+        17 => Frame::HelloResume {
+            token: format!("t-{text}"),
+            tenant: text.to_string(),
+            session: format!("sess-{seq}"),
+        },
+        18 => Frame::Goodbye {
+            reason: text.to_string(),
+        },
+        _ => Frame::Abort {
+            reason: text.to_string(),
+        },
+    }
+}
+
+/// A reader that hands out bytes in a scripted sequence of chunk
+/// sizes (0 ⇒ a `WouldBlock` tick), then unbounded reads — models a
+/// socket dribbling bytes under read timeouts.
+struct Chunked {
+    data: Vec<u8>,
+    pos: usize,
+    chunks: Vec<usize>,
+    next: usize,
+}
+
+impl Read for Chunked {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.chunks.get(self.next).copied().unwrap_or(usize::MAX);
+        self.next += 1;
+        if n == 0 {
+            return Err(std::io::ErrorKind::WouldBlock.into());
+        }
+        let take = n.min(buf.len()).min(self.data.len() - self.pos);
+        buf[..take].copy_from_slice(&self.data[self.pos..self.pos + take]);
+        self.pos += take;
+        Ok(take)
     }
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// `FrameReader` reassembles a frame stream identically no matter
+    /// how the transport chunks it — byte dribbles, giant reads, and
+    /// interleaved timeout ticks included.
+    #[test]
+    fn frame_reader_survives_arbitrary_chunking(
+        kinds in proptest::collection::vec((0u8..=255, 0u64..1000, 0u32..1000), 1..8),
+        chunks in proptest::collection::vec(0usize..64, 0..64),
+    ) {
+        let frames: Vec<Frame> = kinds
+            .iter()
+            .map(|&(k, s, i)| frame_from(k, s, i, "chunk", &[]))
+            .collect();
+        let mut data = Vec::new();
+        for f in &frames {
+            wire::write_frame(&mut data, f).expect("frame writes");
+        }
+        let mut reader = Chunked { data, pos: 0, chunks, next: 0 };
+        let mut fr = wire::FrameReader::new();
+        let mut got = Vec::new();
+        while got.len() < frames.len() {
+            match fr.read_from(&mut reader) {
+                Ok(Some(frame)) => got.push(frame),
+                Ok(None) => {} // timeout tick: reader keeps its partial bytes
+                Err(e) => prop_assert!(false, "chunked stream broke framing: {e}"),
+            }
+        }
+        prop_assert_eq!(got, frames);
+        prop_assert!(!fr.mid_frame(), "leftover partial frame after full stream");
+    }
 
     /// Every frame type round-trips exactly through the payload codec
     /// and through the full length+CRC envelope.
@@ -203,7 +271,7 @@ proptest! {
     /// Unknown frame tags are a typed error even when the CRC envelope
     /// is intact.
     #[test]
-    fn unknown_tags_are_refused(tag in 16u8..=255, body in proptest::collection::vec(0u8..=255, 0..32)) {
+    fn unknown_tags_are_refused(tag in 21u8..=255, body in proptest::collection::vec(0u8..=255, 0..32)) {
         let mut payload = vec![tag];
         payload.extend(&body);
         let result = wire::decode(&payload);
@@ -221,11 +289,11 @@ proptest! {
         let _ = wire::read_preamble(&mut Cursor::new(&bytes));
     }
 
-    /// A preamble with the right magic but a different version is
-    /// refused as version skew, not corruption.
+    /// A preamble with the right magic but a version outside the
+    /// accepted range is refused as version skew, not corruption.
     #[test]
     fn wrong_versions_are_refused(version in 0u32..u32::MAX) {
-        if version == WIRE_VERSION {
+        if (MIN_WIRE_VERSION..=WIRE_VERSION).contains(&version) {
             continue;
         }
         let mut buf = WIRE_MAGIC.to_le_bytes().to_vec();

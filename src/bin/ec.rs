@@ -58,6 +58,7 @@ usage:
            [--root DIR] [--weight NAME=W] [--metrics ADDR]
            [--token TOK] [--quiet]
   ec push <addr> <tenant> [--token TOK] [--batch N] [--quiet]
+          [--retry N] [--session ID]
   ec trace <spec.xml> [stream flags] [--out FILE]
   ec top <addr> [--interval MS] [--once]
   ec doctor <addr> [--quiet]
@@ -96,7 +97,15 @@ serving: `ec serve` binds a TCP wire endpoint (--addr, default
   to authenticate; --root DIR makes every tenant durable. `ec push`
   is the matching producer client: stdin lines as in `ec stream`
   (CSV/NDJSON, blank line seals), batched over the wire (--batch,
-  default 256).
+  default 256). With --retry N a dropped connection is redialed up to
+  N times (bounded exponential backoff with jitter) under a resumable
+  session (--session ID, or an auto-generated id): the client replays
+  its unacked suffix and the server's per-source dedup window commits
+  every acknowledged batch exactly once — reconnects never duplicate
+  and never reorder a source's events. On SIGTERM/SIGINT or stdin
+  EOF, `ec serve` drains instead of dropping: new sessions are
+  refused, acknowledged events are flushed and committed, and
+  subscribers get a Goodbye once the alarm stream is complete.
 
 observability: --metrics ADDR (e.g. 127.0.0.1:9184, port 0 for
   ephemeral) serves Prometheus text exposition at /metrics; watch it
@@ -1196,6 +1205,46 @@ fn parse_serve_opts(args: &[String]) -> Result<ServeOpts, String> {
     Ok(opts)
 }
 
+/// Termination-signal latch for `ec serve`: SIGTERM/SIGINT set a flag
+/// the serve loop polls, turning supervisor stops into graceful
+/// drains. Raw `signal(2)` FFI — the handler only stores an atomic,
+/// which is async-signal-safe, and no external crate is needed.
+#[cfg(unix)]
+mod term_signal {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static FIRED: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_signal(_signum: i32) {
+        FIRED.store(true, Ordering::Relaxed);
+    }
+
+    pub fn install() {
+        extern "C" {
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGTERM, on_signal);
+            signal(SIGINT, on_signal);
+        }
+    }
+
+    pub fn fired() -> bool {
+        FIRED.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(not(unix))]
+mod term_signal {
+    pub fn install() {}
+
+    pub fn fired() -> bool {
+        false
+    }
+}
+
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     use event_correlation::runtime::{SessionPool, WireServer};
 
@@ -1294,7 +1343,12 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     }
 
     // Serve until the process is asked to stop: stdin EOF (the
-    // supervisor hung up) or a client's Shutdown frame.
+    // supervisor hung up), SIGTERM/SIGINT, or a client's Shutdown
+    // frame. The first two drain — refuse new sessions, flush and
+    // commit every acknowledged event, say goodbye to subscribers —
+    // because the peers were given no say; a Shutdown frame is an
+    // explicit client request, so it stops directly.
+    term_signal::install();
     let stdin_eof = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
     let eof_flag = std::sync::Arc::clone(&stdin_eof);
     std::thread::spawn(move || {
@@ -1303,12 +1357,25 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         let _ = std::io::stdin().lock().read_to_end(&mut sink);
         eof_flag.store(true, std::sync::atomic::Ordering::Relaxed);
     });
-    while !server.stop_requested() && !stdin_eof.load(std::sync::atomic::Ordering::Relaxed) {
+    let drain = loop {
+        if server.stop_requested() {
+            break false;
+        }
+        if stdin_eof.load(std::sync::atomic::Ordering::Relaxed) || term_signal::fired() {
+            break true;
+        }
         std::thread::sleep(std::time::Duration::from_millis(50));
-    }
+    };
 
     let stats = server.stats();
-    let reports = server.shutdown();
+    if drain && !opts.quiet {
+        eprintln!("draining: refusing new sessions, flushing acked events");
+    }
+    let reports = if drain {
+        server.drain()
+    } else {
+        server.shutdown()
+    };
     if !opts.quiet {
         eprintln!(
             "serve done: {} connections, {} events in, {} alarms out, {} flow blocks, \
@@ -1343,6 +1410,8 @@ struct PushOpts {
     tenant: String,
     token: String,
     batch: usize,
+    retry: Option<u32>,
+    session: Option<String>,
     quiet: bool,
 }
 
@@ -1350,6 +1419,8 @@ fn parse_push_opts(args: &[String]) -> Result<PushOpts, String> {
     let mut positional = Vec::new();
     let mut token = String::new();
     let mut batch = 256usize;
+    let mut retry = None;
+    let mut session = None;
     let mut quiet = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -1360,6 +1431,14 @@ fn parse_push_opts(args: &[String]) -> Result<PushOpts, String> {
             "--batch" => {
                 let v = it.next().ok_or("--batch needs a value")?;
                 batch = v.parse().map_err(|_| format!("bad --batch value {v:?}"))?;
+            }
+            "--retry" => {
+                let v = it.next().ok_or("--retry needs a value")?;
+                let n: u32 = v.parse().map_err(|_| format!("bad --retry value {v:?}"))?;
+                retry = Some(n.max(1));
+            }
+            "--session" => {
+                session = Some(it.next().ok_or("--session needs a value")?.clone());
             }
             "--quiet" => quiet = true,
             other if other.starts_with("--") => {
@@ -1376,24 +1455,41 @@ fn parse_push_opts(args: &[String]) -> Result<PushOpts, String> {
         tenant: tenant.clone(),
         token,
         batch: batch.max(1),
+        retry,
+        session,
         quiet,
     })
 }
 
 fn cmd_push(args: &[String]) -> Result<(), String> {
     use event_correlation::runtime::serve::Role;
-    use event_correlation::runtime::WireClient;
+    use event_correlation::runtime::{RetryPolicy, WireClient};
     use std::io::BufRead;
 
     let opts = parse_push_opts(args)?;
-    let mut client = WireClient::connect(&opts.addr, &opts.token, &opts.tenant, Role::Producer)
+    let mut builder = WireClient::builder().token(&opts.token);
+    if let Some(attempts) = opts.retry {
+        builder = builder.retry(RetryPolicy {
+            max_attempts: attempts,
+            ..RetryPolicy::default()
+        });
+    }
+    if let Some(session) = &opts.session {
+        builder = builder.session(session.clone());
+    }
+    let mut client = builder
+        .connect(&opts.addr, &opts.tenant, Role::Producer)
         .map_err(|e| format!("connecting to {}: {e}", opts.addr))?;
     if !opts.quiet {
         eprintln!(
-            "connected to {} as tenant {:?}, sources {:?}",
+            "connected to {} as tenant {:?}, sources {:?}{}",
             opts.addr,
             client.tenant(),
-            client.sources()
+            client.sources(),
+            match client.session() {
+                Some(id) => format!(", session {id:?}"),
+                None => String::new(),
+            }
         );
     }
 
@@ -1454,8 +1550,9 @@ fn cmd_push(args: &[String]) -> Result<(), String> {
     if !opts.quiet {
         eprintln!(
             "push done: {events} events in ({acked} acked), {skipped} dropped, {seals} seals, \
-             {} flow blocks",
-            client.blocks_seen()
+             {} flow blocks, {} reconnects",
+            client.blocks_seen(),
+            client.reconnects()
         );
     }
     Ok(())

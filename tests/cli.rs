@@ -829,6 +829,53 @@ fn serve_metrics_healthz_and_doctor() {
 }
 
 #[test]
+fn push_with_session_replays_exactly_once_across_process_restarts() {
+    let path = write_spec("serve_resume.xml", LIVE_SPEC);
+    let (mut child, stdin, mut stderr, wire, _) = spawn_serve(&path, &[]);
+
+    let args = [
+        "push",
+        &wire,
+        "serve_resume",
+        "--retry",
+        "3",
+        "--session",
+        "cli-sess",
+    ];
+    let input = "tx,10\ntx,20\n\n";
+    let out = ec_with_stdin(&args, input);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("session \"cli-sess\""), "{err}");
+    assert!(err.contains("2 events in (2 acked)"), "{err}");
+
+    // The same input under the same session id — a crash-retry replay.
+    // The server's dedup window re-acks every batch without
+    // re-applying, so the client still sees full acks while the commit
+    // stays exactly-once.
+    let out = ec_with_stdin(&args, input);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("2 events in (2 acked)"), "{err}");
+
+    drop(stdin);
+    let status = child.wait().expect("ec binary exits");
+    assert!(status.success());
+    let mut rest = String::new();
+    std::io::Read::read_to_string(&mut stderr, &mut rest).expect("stderr drains");
+    // Two identical runs, one commit: the replay added no phases.
+    assert!(rest.contains("serve_resume: 2 phases committed"), "{rest}");
+}
+
+#[test]
 fn push_refusals_exit_nonzero_with_diagnostics() {
     let path = write_spec("serve_auth.xml", LIVE_SPEC);
     let (mut child, stdin, _stderr, wire, _) =
